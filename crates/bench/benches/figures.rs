@@ -1,0 +1,72 @@
+//! One bench target per paper *figure*: Fig. 1 (illustrative gains),
+//! Fig. 8 (detailed testbed metrics), Figs. 9–10 (trace-driven
+//! simulations), Figs. 11–14 (ablations). Figures run at a reduced scale
+//! per iteration; the `muri` CLI reproduces them at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muri_experiments::{run_experiment, Scale};
+use std::hint::black_box;
+
+fn bench_fig(c: &mut Criterion, id: &str, scale: f64, samples: usize) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(samples);
+    group.bench_function(id, |b| {
+        b.iter(|| run_experiment(black_box(id), Scale(scale)).expect("known experiment"))
+    });
+    group.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    bench_fig(c, "fig1", 1.0, 50);
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    bench_fig(c, "fig8", 0.08, 10);
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    bench_fig(c, "fig9", 0.04, 10);
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    bench_fig(c, "fig10", 0.04, 10);
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    bench_fig(c, "fig11", 0.04, 10);
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    bench_fig(c, "fig12", 0.03, 10);
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    bench_fig(c, "fig13", 0.04, 10);
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    bench_fig(c, "fig14", 0.04, 10);
+}
+
+fn bench_ext_capacity(c: &mut Criterion) {
+    bench_fig(c, "ext-capacity", 0.04, 10);
+}
+
+fn bench_ext_matching(c: &mut Criterion) {
+    bench_fig(c, "ext-matching", 0.04, 10);
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_ext_capacity,
+    bench_ext_matching
+);
+criterion_main!(benches);

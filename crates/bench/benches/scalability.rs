@@ -1,0 +1,53 @@
+//! The §5 scalability claim: "the centralized scheduler can generate a
+//! grouping plan for 1,000 jobs in a few seconds, which is negligible
+//! compared to the scheduling interval".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muri_bench::mixed_profiles;
+use muri_core::{multi_round_grouping, plan_schedule, GroupingConfig, PendingJob, PolicyKind, SchedulerConfig};
+use muri_workload::{JobId, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_grouping_1000(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for n in [500usize, 1000] {
+        let profiles = mixed_profiles(n);
+        let cfg = GroupingConfig::default();
+        group.bench_with_input(
+            BenchmarkId::new("grouping_plan", n),
+            &profiles,
+            |b, profiles| b.iter(|| multi_round_grouping(black_box(profiles), &cfg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_scheduling_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    // A full scheduling pass over a 1,000-job queue on a 64-GPU cluster
+    // (priority sort + admission + bucketing + capacity-aware grouping +
+    // placement ordering).
+    let profiles = mixed_profiles(1000);
+    let pending: Vec<PendingJob> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| PendingJob {
+            id: JobId(i as u32),
+            num_gpus: 1 << (i % 4),
+            profile: p,
+            submit_time: SimTime::from_secs(i as u64),
+            attained: SimDuration::ZERO,
+            remaining: SimDuration::from_secs(600 + i as u64),
+        })
+        .collect();
+    let cfg = SchedulerConfig::preset(PolicyKind::MuriS);
+    group.bench_function("plan_schedule_1000_jobs_64gpus", |b| {
+        b.iter(|| plan_schedule(&cfg, black_box(&pending), 64, SimTime::ZERO))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping_1000, bench_full_scheduling_pass);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! One bench target per paper *table*: Table 1 (stage fractions),
+//! Table 2 (interleaved throughput), Table 4 and Table 5 (testbed runs,
+//! scaled down per iteration — the `muri` CLI reproduces them at full
+//! scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muri_experiments::{run_experiment, Scale};
+use std::hint::black_box;
+
+fn bench_table(c: &mut Criterion, id: &str, scale: f64, samples: usize) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(samples);
+    group.bench_function(id, |b| {
+        b.iter(|| run_experiment(black_box(id), Scale(scale)).expect("known experiment"))
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    bench_table(c, "table1", 1.0, 50);
+}
+
+fn bench_table2(c: &mut Criterion) {
+    bench_table(c, "table2", 1.0, 50);
+}
+
+fn bench_table4(c: &mut Criterion) {
+    bench_table(c, "table4", 0.12, 10);
+}
+
+fn bench_table5(c: &mut Criterion) {
+    bench_table(c, "table5", 0.12, 10);
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table4, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! # muri-bench
+//!
+//! Criterion benchmark harness for the Muri reproduction. The actual
+//! benchmarks live in `benches/`:
+//!
+//! * `algorithms` — micro-benchmarks of the substrates (Blossom matching,
+//!   interleaving-efficiency evaluation, ordering enumeration, the
+//!   timeline executor, trace synthesis);
+//! * `tables` — regenerates the paper's Tables 1, 2, 4, and 5;
+//! * `figures` — regenerates Figs. 8–14 (scaled down so a bench iteration
+//!   stays in the tens-of-milliseconds range; the `muri` CLI runs them at
+//!   full scale);
+//! * `scalability` — the §5 claim: a grouping plan for 1,000 jobs in a
+//!   few seconds.
+//!
+//! This library only exposes shared helpers for those benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use muri_workload::{ModelKind, StageProfile};
+
+/// Deterministic mixed profiles cycling through the model zoo.
+pub fn mixed_profiles(n: usize) -> Vec<StageProfile> {
+    (0..n)
+        .map(|i| ModelKind::ALL[i % ModelKind::ALL.len()].profile(16))
+        .collect()
+}
+
+/// A deterministic pseudo-random weight in `1..=bound` (xorshift; keeps
+/// benches free of RNG setup noise).
+pub fn det_weight(seed: &mut u64, bound: u64) -> i64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    (*seed % bound) as i64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_profiles_cycle_models() {
+        let ps = mixed_profiles(10);
+        assert_eq!(ps.len(), 10);
+        assert_eq!(ps[0], ps[8]);
+        assert_ne!(ps[0], ps[1]);
+    }
+
+    #[test]
+    fn det_weight_in_bounds() {
+        let mut seed = 42;
+        for _ in 0..100 {
+            let w = det_weight(&mut seed, 1000);
+            assert!((1..=1000).contains(&w));
+        }
+    }
+}

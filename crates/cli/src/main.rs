@@ -1,0 +1,368 @@
+//! `muri` — command-line interface for the Muri reproduction.
+//!
+//! ```text
+//! muri list                       # list experiment ids
+//! muri exp <id> [--scale S] [--out DIR]
+//! muri all [--scale S] [--out DIR]
+//! muri trace <1-4> [--scale S]    # dump a synthetic trace as CSV
+//! muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+//! muri validate                   # Eq. 3 vs timeline-executor fidelity
+//! ```
+//!
+//! Experiments print the paper's tables to stdout; `--out` additionally
+//! writes each table as CSV and the full report as JSON. `muri sim` runs
+//! one scheduler over a trace (synthetic or CSV) and prints the metrics.
+
+use muri_core::{PolicyKind, SchedulerConfig};
+use muri_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+use muri_sim::{simulate, SimConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  muri list
+  muri exp <id> [--scale S] [--out DIR]
+  muri all [--scale S] [--out DIR]
+  muri trace <1-4> [--scale S]
+  muri trace-stats <1-4> [--scale S]
+  muri models
+  muri show-group <model> [<model> ...]
+  muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+  muri validate
+
+policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s muri-l";
+
+struct Options {
+    scale: Scale,
+    out: Option<PathBuf>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut scale = Scale::default();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                let s: f64 = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                if !(s > 0.0 && s <= 10.0) {
+                    return Err(format!("scale {s} out of range (0, 10]"));
+                }
+                scale = Scale(s);
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or("--out needs a directory")?,
+                ));
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Options { scale, out })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for id in ALL_EXPERIMENTS {
+                println!("{id}");
+            }
+            Ok(())
+        }
+        Some("exp") => {
+            let id = args.get(1).ok_or("exp needs an experiment id")?;
+            let opts = parse_options(&args[2..])?;
+            run_one(id, &opts)
+        }
+        Some("all") => {
+            let opts = parse_options(&args[1..])?;
+            for id in ALL_EXPERIMENTS {
+                run_one(id, &opts)?;
+            }
+            Ok(())
+        }
+        Some("trace") => {
+            let idx: usize = args
+                .get(1)
+                .ok_or("trace needs an index 1-4")?
+                .parse()
+                .map_err(|_| "trace index must be 1-4".to_string())?;
+            if !(1..=4).contains(&idx) {
+                return Err("trace index must be 1-4".into());
+            }
+            let opts = parse_options(&args[2..])?;
+            let trace = muri_workload::philly_like_trace(idx, opts.scale.0);
+            print!("{}", trace.to_csv());
+            Ok(())
+        }
+        Some("models") => {
+            println!(
+                "{:<12} {:<5} {:<10} {:>6} {:>10} {:>12} {:>14}",
+                "model", "type", "dataset", "batch", "bottleneck", "iter@16gpu", "tput@16 (s/s)"
+            );
+            for m in muri_workload::ModelKind::ALL {
+                let p = m.profile(16);
+                println!(
+                    "{:<12} {:<5} {:<10} {:>6} {:>10} {:>12} {:>14.0}",
+                    m.name(),
+                    format!("{:?}", m.task()),
+                    m.dataset(),
+                    m.batch_size(),
+                    m.declared_bottleneck().to_string(),
+                    p.iteration_time().to_string(),
+                    m.solo_throughput(16)
+                );
+            }
+            Ok(())
+        }
+        Some("show-group") => {
+            // muri show-group <model> <model> [...]: form a group of the
+            // named models (16-GPU profiles) and render its schedule.
+            let names = &args[1..];
+            if names.is_empty() || names.len() > 4 {
+                return Err("show-group needs 1-4 model names (see `muri models`)".into());
+            }
+            let mut members = Vec::new();
+            for (i, name) in names.iter().enumerate() {
+                let model = muri_workload::ModelKind::ALL
+                    .into_iter()
+                    .find(|m| m.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| format!("unknown model {name:?} (see `muri models`)"))?;
+                members.push(muri_interleave::GroupMember {
+                    job: muri_workload::JobId(i as u32),
+                    profile: model.profile(16),
+                });
+            }
+            let group = muri_interleave::InterleaveGroup::form(
+                members,
+                muri_interleave::OrderingPolicy::Best,
+            );
+            for (i, name) in names.iter().enumerate() {
+                println!(
+                    "{} = {:<12} norm tput {:.2}",
+                    (b'A' + i as u8) as char,
+                    name,
+                    group.normalized_throughput(i)
+                );
+            }
+            println!(
+                "aggregate {:.2}x, efficiency {:.2}\n",
+                group.total_normalized_throughput(),
+                group.efficiency
+            );
+            print!("{}", muri_interleave::render_schedule(&group, 2, 36));
+            Ok(())
+        }
+        Some("trace-stats") => {
+            let idx: usize = args
+                .get(1)
+                .ok_or("trace-stats needs an index 1-4")?
+                .parse()
+                .map_err(|_| "trace index must be 1-4".to_string())?;
+            if !(1..=4).contains(&idx) {
+                return Err("trace index must be 1-4".into());
+            }
+            let opts = parse_options(&args[2..])?;
+            let trace = muri_workload::philly_like_trace(idx, opts.scale.0);
+            let stats =
+                muri_workload::analyze(&trace).ok_or("trace is empty")?;
+            println!("trace-{idx} (scale {}):", opts.scale.0);
+            print!("{}", stats.render());
+            Ok(())
+        }
+        Some("sim") => {
+            let policy_name = args.get(1).ok_or("sim needs a policy name")?;
+            let policy = parse_policy(policy_name)?;
+            run_sim(policy, &args[2..])
+        }
+        Some("validate") => run_validate(),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "fifo" => PolicyKind::Fifo,
+        "sjf" => PolicyKind::Sjf,
+        "srtf" => PolicyKind::Srtf,
+        "srsf" => PolicyKind::Srsf,
+        "las" => PolicyKind::Las,
+        "2dlas" | "2d-las" => PolicyKind::TwoDLas,
+        "tiresias" => PolicyKind::Tiresias,
+        "gittins" | "2d-gittins" => PolicyKind::Gittins,
+        "themis" => PolicyKind::Themis,
+        "antman" => PolicyKind::AntMan,
+        "muri-s" | "muris" => PolicyKind::MuriS,
+        "muri-l" | "muril" => PolicyKind::MuriL,
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+/// `muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]`
+fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), String> {
+    let mut trace_idx = 1usize;
+    let mut csv: Option<PathBuf> = None;
+    let mut scale = Scale::default();
+    let mut machines = 8u32;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_idx = it
+                    .next()
+                    .ok_or("--trace needs an index")?
+                    .parse()
+                    .map_err(|_| "bad trace index")?;
+                if !(1..=4).contains(&trace_idx) {
+                    return Err("trace index must be 1-4".into());
+                }
+            }
+            "--csv" => csv = Some(PathBuf::from(it.next().ok_or("--csv needs a path")?)),
+            "--scale" => {
+                scale = Scale(
+                    it.next()
+                        .ok_or("--scale needs a value")?
+                        .parse()
+                        .map_err(|_| "bad scale")?,
+                )
+            }
+            "--machines" => {
+                machines = it
+                    .next()
+                    .ok_or("--machines needs a count")?
+                    .parse()
+                    .map_err(|_| "bad machine count")?
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let trace = match csv {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {path:?}: {e}"))?;
+            muri_workload::Trace::from_csv(
+                path.file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "csv".into()),
+                &text,
+            )
+            .map_err(|e| e.to_string())?
+        }
+        None => muri_workload::philly_like_trace(trace_idx, scale.0),
+    };
+    let cfg = SimConfig {
+        cluster: muri_cluster::ClusterSpec::with_machines(machines),
+        ..SimConfig::testbed(SchedulerConfig::preset(policy))
+    };
+    eprintln!(
+        "simulating {} jobs under {} on {} GPUs...",
+        trace.len(),
+        policy.name(),
+        cfg.cluster.total_gpus()
+    );
+    let started = std::time::Instant::now();
+    let r = simulate(&trace, &cfg);
+    println!("policy:        {}", r.policy);
+    println!("trace:         {} ({} jobs)", r.trace, r.records.len());
+    println!("finished:      {}/{}", r.finished_jobs(), r.records.len());
+    println!("avg JCT:       {:.1} s", r.avg_jct_secs());
+    println!("p99 JCT:       {:.1} s", r.p99_jct_secs());
+    println!("makespan:      {:.2} h", r.makespan_secs() / 3600.0);
+    println!("avg queue len: {:.1}", r.avg_queue_length());
+    println!("blocking idx:  {:.2}", r.avg_blocking_index());
+    println!(
+        "avg util io/cpu/gpu/net: {:.2}/{:.2}/{:.2}/{:.2}",
+        r.avg_utilization(muri_workload::ResourceKind::Storage),
+        r.avg_utilization(muri_workload::ResourceKind::Cpu),
+        r.avg_utilization(muri_workload::ResourceKind::Gpu),
+        r.avg_utilization(muri_workload::ResourceKind::Network),
+    );
+    eprintln!("[simulated in {:.2?}]", started.elapsed());
+    Ok(())
+}
+
+/// `muri validate`: check that Eq. 3 upper-bounds the timeline executor
+/// for every model pair (the scheduler's estimates are safe).
+fn run_validate() -> Result<(), String> {
+    use muri_interleave::{choose_ordering, run_timeline, stagger_delays, OrderingPolicy, TimelineJob};
+    use muri_workload::{JobId, ModelKind, SimDuration};
+    let mut worst_slack = 0.0_f64;
+    let mut pairs = 0;
+    for (i, a) in ModelKind::ALL.iter().enumerate() {
+        for b in ModelKind::ALL.iter().skip(i + 1) {
+            let profiles = [a.profile(16), b.profile(16)];
+            let ordering = choose_ordering(&profiles, OrderingPolicy::Best);
+            let delays = stagger_delays(&profiles, &ordering.offsets);
+            let jobs: Vec<TimelineJob> = profiles
+                .iter()
+                .zip(delays)
+                .enumerate()
+                .map(|(j, (&profile, initial_delay))| TimelineJob {
+                    id: JobId(j as u32),
+                    profile,
+                    slots: vec![0],
+                    initial_delay,
+                    iterations: 100,
+                })
+                .collect();
+            let report = run_timeline(&jobs, 1, SimDuration::from_hours(12));
+            let realized = (0..2)
+                .filter_map(|j| report.avg_iteration_time(&jobs, j))
+                .max()
+                .ok_or_else(|| format!("{} + {}: pair did not finish", a.name(), b.name()))?
+                .as_secs_f64();
+            let predicted = ordering.iteration_time.as_secs_f64();
+            if realized > predicted * 1.02 {
+                return Err(format!(
+                    "{} + {}: executor ({realized:.3}s) exceeded the Eq. 3 bound ({predicted:.3}s)",
+                    a.name(),
+                    b.name()
+                ));
+            }
+            worst_slack = worst_slack.max((predicted - realized) / predicted);
+            pairs += 1;
+        }
+    }
+    println!(
+        "OK: Eq. 3 upper-bounded the timeline executor for all {pairs} model pairs \
+         (largest slack {:.1}%)",
+        worst_slack * 100.0
+    );
+    Ok(())
+}
+
+fn run_one(id: &str, opts: &Options) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let report =
+        run_experiment(id, opts.scale).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+    print!("{}", report.render());
+    eprintln!("[{id} finished in {:.2?}]", started.elapsed());
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serializing {id}: {e}"))?;
+        std::fs::write(dir.join(format!("{id}.json")), json)
+            .map_err(|e| format!("writing {id}.json: {e}"))?;
+        for (i, table) in report.tables.iter().enumerate() {
+            let path = dir.join(format!("{id}-{i}.csv"));
+            std::fs::write(&path, table.to_csv())
+                .map_err(|e| format!("writing {path:?}: {e}"))?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # muri-cluster
+//!
+//! GPU-cluster substrate for the Muri reproduction:
+//!
+//! * [`machine`] — machine hardware specs (defaults match the paper's
+//!   8×V100 testbed nodes);
+//! * [`topology`] — cluster specs and global GPU numbering;
+//! * [`placement`] — allocation tracking with the paper's node-minimizing
+//!   best-fit placement (§5);
+//! * [`monitor`] — the worker monitor: utilization snapshots, job
+//!   progress, and fault reports (§3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod machine;
+pub mod monitor;
+pub mod placement;
+pub mod topology;
+
+pub use machine::MachineSpec;
+pub use monitor::{FaultReport, JobProgress, UtilizationSnapshot, WorkerMonitor};
+pub use placement::{Cluster, GpuSet};
+pub use topology::{ClusterSpec, GpuId};

@@ -1,0 +1,54 @@
+//! Machine specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware description of one machine in the cluster.
+///
+/// The default matches the paper's testbed machine (§6.1): 8 NVIDIA V100
+/// GPUs, 2× Intel Xeon Platinum 8260 (2 × 24 cores), 256 GB RAM, one
+/// Mellanox CX-5 single-port NIC (100 Gb/s RoCE), local NVMe storage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// GPUs per machine.
+    pub gpus: u32,
+    /// CPU cores per machine.
+    pub cpu_cores: u32,
+    /// Memory in GB.
+    pub memory_gb: u32,
+    /// NIC bandwidth in Gb/s.
+    pub nic_gbps: f64,
+    /// Local storage read bandwidth in MB/s.
+    pub storage_mbps: f64,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec {
+            gpus: 8,
+            cpu_cores: 48,
+            memory_gb: 256,
+            nic_gbps: 100.0,
+            storage_mbps: 2000.0,
+        }
+    }
+}
+
+impl MachineSpec {
+    /// The paper's testbed machine.
+    pub fn paper_testbed() -> Self {
+        MachineSpec::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_machine() {
+        let m = MachineSpec::paper_testbed();
+        assert_eq!(m.gpus, 8);
+        assert_eq!(m.cpu_cores, 48);
+        assert_eq!(m.memory_gb, 256);
+    }
+}

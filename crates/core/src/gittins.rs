@@ -1,0 +1,177 @@
+//! The Gittins index for jobs with unknown durations.
+//!
+//! Tiresias (which the paper builds its priorities on) offers three
+//! duration-unaware ranks: LAS, 2D-LAS, and the **2D-Gittins index** —
+//! "Gittins index \[is\] effective when the running time is unknown" (§2.1).
+//! The Gittins index of a job that has already attained service `a` is
+//!
+//! ```text
+//! G(a) = sup_Δ  P(S − a ≤ Δ | S > a) / E[min(S − a, Δ) | S > a]
+//! ```
+//!
+//! — the best achievable "completion probability per unit of invested
+//! service". Jobs with the highest index run first. With a heavy-tailed
+//! service prior, the index *falls* as a job accumulates service (it
+//! reveals itself to be a monster), reproducing LAS-like behavior while
+//! being provably mean-JCT optimal for the prior.
+//!
+//! The service prior here is log-normal, matching the workload
+//! synthesizer's duration distribution; the index is precomputed on a
+//! logarithmic grid of attained GPU-service and interpolated.
+
+use std::sync::OnceLock;
+
+/// Log-normal service prior in GPU-seconds (median and sigma chosen to
+/// match `SynthConfig::default()` durations at the average GPU count).
+const PRIOR_MEDIAN_GPU_SECS: f64 = 1800.0;
+const PRIOR_SIGMA: f64 = 1.6;
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ≈ 1.5e-7 — far below what ranking needs).
+fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// `P(S ≤ s)` under the log-normal prior.
+fn service_cdf(s: f64) -> f64 {
+    if s <= 0.0 {
+        return 0.0;
+    }
+    phi((s / PRIOR_MEDIAN_GPU_SECS).ln() / PRIOR_SIGMA)
+}
+
+/// Numerically evaluate the Gittins index at attained service `a` by
+/// scanning a logarithmic grid of quanta Δ.
+fn gittins_at(a: f64) -> f64 {
+    let survive = 1.0 - service_cdf(a);
+    if survive <= 1e-12 {
+        return 0.0;
+    }
+    let mut best = 0.0_f64;
+    let mut delta = PRIOR_MEDIAN_GPU_SECS / 256.0;
+    for _ in 0..40 {
+        // P(S ≤ a + Δ | S > a)
+        let p = (service_cdf(a + delta) - service_cdf(a)) / survive;
+        // E[min(S − a, Δ) | S > a] by trapezoidal integration of the
+        // survival function on [a, a + Δ].
+        let steps = 24;
+        let h = delta / steps as f64;
+        let mut expected = 0.0;
+        for i in 0..steps {
+            let s0 = 1.0 - service_cdf(a + i as f64 * h);
+            let s1 = 1.0 - service_cdf(a + (i + 1) as f64 * h);
+            expected += 0.5 * (s0 + s1) * h;
+        }
+        expected /= survive;
+        if expected > 0.0 {
+            best = best.max(p / expected);
+        }
+        delta *= 1.5;
+    }
+    best
+}
+
+/// Precomputed index on a log grid of attained service.
+fn index_table() -> &'static Vec<(f64, f64)> {
+    static TABLE: OnceLock<Vec<(f64, f64)>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = vec![(0.0, gittins_at(0.0))];
+        let mut a = 1.0;
+        while a < 1e9 {
+            table.push((a, gittins_at(a)));
+            a *= 1.6;
+        }
+        table
+    })
+}
+
+/// The Gittins index of a job with `attained_gpu_secs` of attained
+/// GPU-service (attained time × GPUs — the "2D" part). Higher runs first.
+pub fn gittins_index(attained_gpu_secs: f64) -> f64 {
+    let table = index_table();
+    let a = attained_gpu_secs.max(0.0);
+    match table.binary_search_by(|(x, _)| x.partial_cmp(&a).expect("finite")) {
+        Ok(i) => table[i].1,
+        Err(0) => table[0].1,
+        Err(i) if i >= table.len() => table[table.len() - 1].1,
+        Err(i) => {
+            // Log-linear interpolation between grid points.
+            let (x0, y0) = table[i - 1];
+            let (x1, y1) = table[i];
+            let w = if x1 > x0 { (a - x0) / (x1 - x0) } else { 0.0 };
+            y0 + (y1 - y0) * w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let s = 10.0_f64.powf(i as f64 / 20.0);
+            let c = service_cdf(s);
+            assert!(c >= prev - 1e-12, "CDF must not decrease");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!((service_cdf(PRIOR_MEDIAN_GPU_SECS) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn index_is_positive_and_eventually_decreasing() {
+        let fresh = gittins_index(0.0);
+        let young = gittins_index(600.0);
+        let old = gittins_index(3_600_00.0);
+        let ancient = gittins_index(3_600_000.0);
+        assert!(fresh > 0.0 && young > 0.0 && old > 0.0);
+        // Heavy tail: long-running jobs have ever-lower completion rates.
+        assert!(young > old, "{young} vs {old}");
+        assert!(old > ancient, "{old} vs {ancient}");
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        // No ranking cliffs between grid points.
+        let mut prev = gittins_index(100.0);
+        for i in 1..500 {
+            let a = 100.0 + i as f64 * 37.0;
+            let g = gittins_index(a);
+            assert!(
+                (g - prev).abs() < prev.max(1e-6) * 0.5,
+                "jump at a={a}: {prev} -> {g}"
+            );
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn extreme_attained_service_saturates() {
+        assert!(gittins_index(1e12) >= 0.0);
+        assert_eq!(gittins_index(-5.0), gittins_index(0.0));
+    }
+}

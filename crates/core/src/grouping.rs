@@ -1,0 +1,620 @@
+//! The multi-round job-grouping algorithm (the paper's Algorithm 1).
+//!
+//! With `k` resource types, Muri packs at most `k` jobs per group. Finding
+//! the optimal `k`-way grouping is maximum-weight `k`-uniform hypergraph
+//! matching — NP-hard — so the paper divides matching into `log2 k`
+//! rounds: each round computes pairwise interleaving efficiencies, finds a
+//! maximum-weight matching with the Blossom algorithm, and merges every
+//! matched pair into one node for the next round.
+//!
+//! The Fig. 11 "w/o Blossom" ablation replaces matching with packing
+//! consecutive jobs in priority order; Fig. 12's group-size sweep is the
+//! `max_group_size` knob (merges that would exceed it get no edge).
+
+use muri_interleave::{choose_ordering, group_efficiency, OrderingPolicy};
+use muri_matching::{greedy_matching, maximum_weight_matching, weight_from_f64, DenseGraph};
+use muri_workload::StageProfile;
+use serde::{Deserialize, Serialize};
+
+/// How jobs are grouped for interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum GroupingMode {
+    /// No grouping: every job runs alone (the non-interleaving baselines).
+    None,
+    /// Multi-round maximum-weight matching with Blossom (Algorithm 1).
+    #[default]
+    Blossom,
+    /// Multi-round matching with the greedy ½-approximation instead of
+    /// Blossom (an extra ablation of matching quality).
+    GreedyMatching,
+    /// Pack consecutive jobs in priority order ("Muri-L w/o Blossom",
+    /// Fig. 11).
+    PriorityPacking,
+}
+
+/// Grouping configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupingConfig {
+    /// Grouping algorithm.
+    pub mode: GroupingMode,
+    /// Maximum jobs per group (2–4; the paper's Fig. 12 sweep).
+    pub max_group_size: usize,
+    /// Stage-ordering policy used both to weigh candidate groups and to
+    /// execute them (Fig. 11's "worst ordering" ablation flips this).
+    pub ordering: OrderingPolicy,
+    /// Drop candidate pairs whose interleaving efficiency is below this
+    /// threshold (0 reproduces the paper: any positive-γ pair may match).
+    pub min_efficiency: f64,
+    /// Merge only as far as the free capacity requires (see
+    /// [`capacity_aware_grouping`]). Disabling this reproduces a literal
+    /// reading of Algorithm 1 that groups maximally even next to idle
+    /// GPUs — kept as an ablation of this repo's design decision
+    /// (DESIGN.md §5b.3).
+    pub capacity_aware: bool,
+}
+
+impl Default for GroupingConfig {
+    fn default() -> Self {
+        GroupingConfig {
+            mode: GroupingMode::Blossom,
+            max_group_size: muri_workload::NUM_RESOURCES,
+            ordering: OrderingPolicy::Best,
+            min_efficiency: 0.0,
+            capacity_aware: true,
+        }
+    }
+}
+
+impl GroupingConfig {
+    /// No grouping at all.
+    pub fn disabled() -> Self {
+        GroupingConfig {
+            mode: GroupingMode::None,
+            ..GroupingConfig::default()
+        }
+    }
+}
+
+/// Interleaving efficiency of the group formed by merging the given jobs,
+/// under the configured ordering policy.
+///
+/// Memoized per thread: the profile universe is tiny without profiling
+/// noise (one profile per model), and the scheduler recomputes the same
+/// pairs at every tick. The cache is bounded to stay harmless under noisy
+/// profiles (where every job's profile is distinct).
+pub fn merged_efficiency(profiles: &[StageProfile], ordering: OrderingPolicy) -> f64 {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static CACHE: RefCell<HashMap<(Vec<StageProfile>, OrderingPolicy), f64>> =
+            RefCell::new(HashMap::new());
+    }
+    CACHE.with(|cache| {
+        let key = (profiles.to_vec(), ordering);
+        if let Some(&gamma) = cache.borrow().get(&key) {
+            return gamma;
+        }
+        let chosen = choose_ordering(profiles, ordering);
+        let gamma = group_efficiency(profiles, &chosen.offsets);
+        let mut cache = cache.borrow_mut();
+        if cache.len() >= 200_000 {
+            cache.clear();
+        }
+        cache.insert(key, gamma);
+        gamma
+    })
+}
+
+/// Group the jobs whose measured profiles are given, returning groups as
+/// index sets into `profiles`. Every input index appears in exactly one
+/// group; group sizes never exceed `cfg.max_group_size`.
+///
+/// The input order is the queue's priority order — `PriorityPacking`
+/// relies on it, and tie-breaking favors earlier (higher-priority) jobs.
+pub fn multi_round_grouping(profiles: &[StageProfile], cfg: &GroupingConfig) -> Vec<Vec<usize>> {
+    let cap = cfg.max_group_size.clamp(1, muri_workload::NUM_RESOURCES);
+    match cfg.mode {
+        GroupingMode::None => (0..profiles.len()).map(|i| vec![i]).collect(),
+        GroupingMode::PriorityPacking => {
+            let mut groups = Vec::new();
+            let mut current = Vec::new();
+            for i in 0..profiles.len() {
+                current.push(i);
+                if current.len() == cap {
+                    groups.push(std::mem::take(&mut current));
+                }
+            }
+            if !current.is_empty() {
+                groups.push(current);
+            }
+            groups
+        }
+        GroupingMode::Blossom | GroupingMode::GreedyMatching => {
+            matched_grouping(profiles, cfg, cap)
+        }
+    }
+}
+
+/// One GPU-count bucket of jobs to group (profiles in priority order).
+#[derive(Debug, Clone)]
+pub struct BucketInput {
+    /// GPUs per job in this bucket.
+    pub gpus: u32,
+    /// Measured stage profiles, highest priority first.
+    pub profiles: Vec<StageProfile>,
+}
+
+/// Capacity-aware grouping across buckets: merge jobs **only as far as
+/// needed** for the admitted demand to fit `free_gpus`, accepting the
+/// highest-efficiency merges first.
+///
+/// Algorithm 1 dequeues "the first n jobs … so that these n jobs can form
+/// k-job groups that fully utilize the cluster": grouping exists to pack a
+/// backlog onto scarce GPUs. When the queue fits the free capacity
+/// outright, sharing would only slow jobs down (idle GPUs next to 4-way
+/// packed ones), so no merges happen; under backlog the rounds proceed
+/// exactly as Algorithm 1 until either demand fits or group sizes reach
+/// the cap.
+///
+/// Returns per-bucket groups of indices into that bucket's profile list.
+pub fn capacity_aware_grouping(
+    buckets: &[BucketInput],
+    free_gpus: u32,
+    cfg: &GroupingConfig,
+) -> Vec<Vec<Vec<usize>>> {
+    let cap = cfg.max_group_size.clamp(1, muri_workload::NUM_RESOURCES);
+    // Current nodes per bucket (each node = merged job indices).
+    let mut nodes: Vec<Vec<Vec<usize>>> = buckets
+        .iter()
+        .map(|b| (0..b.profiles.len()).map(|i| vec![i]).collect())
+        .collect();
+    let demand = |nodes: &Vec<Vec<Vec<usize>>>| -> u64 {
+        nodes
+            .iter()
+            .zip(buckets)
+            .map(|(ns, b)| ns.len() as u64 * b.gpus as u64)
+            .sum()
+    };
+    if cfg.mode == GroupingMode::None || cap <= 1 {
+        return nodes;
+    }
+    if !cfg.capacity_aware {
+        // Literal Algorithm 1: every bucket groups maximally, regardless
+        // of how much capacity is actually free.
+        return buckets
+            .iter()
+            .map(|b| multi_round_grouping(&b.profiles, cfg))
+            .collect();
+    }
+    if cfg.mode == GroupingMode::PriorityPacking {
+        // Find the smallest uniform chunk size that fits, up to the cap.
+        for size in 1..=cap {
+            let fits: u64 = buckets
+                .iter()
+                .map(|b| (b.profiles.len().div_ceil(size)) as u64 * b.gpus as u64)
+                .sum();
+            if fits <= free_gpus as u64 || size == cap {
+                return buckets
+                    .iter()
+                    .map(|b| {
+                        let sub = GroupingConfig {
+                            max_group_size: size,
+                            ..*cfg
+                        };
+                        multi_round_grouping(&b.profiles, &sub)
+                    })
+                    .collect();
+            }
+        }
+        unreachable!("loop returns at size == cap");
+    }
+    // Matching modes: rounds of per-bucket matchings; accept the
+    // highest-γ merges first, only while demand exceeds capacity.
+    let max_rounds = 8;
+    for _ in 0..max_rounds {
+        if demand(&nodes) <= free_gpus as u64 {
+            break;
+        }
+        // Collect candidate merges from every bucket's matching.
+        let mut candidates: Vec<(i64, usize, usize, usize)> = Vec::new(); // (w, bucket, u, v)
+        for (bi, b) in buckets.iter().enumerate() {
+            let ns = &nodes[bi];
+            if ns.len() < 2 {
+                continue;
+            }
+            let mut graph = DenseGraph::new(ns.len());
+            let mut any = false;
+            for u in 0..ns.len() {
+                for v in u + 1..ns.len() {
+                    if ns[u].len() + ns[v].len() > cap {
+                        continue;
+                    }
+                    let merged: Vec<StageProfile> = ns[u]
+                        .iter()
+                        .chain(ns[v].iter())
+                        .map(|&i| b.profiles[i])
+                        .collect();
+                    let gamma = merged_efficiency(&merged, cfg.ordering);
+                    if gamma >= cfg.min_efficiency {
+                        let w = weight_from_f64(gamma);
+                        if w > 0 {
+                            graph.set_weight(u, v, w);
+                            any = true;
+                        }
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            let matching = match cfg.mode {
+                GroupingMode::Blossom => maximum_weight_matching(&graph),
+                GroupingMode::GreedyMatching => greedy_matching(&graph),
+                _ => unreachable!(),
+            };
+            for (u, v) in matching.pairs() {
+                candidates.push((graph.weight(u, v), bi, u, v));
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut d = demand(&nodes);
+        let mut merged_in: Vec<Vec<(usize, usize)>> = vec![Vec::new(); buckets.len()];
+        // Phase 1: accept merges in efficiency order, but never push the
+        // demand *below* the free capacity — a coarse merge in a big-GPU
+        // bucket would otherwise strand idle GPUs.
+        let mut leftover: Vec<(i64, usize, usize, usize)> = Vec::new();
+        for (w, bi, u, v) in candidates {
+            let g = buckets[bi].gpus as u64;
+            if d <= free_gpus as u64 {
+                break;
+            }
+            if d - g >= free_gpus as u64 {
+                merged_in[bi].push((u, v));
+                d -= g;
+            } else {
+                leftover.push((w, bi, u, v));
+            }
+        }
+        // Phase 2: still over capacity — overshoot once with the merge
+        // that wastes the fewest GPUs (running packed beats queueing).
+        if d > free_gpus as u64 {
+            leftover.sort_by(|a, b| {
+                buckets[a.1]
+                    .gpus
+                    .cmp(&buckets[b.1].gpus)
+                    .then(b.0.cmp(&a.0))
+            });
+            if let Some((_, bi, u, v)) = leftover.into_iter().next() {
+                d -= buckets[bi].gpus as u64;
+                merged_in[bi].push((u, v));
+            }
+        }
+        let mut progressed = false;
+        for (bi, merges) in merged_in.iter().enumerate() {
+            if merges.is_empty() {
+                continue;
+            }
+            progressed = true;
+            let ns = &mut nodes[bi];
+            let mut consumed = vec![false; ns.len()];
+            let mut next: Vec<Vec<usize>> = Vec::with_capacity(ns.len());
+            for &(u, v) in merges {
+                let mut m = ns[u].clone();
+                m.extend(ns[v].iter().copied());
+                m.sort_unstable();
+                next.push(m);
+                consumed[u] = true;
+                consumed[v] = true;
+            }
+            for (u, node) in ns.iter().enumerate() {
+                if !consumed[u] {
+                    next.push(node.clone());
+                }
+            }
+            next.sort_by_key(|g| g[0]);
+            *ns = next;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    nodes
+}
+
+fn matched_grouping(
+    profiles: &[StageProfile],
+    cfg: &GroupingConfig,
+    cap: usize,
+) -> Vec<Vec<usize>> {
+    // Nodes start as singletons; each round merges matched pairs.
+    let mut nodes: Vec<Vec<usize>> = (0..profiles.len()).map(|i| vec![i]).collect();
+    let rounds = (usize::BITS - (cap.max(1) - 1).leading_zeros()) as usize; // ceil(log2(cap))
+    for _ in 0..rounds {
+        if nodes.len() < 2 {
+            break;
+        }
+        let mut graph = DenseGraph::new(nodes.len());
+        let mut any_edge = false;
+        for u in 0..nodes.len() {
+            for v in u + 1..nodes.len() {
+                if nodes[u].len() + nodes[v].len() > cap {
+                    continue;
+                }
+                let merged: Vec<StageProfile> = nodes[u]
+                    .iter()
+                    .chain(nodes[v].iter())
+                    .map(|&i| profiles[i])
+                    .collect();
+                let gamma = merged_efficiency(&merged, cfg.ordering);
+                if gamma >= cfg.min_efficiency {
+                    let w = weight_from_f64(gamma);
+                    if w > 0 {
+                        graph.set_weight(u, v, w);
+                        any_edge = true;
+                    }
+                }
+            }
+        }
+        if !any_edge {
+            break;
+        }
+        let matching = match cfg.mode {
+            GroupingMode::Blossom => maximum_weight_matching(&graph),
+            GroupingMode::GreedyMatching => greedy_matching(&graph),
+            _ => unreachable!("matched_grouping only runs for matching modes"),
+        };
+        let mut next: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+        let mut consumed = vec![false; nodes.len()];
+        for (u, v) in matching.pairs() {
+            let mut merged = nodes[u].clone();
+            merged.extend(nodes[v].iter().copied());
+            merged.sort_unstable();
+            next.push(merged);
+            consumed[u] = true;
+            consumed[v] = true;
+        }
+        for (u, node) in nodes.iter().enumerate() {
+            if !consumed[u] {
+                next.push(node.clone());
+            }
+        }
+        // Keep deterministic ordering: by smallest member index (which is
+        // the highest-priority job in the group).
+        next.sort_by_key(|g| g[0]);
+        nodes = next;
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muri_workload::SimDuration;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn cpu_gpu(cpu: u64, gpu: u64) -> StageProfile {
+        StageProfile::new(SimDuration::ZERO, secs(cpu), secs(gpu), SimDuration::ZERO)
+    }
+
+    fn assert_partition(groups: &[Vec<usize>], n: usize, cap: usize) {
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "not a partition: {groups:?}");
+        for g in groups {
+            assert!(g.len() <= cap, "group {g:?} exceeds cap {cap}");
+        }
+    }
+
+    #[test]
+    fn figure4_blossom_finds_plan1() {
+        // A (cpu-heavy), B (gpu-heavy), C (cpu-heavy), D (gpu-heavy):
+        // optimal pairing is the complementary one, (A,B) and (C,D) — or
+        // any cpu/gpu pairing — never (A,C)/(B,D).
+        let profiles = vec![cpu_gpu(2, 1), cpu_gpu(1, 2), cpu_gpu(2, 1), cpu_gpu(1, 2)];
+        let cfg = GroupingConfig {
+            max_group_size: 2,
+            ..GroupingConfig::default()
+        };
+        let groups = multi_round_grouping(&profiles, &cfg);
+        assert_partition(&groups, 4, 2);
+        for g in &groups {
+            assert_eq!(g.len(), 2);
+            let kinds: Vec<u64> = g
+                .iter()
+                .map(|&i| profiles[i].duration(muri_workload::ResourceKind::Cpu).as_micros())
+                .collect();
+            assert_ne!(kinds[0], kinds[1], "paired two same-bottleneck jobs: {groups:?}");
+        }
+    }
+
+    #[test]
+    fn four_way_grouping_reaches_cap() {
+        // Four jobs each bottlenecked on a different resource: two rounds
+        // of matching merge all four into one group.
+        let profiles: Vec<StageProfile> = (0..4)
+            .map(|i| {
+                let mut stage = [secs(1); 4];
+                stage[i] = secs(4);
+                StageProfile::new(stage[0], stage[1], stage[2], stage[3])
+            })
+            .collect();
+        let groups = multi_round_grouping(&profiles, &GroupingConfig::default());
+        assert_partition(&groups, 4, 4);
+        assert_eq!(groups.len(), 1, "expected one 4-job group, got {groups:?}");
+    }
+
+    #[test]
+    fn cap_three_never_exceeded() {
+        let profiles: Vec<StageProfile> = (0..7)
+            .map(|i| {
+                let mut stage = [secs(1); 4];
+                stage[i % 4] = secs(3 + (i % 3) as u64);
+                StageProfile::new(stage[0], stage[1], stage[2], stage[3])
+            })
+            .collect();
+        let cfg = GroupingConfig {
+            max_group_size: 3,
+            ..GroupingConfig::default()
+        };
+        let groups = multi_round_grouping(&profiles, &cfg);
+        assert_partition(&groups, 7, 3);
+    }
+
+    #[test]
+    fn priority_packing_chunks_in_order() {
+        let profiles = vec![cpu_gpu(1, 1); 5];
+        let cfg = GroupingConfig {
+            mode: GroupingMode::PriorityPacking,
+            max_group_size: 2,
+            ..GroupingConfig::default()
+        };
+        let groups = multi_round_grouping(&profiles, &cfg);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn none_mode_keeps_singletons() {
+        let profiles = vec![cpu_gpu(1, 2); 3];
+        let groups = multi_round_grouping(&profiles, &GroupingConfig::disabled());
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn blossom_total_efficiency_dominates_priority_packing() {
+        // Alternating bottlenecks arranged so naive packing pairs clones.
+        let profiles = vec![
+            cpu_gpu(4, 1),
+            cpu_gpu(4, 1),
+            cpu_gpu(1, 4),
+            cpu_gpu(1, 4),
+            cpu_gpu(4, 1),
+            cpu_gpu(1, 4),
+        ];
+        let cap2 = |mode| GroupingConfig {
+            mode,
+            max_group_size: 2,
+            ..GroupingConfig::default()
+        };
+        let total = |groups: &[Vec<usize>]| -> f64 {
+            groups
+                .iter()
+                .map(|g| {
+                    let ps: Vec<StageProfile> = g.iter().map(|&i| profiles[i]).collect();
+                    merged_efficiency(&ps, OrderingPolicy::Best)
+                })
+                .sum()
+        };
+        let blossom = total(&multi_round_grouping(&profiles, &cap2(GroupingMode::Blossom)));
+        let packing = total(&multi_round_grouping(
+            &profiles,
+            &cap2(GroupingMode::PriorityPacking),
+        ));
+        assert!(
+            blossom > packing + 0.1,
+            "blossom {blossom} should clearly beat packing {packing}"
+        );
+    }
+
+    #[test]
+    fn min_efficiency_threshold_blocks_bad_pairs() {
+        // Two identical GPU-only jobs: γ = 0.5. A threshold above that
+        // leaves them ungrouped.
+        let profiles = vec![cpu_gpu(0, 2), cpu_gpu(0, 2)];
+        let cfg = GroupingConfig {
+            min_efficiency: 0.9,
+            ..GroupingConfig::default()
+        };
+        let groups = multi_round_grouping(&profiles, &cfg);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(multi_round_grouping(&[], &GroupingConfig::default()).is_empty());
+        let one = multi_round_grouping(&[cpu_gpu(1, 1)], &GroupingConfig::default());
+        assert_eq!(one, vec![vec![0]]);
+    }
+
+    #[test]
+    fn capacity_aware_skips_merging_when_everything_fits() {
+        let buckets = vec![BucketInput {
+            gpus: 1,
+            profiles: vec![cpu_gpu(2, 1); 6],
+        }];
+        let groups = capacity_aware_grouping(&buckets, 8, &GroupingConfig::default());
+        assert_eq!(groups[0].len(), 6, "no merges needed: {groups:?}");
+        assert!(groups[0].iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn capacity_aware_merges_exactly_to_capacity_in_single_gpu_bucket() {
+        // 10 single-GPU jobs, 7 free GPUs: exactly 3 merges (7 groups).
+        let profiles: Vec<StageProfile> = (0..10)
+            .map(|i| if i % 2 == 0 { cpu_gpu(2, 1) } else { cpu_gpu(1, 2) })
+            .collect();
+        let buckets = vec![BucketInput { gpus: 1, profiles }];
+        let groups = capacity_aware_grouping(&buckets, 7, &GroupingConfig::default());
+        assert_eq!(groups[0].len(), 7, "{groups:?}");
+        let total: usize = groups[0].iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn capacity_aware_never_overshoots_by_more_than_one_merge() {
+        // Two buckets: 4 × 8-GPU jobs and 6 × 1-GPU jobs; 20 free GPUs.
+        // Demand 38; merging should land at >= 20 - 8 + 1 = 13 GPUs.
+        let big = BucketInput {
+            gpus: 8,
+            profiles: vec![cpu_gpu(2, 1), cpu_gpu(1, 2), cpu_gpu(2, 1), cpu_gpu(1, 2)],
+        };
+        let small = BucketInput {
+            gpus: 1,
+            profiles: (0..6)
+                .map(|i| if i % 2 == 0 { cpu_gpu(3, 1) } else { cpu_gpu(1, 3) })
+                .collect(),
+        };
+        let groups = capacity_aware_grouping(&[big, small], 20, &GroupingConfig::default());
+        let demand: u64 =
+            groups[0].len() as u64 * 8 + groups[1].len() as u64;
+        assert!(demand <= 20, "over capacity: {demand}");
+        assert!(demand >= 12, "overshot needlessly: {demand} ({groups:?})");
+    }
+
+    #[test]
+    fn literal_mode_groups_maximally_regardless_of_capacity() {
+        let buckets = vec![BucketInput {
+            gpus: 1,
+            profiles: (0..8)
+                .map(|i| if i % 2 == 0 { cpu_gpu(2, 1) } else { cpu_gpu(1, 2) })
+                .collect(),
+        }];
+        let cfg = GroupingConfig {
+            capacity_aware: false,
+            ..GroupingConfig::default()
+        };
+        // Capacity is ample, yet the literal variant still merges to cap.
+        let groups = capacity_aware_grouping(&buckets, 64, &cfg);
+        assert!(
+            groups[0].iter().any(|g| g.len() > 1),
+            "literal mode must group anyway: {groups:?}"
+        );
+    }
+
+    #[test]
+    fn grouping_is_deterministic() {
+        let profiles: Vec<StageProfile> = (0..10)
+            .map(|i| cpu_gpu(1 + (i % 4) as u64, 4 - (i % 4) as u64))
+            .collect();
+        let cfg = GroupingConfig::default();
+        assert_eq!(
+            multi_round_grouping(&profiles, &cfg),
+            multi_round_grouping(&profiles, &cfg)
+        );
+    }
+}

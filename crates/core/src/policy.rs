@@ -1,0 +1,313 @@
+//! Scheduling policies and job priorities.
+//!
+//! The paper evaluates two regimes (§6.1): when job durations are known,
+//! SRTF and SRSF are the baselines and Muri-S integrates SRSF with
+//! interleaving; when durations are unknown, Tiresias (2D-LAS with
+//! discretized queues), Themis (finish-time fairness), and AntMan
+//! (non-preemptive FIFO with GPU sharing) are the baselines and Muri-L
+//! integrates 2D-LAS with interleaving.
+//!
+//! "A lower value of p means a higher priority" — every priority here is
+//! a sortable key where smaller schedules first.
+
+use muri_workload::{JobId, SimDuration, SimTime, StageProfile};
+use serde::{Deserialize, Serialize};
+
+/// A job as the scheduler sees it while pending (in the queue or preempted
+/// at a scheduling tick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingJob {
+    /// Job id.
+    pub id: JobId,
+    /// GPUs the job needs (`g_i`).
+    pub num_gpus: u32,
+    /// The profiler's measured per-iteration stage profile.
+    pub profile: StageProfile,
+    /// Submission time.
+    pub submit_time: SimTime,
+    /// Service time attained so far (`a_i`, wall-clock execution time).
+    pub attained: SimDuration,
+    /// Remaining solo running time (`r_i`). Only duration-aware policies
+    /// may read this — it encodes knowledge of the true duration.
+    pub remaining: SimDuration,
+}
+
+impl PendingJob {
+    /// Total solo duration (attained + remaining).
+    pub fn total_duration(&self) -> SimDuration {
+        self.attained + self.remaining
+    }
+}
+
+/// The scheduling policies of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// First-in-first-out (used in the §2.1 motivating example).
+    Fifo,
+    /// Shortest job first (duration-aware, non-preemptive).
+    Sjf,
+    /// Shortest remaining time first (duration-aware).
+    Srtf,
+    /// Shortest remaining *service* first: remaining × GPUs (Tiresias's
+    /// duration-aware variant; the paper's strongest duration-aware
+    /// baseline).
+    Srsf,
+    /// Least attained service (duration-unaware).
+    Las,
+    /// 2D-LAS: attained × GPUs (duration-unaware).
+    TwoDLas,
+    /// Tiresias: 2D-LAS discretized into priority queues with a
+    /// GPU-time threshold, FIFO within a queue (avoids thrashing).
+    Tiresias,
+    /// 2D-Gittins index: the Bayesian-optimal duration-unaware rank
+    /// (Tiresias's third variant, §2.1) under a log-normal service prior.
+    Gittins,
+    /// Themis: finish-time fairness — jobs whose sharing-penalized finish
+    /// time is worst (highest ρ) get resources first.
+    Themis,
+    /// AntMan: FIFO order, non-preemptive, opportunistic GPU sharing
+    /// instead of interleaving.
+    AntMan,
+    /// Muri-S: SRSF priority + multi-resource interleaving.
+    MuriS,
+    /// Muri-L: 2D-LAS priority + multi-resource interleaving.
+    MuriL,
+}
+
+impl PolicyKind {
+    /// Human-readable name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Sjf => "SJF",
+            PolicyKind::Srtf => "SRTF",
+            PolicyKind::Srsf => "SRSF",
+            PolicyKind::Las => "LAS",
+            PolicyKind::TwoDLas => "2D-LAS",
+            PolicyKind::Tiresias => "Tiresias",
+            PolicyKind::Gittins => "2D-Gittins",
+            PolicyKind::Themis => "Themis",
+            PolicyKind::AntMan => "AntMan",
+            PolicyKind::MuriS => "Muri-S",
+            PolicyKind::MuriL => "Muri-L",
+        }
+    }
+
+    /// Whether the policy needs to know job durations in advance.
+    pub fn duration_aware(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Sjf | PolicyKind::Srtf | PolicyKind::Srsf | PolicyKind::MuriS
+        )
+    }
+
+    /// Whether running jobs are preempted and re-ranked at scheduling
+    /// ticks. AntMan is explicitly non-preemptive ("AntMan schedules DL
+    /// jobs in the FIFO order and is non-preemptive", §6.3); FIFO and SJF
+    /// are classically non-preemptive.
+    pub fn preemptive(self) -> bool {
+        !matches!(self, PolicyKind::Fifo | PolicyKind::Sjf | PolicyKind::AntMan)
+    }
+
+    /// Whether the policy groups jobs with multi-resource interleaving.
+    pub fn interleaves(self) -> bool {
+        matches!(self, PolicyKind::MuriS | PolicyKind::MuriL)
+    }
+
+    /// Whether the policy co-locates jobs on GPUs *without* interleaving
+    /// (AntMan-style opportunistic sharing with interference).
+    pub fn gpu_shares(self) -> bool {
+        matches!(self, PolicyKind::AntMan)
+    }
+
+    /// Priority key for `job` at time `now`; smaller runs first.
+    /// Deterministic total order: ties break by submit time then id.
+    pub fn priority(self, job: &PendingJob, now: SimTime) -> PriorityKey {
+        let primary = match self {
+            PolicyKind::Fifo | PolicyKind::AntMan => job.submit_time.as_micros() as i64,
+            PolicyKind::Sjf => job.total_duration().as_micros() as i64,
+            PolicyKind::Srtf => job.remaining.as_micros() as i64,
+            PolicyKind::Srsf | PolicyKind::MuriS => {
+                saturating_service(job.remaining, job.num_gpus)
+            }
+            PolicyKind::Las => job.attained.as_micros() as i64,
+            PolicyKind::TwoDLas | PolicyKind::MuriL => {
+                saturating_service(job.attained, job.num_gpus)
+            }
+            PolicyKind::Tiresias => {
+                // Discretized 2D-LAS: queue index by attained GPU-time
+                // threshold (default 1 GPU-hour per level, 2 levels), FIFO
+                // within a queue. Encode (queue, submit) in one key.
+                let service = saturating_service(job.attained, job.num_gpus);
+                let threshold = SimDuration::from_hours(1).as_micros() as i64;
+                let queue = (service / threshold.max(1)).min(1);
+                queue * (1 << 50) + job.submit_time.as_micros() as i64
+            }
+            PolicyKind::Gittins => {
+                // Higher index runs first; negate into the min-order key.
+                let service = saturating_service(job.attained, job.num_gpus) as f64 / 1e6;
+                let index = crate::gittins::gittins_index(service);
+                -((index * 1e12).min(i64::MAX as f64 / 2.0)) as i64
+            }
+            PolicyKind::Themis => {
+                // Finish-time fairness ρ: (queueing + attained) relative
+                // to attained service; jobs that waited long relative to
+                // what they received have high ρ and run first (smaller
+                // key = -ρ scaled). New jobs (no service yet) have
+                // maximal ρ.
+                let elapsed = now.since(job.submit_time).as_secs_f64();
+                let attained = job.attained.as_secs_f64();
+                let rho = if attained <= 0.0 {
+                    f64::MAX / 1e3
+                } else {
+                    (elapsed + attained) / attained
+                };
+                -((rho * 1e6).min(i64::MAX as f64 / 2.0)) as i64
+            }
+        };
+        PriorityKey {
+            primary,
+            submit: job.submit_time.as_micros(),
+            id: job.id.0,
+        }
+    }
+
+    /// Sort `jobs` by this policy's priority (highest priority first).
+    pub fn sort(self, jobs: &mut [PendingJob], now: SimTime) {
+        jobs.sort_by_key(|j| self.priority(j, now));
+    }
+}
+
+fn saturating_service(d: SimDuration, gpus: u32) -> i64 {
+    (d.as_micros().saturating_mul(gpus as u64)).min(i64::MAX as u64) as i64
+}
+
+/// Sortable priority; smaller schedules first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PriorityKey {
+    /// Policy-specific primary key.
+    pub primary: i64,
+    /// Tie-break: earlier submission first.
+    pub submit: u64,
+    /// Final tie-break: job id.
+    pub id: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, gpus: u32, submit: u64, attained: u64, remaining: u64) -> PendingJob {
+        PendingJob {
+            id: JobId(id),
+            num_gpus: gpus,
+            profile: StageProfile::from_secs_f64(0.1, 0.1, 0.1, 0.1),
+            submit_time: SimTime::from_secs(submit),
+            attained: SimDuration::from_secs(attained),
+            remaining: SimDuration::from_secs(remaining),
+        }
+    }
+
+    fn order(policy: PolicyKind, mut jobs: Vec<PendingJob>, now: SimTime) -> Vec<u32> {
+        policy.sort(&mut jobs, now);
+        jobs.iter().map(|j| j.id.0).collect()
+    }
+
+    #[test]
+    fn fifo_orders_by_submission() {
+        let jobs = vec![job(1, 1, 50, 0, 10), job(2, 1, 10, 0, 99), job(3, 1, 30, 0, 1)];
+        assert_eq!(order(PolicyKind::Fifo, jobs, SimTime::ZERO), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn srtf_prefers_short_remaining() {
+        let jobs = vec![job(1, 1, 0, 0, 100), job(2, 1, 0, 0, 5), job(3, 1, 0, 0, 50)];
+        assert_eq!(order(PolicyKind::Srtf, jobs, SimTime::ZERO), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn srsf_weights_by_gpus() {
+        // Job 1: 10s remaining × 8 GPUs = 80 GPU-s; job 2: 30s × 1 = 30.
+        let jobs = vec![job(1, 8, 0, 0, 10), job(2, 1, 0, 0, 30)];
+        assert_eq!(order(PolicyKind::Srsf, jobs, SimTime::ZERO), vec![2, 1]);
+        // Plain SRTF would invert that.
+        let jobs2 = vec![job(1, 8, 0, 0, 10), job(2, 1, 0, 0, 30)];
+        assert_eq!(order(PolicyKind::Srtf, jobs2, SimTime::ZERO), vec![1, 2]);
+    }
+
+    #[test]
+    fn two_d_las_prefers_least_attained_service() {
+        let jobs = vec![job(1, 4, 0, 10, 999), job(2, 1, 0, 30, 999), job(3, 2, 0, 1, 999)];
+        // Services: 40, 30, 2.
+        assert_eq!(order(PolicyKind::TwoDLas, jobs, SimTime::ZERO), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn tiresias_discretizes_then_fifo() {
+        // Jobs 1 and 2 are both under the 1-GPU-hour threshold → FIFO
+        // between them despite different attained service; job 3 is over
+        // the threshold → demoted behind both.
+        let jobs = vec![
+            job(1, 1, 20, 600, 0),     // 10 GPU-min, submitted later
+            job(2, 1, 10, 1800, 0),    // 30 GPU-min, submitted earlier
+            job(3, 4, 0, 7200, 0),     // 8 GPU-hours → low-priority queue
+        ];
+        assert_eq!(order(PolicyKind::Tiresias, jobs, SimTime::ZERO), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn themis_prioritizes_starved_jobs() {
+        let now = SimTime::from_secs(1000);
+        // Job 1 waited 1000s and ran 10s (ρ huge); job 2 ran 500s of its
+        // 1000s in queue (ρ = 3); job 3 never ran (ρ maximal).
+        let jobs = vec![job(1, 1, 0, 10, 99), job(2, 1, 0, 500, 99), job(3, 1, 900, 0, 99)];
+        let ids = order(PolicyKind::Themis, jobs, now);
+        assert_eq!(ids[0], 3, "never-served job is most starved");
+        assert_eq!(ids[1], 1);
+        assert_eq!(ids[2], 2);
+    }
+
+    #[test]
+    fn muri_variants_match_their_base_policies() {
+        let jobs = vec![job(1, 8, 0, 5, 10), job(2, 1, 0, 40, 30), job(3, 2, 0, 7, 20)];
+        let now = SimTime::ZERO;
+        assert_eq!(
+            order(PolicyKind::MuriS, jobs.clone(), now),
+            order(PolicyKind::Srsf, jobs.clone(), now)
+        );
+        assert_eq!(
+            order(PolicyKind::MuriL, jobs.clone(), now),
+            order(PolicyKind::TwoDLas, jobs, now)
+        );
+    }
+
+    #[test]
+    fn gittins_prefers_fresh_jobs_on_heavy_tails() {
+        // Under the heavy-tailed prior, a job that has consumed a lot of
+        // service is likely a monster: fresher jobs rank first.
+        let jobs = vec![job(1, 1, 0, 20_000, 0), job(2, 1, 0, 60, 0), job(3, 1, 0, 2_000, 0)];
+        assert_eq!(order(PolicyKind::Gittins, jobs, SimTime::ZERO), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn descriptors_match_paper() {
+        assert!(PolicyKind::MuriS.duration_aware());
+        assert!(!PolicyKind::MuriL.duration_aware());
+        assert!(!PolicyKind::AntMan.preemptive());
+        assert!(PolicyKind::Tiresias.preemptive());
+        assert!(PolicyKind::MuriL.interleaves());
+        assert!(!PolicyKind::Srsf.interleaves());
+        assert!(PolicyKind::AntMan.gpu_shares());
+        assert!(!PolicyKind::MuriS.gpu_shares());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let a = vec![job(2, 1, 0, 0, 10), job(1, 1, 0, 0, 10)];
+        let b = vec![job(1, 1, 0, 0, 10), job(2, 1, 0, 0, 10)];
+        assert_eq!(
+            order(PolicyKind::Srtf, a, SimTime::ZERO),
+            order(PolicyKind::Srtf, b, SimTime::ZERO)
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the scheduling policies: every policy must induce a
+//! deterministic total order, respect its defining monotonicity, and
+//! never read information it is not entitled to (duration-unaware
+//! policies must be invariant to `remaining`).
+
+use muri_core::{PendingJob, PolicyKind};
+use muri_workload::{JobId, ModelKind, SimDuration, SimTime};
+use proptest::prelude::*;
+
+const ALL_POLICIES: [PolicyKind; 12] = [
+    PolicyKind::Fifo,
+    PolicyKind::Sjf,
+    PolicyKind::Srtf,
+    PolicyKind::Srsf,
+    PolicyKind::Las,
+    PolicyKind::TwoDLas,
+    PolicyKind::Tiresias,
+    PolicyKind::Gittins,
+    PolicyKind::Themis,
+    PolicyKind::AntMan,
+    PolicyKind::MuriS,
+    PolicyKind::MuriL,
+];
+
+fn arb_job() -> impl Strategy<Value = PendingJob> {
+    (
+        0u32..1000,
+        0u32..=5,
+        0u64..100_000,
+        0u64..50_000,
+        1u64..100_000,
+        0usize..8,
+    )
+        .prop_map(|(id, gpus_exp, submit, attained, remaining, model)| PendingJob {
+            id: JobId(id),
+            num_gpus: 1 << gpus_exp,
+            profile: ModelKind::ALL[model].profile(16),
+            submit_time: SimTime::from_secs(submit),
+            attained: SimDuration::from_secs(attained),
+            remaining: SimDuration::from_secs(remaining),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn priorities_are_a_deterministic_total_order(
+        jobs in proptest::collection::vec(arb_job(), 2..20),
+        now_secs in 100_000u64..200_000,
+    ) {
+        let now = SimTime::from_secs(now_secs);
+        for policy in ALL_POLICIES {
+            // Sorting twice (and from reversed input) gives the same order
+            // as long as ids are distinct.
+            let mut a = jobs.clone();
+            let mut b: Vec<PendingJob> = jobs.iter().rev().copied().collect();
+            policy.sort(&mut a, now);
+            policy.sort(&mut b, now);
+            let ids = |v: &[PendingJob]| v.iter().map(|j| (j.id, j.submit_time)).collect::<Vec<_>>();
+            // Identical (id, submit) pairs may tie; compare the full key.
+            let keys_a: Vec<_> = a.iter().map(|j| policy.priority(j, now)).collect();
+            let keys_b: Vec<_> = b.iter().map(|j| policy.priority(j, now)).collect();
+            prop_assert_eq!(&keys_a, &keys_b, "{:?} not deterministic", policy);
+            prop_assert!(keys_a.windows(2).all(|w| w[0] <= w[1]), "{:?} not sorted", policy);
+            let _ = ids;
+        }
+    }
+
+    #[test]
+    fn duration_unaware_policies_ignore_remaining(job in arb_job(), extra in 1u64..100_000) {
+        let now = SimTime::from_secs(500_000);
+        let mut clone = job;
+        clone.remaining = job.remaining + SimDuration::from_secs(extra);
+        for policy in ALL_POLICIES {
+            if policy.duration_aware() || policy == PolicyKind::Sjf {
+                continue;
+            }
+            prop_assert_eq!(
+                policy.priority(&job, now),
+                policy.priority(&clone, now),
+                "{:?} peeked at the remaining duration", policy
+            );
+        }
+    }
+
+    #[test]
+    fn srtf_is_monotone_in_remaining(job in arb_job(), extra in 1u64..100_000) {
+        let now = SimTime::ZERO;
+        let mut longer = job;
+        longer.remaining = job.remaining + SimDuration::from_secs(extra);
+        prop_assert!(
+            PolicyKind::Srtf.priority(&job, now) < PolicyKind::Srtf.priority(&longer, now)
+                || job.remaining == longer.remaining
+        );
+    }
+
+    #[test]
+    fn las_is_monotone_in_attained(job in arb_job(), extra in 1u64..100_000) {
+        let now = SimTime::ZERO;
+        let mut older = job;
+        older.attained = job.attained + SimDuration::from_secs(extra);
+        prop_assert!(
+            PolicyKind::Las.priority(&job, now) < PolicyKind::Las.priority(&older, now)
+        );
+    }
+
+    #[test]
+    fn muri_priorities_equal_their_base_policies(
+        jobs in proptest::collection::vec(arb_job(), 1..20),
+        now_secs in 0u64..1_000_000,
+    ) {
+        let now = SimTime::from_secs(now_secs);
+        for j in &jobs {
+            prop_assert_eq!(
+                PolicyKind::MuriS.priority(j, now),
+                PolicyKind::Srsf.priority(j, now)
+            );
+            prop_assert_eq!(
+                PolicyKind::MuriL.priority(j, now),
+                PolicyKind::TwoDLas.priority(j, now)
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! # muri-experiments
+//!
+//! The experiment harness reproducing every table and figure of the Muri
+//! paper's evaluation (§6). Each experiment returns an
+//! [`ExperimentReport`] with tables matching the paper's rows/series plus
+//! notes recording what the paper reports.
+//!
+//! | Id | Paper artifact |
+//! |----|----------------|
+//! | `table1` | stage duration percentages per model |
+//! | `table2` | separate vs interleaved throughput |
+//! | `table4` | testbed, durations known |
+//! | `table5` | testbed, durations unknown |
+//! | `fig1`   | illustrative interleaving gains |
+//! | `fig8`   | queue length / blocking index / utilization series |
+//! | `fig9`   | simulations, durations known (traces 1–4, 1'–4') |
+//! | `fig10`  | simulations, durations unknown |
+//! | `fig11`  | ordering + Blossom ablation |
+//! | `fig12`  | group-size cap vs AntMan |
+//! | `fig13`  | bottleneck-class diversity sweep |
+//! | `fig14`  | profiling-noise sweep |
+//! | `scalability` | §5 grouping-plan timing |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod extensions;
+pub mod motivation;
+pub mod report;
+pub mod scalability;
+pub mod setup;
+pub mod simulation;
+pub mod table;
+pub mod testbed;
+
+pub use report::ExperimentReport;
+pub use setup::Scale;
+pub use table::Table;
+
+/// All experiment ids, in presentation order.
+pub const ALL_EXPERIMENTS: [&str; 16] = [
+    "table1",
+    "table2",
+    "fig1",
+    "table4",
+    "table5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "scalability",
+    "ext-capacity",
+    "ext-matching",
+    "ext-replication",
+];
+
+/// Run one experiment by id. Returns `None` for an unknown id.
+pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentReport> {
+    Some(match id {
+        "table1" => motivation::table1(),
+        "table2" => motivation::table2(),
+        "fig1" | "fig2" => motivation::fig1_fig2(),
+        "table4" => testbed::table4(scale),
+        "table5" => testbed::table5(scale),
+        "fig8" => testbed::fig8(scale),
+        "fig9" => simulation::fig9(scale),
+        "fig10" => simulation::fig10(scale),
+        "fig11" => ablation::fig11(scale),
+        "fig12" => ablation::fig12(scale),
+        "fig13" => ablation::fig13(scale),
+        "fig14" => ablation::fig14(scale),
+        "scalability" => scalability::scalability(),
+        "ext-capacity" => extensions::ext_capacity(scale),
+        "ext-matching" => extensions::ext_matching(scale),
+        "ext-replication" => extensions::ext_replication(scale),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_experiment_resolves() {
+        for id in ALL_EXPERIMENTS {
+            // Don't run the heavy ones here — just check dispatch for the
+            // cheap, trace-free experiments.
+            if matches!(id, "table1" | "table2" | "fig1") {
+                assert!(run_experiment(id, Scale(0.01)).is_some(), "{id}");
+            }
+        }
+        assert!(run_experiment("nonsense", Scale(1.0)).is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! Experiment reports: tables + notes, renderable and serializable.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// The output of one experiment (one paper table or figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. "table4", "fig9").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Result tables (figures are emitted as data tables).
+    pub tables: Vec<Table>,
+    /// Free-form notes: paper expectations, substitutions, caveats.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Create an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_tables_and_notes() {
+        let mut r = ExperimentReport::new("table4", "Testbed");
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["1".into()]);
+        r.push_table(t);
+        r.note("paper expects 2.12x");
+        let s = r.render();
+        assert!(s.contains("### table4"));
+        assert!(s.contains("note: paper expects 2.12x"));
+        assert!(s.contains("== x =="));
+    }
+}

@@ -1,0 +1,135 @@
+//! Trace-driven simulations (§6.3): Figs. 9 and 10 over traces 1–4 and
+//! their all-at-time-zero variants 1'–4'.
+
+use crate::report::ExperimentReport;
+use crate::setup::{run, simulation_trace, simulation_trace_t0, Scale};
+use crate::table::{f2, Table};
+use muri_core::PolicyKind;
+use muri_sim::SimReport;
+use muri_workload::stats::ratio;
+use muri_workload::Trace;
+
+/// All eight evaluation traces: 1–4 then 1'–4'.
+fn all_traces(scale: Scale) -> Vec<(String, Trace)> {
+    let mut out = Vec::new();
+    for i in 1..=4 {
+        out.push((format!("{i}"), simulation_trace(i, scale)));
+    }
+    for i in 1..=4 {
+        out.push((format!("{i}'"), simulation_trace_t0(i, scale)));
+    }
+    out
+}
+
+/// Run a policy set over all traces and produce the three normalized
+/// metric tables of Fig. 9 / Fig. 10 (normalized so Muri = 1).
+fn figure(
+    id: &str,
+    title: &str,
+    policies: &[PolicyKind],
+    muri: PolicyKind,
+    scale: Scale,
+) -> ExperimentReport {
+    let mut report = ExperimentReport::new(id, title);
+    let traces = all_traces(scale);
+    let mut results: Vec<(String, Vec<(PolicyKind, SimReport)>)> = Vec::new();
+    for (name, trace) in &traces {
+        let runs: Vec<(PolicyKind, SimReport)> =
+            policies.iter().map(|&p| (p, run(trace, p))).collect();
+        results.push((name.clone(), runs));
+    }
+    let metrics: [(&str, fn(&SimReport) -> f64); 3] = [
+        ("Normalized average JCT", SimReport::avg_jct_secs),
+        ("Normalized makespan", SimReport::makespan_secs),
+        ("Normalized 99th %-ile JCT", SimReport::p99_jct_secs),
+    ];
+    for (metric_name, f) in metrics {
+        let mut t = Table::new(
+            format!("{id} — {metric_name} (normalized to {})", muri.name()),
+            &std::iter::once("Trace")
+                .chain(policies.iter().map(|p| p.name()))
+                .collect::<Vec<_>>(),
+        );
+        for (name, runs) in &results {
+            let base = f(&runs
+                .iter()
+                .find(|(p, _)| *p == muri)
+                .expect("muri run")
+                .1);
+            let mut row = vec![name.clone()];
+            for (_, r) in runs {
+                row.push(f2(ratio(f(r), base)));
+            }
+            t.push_row(row);
+        }
+        report.push_table(t);
+    }
+    report
+}
+
+/// Fig. 9: durations known — SRTF, SRSF vs Muri-S over traces 1–4, 1'–4'.
+pub fn fig9(scale: Scale) -> ExperimentReport {
+    let mut r = figure(
+        "fig9",
+        "Simulations, durations known (traces 1-4 and 1'-4')",
+        &[PolicyKind::Srtf, PolicyKind::Srsf, PolicyKind::MuriS],
+        PolicyKind::MuriS,
+        scale,
+    );
+    r.note(
+        "Paper: Muri-S speeds up average JCT 1.13-2.26x, makespan 1-1.65x, \
+         tail JCT 1.36-4.57x; gains are largest on the loaded traces and \
+         absent in makespan on lightly-loaded trace 3.",
+    );
+    r
+}
+
+/// Fig. 10: durations unknown — Tiresias, AntMan, Themis vs Muri-L.
+pub fn fig10(scale: Scale) -> ExperimentReport {
+    let mut r = figure(
+        "fig10",
+        "Simulations, durations unknown (traces 1-4 and 1'-4')",
+        &[
+            PolicyKind::Tiresias,
+            PolicyKind::AntMan,
+            PolicyKind::Themis,
+            PolicyKind::MuriL,
+        ],
+        PolicyKind::MuriL,
+        scale,
+    );
+    r.note(
+        "Paper: Muri-L speeds up average JCT 1.53-6.15x, makespan 1-1.55x, \
+         tail JCT 1.21-5.37x; AntMan's makespan is competitive (GPU \
+         sharing) but its FIFO order hurts average JCT.",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: Scale = Scale(0.01);
+
+    #[test]
+    fn fig9_has_eight_traces_and_three_metrics() {
+        let r = fig9(TINY);
+        assert_eq!(r.tables.len(), 3);
+        for t in &r.tables {
+            assert_eq!(t.rows.len(), 8);
+            assert_eq!(t.headers.len(), 4);
+        }
+    }
+
+    #[test]
+    fn fig10_muri_l_column_is_unity() {
+        let r = fig10(TINY);
+        for t in &r.tables {
+            for row in &t.rows {
+                let muri: f64 = row[4].parse().unwrap();
+                assert!((muri - 1.0).abs() < 1e-9, "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Smoke tests: every registered experiment id must run at a tiny scale,
+//! produce non-empty tables, and render without panicking. (The heavy
+//! trace sweeps are exercised at tiny scale; full scale is the CLI's
+//! job.)
+
+use muri_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+const TINY: Scale = Scale(0.008);
+
+/// The cheap experiments run in every test build.
+#[test]
+fn cheap_experiments_produce_tables() {
+    for id in ["table1", "table2", "fig1", "scalability"] {
+        let report = run_experiment(id, TINY).expect("known id");
+        assert_eq!(report.id, id);
+        assert!(!report.tables.is_empty(), "{id}: no tables");
+        for t in &report.tables {
+            assert!(!t.rows.is_empty(), "{id}: empty table {}", t.title);
+            let rendered = t.render();
+            assert!(rendered.contains(&t.title), "{id}");
+        }
+        assert!(!report.render().is_empty());
+    }
+}
+
+#[test]
+fn testbed_experiments_produce_tables() {
+    for id in ["table4", "table5", "fig8"] {
+        let report = run_experiment(id, TINY).expect("known id");
+        assert!(!report.tables.is_empty(), "{id}");
+        assert!(!report.notes.is_empty(), "{id}: notes record paper expectations");
+    }
+}
+
+#[test]
+fn sweep_experiments_produce_tables() {
+    for id in ["fig11", "fig13", "fig14", "ext-capacity", "ext-matching"] {
+        let report = run_experiment(id, TINY).expect("known id");
+        assert!(!report.tables.is_empty(), "{id}");
+        for t in &report.tables {
+            assert!(!t.rows.is_empty(), "{id}: empty {}", t.title);
+        }
+    }
+}
+
+#[test]
+fn trace_sweeps_produce_eight_rows() {
+    // fig9/fig10 cover traces 1–4 and 1'–4'.
+    for id in ["fig9", "fig10"] {
+        let report = run_experiment(id, TINY).expect("known id");
+        for t in &report.tables {
+            assert_eq!(t.rows.len(), 8, "{id}: {}", t.title);
+        }
+    }
+}
+
+#[test]
+fn registry_is_complete_and_rejects_unknown_ids() {
+    // Every id in the registry is covered by one of the smoke tests in
+    // this file or by the extensions unit tests; here we only assert the
+    // registry's integrity.
+    assert_eq!(ALL_EXPERIMENTS.len(), 16);
+    let mut sorted = ALL_EXPERIMENTS.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 16, "duplicate experiment ids");
+    assert!(run_experiment("no-such-id", TINY).is_none());
+}
+
+#[test]
+fn fig12_runs_at_tiny_scale() {
+    let report = run_experiment("fig12", Scale(0.004)).expect("known id");
+    assert_eq!(report.tables.len(), 2);
+    assert_eq!(report.tables[0].headers.len(), 5);
+}

@@ -1,0 +1,107 @@
+//! Resource-contention (interference) model.
+//!
+//! Muri inserts barriers so grouped jobs never use one resource
+//! simultaneously, "because the processing speed may be significantly
+//! affected due to interference" (§4.1, citing Bao et al.). Baselines that
+//! *do* co-locate jobs on a resource — GPU-sharing schedulers like AntMan,
+//! or the §2.1 motivating example where two shared jobs run at half
+//! speed — need a model for that interference. This module provides it.
+
+use serde::{Deserialize, Serialize};
+
+/// Interference when `m` jobs use one resource concurrently: each runs at
+/// `m^(−α)` of its solo speed.
+///
+/// * `α = 1` is fair time-slicing with no overhead (the §2.1 example:
+///   two jobs → half speed each).
+/// * `α > 1` models super-linear interference (cache thrash, PCIe
+///   contention).
+/// * `α = 0` is magical perfect sharing (useful as an upper bound in
+///   ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    /// Interference exponent α ≥ 0.
+    pub alpha: f64,
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        InterferenceModel { alpha: 1.0 }
+    }
+}
+
+impl InterferenceModel {
+    /// Fair time-slicing (`α = 1`).
+    pub fn fair() -> Self {
+        InterferenceModel { alpha: 1.0 }
+    }
+
+    /// Perfect sharing (`α = 0`) — no slowdown however many jobs share.
+    pub fn perfect() -> Self {
+        InterferenceModel { alpha: 0.0 }
+    }
+
+    /// Per-job speed fraction when `m` jobs share a resource.
+    pub fn shared_speed(&self, m: usize) -> f64 {
+        debug_assert!(self.alpha >= 0.0);
+        if m <= 1 {
+            1.0
+        } else {
+            (m as f64).powf(-self.alpha)
+        }
+    }
+
+    /// Per-job slowdown factor (≥ 1) when `m` jobs share a resource.
+    pub fn slowdown(&self, m: usize) -> f64 {
+        1.0 / self.shared_speed(m)
+    }
+
+    /// Aggregate throughput of `m` jobs sharing, normalized to one solo
+    /// job: `m × shared_speed(m)`. For `α > 1` sharing destroys
+    /// throughput; for `α = 1` it is neutral; for `α < 1` it gains.
+    pub fn aggregate_throughput(&self, m: usize) -> f64 {
+        m as f64 * self.shared_speed(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_sharing_halves_two_jobs() {
+        let m = InterferenceModel::fair();
+        assert_eq!(m.shared_speed(1), 1.0);
+        assert_eq!(m.shared_speed(2), 0.5);
+        assert_eq!(m.slowdown(2), 2.0);
+        assert!((m.aggregate_throughput(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_sharing_never_slows() {
+        let m = InterferenceModel::perfect();
+        for k in 1..=8 {
+            assert_eq!(m.shared_speed(k), 1.0);
+        }
+        assert_eq!(m.aggregate_throughput(8), 8.0);
+    }
+
+    #[test]
+    fn superlinear_interference_destroys_throughput() {
+        let m = InterferenceModel { alpha: 1.5 };
+        assert!(m.aggregate_throughput(2) < 1.0);
+        assert!(m.shared_speed(2) < 0.5);
+    }
+
+    #[test]
+    fn motivating_example_gpu_sharing_hurts_jct() {
+        // §2.1: two 1-time-unit jobs. FIFO: JCTs are 1 and 2, average 1.5.
+        // GPU sharing with fair contention: both run at half speed, both
+        // finish at 2, average JCT 2 — worse.
+        let m = InterferenceModel::fair();
+        let fifo_avg = (1.0 + 2.0) / 2.0;
+        let shared_jct = 1.0 / m.shared_speed(2);
+        let shared_avg = (shared_jct + shared_jct) / 2.0;
+        assert!(shared_avg > fifo_avg);
+    }
+}

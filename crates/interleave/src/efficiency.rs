@@ -1,0 +1,320 @@
+//! Interleaving efficiency — the paper's Eq. 1–4.
+//!
+//! A group of jobs is interleaved by giving each job a distinct *phase
+//! offset* in a resource cycle: the job with offset `o` executes its stage
+//! on the cycle's `(o + ℓ) mod k`-th resource during phase `ℓ`. Phase `ℓ`
+//! lasts as long as the slowest stage scheduled in it, and the group's
+//! per-iteration time is the sum of the phase lengths:
+//!
+//! ```text
+//! T = Σ_{ℓ}  max_i  t_i^{cycle[(o_i + ℓ) mod k]}           (Eq. 3)
+//! ```
+//!
+//! The interleaving efficiency is one minus the average idle fraction over
+//! the cycle's resources:
+//!
+//! ```text
+//! γ = 1 − (1/k) Σ_j (T − Σ_i t_i^j) / T                    (Eq. 4)
+//! ```
+//!
+//! **The effective cycle.** The paper writes Eq. 3 over all `k` resource
+//! types, but computes its two-resource examples (Fig. 4: γ(A,B) = 1,
+//! γ(A,C) = 0.75; Eq. 1/2) over a two-resource cycle. The two views differ
+//! when jobs have zero-duration stages: a literal 4-cycle inserts dead
+//! phases between a two-resource job's stages and can no longer align job
+//! A's CPU stage with job B's GPU stage. We therefore interleave over the
+//! **effective cycle**: the resources actually used by at least one group
+//! member, in canonical order, padded with unused resources (still in
+//! canonical order) when the group has more members than used resources.
+//! On two-resource profiles this reduces exactly to Eq. 1/2; on
+//! four-stage profiles it is exactly the literal Eq. 3/4. Every cyclic
+//! subsequence of the canonical cycle preserves each job's stage order, so
+//! the schedule remains executable.
+//!
+//! Because offsets are distinct, each resource hosts at most one job per
+//! phase, so `Σ_i t_i^j ≤ T` and `γ ∈ [0, 1]` (property-tested).
+
+use muri_workload::{ResourceKind, SimDuration, StageProfile, NUM_RESOURCES};
+
+/// The effective resource cycle for a group: resources used by at least
+/// one member, in canonical order, padded with unused resources (canonical
+/// order) until the cycle is at least as long as the group. Returns a
+/// single-resource cycle for an all-empty group.
+pub fn effective_cycle(profiles: &[StageProfile]) -> Vec<ResourceKind> {
+    let mut cycle: Vec<ResourceKind> = ResourceKind::ALL
+        .into_iter()
+        .filter(|&r| profiles.iter().any(|p| !p.duration(r).is_zero()))
+        .collect();
+    if cycle.len() < profiles.len() {
+        for r in ResourceKind::ALL {
+            if cycle.len() >= profiles.len() {
+                break;
+            }
+            if !cycle.contains(&r) {
+                cycle.push(r);
+            }
+        }
+        cycle.sort_by_key(|r| r.index());
+    }
+    if cycle.is_empty() {
+        cycle.push(ResourceKind::Storage);
+    }
+    cycle
+}
+
+/// Per-iteration time of a group under a phase-offset assignment over its
+/// effective cycle (Eq. 3). `offsets[i]` is job `i`'s offset; offsets must
+/// be distinct modulo the cycle length and `profiles.len()` must not
+/// exceed it.
+pub fn group_iteration_time(profiles: &[StageProfile], offsets: &[usize]) -> SimDuration {
+    let cycle = effective_cycle(profiles);
+    group_iteration_time_on_cycle(profiles, offsets, &cycle)
+}
+
+/// Eq. 3 over an explicit cycle (exposed for the ordering enumerator and
+/// the timeline's stagger computation, which must agree on the cycle).
+pub fn group_iteration_time_on_cycle(
+    profiles: &[StageProfile],
+    offsets: &[usize],
+    cycle: &[ResourceKind],
+) -> SimDuration {
+    check_assignment(profiles.len(), offsets, cycle.len());
+    let k = cycle.len();
+    let mut total = SimDuration::ZERO;
+    for phase in 0..k {
+        let mut longest = SimDuration::ZERO;
+        for (p, &o) in profiles.iter().zip(offsets) {
+            let r = cycle[(o + phase) % k];
+            longest = longest.max(p.duration(r));
+        }
+        total += longest;
+    }
+    total
+}
+
+/// Interleaving efficiency of a group under a phase assignment (Eq. 4),
+/// averaged over the effective cycle's resources. Returns 0 for a group
+/// whose iteration time is zero.
+pub fn group_efficiency(profiles: &[StageProfile], offsets: &[usize]) -> f64 {
+    let cycle = effective_cycle(profiles);
+    let t = group_iteration_time_on_cycle(profiles, offsets, &cycle).as_secs_f64();
+    if t == 0.0 {
+        return 0.0;
+    }
+    let mut idle_sum = 0.0;
+    for &r in &cycle {
+        let busy: f64 = profiles.iter().map(|p| p.duration(r).as_secs_f64()).sum();
+        idle_sum += (t - busy) / t;
+    }
+    1.0 - idle_sum / cycle.len() as f64
+}
+
+/// The paper's two-resource pair formula (Eq. 1):
+/// `T = max(t₀⁰, t₁¹) + max(t₀¹, t₁⁰)`. Equals [`group_iteration_time`]
+/// under the best ordering for profiles using exactly those two resources.
+pub fn pair_iteration_time_two_resources(
+    t0: (SimDuration, SimDuration),
+    t1: (SimDuration, SimDuration),
+) -> SimDuration {
+    t0.0.max(t1.1) + t0.1.max(t1.0)
+}
+
+/// The two-resource pair efficiency (Eq. 2).
+pub fn pair_efficiency_two_resources(
+    t0: (SimDuration, SimDuration),
+    t1: (SimDuration, SimDuration),
+) -> f64 {
+    let t = pair_iteration_time_two_resources(t0, t1).as_secs_f64();
+    if t == 0.0 {
+        return 0.0;
+    }
+    let idle0 = (t - t0.0.as_secs_f64() - t1.0.as_secs_f64()) / t;
+    let idle1 = (t - t0.1.as_secs_f64() - t1.1.as_secs_f64()) / t;
+    1.0 - (idle0 + idle1) / 2.0
+}
+
+fn check_assignment(p: usize, offsets: &[usize], k: usize) {
+    debug_assert_eq!(p, offsets.len(), "one offset per job");
+    debug_assert!(p <= k.max(1) || p == 0, "at most k jobs per group (got {p} jobs for k={k})");
+    debug_assert!(
+        offsets
+            .iter()
+            .all(|&o| offsets.iter().filter(|&&x| x % k.max(1) == o % k.max(1)).count() == 1),
+        "offsets must be distinct mod {k}: {offsets:?}"
+    );
+    debug_assert!(
+        p <= NUM_RESOURCES,
+        "groups larger than {NUM_RESOURCES} are not supported"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    /// Profile with only CPU and GPU stages, as in the paper's Fig. 4
+    /// (two resource types).
+    fn cpu_gpu(cpu: u64, gpu: u64) -> StageProfile {
+        StageProfile::new(SimDuration::ZERO, secs(cpu), secs(gpu), SimDuration::ZERO)
+    }
+
+    #[test]
+    fn effective_cycle_tracks_used_resources() {
+        let two = cpu_gpu(1, 1);
+        assert_eq!(
+            effective_cycle(&[two, two]),
+            vec![ResourceKind::Cpu, ResourceKind::Gpu]
+        );
+        let four = StageProfile::new(secs(1), secs(1), secs(1), secs(1));
+        assert_eq!(effective_cycle(&[four]).len(), 4);
+        // Mixed: union of used resources.
+        let io_only = StageProfile::new(secs(1), SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(
+            effective_cycle(&[two, io_only]),
+            vec![ResourceKind::Storage, ResourceKind::Cpu, ResourceKind::Gpu]
+        );
+        // Empty group gets a degenerate 1-cycle.
+        assert_eq!(effective_cycle(&[]).len(), 1);
+    }
+
+    #[test]
+    fn effective_cycle_pads_for_oversize_groups() {
+        // Three jobs that all use only CPU+GPU: pad the cycle to length 3
+        // with the first unused canonical resource (storage).
+        let p = cpu_gpu(1, 1);
+        let cycle = effective_cycle(&[p, p, p]);
+        assert_eq!(
+            cycle,
+            vec![ResourceKind::Storage, ResourceKind::Cpu, ResourceKind::Gpu]
+        );
+    }
+
+    #[test]
+    fn figure4_grouping_a_b_is_perfect() {
+        // Job A: 2 CPU + 1 GPU; job B: 1 CPU + 2 GPU. The effective cycle
+        // is (cpu, gpu); offset assignment (0, 1) aligns A's CPU with B's
+        // GPU: T = max(2,2) + max(1,1) = 3, γ = 1 — the paper's numbers.
+        let a = cpu_gpu(2, 1);
+        let b = cpu_gpu(1, 2);
+        let t = group_iteration_time(&[a, b], &[0, 1]);
+        assert_eq!(t, secs(3));
+        let gamma = group_efficiency(&[a, b], &[0, 1]);
+        assert!((gamma - 1.0).abs() < 1e-12, "paper: γ(A,B) = 1, got {gamma}");
+    }
+
+    #[test]
+    fn figure4_grouping_a_c_is_imperfect() {
+        // Both A and C: 2 CPU + 1 GPU. T = 4, γ = 0.75 (paper).
+        let a = cpu_gpu(2, 1);
+        let c = cpu_gpu(2, 1);
+        let t = group_iteration_time(&[a, c], &[0, 1]);
+        assert_eq!(t, secs(4));
+        let gamma = group_efficiency(&[a, c], &[0, 1]);
+        assert!((gamma - 0.75).abs() < 1e-12, "paper: γ(A,C) = 0.75, got {gamma}");
+    }
+
+    #[test]
+    fn eq1_equals_general_formula_on_two_resource_profiles() {
+        for (a_cpu, a_gpu, b_cpu, b_gpu) in
+            [(2u64, 1u64, 1u64, 2u64), (3, 3, 1, 5), (7, 2, 2, 7), (1, 1, 1, 1)]
+        {
+            let a = cpu_gpu(a_cpu, a_gpu);
+            let b = cpu_gpu(b_cpu, b_gpu);
+            let general = group_iteration_time(&[a, b], &[0, 1]);
+            let eq1 = pair_iteration_time_two_resources(
+                (secs(a_cpu), secs(a_gpu)),
+                (secs(b_cpu), secs(b_gpu)),
+            );
+            assert_eq!(general, eq1, "profiles ({a_cpu},{a_gpu}) ({b_cpu},{b_gpu})");
+            let g_eff = group_efficiency(&[a, b], &[0, 1]);
+            let eq2 = pair_efficiency_two_resources(
+                (secs(a_cpu), secs(a_gpu)),
+                (secs(b_cpu), secs(b_gpu)),
+            );
+            assert!((g_eff - eq2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure6_orderings_differ() {
+        // Fig. 6: job A spends 2 units on CPU and 1 on the rest; job B
+        // spends 2 on GPU and 1 on the rest. All four resources are used,
+        // so the cycle is the full canonical cycle and Eq. 3 applies
+        // literally. Best ordering T = 5; a worse ordering T = 6.
+        let a = StageProfile::new(secs(1), secs(2), secs(1), secs(1));
+        let b = StageProfile::new(secs(1), secs(1), secs(2), secs(1));
+        let best = group_iteration_time(&[a, b], &[1, 2]);
+        assert_eq!(best, secs(5));
+        let worse = group_iteration_time(&[a, b], &[1, 0]);
+        assert!(worse > best, "bad ordering {worse} must exceed best {best}");
+        assert!(group_efficiency(&[a, b], &[1, 2]) > group_efficiency(&[a, b], &[1, 0]));
+    }
+
+    #[test]
+    fn singleton_group_time_is_serial_iteration() {
+        let p = StageProfile::new(secs(1), secs(2), secs(3), secs(4));
+        assert_eq!(group_iteration_time(&[p], &[0]), p.iteration_time());
+        // Each resource idle (10 - t_j)/10; avg idle = (9+8+7+6)/40 = 0.75.
+        let gamma = group_efficiency(&[p], &[0]);
+        assert!((gamma - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_time_invariant_under_offset_rotation() {
+        let a = StageProfile::new(secs(3), secs(1), secs(4), secs(1));
+        let b = StageProfile::new(secs(5), secs(9), secs(2), secs(6));
+        let c = StageProfile::new(secs(2), secs(2), secs(2), secs(2));
+        let t0 = group_iteration_time(&[a, b, c], &[0, 1, 2]);
+        let t1 = group_iteration_time(&[a, b, c], &[1, 2, 3]);
+        let t2 = group_iteration_time(&[a, b, c], &[2, 3, 0]);
+        assert_eq!(t0, t1);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn four_complementary_jobs_reach_full_efficiency() {
+        // Figure 1's ideal: four jobs with uniform 1s stages on all four
+        // resources; with distinct offsets every phase keeps every
+        // resource busy — γ = 1.
+        let p = StageProfile::new(secs(1), secs(1), secs(1), secs(1));
+        let profiles = vec![p; 4];
+        let t = group_iteration_time(&profiles, &[0, 1, 2, 3]);
+        assert_eq!(t, secs(4));
+        let gamma = group_efficiency(&profiles, &[0, 1, 2, 3]);
+        assert!((gamma - 1.0).abs() < 1e-12, "γ = {gamma}");
+    }
+
+    #[test]
+    fn empty_group_is_degenerate() {
+        assert_eq!(group_iteration_time(&[], &[]), SimDuration::ZERO);
+        assert_eq!(group_efficiency(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn busy_time_never_exceeds_iteration_time() {
+        // The invariant behind γ ∈ [0,1]: distinct offsets mean each
+        // resource hosts at most one stage per phase.
+        let a = StageProfile::new(secs(3), secs(1), secs(4), secs(2));
+        let b = StageProfile::new(secs(1), secs(5), secs(1), secs(1));
+        let c = StageProfile::new(secs(2), secs(2), secs(2), secs(6));
+        let t = group_iteration_time(&[a, b, c], &[0, 1, 2]);
+        for r in ResourceKind::ALL {
+            let busy = a.duration(r) + b.duration(r) + c.duration(r);
+            assert!(busy <= t, "{r}: busy {busy} > T {t}");
+        }
+        let gamma = group_efficiency(&[a, b, c], &[0, 1, 2]);
+        assert!((0.0..=1.0).contains(&gamma));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    #[cfg(debug_assertions)]
+    fn duplicate_offsets_rejected() {
+        let p = StageProfile::from_secs_f64(1.0, 1.0, 1.0, 1.0);
+        let _ = group_iteration_time(&[p, p], &[1, 1]);
+    }
+}

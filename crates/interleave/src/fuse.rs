@@ -1,0 +1,187 @@
+//! Job fusion (§4.1's road not taken).
+//!
+//! The paper observes that *fusing* jobs — concatenating the same stages
+//! of multiple jobs into one virtual job — can unlock groupings plain
+//! pairing cannot reach: fusing Fig. 4's A and C (each 2 CPU + 1 GPU)
+//! yields a virtual job E with 4 CPU + 2 GPU, and E interleaves perfectly
+//! (γ = 1) with a job F of 4 GPU + 2 CPU, "which is unreachable without
+//! concatenating job A and job C". Muri rejects fusion because it blows
+//! up the search space exponentially and complicates synchronization.
+//!
+//! This module implements fusion anyway — as an analysis tool: it lets
+//! the repo *demonstrate* both the extra efficiency fusion can reach and
+//! the combinatorial cost the paper cites for avoiding it.
+
+use crate::efficiency::group_efficiency;
+use crate::ordering::{choose_ordering, OrderingPolicy};
+use muri_workload::{JobId, StageProfile};
+use serde::{Deserialize, Serialize};
+
+/// A virtual job formed by concatenating the stages of member jobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusedJob {
+    /// The member jobs, in concatenation order.
+    pub members: Vec<JobId>,
+    /// The fused per-iteration profile: per resource, the sum of the
+    /// members' stage durations (one fused iteration = one iteration of
+    /// every member).
+    pub profile: StageProfile,
+}
+
+impl FusedJob {
+    /// Fuse a set of jobs. Panics on an empty set.
+    pub fn fuse(jobs: &[(JobId, StageProfile)]) -> FusedJob {
+        assert!(!jobs.is_empty(), "cannot fuse zero jobs");
+        let mut profile = jobs[0].1;
+        for (_, p) in &jobs[1..] {
+            profile = profile.concat(p);
+        }
+        FusedJob {
+            members: jobs.iter().map(|(id, _)| *id).collect(),
+            profile,
+        }
+    }
+
+    /// Number of member jobs.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the fusion is a single job.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The best interleaving efficiency achievable by splitting `jobs` into
+/// two fused sides and interleaving the sides against each other,
+/// together with the chosen split (as a bitmask over `jobs`). This is
+/// the exhaustive search the paper declines to run: all `2^(n−1) − 1`
+/// bipartitions are evaluated.
+pub fn best_fused_bipartition(jobs: &[(JobId, StageProfile)]) -> Option<(u32, f64)> {
+    let n = jobs.len();
+    if !(2..=16).contains(&n) {
+        return None;
+    }
+    let mut best: Option<(u32, f64)> = None;
+    // Enumerate bipartitions with job 0 pinned to side A (halves the
+    // space; swapping sides changes nothing).
+    for mask in 0..(1u32 << (n - 1)) {
+        let mask = mask << 1; // job 0 always on side A (bit 0 clear)
+        let side_a: Vec<(JobId, StageProfile)> = (0..n)
+            .filter(|&i| mask & (1 << i) == 0)
+            .map(|i| jobs[i])
+            .collect();
+        let side_b: Vec<(JobId, StageProfile)> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| jobs[i])
+            .collect();
+        if side_b.is_empty() {
+            continue;
+        }
+        let fused = [
+            FusedJob::fuse(&side_a).profile,
+            FusedJob::fuse(&side_b).profile,
+        ];
+        let ordering = choose_ordering(&fused, OrderingPolicy::Best);
+        let gamma = group_efficiency(&fused, &ordering.offsets);
+        if best.map_or(true, |(_, g)| gamma > g) {
+            best = Some((mask, gamma));
+        }
+    }
+    best
+}
+
+/// Number of candidate plans a fusion-aware grouper must consider for
+/// `n` jobs (set partitions — the Bell number), versus the `O(n²)` pair
+/// edges Muri's matching considers. Saturates at `u128::MAX`.
+pub fn fusion_search_space(n: usize) -> u128 {
+    // Bell numbers via the Bell triangle.
+    let mut row = vec![1u128];
+    for _ in 1..n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("non-empty row"));
+        for &x in &row {
+            let prev = *next.last().expect("non-empty");
+            next.push(prev.saturating_add(x));
+        }
+        row = next;
+    }
+    *row.last().unwrap_or(&1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::pair_efficiency;
+    use muri_workload::SimDuration;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn cpu_gpu(cpu: u64, gpu: u64) -> StageProfile {
+        StageProfile::new(SimDuration::ZERO, secs(cpu), secs(gpu), SimDuration::ZERO)
+    }
+
+    #[test]
+    fn fusing_concatenates_stages() {
+        // The paper's example: fuse A and C (2 CPU + 1 GPU each) → E with
+        // 4 CPU + 2 GPU.
+        let a = (JobId(0), cpu_gpu(2, 1));
+        let c = (JobId(1), cpu_gpu(2, 1));
+        let e = FusedJob::fuse(&[a, c]);
+        assert_eq!(e.profile, cpu_gpu(4, 2));
+        assert_eq!(e.members, vec![JobId(0), JobId(1)]);
+    }
+
+    #[test]
+    fn paper_fusion_example_reaches_unit_efficiency() {
+        // E (4 CPU + 2 GPU) against F (2 CPU + 4 GPU): γ = 1, unreachable
+        // by pairing A, C, F directly.
+        let e = FusedJob::fuse(&[(JobId(0), cpu_gpu(2, 1)), (JobId(1), cpu_gpu(2, 1))]);
+        let f = cpu_gpu(2, 4);
+        let gamma_fused = pair_efficiency(&e.profile, &f, OrderingPolicy::Best);
+        assert!((gamma_fused - 1.0).abs() < 1e-9, "γ(E,F) = {gamma_fused}");
+        // Direct pairing of A with F is strictly worse.
+        let gamma_direct = pair_efficiency(&cpu_gpu(2, 1), &f, OrderingPolicy::Best);
+        assert!(gamma_direct < 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn best_bipartition_finds_the_paper_split() {
+        let jobs = [
+            (JobId(0), cpu_gpu(2, 1)), // A
+            (JobId(1), cpu_gpu(2, 1)), // C
+            (JobId(2), cpu_gpu(2, 4)), // F (gpu-heavy, twice the size)
+        ];
+        let (mask, gamma) = best_fused_bipartition(&jobs).expect("found");
+        // Optimal: {A, C} vs {F} — F alone on side B (bit 2 set).
+        assert_eq!(mask, 0b100, "split {mask:b}");
+        assert!((gamma - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bipartition_rejects_degenerate_inputs() {
+        assert!(best_fused_bipartition(&[]).is_none());
+        assert!(best_fused_bipartition(&[(JobId(0), cpu_gpu(1, 1))]).is_none());
+    }
+
+    #[test]
+    fn fusion_search_space_explodes() {
+        // Bell numbers: the reason §4.1 avoids fusing.
+        assert_eq!(fusion_search_space(1), 1);
+        assert_eq!(fusion_search_space(3), 5);
+        assert_eq!(fusion_search_space(5), 52);
+        assert_eq!(fusion_search_space(10), 115_975);
+        assert!(fusion_search_space(20) > 51_000_000_000_000u128);
+        // Versus Muri's n² pair graph: at n = 20 that is 190 edges.
+        assert!(fusion_search_space(20) > 190 * 1_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero jobs")]
+    fn fusing_nothing_panics() {
+        let _ = FusedJob::fuse(&[]);
+    }
+}

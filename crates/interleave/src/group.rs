@@ -1,0 +1,260 @@
+//! Interleave groups: a set of jobs sharing one set of resources in time.
+
+use crate::efficiency::group_efficiency;
+use crate::ordering::{choose_ordering, ChosenOrdering, OrderingPolicy};
+use muri_workload::{JobId, ResourceKind, SimDuration, StageProfile};
+use serde::{Deserialize, Serialize};
+
+/// One job inside a group: its id and the stage profile the scheduler
+/// measured for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupMember {
+    /// Job id.
+    pub job: JobId,
+    /// Measured per-iteration stage profile.
+    pub profile: StageProfile,
+}
+
+/// A formed interleave group: members, the chosen stage ordering, and the
+/// derived group iteration time and efficiency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterleaveGroup {
+    /// Group members in offset order.
+    pub members: Vec<GroupMember>,
+    /// The chosen phase-offset assignment and group iteration time.
+    pub ordering: ChosenOrdering,
+    /// Interleaving efficiency γ (Eq. 4) under the chosen ordering.
+    pub efficiency: f64,
+}
+
+impl InterleaveGroup {
+    /// Form a group from members under an ordering policy. Panics if the
+    /// group exceeds `k` members.
+    ///
+    /// ```
+    /// use muri_interleave::{GroupMember, InterleaveGroup, OrderingPolicy};
+    /// use muri_workload::{JobId, StageProfile};
+    ///
+    /// // Fig. 4's complementary pair: CPU-heavy A with GPU-heavy B.
+    /// let a = StageProfile::from_secs_f64(0.0, 2.0, 1.0, 0.0);
+    /// let b = StageProfile::from_secs_f64(0.0, 1.0, 2.0, 0.0);
+    /// let group = InterleaveGroup::form(
+    ///     vec![
+    ///         GroupMember { job: JobId(0), profile: a },
+    ///         GroupMember { job: JobId(1), profile: b },
+    ///     ],
+    ///     OrderingPolicy::Best,
+    /// );
+    /// // Perfect overlap: γ = 1, both jobs keep their solo speed.
+    /// assert!((group.efficiency - 1.0).abs() < 1e-9);
+    /// assert!((group.total_normalized_throughput() - 2.0).abs() < 1e-9);
+    /// ```
+    pub fn form(members: Vec<GroupMember>, policy: OrderingPolicy) -> Self {
+        let profiles: Vec<StageProfile> = members.iter().map(|m| m.profile).collect();
+        let ordering = choose_ordering(&profiles, policy);
+        let efficiency = group_efficiency(&profiles, &ordering.offsets);
+        InterleaveGroup {
+            members,
+            ordering,
+            efficiency,
+        }
+    }
+
+    /// A group holding a single job (no interleaving).
+    pub fn solo(member: GroupMember) -> Self {
+        InterleaveGroup::form(vec![member], OrderingPolicy::Best)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Group per-iteration time `T` (Eq. 3).
+    pub fn iteration_time(&self) -> SimDuration {
+        self.ordering.iteration_time
+    }
+
+    /// Slowdown of member `idx` relative to running alone:
+    /// `T / (member's solo iteration time)` (≥ 1).
+    pub fn slowdown(&self, idx: usize) -> f64 {
+        let solo = self.members[idx].profile.iteration_time().as_secs_f64();
+        if solo == 0.0 {
+            return 1.0;
+        }
+        self.iteration_time().as_secs_f64() / solo
+    }
+
+    /// Normalized throughput of member `idx` (Table 2's "Norm. Tput"):
+    /// throughput in the group ÷ throughput alone = solo iteration time
+    /// ÷ group iteration time.
+    pub fn normalized_throughput(&self, idx: usize) -> f64 {
+        let s = self.slowdown(idx);
+        if s == 0.0 {
+            0.0
+        } else {
+            1.0 / s
+        }
+    }
+
+    /// Sum of normalized throughputs — the aggregate speedup of packing
+    /// the group onto one set of resources (Table 2's bottom row; > 1
+    /// means interleaving beats running the members back to back).
+    pub fn total_normalized_throughput(&self) -> f64 {
+        (0..self.len()).map(|i| self.normalized_throughput(i)).sum()
+    }
+
+    /// Busy fraction of resource `r` while the group runs:
+    /// `Σ_i t_i^r / T`. Feeds the utilization time series (Fig. 8).
+    pub fn busy_fraction(&self, r: ResourceKind) -> f64 {
+        let t = self.iteration_time().as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .members
+            .iter()
+            .map(|m| m.profile.duration(r).as_secs_f64())
+            .sum();
+        (busy / t).min(1.0)
+    }
+
+    /// Remove a member (e.g. it finished) and re-form the ordering for the
+    /// remaining members under `policy`. No-op if the job is not a member.
+    pub fn remove_member(&mut self, job: JobId, policy: OrderingPolicy) {
+        let before = self.members.len();
+        self.members.retain(|m| m.job != job);
+        if self.members.len() != before {
+            *self = InterleaveGroup::form(std::mem::take(&mut self.members), policy);
+        }
+    }
+
+    /// Member ids.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.members.iter().map(|m| m.job).collect()
+    }
+}
+
+/// Pairwise interleaving efficiency — the edge weight of the grouping
+/// graph (§4.1: "assign γ(u,v) as the weight of edge (u,v)").
+pub fn pair_efficiency(a: &StageProfile, b: &StageProfile, policy: OrderingPolicy) -> f64 {
+    let ordering = choose_ordering(&[*a, *b], policy);
+    group_efficiency(&[*a, *b], &ordering.offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn member(id: u32, profile: StageProfile) -> GroupMember {
+        GroupMember {
+            job: JobId(id),
+            profile,
+        }
+    }
+
+    fn cpu_gpu(cpu: u64, gpu: u64) -> StageProfile {
+        StageProfile::new(SimDuration::ZERO, secs(cpu), secs(gpu), SimDuration::ZERO)
+    }
+
+    #[test]
+    fn complementary_pair_runs_at_full_speed() {
+        // Fig. 4's A+B: both keep their solo iteration time of 3s, so each
+        // has normalized throughput 1 and the group total is 2.
+        let g = InterleaveGroup::form(
+            vec![member(1, cpu_gpu(2, 1)), member(2, cpu_gpu(1, 2))],
+            OrderingPolicy::Best,
+        );
+        assert_eq!(g.iteration_time(), secs(3));
+        assert!((g.slowdown(0) - 1.0).abs() < 1e-12);
+        assert!((g.total_normalized_throughput() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_pair_slows_down() {
+        // Fig. 4's A+C: T = 4 vs solo 3 each → slowdown 4/3, total 1.5.
+        let g = InterleaveGroup::form(
+            vec![member(1, cpu_gpu(2, 1)), member(2, cpu_gpu(2, 1))],
+            OrderingPolicy::Best,
+        );
+        assert_eq!(g.iteration_time(), secs(4));
+        assert!((g.slowdown(0) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((g.total_normalized_throughput() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_fraction_matches_hand_computation() {
+        let g = InterleaveGroup::form(
+            vec![member(1, cpu_gpu(2, 1)), member(2, cpu_gpu(2, 1))],
+            OrderingPolicy::Best,
+        );
+        // T = 4; CPU busy 4/4 = 1, GPU busy 2/4 = 0.5.
+        assert!((g.busy_fraction(ResourceKind::Cpu) - 1.0).abs() < 1e-12);
+        assert!((g.busy_fraction(ResourceKind::Gpu) - 0.5).abs() < 1e-12);
+        assert_eq!(g.busy_fraction(ResourceKind::Network), 0.0);
+    }
+
+    #[test]
+    fn remove_member_reforms_ordering() {
+        let mut g = InterleaveGroup::form(
+            vec![member(1, cpu_gpu(2, 1)), member(2, cpu_gpu(1, 2))],
+            OrderingPolicy::Best,
+        );
+        g.remove_member(JobId(1), OrderingPolicy::Best);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.iteration_time(), secs(3)); // solo B
+        // Removing a non-member is a no-op.
+        g.remove_member(JobId(99), OrderingPolicy::Best);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn solo_group_is_identity() {
+        let p = StageProfile::new(secs(1), secs(1), secs(2), secs(1));
+        let g = InterleaveGroup::solo(member(7, p));
+        assert_eq!(g.iteration_time(), p.iteration_time());
+        assert!((g.total_normalized_throughput() - 1.0).abs() < 1e-12);
+        assert_eq!(g.job_ids(), vec![JobId(7)]);
+    }
+
+    #[test]
+    fn pair_efficiency_ranks_complements_above_clones() {
+        let a = cpu_gpu(2, 1);
+        let b = cpu_gpu(1, 2);
+        let c = cpu_gpu(2, 1);
+        let e_ab = pair_efficiency(&a, &b, OrderingPolicy::Best);
+        let e_ac = pair_efficiency(&a, &c, OrderingPolicy::Best);
+        assert!(e_ab > e_ac, "{e_ab} vs {e_ac}");
+    }
+
+    #[test]
+    fn group_slowdown_never_below_one() {
+        // Interleaving can never make an iteration faster than solo.
+        let profiles = [
+            StageProfile::new(secs(3), secs(1), secs(4), secs(1)),
+            StageProfile::new(secs(1), secs(5), secs(1), secs(2)),
+            StageProfile::new(secs(2), secs(2), secs(2), secs(2)),
+            StageProfile::new(secs(4), secs(1), secs(1), secs(3)),
+        ];
+        let g = InterleaveGroup::form(
+            profiles
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| member(i as u32, p))
+                .collect(),
+            OrderingPolicy::Best,
+        );
+        for i in 0..g.len() {
+            assert!(g.slowdown(i) >= 1.0 - 1e-12, "member {i}: {}", g.slowdown(i));
+        }
+    }
+}

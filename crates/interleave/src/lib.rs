@@ -1,0 +1,41 @@
+//! # muri-interleave
+//!
+//! The multi-resource interleaving engine of the Muri reproduction:
+//!
+//! * [`efficiency`] — the paper's Eq. 1–4 (group iteration time and
+//!   interleaving efficiency);
+//! * [`ordering`] — stage-ordering enumeration (Fig. 6) with best / worst /
+//!   canonical policies (worst is the Fig. 11 ablation);
+//! * [`group`] — formed interleave groups with per-member slowdowns and
+//!   normalized throughputs;
+//! * [`contention`] — the interference model for baselines that co-locate
+//!   jobs on one resource;
+//! * [`timeline`] — a fine-grained per-GPU stage-timeline executor with
+//!   intra-job synchronization barriers and inter-job resource queues,
+//!   validating Eq. 3 and reproducing the Fig. 7 cascade.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod contention;
+pub mod efficiency;
+pub mod fuse;
+pub mod group;
+pub mod model_parallel;
+pub mod ordering;
+pub mod pipeline;
+pub mod timeline;
+pub mod viz;
+
+pub use contention::InterferenceModel;
+pub use fuse::{best_fused_bipartition, fusion_search_space, FusedJob};
+pub use model_parallel::{mp_pair_efficiency, ModelParallelJob};
+pub use pipeline::{interleaving_gain_over_pipelining, PipelineModel};
+pub use efficiency::{
+    group_efficiency, group_iteration_time, pair_efficiency_two_resources,
+    pair_iteration_time_two_resources,
+};
+pub use group::{pair_efficiency, GroupMember, InterleaveGroup};
+pub use ordering::{choose_ordering, enumerate_assignments, ChosenOrdering, OrderingPolicy};
+pub use timeline::{run_timeline, stagger_delays, TimelineJob, TimelineReport};
+pub use viz::render_schedule;

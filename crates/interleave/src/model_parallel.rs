@@ -1,0 +1,195 @@
+//! Model-parallel training support (§7 "Model parallel training").
+//!
+//! The paper's discussion sketches how Muri extends beyond data
+//! parallelism: in pipeline-style model-parallel (MP) training, "for the
+//! forward propagation, each worker has three stages, i.e., receiving
+//! intermediate data from the previous worker, computing, and sending
+//! intermediate data to the next worker. The first worker replaces the
+//! first stage with loading data and preprocessing, while the last worker
+//! replaces the last stage with synchronizing gradients." Muri then (i)
+//! interleaves stages of one MP job with stages of the same propagation
+//! direction in other jobs, and (ii) adjusts the interleaving efficiency
+//! fed to the Blossom-based algorithm.
+//!
+//! This module implements that sketch: an MP job description, the
+//! per-rank stage profiles it induces, and the rank-aligned interleaving
+//! efficiency for pairing two MP jobs.
+
+use crate::group::pair_efficiency;
+use crate::ordering::OrderingPolicy;
+use muri_workload::{JobId, SimDuration, StageProfile};
+use serde::{Deserialize, Serialize};
+
+/// A pipeline-style model-parallel training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelParallelJob {
+    /// Job id.
+    pub id: JobId,
+    /// Pipeline depth (number of ranks / GPUs); at least 1.
+    pub ranks: u32,
+    /// Data loading time per iteration (first rank only).
+    pub load: SimDuration,
+    /// Preprocessing time per iteration (first rank only).
+    pub preprocess: SimDuration,
+    /// Per-rank compute time per iteration (forward + backward share of
+    /// one pipeline stage).
+    pub compute_per_rank: SimDuration,
+    /// Activation/gradient transfer time per pipeline boundary.
+    pub transfer: SimDuration,
+    /// Gradient/optimizer synchronization time (last rank only).
+    pub sync: SimDuration,
+}
+
+impl ModelParallelJob {
+    /// Per-rank stage profiles. Rank 0 loads and preprocesses instead of
+    /// receiving; the last rank synchronizes instead of sending; interior
+    /// ranks receive, compute, and send. Receives and sends both occupy
+    /// the network resource, so a rank's network stage is their sum.
+    pub fn worker_profiles(&self) -> Vec<StageProfile> {
+        assert!(self.ranks >= 1, "MP job needs at least one rank");
+        let n = self.ranks as usize;
+        (0..n)
+            .map(|r| {
+                let first = r == 0;
+                let last = r == n - 1;
+                let load = if first { self.load } else { SimDuration::ZERO };
+                let cpu = if first { self.preprocess } else { SimDuration::ZERO };
+                let mut net = SimDuration::ZERO;
+                if !first {
+                    net += self.transfer; // receive from the previous rank
+                }
+                net += if last { self.sync } else { self.transfer }; // send or sync
+                StageProfile::new(load, cpu, self.compute_per_rank, net)
+            })
+            .collect()
+    }
+
+    /// Serial per-iteration time of the whole pipeline when run alone
+    /// (sum over one rank's stages plus the pipeline fill of the others'
+    /// compute — the steady-state bound for an unpipelined iteration).
+    pub fn solo_iteration_time(&self) -> SimDuration {
+        self.worker_profiles()
+            .iter()
+            .map(|p| p.iteration_time())
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Interleaving efficiency of grouping two MP jobs of equal depth:
+/// rank `i` of job A shares a GPU with rank `i` of job B, and stages of
+/// the same propagation direction interleave (§7's rule (i)). The group's
+/// efficiency — the quantity fed to the matching per §7's rule (ii) — is
+/// the *worst* rank-pair efficiency, because intra-job pipeline coupling
+/// makes the slowest rank pace the whole job (the Fig. 7 argument again).
+pub fn mp_pair_efficiency(
+    a: &ModelParallelJob,
+    b: &ModelParallelJob,
+    policy: OrderingPolicy,
+) -> Option<f64> {
+    if a.ranks != b.ranks {
+        // Same-depth bucketing, exactly like the data-parallel GPU-count
+        // buckets (§4.2): cross-depth grouping would cascade.
+        return None;
+    }
+    let pa = a.worker_profiles();
+    let pb = b.worker_profiles();
+    pa.iter()
+        .zip(&pb)
+        .map(|(x, y)| pair_efficiency(x, y, policy))
+        .min_by(|p, q| p.partial_cmp(q).expect("efficiencies are finite"))
+        .or(Some(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn mp(id: u32, compute: u64, transfer: u64) -> ModelParallelJob {
+        ModelParallelJob {
+            id: JobId(id),
+            ranks: 4,
+            load: secs(1),
+            preprocess: secs(1),
+            compute_per_rank: secs(compute),
+            transfer: secs(transfer),
+            sync: secs(2),
+        }
+    }
+
+    #[test]
+    fn rank_profiles_follow_the_paper_sketch() {
+        let job = mp(1, 3, 1);
+        let profiles = job.worker_profiles();
+        assert_eq!(profiles.len(), 4);
+        // Rank 0: loads + preprocesses, sends once (no receive).
+        assert_eq!(profiles[0].duration(muri_workload::ResourceKind::Storage), secs(1));
+        assert_eq!(profiles[0].duration(muri_workload::ResourceKind::Cpu), secs(1));
+        assert_eq!(profiles[0].duration(muri_workload::ResourceKind::Network), secs(1));
+        // Interior ranks: receive + send, no load/preprocess.
+        assert_eq!(profiles[1].duration(muri_workload::ResourceKind::Storage), SimDuration::ZERO);
+        assert_eq!(profiles[1].duration(muri_workload::ResourceKind::Network), secs(2));
+        // Last rank: receive + synchronize.
+        assert_eq!(profiles[3].duration(muri_workload::ResourceKind::Network), secs(1) + secs(2));
+        // Every rank computes.
+        for p in &profiles {
+            assert_eq!(p.duration(muri_workload::ResourceKind::Gpu), secs(3));
+        }
+    }
+
+    #[test]
+    fn single_rank_mp_degenerates_to_data_parallel_shape() {
+        let job = ModelParallelJob {
+            id: JobId(1),
+            ranks: 1,
+            load: secs(2),
+            preprocess: secs(1),
+            compute_per_rank: secs(4),
+            transfer: secs(9), // unused: no pipeline boundary traffic
+            sync: secs(1),
+        };
+        let profiles = job.worker_profiles();
+        assert_eq!(profiles.len(), 1);
+        // load + preprocess + compute + sync only.
+        assert_eq!(profiles[0].iteration_time(), secs(2 + 1 + 4 + 1));
+    }
+
+    #[test]
+    fn complementary_mp_jobs_interleave_well() {
+        // A compute-heavy pipeline against a transfer-heavy one.
+        let compute_bound = mp(1, 6, 1);
+        let network_bound = mp(2, 1, 4);
+        let clone = mp(3, 6, 1);
+        let good = mp_pair_efficiency(&compute_bound, &network_bound, OrderingPolicy::Best)
+            .expect("same depth");
+        let bad = mp_pair_efficiency(&compute_bound, &clone, OrderingPolicy::Best)
+            .expect("same depth");
+        assert!(
+            good > bad,
+            "complementary MP pair ({good:.2}) must beat clones ({bad:.2})"
+        );
+    }
+
+    #[test]
+    fn cross_depth_grouping_is_refused() {
+        let four = mp(1, 2, 1);
+        let two = ModelParallelJob { ranks: 2, ..mp(2, 2, 1) };
+        assert!(mp_pair_efficiency(&four, &two, OrderingPolicy::Best).is_none());
+    }
+
+    #[test]
+    fn solo_iteration_is_paced_by_the_slowest_rank() {
+        let job = mp(1, 3, 1);
+        let worst = job
+            .worker_profiles()
+            .iter()
+            .map(|p| p.iteration_time())
+            .max()
+            .unwrap();
+        assert_eq!(job.solo_iteration_time(), worst);
+    }
+}

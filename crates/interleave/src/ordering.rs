@@ -1,0 +1,244 @@
+//! Stage-ordering enumeration (the paper's Fig. 6 / §4.2).
+//!
+//! "Given multiple resources, there are several orderings to interleave
+//! two jobs, and different orderings have different interleaving
+//! efficiency. … we enumerate all the orderings to find the best one."
+//!
+//! An ordering is an assignment of distinct phase offsets to the jobs of a
+//! group over the group's effective resource cycle
+//! ([`crate::efficiency::effective_cycle`]). Eq. 3 is rotation-invariant
+//! (shifting every offset by a constant permutes the phase sum), so the
+//! first job is pinned to offset 0 and the rest are enumerated: at most
+//! `(k−1)!/(k−p)! ≤ 6` assignments for `k = 4`, cheap enough to do exactly
+//! — as the paper notes.
+
+use crate::efficiency::{effective_cycle, group_efficiency, group_iteration_time_on_cycle};
+use muri_workload::{ResourceKind, SimDuration, StageProfile, NUM_RESOURCES};
+use serde::{Deserialize, Serialize};
+
+/// How a group picks its stage ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum OrderingPolicy {
+    /// Enumerate all orderings and take the one minimizing the group
+    /// iteration time (the paper's design).
+    #[default]
+    Best,
+    /// Take the ordering *maximizing* iteration time — the paper's
+    /// "Muri-L with worst ordering" ablation (Fig. 11).
+    Worst,
+    /// The canonical assignment `o_i = i` without enumeration
+    /// (Eq. 3 as literally written).
+    Canonical,
+}
+
+/// The chosen ordering for a group: the effective cycle, distinct phase
+/// offsets per job, and the resulting group iteration time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChosenOrdering {
+    /// The effective resource cycle the offsets index into.
+    pub cycle: Vec<ResourceKind>,
+    /// `offsets[i]` is the phase offset of the group's `i`-th job.
+    pub offsets: Vec<usize>,
+    /// Group per-iteration time under these offsets (Eq. 3).
+    pub iteration_time: SimDuration,
+}
+
+/// Enumerate every distinct-offset assignment for `p` jobs over a cycle of
+/// length `k`, with the first job pinned to offset 0. Returns `[[]]` for
+/// `p = 0`. Panics if `p > k`.
+pub fn enumerate_assignments(p: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(p <= k, "cannot give {p} jobs distinct offsets over a {k}-cycle");
+    assert!(p <= NUM_RESOURCES, "at most {NUM_RESOURCES} jobs per group");
+    if p == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut current = vec![0usize];
+    let mut used = vec![false; k];
+    used[0] = true;
+    fn rec(
+        p: usize,
+        k: usize,
+        current: &mut Vec<usize>,
+        used: &mut [bool],
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if current.len() == p {
+            out.push(current.clone());
+            return;
+        }
+        for o in 1..k {
+            if !used[o] {
+                used[o] = true;
+                current.push(o);
+                rec(p, k, current, used, out);
+                current.pop();
+                used[o] = false;
+            }
+        }
+    }
+    rec(p, k, &mut current, &mut used, &mut out);
+    out
+}
+
+/// Choose an ordering for `profiles` according to `policy`.
+pub fn choose_ordering(profiles: &[StageProfile], policy: OrderingPolicy) -> ChosenOrdering {
+    assert!(
+        profiles.len() <= NUM_RESOURCES,
+        "group of {} exceeds k = {NUM_RESOURCES}",
+        profiles.len()
+    );
+    let cycle = effective_cycle(profiles);
+    if profiles.is_empty() {
+        return ChosenOrdering {
+            cycle,
+            offsets: Vec::new(),
+            iteration_time: SimDuration::ZERO,
+        };
+    }
+    match policy {
+        OrderingPolicy::Canonical => {
+            let offsets: Vec<usize> = (0..profiles.len()).collect();
+            let iteration_time = group_iteration_time_on_cycle(profiles, &offsets, &cycle);
+            ChosenOrdering {
+                cycle,
+                offsets,
+                iteration_time,
+            }
+        }
+        OrderingPolicy::Best | OrderingPolicy::Worst => {
+            let mut best: Option<(Vec<usize>, SimDuration)> = None;
+            for offsets in enumerate_assignments(profiles.len(), cycle.len()) {
+                let t = group_iteration_time_on_cycle(profiles, &offsets, &cycle);
+                let better = match (&best, policy) {
+                    (None, _) => true,
+                    (Some((_, bt)), OrderingPolicy::Best) => t < *bt,
+                    (Some((_, bt)), OrderingPolicy::Worst) => t > *bt,
+                    _ => unreachable!(),
+                };
+                if better {
+                    best = Some((offsets, t));
+                }
+            }
+            let (offsets, iteration_time) = best.expect("at least one assignment exists");
+            ChosenOrdering {
+                cycle,
+                offsets,
+                iteration_time,
+            }
+        }
+    }
+}
+
+/// Group efficiency under a chosen ordering (convenience for callers that
+/// already ran [`choose_ordering`]).
+pub fn ordering_efficiency(profiles: &[StageProfile], ordering: &ChosenOrdering) -> f64 {
+    group_efficiency(profiles, &ordering.offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muri_workload::SimDuration;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn assignment_counts() {
+        assert_eq!(enumerate_assignments(0, 4).len(), 1);
+        assert_eq!(enumerate_assignments(1, 4).len(), 1);
+        assert_eq!(enumerate_assignments(2, 4).len(), 3);
+        assert_eq!(enumerate_assignments(3, 4).len(), 6);
+        assert_eq!(enumerate_assignments(4, 4).len(), 6);
+        assert_eq!(enumerate_assignments(2, 2).len(), 1);
+        assert_eq!(enumerate_assignments(2, 3).len(), 2);
+    }
+
+    #[test]
+    fn assignments_are_distinct_offsets() {
+        for k in 1..=4usize {
+            for p in 1..=k {
+                for a in enumerate_assignments(p, k) {
+                    assert_eq!(a[0], 0, "first job pinned to offset 0");
+                    let mut sorted = a.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), p, "distinct offsets in {a:?}");
+                    assert!(sorted.iter().all(|&o| o < k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct offsets")]
+    fn oversized_group_rejected() {
+        let _ = enumerate_assignments(3, 2);
+    }
+
+    #[test]
+    fn best_beats_worst_on_figure6() {
+        // Fig. 6's two jobs (all four resources in use): best T=5, worst T=6.
+        let a = StageProfile::new(secs(1), secs(2), secs(1), secs(1));
+        let b = StageProfile::new(secs(1), secs(1), secs(2), secs(1));
+        let best = choose_ordering(&[a, b], OrderingPolicy::Best);
+        let worst = choose_ordering(&[a, b], OrderingPolicy::Worst);
+        assert_eq!(best.iteration_time, secs(5));
+        assert_eq!(worst.iteration_time, secs(6));
+        assert_eq!(best.cycle.len(), 4);
+    }
+
+    #[test]
+    fn two_resource_pair_uses_short_cycle() {
+        // Fig. 4's A and B only use CPU+GPU: the chosen ordering runs on a
+        // 2-cycle and recovers the paper's T = 3.
+        let a = StageProfile::new(SimDuration::ZERO, secs(2), secs(1), SimDuration::ZERO);
+        let b = StageProfile::new(SimDuration::ZERO, secs(1), secs(2), SimDuration::ZERO);
+        let best = choose_ordering(&[a, b], OrderingPolicy::Best);
+        assert_eq!(best.cycle.len(), 2);
+        assert_eq!(best.iteration_time, secs(3));
+    }
+
+    #[test]
+    fn canonical_uses_identity_offsets() {
+        let p = StageProfile::from_secs_f64(1.0, 1.0, 1.0, 1.0);
+        let c = choose_ordering(&[p, p, p], OrderingPolicy::Canonical);
+        assert_eq!(c.offsets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn best_is_lower_bound_over_all_assignments() {
+        let a = StageProfile::new(secs(3), secs(1), secs(4), secs(2));
+        let b = StageProfile::new(secs(1), secs(5), secs(1), secs(1));
+        let c = StageProfile::new(secs(2), secs(2), secs(2), secs(6));
+        let best = choose_ordering(&[a, b, c], OrderingPolicy::Best);
+        for offsets in enumerate_assignments(3, best.cycle.len()) {
+            assert!(
+                group_iteration_time_on_cycle(&[a, b, c], &offsets, &best.cycle)
+                    >= best.iteration_time
+            );
+        }
+    }
+
+    #[test]
+    fn empty_group_ordering() {
+        let c = choose_ordering(&[], OrderingPolicy::Best);
+        assert!(c.offsets.is_empty());
+        assert_eq!(c.iteration_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn singleton_ordering_is_serial_time() {
+        let p = StageProfile::new(secs(1), secs(2), secs(3), secs(4));
+        for policy in [
+            OrderingPolicy::Best,
+            OrderingPolicy::Worst,
+            OrderingPolicy::Canonical,
+        ] {
+            let c = choose_ordering(&[p], policy);
+            assert_eq!(c.iteration_time, p.iteration_time(), "{policy:?}");
+        }
+    }
+}

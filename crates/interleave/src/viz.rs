@@ -1,0 +1,155 @@
+//! ASCII rendering of interleaved schedules — the repo's version of the
+//! paper's Fig. 1/4/6 timeline diagrams, generated from real groups.
+//!
+//! One row per resource, one column per time cell; each cell shows which
+//! member occupies the resource during that slice of the lockstep
+//! schedule (`A`–`D` by member position, `.` for idle).
+
+use crate::group::InterleaveGroup;
+use muri_workload::SimDuration;
+
+/// Render `iterations` lockstep iterations of a group as an ASCII chart.
+/// `cells_per_iteration` controls horizontal resolution.
+pub fn render_schedule(
+    group: &InterleaveGroup,
+    iterations: usize,
+    cells_per_iteration: usize,
+) -> String {
+    let t_iter = group.iteration_time();
+    if group.is_empty() || t_iter.is_zero() || cells_per_iteration == 0 {
+        return String::from("(empty schedule)\n");
+    }
+    let cycle = &group.ordering.cycle;
+    let k = cycle.len();
+    // Phase boundaries within one iteration.
+    let phase_len: Vec<SimDuration> = (0..k)
+        .map(|phase| {
+            group
+                .members
+                .iter()
+                .zip(&group.ordering.offsets)
+                .map(|(m, &o)| m.profile.duration(cycle[(o + phase) % k]))
+                .max()
+                .unwrap_or(SimDuration::ZERO)
+        })
+        .collect();
+    let total_cells = cells_per_iteration * iterations;
+    let cell_us = (t_iter.as_micros() * iterations as u64) / total_cells.max(1) as u64;
+    let mut out = String::new();
+    for (row, &resource) in cycle.iter().enumerate() {
+        out.push_str(&format!("{:<8} |", resource.to_string()));
+        for cell in 0..total_cells {
+            let t_us = cell as u64 * cell_us + cell_us / 2;
+            let within = t_us % t_iter.as_micros().max(1);
+            // Which phase is active at `within`?
+            let mut acc = 0u64;
+            let mut phase = k - 1;
+            for (p, len) in phase_len.iter().enumerate() {
+                if within < acc + len.as_micros() {
+                    phase = p;
+                    break;
+                }
+                acc += len.as_micros();
+            }
+            // Which member uses `resource` during `phase`? Member i uses
+            // cycle[(o_i + phase) % k].
+            let mut ch = '.';
+            let elapsed_in_phase = within.saturating_sub(acc);
+            for (i, (m, &o)) in group
+                .members
+                .iter()
+                .zip(&group.ordering.offsets)
+                .enumerate()
+            {
+                // Member i runs on cycle[(o_i + phase) % k] during `phase`,
+                // busy for its own stage duration within the phase.
+                if (o + phase) % k == row
+                    && elapsed_in_phase < m.profile.duration(resource).as_micros()
+                {
+                    ch = (b'A' + (i % 26) as u8) as char;
+                }
+            }
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "(one iteration = {}, {} member{}, efficiency {:.2})\n",
+        t_iter,
+        group.len(),
+        if group.len() == 1 { "" } else { "s" },
+        group.efficiency
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupMember;
+    use crate::ordering::OrderingPolicy;
+    use muri_workload::{JobId, StageProfile};
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn pair() -> InterleaveGroup {
+        InterleaveGroup::form(
+            vec![
+                GroupMember {
+                    job: JobId(0),
+                    profile: StageProfile::new(SimDuration::ZERO, secs(2), secs(1), SimDuration::ZERO),
+                },
+                GroupMember {
+                    job: JobId(1),
+                    profile: StageProfile::new(SimDuration::ZERO, secs(1), secs(2), SimDuration::ZERO),
+                },
+            ],
+            OrderingPolicy::Best,
+        )
+    }
+
+    #[test]
+    fn renders_one_row_per_cycle_resource() {
+        let s = render_schedule(&pair(), 2, 12);
+        let rows: Vec<&str> = s.lines().collect();
+        // cpu + gpu rows + the footer.
+        assert_eq!(rows.len(), 3, "{s}");
+        assert!(rows[0].starts_with("cpu"));
+        assert!(rows[1].starts_with("gpu"));
+        assert!(rows[2].contains("efficiency 1.00"));
+    }
+
+    #[test]
+    fn perfect_pair_has_no_idle_cells() {
+        // Fig. 4's A+B: every cell on both resources is occupied.
+        let s = render_schedule(&pair(), 3, 9);
+        for line in s.lines().take(2) {
+            let cells: String = line.chars().skip_while(|&c| c != '|').skip(1).collect();
+            assert!(!cells.contains('.'), "idle cell in perfect schedule: {line}");
+            assert!(cells.contains('A') && cells.contains('B'), "{line}");
+        }
+    }
+
+    #[test]
+    fn solo_job_alternates_resource_rows() {
+        let solo = InterleaveGroup::solo(GroupMember {
+            job: JobId(7),
+            profile: StageProfile::new(SimDuration::ZERO, secs(1), secs(1), SimDuration::ZERO),
+        });
+        let s = render_schedule(&solo, 1, 8);
+        // Half of each row busy, half idle.
+        for line in s.lines().take(2) {
+            let cells: String = line.chars().skip_while(|&c| c != '|').skip(1).collect();
+            assert!(cells.contains('A') && cells.contains('.'), "{line}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let empty = InterleaveGroup::form(Vec::new(), OrderingPolicy::Best);
+        assert!(render_schedule(&empty, 2, 8).contains("empty"));
+        assert!(render_schedule(&pair(), 1, 0).contains("empty"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the fine-grained timeline executor: arbitrary job
+//! mixes must run to completion without deadlock, conserve work, respect
+//! physics (never faster than solo), and keep per-slot resource busy time
+//! within the elapsed span.
+
+use muri_interleave::{run_timeline, TimelineJob};
+use muri_workload::{JobId, ResourceKind, SimDuration, StageProfile};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ArbJob {
+    stages: [u64; 4],
+    slots: Vec<usize>,
+    delay_ms: u64,
+    iterations: u64,
+}
+
+fn arb_job(num_slots: usize) -> impl Strategy<Value = ArbJob> {
+    (
+        proptest::array::uniform4(0u64..2_000),
+        proptest::collection::btree_set(0..num_slots, 1..=num_slots.min(3)),
+        0u64..3_000,
+        1u64..12,
+    )
+        .prop_map(|(stages, slots, delay_ms, iterations)| ArbJob {
+            stages,
+            slots: slots.into_iter().collect(),
+            delay_ms,
+            iterations,
+        })
+}
+
+fn to_timeline(jobs: &[ArbJob]) -> Vec<TimelineJob> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| TimelineJob {
+            id: JobId(i as u32),
+            profile: StageProfile::new(
+                SimDuration::from_millis(j.stages[0]),
+                SimDuration::from_millis(j.stages[1]),
+                SimDuration::from_millis(j.stages[2]),
+                SimDuration::from_millis(j.stages[3]),
+            ),
+            slots: j.slots.clone(),
+            initial_delay: SimDuration::from_millis(j.delay_ms),
+            iterations: j.iterations,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn arbitrary_mixes_complete_without_deadlock(
+        jobs in proptest::collection::vec(arb_job(4), 1..6)
+    ) {
+        let timeline = to_timeline(&jobs);
+        // Generous horizon: total serial work times a safety factor.
+        let total_work: u64 = timeline
+            .iter()
+            .map(|j| j.profile.iteration_time().as_micros() * j.iterations * j.slots.len() as u64)
+            .sum();
+        let horizon = SimDuration::from_micros(total_work * 8 + 60_000_000);
+        let report = run_timeline(&timeline, 4, horizon);
+        prop_assert!(!report.horizon_reached,
+            "deadlock or starvation: {:?}", report.completed_iterations);
+        for (i, job) in timeline.iter().enumerate() {
+            prop_assert_eq!(report.completed_iterations[i], job.iterations, "job {}", i);
+            let finish = report.finish_time[i].expect("finished");
+            // Physics: a worker cannot beat its own serial stage time.
+            let solo = job.profile.iteration_time() * job.iterations;
+            prop_assert!(
+                finish.since(muri_workload::SimTime::ZERO + job.initial_delay) >= solo,
+                "job {} finished faster than serial physics", i
+            );
+        }
+    }
+
+    #[test]
+    fn busy_time_never_exceeds_span(
+        jobs in proptest::collection::vec(arb_job(3), 1..5)
+    ) {
+        let timeline = to_timeline(&jobs);
+        let total_work: u64 = timeline
+            .iter()
+            .map(|j| j.profile.iteration_time().as_micros() * j.iterations * j.slots.len() as u64)
+            .sum();
+        let horizon = SimDuration::from_micros(total_work * 8 + 60_000_000);
+        let report = run_timeline(&timeline, 3, horizon);
+        let span = report.end_time.as_micros();
+        for (slot, busy) in report.busy.iter().enumerate() {
+            for r in ResourceKind::ALL {
+                prop_assert!(
+                    busy[r].as_micros() <= span,
+                    "slot {slot}/{r}: busy {} exceeds span {span}", busy[r].as_micros()
+                );
+            }
+        }
+        // Work conservation: per-slot GPU busy time equals exactly the GPU
+        // demand of the workers that ran there (when everything finished).
+        if !report.horizon_reached {
+            let mut expected = vec![0u64; 3];
+            for job in &timeline {
+                for &s in &job.slots {
+                    expected[s] += job.profile.duration(ResourceKind::Gpu).as_micros()
+                        * job.iterations;
+                }
+            }
+            for slot in 0..3 {
+                prop_assert_eq!(
+                    report.busy[slot][ResourceKind::Gpu].as_micros(),
+                    expected[slot],
+                    "slot {} GPU busy mismatch", slot
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_is_deterministic(jobs in proptest::collection::vec(arb_job(2), 1..4)) {
+        let timeline = to_timeline(&jobs);
+        let horizon = SimDuration::from_hours(2);
+        let a = run_timeline(&timeline, 2, horizon);
+        let b = run_timeline(&timeline, 2, horizon);
+        prop_assert_eq!(a, b);
+    }
+}

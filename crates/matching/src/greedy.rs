@@ -1,0 +1,71 @@
+//! Greedy matching — the ½-approximation baseline.
+//!
+//! Sorts edges by descending weight and takes every edge whose endpoints
+//! are both free. Muri's "without Blossom" ablation (Fig. 11) replaces
+//! optimal matching with priority-order packing; this greedy matcher is
+//! the classical quality baseline the Blossom result must dominate in
+//! tests and benches.
+
+use crate::graph::{DenseGraph, Matching};
+
+/// Greedy maximum-weight matching (≥ ½ of optimal).
+pub fn greedy_matching(g: &DenseGraph) -> Matching {
+    let n = g.len();
+    let mut edges: Vec<(i64, usize, usize)> = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            let w = g.weight(u, v);
+            if w > 0 {
+                edges.push((w, u, v));
+            }
+        }
+    }
+    // Descending by weight; deterministic tie-break by node ids.
+    edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut m = Matching::empty(n);
+    for (w, u, v) in edges {
+        if m.mate[u].is_none() && m.mate[v].is_none() {
+            m.mate[u] = Some(v);
+            m.mate[v] = Some(u);
+            m.total_weight += w;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_takes_heaviest_first() {
+        let mut g = DenseGraph::new(4);
+        g.set_weight(0, 1, 9);
+        g.set_weight(1, 2, 10);
+        g.set_weight(2, 3, 9);
+        let m = greedy_matching(&g);
+        // Greedy grabs (1,2)=10 and strands 0 and 3 — suboptimal by design.
+        assert_eq!(m.total_weight, 10);
+        assert_eq!(m.pairs(), vec![(1, 2)]);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn greedy_is_deterministic_on_ties() {
+        let mut g = DenseGraph::new(4);
+        g.set_weight(0, 1, 5);
+        g.set_weight(2, 3, 5);
+        g.set_weight(0, 3, 5);
+        let a = greedy_matching(&g);
+        let b = greedy_matching(&g);
+        assert_eq!(a, b);
+        assert_eq!(a.total_weight, 10);
+    }
+
+    #[test]
+    fn greedy_empty() {
+        let m = greedy_matching(&DenseGraph::new(3));
+        assert_eq!(m.total_weight, 0);
+        assert_eq!(m.num_pairs(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # muri-matching
+//!
+//! Maximum-weight matching in general graphs — the algorithmic substrate
+//! of Muri's job-grouping step (§4.1 of the paper: "finding the optimal
+//! plan can be converted to finding the maximum weighted matching of the
+//! graph … Blossom algorithm is a polynomial algorithm that can find a
+//! maximum weighted matching in `O(|V|³)` time").
+//!
+//! Three implementations with one interface:
+//!
+//! * [`maximum_weight_matching`] — the `O(n³)` Blossom algorithm (the one
+//!   the scheduler uses);
+//! * [`exact_maximum_weight_matching`] — an `O(2ⁿ·n)` subset-DP oracle,
+//!   the testing ground truth;
+//! * [`greedy_matching`] — the ½-approximation baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blossom;
+pub mod graph;
+pub mod greedy;
+pub mod oracle;
+
+pub use blossom::maximum_weight_matching;
+pub use graph::{weight_from_f64, DenseGraph, Matching, WEIGHT_SCALE};
+pub use greedy::greedy_matching;
+pub use oracle::{exact_maximum_weight_matching, ORACLE_MAX_NODES};

@@ -1,0 +1,114 @@
+//! Exact maximum-weight matching by subset dynamic programming.
+//!
+//! `O(2ⁿ·n)` — only usable for small `n`, but provably exact, which makes
+//! it the ground truth the Blossom implementation is property-tested
+//! against.
+
+use crate::graph::{DenseGraph, Matching};
+
+/// Maximum number of nodes the oracle accepts.
+pub const ORACLE_MAX_NODES: usize = 22;
+
+/// Exact maximum-weight matching via bitmask DP. Panics if
+/// `g.len() > ORACLE_MAX_NODES`.
+pub fn exact_maximum_weight_matching(g: &DenseGraph) -> Matching {
+    let n = g.len();
+    assert!(
+        n <= ORACLE_MAX_NODES,
+        "oracle is exponential; {n} nodes is too many"
+    );
+    if n < 2 {
+        return Matching::empty(n);
+    }
+    let full = 1usize << n;
+    // best[mask] = max weight matching using only nodes in `mask`;
+    // choice[mask] = Some(j) if the lowest set node pairs with j, None if
+    // it stays single.
+    let mut best = vec![0i64; full];
+    let mut choice: Vec<Option<usize>> = vec![None; full];
+    for mask in 1..full {
+        let i = mask.trailing_zeros() as usize;
+        let rest = mask & !(1 << i);
+        // Option 1: node i stays single.
+        let mut b = best[rest];
+        let mut c = None;
+        // Option 2: pair i with some j in rest.
+        let mut m = rest;
+        while m != 0 {
+            let j = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let w = g.weight(i, j);
+            if w > 0 {
+                let cand = w + best[rest & !(1 << j)];
+                if cand > b {
+                    b = cand;
+                    c = Some(j);
+                }
+            }
+        }
+        best[mask] = b;
+        choice[mask] = c;
+    }
+    // Reconstruct.
+    let mut matching = Matching::empty(n);
+    let mut mask = full - 1;
+    while mask != 0 {
+        let i = mask.trailing_zeros() as usize;
+        match choice[mask] {
+            Some(j) => {
+                matching.mate[i] = Some(j);
+                matching.mate[j] = Some(i);
+                matching.total_weight += g.weight(i, j);
+                mask &= !(1 << i);
+                mask &= !(1 << j);
+            }
+            None => {
+                mask &= !(1 << i);
+            }
+        }
+    }
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_simple() {
+        let mut g = DenseGraph::new(4);
+        g.set_weight(0, 1, 9);
+        g.set_weight(1, 2, 10);
+        g.set_weight(2, 3, 9);
+        let m = exact_maximum_weight_matching(&g);
+        assert_eq!(m.total_weight, 18);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn oracle_prefers_single_over_zero_edge() {
+        let mut g = DenseGraph::new(2);
+        g.set_weight(0, 1, 0);
+        let m = exact_maximum_weight_matching(&g);
+        assert_eq!(m.total_weight, 0);
+        assert_eq!(m.num_pairs(), 0);
+    }
+
+    #[test]
+    fn oracle_empty_and_single() {
+        assert_eq!(
+            exact_maximum_weight_matching(&DenseGraph::new(0)).total_weight,
+            0
+        );
+        assert_eq!(
+            exact_maximum_weight_matching(&DenseGraph::new(1)).total_weight,
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn oracle_rejects_large_graphs() {
+        let _ = exact_maximum_weight_matching(&DenseGraph::new(ORACLE_MAX_NODES + 1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: the Blossom implementation must agree with the exact
+//! subset-DP oracle on the total matched weight, dominate the greedy
+//! ½-approximation, and always produce structurally valid matchings.
+
+use muri_matching::{
+    exact_maximum_weight_matching, greedy_matching, maximum_weight_matching, DenseGraph,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random graph on `n ∈ [0, 12]` nodes with random edge
+/// density and weights in `[0, 100]`.
+fn arb_graph() -> impl Strategy<Value = DenseGraph> {
+    (0usize..=12).prop_flat_map(|n| {
+        let m = n * n.saturating_sub(1) / 2;
+        proptest::collection::vec(0i64..=100, m).prop_map(move |ws| {
+            let mut g = DenseGraph::new(n);
+            let mut it = ws.into_iter();
+            for u in 0..n {
+                for v in u + 1..n {
+                    let w = it.next().expect("enough weights");
+                    if w > 0 {
+                        g.set_weight(u, v, w);
+                    }
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Sparse variant: most edges absent, exercising non-complete topologies
+/// (paths, odd cycles, stars) where blossoms actually form.
+fn arb_sparse_graph() -> impl Strategy<Value = DenseGraph> {
+    (2usize..=14).prop_flat_map(|n| {
+        let m = n * (n - 1) / 2;
+        proptest::collection::vec((0u8..=3, 1i64..=50), m).prop_map(move |ws| {
+            let mut g = DenseGraph::new(n);
+            let mut it = ws.into_iter();
+            for u in 0..n {
+                for v in u + 1..n {
+                    let (keep, w) = it.next().expect("enough weights");
+                    if keep == 0 {
+                        g.set_weight(u, v, w);
+                    }
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn blossom_matches_oracle_weight(g in arb_graph()) {
+        let blossom = maximum_weight_matching(&g);
+        let oracle = exact_maximum_weight_matching(&g);
+        prop_assert_eq!(blossom.total_weight, oracle.total_weight,
+            "blossom {:?} vs oracle {:?}", blossom.pairs(), oracle.pairs());
+        blossom.validate(&g).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    #[test]
+    fn blossom_matches_oracle_on_sparse_graphs(g in arb_sparse_graph()) {
+        let blossom = maximum_weight_matching(&g);
+        let oracle = exact_maximum_weight_matching(&g);
+        prop_assert_eq!(blossom.total_weight, oracle.total_weight);
+        blossom.validate(&g).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    #[test]
+    fn blossom_dominates_greedy(g in arb_graph()) {
+        let blossom = maximum_weight_matching(&g);
+        let greedy = greedy_matching(&g);
+        prop_assert!(blossom.total_weight >= greedy.total_weight);
+        // And greedy is a ½-approximation, so blossom ≤ 2 × greedy
+        // (when greedy found anything at all).
+        if greedy.total_weight > 0 {
+            prop_assert!(blossom.total_weight <= 2 * greedy.total_weight);
+        }
+    }
+
+    #[test]
+    fn greedy_is_valid(g in arb_graph()) {
+        greedy_matching(&g).validate(&g).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    #[test]
+    fn matching_is_invariant_under_node_relabeling(g in arb_graph(), seed in any::<u64>()) {
+        // Permute node labels; the optimal total weight must not change.
+        let n = g.len();
+        if n == 0 { return Ok(()); }
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Deterministic Fisher–Yates from the seed.
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let mut h = DenseGraph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                let w = g.weight(u, v);
+                if w > 0 {
+                    h.set_weight(perm[u], perm[v], w);
+                }
+            }
+        }
+        prop_assert_eq!(
+            maximum_weight_matching(&g).total_weight,
+            maximum_weight_matching(&h).total_weight
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Larger-scale structural tests for the Blossom implementation: sizes
+//! beyond the exponential oracle's reach, checked against structural
+//! invariants and the greedy lower bound, plus a ½-approximation
+//! certificate that catches gross optimality regressions.
+
+use muri_matching::{greedy_matching, maximum_weight_matching, DenseGraph};
+
+fn pseudo_random_graph(n: usize, density_pct: u64, seed: u64) -> DenseGraph {
+    let mut g = DenseGraph::new(n);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for u in 0..n {
+        for v in u + 1..n {
+            if next() % 100 < density_pct {
+                g.set_weight(u, v, (next() % 1_000_000) as i64 + 1);
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn blossom_scales_to_hundreds_of_nodes() {
+    for (n, density) in [(100usize, 100u64), (200, 60), (300, 25), (400, 8)] {
+        let g = pseudo_random_graph(n, density, n as u64 * 31 + density);
+        let m = maximum_weight_matching(&g);
+        m.validate(&g).unwrap_or_else(|e| panic!("n={n}: {e}"));
+        let greedy = greedy_matching(&g);
+        assert!(
+            m.total_weight >= greedy.total_weight,
+            "n={n}: blossom {} below greedy {}",
+            m.total_weight,
+            greedy.total_weight
+        );
+        // Greedy is a ½-approximation, so this sandwiches the optimum.
+        assert!(
+            m.total_weight <= 2 * greedy.total_weight,
+            "n={n}: blossom {} exceeds the 2x greedy certificate {}",
+            m.total_weight,
+            greedy.total_weight
+        );
+    }
+}
+
+#[test]
+fn dense_uniform_graph_gets_perfect_matching() {
+    // Complete graph with all-equal weights: any perfect matching is
+    // optimal, and Blossom must find one.
+    let n = 150;
+    let mut g = DenseGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.set_weight(u, v, 7);
+        }
+    }
+    let m = maximum_weight_matching(&g);
+    assert_eq!(m.num_pairs(), n / 2);
+    assert_eq!(m.total_weight, (n as i64 / 2) * 7);
+}
+
+#[test]
+fn bipartite_like_structure_matches_across() {
+    // Two camps of 60; heavy cross edges, feeble intra edges. Optimal
+    // pairs everyone across camps.
+    let n = 120;
+    let mut g = DenseGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            let cross = (u < n / 2) != (v < n / 2);
+            g.set_weight(u, v, if cross { 1000 } else { 1 });
+        }
+    }
+    let m = maximum_weight_matching(&g);
+    assert_eq!(m.total_weight, (n as i64 / 2) * 1000);
+    for (u, v) in m.pairs() {
+        assert_ne!(u < n / 2, v < n / 2, "matched within a camp");
+    }
+}
+
+#[test]
+fn path_graph_picks_alternate_edges() {
+    // A weighted path 0-1-2-...-99 with increasing weights: optimum takes
+    // every other edge from the heavy end (classic DP-checkable case).
+    let n = 100;
+    let mut g = DenseGraph::new(n);
+    for u in 0..n - 1 {
+        g.set_weight(u, u + 1, (u as i64 + 1) * 10);
+    }
+    let m = maximum_weight_matching(&g);
+    // DP over the path for the exact optimum.
+    let mut best = vec![0i64; n + 1];
+    for u in (0..n - 1).rev() {
+        let take = (u as i64 + 1) * 10 + best[u + 2];
+        best[u] = take.max(best[u + 1]);
+    }
+    assert_eq!(m.total_weight, best[0]);
+    m.validate(&g).unwrap();
+}

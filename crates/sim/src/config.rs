@@ -1,0 +1,97 @@
+//! Simulation configuration.
+
+use muri_cluster::ClusterSpec;
+use muri_core::SchedulerConfig;
+use muri_workload::{ProfilerConfig, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Fault-injection configuration (§5: executors report faults to the
+/// worker monitor; the job is terminated and pushed back to the queue).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultConfig {
+    /// Mean time between faults per running job (exponential). `None`
+    /// disables fault injection (the paper's evaluation runs fault-free).
+    pub mtbf: Option<SimDuration>,
+    /// RNG seed for fault times.
+    pub seed: u64,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cluster hardware.
+    pub cluster: ClusterSpec,
+    /// Scheduler under test.
+    pub scheduler: SchedulerConfig,
+    /// Profiler (noise) configuration — what the scheduler *sees*.
+    pub profiler: ProfilerConfig,
+    /// Fault injection.
+    pub faults: FaultConfig,
+    /// Execution overhead per extra interleaved group member: a group of
+    /// `m` jobs runs `1 + o·(m−1)` slower than Eq. 3 predicts. Models the
+    /// residual contention the paper cites for why 4-job groups don't
+    /// reach 4× ("other resource types may still be used in this stage…
+    /// resource contention between different stages decreases the
+    /// processing speed", §6.2). Calibrated against Table 2: the measured
+    /// aggregate normalized throughput of the ideal 4-way group is 2.00
+    /// versus 2.18 predicted by Eq. 3 with our profiles — a 9% overhead
+    /// for a 4-way group, i.e. 0.03 per extra member.
+    pub interleave_overhead_per_job: f64,
+    /// Execution overhead per extra co-located job for GPU-sharing
+    /// without interleaving barriers (AntMan): larger, because stages
+    /// collide instead of dovetailing.
+    pub sharing_overhead_per_job: f64,
+    /// Per-extra-machine penalty on the network (synchronization) stage
+    /// of a group that spans machines: the stage scales by
+    /// `1 + p·(machines − 1)`. Off by default (0.0) so the closed-form
+    /// Eq. 3 calibration against Table 2 stays exact; enable to study
+    /// placement sensitivity (the §5 node-minimizing placement exists to
+    /// keep this penalty at zero).
+    pub cross_machine_net_penalty: f64,
+    /// Safety horizon: the run aborts (jobs left unfinished) past this.
+    pub max_sim_time: SimDuration,
+}
+
+impl SimConfig {
+    /// Paper-testbed defaults for a given scheduler.
+    pub fn testbed(scheduler: SchedulerConfig) -> Self {
+        SimConfig {
+            cluster: ClusterSpec::paper_testbed(),
+            scheduler,
+            profiler: ProfilerConfig::exact(),
+            faults: FaultConfig::default(),
+            interleave_overhead_per_job: 0.03,
+            sharing_overhead_per_job: 0.25,
+            cross_machine_net_penalty: 0.0,
+            max_sim_time: SimDuration::from_hours(24 * 365),
+        }
+    }
+
+    /// Effective execution slowdown factor for a group of `m` jobs under
+    /// this config ( ≥ 1 ).
+    pub fn group_overhead(&self, m: usize, gpu_sharing: bool) -> f64 {
+        if m <= 1 {
+            return 1.0;
+        }
+        let per = if gpu_sharing {
+            self.sharing_overhead_per_job
+        } else {
+            self.interleave_overhead_per_job
+        };
+        1.0 + per * (m as f64 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muri_core::PolicyKind;
+
+    #[test]
+    fn overhead_scales_with_group_size() {
+        let cfg = SimConfig::testbed(SchedulerConfig::preset(PolicyKind::MuriS));
+        assert_eq!(cfg.group_overhead(1, false), 1.0);
+        assert!((cfg.group_overhead(4, false) - 1.09).abs() < 1e-12);
+        assert!(cfg.group_overhead(2, true) > cfg.group_overhead(2, false));
+    }
+}

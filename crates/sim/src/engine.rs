@@ -1,0 +1,756 @@
+//! The discrete-event cluster simulator.
+//!
+//! Faithful to the paper's setup (§5, §6.1):
+//!
+//! * the scheduler runs at a fixed interval (six simulated minutes) and is
+//!   additionally marked dirty by job arrivals, completions, and faults —
+//!   clean ticks are skipped;
+//! * preemptive policies terminate and restart jobs at ticks (charging a
+//!   restart penalty), but groups whose membership a new plan keeps intact
+//!   continue running untouched;
+//! * freed GPUs are backfilled immediately on group completion with a
+//!   non-preemptive planning pass;
+//! * the *scheduler* sees only the profiler's (possibly noisy) stage
+//!   profiles; *execution* speed comes from the ground-truth profiles —
+//!   exactly how profiling noise degrades Muri in Fig. 14;
+//! * group execution follows Eq. 3 under the configured ordering policy,
+//!   scaled by the contention overhead model.
+
+use crate::config::SimConfig;
+use crate::metrics::{JobRecord, SeriesSample, SimReport};
+use muri_cluster::{Cluster, GpuSet};
+use muri_core::{plan_schedule, PendingJob, PlannedGroup};
+use muri_interleave::choose_ordering;
+use muri_workload::{
+    JobId, JobSpec, Profiler, ResourceKind, ResourceVec, SimDuration, SimTime, StageProfile,
+    Trace,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulate `trace` under `cfg` and return the full report.
+///
+/// ```
+/// use muri_core::{PolicyKind, SchedulerConfig};
+/// use muri_sim::{simulate, SimConfig};
+/// use muri_workload::{philly_like_trace};
+///
+/// let trace = philly_like_trace(1, 0.02); // 20-job slice of trace 1
+/// let cfg = SimConfig::testbed(SchedulerConfig::preset(PolicyKind::MuriL));
+/// let report = simulate(&trace, &cfg);
+/// assert!(report.all_finished());
+/// assert!(report.avg_jct_secs() > 0.0);
+/// ```
+pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
+    Engine::new(trace, cfg).run()
+}
+
+#[derive(Debug, Clone)]
+struct JobState {
+    spec: JobSpec,
+    measured: StageProfile,
+    truth: StageProfile,
+    done_iters: u64,
+    attained: SimDuration,
+    first_start: Option<SimTime>,
+    finish: Option<SimTime>,
+    restarts: u32,
+    faults: u32,
+}
+
+impl JobState {
+    fn remaining_iters(&self) -> u64 {
+        self.spec.iterations.saturating_sub(self.done_iters)
+    }
+
+    /// Remaining solo running time — what duration-aware policies rank by.
+    fn remaining_solo(&self) -> SimDuration {
+        self.truth.iteration_time() * self.remaining_iters()
+    }
+
+    fn as_pending(&self) -> PendingJob {
+        PendingJob {
+            id: self.spec.id,
+            num_gpus: self.spec.num_gpus,
+            profile: self.measured,
+            submit_time: self.spec.submit_time,
+            attained: self.attained,
+            remaining: self.remaining_solo(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunningGroup {
+    version: u64,
+    gpus: GpuSet,
+    members: Vec<JobId>,
+    /// Execution per-iteration time (truth + overhead).
+    iter_time: SimDuration,
+    /// Iteration counting anchor (start of the not-yet-counted iteration).
+    anchor: SimTime,
+    /// Last time attained-service was accumulated up to.
+    last_touch: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Arrival(u32),
+    Completion { gid: u32, version: u64 },
+    Fault { gid: u32, version: u64, job: JobId },
+    Tick,
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    trace: &'a Trace,
+    cluster: Cluster,
+    profiler: Profiler,
+    jobs: HashMap<JobId, JobState>,
+    queue: Vec<JobId>,
+    groups: Vec<Option<RunningGroup>>,
+    events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
+    seq: u64,
+    now: SimTime,
+    dirty: bool,
+    next_tick: Option<SimTime>,
+    arrivals_left: usize,
+    fault_rng: SmallRng,
+    series: Vec<SeriesSample>,
+    passes: u64,
+    nevents: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(trace: &'a Trace, cfg: &'a SimConfig) -> Self {
+        let mut engine = Engine {
+            cfg,
+            trace,
+            cluster: Cluster::new(cfg.cluster),
+            profiler: Profiler::new(cfg.profiler),
+            jobs: HashMap::with_capacity(trace.len()),
+            queue: Vec::new(),
+            groups: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            dirty: false,
+            next_tick: None,
+            arrivals_left: trace.len(),
+            fault_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0xFA17),
+            series: Vec::new(),
+            passes: 0,
+            nevents: 0,
+        };
+        for (i, job) in trace.jobs.iter().enumerate() {
+            engine.schedule_at(job.submit_time, Ev::Arrival(i as u32));
+        }
+        engine
+    }
+
+    fn schedule_at(&mut self, at: SimTime, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn run(mut self) -> SimReport {
+        let deadline = SimTime::ZERO + self.cfg.max_sim_time;
+        while let Some(Reverse((at, _, ev))) = self.events.pop() {
+            if at > deadline {
+                break;
+            }
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.nevents += 1;
+            match ev {
+                Ev::Arrival(idx) => self.on_arrival(idx as usize),
+                Ev::Completion { gid, version } => self.on_completion(gid as usize, version),
+                Ev::Fault { gid, version, job } => self.on_fault(gid as usize, version, job),
+                Ev::Tick => self.on_tick(),
+            }
+        }
+        self.finalize()
+    }
+
+    // ------------------------------------------------------------- events
+
+    fn on_arrival(&mut self, idx: usize) {
+        let spec = self.trace.jobs[idx];
+        self.arrivals_left -= 1;
+        if spec.num_gpus > self.cluster.spec().total_gpus() {
+            // Can never be placed; record as rejected (never finishes).
+            self.jobs.insert(
+                spec.id,
+                JobState {
+                    spec,
+                    measured: StageProfile::default(),
+                    truth: spec.true_profile(),
+                    done_iters: 0,
+                    attained: SimDuration::ZERO,
+                    first_start: None,
+                    finish: None,
+                    restarts: 0,
+                    faults: 0,
+                },
+            );
+            return;
+        }
+        let measured = self.profiler.measure(&spec);
+        self.jobs.insert(
+            spec.id,
+            JobState {
+                spec,
+                measured,
+                truth: spec.true_profile(),
+                done_iters: 0,
+                attained: SimDuration::ZERO,
+                first_start: None,
+                finish: None,
+                restarts: 0,
+                faults: 0,
+            },
+        );
+        self.queue.push(spec.id);
+        self.dirty = true;
+        // The scheduler "is periodically invoked on events like job
+        // arrival" (§3): backfill free GPUs right away; preemption still
+        // waits for the tick.
+        self.fill_pass();
+        self.ensure_tick();
+    }
+
+    fn on_completion(&mut self, gid: usize, version: u64) {
+        if !self.group_version_matches(gid, version) {
+            return;
+        }
+        self.advance_and_reap(gid);
+        if self.dirty {
+            // Capacity was freed (or membership changed): backfill
+            // immediately without preempting anyone.
+            self.fill_pass();
+        }
+    }
+
+    fn on_fault(&mut self, gid: usize, version: u64, job: JobId) {
+        if !self.group_version_matches(gid, version) {
+            return;
+        }
+        self.advance_and_reap(gid);
+        // The job may have completed exactly at the fault boundary.
+        let Some(group) = self.groups[gid].as_ref() else {
+            self.fill_pass();
+            return;
+        };
+        if !group.members.contains(&job) {
+            return;
+        }
+        // Terminate the job and push it back to the queue (§5).
+        let members: Vec<JobId> = group.members.iter().copied().filter(|&j| j != job).collect();
+        self.jobs.get_mut(&job).expect("job exists").faults += 1;
+        self.queue.push(job);
+        self.dirty = true;
+        self.reform_group(gid, members);
+        self.fill_pass();
+    }
+
+    fn on_tick(&mut self) {
+        self.next_tick = None;
+        // Settle every group's progress before planning.
+        for gid in 0..self.groups.len() {
+            if self.groups[gid].is_some() {
+                self.advance_and_reap(gid);
+            }
+        }
+        // Replan when anything changed — or when packed groups coexist
+        // with idle GPUs (capacity freed since the groups formed, so
+        // spreading the members back out would speed them up).
+        let could_spread = self.cfg.scheduler.policy.preemptive()
+            && self.cluster.free_gpus() > 0
+            && self
+                .groups
+                .iter()
+                .flatten()
+                .any(|g| g.members.len() > 1);
+        if self.dirty || could_spread {
+            self.planning_pass();
+            self.dirty = false;
+        }
+        self.sample();
+        self.ensure_tick();
+    }
+
+    fn ensure_tick(&mut self) {
+        if self.next_tick.is_some() || self.done() {
+            return;
+        }
+        let at = self.now + self.cfg.scheduler.interval;
+        self.next_tick = Some(at);
+        self.schedule_at(at, Ev::Tick);
+    }
+
+    fn done(&self) -> bool {
+        self.arrivals_left == 0
+            && self.queue.is_empty()
+            && self.groups.iter().all(Option::is_none)
+    }
+
+    // ------------------------------------------------------- group motion
+
+    fn group_version_matches(&self, gid: usize, version: u64) -> bool {
+        self.groups
+            .get(gid)
+            .and_then(Option::as_ref)
+            .is_some_and(|g| g.version == version)
+    }
+
+    /// Account elapsed time to a group: attained service, whole iterations
+    /// completed, and member completion. Re-forms or releases the group as
+    /// members finish.
+    fn advance_and_reap(&mut self, gid: usize) {
+        let Some(group) = self.groups[gid].as_mut() else {
+            return;
+        };
+        let now = self.now;
+        // Attained wall time (includes the restart-penalty window: the
+        // job occupies its GPUs during restore too).
+        if now > group.last_touch {
+            let dt = now.since(group.last_touch);
+            group.last_touch = now;
+            for &m in &group.members {
+                self.jobs.get_mut(&m).expect("member exists").attained += dt;
+            }
+        }
+        // Whole iterations since the anchor.
+        if now > group.anchor && !group.iter_time.is_zero() {
+            let whole = now.since(group.anchor).as_micros() / group.iter_time.as_micros();
+            if whole > 0 {
+                group.anchor += group.iter_time * whole;
+                for &m in &group.members {
+                    let j = self.jobs.get_mut(&m).expect("member exists");
+                    j.done_iters = (j.done_iters + whole).min(j.spec.iterations);
+                }
+            }
+        }
+        // Reap finished members.
+        let members = group.members.clone();
+        let finished: Vec<JobId> = members
+            .iter()
+            .copied()
+            .filter(|m| self.jobs[m].remaining_iters() == 0)
+            .collect();
+        if finished.is_empty() {
+            return;
+        }
+        for m in &finished {
+            self.jobs.get_mut(m).expect("member exists").finish = Some(now);
+        }
+        let survivors: Vec<JobId> = members
+            .into_iter()
+            .filter(|m| !finished.contains(m))
+            .collect();
+        self.dirty = true;
+        self.reform_group(gid, survivors);
+    }
+
+    /// Replace a group's membership (possibly empty → release GPUs),
+    /// recompute execution speed, and schedule the next completion.
+    fn reform_group(&mut self, gid: usize, members: Vec<JobId>) {
+        let group = self.groups[gid].as_mut().expect("group exists");
+        if members.is_empty() {
+            let gpus = group.gpus.clone();
+            self.groups[gid] = None;
+            self.cluster.release(&gpus);
+            return;
+        }
+        group.members = members;
+        group.version += 1;
+        group.anchor = self.now;
+        group.last_touch = self.now;
+        let member_ids = group.members.clone();
+        let span = self
+            .cluster
+            .spec()
+            .machines_spanned(&self.groups[gid].as_ref().expect("group exists").gpus.gpus);
+        let iter_time = self.execution_iteration_time(&member_ids, span);
+        self.groups[gid].as_mut().expect("group exists").iter_time = iter_time;
+        self.schedule_completion(gid);
+    }
+
+    /// Realized group iteration time. The scheduler *plans* (chooses the
+    /// stage ordering) from the profiler's measured profiles, but the plan
+    /// *executes* against the true profiles — this is exactly how noisy
+    /// profiling hurts Muri in Fig. 14: a bad measurement picks a bad
+    /// ordering, and reality pays for it. Stages the plan did not
+    /// schedule at all (measured as zero but truly nonzero) cannot
+    /// overlap anything and serialize on top.
+    fn execution_iteration_time(&self, members: &[JobId], machines_spanned: usize) -> SimDuration {
+        let measured: Vec<StageProfile> = members.iter().map(|m| self.jobs[m].measured).collect();
+        let net_factor =
+            1.0 + self.cfg.cross_machine_net_penalty * machines_spanned.saturating_sub(1) as f64;
+        let truths: Vec<StageProfile> = members
+            .iter()
+            .map(|m| {
+                let t = self.jobs[m].truth;
+                if net_factor > 1.0 {
+                    t.scale_stage(ResourceKind::Network, net_factor)
+                } else {
+                    t
+                }
+            })
+            .collect();
+        let ordering = choose_ordering(&measured, self.cfg.scheduler.grouping.ordering);
+        let mut t = muri_interleave::efficiency::group_iteration_time_on_cycle(
+            &truths,
+            &ordering.offsets,
+            &ordering.cycle,
+        );
+        for truth in &truths {
+            for r in ResourceKind::ALL {
+                if !ordering.cycle.contains(&r) {
+                    t += truth.duration(r);
+                }
+            }
+        }
+        let overhead = self
+            .cfg
+            .group_overhead(truths.len(), self.cfg.scheduler.policy.gpu_shares());
+        t.scale(overhead)
+    }
+
+    fn schedule_completion(&mut self, gid: usize) {
+        let group = self.groups[gid].as_ref().expect("group exists");
+        let min_rem = group
+            .members
+            .iter()
+            .map(|m| self.jobs[m].remaining_iters())
+            .min()
+            .expect("non-empty group");
+        let at = if group.iter_time.is_zero() {
+            group.anchor
+        } else {
+            group.anchor + group.iter_time * min_rem
+        };
+        let ev = Ev::Completion {
+            gid: gid as u32,
+            version: group.version,
+        };
+        self.schedule_at(at.max(self.now), ev);
+    }
+
+    // ---------------------------------------------------------- planning
+
+    /// Full (possibly preemptive) planning pass at a tick.
+    fn planning_pass(&mut self) {
+        self.passes += 1;
+        let preemptive = self.cfg.scheduler.policy.preemptive();
+        let mut candidates: Vec<PendingJob> =
+            self.queue.iter().map(|id| self.jobs[id].as_pending()).collect();
+        let capacity = if preemptive {
+            for g in self.groups.iter().flatten() {
+                for m in &g.members {
+                    candidates.push(self.jobs[m].as_pending());
+                }
+            }
+            self.cluster.spec().total_gpus()
+        } else {
+            self.cluster.free_gpus()
+        };
+        let plan = plan_schedule(&self.cfg.scheduler, &candidates, capacity, self.now);
+        if std::env::var_os("MURI_SIM_DEBUG").is_some() {
+            let planned_gpus: u32 = plan.iter().map(|p| p.num_gpus).sum();
+            let planned_jobs: usize = plan.iter().map(|p| p.group.len()).sum();
+            let demand: u32 = candidates.iter().map(|c| c.num_gpus).sum();
+            eprintln!(
+                "[plan @{}] candidates={} demand={} capacity={} -> groups={} jobs={} gpus={}",
+                self.now,
+                candidates.len(),
+                demand,
+                capacity,
+                plan.len(),
+                planned_jobs,
+                planned_gpus
+            );
+        }
+
+        // Index planned groups by member set.
+        let mut planned: Vec<(Vec<JobId>, PlannedGroup)> = plan
+            .into_iter()
+            .map(|p| {
+                let mut ids = p.group.job_ids();
+                ids.sort_unstable();
+                (ids, p)
+            })
+            .collect();
+
+        if preemptive {
+            // Keep running groups whose membership is unchanged.
+            for gid in 0..self.groups.len() {
+                let Some(g) = self.groups[gid].as_ref() else {
+                    continue;
+                };
+                let mut ids = g.members.clone();
+                ids.sort_unstable();
+                if let Some(pos) = planned.iter().position(|(p_ids, _)| *p_ids == ids) {
+                    planned.swap_remove(pos);
+                } else {
+                    self.teardown_group(gid);
+                }
+            }
+        }
+        // Start remaining planned groups (placement in plan order —
+        // descending GPU count).
+        planned.sort_by(|a, b| {
+            b.1.num_gpus
+                .cmp(&a.1.num_gpus)
+                .then_with(|| a.1.group.members[0].job.0.cmp(&b.1.group.members[0].job.0))
+        });
+        for (ids, p) in planned {
+            self.start_group(ids, p.num_gpus);
+        }
+    }
+
+    /// Non-preemptive backfill of free GPUs (on completions/faults).
+    fn fill_pass(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        self.passes += 1;
+        let candidates: Vec<PendingJob> =
+            self.queue.iter().map(|id| self.jobs[id].as_pending()).collect();
+        let free = self.cluster.free_gpus();
+        if free > 0 {
+            let plan = plan_schedule(&self.cfg.scheduler, &candidates, free, self.now);
+            for p in plan {
+                let mut ids = p.group.job_ids();
+                ids.sort_unstable();
+                self.start_group(ids, p.num_gpus);
+            }
+        }
+        if self.cfg.scheduler.policy.gpu_shares() {
+            self.antman_join_pass();
+        }
+    }
+
+    /// AntMan's opportunistic sharing: when no GPUs are free, queued jobs
+    /// may join a running group of the same GPU count that still has a
+    /// resident slot (`antman_max_per_gpu`), in FIFO order. The joiners
+    /// run degraded (the sharing-overhead model) but start immediately —
+    /// AntMan's makespan advantage in Fig. 10 comes from exactly this.
+    fn antman_join_pass(&mut self) {
+        let cap = self.cfg.scheduler.antman_max_per_gpu.max(1);
+        // FIFO order over the queue.
+        let mut queued: Vec<JobId> = self.queue.clone();
+        queued.sort_by_key(|id| (self.jobs[id].spec.submit_time, *id));
+        for job in queued {
+            let num_gpus = self.jobs[&job].spec.num_gpus;
+            let host = self.groups.iter().position(|g| {
+                g.as_ref().is_some_and(|g| {
+                    g.gpus.len() == num_gpus as usize && g.members.len() < cap
+                })
+            });
+            let Some(gid) = host else {
+                continue;
+            };
+            self.advance_and_reap(gid);
+            let Some(group) = self.groups[gid].as_ref() else {
+                continue;
+            };
+            if group.members.len() >= cap {
+                continue;
+            }
+            self.queue.retain(|id| *id != job);
+            let j = self.jobs.get_mut(&job).expect("queued job exists");
+            if j.first_start.is_none() {
+                j.first_start = Some(self.now);
+            } else {
+                j.restarts += 1;
+            }
+            let mut members = self.groups[gid].as_ref().expect("group").members.clone();
+            members.push(job);
+            self.reform_group(gid, members);
+        }
+    }
+
+    /// Terminate a running group: members go back to the queue with their
+    /// progress; GPUs are freed. (Partial iterations are lost — the cost
+    /// of preemption beyond the restart penalty.)
+    fn teardown_group(&mut self, gid: usize) {
+        self.advance_only(gid);
+        let Some(group) = self.groups[gid].take() else {
+            return;
+        };
+        self.cluster.release(&group.gpus);
+        for m in group.members {
+            if self.jobs[&m].remaining_iters() == 0 {
+                // Completed exactly at the tick boundary.
+                self.jobs.get_mut(&m).expect("member").finish = Some(self.now);
+            } else {
+                self.queue.push(m);
+            }
+        }
+    }
+
+    /// Advance without reaping (used by teardown, which handles members
+    /// itself).
+    fn advance_only(&mut self, gid: usize) {
+        let Some(group) = self.groups[gid].as_mut() else {
+            return;
+        };
+        let now = self.now;
+        if now > group.last_touch {
+            let dt = now.since(group.last_touch);
+            group.last_touch = now;
+            for &m in &group.members {
+                self.jobs.get_mut(&m).expect("member").attained += dt;
+            }
+        }
+        if now > group.anchor && !group.iter_time.is_zero() {
+            let whole = now.since(group.anchor).as_micros() / group.iter_time.as_micros();
+            if whole > 0 {
+                group.anchor += group.iter_time * whole;
+                for &m in &group.members {
+                    let j = self.jobs.get_mut(&m).expect("member");
+                    j.done_iters = (j.done_iters + whole).min(j.spec.iterations);
+                }
+            }
+        }
+    }
+
+    fn start_group(&mut self, ids: Vec<JobId>, num_gpus: u32) {
+        debug_assert!(!ids.is_empty());
+        let Some(gpus) = self.cluster.allocate(num_gpus) else {
+            // Capacity raced away (shouldn't happen — plans respect
+            // capacity); leave the jobs queued.
+            return;
+        };
+        // Remove members from the queue.
+        self.queue.retain(|id| !ids.contains(id));
+        let penalty = self.cfg.scheduler.restart_penalty;
+        for id in &ids {
+            let j = self.jobs.get_mut(id).expect("job exists");
+            if j.first_start.is_none() {
+                j.first_start = Some(self.now);
+            } else {
+                j.restarts += 1;
+            }
+        }
+        let span = self.cluster.spec().machines_spanned(&gpus.gpus);
+        let iter_time = self.execution_iteration_time(&ids, span);
+        let gid = self
+            .groups
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.groups.push(None);
+                self.groups.len() - 1
+            });
+        self.groups[gid] = Some(RunningGroup {
+            version: 1,
+            gpus,
+            members: ids.clone(),
+            iter_time,
+            anchor: self.now + penalty,
+            last_touch: self.now,
+        });
+        self.schedule_completion(gid);
+        self.maybe_schedule_fault(gid, &ids);
+    }
+
+    fn maybe_schedule_fault(&mut self, gid: usize, ids: &[JobId]) {
+        let Some(mtbf) = self.cfg.faults.mtbf else {
+            return;
+        };
+        let version = self.groups[gid].as_ref().expect("group").version;
+        for &job in ids {
+            let u: f64 = self.fault_rng.gen_range(f64::EPSILON..1.0);
+            let dt = SimDuration::from_secs_f64(-mtbf.as_secs_f64() * u.ln());
+            let ev = Ev::Fault {
+                gid: gid as u32,
+                version,
+                job,
+            };
+            self.schedule_at(self.now + dt, ev);
+        }
+    }
+
+    // ---------------------------------------------------------- sampling
+
+    fn sample(&mut self) {
+        let total_gpus = self.cluster.spec().total_gpus() as f64;
+        let mut util = ResourceVec::splat(0.0);
+        let mut running_jobs = 0usize;
+        for g in self.groups.iter().flatten() {
+            running_jobs += g.members.len();
+            let t = g.iter_time.as_secs_f64();
+            if t == 0.0 {
+                continue;
+            }
+            for r in ResourceKind::ALL {
+                let busy: f64 = g
+                    .members
+                    .iter()
+                    .map(|m| self.jobs[m].truth.duration(r).as_secs_f64())
+                    .sum();
+                util[r] += (busy / t).min(1.0) * g.gpus.len() as f64 / total_gpus;
+            }
+        }
+        let blocking: Vec<f64> = self
+            .queue
+            .iter()
+            .filter_map(|id| {
+                let j = &self.jobs[id];
+                let pending = self.now.since(j.spec.submit_time).saturating_sub(j.attained);
+                let rem = j.remaining_solo().as_secs_f64();
+                (rem > 0.0).then(|| pending.as_secs_f64() / rem)
+            })
+            .collect();
+        self.series.push(SeriesSample {
+            time: self.now,
+            queue_length: self.queue.len(),
+            blocking_index: muri_workload::stats::mean(&blocking),
+            utilization: util,
+            running_jobs,
+            used_gpus: self.cluster.used_gpus(),
+        });
+    }
+
+    fn finalize(self) -> SimReport {
+        let mut records: Vec<JobRecord> = self
+            .trace
+            .jobs
+            .iter()
+            .filter_map(|spec| self.jobs.get(&spec.id))
+            .map(|j| JobRecord {
+                id: j.spec.id,
+                model: j.spec.model,
+                num_gpus: j.spec.num_gpus,
+                submit: j.spec.submit_time,
+                first_start: j.first_start,
+                finish: j.finish,
+                attained: j.attained,
+                iterations_done: j.done_iters,
+                iterations_total: j.spec.iterations,
+                restarts: j.restarts,
+                faults: j.faults,
+            })
+            .collect();
+        records.sort_by_key(|r| (r.submit, r.id));
+        let makespan = records
+            .iter()
+            .filter_map(|r| r.finish)
+            .max()
+            .map(|t| t.since(SimTime::ZERO))
+            .unwrap_or(SimDuration::ZERO);
+        SimReport {
+            policy: self.cfg.scheduler.policy.name().to_string(),
+            trace: self.trace.name.clone(),
+            records,
+            series: self.series,
+            makespan,
+            scheduling_passes: self.passes,
+            events: self.nevents,
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # muri-sim
+//!
+//! Discrete-event GPU-cluster simulator for DL training schedulers:
+//!
+//! * [`config`] — simulation configuration (cluster, scheduler, profiler
+//!   noise, fault injection, contention overheads);
+//! * [`engine`] — the event loop: arrivals, six-minute scheduling ticks
+//!   with keep-identical-groups preemption, completion backfill, group
+//!   execution per Eq. 3, fault injection;
+//! * [`metrics`] — job records, the paper's aggregate metrics (average /
+//!   tail JCT, makespan) and time series (queue length, blocking index,
+//!   per-resource utilization — Fig. 8).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod replicate;
+
+pub use config::{FaultConfig, SimConfig};
+pub use engine::simulate;
+pub use metrics::{JobRecord, SeriesSample, SimReport};
+pub use replicate::{replicate, MetricSummary, ReplicatedMetrics};

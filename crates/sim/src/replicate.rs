@@ -1,0 +1,158 @@
+//! Multi-seed replication: run the same (policy, workload-shape)
+//! configuration over several independently seeded traces and summarize
+//! the metric spread. Single-trace comparisons can hinge on one lucky
+//! burst; replication is how the repo distinguishes a real scheduling
+//! effect from trace noise.
+
+use crate::config::SimConfig;
+use crate::engine::simulate;
+use muri_workload::stats;
+use muri_workload::SynthConfig;
+use serde::{Deserialize, Serialize};
+
+/// Mean and spread of one metric across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Arithmetic mean across replicas.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replica).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Summarize a set of observations. Panics on an empty slice.
+    pub fn from_observations(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "need at least one observation");
+        let mean = stats::mean(xs);
+        let var = if xs.len() < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64
+        };
+        MetricSummary {
+            mean,
+            std_dev: var.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Coefficient of variation (std/mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Replicated metrics of one policy over re-seeded traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedMetrics {
+    /// Replicas run.
+    pub replicas: usize,
+    /// Average JCT (seconds).
+    pub avg_jct: MetricSummary,
+    /// 99th-percentile JCT (seconds).
+    pub p99_jct: MetricSummary,
+    /// Makespan (seconds).
+    pub makespan: MetricSummary,
+}
+
+/// Run `replicas` simulations of the same workload *shape* (the synth
+/// config re-seeded per replica) under one scheduler configuration.
+pub fn replicate(synth: &SynthConfig, sim: &SimConfig, replicas: usize) -> ReplicatedMetrics {
+    assert!(replicas >= 1, "need at least one replica");
+    let mut avg = Vec::with_capacity(replicas);
+    let mut p99 = Vec::with_capacity(replicas);
+    let mut mk = Vec::with_capacity(replicas);
+    for i in 0..replicas {
+        let mut cfg = synth.clone();
+        cfg.seed = synth.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+        cfg.name = format!("{}-r{i}", synth.name);
+        let trace = cfg.generate();
+        let report = simulate(&trace, sim);
+        avg.push(report.avg_jct_secs());
+        p99.push(report.p99_jct_secs());
+        mk.push(report.makespan_secs());
+    }
+    ReplicatedMetrics {
+        replicas,
+        avg_jct: MetricSummary::from_observations(&avg),
+        p99_jct: MetricSummary::from_observations(&p99),
+        makespan: MetricSummary::from_observations(&mk),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muri_cluster::ClusterSpec;
+    use muri_core::{PolicyKind, SchedulerConfig};
+    use muri_workload::SimDuration;
+
+    fn small_synth() -> SynthConfig {
+        SynthConfig {
+            num_jobs: 24,
+            duration_median_secs: 120.0,
+            duration_sigma: 0.8,
+            load_reference_gpus: 8,
+            target_load: 1.2,
+            gpu_dist: muri_workload::GpuDistribution::default().capped(4),
+            max_duration: SimDuration::from_mins(30),
+            ..SynthConfig::default()
+        }
+    }
+
+    fn small_sim(policy: PolicyKind) -> SimConfig {
+        SimConfig {
+            cluster: ClusterSpec::with_machines(1),
+            ..SimConfig::testbed(SchedulerConfig::preset(policy))
+        }
+    }
+
+    #[test]
+    fn summary_math() {
+        let s = MetricSummary::from_observations(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.cv() - 0.5).abs() < 1e-12);
+        let single = MetricSummary::from_observations(&[4.0]);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    fn replication_covers_distinct_traces() {
+        let r = replicate(&small_synth(), &small_sim(PolicyKind::MuriL), 3);
+        assert_eq!(r.replicas, 3);
+        // Re-seeded traces differ, so the spread is almost surely nonzero.
+        assert!(r.avg_jct.std_dev > 0.0, "{r:?}");
+        assert!(r.avg_jct.min <= r.avg_jct.mean && r.avg_jct.mean <= r.avg_jct.max);
+    }
+
+    #[test]
+    fn replicated_comparison_is_more_stable_than_single_run() {
+        // The point of replication: compare policies on means.
+        let muri = replicate(&small_synth(), &small_sim(PolicyKind::MuriL), 3);
+        let tiresias = replicate(&small_synth(), &small_sim(PolicyKind::Tiresias), 3);
+        assert!(
+            muri.avg_jct.mean <= tiresias.avg_jct.mean * 1.15,
+            "Muri-L mean {} vs Tiresias mean {}",
+            muri.avg_jct.mean,
+            tiresias.avg_jct.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_replicas_rejected() {
+        let _ = replicate(&small_synth(), &small_sim(PolicyKind::Fifo), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Placement-sensitivity tests for the cross-machine network penalty:
+//! the §5 node-minimizing placement exists to keep synchronization
+//! traffic on as few machines as possible, and this knob lets the
+//! simulator price what happens when a job must span machines.
+
+use muri_cluster::ClusterSpec;
+use muri_core::{PolicyKind, SchedulerConfig};
+use muri_sim::{simulate, SimConfig};
+use muri_workload::{JobId, JobSpec, ModelKind, SimTime, Trace};
+
+fn one_big_job(gpus: u32) -> Trace {
+    Trace::new(
+        "span",
+        vec![JobSpec::new(JobId(0), ModelKind::Vgg19, gpus, 500, SimTime::ZERO)],
+    )
+}
+
+fn config(penalty: f64) -> SimConfig {
+    SimConfig {
+        cluster: ClusterSpec::paper_testbed(), // 8 machines × 8 GPUs
+        cross_machine_net_penalty: penalty,
+        ..SimConfig::testbed(SchedulerConfig::preset(PolicyKind::Srsf))
+    }
+}
+
+#[test]
+fn single_machine_jobs_never_pay_the_penalty() {
+    // An 8-GPU job fits one machine: identical JCT with or without the
+    // penalty — the node-minimizing placement shields it.
+    let trace = one_big_job(8);
+    let free = simulate(&trace, &config(0.0));
+    let taxed = simulate(&trace, &config(0.5));
+    assert_eq!(
+        free.records[0].jct(),
+        taxed.records[0].jct(),
+        "a one-machine job must not pay a cross-machine penalty"
+    );
+}
+
+#[test]
+fn spanning_jobs_slow_down_with_the_penalty() {
+    // A 32-GPU job spans 4 machines: its network stage inflates by
+    // 1 + 0.5 × 3 = 2.5×, and VGG19 is network-bound, so the JCT grows
+    // substantially.
+    let trace = one_big_job(32);
+    let free = simulate(&trace, &config(0.0));
+    let taxed = simulate(&trace, &config(0.5));
+    let a = free.records[0].jct().unwrap().as_secs_f64();
+    let b = taxed.records[0].jct().unwrap().as_secs_f64();
+    assert!(
+        b > a * 1.3,
+        "4-machine VGG19 should pay a clear sync tax: {a:.0}s vs {b:.0}s"
+    );
+}
+
+#[test]
+fn penalty_scales_with_span() {
+    let base = simulate(&one_big_job(16), &config(0.5)).records[0]
+        .jct()
+        .unwrap();
+    let wide = simulate(&one_big_job(64), &config(0.5)).records[0]
+        .jct()
+        .unwrap();
+    // 16 GPUs = 2 machines (factor 1.5); 64 GPUs = 8 machines (factor
+    // 4.5). The compute stages are per-worker constants, so the wider
+    // job's iteration is strictly longer.
+    assert!(wide > base, "8-machine span ({wide}) must exceed 2-machine ({base})");
+}
+
+#[test]
+fn default_config_keeps_table2_calibration() {
+    // The default penalty is zero precisely so the Eq. 3 / Table 2
+    // calibration stays exact.
+    let cfg = config(0.0);
+    assert_eq!(cfg.cross_machine_net_penalty, 0.0);
+    let default_cfg = SimConfig::testbed(SchedulerConfig::preset(PolicyKind::MuriS));
+    assert_eq!(default_cfg.cross_machine_net_penalty, 0.0);
+}

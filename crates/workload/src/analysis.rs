@@ -1,0 +1,235 @@
+//! Trace analytics: the workload statistics the Philly analysis (Jeon et
+//! al., ATC '19) reports and that this repo's synthesizer is tuned
+//! against — duration percentiles, GPU-count distribution, bottleneck-
+//! class mix, and arrival burstiness.
+
+use crate::resource::ResourceKind;
+use crate::stats;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Solo-duration percentiles in seconds: p10, p50, p90, p99.
+    pub duration_percentiles: [f64; 4],
+    /// Mean solo duration in seconds.
+    pub mean_duration: f64,
+    /// Jobs per GPU count.
+    pub gpu_histogram: BTreeMap<u32, usize>,
+    /// Fraction of single-GPU jobs.
+    pub single_gpu_fraction: f64,
+    /// Jobs per bottleneck class (of the job's true profile).
+    pub bottleneck_histogram: BTreeMap<ResourceKind, usize>,
+    /// Burstiness: coefficient of variation of interarrival gaps
+    /// (1 ≈ Poisson, > 1 bursty, 0 for all-at-once submissions).
+    pub arrival_cv: f64,
+    /// Total GPU service demand in GPU-hours.
+    pub total_gpu_hours: f64,
+}
+
+/// Compute [`TraceStats`] for a trace. Returns `None` for an empty trace.
+pub fn analyze(trace: &Trace) -> Option<TraceStats> {
+    if trace.is_empty() {
+        return None;
+    }
+    let durations: Vec<f64> = trace
+        .jobs
+        .iter()
+        .map(|j| j.solo_duration().as_secs_f64())
+        .collect();
+    let mut gpu_histogram = BTreeMap::new();
+    let mut bottleneck_histogram = BTreeMap::new();
+    for j in &trace.jobs {
+        *gpu_histogram.entry(j.num_gpus).or_insert(0) += 1;
+        *bottleneck_histogram
+            .entry(j.true_profile().bottleneck())
+            .or_insert(0) += 1;
+    }
+    let gaps: Vec<f64> = trace
+        .jobs
+        .windows(2)
+        .map(|w| w[1].submit_time.since(w[0].submit_time).as_secs_f64())
+        .collect();
+    let arrival_cv = if gaps.is_empty() {
+        0.0
+    } else {
+        let mean = stats::mean(&gaps);
+        if mean == 0.0 {
+            0.0
+        } else {
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        }
+    };
+    Some(TraceStats {
+        jobs: trace.len(),
+        duration_percentiles: [
+            stats::percentile(&durations, 10.0),
+            stats::percentile(&durations, 50.0),
+            stats::percentile(&durations, 90.0),
+            stats::percentile(&durations, 99.0),
+        ],
+        mean_duration: stats::mean(&durations),
+        single_gpu_fraction: gpu_histogram.get(&1).copied().unwrap_or(0) as f64
+            / trace.len() as f64,
+        gpu_histogram,
+        bottleneck_histogram,
+        arrival_cv,
+        total_gpu_hours: trace.total_service().as_secs_f64() / 3600.0,
+    })
+}
+
+/// Parameters of a fitted log-normal duration distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormalFit {
+    /// Median duration in seconds (`exp(μ)`).
+    pub median_secs: f64,
+    /// Shape parameter σ.
+    pub sigma: f64,
+}
+
+/// Fit a log-normal to the trace's solo durations by maximum likelihood
+/// (sample mean / std of log-durations). Returns `None` for traces with
+/// fewer than two jobs. Useful for calibrating [`crate::SynthConfig`]
+/// against a real trace and for the Gittins prior.
+pub fn fit_lognormal(trace: &Trace) -> Option<LogNormalFit> {
+    if trace.len() < 2 {
+        return None;
+    }
+    let logs: Vec<f64> = trace
+        .jobs
+        .iter()
+        .map(|j| j.solo_duration().as_secs_f64().max(1e-6).ln())
+        .collect();
+    let mu = stats::mean(&logs);
+    let var = logs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / (logs.len() - 1) as f64;
+    Some(LogNormalFit {
+        median_secs: mu.exp(),
+        sigma: var.sqrt(),
+    })
+}
+
+impl TraceStats {
+    /// Render a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("jobs:               {}\n", self.jobs));
+        out.push_str(&format!(
+            "durations (s):      p10={:.0} p50={:.0} p90={:.0} p99={:.0} mean={:.0}\n",
+            self.duration_percentiles[0],
+            self.duration_percentiles[1],
+            self.duration_percentiles[2],
+            self.duration_percentiles[3],
+            self.mean_duration
+        ));
+        out.push_str(&format!(
+            "single-GPU share:   {:.0}%\n",
+            self.single_gpu_fraction * 100.0
+        ));
+        out.push_str("gpu histogram:      ");
+        for (g, n) in &self.gpu_histogram {
+            out.push_str(&format!("{g}x{n} "));
+        }
+        out.push('\n');
+        out.push_str("bottleneck mix:     ");
+        for (r, n) in &self.bottleneck_histogram {
+            out.push_str(&format!("{r}:{n} "));
+        }
+        out.push('\n');
+        out.push_str(&format!("arrival burstiness: CV={:.2}\n", self.arrival_cv));
+        out.push_str(&format!(
+            "total demand:       {:.0} GPU-hours\n",
+            self.total_gpu_hours
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobSpec};
+    use crate::model::ModelKind;
+    use crate::synth::philly_like_trace;
+    use crate::time::SimTime;
+
+    #[test]
+    fn empty_trace_has_no_stats() {
+        assert!(analyze(&Trace::new("empty", Vec::new())).is_none());
+    }
+
+    #[test]
+    fn philly_like_trace_matches_its_design_targets() {
+        let stats = analyze(&philly_like_trace(1, 0.5)).expect("non-empty");
+        assert_eq!(stats.jobs, 496);
+        // Majority single-GPU, per the Philly skew.
+        assert!(stats.single_gpu_fraction > 0.55, "{}", stats.single_gpu_fraction);
+        // Bursty arrivals: CV well above Poisson's 1.
+        assert!(stats.arrival_cv > 1.2, "CV = {}", stats.arrival_cv);
+        // All four bottleneck classes present (Reference profiles).
+        assert_eq!(stats.bottleneck_histogram.len(), 4);
+        // Heavy-ish tail: p99 far above the median.
+        assert!(stats.duration_percentiles[3] > 5.0 * stats.duration_percentiles[1]);
+    }
+
+    #[test]
+    fn all_at_zero_has_zero_burstiness() {
+        let t = philly_like_trace(1, 0.1).at_time_zero();
+        let stats = analyze(&t).expect("non-empty");
+        assert_eq!(stats.arrival_cv, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_jobs() {
+        let t = philly_like_trace(2, 0.2);
+        let stats = analyze(&t).expect("non-empty");
+        assert_eq!(stats.gpu_histogram.values().sum::<usize>(), stats.jobs);
+        assert_eq!(stats.bottleneck_histogram.values().sum::<usize>(), stats.jobs);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_synth_parameters() {
+        // Generate from known parameters, fit, and recover them within a
+        // tolerance (iteration rounding and the clamp bias the tail).
+        let cfg = crate::synth::SynthConfig {
+            num_jobs: 3000,
+            duration_median_secs: 800.0,
+            duration_sigma: 1.1,
+            max_duration: crate::time::SimDuration::from_hours(200),
+            min_duration: crate::time::SimDuration::from_secs(1),
+            ..crate::synth::SynthConfig::default()
+        };
+        let fit = fit_lognormal(&cfg.generate()).expect("enough jobs");
+        assert!(
+            (fit.median_secs / 800.0 - 1.0).abs() < 0.15,
+            "median {} vs 800",
+            fit.median_secs
+        );
+        assert!((fit.sigma - 1.1).abs() < 0.15, "sigma {}", fit.sigma);
+    }
+
+    #[test]
+    fn lognormal_fit_needs_two_jobs() {
+        let one = Trace::new(
+            "one",
+            vec![JobSpec::new(JobId(0), ModelKind::A2c, 1, 10, SimTime::ZERO)],
+        );
+        assert!(fit_lognormal(&one).is_none());
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let t = Trace::new(
+            "r",
+            vec![JobSpec::new(JobId(0), ModelKind::Gpt2, 2, 100, SimTime::ZERO)],
+        );
+        let s = analyze(&t).unwrap().render();
+        for needle in ["jobs:", "durations", "gpu histogram", "bottleneck", "GPU-hours"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # muri-workload
+//!
+//! Workload substrate for the Muri reproduction ("Multi-Resource
+//! Interleaving for Deep Learning Training", SIGCOMM 2022):
+//!
+//! * [`time`] — integer simulated time ([`SimTime`], [`SimDuration`]);
+//! * [`resource`] — the four resource types and per-resource vectors;
+//! * [`stage`] — per-iteration stage profiles (`t_i^j` of Eq. 1–4) and the
+//!   §4.2 usage-trace → profile attribution procedure;
+//! * [`model`] — the Table 3 model zoo with calibrated stage profiles;
+//! * [`job`] — job specifications;
+//! * [`profile`] — the simulated (optionally noisy) resource profiler;
+//! * [`trace`] — traces, CSV I/O, busiest-window and time-zero variants;
+//! * [`synth`] — the Philly-like trace synthesizer;
+//! * [`stats`] — shared statistics helpers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod job;
+pub mod memory;
+pub mod model;
+pub mod profile;
+pub mod resource;
+pub mod stage;
+pub mod stats;
+pub mod synth;
+pub mod time;
+pub mod trace;
+
+pub use analysis::{analyze, fit_lognormal, LogNormalFit, TraceStats};
+pub use job::{JobId, JobSpec, ProfileMode, REFERENCE_PROFILE_GPUS};
+pub use memory::{group_memory_overhead, group_peak_memory_mb, MemoryFootprint};
+pub use model::{ModelKind, TaskKind};
+pub use profile::{Profiler, ProfilerConfig};
+pub use resource::{ResourceKind, ResourceVec, NUM_RESOURCES};
+pub use stage::{StageProfile, UsageSample, UsageTrace};
+pub use synth::{philly_like_trace, GpuDistribution, SynthConfig};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceParseError};

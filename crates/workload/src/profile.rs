@@ -1,0 +1,240 @@
+//! The simulated resource profiler.
+//!
+//! The paper's resource profiler dry-runs a freshly submitted job for tens
+//! of iterations, measures each stage's duration with PyTorch Profiler, and
+//! caches the profile per model so later jobs of the same model skip
+//! profiling (§3, §5). Fig. 14 studies what happens when this measurement
+//! is *noisy*: each stage duration is the true duration multiplied by a
+//! random factor in `[1 − n_p, 1 + n_p]`.
+//!
+//! This module reproduces exactly that contract: the profiler is the only
+//! component allowed to look at a job's true profile, and everything the
+//! scheduler sees flows through [`Profiler::measure`].
+
+use crate::job::JobSpec;
+use crate::model::ModelKind;
+use crate::stage::StageProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the simulated profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// Profiling noise `n_p ∈ [0, 1]` (Fig. 14): each measured stage
+    /// duration is the true duration × a uniform factor in
+    /// `[1 − n_p, 1 + n_p]`.
+    pub noise: f64,
+    /// Number of dry-run iterations the profiler executes before reporting
+    /// (the paper uses "tens of iterations"; only affects the reported
+    /// profiling overhead, not the measurement itself).
+    pub dry_run_iterations: u32,
+    /// Reuse cached profiles for jobs training a model/GPU-count pair seen
+    /// before (§3: "the resource profile collected in the past can be
+    /// reused without the need for profiling").
+    pub reuse_cache: bool,
+    /// RNG seed for the noise draws.
+    pub seed: u64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            noise: 0.0,
+            dry_run_iterations: 20,
+            reuse_cache: true,
+            seed: 0x4d75_7269, // "Muri"
+        }
+    }
+}
+
+impl ProfilerConfig {
+    /// A noiseless profiler with the given seed.
+    pub fn exact() -> Self {
+        ProfilerConfig::default()
+    }
+
+    /// A profiler with noise `n_p` (Fig. 14 sweep).
+    pub fn with_noise(noise: f64) -> Self {
+        ProfilerConfig {
+            noise,
+            ..ProfilerConfig::default()
+        }
+    }
+}
+
+/// The simulated resource profiler.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    cfg: ProfilerConfig,
+    rng: SmallRng,
+    cache: HashMap<(ModelKind, u32), StageProfile>,
+    measurements: u64,
+    cache_hits: u64,
+}
+
+impl Profiler {
+    /// Create a profiler.
+    pub fn new(cfg: ProfilerConfig) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&cfg.noise),
+            "profiling noise must be in [0,1], got {}",
+            cfg.noise
+        );
+        Profiler {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            cache: HashMap::new(),
+            measurements: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Measure the per-iteration stage profile of `job` as the scheduler
+    /// would see it. Returns the cached profile when this model/GPU-count
+    /// pair was profiled before and caching is enabled.
+    pub fn measure(&mut self, job: &JobSpec) -> StageProfile {
+        let key = (job.model, job.num_gpus);
+        if self.cfg.reuse_cache {
+            if let Some(&p) = self.cache.get(&key) {
+                self.cache_hits += 1;
+                return p;
+            }
+        }
+        self.measurements += 1;
+        let truth = job.true_profile();
+        let measured = if self.cfg.noise == 0.0 {
+            truth
+        } else {
+            let n = self.cfg.noise;
+            StageProfile {
+                stage: truth.stage.map(|_, d| {
+                    let factor = self.rng.gen_range(1.0 - n..=1.0 + n);
+                    d.scale(factor.max(0.0))
+                }),
+            }
+        };
+        if self.cfg.reuse_cache {
+            self.cache.insert(key, measured);
+        }
+        measured
+    }
+
+    /// Simulated wall-clock cost of profiling `job` (dry runs × iteration
+    /// time), zero on a cache hit. The paper calls this "negligible
+    /// compared to the long training process" (§5) — tests verify that.
+    pub fn profiling_cost(&self, job: &JobSpec) -> crate::time::SimDuration {
+        if self.cfg.reuse_cache && self.cache.contains_key(&(job.model, job.num_gpus)) {
+            crate::time::SimDuration::ZERO
+        } else {
+            job.true_profile().iteration_time() * self.cfg.dry_run_iterations as u64
+        }
+    }
+
+    /// Number of actual (non-cached) measurements performed.
+    pub fn measurements(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Number of cache hits served.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// The configured noise level.
+    pub fn noise(&self) -> f64 {
+        self.cfg.noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::resource::ResourceKind;
+    use crate::time::SimTime;
+
+    fn job(id: u32, model: ModelKind, gpus: u32) -> JobSpec {
+        JobSpec::new(JobId(id), model, gpus, 1000, SimTime::ZERO)
+    }
+
+    #[test]
+    fn exact_profiler_returns_truth() {
+        let mut p = Profiler::new(ProfilerConfig::exact());
+        let j = job(1, ModelKind::Vgg16, 8);
+        assert_eq!(p.measure(&j), j.true_profile());
+    }
+
+    #[test]
+    fn cache_reuses_profiles_per_model() {
+        let mut p = Profiler::new(ProfilerConfig::with_noise(0.5));
+        let a = p.measure(&job(1, ModelKind::Bert, 4));
+        let b = p.measure(&job(2, ModelKind::Bert, 4));
+        assert_eq!(a, b, "second job of the same model must reuse the cache");
+        assert_eq!(p.measurements(), 1);
+        assert_eq!(p.cache_hits(), 1);
+        // Different GPU count profiles separately.
+        let _ = p.measure(&job(3, ModelKind::Bert, 8));
+        assert_eq!(p.measurements(), 2);
+    }
+
+    #[test]
+    fn noise_bounds_respected() {
+        let mut p = Profiler::new(ProfilerConfig {
+            noise: 0.3,
+            reuse_cache: false,
+            ..ProfilerConfig::default()
+        });
+        for i in 0..200 {
+            let j = job(i, ModelKind::Gpt2, 16);
+            let m = p.measure(&j);
+            let t = j.true_profile();
+            for r in ResourceKind::ALL {
+                let (md, td) = (m.duration(r).as_secs_f64(), t.duration(r).as_secs_f64());
+                if td == 0.0 {
+                    assert_eq!(md, 0.0);
+                } else {
+                    let ratio = md / td;
+                    // Rounding to whole microseconds allows a hair of slack.
+                    assert!((0.699..=1.301).contains(&ratio), "ratio {ratio}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_measurements_differ_without_cache() {
+        let mut p = Profiler::new(ProfilerConfig {
+            noise: 0.5,
+            reuse_cache: false,
+            ..ProfilerConfig::default()
+        });
+        let a = p.measure(&job(1, ModelKind::Vgg19, 8));
+        let b = p.measure(&job(2, ModelKind::Vgg19, 8));
+        assert_ne!(a, b, "independent noisy measurements should differ");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut p = Profiler::new(ProfilerConfig::with_noise(0.4));
+            (0..10)
+                .map(|i| p.measure(&job(i, ModelKind::ALL[i as usize % 8], 2)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn profiling_cost_is_negligible_vs_training() {
+        let mut p = Profiler::new(ProfilerConfig::exact());
+        // An average Philly job trains ~136k iterations (§5); dry runs are
+        // tens of iterations.
+        let j = JobSpec::new(JobId(1), ModelKind::ResNet18, 1, 136_482, SimTime::ZERO);
+        let cost = p.profiling_cost(&j);
+        assert!(cost.as_secs_f64() / j.solo_duration().as_secs_f64() < 0.001);
+        let _ = p.measure(&j);
+        assert_eq!(p.profiling_cost(&j), crate::time::SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,184 @@
+//! Resource types and per-resource vectors.
+//!
+//! Muri models a DL training iteration as a sequence of stages, each of
+//! which "mainly uses one resource type" (paper §2.2, Table 1): storage IO
+//! for data loading, CPU for preprocessing, GPU for forward/backward
+//! propagation, and network IO for gradient synchronization. The canonical
+//! stage order follows the data path of one iteration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The number of resource types the paper considers (`k` in §4.2).
+pub const NUM_RESOURCES: usize = 4;
+
+/// One of the four resource types a DL training stage occupies.
+///
+/// The discriminants encode the canonical stage order of one training
+/// iteration: load data → preprocess → propagate → synchronize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Storage IO: reading training samples (stage: *load data*).
+    Storage = 0,
+    /// CPU: preprocessing / RL simulation (stage: *preprocess*).
+    Cpu = 1,
+    /// GPU: forward and backward propagation (stage: *propagate*).
+    Gpu = 2,
+    /// Network IO: gradient synchronization (stage: *synchronize*).
+    Network = 3,
+}
+
+impl ResourceKind {
+    /// All resource kinds in canonical stage order.
+    pub const ALL: [ResourceKind; NUM_RESOURCES] = [
+        ResourceKind::Storage,
+        ResourceKind::Cpu,
+        ResourceKind::Gpu,
+        ResourceKind::Network,
+    ];
+
+    /// Index of this resource in the canonical stage cycle.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Resource at position `i mod k` of the canonical cycle.
+    pub fn from_index(i: usize) -> ResourceKind {
+        Self::ALL[i % NUM_RESOURCES]
+    }
+
+    /// The next stage's resource in the canonical iteration cycle.
+    pub fn next(self) -> ResourceKind {
+        Self::from_index(self.index() + 1)
+    }
+
+    /// Human-readable stage name used in the paper's Table 1.
+    pub fn stage_name(self) -> &'static str {
+        match self {
+            ResourceKind::Storage => "Load Data",
+            ResourceKind::Cpu => "Preprocess",
+            ResourceKind::Gpu => "Propagate",
+            ResourceKind::Network => "Synchronize",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ResourceKind::Storage => "storage",
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Gpu => "gpu",
+            ResourceKind::Network => "network",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fixed-size vector with one entry per [`ResourceKind`].
+///
+/// This is the `t_i^j` table of the paper's Eq. 1–4: for job *i*,
+/// `ResourceVec<SimDuration>` holds the time the job spends on each
+/// resource per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ResourceVec<T>(pub [T; NUM_RESOURCES]);
+
+impl<T> ResourceVec<T> {
+    /// Build from a function of the resource kind.
+    pub fn from_fn(mut f: impl FnMut(ResourceKind) -> T) -> Self {
+        ResourceVec(ResourceKind::ALL.map(&mut f))
+    }
+
+    /// Iterate `(kind, &value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKind, &T)> {
+        ResourceKind::ALL.iter().copied().zip(self.0.iter())
+    }
+
+    /// Map each entry, preserving resource association.
+    pub fn map<U>(&self, mut f: impl FnMut(ResourceKind, &T) -> U) -> ResourceVec<U> {
+        let mut i = 0;
+        ResourceVec(ResourceKind::ALL.map(|k| {
+            let v = f(k, &self.0[i]);
+            i += 1;
+            v
+        }))
+    }
+}
+
+impl<T: Copy> ResourceVec<T> {
+    /// A vector with every entry equal to `v`.
+    pub fn splat(v: T) -> Self {
+        ResourceVec([v; NUM_RESOURCES])
+    }
+
+    /// The raw values in canonical order.
+    pub fn values(&self) -> [T; NUM_RESOURCES] {
+        self.0
+    }
+}
+
+impl<T> Index<ResourceKind> for ResourceVec<T> {
+    type Output = T;
+    fn index(&self, r: ResourceKind) -> &T {
+        &self.0[r.index()]
+    }
+}
+
+impl<T> IndexMut<ResourceKind> for ResourceVec<T> {
+    fn index_mut(&mut self, r: ResourceKind) -> &mut T {
+        &mut self.0[r.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_cycle_is_the_data_path() {
+        assert_eq!(ResourceKind::Storage.next(), ResourceKind::Cpu);
+        assert_eq!(ResourceKind::Cpu.next(), ResourceKind::Gpu);
+        assert_eq!(ResourceKind::Gpu.next(), ResourceKind::Network);
+        assert_eq!(ResourceKind::Network.next(), ResourceKind::Storage);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for r in ResourceKind::ALL {
+            assert_eq!(ResourceKind::from_index(r.index()), r);
+        }
+        // from_index wraps modulo k.
+        assert_eq!(ResourceKind::from_index(5), ResourceKind::Cpu);
+    }
+
+    #[test]
+    fn resource_vec_indexing() {
+        let mut v = ResourceVec::splat(0u32);
+        v[ResourceKind::Gpu] = 7;
+        assert_eq!(v[ResourceKind::Gpu], 7);
+        assert_eq!(v[ResourceKind::Cpu], 0);
+        assert_eq!(v.values(), [0, 0, 7, 0]);
+    }
+
+    #[test]
+    fn resource_vec_from_fn_and_map() {
+        let v = ResourceVec::from_fn(|k| k.index() as u32 * 10);
+        assert_eq!(v.values(), [0, 10, 20, 30]);
+        let doubled = v.map(|_, x| x * 2);
+        assert_eq!(doubled.values(), [0, 20, 40, 60]);
+    }
+
+    #[test]
+    fn iter_yields_canonical_order() {
+        let v = ResourceVec::from_fn(|k| k.index());
+        let kinds: Vec<_> = v.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, ResourceKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn stage_names_match_table1() {
+        assert_eq!(ResourceKind::Storage.stage_name(), "Load Data");
+        assert_eq!(ResourceKind::Network.stage_name(), "Synchronize");
+    }
+}

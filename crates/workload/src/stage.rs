@@ -1,0 +1,364 @@
+//! Per-iteration stage profiles.
+//!
+//! A [`StageProfile`] is the scheduler-facing description of one training
+//! iteration: how long the job occupies each resource type (`t_i^j` in the
+//! paper's Eq. 1–4). It is what the resource profiler measures and what the
+//! interleaving-efficiency math consumes.
+//!
+//! This module also implements the paper's §4.2 "handling multi-resource
+//! usage in practice" procedure, which derives a stage profile from a raw
+//! multi-resource utilization trace: normalize each resource's usage to its
+//! peak, attribute each time point to the resource with the highest
+//! normalized usage, and filter usage below a threshold to zero.
+
+use crate::resource::{ResourceKind, ResourceVec};
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-iteration duration of each stage (one per resource type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage duration per resource kind, in canonical stage order.
+    pub stage: ResourceVec<SimDuration>,
+}
+
+impl StageProfile {
+    /// Build a profile from per-stage durations in canonical order
+    /// (storage, cpu, gpu, network).
+    pub fn new(storage: SimDuration, cpu: SimDuration, gpu: SimDuration, net: SimDuration) -> Self {
+        StageProfile {
+            stage: ResourceVec([storage, cpu, gpu, net]),
+        }
+    }
+
+    /// Build a profile from per-stage durations in fractional seconds.
+    pub fn from_secs_f64(storage: f64, cpu: f64, gpu: f64, net: f64) -> Self {
+        StageProfile::new(
+            SimDuration::from_secs_f64(storage),
+            SimDuration::from_secs_f64(cpu),
+            SimDuration::from_secs_f64(gpu),
+            SimDuration::from_secs_f64(net),
+        )
+    }
+
+    /// Total serial iteration time: the sum of all stage durations
+    /// (the per-iteration time when the job runs alone without intra-job
+    /// pipelining).
+    pub fn iteration_time(&self) -> SimDuration {
+        self.stage.0.iter().copied().sum()
+    }
+
+    /// Duration of the stage occupying resource `r`.
+    pub fn duration(&self, r: ResourceKind) -> SimDuration {
+        self.stage[r]
+    }
+
+    /// The resource this job is bottlenecked on: the stage with the longest
+    /// duration (ties broken by canonical order).
+    pub fn bottleneck(&self) -> ResourceKind {
+        let mut best = ResourceKind::Storage;
+        for r in ResourceKind::ALL {
+            if self.stage[r] > self.stage[best] {
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// Fraction of the iteration each stage takes (Table 1's "duration
+    /// percentage"). Returns zeros for an all-zero profile.
+    pub fn fractions(&self) -> ResourceVec<f64> {
+        let total = self.iteration_time().as_secs_f64();
+        if total == 0.0 {
+            return ResourceVec::splat(0.0);
+        }
+        self.stage.map(|_, d| d.as_secs_f64() / total)
+    }
+
+    /// Scale every stage duration by `factor` (used to fit a model's
+    /// relative profile to a target iteration time, and by the noisy
+    /// profiler).
+    pub fn scale(&self, factor: f64) -> StageProfile {
+        StageProfile {
+            stage: self.stage.map(|_, d| d.scale(factor)),
+        }
+    }
+
+    /// Scale a single stage by `factor`, leaving the others unchanged.
+    pub fn scale_stage(&self, r: ResourceKind, factor: f64) -> StageProfile {
+        let mut p = *self;
+        p.stage[r] = p.stage[r].scale(factor);
+        p
+    }
+
+    /// Merge two profiles by concatenating the same stages (the paper's
+    /// "fusing" operation, §4.1: job E = A then C uses A's CPU time plus
+    /// C's CPU time, etc.). Muri avoids fusing when *grouping*, but the
+    /// multi-round algorithm (Algorithm 1) merges matched nodes between
+    /// rounds, and the merged node's profile is exactly this concatenation.
+    pub fn concat(&self, other: &StageProfile) -> StageProfile {
+        StageProfile {
+            stage: ResourceVec::from_fn(|r| self.stage[r] + other.stage[r]),
+        }
+    }
+
+    /// True if every stage is zero.
+    pub fn is_empty(&self) -> bool {
+        self.iteration_time().is_zero()
+    }
+}
+
+impl fmt::Display for StageProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[io={} cpu={} gpu={} net={}]",
+            self.stage[ResourceKind::Storage],
+            self.stage[ResourceKind::Cpu],
+            self.stage[ResourceKind::Gpu],
+            self.stage[ResourceKind::Network],
+        )
+    }
+}
+
+/// One sample of raw multi-resource utilization (arbitrary units per
+/// resource, e.g. MB/s for storage, % for CPU/GPU, Gbps for network).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsageSample {
+    /// Utilization per resource at this time point.
+    pub usage: ResourceVec<f64>,
+}
+
+/// A raw utilization trace of one training iteration, sampled at a fixed
+/// period — what a real profiler (e.g. PyTorch Profiler + node monitors)
+/// would record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageTrace {
+    /// Sampling period.
+    pub period: SimDuration,
+    /// Samples covering exactly one iteration.
+    pub samples: Vec<UsageSample>,
+}
+
+impl UsageTrace {
+    /// Synthesize the raw utilization trace a node monitor would record
+    /// for one iteration of a job with the given stage profile: each
+    /// stage drives its resource near 100% for its duration, every other
+    /// resource idles at a small background level, and multiplicative
+    /// noise perturbs each sample. This is the inverse of
+    /// [`UsageTrace::to_stage_profile`] — together they form the full
+    /// §4.2 measurement pipeline, and the round trip is property-tested.
+    pub fn synthesize(
+        profile: &StageProfile,
+        period: SimDuration,
+        noise: f64,
+        seed: u64,
+    ) -> UsageTrace {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+        // Simple deterministic xorshift so this stays dependency-free.
+        let mut state = seed | 1;
+        let mut jitter = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            1.0 + noise * (2.0 * u - 1.0)
+        };
+        let mut samples = Vec::new();
+        for r in ResourceKind::ALL {
+            let steps = profile.duration(r).as_micros().div_ceil(period.as_micros().max(1));
+            for _ in 0..steps {
+                let usage = ResourceVec::from_fn(|k| {
+                    let base = if k == r { 95.0 } else { 4.0 };
+                    (base * jitter()).clamp(0.0, 100.0)
+                });
+                samples.push(UsageSample { usage });
+            }
+        }
+        UsageTrace { period, samples }
+    }
+
+    /// Derive a [`StageProfile`] using the paper's §4.2 procedure:
+    ///
+    /// 1. normalize each resource's usage to its peak over the iteration;
+    /// 2. zero out normalized usage below `threshold`;
+    /// 3. attribute each time point to the resource with the highest
+    ///    remaining normalized usage;
+    /// 4. the duration of each resource is the number of attributed time
+    ///    points times the sampling period.
+    ///
+    /// Time points where every resource is below the threshold count as
+    /// idle and are attributed to no stage.
+    pub fn to_stage_profile(&self, threshold: f64) -> StageProfile {
+        let peak = ResourceVec::from_fn(|r| {
+            self.samples
+                .iter()
+                .map(|s| s.usage[r])
+                .fold(0.0_f64, f64::max)
+        });
+        let mut counts = ResourceVec::splat(0u64);
+        for s in &self.samples {
+            let mut best: Option<(ResourceKind, f64)> = None;
+            for r in ResourceKind::ALL {
+                if peak[r] <= 0.0 {
+                    continue;
+                }
+                let norm = s.usage[r] / peak[r];
+                if norm < threshold {
+                    continue;
+                }
+                match best {
+                    Some((_, b)) if b >= norm => {}
+                    _ => best = Some((r, norm)),
+                }
+            }
+            if let Some((r, _)) = best {
+                counts[r] += 1;
+            }
+        }
+        StageProfile {
+            stage: ResourceVec::from_fn(|r| self.period * counts[r]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn iteration_time_is_sum_of_stages() {
+        let p = StageProfile::new(secs(1), secs(2), secs(3), secs(4));
+        assert_eq!(p.iteration_time(), secs(10));
+    }
+
+    #[test]
+    fn bottleneck_is_longest_stage() {
+        let p = StageProfile::new(secs(1), secs(5), secs(3), secs(4));
+        assert_eq!(p.bottleneck(), ResourceKind::Cpu);
+        // Ties break toward the earlier stage in canonical order.
+        let tie = StageProfile::new(secs(5), secs(5), secs(1), secs(1));
+        assert_eq!(tie.bottleneck(), ResourceKind::Storage);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let p = StageProfile::new(secs(1), secs(1), secs(1), secs(1));
+        let f = p.fractions();
+        let total: f64 = f.values().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((f[ResourceKind::Gpu] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_of_empty_profile_are_zero() {
+        let p = StageProfile::default();
+        assert_eq!(p.fractions().values(), [0.0; 4]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn concat_adds_same_stages() {
+        // Fig. 4's fusion example: A (2 CPU, 1 GPU) + C (2 CPU, 1 GPU)
+        // gives E (4 CPU, 2 GPU).
+        let a = StageProfile::new(SimDuration::ZERO, secs(2), secs(1), SimDuration::ZERO);
+        let c = a;
+        let e = a.concat(&c);
+        assert_eq!(e.duration(ResourceKind::Cpu), secs(4));
+        assert_eq!(e.duration(ResourceKind::Gpu), secs(2));
+    }
+
+    #[test]
+    fn scale_preserves_fractions() {
+        let p = StageProfile::new(secs(1), secs(2), secs(3), secs(4));
+        let q = p.scale(2.0);
+        assert_eq!(q.iteration_time(), secs(20));
+        for r in ResourceKind::ALL {
+            assert!((p.fractions()[r] - q.fractions()[r]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn usage_trace_attribution() {
+        // 6 samples: 2 storage-heavy, 2 cpu-heavy, 1 gpu-heavy, 1 idle.
+        let mk = |io: f64, cpu: f64, gpu: f64, net: f64| UsageSample {
+            usage: ResourceVec([io, cpu, gpu, net]),
+        };
+        let trace = UsageTrace {
+            period: SimDuration::from_millis(100),
+            samples: vec![
+                mk(100.0, 10.0, 5.0, 0.0),
+                mk(90.0, 10.0, 5.0, 0.0),
+                mk(5.0, 80.0, 10.0, 0.0),
+                mk(5.0, 75.0, 10.0, 0.0),
+                mk(0.0, 5.0, 95.0, 0.0),
+                mk(1.0, 1.0, 1.0, 0.0),
+            ],
+        };
+        let p = trace.to_stage_profile(0.2);
+        assert_eq!(p.duration(ResourceKind::Storage), SimDuration::from_millis(200));
+        assert_eq!(p.duration(ResourceKind::Cpu), SimDuration::from_millis(200));
+        assert_eq!(p.duration(ResourceKind::Gpu), SimDuration::from_millis(100));
+        // The idle sample (all below 20% of peak) is attributed nowhere.
+        assert_eq!(p.duration(ResourceKind::Network), SimDuration::ZERO);
+        assert_eq!(p.iteration_time(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn synthesized_trace_attribution_recovers_profile() {
+        // The full §4.2 pipeline: profile → raw utilization samples →
+        // peak-normalized argmax attribution → profile. Recovery is exact
+        // up to sampling-period quantization.
+        let period = SimDuration::from_millis(50);
+        for m in crate::model::ModelKind::ALL {
+            let truth = m.profile(16);
+            let trace = UsageTrace::synthesize(&truth, period, 0.15, 42);
+            let recovered = trace.to_stage_profile(0.3);
+            for r in ResourceKind::ALL {
+                let err = recovered
+                    .duration(r)
+                    .as_secs_f64()
+                    - truth.duration(r).as_secs_f64();
+                assert!(
+                    err.abs() <= period.as_secs_f64() + 1e-9,
+                    "{m}/{r}: recovered {} vs truth {}",
+                    recovered.duration(r),
+                    truth.duration(r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_trace_is_deterministic_per_seed() {
+        let p = StageProfile::from_secs_f64(0.4, 0.2, 0.8, 0.1);
+        let period = SimDuration::from_millis(20);
+        assert_eq!(
+            UsageTrace::synthesize(&p, period, 0.3, 7),
+            UsageTrace::synthesize(&p, period, 0.3, 7)
+        );
+        assert_ne!(
+            UsageTrace::synthesize(&p, period, 0.3, 7),
+            UsageTrace::synthesize(&p, period, 0.3, 8)
+        );
+    }
+
+    #[test]
+    fn usage_trace_all_zero_resource_never_wins() {
+        let trace = UsageTrace {
+            period: SimDuration::from_millis(10),
+            samples: vec![UsageSample {
+                usage: ResourceVec([0.0, 0.0, 50.0, 0.0]),
+            }],
+        };
+        let p = trace.to_stage_profile(0.1);
+        assert_eq!(p.duration(ResourceKind::Gpu), SimDuration::from_millis(10));
+        assert_eq!(p.duration(ResourceKind::Storage), SimDuration::ZERO);
+    }
+}

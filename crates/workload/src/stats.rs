@@ -1,0 +1,80 @@
+//! Small statistics helpers shared across the workspace
+//! (means, percentiles, normalization).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The `p`-th percentile (0–100) using the nearest-rank method on a sorted
+/// copy; 0 for an empty slice. `percentile(xs, 99.0)` is the paper's "tail
+/// JCT (99th percentile)".
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Maximum; 0 for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// `a / b` with 0/0 = 1 and x/0 = inf — used for "normalized to baseline"
+/// reporting where a zero baseline means the metric is degenerate.
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        // Unsorted input is fine.
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), 3.0);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert!(ratio(1.0, 0.0).is_infinite());
+        assert_eq!(ratio(6.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn max_basic() {
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(max(&[1.0, 9.0, 4.0]), 9.0);
+    }
+}

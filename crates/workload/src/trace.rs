@@ -1,0 +1,341 @@
+//! Job traces: collections of job specs with submission times.
+//!
+//! The paper drives its simulations with Microsoft Philly traces split by
+//! virtual cluster, and its testbed experiments with "the busiest interval
+//! that contains 400 jobs". Traces here can be synthesized
+//! ([`crate::synth`]) or loaded from CSV; both forms support the paper's
+//! trace transformations: the `'` variants that set every submission time
+//! to zero (traces 1'–4', §6.3) and busiest-window extraction (§6.1).
+
+use crate::job::{JobId, JobSpec};
+use crate::model::ModelKind;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A named collection of job specs, ordered by submission time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Trace name (e.g. "trace-1", "trace-1-t0").
+    pub name: String,
+    /// Jobs sorted by `submit_time` (ties by id).
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Trace {
+    /// Build a trace, sorting jobs by submission time (ties by id).
+    pub fn new(name: impl Into<String>, mut jobs: Vec<JobSpec>) -> Self {
+        jobs.sort_by_key(|j| (j.submit_time, j.id));
+        Trace {
+            name: name.into(),
+            jobs,
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The paper's high-load variant (traces 1'–4'): every job submitted
+    /// at t = 0.
+    pub fn at_time_zero(&self) -> Trace {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| JobSpec {
+                submit_time: SimTime::ZERO,
+                ..*j
+            })
+            .collect();
+        Trace::new(format!("{}-t0", self.name), jobs)
+    }
+
+    /// Extract the densest contiguous window of `n` jobs (the "busiest
+    /// interval", §6.1) and rebase its submission times to zero. Returns
+    /// the whole trace (rebased) if it has at most `n` jobs.
+    pub fn busiest_window(&self, n: usize) -> Trace {
+        if self.jobs.is_empty() {
+            return self.clone();
+        }
+        let n = n.max(1);
+        let (start, len) = if self.jobs.len() <= n {
+            (0, self.jobs.len())
+        } else {
+            // Minimize the submit-time span of an n-job window.
+            let mut best = (0usize, SimDuration::MAX);
+            for i in 0..=self.jobs.len() - n {
+                let span = self.jobs[i + n - 1]
+                    .submit_time
+                    .since(self.jobs[i].submit_time);
+                if span < best.1 {
+                    best = (i, span);
+                }
+            }
+            (best.0, n)
+        };
+        let base = self.jobs[start].submit_time;
+        let jobs = self.jobs[start..start + len]
+            .iter()
+            .map(|j| JobSpec {
+                submit_time: SimTime(j.submit_time.since(base).as_micros()),
+                ..*j
+            })
+            .collect();
+        Trace::new(format!("{}-busiest{}", self.name, len), jobs)
+    }
+
+    /// Total GPU service demand of the trace (Σ solo_duration × gpus).
+    pub fn total_service(&self) -> SimDuration {
+        self.jobs.iter().map(|j| j.solo_service()).sum()
+    }
+
+    /// Offered load relative to a cluster of `total_gpus` over the trace's
+    /// submission span: total service ÷ (gpus × span). Values above 1 mean
+    /// the cluster cannot keep up even at full utilization.
+    pub fn offered_load(&self, total_gpus: u32) -> f64 {
+        let span = self.submission_span();
+        if span.is_zero() || total_gpus == 0 {
+            return f64::INFINITY;
+        }
+        self.total_service().as_secs_f64() / (total_gpus as f64 * span.as_secs_f64())
+    }
+
+    /// Time between the first and last submission.
+    pub fn submission_span(&self) -> SimDuration {
+        match (self.jobs.first(), self.jobs.last()) {
+            (Some(a), Some(b)) => b.submit_time.since(a.submit_time),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Merge two traces into one, renumbering the second trace's job ids
+    /// past the first's maximum so ids stay unique (how multi-tenant
+    /// scenarios are composed from per-team traces).
+    pub fn merge(&self, other: &Trace) -> Trace {
+        let base = self.jobs.iter().map(|j| j.id.0).max().map_or(0, |m| m + 1);
+        let mut jobs = self.jobs.clone();
+        jobs.extend(other.jobs.iter().map(|j| JobSpec {
+            id: JobId(base + j.id.0),
+            ..*j
+        }));
+        Trace::new(format!("{}+{}", self.name, other.name), jobs)
+    }
+
+    /// The sub-trace of jobs submitted in `[from, to)`, with submission
+    /// times rebased to `from`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Trace {
+        let jobs = self
+            .jobs
+            .iter()
+            .filter(|j| j.submit_time >= from && j.submit_time < to)
+            .map(|j| JobSpec {
+                submit_time: SimTime(j.submit_time.since(from).as_micros()),
+                ..*j
+            })
+            .collect();
+        Trace::new(format!("{}-window", self.name), jobs)
+    }
+
+    /// Serialize to the CSV format understood by [`Trace::from_csv`]:
+    /// `job_id,model,num_gpus,iterations,submit_us` with a header line.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("job_id,model,num_gpus,iterations,submit_us\n");
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                j.id.0,
+                j.model.name(),
+                j.num_gpus,
+                j.iterations,
+                j.submit_time.as_micros()
+            ));
+        }
+        out
+    }
+
+    /// Parse a CSV trace produced by [`Trace::to_csv`].
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Trace, TraceParseError> {
+        let mut jobs = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.starts_with("job_id")) {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 5 {
+                return Err(TraceParseError {
+                    line: lineno + 1,
+                    reason: format!("expected 5 fields, got {}", fields.len()),
+                });
+            }
+            let err = |reason: String| TraceParseError {
+                line: lineno + 1,
+                reason,
+            };
+            let id = u32::from_str(fields[0]).map_err(|e| err(format!("job_id: {e}")))?;
+            let model = parse_model(fields[1]).ok_or_else(|| err(format!(
+                "unknown model {:?}",
+                fields[1]
+            )))?;
+            let num_gpus = u32::from_str(fields[2]).map_err(|e| err(format!("num_gpus: {e}")))?;
+            if !num_gpus.is_power_of_two() {
+                return Err(err(format!("num_gpus {num_gpus} is not a power of two")));
+            }
+            let iterations = u64::from_str(fields[3]).map_err(|e| err(format!("iterations: {e}")))?;
+            let submit = u64::from_str(fields[4]).map_err(|e| err(format!("submit_us: {e}")))?;
+            jobs.push(JobSpec::new(
+                JobId(id),
+                model,
+                num_gpus,
+                iterations,
+                SimTime(submit),
+            ));
+        }
+        Ok(Trace::new(name, jobs))
+    }
+}
+
+fn parse_model(s: &str) -> Option<ModelKind> {
+    ModelKind::ALL.into_iter().find(|m| m.name() == s)
+}
+
+/// Error parsing a CSV trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error on line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, submit_secs: u64) -> JobSpec {
+        JobSpec::new(
+            JobId(id),
+            ModelKind::ResNet18,
+            1,
+            100,
+            SimTime::from_secs(submit_secs),
+        )
+    }
+
+    #[test]
+    fn new_sorts_by_submit_time() {
+        let t = Trace::new("t", vec![job(2, 50), job(1, 10), job(3, 30)]);
+        let ids: Vec<u32> = t.jobs.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn at_time_zero_zeroes_submissions() {
+        let t = Trace::new("t", vec![job(1, 10), job(2, 99)]);
+        let z = t.at_time_zero();
+        assert!(z.jobs.iter().all(|j| j.submit_time == SimTime::ZERO));
+        assert_eq!(z.name, "t-t0");
+        assert_eq!(z.len(), 2);
+    }
+
+    #[test]
+    fn busiest_window_picks_densest_span() {
+        // Jobs at t = 0, 100, 101, 102, 500: the densest 3-job window is
+        // {100, 101, 102}.
+        let t = Trace::new(
+            "t",
+            vec![job(1, 0), job(2, 100), job(3, 101), job(4, 102), job(5, 500)],
+        );
+        let w = t.busiest_window(3);
+        assert_eq!(w.len(), 3);
+        let ids: Vec<u32> = w.jobs.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        // Rebased to zero.
+        assert_eq!(w.jobs[0].submit_time, SimTime::ZERO);
+        assert_eq!(w.jobs[2].submit_time, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn busiest_window_of_small_trace_is_whole_trace() {
+        let t = Trace::new("t", vec![job(1, 7), job(2, 9)]);
+        let w = t.busiest_window(10);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.jobs[0].submit_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = Trace::new(
+            "rt",
+            vec![
+                JobSpec::new(JobId(1), ModelKind::Gpt2, 8, 5000, SimTime::from_secs(3)),
+                JobSpec::new(JobId(2), ModelKind::A2c, 1, 100, SimTime::ZERO),
+            ],
+        );
+        let csv = t.to_csv();
+        let back = Trace::from_csv("rt", &csv).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_rejects_bad_rows() {
+        assert!(Trace::from_csv("x", "1,NotAModel,1,10,0").is_err());
+        assert!(Trace::from_csv("x", "1,GPT-2,3,10,0").is_err(), "non-power-of-two gpus");
+        assert!(Trace::from_csv("x", "1,GPT-2,2,10").is_err(), "missing field");
+        let err = Trace::from_csv("x", "job_id,model,num_gpus,iterations,submit_us\noops,GPT-2,2,10,0")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn merge_renumbers_ids() {
+        let a = Trace::new("a", vec![job(0, 0), job(5, 10)]);
+        let b = Trace::new("b", vec![job(0, 3), job(1, 7)]);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 4);
+        let mut ids: Vec<u32> = m.jobs.iter().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "ids must stay unique after merge");
+        assert_eq!(m.name, "a+b");
+        // Merging with an empty trace is identity up to the name.
+        let empty = Trace::new("e", Vec::new());
+        assert_eq!(a.merge(&empty).jobs, a.jobs);
+    }
+
+    #[test]
+    fn window_selects_and_rebases() {
+        let t = Trace::new("t", vec![job(1, 5), job(2, 15), job(3, 25), job(4, 35)]);
+        let w = t.window(SimTime::from_secs(10), SimTime::from_secs(30));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.jobs[0].id, JobId(2));
+        assert_eq!(w.jobs[0].submit_time, SimTime::from_secs(5));
+        assert_eq!(w.jobs[1].submit_time, SimTime::from_secs(15));
+        // Empty window.
+        assert!(t.window(SimTime::from_secs(100), SimTime::from_secs(200)).is_empty());
+    }
+
+    #[test]
+    fn offered_load_scales_with_span() {
+        let t = Trace::new("t", vec![job(1, 0), job(2, 1000)]);
+        let load = t.offered_load(64);
+        assert!(load.is_finite() && load > 0.0);
+        // Same service over a zero span is infinite load.
+        assert!(t.at_time_zero().offered_load(64).is_infinite());
+    }
+}

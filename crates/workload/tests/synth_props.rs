@@ -1,0 +1,91 @@
+//! Property tests for the trace synthesizer: arbitrary configurations
+//! must produce well-formed traces (sorted submissions, bounded
+//! durations, power-of-two GPU counts, restricted model mixes) and stay
+//! deterministic.
+
+use muri_workload::{GpuDistribution, SimDuration, SynthConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        1usize..200,
+        any::<u64>(),
+        60.0f64..3600.0,
+        0.2f64..2.2,
+        0.2f64..3.0,
+        0.0f64..0.9,
+        0.0f64..0.9,
+        1usize..=4,
+    )
+        .prop_map(
+            |(num_jobs, seed, median, sigma, load, burst, diurnal, classes)| {
+                SynthConfig {
+                    name: "prop".into(),
+                    num_jobs,
+                    seed,
+                    duration_median_secs: median,
+                    duration_sigma: sigma,
+                    target_load: load,
+                    burst_fraction: burst,
+                    diurnal_amplitude: diurnal,
+                    max_duration: SimDuration::from_hours(24),
+                    min_duration: SimDuration::from_secs(10),
+                    ..SynthConfig::default()
+                }
+                .with_bottleneck_classes(classes)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn generated_traces_are_well_formed(cfg in arb_config()) {
+        let trace = cfg.generate();
+        prop_assert_eq!(trace.len(), cfg.num_jobs);
+        // Sorted submissions.
+        prop_assert!(trace.jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time));
+        for job in &trace.jobs {
+            prop_assert!(job.num_gpus.is_power_of_two());
+            prop_assert!(job.iterations >= 1);
+            prop_assert!(cfg.models.contains(&job.model), "model outside the mix");
+            // Duration bounds hold up to one iteration of rounding slack.
+            let iter = job.true_profile().iteration_time();
+            let d = job.solo_duration();
+            prop_assert!(d + iter >= cfg.min_duration);
+            prop_assert!(d <= cfg.max_duration + iter);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive(cfg in arb_config()) {
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(&a, &b);
+        if cfg.num_jobs >= 5 {
+            let mut other = cfg.clone();
+            other.seed = cfg.seed.wrapping_add(1);
+            prop_assert_ne!(a, other.generate());
+        }
+    }
+
+    #[test]
+    fn gpu_distribution_capping_respects_cap(cap_exp in 0u32..=5) {
+        let cap = 1u32 << cap_exp;
+        let capped = GpuDistribution::default().capped(cap.max(1));
+        prop_assert!(capped.weights.iter().all(|&(g, _)| g <= cap.max(1)));
+        prop_assert!(capped.mean() >= 1.0);
+    }
+
+    #[test]
+    fn time_zero_variant_preserves_everything_but_submissions(cfg in arb_config()) {
+        let trace = cfg.generate();
+        let t0 = trace.at_time_zero();
+        prop_assert_eq!(trace.len(), t0.len());
+        prop_assert_eq!(trace.total_service(), t0.total_service());
+        for j in &t0.jobs {
+            prop_assert_eq!(j.submit_time, muri_workload::SimTime::ZERO);
+        }
+    }
+}

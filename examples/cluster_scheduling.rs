@@ -1,0 +1,65 @@
+//! Cluster scheduling: run the same bursty workload under six schedulers
+//! on the paper's 64-GPU testbed and compare the metrics the paper
+//! reports (average JCT, makespan, tail JCT, queue length).
+//!
+//! ```text
+//! cargo run --release --example cluster_scheduling
+//! ```
+
+use muri::cluster::ClusterSpec;
+use muri::core::{PolicyKind, SchedulerConfig};
+use muri::sim::{simulate, SimConfig};
+use muri::workload::SynthConfig;
+
+fn main() {
+    // A 600-job bursty workload at ~1.4x offered load on 64 GPUs.
+    let trace = SynthConfig {
+        name: "demo".into(),
+        num_jobs: 600,
+        seed: 7,
+        duration_median_secs: 1200.0,
+        duration_sigma: 1.2,
+        target_load: 1.4,
+        ..SynthConfig::default()
+    }
+    .generate();
+    println!(
+        "workload: {} jobs, offered load {:.2} on 64 GPUs, submission span {}\n",
+        trace.len(),
+        trace.offered_load(64),
+        trace.submission_span()
+    );
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>10} {:>9}",
+        "policy", "avg JCT", "p99 JCT", "makespan", "avg queue", "restarts"
+    );
+    for policy in [
+        PolicyKind::Srtf,
+        PolicyKind::Srsf,
+        PolicyKind::Tiresias,
+        PolicyKind::Themis,
+        PolicyKind::AntMan,
+        PolicyKind::MuriS,
+        PolicyKind::MuriL,
+    ] {
+        let cfg = SimConfig {
+            cluster: ClusterSpec::paper_testbed(),
+            ..SimConfig::testbed(SchedulerConfig::preset(policy))
+        };
+        let r = simulate(&trace, &cfg);
+        assert!(r.all_finished(), "{policy:?} left jobs unfinished");
+        let restarts: u32 = r.records.iter().map(|j| j.restarts).sum();
+        println!(
+            "{:<10} {:>11.0}s {:>11.0}s {:>11.1}h {:>10.1} {:>9}",
+            policy.name(),
+            r.avg_jct_secs(),
+            r.p99_jct_secs(),
+            r.makespan_secs() / 3600.0,
+            r.avg_queue_length(),
+            restarts
+        );
+    }
+    println!("\nMuri-S/Muri-L pack complementary jobs onto shared GPUs in time;");
+    println!("the win is largest against the duration-unaware baselines.");
+}

@@ -1,0 +1,63 @@
+//! Trace replay: synthesize a Philly-like trace, round-trip it through
+//! CSV (the interchange format for real traces), carve out the busiest
+//! window, and replay it under Muri-L with the Fig. 8 metric series.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use muri::core::{PolicyKind, SchedulerConfig};
+use muri::sim::{simulate, SimConfig};
+use muri::workload::{philly_like_trace, ResourceKind, Trace};
+
+fn main() {
+    // Trace 1 of the evaluation (992 jobs, Philly-like shape).
+    let trace = philly_like_trace(1, 1.0);
+    println!(
+        "trace {}: {} jobs, load {:.2}, span {}",
+        trace.name,
+        trace.len(),
+        trace.offered_load(64),
+        trace.submission_span()
+    );
+
+    // CSV round trip — how you would feed a real trace in.
+    let csv = trace.to_csv();
+    let restored = Trace::from_csv(trace.name.clone(), &csv).expect("own CSV must parse");
+    assert_eq!(trace, restored);
+    println!("CSV round-trip OK ({} bytes)", csv.len());
+
+    // The paper's testbed selection: the busiest 400-job window.
+    let window = trace.busiest_window(400);
+    println!(
+        "busiest window: {} jobs over {} (load {:.2})\n",
+        window.len(),
+        window.submission_span(),
+        window.offered_load(64)
+    );
+
+    // Replay under Muri-L and print a downsampled Fig. 8-style series.
+    let cfg = SimConfig::testbed(SchedulerConfig::preset(PolicyKind::MuriL));
+    let report = simulate(&window, &cfg);
+    println!(
+        "Muri-L: avg JCT {:.0}s, p99 {:.0}s, makespan {:.1}h, all finished: {}",
+        report.avg_jct_secs(),
+        report.p99_jct_secs(),
+        report.makespan_secs() / 3600.0,
+        report.all_finished()
+    );
+    println!("\n{:>8} {:>6} {:>6} {:>9} {:>6} {:>6} {:>6}", "t", "queue", "run", "blocking", "io", "cpu", "gpu");
+    let step = (report.series.len() / 20).max(1);
+    for s in report.series.iter().step_by(step) {
+        println!(
+            "{:>7.1}h {:>6} {:>6} {:>9.2} {:>6.2} {:>6.2} {:>6.2}",
+            s.time.as_secs_f64() / 3600.0,
+            s.queue_length,
+            s.running_jobs,
+            s.blocking_index,
+            s.utilization[ResourceKind::Storage],
+            s.utilization[ResourceKind::Cpu],
+            s.utilization[ResourceKind::Gpu],
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Workspace-level integration tests: cross-crate invariants and
+//! metamorphic properties of the full pipeline (trace → scheduler →
+//! simulator → metrics), exercised through the `muri` facade.
+
+use muri::cluster::ClusterSpec;
+use muri::core::{PolicyKind, SchedulerConfig};
+use muri::sim::{simulate, SimConfig, SimReport};
+use muri::workload::{
+    JobId, JobSpec, ModelKind, SimDuration, SimTime, SynthConfig, Trace,
+};
+
+fn small_trace(n: usize, seed: u64) -> Trace {
+    SynthConfig {
+        name: "e2e".into(),
+        num_jobs: n,
+        seed,
+        duration_median_secs: 240.0,
+        duration_sigma: 1.0,
+        load_reference_gpus: 16,
+        target_load: 1.3,
+        gpu_dist: muri::workload::GpuDistribution::default().capped(8),
+        ..SynthConfig::default()
+    }
+    .generate()
+}
+
+fn run(trace: &Trace, policy: PolicyKind) -> SimReport {
+    let cfg = SimConfig {
+        cluster: ClusterSpec::with_machines(2),
+        ..SimConfig::testbed(SchedulerConfig::preset(policy))
+    };
+    simulate(trace, &cfg)
+}
+
+#[test]
+fn every_policy_completes_every_job() {
+    let trace = small_trace(40, 11);
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::Srsf,
+        PolicyKind::Tiresias,
+        PolicyKind::Themis,
+        PolicyKind::AntMan,
+        PolicyKind::MuriS,
+        PolicyKind::MuriL,
+    ] {
+        let r = run(&trace, policy);
+        assert!(r.all_finished(), "{}: unfinished jobs", policy.name());
+        assert_eq!(r.records.len(), trace.len());
+        for rec in &r.records {
+            assert_eq!(rec.iterations_done, rec.iterations_total, "{}", rec.id);
+        }
+    }
+}
+
+#[test]
+fn makespan_scales_with_job_durations() {
+    // Metamorphic: doubling every job's iteration count roughly doubles
+    // the saturated-phase makespan (restart penalties and queue padding
+    // make it slightly sublinear).
+    let base = small_trace(30, 13);
+    let doubled = Trace::new(
+        "e2e-doubled",
+        base.jobs
+            .iter()
+            .map(|j| JobSpec {
+                iterations: j.iterations * 2,
+                ..*j
+            })
+            .collect(),
+    );
+    let r1 = run(&base, PolicyKind::MuriL);
+    let r2 = run(&doubled, PolicyKind::MuriL);
+    let ratio = r2.makespan_secs() / r1.makespan_secs();
+    assert!(
+        (1.5..=2.6).contains(&ratio),
+        "doubling work should ~double makespan, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn more_gpus_never_hurt_makespan() {
+    let trace = small_trace(40, 17);
+    let mk = |machines: u32| {
+        let cfg = SimConfig {
+            cluster: ClusterSpec::with_machines(machines),
+            ..SimConfig::testbed(SchedulerConfig::preset(PolicyKind::MuriS))
+        };
+        simulate(&trace, &cfg).makespan_secs()
+    };
+    let small = mk(1);
+    let large = mk(4);
+    assert!(
+        large <= small * 1.05,
+        "4 machines ({large}) should not be slower than 1 ({small})"
+    );
+}
+
+#[test]
+fn jct_decomposes_into_queueing_plus_execution() {
+    let trace = small_trace(30, 19);
+    let r = run(&trace, PolicyKind::MuriL);
+    for rec in &r.records {
+        let jct = rec.jct().expect("finished");
+        let queueing = rec.queueing_delay().expect("started");
+        assert!(queueing <= jct, "{}", rec.id);
+        // Attained execution time happens inside the JCT window.
+        assert!(rec.attained <= jct, "{}", rec.id);
+    }
+}
+
+#[test]
+fn interleaving_policies_run_more_jobs_concurrently() {
+    let trace = small_trace(60, 23).at_time_zero();
+    let srsf = run(&trace, PolicyKind::Srsf);
+    let muri = run(&trace, PolicyKind::MuriS);
+    let peak = |r: &SimReport| r.series.iter().map(|s| s.running_jobs).max().unwrap_or(0);
+    assert!(
+        peak(&muri) > peak(&srsf),
+        "Muri should pack more concurrent jobs: {} vs {}",
+        peak(&muri),
+        peak(&srsf)
+    );
+}
+
+#[test]
+fn profiler_cache_means_one_measurement_per_model() {
+    use muri::workload::{Profiler, ProfilerConfig};
+    let mut p = Profiler::new(ProfilerConfig::with_noise(0.3));
+    let trace = small_trace(50, 29);
+    for j in &trace.jobs {
+        let _ = p.measure(j);
+    }
+    // At most one measurement per (model, gpu-count) pair.
+    let mut pairs: Vec<(ModelKind, u32)> =
+        trace.jobs.iter().map(|j| (j.model, j.num_gpus)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    assert_eq!(p.measurements() as usize, pairs.len());
+}
+
+#[test]
+fn zero_length_trace_is_a_noop() {
+    let trace = Trace::new("empty", Vec::new());
+    let r = run(&trace, PolicyKind::MuriL);
+    assert_eq!(r.records.len(), 0);
+    assert_eq!(r.makespan_secs(), 0.0);
+}
+
+#[test]
+fn single_job_trace_runs_immediately() {
+    let job = JobSpec::new(JobId(0), ModelKind::Bert, 4, 200, SimTime::from_secs(50));
+    let trace = Trace::new("one", vec![job]);
+    let r = run(&trace, PolicyKind::MuriS);
+    let rec = &r.records[0];
+    assert_eq!(rec.first_start, Some(SimTime::from_secs(50)));
+    let expected = job.solo_duration() + SimDuration::from_secs(30); // restart penalty
+    assert_eq!(rec.jct(), Some(expected));
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let trace = small_trace(10, 31);
+    let r = run(&trace, PolicyKind::MuriL);
+    let json = serde_json::to_string(&r).expect("report serializes");
+    let back: SimReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(r, back);
+}

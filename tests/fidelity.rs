@@ -1,0 +1,91 @@
+//! Fidelity guarantees across the model zoo: the closed-form lockstep
+//! model (Eq. 3) that the scheduler and simulator use must upper-bound
+//! the fine-grained timeline executor for every model pair, and the
+//! §2.2 memory-feasibility argument must hold for every 4-way group the
+//! matcher could form.
+
+use muri::interleave::{
+    choose_ordering, run_timeline, stagger_delays, OrderingPolicy, TimelineJob,
+};
+use muri::workload::{
+    group_memory_overhead, group_peak_memory_mb, JobId, ModelKind, SimDuration,
+};
+
+#[test]
+fn eq3_upper_bounds_the_executor_for_every_pair() {
+    for (i, a) in ModelKind::ALL.iter().enumerate() {
+        for b in ModelKind::ALL.iter().skip(i + 1) {
+            let profiles = [a.profile(16), b.profile(16)];
+            let ordering = choose_ordering(&profiles, OrderingPolicy::Best);
+            let delays = stagger_delays(&profiles, &ordering.offsets);
+            let jobs: Vec<TimelineJob> = profiles
+                .iter()
+                .zip(delays)
+                .enumerate()
+                .map(|(j, (&profile, initial_delay))| TimelineJob {
+                    id: JobId(j as u32),
+                    profile,
+                    slots: vec![0],
+                    initial_delay,
+                    iterations: 40,
+                })
+                .collect();
+            let report = run_timeline(&jobs, 1, SimDuration::from_hours(6));
+            assert!(!report.horizon_reached, "{a}+{b} did not finish");
+            let realized = (0..2)
+                .filter_map(|j| report.avg_iteration_time(&jobs, j))
+                .max()
+                .expect("both finished");
+            assert!(
+                realized.as_secs_f64() <= ordering.iteration_time.as_secs_f64() * 1.02,
+                "{a}+{b}: executor {} exceeded the Eq. 3 bound {}",
+                realized,
+                ordering.iteration_time
+            );
+        }
+    }
+}
+
+#[test]
+fn every_possible_4way_group_fits_a_v100() {
+    // §2.2's feasibility claim, exhaustively over all C(8,4) = 70 groups:
+    // persistent state stacks but activation peaks interleave, so every
+    // group fits the 32 GB testbed GPU.
+    let models = ModelKind::ALL;
+    let mut checked = 0;
+    for a in 0..models.len() {
+        for b in a + 1..models.len() {
+            for c in b + 1..models.len() {
+                for d in c + 1..models.len() {
+                    let group = [
+                        models[a].memory_footprint(),
+                        models[b].memory_footprint(),
+                        models[c].memory_footprint(),
+                        models[d].memory_footprint(),
+                    ];
+                    let peak = group_peak_memory_mb(&group);
+                    assert!(
+                        peak < 32_000,
+                        "{}+{}+{}+{}: peak {peak} MB exceeds a V100",
+                        models[a],
+                        models[b],
+                        models[c],
+                        models[d]
+                    );
+                    // And overhead over the hungriest member stays modest
+                    // (paper: <10% for the Table 2 group; <35% for any).
+                    assert!(
+                        group_memory_overhead(&group) < 1.35,
+                        "{}+{}+{}+{}: overhead too high",
+                        models[a],
+                        models[b],
+                        models[c],
+                        models[d]
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 70);
+}

@@ -1,0 +1,160 @@
+//! Workspace-level property tests: invariants that must hold for *any*
+//! workload, spanning the interleaving math, the grouping algorithm, the
+//! scheduler's planning, and trace serialization.
+
+use muri::core::{
+    multi_round_grouping, plan_schedule, GroupingConfig, GroupingMode, PendingJob, PolicyKind,
+    SchedulerConfig,
+};
+use muri::interleave::{choose_ordering, group_efficiency, OrderingPolicy};
+use muri::workload::{
+    JobId, JobSpec, ModelKind, ResourceKind, SimDuration, SimTime, StageProfile, Trace,
+};
+use proptest::prelude::*;
+
+/// An arbitrary stage profile with stage durations up to ~100 s
+/// (microsecond granularity).
+fn arb_profile() -> impl Strategy<Value = StageProfile> {
+    (0u64..100_000_000, 0u64..100_000_000, 0u64..100_000_000, 0u64..100_000_000).prop_map(
+        |(a, b, c, d)| {
+            StageProfile::new(
+                SimDuration::from_micros(a),
+                SimDuration::from_micros(b),
+                SimDuration::from_micros(c),
+                SimDuration::from_micros(d),
+            )
+        },
+    )
+}
+
+fn arb_profiles(max: usize) -> impl Strategy<Value = Vec<StageProfile>> {
+    proptest::collection::vec(arb_profile(), 1..=max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn efficiency_is_always_in_unit_interval(profiles in arb_profiles(4)) {
+        for policy in [OrderingPolicy::Best, OrderingPolicy::Worst, OrderingPolicy::Canonical] {
+            let ordering = choose_ordering(&profiles, policy);
+            let gamma = group_efficiency(&profiles, &ordering.offsets);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&gamma), "{policy:?}: γ = {gamma}");
+        }
+    }
+
+    #[test]
+    fn group_iteration_time_bounds(profiles in arb_profiles(4)) {
+        // max member serial time ≤ T_best ≤ Σ member serial times.
+        let ordering = choose_ordering(&profiles, OrderingPolicy::Best);
+        let t = ordering.iteration_time;
+        let max_solo = profiles.iter().map(|p| p.iteration_time()).max().unwrap();
+        let sum_solo: SimDuration = profiles.iter().map(|p| p.iteration_time()).sum();
+        prop_assert!(t >= max_solo, "T {t} < max solo {max_solo}");
+        prop_assert!(t <= sum_solo, "T {t} > Σ solo {sum_solo}");
+        // Worst ordering can only be slower.
+        let worst = choose_ordering(&profiles, OrderingPolicy::Worst);
+        prop_assert!(worst.iteration_time >= t);
+    }
+
+    #[test]
+    fn per_resource_busy_time_fits_into_iteration(profiles in arb_profiles(4)) {
+        let ordering = choose_ordering(&profiles, OrderingPolicy::Best);
+        for r in ResourceKind::ALL {
+            let busy: SimDuration = profiles.iter().map(|p| p.duration(r)).sum();
+            prop_assert!(
+                busy <= ordering.iteration_time,
+                "{r}: busy {busy} exceeds T {}", ordering.iteration_time
+            );
+        }
+    }
+
+    #[test]
+    fn grouping_always_partitions_input(
+        profiles in arb_profiles(12),
+        cap in 1usize..=4,
+        mode_sel in 0u8..4,
+    ) {
+        let mode = match mode_sel {
+            0 => GroupingMode::None,
+            1 => GroupingMode::Blossom,
+            2 => GroupingMode::GreedyMatching,
+            _ => GroupingMode::PriorityPacking,
+        };
+        let cfg = GroupingConfig { mode, max_group_size: cap, ..GroupingConfig::default() };
+        let groups = multi_round_grouping(&profiles, &cfg);
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..profiles.len()).collect::<Vec<_>>());
+        for g in &groups {
+            prop_assert!(g.len() <= cap.max(1));
+        }
+    }
+
+    #[test]
+    fn plans_never_exceed_capacity_or_duplicate_jobs(
+        n in 1usize..40,
+        free in 0u32..=64,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move |bound: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % bound
+        };
+        let pending: Vec<PendingJob> = (0..n)
+            .map(|i| PendingJob {
+                id: JobId(i as u32),
+                num_gpus: 1 << next(4),
+                profile: ModelKind::ALL[next(8) as usize].profile(16),
+                submit_time: SimTime::from_secs(next(10_000)),
+                attained: SimDuration::from_secs(next(5_000)),
+                remaining: SimDuration::from_secs(next(50_000) + 1),
+            })
+            .collect();
+        for policy in [PolicyKind::Srsf, PolicyKind::MuriS, PolicyKind::MuriL, PolicyKind::AntMan] {
+            let cfg = SchedulerConfig::preset(policy);
+            let plan = plan_schedule(&cfg, &pending, free, SimTime::from_secs(20_000));
+            let used: u32 = plan.iter().map(|p| p.num_gpus).sum();
+            prop_assert!(used <= free, "{policy:?}: used {used} > free {free}");
+            let mut ids: Vec<JobId> = plan.iter().flat_map(|p| p.group.job_ids()).collect();
+            let before = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "{:?}: job planned twice", policy);
+            for p in &plan {
+                // Bucket invariant: members all need the group's GPU count.
+                for id in p.group.job_ids() {
+                    let job = pending.iter().find(|j| j.id == id).unwrap();
+                    prop_assert_eq!(job.num_gpus, p.num_gpus);
+                }
+                prop_assert!(p.group.len() <= cfg.pack_factor());
+            }
+        }
+    }
+
+    #[test]
+    fn trace_csv_roundtrip_arbitrary(specs in proptest::collection::vec(
+        (0u32..1000, 0usize..8, 0u32..5, 1u64..100_000, 0u64..1_000_000),
+        0..50,
+    )) {
+        let jobs: Vec<JobSpec> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, model, gpus_exp, iters, submit))| {
+                JobSpec::new(
+                    JobId(i as u32),
+                    ModelKind::ALL[model],
+                    1 << gpus_exp,
+                    iters,
+                    SimTime::from_secs(submit),
+                )
+            })
+            .collect();
+        let trace = Trace::new("prop", jobs);
+        let back = Trace::from_csv("prop", &trace.to_csv()).expect("own CSV parses");
+        prop_assert_eq!(trace, back);
+    }
+}
