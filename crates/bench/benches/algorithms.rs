@@ -26,12 +26,12 @@ fn bench_blossom(c: &mut Criterion) {
     for n in [16usize, 64, 128, 256] {
         let g = random_graph(n);
         group.bench_with_input(BenchmarkId::new("max_weight_matching", n), &g, |b, g| {
-            b.iter(|| maximum_weight_matching(black_box(g)))
+            b.iter(|| maximum_weight_matching(black_box(g)));
         });
     }
     let g = random_graph(128);
     group.bench_function("greedy_matching/128", |b| {
-        b.iter(|| greedy_matching(black_box(&g)))
+        b.iter(|| greedy_matching(black_box(&g)));
     });
     group.finish();
 }
@@ -40,11 +40,11 @@ fn bench_efficiency(c: &mut Criterion) {
     let mut group = c.benchmark_group("interleave");
     let profiles = mixed_profiles(4);
     group.bench_function("choose_ordering/4jobs", |b| {
-        b.iter(|| choose_ordering(black_box(&profiles), OrderingPolicy::Best))
+        b.iter(|| choose_ordering(black_box(&profiles), OrderingPolicy::Best));
     });
     let pair = mixed_profiles(2);
     group.bench_function("choose_ordering/pair", |b| {
-        b.iter(|| choose_ordering(black_box(&pair), OrderingPolicy::Best))
+        b.iter(|| choose_ordering(black_box(&pair), OrderingPolicy::Best));
     });
     group.finish();
 }
@@ -80,7 +80,7 @@ fn bench_timeline(c: &mut Criterion) {
         })
         .collect();
     group.bench_function("4jobs_200iters_1slot", |b| {
-        b.iter(|| run_timeline(black_box(&jobs), 1, SimDuration::from_hours(24)))
+        b.iter(|| run_timeline(black_box(&jobs), 1, SimDuration::from_hours(24)));
     });
     group.finish();
 }
@@ -92,7 +92,9 @@ fn bench_synth(c: &mut Criterion) {
         num_jobs: 1000,
         ..SynthConfig::default()
     };
-    group.bench_function("generate_1000_jobs", |b| b.iter(|| black_box(&cfg).generate()));
+    group.bench_function("generate_1000_jobs", |b| {
+        b.iter(|| black_box(&cfg).generate());
+    });
     group.finish();
 }
 

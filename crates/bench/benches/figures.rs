@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench code: panics are failures
+
 //! One bench target per paper *figure*: Fig. 1 (illustrative gains),
 //! Fig. 8 (detailed testbed metrics), Figs. 9–10 (trace-driven
 //! simulations), Figs. 11–14 (ablations). Figures run at a reduced scale
@@ -11,7 +13,7 @@ fn bench_fig(c: &mut Criterion, id: &str, scale: f64, samples: usize) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(samples);
     group.bench_function(id, |b| {
-        b.iter(|| run_experiment(black_box(id), Scale(scale)).expect("known experiment"))
+        b.iter(|| run_experiment(black_box(id), Scale(scale)).expect("known experiment"));
     });
     group.finish();
 }

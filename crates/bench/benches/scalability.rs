@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use muri_bench::mixed_profiles;
-use muri_core::{multi_round_grouping, plan_schedule, GroupingConfig, PendingJob, PolicyKind, SchedulerConfig};
+use muri_core::{
+    multi_round_grouping, plan_schedule, GroupingConfig, PendingJob, PolicyKind, SchedulerConfig,
+};
 use muri_workload::{JobId, SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -44,7 +46,7 @@ fn bench_full_scheduling_pass(c: &mut Criterion) {
         .collect();
     let cfg = SchedulerConfig::preset(PolicyKind::MuriS);
     group.bench_function("plan_schedule_1000_jobs_64gpus", |b| {
-        b.iter(|| plan_schedule(&cfg, black_box(&pending), 64, SimTime::ZERO))
+        b.iter(|| plan_schedule(&cfg, black_box(&pending), 64, SimTime::ZERO));
     });
     group.finish();
 }

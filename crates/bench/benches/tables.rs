@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench code: panics are failures
+
 //! One bench target per paper *table*: Table 1 (stage fractions),
 //! Table 2 (interleaved throughput), Table 4 and Table 5 (testbed runs,
 //! scaled down per iteration — the `muri` CLI reproduces them at full
@@ -11,7 +13,7 @@ fn bench_table(c: &mut Criterion, id: &str, scale: f64, samples: usize) {
     let mut group = c.benchmark_group("tables");
     group.sample_size(samples);
     group.bench_function(id, |b| {
-        b.iter(|| run_experiment(black_box(id), Scale(scale)).expect("known experiment"))
+        b.iter(|| run_experiment(black_box(id), Scale(scale)).expect("known experiment"));
     });
     group.finish();
 }
@@ -32,5 +34,11 @@ fn bench_table5(c: &mut Criterion) {
     bench_table(c, "table5", 0.12, 10);
 }
 
-criterion_group!(benches, bench_table1, bench_table2, bench_table4, bench_table5);
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table4,
+    bench_table5
+);
 criterion_main!(benches);

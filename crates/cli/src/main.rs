@@ -6,28 +6,62 @@
 //! muri all [--scale S] [--out DIR]
 //! muri trace <1-4> [--scale S]    # dump a synthetic trace as CSV
 //! muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+//! muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
 //! muri validate                   # Eq. 3 vs timeline-executor fidelity
 //! ```
 //!
 //! Experiments print the paper's tables to stdout; `--out` additionally
 //! writes each table as CSV and the full report as JSON. `muri sim` runs
 //! one scheduler over a trace (synthetic or CSV) and prints the metrics.
+//! `muri verify` replays a workload with the `muri-verify` invariant
+//! auditor attached to every scheduling pass and reports violations.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 invariant
+//! violations found by `muri verify`.
 
 use muri_core::{PolicyKind, SchedulerConfig};
 use muri_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
-use muri_sim::{simulate, SimConfig};
+use muri_sim::{simulate, simulate_audited, SimConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// A CLI failure with its exit code.
+enum CliError {
+    /// The invocation itself was malformed (exit 2, prints usage).
+    Usage(String),
+    /// The invocation was fine but the work failed (exit 1).
+    Runtime(String),
+    /// `muri verify` found invariant violations (exit 3).
+    Violations(usize),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn runtime(msg: impl Into<String>) -> Self {
+        CliError::Runtime(msg.into())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Violations(count)) => {
+            eprintln!("verification failed: {count} invariant violation(s)");
+            ExitCode::from(3)
         }
     }
 }
@@ -41,41 +75,49 @@ const USAGE: &str = "usage:
   muri models
   muri show-group <model> [<model> ...]
   muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+  muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
   muri validate
 
-policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s muri-l";
+policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s muri-l
+
+exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 verify found violations";
 
 struct Options {
     scale: Scale,
     out: Option<PathBuf>,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
     let mut scale = Scale::default();
     let mut out = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = it.next().ok_or("--scale needs a value")?;
-                let s: f64 = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--scale needs a value"))?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad scale {v:?}")))?;
                 if !(s > 0.0 && s <= 10.0) {
-                    return Err(format!("scale {s} out of range (0, 10]"));
+                    return Err(CliError::usage(format!("scale {s} out of range (0, 10]")));
                 }
                 scale = Scale(s);
             }
             "--out" => {
                 out = Some(PathBuf::from(
-                    it.next().ok_or("--out needs a directory")?,
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--out needs a directory"))?,
                 ));
             }
-            other => return Err(format!("unknown option {other:?}")),
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
     }
     Ok(Options { scale, out })
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("list") => {
             for id in ALL_EXPERIMENTS {
@@ -84,7 +126,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("exp") => {
-            let id = args.get(1).ok_or("exp needs an experiment id")?;
+            let id = args
+                .get(1)
+                .ok_or_else(|| CliError::usage("exp needs an experiment id"))?;
             let opts = parse_options(&args[2..])?;
             run_one(id, &opts)
         }
@@ -96,14 +140,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("trace") => {
-            let idx: usize = args
-                .get(1)
-                .ok_or("trace needs an index 1-4")?
-                .parse()
-                .map_err(|_| "trace index must be 1-4".to_string())?;
-            if !(1..=4).contains(&idx) {
-                return Err("trace index must be 1-4".into());
-            }
+            let idx = parse_trace_index(args.get(1), "trace")?;
             let opts = parse_options(&args[2..])?;
             let trace = muri_workload::philly_like_trace(idx, opts.scale.0);
             print!("{}", trace.to_csv());
@@ -134,14 +171,18 @@ fn run(args: &[String]) -> Result<(), String> {
             // named models (16-GPU profiles) and render its schedule.
             let names = &args[1..];
             if names.is_empty() || names.len() > 4 {
-                return Err("show-group needs 1-4 model names (see `muri models`)".into());
+                return Err(CliError::usage(
+                    "show-group needs 1-4 model names (see `muri models`)",
+                ));
             }
             let mut members = Vec::new();
             for (i, name) in names.iter().enumerate() {
                 let model = muri_workload::ModelKind::ALL
                     .into_iter()
                     .find(|m| m.name().eq_ignore_ascii_case(name))
-                    .ok_or_else(|| format!("unknown model {name:?} (see `muri models`)"))?;
+                    .ok_or_else(|| {
+                        CliError::usage(format!("unknown model {name:?} (see `muri models`)"))
+                    })?;
                 members.push(muri_interleave::GroupMember {
                     job: muri_workload::JobId(i as u32),
                     profile: model.profile(16),
@@ -168,34 +209,41 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("trace-stats") => {
-            let idx: usize = args
-                .get(1)
-                .ok_or("trace-stats needs an index 1-4")?
-                .parse()
-                .map_err(|_| "trace index must be 1-4".to_string())?;
-            if !(1..=4).contains(&idx) {
-                return Err("trace index must be 1-4".into());
-            }
+            let idx = parse_trace_index(args.get(1), "trace-stats")?;
             let opts = parse_options(&args[2..])?;
             let trace = muri_workload::philly_like_trace(idx, opts.scale.0);
-            let stats =
-                muri_workload::analyze(&trace).ok_or("trace is empty")?;
+            let stats = muri_workload::analyze(&trace)
+                .ok_or_else(|| CliError::runtime("trace is empty"))?;
             println!("trace-{idx} (scale {}):", opts.scale.0);
             print!("{}", stats.render());
             Ok(())
         }
         Some("sim") => {
-            let policy_name = args.get(1).ok_or("sim needs a policy name")?;
+            let policy_name = args
+                .get(1)
+                .ok_or_else(|| CliError::usage("sim needs a policy name"))?;
             let policy = parse_policy(policy_name)?;
             run_sim(policy, &args[2..])
         }
+        Some("verify") => run_verify(&args[1..]),
         Some("validate") => run_validate(),
-        Some(other) => Err(format!("unknown command {other:?}")),
-        None => Err("no command given".into()),
+        Some(other) => Err(CliError::usage(format!("unknown command {other:?}"))),
+        None => Err(CliError::usage("no command given")),
     }
 }
 
-fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+fn parse_trace_index(arg: Option<&String>, cmd: &str) -> Result<usize, CliError> {
+    let idx: usize = arg
+        .ok_or_else(|| CliError::usage(format!("{cmd} needs an index 1-4")))?
+        .parse()
+        .map_err(|_| CliError::usage("trace index must be 1-4"))?;
+    if !(1..=4).contains(&idx) {
+        return Err(CliError::usage("trace index must be 1-4"));
+    }
+    Ok(idx)
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, CliError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "fifo" => PolicyKind::Fifo,
         "sjf" => PolicyKind::Sjf,
@@ -209,12 +257,12 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
         "antman" => PolicyKind::AntMan,
         "muri-s" | "muris" => PolicyKind::MuriS,
         "muri-l" | "muril" => PolicyKind::MuriL,
-        other => return Err(format!("unknown policy {other:?}")),
+        other => return Err(CliError::usage(format!("unknown policy {other:?}"))),
     })
 }
 
-/// `muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]`
-fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), String> {
+/// Workload selection shared by `muri sim` and `muri verify`.
+fn parse_workload(args: &[String]) -> Result<(muri_workload::Trace, Scale, u32), CliError> {
     let mut trace_idx = 1usize;
     let mut csv: Option<PathBuf> = None;
     let mut scale = Scale::default();
@@ -225,46 +273,56 @@ fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), String> {
             "--trace" => {
                 trace_idx = it
                     .next()
-                    .ok_or("--trace needs an index")?
+                    .ok_or_else(|| CliError::usage("--trace needs an index"))?
                     .parse()
-                    .map_err(|_| "bad trace index")?;
+                    .map_err(|_| CliError::usage("bad trace index"))?;
                 if !(1..=4).contains(&trace_idx) {
-                    return Err("trace index must be 1-4".into());
+                    return Err(CliError::usage("trace index must be 1-4"));
                 }
             }
-            "--csv" => csv = Some(PathBuf::from(it.next().ok_or("--csv needs a path")?)),
+            "--csv" => {
+                csv = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--csv needs a path"))?,
+                ));
+            }
             "--scale" => {
                 scale = Scale(
                     it.next()
-                        .ok_or("--scale needs a value")?
+                        .ok_or_else(|| CliError::usage("--scale needs a value"))?
                         .parse()
-                        .map_err(|_| "bad scale")?,
-                )
+                        .map_err(|_| CliError::usage("bad scale"))?,
+                );
             }
             "--machines" => {
                 machines = it
                     .next()
-                    .ok_or("--machines needs a count")?
+                    .ok_or_else(|| CliError::usage("--machines needs a count"))?
                     .parse()
-                    .map_err(|_| "bad machine count")?
+                    .map_err(|_| CliError::usage("bad machine count"))?;
             }
-            other => return Err(format!("unknown option {other:?}")),
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
     }
     let trace = match csv {
         Some(path) => {
             let text = std::fs::read_to_string(&path)
-                .map_err(|e| format!("reading {path:?}: {e}"))?;
+                .map_err(|e| CliError::runtime(format!("reading {path:?}: {e}")))?;
             muri_workload::Trace::from_csv(
                 path.file_stem()
-                    .map(|s| s.to_string_lossy().into_owned())
-                    .unwrap_or_else(|| "csv".into()),
+                    .map_or_else(|| "csv".into(), |s| s.to_string_lossy().into_owned()),
                 &text,
             )
-            .map_err(|e| e.to_string())?
+            .map_err(|e| CliError::runtime(e.to_string()))?
         }
         None => muri_workload::philly_like_trace(trace_idx, scale.0),
     };
+    Ok((trace, scale, machines))
+}
+
+/// `muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]`
+fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
+    let (trace, _scale, machines) = parse_workload(args)?;
     let cfg = SimConfig {
         cluster: muri_cluster::ClusterSpec::with_machines(machines),
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
@@ -296,10 +354,54 @@ fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]`
+///
+/// Replays the workload with the invariant auditor attached to every
+/// scheduling pass and prints a human-readable violation report. Exit
+/// code 3 if any invariant was violated.
+fn run_verify(args: &[String]) -> Result<(), CliError> {
+    // An optional leading policy name (default: muri-l).
+    let (policy, rest) = match args.first() {
+        Some(first) if !first.starts_with("--") => (parse_policy(first)?, &args[1..]),
+        _ => (PolicyKind::MuriL, args),
+    };
+    let (trace, _scale, machines) = parse_workload(rest)?;
+    let cfg = SimConfig {
+        cluster: muri_cluster::ClusterSpec::with_machines(machines),
+        ..SimConfig::testbed(SchedulerConfig::preset(policy))
+    };
+    eprintln!(
+        "auditing {} under {} on {} GPUs ({} jobs)...",
+        trace.name,
+        policy.name(),
+        cfg.cluster.total_gpus(),
+        trace.len()
+    );
+    let started = std::time::Instant::now();
+    let (report, audit) = simulate_audited(&trace, &cfg);
+    println!(
+        "replayed {} events / {} scheduling passes; {}/{} jobs finished",
+        report.events,
+        report.scheduling_passes,
+        report.finished_jobs(),
+        report.records.len()
+    );
+    print!("{}", audit.render());
+    eprintln!("[audited in {:.2?}]", started.elapsed());
+    if audit.is_clean() {
+        println!("OK: all invariants held (Eq. 3/4, bucketing, capacity, conservation)");
+        Ok(())
+    } else {
+        Err(CliError::Violations(audit.violations.len()))
+    }
+}
+
 /// `muri validate`: check that Eq. 3 upper-bounds the timeline executor
 /// for every model pair (the scheduler's estimates are safe).
-fn run_validate() -> Result<(), String> {
-    use muri_interleave::{choose_ordering, run_timeline, stagger_delays, OrderingPolicy, TimelineJob};
+fn run_validate() -> Result<(), CliError> {
+    use muri_interleave::{
+        choose_ordering, run_timeline, stagger_delays, OrderingPolicy, TimelineJob,
+    };
     use muri_workload::{JobId, ModelKind, SimDuration};
     let mut worst_slack = 0.0_f64;
     let mut pairs = 0;
@@ -324,15 +426,17 @@ fn run_validate() -> Result<(), String> {
             let realized = (0..2)
                 .filter_map(|j| report.avg_iteration_time(&jobs, j))
                 .max()
-                .ok_or_else(|| format!("{} + {}: pair did not finish", a.name(), b.name()))?
+                .ok_or_else(|| {
+                    CliError::runtime(format!("{} + {}: pair did not finish", a.name(), b.name()))
+                })?
                 .as_secs_f64();
             let predicted = ordering.iteration_time.as_secs_f64();
             if realized > predicted * 1.02 {
-                return Err(format!(
+                return Err(CliError::runtime(format!(
                     "{} + {}: executor ({realized:.3}s) exceeded the Eq. 3 bound ({predicted:.3}s)",
                     a.name(),
                     b.name()
-                ));
+                )));
             }
             worst_slack = worst_slack.max((predicted - realized) / predicted);
             pairs += 1;
@@ -346,22 +450,23 @@ fn run_validate() -> Result<(), String> {
     Ok(())
 }
 
-fn run_one(id: &str, opts: &Options) -> Result<(), String> {
+fn run_one(id: &str, opts: &Options) -> Result<(), CliError> {
     let started = std::time::Instant::now();
-    let report =
-        run_experiment(id, opts.scale).ok_or_else(|| format!("unknown experiment {id:?}"))?;
+    let report = run_experiment(id, opts.scale)
+        .ok_or_else(|| CliError::usage(format!("unknown experiment {id:?}")))?;
     print!("{}", report.render());
     eprintln!("[{id} finished in {:.2?}]", started.elapsed());
     if let Some(dir) = &opts.out {
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::runtime(format!("creating {dir:?}: {e}")))?;
         let json = serde_json::to_string_pretty(&report)
-            .map_err(|e| format!("serializing {id}: {e}"))?;
+            .map_err(|e| CliError::runtime(format!("serializing {id}: {e}")))?;
         std::fs::write(dir.join(format!("{id}.json")), json)
-            .map_err(|e| format!("writing {id}.json: {e}"))?;
+            .map_err(|e| CliError::runtime(format!("writing {id}.json: {e}")))?;
         for (i, table) in report.tables.iter().enumerate() {
             let path = dir.join(format!("{id}-{i}.csv"));
             std::fs::write(&path, table.to_csv())
-                .map_err(|e| format!("writing {path:?}: {e}"))?;
+                .map_err(|e| CliError::runtime(format!("writing {path:?}: {e}")))?;
         }
     }
     Ok(())

@@ -70,7 +70,7 @@ impl WorkerMonitor {
         debug_assert!(
             self.snapshots
                 .last()
-                .map_or(true, |s| s.time <= snapshot.time),
+                .is_none_or(|s| s.time <= snapshot.time),
             "snapshots must be recorded in time order"
         );
         self.snapshots.push(snapshot);
@@ -108,8 +108,7 @@ impl WorkerMonitor {
             return self
                 .snapshots
                 .first()
-                .map(|s| s.util)
-                .unwrap_or(ResourceVec::splat(0.0));
+                .map_or(ResourceVec::splat(0.0), |s| s.util);
         }
         let mut acc = ResourceVec::splat(0.0);
         let mut total = 0.0;

@@ -37,8 +37,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -68,11 +67,11 @@ fn gittins_at(a: f64) -> f64 {
         // E[min(S − a, Δ) | S > a] by trapezoidal integration of the
         // survival function on [a, a + Δ].
         let steps = 24;
-        let h = delta / steps as f64;
+        let h = delta / f64::from(steps);
         let mut expected = 0.0;
         for i in 0..steps {
-            let s0 = 1.0 - service_cdf(a + i as f64 * h);
-            let s1 = 1.0 - service_cdf(a + (i + 1) as f64 * h);
+            let s0 = 1.0 - service_cdf(a + f64::from(i) * h);
+            let s1 = 1.0 - service_cdf(a + f64::from(i + 1) * h);
             expected += 0.5 * (s0 + s1) * h;
         }
         expected /= survive;
@@ -103,7 +102,7 @@ fn index_table() -> &'static Vec<(f64, f64)> {
 pub fn gittins_index(attained_gpu_secs: f64) -> f64 {
     let table = index_table();
     let a = attained_gpu_secs.max(0.0);
-    match table.binary_search_by(|(x, _)| x.partial_cmp(&a).expect("finite")) {
+    match table.binary_search_by(|(x, _)| x.total_cmp(&a)) {
         Ok(i) => table[i].1,
         Err(0) => table[0].1,
         Err(i) if i >= table.len() => table[table.len() - 1].1,
@@ -133,7 +132,7 @@ mod tests {
     fn cdf_is_monotone() {
         let mut prev = 0.0;
         for i in 0..200 {
-            let s = 10.0_f64.powf(i as f64 / 20.0);
+            let s = 10.0_f64.powf(f64::from(i) / 20.0);
             let c = service_cdf(s);
             assert!(c >= prev - 1e-12, "CDF must not decrease");
             assert!((0.0..=1.0).contains(&c));
@@ -146,7 +145,7 @@ mod tests {
     fn index_is_positive_and_eventually_decreasing() {
         let fresh = gittins_index(0.0);
         let young = gittins_index(600.0);
-        let old = gittins_index(3_600_00.0);
+        let old = gittins_index(360_000.0);
         let ancient = gittins_index(3_600_000.0);
         assert!(fresh > 0.0 && young > 0.0 && old > 0.0);
         // Heavy tail: long-running jobs have ever-lower completion rates.
@@ -159,7 +158,7 @@ mod tests {
         // No ranking cliffs between grid points.
         let mut prev = gittins_index(100.0);
         for i in 1..500 {
-            let a = 100.0 + i as f64 * 37.0;
+            let a = 100.0 + f64::from(i) * 37.0;
             let g = gittins_index(a);
             assert!(
                 (g - prev).abs() < prev.max(1e-6) * 0.5,

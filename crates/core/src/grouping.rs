@@ -172,7 +172,7 @@ pub fn capacity_aware_grouping(
         nodes
             .iter()
             .zip(buckets)
-            .map(|(ns, b)| ns.len() as u64 * b.gpus as u64)
+            .map(|(ns, b)| ns.len() as u64 * u64::from(b.gpus))
             .sum()
     };
     if cfg.mode == GroupingMode::None || cap <= 1 {
@@ -191,9 +191,9 @@ pub fn capacity_aware_grouping(
         for size in 1..=cap {
             let fits: u64 = buckets
                 .iter()
-                .map(|b| (b.profiles.len().div_ceil(size)) as u64 * b.gpus as u64)
+                .map(|b| (b.profiles.len().div_ceil(size)) as u64 * u64::from(b.gpus))
                 .sum();
-            if fits <= free_gpus as u64 || size == cap {
+            if fits <= u64::from(free_gpus) || size == cap {
                 return buckets
                     .iter()
                     .map(|b| {
@@ -212,7 +212,7 @@ pub fn capacity_aware_grouping(
     // highest-γ merges first, only while demand exceeds capacity.
     let max_rounds = 8;
     for _ in 0..max_rounds {
-        if demand(&nodes) <= free_gpus as u64 {
+        if demand(&nodes) <= u64::from(free_gpus) {
             break;
         }
         // Collect candidate merges from every bucket's matching.
@@ -267,11 +267,11 @@ pub fn capacity_aware_grouping(
         // bucket would otherwise strand idle GPUs.
         let mut leftover: Vec<(i64, usize, usize, usize)> = Vec::new();
         for (w, bi, u, v) in candidates {
-            let g = buckets[bi].gpus as u64;
-            if d <= free_gpus as u64 {
+            let g = u64::from(buckets[bi].gpus);
+            if d <= u64::from(free_gpus) {
                 break;
             }
-            if d - g >= free_gpus as u64 {
+            if d - g >= u64::from(free_gpus) {
                 merged_in[bi].push((u, v));
                 d -= g;
             } else {
@@ -280,7 +280,7 @@ pub fn capacity_aware_grouping(
         }
         // Phase 2: still over capacity — overshoot once with the merge
         // that wastes the fewest GPUs (running packed beats queueing).
-        if d > free_gpus as u64 {
+        if d > u64::from(free_gpus) {
             leftover.sort_by(|a, b| {
                 buckets[a.1]
                     .gpus
@@ -288,7 +288,7 @@ pub fn capacity_aware_grouping(
                     .then(b.0.cmp(&a.0))
             });
             if let Some((_, bi, u, v)) = leftover.into_iter().next() {
-                d -= buckets[bi].gpus as u64;
+                d -= u64::from(buckets[bi].gpus);
                 merged_in[bi].push((u, v));
             }
         }
@@ -405,7 +405,11 @@ mod tests {
     fn assert_partition(groups: &[Vec<usize>], n: usize, cap: usize) {
         let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
         all.sort_unstable();
-        assert_eq!(all, (0..n).collect::<Vec<_>>(), "not a partition: {groups:?}");
+        assert_eq!(
+            all,
+            (0..n).collect::<Vec<_>>(),
+            "not a partition: {groups:?}"
+        );
         for g in groups {
             assert!(g.len() <= cap, "group {g:?} exceeds cap {cap}");
         }
@@ -427,9 +431,16 @@ mod tests {
             assert_eq!(g.len(), 2);
             let kinds: Vec<u64> = g
                 .iter()
-                .map(|&i| profiles[i].duration(muri_workload::ResourceKind::Cpu).as_micros())
+                .map(|&i| {
+                    profiles[i]
+                        .duration(muri_workload::ResourceKind::Cpu)
+                        .as_micros()
+                })
                 .collect();
-            assert_ne!(kinds[0], kinds[1], "paired two same-bottleneck jobs: {groups:?}");
+            assert_ne!(
+                kinds[0], kinds[1],
+                "paired two same-bottleneck jobs: {groups:?}"
+            );
         }
     }
 
@@ -510,7 +521,10 @@ mod tests {
                 })
                 .sum()
         };
-        let blossom = total(&multi_round_grouping(&profiles, &cap2(GroupingMode::Blossom)));
+        let blossom = total(&multi_round_grouping(
+            &profiles,
+            &cap2(GroupingMode::Blossom),
+        ));
         let packing = total(&multi_round_grouping(
             &profiles,
             &cap2(GroupingMode::PriorityPacking),
@@ -556,7 +570,13 @@ mod tests {
     fn capacity_aware_merges_exactly_to_capacity_in_single_gpu_bucket() {
         // 10 single-GPU jobs, 7 free GPUs: exactly 3 merges (7 groups).
         let profiles: Vec<StageProfile> = (0..10)
-            .map(|i| if i % 2 == 0 { cpu_gpu(2, 1) } else { cpu_gpu(1, 2) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    cpu_gpu(2, 1)
+                } else {
+                    cpu_gpu(1, 2)
+                }
+            })
             .collect();
         let buckets = vec![BucketInput { gpus: 1, profiles }];
         let groups = capacity_aware_grouping(&buckets, 7, &GroupingConfig::default());
@@ -576,12 +596,17 @@ mod tests {
         let small = BucketInput {
             gpus: 1,
             profiles: (0..6)
-                .map(|i| if i % 2 == 0 { cpu_gpu(3, 1) } else { cpu_gpu(1, 3) })
+                .map(|i| {
+                    if i % 2 == 0 {
+                        cpu_gpu(3, 1)
+                    } else {
+                        cpu_gpu(1, 3)
+                    }
+                })
                 .collect(),
         };
         let groups = capacity_aware_grouping(&[big, small], 20, &GroupingConfig::default());
-        let demand: u64 =
-            groups[0].len() as u64 * 8 + groups[1].len() as u64;
+        let demand: u64 = groups[0].len() as u64 * 8 + groups[1].len() as u64;
         assert!(demand <= 20, "over capacity: {demand}");
         assert!(demand >= 12, "overshot needlessly: {demand} ({groups:?})");
     }
@@ -591,7 +616,13 @@ mod tests {
         let buckets = vec![BucketInput {
             gpus: 1,
             profiles: (0..8)
-                .map(|i| if i % 2 == 0 { cpu_gpu(2, 1) } else { cpu_gpu(1, 2) })
+                .map(|i| {
+                    if i % 2 == 0 {
+                        cpu_gpu(2, 1)
+                    } else {
+                        cpu_gpu(1, 2)
+                    }
+                })
                 .collect(),
         }];
         let cfg = GroupingConfig {

@@ -106,7 +106,10 @@ impl PolicyKind {
     /// jobs in the FIFO order and is non-preemptive", §6.3); FIFO and SJF
     /// are classically non-preemptive.
     pub fn preemptive(self) -> bool {
-        !matches!(self, PolicyKind::Fifo | PolicyKind::Sjf | PolicyKind::AntMan)
+        !matches!(
+            self,
+            PolicyKind::Fifo | PolicyKind::Sjf | PolicyKind::AntMan
+        )
     }
 
     /// Whether the policy groups jobs with multi-resource interleaving.
@@ -127,9 +130,7 @@ impl PolicyKind {
             PolicyKind::Fifo | PolicyKind::AntMan => job.submit_time.as_micros() as i64,
             PolicyKind::Sjf => job.total_duration().as_micros() as i64,
             PolicyKind::Srtf => job.remaining.as_micros() as i64,
-            PolicyKind::Srsf | PolicyKind::MuriS => {
-                saturating_service(job.remaining, job.num_gpus)
-            }
+            PolicyKind::Srsf | PolicyKind::MuriS => saturating_service(job.remaining, job.num_gpus),
             PolicyKind::Las => job.attained.as_micros() as i64,
             PolicyKind::TwoDLas | PolicyKind::MuriL => {
                 saturating_service(job.attained, job.num_gpus)
@@ -179,7 +180,7 @@ impl PolicyKind {
 }
 
 fn saturating_service(d: SimDuration, gpus: u32) -> i64 {
-    (d.as_micros().saturating_mul(gpus as u64)).min(i64::MAX as u64) as i64
+    (d.as_micros().saturating_mul(u64::from(gpus))).min(i64::MAX as u64) as i64
 }
 
 /// Sortable priority; smaller schedules first.
@@ -215,13 +216,21 @@ mod tests {
 
     #[test]
     fn fifo_orders_by_submission() {
-        let jobs = vec![job(1, 1, 50, 0, 10), job(2, 1, 10, 0, 99), job(3, 1, 30, 0, 1)];
+        let jobs = vec![
+            job(1, 1, 50, 0, 10),
+            job(2, 1, 10, 0, 99),
+            job(3, 1, 30, 0, 1),
+        ];
         assert_eq!(order(PolicyKind::Fifo, jobs, SimTime::ZERO), vec![2, 3, 1]);
     }
 
     #[test]
     fn srtf_prefers_short_remaining() {
-        let jobs = vec![job(1, 1, 0, 0, 100), job(2, 1, 0, 0, 5), job(3, 1, 0, 0, 50)];
+        let jobs = vec![
+            job(1, 1, 0, 0, 100),
+            job(2, 1, 0, 0, 5),
+            job(3, 1, 0, 0, 50),
+        ];
         assert_eq!(order(PolicyKind::Srtf, jobs, SimTime::ZERO), vec![2, 3, 1]);
     }
 
@@ -237,9 +246,16 @@ mod tests {
 
     #[test]
     fn two_d_las_prefers_least_attained_service() {
-        let jobs = vec![job(1, 4, 0, 10, 999), job(2, 1, 0, 30, 999), job(3, 2, 0, 1, 999)];
+        let jobs = vec![
+            job(1, 4, 0, 10, 999),
+            job(2, 1, 0, 30, 999),
+            job(3, 2, 0, 1, 999),
+        ];
         // Services: 40, 30, 2.
-        assert_eq!(order(PolicyKind::TwoDLas, jobs, SimTime::ZERO), vec![3, 2, 1]);
+        assert_eq!(
+            order(PolicyKind::TwoDLas, jobs, SimTime::ZERO),
+            vec![3, 2, 1]
+        );
     }
 
     #[test]
@@ -248,11 +264,14 @@ mod tests {
         // between them despite different attained service; job 3 is over
         // the threshold → demoted behind both.
         let jobs = vec![
-            job(1, 1, 20, 600, 0),     // 10 GPU-min, submitted later
-            job(2, 1, 10, 1800, 0),    // 30 GPU-min, submitted earlier
-            job(3, 4, 0, 7200, 0),     // 8 GPU-hours → low-priority queue
+            job(1, 1, 20, 600, 0),  // 10 GPU-min, submitted later
+            job(2, 1, 10, 1800, 0), // 30 GPU-min, submitted earlier
+            job(3, 4, 0, 7200, 0),  // 8 GPU-hours → low-priority queue
         ];
-        assert_eq!(order(PolicyKind::Tiresias, jobs, SimTime::ZERO), vec![2, 1, 3]);
+        assert_eq!(
+            order(PolicyKind::Tiresias, jobs, SimTime::ZERO),
+            vec![2, 1, 3]
+        );
     }
 
     #[test]
@@ -260,7 +279,11 @@ mod tests {
         let now = SimTime::from_secs(1000);
         // Job 1 waited 1000s and ran 10s (ρ huge); job 2 ran 500s of its
         // 1000s in queue (ρ = 3); job 3 never ran (ρ maximal).
-        let jobs = vec![job(1, 1, 0, 10, 99), job(2, 1, 0, 500, 99), job(3, 1, 900, 0, 99)];
+        let jobs = vec![
+            job(1, 1, 0, 10, 99),
+            job(2, 1, 0, 500, 99),
+            job(3, 1, 900, 0, 99),
+        ];
         let ids = order(PolicyKind::Themis, jobs, now);
         assert_eq!(ids[0], 3, "never-served job is most starved");
         assert_eq!(ids[1], 1);
@@ -269,7 +292,11 @@ mod tests {
 
     #[test]
     fn muri_variants_match_their_base_policies() {
-        let jobs = vec![job(1, 8, 0, 5, 10), job(2, 1, 0, 40, 30), job(3, 2, 0, 7, 20)];
+        let jobs = vec![
+            job(1, 8, 0, 5, 10),
+            job(2, 1, 0, 40, 30),
+            job(3, 2, 0, 7, 20),
+        ];
         let now = SimTime::ZERO;
         assert_eq!(
             order(PolicyKind::MuriS, jobs.clone(), now),
@@ -285,8 +312,15 @@ mod tests {
     fn gittins_prefers_fresh_jobs_on_heavy_tails() {
         // Under the heavy-tailed prior, a job that has consumed a lot of
         // service is likely a monster: fresher jobs rank first.
-        let jobs = vec![job(1, 1, 0, 20_000, 0), job(2, 1, 0, 60, 0), job(3, 1, 0, 2_000, 0)];
-        assert_eq!(order(PolicyKind::Gittins, jobs, SimTime::ZERO), vec![2, 3, 1]);
+        let jobs = vec![
+            job(1, 1, 0, 20_000, 0),
+            job(2, 1, 0, 60, 0),
+            job(3, 1, 0, 2_000, 0),
+        ];
+        assert_eq!(
+            order(PolicyKind::Gittins, jobs, SimTime::ZERO),
+            vec![2, 3, 1]
+        );
     }
 
     #[test]

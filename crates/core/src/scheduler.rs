@@ -98,17 +98,17 @@ pub fn plan_schedule(
 
     // 2. Admission: first n jobs that can fully utilize the cluster when
     //    groups reach the pack factor.
-    let budget = free_gpus as u64 * cfg.pack_factor() as u64;
+    let budget = u64::from(free_gpus) * cfg.pack_factor() as u64;
     let mut admitted: Vec<PendingJob> = Vec::new();
     let mut admitted_gpus = 0u64;
     for job in &jobs {
         if job.num_gpus > free_gpus {
             continue; // cannot be placed this round at all
         }
-        if admitted_gpus + job.num_gpus as u64 > budget {
+        if admitted_gpus + u64::from(job.num_gpus) > budget {
             continue; // keep scanning: smaller jobs may still fit (backfill)
         }
-        admitted_gpus += job.num_gpus as u64;
+        admitted_gpus += u64::from(job.num_gpus);
         admitted.push(*job);
     }
 
@@ -144,11 +144,10 @@ pub fn plan_schedule(
                     profile: bucket[i].0.profile,
                 })
                 .collect();
-            let best_rank = idxs
-                .iter()
-                .map(|&i| bucket[i].1)
-                .min()
-                .expect("non-empty group");
+            // Grouping never emits empty groups; skip one if it ever did.
+            let Some(best_rank) = idxs.iter().map(|&i| bucket[i].1).min() else {
+                continue;
+            };
             planned.push((
                 PlannedGroup {
                     group: InterleaveGroup::form(members, cfg.grouping.ordering),
@@ -162,7 +161,7 @@ pub fn plan_schedule(
     // 5. Capacity selection by *priority* (a group's rank is its best
     //    member's queue position): high-priority groups claim capacity
     //    first, lower-priority ones backfill what remains.
-    planned.sort_by(|a, b| a.1.cmp(&b.1));
+    planned.sort_by_key(|a| a.1);
     let mut accepted = Vec::new();
     let mut left = free_gpus;
     for (group, rank) in planned {
@@ -176,40 +175,77 @@ pub fn plan_schedule(
     //     always beats sharing next to an idle GPU. (Gated with
     //     `capacity_aware` so the DESIGN.md 5b.3 ablation measures the
     //     literal always-group-maximally behavior.)
-    while cfg.grouping.capacity_aware {
-        let candidate = accepted
-            .iter()
-            .enumerate()
-            .filter(|(_, (g, _))| g.group.len() > 1 && g.num_gpus <= left)
-            .max_by_key(|(_, (g, _))| g.group.len());
-        let Some((idx, _)) = candidate else {
-            break;
-        };
-        let (group, rank) = &mut accepted[idx];
-        let split = group
-            .group
-            .members
-            .pop()
-            .expect("group has at least two members");
-        let remaining = std::mem::take(&mut group.group.members);
-        group.group = InterleaveGroup::form(remaining, cfg.grouping.ordering);
-        left -= group.num_gpus;
-        let num_gpus = group.num_gpus;
-        let rank = *rank;
-        accepted.push((
-            PlannedGroup {
-                group: InterleaveGroup::form(vec![split], cfg.grouping.ordering),
-                num_gpus,
-            },
-            rank + 1,
-        ));
+    if cfg.grouping.capacity_aware {
+        loop {
+            let candidate = accepted
+                .iter()
+                .enumerate()
+                .filter(|(_, (g, _))| g.group.len() > 1 && g.num_gpus <= left)
+                .max_by_key(|(_, (g, _))| g.group.len());
+            let Some((idx, _)) = candidate else {
+                break;
+            };
+            let (group, rank) = &mut accepted[idx];
+            // The filter above guarantees `len() > 1`, so a member exists.
+            let Some(split) = group.group.members.pop() else {
+                break;
+            };
+            let remaining = std::mem::take(&mut group.group.members);
+            group.group = InterleaveGroup::form(remaining, cfg.grouping.ordering);
+            left -= group.num_gpus;
+            let num_gpus = group.num_gpus;
+            let rank = *rank;
+            accepted.push((
+                PlannedGroup {
+                    group: InterleaveGroup::form(vec![split], cfg.grouping.ordering),
+                    num_gpus,
+                },
+                rank + 1,
+            ));
+        }
     }
 
     // 6. Physical placement order among the accepted groups: descending
     //    GPU count, which "avoids fragmentation and minimizes the number
     //    of nodes used by a job" (§5).
     accepted.sort_by(|a, b| b.0.num_gpus.cmp(&a.0.num_gpus).then(a.1.cmp(&b.1)));
-    accepted.into_iter().map(|(g, _)| g).collect()
+    let plan: Vec<PlannedGroup> = accepted.into_iter().map(|(g, _)| g).collect();
+    #[cfg(feature = "audit")]
+    debug_audit_plan(cfg, &jobs, free_gpus, &plan);
+    plan
+}
+
+/// Debug-build audit hook: check the finished plan against the
+/// `muri-verify` invariants and abort with the full report on any
+/// violation. `sorted` is the priority-ordered candidate list the plan
+/// was drawn from. Compiled only with the `audit` feature; the check
+/// itself runs only in debug builds (`debug_assert!`).
+#[cfg(feature = "audit")]
+fn debug_audit_plan(
+    cfg: &SchedulerConfig,
+    sorted: &[PendingJob],
+    free_gpus: u32,
+    plan: &[PlannedGroup],
+) {
+    if cfg!(debug_assertions) {
+        let ctx = muri_verify::PlanContext {
+            free_gpus,
+            max_group_size: cfg.pack_factor(),
+            candidates: sorted.iter().map(|j| (j.id, j.num_gpus)).collect(),
+        };
+        let refs: Vec<muri_verify::PlannedGroupRef<'_>> = plan
+            .iter()
+            .map(|p| muri_verify::PlannedGroupRef {
+                group: &p.group,
+                num_gpus: p.num_gpus,
+            })
+            .collect();
+        let report = muri_verify::audit_plan(&refs, &ctx);
+        debug_assert!(
+            report.is_clean(),
+            "plan_schedule produced an invalid plan:\n{report}"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -298,7 +334,7 @@ mod tests {
                 job(
                     i,
                     if i % 3 == 0 { 4 } else { 1 },
-                    10 + i as u64,
+                    10 + u64::from(i),
                     if i % 2 == 0 { cpu_heavy() } else { gpu_heavy() },
                 )
             })
@@ -353,16 +389,29 @@ mod tests {
         let cfg = SchedulerConfig::preset(PolicyKind::MuriL);
         let mut pending = Vec::new();
         for i in 0..3 {
-            pending.push(job(i, 8, 100, if i % 2 == 0 { cpu_heavy() } else { gpu_heavy() }));
+            pending.push(job(
+                i,
+                8,
+                100,
+                if i % 2 == 0 { cpu_heavy() } else { gpu_heavy() },
+            ));
         }
         for i in 3..11 {
-            pending.push(job(i, 1, 100, if i % 2 == 0 { cpu_heavy() } else { gpu_heavy() }));
+            pending.push(job(
+                i,
+                1,
+                100,
+                if i % 2 == 0 { cpu_heavy() } else { gpu_heavy() },
+            ));
         }
         let plan = plan_schedule(&cfg, &pending, 28, SimTime::ZERO);
         let used: u32 = plan.iter().map(|p| p.num_gpus).sum();
         let jobs_planned: usize = plan.iter().map(|p| p.group.len()).sum();
         assert_eq!(jobs_planned, 11, "everything should run: {plan:?}");
-        assert!(used >= 26, "relaxation should use nearly all GPUs, used {used}");
+        assert!(
+            used >= 26,
+            "relaxation should use nearly all GPUs, used {used}"
+        );
     }
 
     #[test]
@@ -372,7 +421,14 @@ mod tests {
         // Ample capacity, complementary jobs: the literal variant still
         // groups them and leaves GPUs idle.
         let pending: Vec<PendingJob> = (0..8)
-            .map(|i| job(i, 1, 100, if i % 2 == 0 { cpu_heavy() } else { gpu_heavy() }))
+            .map(|i| {
+                job(
+                    i,
+                    1,
+                    100,
+                    if i % 2 == 0 { cpu_heavy() } else { gpu_heavy() },
+                )
+            })
             .collect();
         let plan = plan_schedule(&cfg, &pending, 64, SimTime::ZERO);
         let used: u32 = plan.iter().map(|p| p.num_gpus).sum();

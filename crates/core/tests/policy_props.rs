@@ -31,14 +31,16 @@ fn arb_job() -> impl Strategy<Value = PendingJob> {
         1u64..100_000,
         0usize..8,
     )
-        .prop_map(|(id, gpus_exp, submit, attained, remaining, model)| PendingJob {
-            id: JobId(id),
-            num_gpus: 1 << gpus_exp,
-            profile: ModelKind::ALL[model].profile(16),
-            submit_time: SimTime::from_secs(submit),
-            attained: SimDuration::from_secs(attained),
-            remaining: SimDuration::from_secs(remaining),
-        })
+        .prop_map(
+            |(id, gpus_exp, submit, attained, remaining, model)| PendingJob {
+                id: JobId(id),
+                num_gpus: 1 << gpus_exp,
+                profile: ModelKind::ALL[model].profile(16),
+                submit_time: SimTime::from_secs(submit),
+                attained: SimDuration::from_secs(attained),
+                remaining: SimDuration::from_secs(remaining),
+            },
+        )
 }
 
 proptest! {

@@ -36,7 +36,10 @@ pub fn fig11(scale: Scale) -> ExperimentReport {
         }),
     ];
     for (metric, f) in [
-        ("Normalized average JCT", SimReport::avg_jct_secs as fn(&SimReport) -> f64),
+        (
+            "Normalized average JCT",
+            SimReport::avg_jct_secs as fn(&SimReport) -> f64,
+        ),
         ("Normalized makespan", SimReport::makespan_secs),
     ] {
         let mut t = Table::new(
@@ -79,7 +82,10 @@ pub fn fig12(scale: Scale) -> ExperimentReport {
         variants.push((format!("Muri-L-{cap}"), c));
     }
     for (metric, f) in [
-        ("Normalized average JCT", SimReport::avg_jct_secs as fn(&SimReport) -> f64),
+        (
+            "Normalized average JCT",
+            SimReport::avg_jct_secs as fn(&SimReport) -> f64,
+        ),
         ("Normalized makespan", SimReport::makespan_secs),
     ] {
         let mut t = Table::new(
@@ -175,11 +181,15 @@ pub fn fig14(scale: Scale) -> ExperimentReport {
     let trace = simulation_trace(1, scale);
     let mut t = Table::new(
         "fig14 — Muri-L normalized to noise 0",
-        &["Profiling noise", "Normalized average JCT", "Normalized makespan"],
+        &[
+            "Profiling noise",
+            "Normalized average JCT",
+            "Normalized makespan",
+        ],
     );
     let mut base: Option<(f64, f64)> = None;
     for step in 0..=5 {
-        let noise = step as f64 * 0.2;
+        let noise = f64::from(step) * 0.2;
         let mut cfg = muri_l_config();
         cfg.profiler = ProfilerConfig {
             noise,
@@ -215,7 +225,10 @@ mod tests {
         let r = fig11(TINY);
         for row in &r.tables[0].rows {
             let worst: f64 = row[2].parse().unwrap();
-            assert!(worst >= 0.9, "worst ordering should not clearly win: {row:?}");
+            assert!(
+                worst >= 0.9,
+                "worst ordering should not clearly win: {row:?}"
+            );
         }
     }
 

@@ -149,7 +149,10 @@ mod tests {
         // Row 2 is trace 3 (light): literal grouping must not be better.
         let light = &r.tables[0].rows[1];
         let jct: f64 = light[1].parse().unwrap();
-        assert!(jct >= 0.95, "literal grouping should not win on light load: {jct}");
+        assert!(
+            jct >= 0.95,
+            "literal grouping should not win on light load: {jct}"
+        );
     }
 
     #[test]

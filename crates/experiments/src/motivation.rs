@@ -105,9 +105,8 @@ pub fn table2() -> ExperimentReport {
         ],
     );
     let mut total = 0.0;
-    let mut paper_order = TABLE2_PAPER.iter();
-    for (i, &model) in models.iter().enumerate() {
-        let (pm, p_sep, p_share, p_norm) = paper_order.next().copied().unwrap();
+    assert_eq!(models.len(), TABLE2_PAPER.len(), "paper row count");
+    for (i, (&model, (pm, p_sep, p_share, p_norm))) in models.iter().zip(TABLE2_PAPER).enumerate() {
         assert_eq!(pm, model, "paper row order");
         let separate = model.solo_throughput(16);
         let norm = group.normalized_throughput(i) / overhead;
@@ -138,13 +137,16 @@ pub fn table2() -> ExperimentReport {
 /// Fig. 1 / Fig. 2-style illustration: interleaving gains for the ideal
 /// four-complementary-jobs case and for a two-job pipelined case.
 pub fn fig1_fig2() -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig1",
-        "Illustrative interleaving gains (Figs. 1 and 2)",
-    );
+    let mut report =
+        ExperimentReport::new("fig1", "Illustrative interleaving gains (Figs. 1 and 2)");
     let mut t = Table::new(
         "Aggregate normalized throughput by group composition",
-        &["Group", "Iteration time", "Aggregate norm. tput", "Efficiency γ"],
+        &[
+            "Group",
+            "Iteration time",
+            "Aggregate norm. tput",
+            "Efficiency γ",
+        ],
     );
     let uniform = muri_workload::StageProfile::from_secs_f64(1.0, 1.0, 1.0, 1.0);
     let cases: Vec<(&str, Vec<muri_workload::StageProfile>)> = vec![
@@ -225,6 +227,9 @@ mod tests {
     fn fig1_ideal_reaches_4x() {
         let r = fig1_fig2();
         let agg: f64 = r.tables[0].rows[0][2].parse().unwrap();
-        assert!((agg - 4.0).abs() < 0.01, "Fig. 1 ideal should be 4x, got {agg}");
+        assert!(
+            (agg - 4.0).abs() < 0.01,
+            "Fig. 1 ideal should be 4x, got {agg}"
+        );
     }
 }

@@ -9,6 +9,9 @@ use muri_sim::SimReport;
 use muri_workload::stats::ratio;
 use muri_workload::Trace;
 
+/// Metric extractor for the normalized tables.
+type MetricFn = fn(&SimReport) -> f64;
+
 /// All eight evaluation traces: 1–4 then 1'–4'.
 fn all_traces(scale: Scale) -> Vec<(String, Trace)> {
     let mut out = Vec::new();
@@ -38,7 +41,7 @@ fn figure(
             policies.iter().map(|&p| (p, run(trace, p))).collect();
         results.push((name.clone(), runs));
     }
-    let metrics: [(&str, fn(&SimReport) -> f64); 3] = [
+    let metrics: [(&str, MetricFn); 3] = [
         ("Normalized average JCT", SimReport::avg_jct_secs),
         ("Normalized makespan", SimReport::makespan_secs),
         ("Normalized 99th %-ile JCT", SimReport::p99_jct_secs),
@@ -51,11 +54,10 @@ fn figure(
                 .collect::<Vec<_>>(),
         );
         for (name, runs) in &results {
-            let base = f(&runs
+            let base = runs
                 .iter()
                 .find(|(p, _)| *p == muri)
-                .expect("muri run")
-                .1);
+                .map_or(1.0, |(_, r)| f(r));
             let mut row = vec![name.clone()];
             for (_, r) in runs {
                 row.push(f2(ratio(f(r), base)));

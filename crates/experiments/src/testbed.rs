@@ -8,30 +8,25 @@ use muri_core::PolicyKind;
 use muri_sim::SimReport;
 use muri_workload::ResourceKind;
 
+/// Metric extractor for the normalized tables.
+type MetricFn = fn(&SimReport) -> f64;
+
 /// Normalized-to-Muri metric rows, as the paper prints Tables 4 and 5.
-fn normalized_table(
-    title: &str,
-    reports: &[(PolicyKind, SimReport)],
-    muri: PolicyKind,
-) -> Table {
-    let baseline = &reports
-        .iter()
-        .find(|(p, _)| *p == muri)
-        .expect("muri run present")
-        .1;
+fn normalized_table(title: &str, reports: &[(PolicyKind, SimReport)], muri: PolicyKind) -> Table {
+    let baseline = reports.iter().find(|(p, _)| *p == muri).map(|(_, r)| r);
     let mut t = Table::new(
         title,
         &std::iter::once("Metric")
             .chain(reports.iter().map(|(p, _)| p.name()))
             .collect::<Vec<_>>(),
     );
-    let metrics: [(&str, fn(&SimReport) -> f64); 3] = [
+    let metrics: [(&str, MetricFn); 3] = [
         ("Normalized JCT", SimReport::avg_jct_secs),
         ("Normalized Makespan", SimReport::makespan_secs),
         ("Normalized 99th %-ile JCT", SimReport::p99_jct_secs),
     ];
     for (name, f) in metrics {
-        let base = f(baseline);
+        let base = baseline.map_or(1.0, f);
         let mut row = vec![name.to_string()];
         for (_, r) in reports {
             row.push(f2(muri_workload::stats::ratio(f(r), base)));

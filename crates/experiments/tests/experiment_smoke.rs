@@ -28,7 +28,10 @@ fn testbed_experiments_produce_tables() {
     for id in ["table4", "table5", "fig8"] {
         let report = run_experiment(id, TINY).expect("known id");
         assert!(!report.tables.is_empty(), "{id}");
-        assert!(!report.notes.is_empty(), "{id}: notes record paper expectations");
+        assert!(
+            !report.notes.is_empty(),
+            "{id}: notes record paper expectations"
+        );
     }
 }
 

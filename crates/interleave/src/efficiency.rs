@@ -135,11 +135,16 @@ pub fn pair_efficiency_two_resources(
 
 fn check_assignment(p: usize, offsets: &[usize], k: usize) {
     debug_assert_eq!(p, offsets.len(), "one offset per job");
-    debug_assert!(p <= k.max(1) || p == 0, "at most k jobs per group (got {p} jobs for k={k})");
     debug_assert!(
-        offsets
+        p <= k.max(1) || p == 0,
+        "at most k jobs per group (got {p} jobs for k={k})"
+    );
+    debug_assert!(
+        offsets.iter().all(|&o| offsets
             .iter()
-            .all(|&o| offsets.iter().filter(|&&x| x % k.max(1) == o % k.max(1)).count() == 1),
+            .filter(|&&x| x % k.max(1) == o % k.max(1))
+            .count()
+            == 1),
         "offsets must be distinct mod {k}: {offsets:?}"
     );
     debug_assert!(
@@ -172,7 +177,12 @@ mod tests {
         let four = StageProfile::new(secs(1), secs(1), secs(1), secs(1));
         assert_eq!(effective_cycle(&[four]).len(), 4);
         // Mixed: union of used resources.
-        let io_only = StageProfile::new(secs(1), SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
+        let io_only = StageProfile::new(
+            secs(1),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
         assert_eq!(
             effective_cycle(&[two, io_only]),
             vec![ResourceKind::Storage, ResourceKind::Cpu, ResourceKind::Gpu]
@@ -203,7 +213,10 @@ mod tests {
         let t = group_iteration_time(&[a, b], &[0, 1]);
         assert_eq!(t, secs(3));
         let gamma = group_efficiency(&[a, b], &[0, 1]);
-        assert!((gamma - 1.0).abs() < 1e-12, "paper: γ(A,B) = 1, got {gamma}");
+        assert!(
+            (gamma - 1.0).abs() < 1e-12,
+            "paper: γ(A,B) = 1, got {gamma}"
+        );
     }
 
     #[test]
@@ -214,14 +227,20 @@ mod tests {
         let t = group_iteration_time(&[a, c], &[0, 1]);
         assert_eq!(t, secs(4));
         let gamma = group_efficiency(&[a, c], &[0, 1]);
-        assert!((gamma - 0.75).abs() < 1e-12, "paper: γ(A,C) = 0.75, got {gamma}");
+        assert!(
+            (gamma - 0.75).abs() < 1e-12,
+            "paper: γ(A,C) = 0.75, got {gamma}"
+        );
     }
 
     #[test]
     fn eq1_equals_general_formula_on_two_resource_profiles() {
-        for (a_cpu, a_gpu, b_cpu, b_gpu) in
-            [(2u64, 1u64, 1u64, 2u64), (3, 3, 1, 5), (7, 2, 2, 7), (1, 1, 1, 1)]
-        {
+        for (a_cpu, a_gpu, b_cpu, b_gpu) in [
+            (2u64, 1u64, 1u64, 2u64),
+            (3, 3, 1, 5),
+            (7, 2, 2, 7),
+            (1, 1, 1, 1),
+        ] {
             let a = cpu_gpu(a_cpu, a_gpu);
             let b = cpu_gpu(b_cpu, b_gpu);
             let general = group_iteration_time(&[a, b], &[0, 1]);

@@ -85,7 +85,7 @@ pub fn best_fused_bipartition(jobs: &[(JobId, StageProfile)]) -> Option<(u32, f6
         ];
         let ordering = choose_ordering(&fused, OrderingPolicy::Best);
         let gamma = group_efficiency(&fused, &ordering.offsets);
-        if best.map_or(true, |(_, g)| gamma > g) {
+        if best.is_none_or(|(_, g)| gamma > g) {
             best = Some((mask, gamma));
         }
     }
@@ -100,10 +100,11 @@ pub fn fusion_search_space(n: usize) -> u128 {
     let mut row = vec![1u128];
     for _ in 1..n {
         let mut next = Vec::with_capacity(row.len() + 1);
-        next.push(*row.last().expect("non-empty row"));
+        let mut prev = *row.last().unwrap_or(&1);
+        next.push(prev);
         for &x in &row {
-            let prev = *next.last().expect("non-empty");
-            next.push(prev.saturating_add(x));
+            prev = prev.saturating_add(x);
+            next.push(prev);
         }
         row = next;
     }

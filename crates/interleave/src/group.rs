@@ -212,7 +212,7 @@ mod tests {
         g.remove_member(JobId(1), OrderingPolicy::Best);
         assert_eq!(g.len(), 1);
         assert_eq!(g.iteration_time(), secs(3)); // solo B
-        // Removing a non-member is a no-op.
+                                                 // Removing a non-member is a no-op.
         g.remove_member(JobId(99), OrderingPolicy::Best);
         assert_eq!(g.len(), 1);
     }
@@ -254,7 +254,11 @@ mod tests {
             OrderingPolicy::Best,
         );
         for i in 0..g.len() {
-            assert!(g.slowdown(i) >= 1.0 - 1e-12, "member {i}: {}", g.slowdown(i));
+            assert!(
+                g.slowdown(i) >= 1.0 - 1e-12,
+                "member {i}: {}",
+                g.slowdown(i)
+            );
         }
     }
 }

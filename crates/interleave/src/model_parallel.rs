@@ -53,7 +53,11 @@ impl ModelParallelJob {
                 let first = r == 0;
                 let last = r == n - 1;
                 let load = if first { self.load } else { SimDuration::ZERO };
-                let cpu = if first { self.preprocess } else { SimDuration::ZERO };
+                let cpu = if first {
+                    self.preprocess
+                } else {
+                    SimDuration::ZERO
+                };
                 let mut net = SimDuration::ZERO;
                 if !first {
                     net += self.transfer; // receive from the previous rank
@@ -70,7 +74,7 @@ impl ModelParallelJob {
     pub fn solo_iteration_time(&self) -> SimDuration {
         self.worker_profiles()
             .iter()
-            .map(|p| p.iteration_time())
+            .map(muri_workload::StageProfile::iteration_time)
             .max()
             .unwrap_or(SimDuration::ZERO)
     }
@@ -97,7 +101,7 @@ pub fn mp_pair_efficiency(
     pa.iter()
         .zip(&pb)
         .map(|(x, y)| pair_efficiency(x, y, policy))
-        .min_by(|p, q| p.partial_cmp(q).expect("efficiencies are finite"))
+        .min_by(f64::total_cmp)
         .or(Some(0.0))
 }
 
@@ -127,14 +131,32 @@ mod tests {
         let profiles = job.worker_profiles();
         assert_eq!(profiles.len(), 4);
         // Rank 0: loads + preprocesses, sends once (no receive).
-        assert_eq!(profiles[0].duration(muri_workload::ResourceKind::Storage), secs(1));
-        assert_eq!(profiles[0].duration(muri_workload::ResourceKind::Cpu), secs(1));
-        assert_eq!(profiles[0].duration(muri_workload::ResourceKind::Network), secs(1));
+        assert_eq!(
+            profiles[0].duration(muri_workload::ResourceKind::Storage),
+            secs(1)
+        );
+        assert_eq!(
+            profiles[0].duration(muri_workload::ResourceKind::Cpu),
+            secs(1)
+        );
+        assert_eq!(
+            profiles[0].duration(muri_workload::ResourceKind::Network),
+            secs(1)
+        );
         // Interior ranks: receive + send, no load/preprocess.
-        assert_eq!(profiles[1].duration(muri_workload::ResourceKind::Storage), SimDuration::ZERO);
-        assert_eq!(profiles[1].duration(muri_workload::ResourceKind::Network), secs(2));
+        assert_eq!(
+            profiles[1].duration(muri_workload::ResourceKind::Storage),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            profiles[1].duration(muri_workload::ResourceKind::Network),
+            secs(2)
+        );
         // Last rank: receive + synchronize.
-        assert_eq!(profiles[3].duration(muri_workload::ResourceKind::Network), secs(1) + secs(2));
+        assert_eq!(
+            profiles[3].duration(muri_workload::ResourceKind::Network),
+            secs(1) + secs(2)
+        );
         // Every rank computes.
         for p in &profiles {
             assert_eq!(p.duration(muri_workload::ResourceKind::Gpu), secs(3));
@@ -166,8 +188,8 @@ mod tests {
         let clone = mp(3, 6, 1);
         let good = mp_pair_efficiency(&compute_bound, &network_bound, OrderingPolicy::Best)
             .expect("same depth");
-        let bad = mp_pair_efficiency(&compute_bound, &clone, OrderingPolicy::Best)
-            .expect("same depth");
+        let bad =
+            mp_pair_efficiency(&compute_bound, &clone, OrderingPolicy::Best).expect("same depth");
         assert!(
             good > bad,
             "complementary MP pair ({good:.2}) must beat clones ({bad:.2})"
@@ -177,7 +199,10 @@ mod tests {
     #[test]
     fn cross_depth_grouping_is_refused() {
         let four = mp(1, 2, 1);
-        let two = ModelParallelJob { ranks: 2, ..mp(2, 2, 1) };
+        let two = ModelParallelJob {
+            ranks: 2,
+            ..mp(2, 2, 1)
+        };
         assert!(mp_pair_efficiency(&four, &two, OrderingPolicy::Best).is_none());
     }
 
@@ -187,7 +212,7 @@ mod tests {
         let worst = job
             .worker_profiles()
             .iter()
-            .map(|p| p.iteration_time())
+            .map(muri_workload::StageProfile::iteration_time)
             .max()
             .unwrap();
         assert_eq!(job.solo_iteration_time(), worst);

@@ -47,7 +47,10 @@ pub struct ChosenOrdering {
 /// length `k`, with the first job pinned to offset 0. Returns `[[]]` for
 /// `p = 0`. Panics if `p > k`.
 pub fn enumerate_assignments(p: usize, k: usize) -> Vec<Vec<usize>> {
-    assert!(p <= k, "cannot give {p} jobs distinct offsets over a {k}-cycle");
+    assert!(
+        p <= k,
+        "cannot give {p} jobs distinct offsets over a {k}-cycle"
+    );
     assert!(p <= NUM_RESOURCES, "at most {NUM_RESOURCES} jobs per group");
     if p == 0 {
         return vec![Vec::new()];
@@ -120,7 +123,8 @@ pub fn choose_ordering(profiles: &[StageProfile], policy: OrderingPolicy) -> Cho
                     best = Some((offsets, t));
                 }
             }
-            let (offsets, iteration_time) = best.expect("at least one assignment exists");
+            debug_assert!(best.is_some(), "at least one assignment exists");
+            let (offsets, iteration_time) = best.unwrap_or((Vec::new(), SimDuration::ZERO));
             ChosenOrdering {
                 cycle,
                 offsets,

@@ -100,8 +100,8 @@ pub fn interleaving_gain_over_pipelining(
     }
     // Back to back: one iteration of each costs the sum of their
     // pipelined iteration times.
-    let serial = pipeline.iteration_time(a).as_secs_f64()
-        + pipeline.iteration_time(b).as_secs_f64();
+    let serial =
+        pipeline.iteration_time(a).as_secs_f64() + pipeline.iteration_time(b).as_secs_f64();
     serial / period
 }
 
@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn degenerate_profiles_are_safe() {
         let empty = StageProfile::default();
-        assert_eq!(PipelineModel::default().iteration_time(&empty), SimDuration::ZERO);
+        assert_eq!(
+            PipelineModel::default().iteration_time(&empty),
+            SimDuration::ZERO
+        );
         assert_eq!(PipelineModel::default().speedup(&empty), 1.0);
         assert_eq!(
             interleaving_gain_over_pipelining(&empty, &empty, PipelineModel::default()),

@@ -75,7 +75,9 @@ impl TimelineReport {
             return 0.0;
         }
         let end = self.finish_time[j].unwrap_or(self.end_time);
-        let span = end.since(SimTime::ZERO + jobs[j].initial_delay).as_secs_f64();
+        let span = end
+            .since(SimTime::ZERO + jobs[j].initial_delay)
+            .as_secs_f64();
         if span == 0.0 {
             return 0.0;
         }
@@ -155,11 +157,23 @@ enum Event {
 /// Run the timeline until all jobs finish or `horizon` elapses.
 ///
 /// `num_slots` must cover every slot index referenced by the jobs.
-pub fn run_timeline(jobs: &[TimelineJob], num_slots: usize, horizon: SimDuration) -> TimelineReport {
+pub fn run_timeline(
+    jobs: &[TimelineJob],
+    num_slots: usize,
+    horizon: SimDuration,
+) -> TimelineReport {
     for job in jobs {
-        assert!(!job.slots.is_empty(), "{}: job needs at least one worker", job.id);
+        assert!(
+            !job.slots.is_empty(),
+            "{}: job needs at least one worker",
+            job.id
+        );
         for &s in &job.slots {
-            assert!(s < num_slots, "{}: slot {s} out of range {num_slots}", job.id);
+            assert!(
+                s < num_slots,
+                "{}: slot {s} out of range {num_slots}",
+                job.id
+            );
         }
     }
     let mut engine = Engine::new(jobs, num_slots);
@@ -242,7 +256,7 @@ impl<'a> Engine<'a> {
         self.events.push(Reverse((at, self.seq, event)));
     }
 
-    fn resource_index(&self, slot: usize, r: ResourceKind) -> usize {
+    fn resource_index(slot: usize, r: ResourceKind) -> usize {
         slot * NUM_RESOURCES + r.index()
     }
 
@@ -294,7 +308,7 @@ impl<'a> Engine<'a> {
                     } else {
                         for &peer in &self.job_workers[job_idx].clone() {
                             let slot = self.workers[peer].slot;
-                            let res = self.resource_index(slot, r);
+                            let res = Self::resource_index(slot, r);
                             self.request(peer, res, dur);
                         }
                     }
@@ -308,7 +322,7 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let slot = self.workers[worker].slot;
-            let res = self.resource_index(slot, r);
+            let res = Self::resource_index(slot, r);
             self.request(worker, res, dur);
             return;
         }
@@ -338,7 +352,7 @@ impl<'a> Engine<'a> {
         // Release the resource and grant the next queued worker.
         let w = &self.workers[worker];
         let stage_r = ResourceKind::from_index(w.stage);
-        let res = self.resource_index(w.slot, stage_r);
+        let res = Self::resource_index(w.slot, stage_r);
         debug_assert_eq!(self.resources[res].occupied_by, Some(worker));
         self.resources[res].occupied_by = None;
         if let Some(next) = self.resources[res].queue.pop_front() {
@@ -504,7 +518,10 @@ mod tests {
         let r = run_timeline(&jobs, 1, HORIZON);
         for j in 0..2 {
             let avg = r.avg_iteration_time(&jobs, j).unwrap().as_secs_f64();
-            assert!(avg >= 3.8 && avg <= 4.3, "job {j}: avg {avg} (Eq. 3 predicts 4)");
+            assert!(
+                (3.8..=4.3).contains(&avg),
+                "job {j}: avg {avg} (Eq. 3 predicts 4)"
+            );
         }
     }
 
@@ -529,7 +546,12 @@ mod tests {
         // slot 1's GPU sits idle — interference on one GPU cascades into
         // wasted capacity on another.
         let a = StageProfile::new(SimDuration::ZERO, SimDuration::ZERO, secs(2), secs(1));
-        let b = StageProfile::new(SimDuration::ZERO, SimDuration::ZERO, secs(4), SimDuration::ZERO);
+        let b = StageProfile::new(
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            secs(4),
+            SimDuration::ZERO,
+        );
         let iters = 30;
         // Baseline: A alone on two slots — period 3s/iteration.
         let solo_jobs = vec![job(1, a, vec![0, 1], iters)];
@@ -556,7 +578,12 @@ mod tests {
 
     #[test]
     fn horizon_stops_runaway_jobs() {
-        let p = StageProfile::new(secs(10), SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
+        let p = StageProfile::new(
+            secs(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
         let jobs = vec![job(1, p, vec![0], 1_000_000)];
         let r = run_timeline(&jobs, 1, SimDuration::from_secs(95));
         assert!(r.horizon_reached);

@@ -99,11 +99,21 @@ mod tests {
             vec![
                 GroupMember {
                     job: JobId(0),
-                    profile: StageProfile::new(SimDuration::ZERO, secs(2), secs(1), SimDuration::ZERO),
+                    profile: StageProfile::new(
+                        SimDuration::ZERO,
+                        secs(2),
+                        secs(1),
+                        SimDuration::ZERO,
+                    ),
                 },
                 GroupMember {
                     job: JobId(1),
-                    profile: StageProfile::new(SimDuration::ZERO, secs(1), secs(2), SimDuration::ZERO),
+                    profile: StageProfile::new(
+                        SimDuration::ZERO,
+                        secs(1),
+                        secs(2),
+                        SimDuration::ZERO,
+                    ),
                 },
             ],
             OrderingPolicy::Best,
@@ -127,7 +137,10 @@ mod tests {
         let s = render_schedule(&pair(), 3, 9);
         for line in s.lines().take(2) {
             let cells: String = line.chars().skip_while(|&c| c != '|').skip(1).collect();
-            assert!(!cells.contains('.'), "idle cell in perfect schedule: {line}");
+            assert!(
+                !cells.contains('.'),
+                "idle cell in perfect schedule: {line}"
+            );
             assert!(cells.contains('A') && cells.contains('B'), "{line}");
         }
     }

@@ -100,17 +100,17 @@ proptest! {
         // Work conservation: per-slot GPU busy time equals exactly the GPU
         // demand of the workers that ran there (when everything finished).
         if !report.horizon_reached {
-            let mut expected = vec![0u64; 3];
+            let mut expected = [0u64; 3];
             for job in &timeline {
                 for &s in &job.slots {
                     expected[s] += job.profile.duration(ResourceKind::Gpu).as_micros()
                         * job.iterations;
                 }
             }
-            for slot in 0..3 {
+            for (slot, want) in expected.iter().enumerate() {
                 prop_assert_eq!(
                     report.busy[slot][ResourceKind::Gpu].as_micros(),
-                    expected[slot],
+                    *want,
                     "slot {} GPU busy mismatch", slot
                 );
             }

@@ -112,8 +112,7 @@ impl Solver {
     }
 
     fn update_slack(&mut self, u: usize, x: usize) {
-        if self.slack[x] == 0
-            || self.e_delta(self.g[u][x]) < self.e_delta(self.g[self.slack[x]][x])
+        if self.slack[x] == 0 || self.e_delta(self.g[u][x]) < self.e_delta(self.g[self.slack[x]][x])
         {
             self.slack[x] = u;
         }
@@ -152,10 +151,9 @@ impl Solver {
     /// Position of sub-blossom `xr` inside blossom `b`, normalizing the
     /// cycle direction so the position is even (the template's `get_pr`).
     fn get_pr(&mut self, b: usize, xr: usize) -> usize {
-        let pr = self.flower[b]
-            .iter()
-            .position(|&x| x == xr)
-            .expect("xr must be a member of blossom b");
+        let pos = self.flower[b].iter().position(|&x| x == xr);
+        debug_assert!(pos.is_some(), "xr must be a member of blossom b");
+        let pr = pos.unwrap_or(0);
         if pr % 2 == 1 {
             self.flower[b][1..].reverse();
             self.flower[b].len() - pr
@@ -253,9 +251,7 @@ impl Solver {
         let members = self.flower[b].clone();
         for xs in members {
             for x in 1..=self.n_x {
-                if self.g[b][x].w == 0
-                    || self.e_delta(self.g[xs][x]) < self.e_delta(self.g[b][x])
-                {
+                if self.g[b][x].w == 0 || self.e_delta(self.g[xs][x]) < self.e_delta(self.g[b][x]) {
                     self.g[b][x] = self.g[xs][x];
                     self.g[x][b] = self.g[x][xs];
                 }

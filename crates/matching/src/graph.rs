@@ -27,7 +27,10 @@ pub struct DenseGraph {
 impl DenseGraph {
     /// An edgeless graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        DenseGraph { n, w: vec![0; n * n] }
+        DenseGraph {
+            n,
+            w: vec![0; n * n],
+        }
     }
 
     /// Number of nodes.
@@ -43,7 +46,11 @@ impl DenseGraph {
     /// Set the weight of undirected edge `(u, v)`. Panics on self-loops,
     /// out-of-range nodes, or negative weights.
     pub fn set_weight(&mut self, u: usize, v: usize, w: i64) {
-        assert!(u < self.n && v < self.n, "node out of range ({u},{v}) of {}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "node out of range ({u},{v}) of {}",
+            self.n
+        );
         assert_ne!(u, v, "self-loops are not allowed");
         assert!(w >= 0, "edge weights must be non-negative, got {w}");
         self.w[u * self.n + v] = w;
@@ -118,7 +125,11 @@ impl Matching {
     /// Used pervasively in tests.
     pub fn validate(&self, g: &DenseGraph) -> Result<(), String> {
         if self.mate.len() != g.len() {
-            return Err(format!("mate len {} != graph len {}", self.mate.len(), g.len()));
+            return Err(format!(
+                "mate len {} != graph len {}",
+                self.mate.len(),
+                g.len()
+            ));
         }
         let mut total = 0;
         for (u, &m) in self.mate.iter().enumerate() {
@@ -127,7 +138,10 @@ impl Matching {
                     return Err(format!("node {u} matched to itself"));
                 }
                 if self.mate[v] != Some(u) {
-                    return Err(format!("asymmetric mate: {u}->{v} but {v}->{:?}", self.mate[v]));
+                    return Err(format!(
+                        "asymmetric mate: {u}->{v} but {v}->{:?}",
+                        self.mate[v]
+                    ));
                 }
                 if u < v {
                     if g.weight(u, v) == 0 {
@@ -138,7 +152,10 @@ impl Matching {
             }
         }
         if total != self.total_weight {
-            return Err(format!("weight mismatch: recomputed {total}, stored {}", self.total_weight));
+            return Err(format!(
+                "weight mismatch: recomputed {total}, stored {}",
+                self.total_weight
+            ));
         }
         Ok(())
     }
@@ -146,7 +163,12 @@ impl Matching {
 
 impl fmt::Display for Matching {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "matching(w={}, pairs={:?})", self.total_weight, self.pairs())
+        write!(
+            f,
+            "matching(w={}, pairs={:?})",
+            self.total_weight,
+            self.pairs()
+        )
     }
 }
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
 //! Property tests: the Blossom implementation must agree with the exact
 //! subset-DP oracle on the total matched weight, dominate the greedy
 //! ½-approximation, and always produce structurally valid matchings.
@@ -58,7 +60,7 @@ proptest! {
         let oracle = exact_maximum_weight_matching(&g);
         prop_assert_eq!(blossom.total_weight, oracle.total_weight,
             "blossom {:?} vs oracle {:?}", blossom.pairs(), oracle.pairs());
-        blossom.validate(&g).map_err(|e| TestCaseError::fail(e))?;
+        blossom.validate(&g).map_err(TestCaseError::fail)?;
     }
 
     #[test]
@@ -66,7 +68,7 @@ proptest! {
         let blossom = maximum_weight_matching(&g);
         let oracle = exact_maximum_weight_matching(&g);
         prop_assert_eq!(blossom.total_weight, oracle.total_weight);
-        blossom.validate(&g).map_err(|e| TestCaseError::fail(e))?;
+        blossom.validate(&g).map_err(TestCaseError::fail)?;
     }
 
     #[test]
@@ -83,7 +85,7 @@ proptest! {
 
     #[test]
     fn greedy_is_valid(g in arb_graph()) {
-        greedy_matching(&g).validate(&g).map_err(|e| TestCaseError::fail(e))?;
+        greedy_matching(&g).validate(&g).map_err(TestCaseError::fail)?;
     }
 
     #[test]

@@ -22,8 +22,7 @@ use muri_cluster::{Cluster, GpuSet};
 use muri_core::{plan_schedule, PendingJob, PlannedGroup};
 use muri_interleave::choose_ordering;
 use muri_workload::{
-    JobId, JobSpec, Profiler, ResourceKind, ResourceVec, SimDuration, SimTime, StageProfile,
-    Trace,
+    JobId, JobSpec, Profiler, ResourceKind, ResourceVec, SimDuration, SimTime, StageProfile, Trace,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +44,19 @@ use std::collections::{BinaryHeap, HashMap};
 /// ```
 pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
     Engine::new(trace, cfg).run()
+}
+
+/// Simulate `trace` like [`simulate`], auditing the engine state against
+/// the `muri-verify` invariants after every scheduling pass, and return
+/// the combined audit report next to the simulation report. Violations
+/// are collected, not panicked on — this is what `muri verify` runs.
+#[cfg(feature = "audit")]
+pub fn simulate_audited(trace: &Trace, cfg: &SimConfig) -> (SimReport, muri_verify::AuditReport) {
+    let mut engine = Engine::new(trace, cfg);
+    engine.audit = Some(muri_verify::AuditReport::new());
+    engine.drive();
+    let audit = engine.audit.take().unwrap_or_default();
+    (engine.finalize(), audit)
 }
 
 #[derive(Debug, Clone)]
@@ -121,6 +133,10 @@ struct Engine<'a> {
     series: Vec<SeriesSample>,
     passes: u64,
     nevents: u64,
+    /// `Some` when collecting an audit trail (`simulate_audited`); `None`
+    /// means debug builds assert on violations instead.
+    #[cfg(feature = "audit")]
+    audit: Option<muri_verify::AuditReport>,
 }
 
 impl<'a> Engine<'a> {
@@ -143,6 +159,8 @@ impl<'a> Engine<'a> {
             series: Vec::new(),
             passes: 0,
             nevents: 0,
+            #[cfg(feature = "audit")]
+            audit: None,
         };
         for (i, job) in trace.jobs.iter().enumerate() {
             engine.schedule_at(job.submit_time, Ev::Arrival(i as u32));
@@ -156,6 +174,12 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> SimReport {
+        self.drive();
+        self.finalize()
+    }
+
+    /// Pump the event loop to completion (or the simulation deadline).
+    fn drive(&mut self) {
         let deadline = SimTime::ZERO + self.cfg.max_sim_time;
         while let Some(Reverse((at, _, ev))) = self.events.pop() {
             if at > deadline {
@@ -171,7 +195,6 @@ impl<'a> Engine<'a> {
                 Ev::Tick => self.on_tick(),
             }
         }
-        self.finalize()
     }
 
     // ------------------------------------------------------------- events
@@ -247,8 +270,15 @@ impl<'a> Engine<'a> {
             return;
         }
         // Terminate the job and push it back to the queue (§5).
-        let members: Vec<JobId> = group.members.iter().copied().filter(|&j| j != job).collect();
-        self.jobs.get_mut(&job).expect("job exists").faults += 1;
+        let members: Vec<JobId> = group
+            .members
+            .iter()
+            .copied()
+            .filter(|&j| j != job)
+            .collect();
+        if let Some(j) = self.jobs.get_mut(&job) {
+            j.faults += 1;
+        }
         self.queue.push(job);
         self.dirty = true;
         self.reform_group(gid, members);
@@ -268,11 +298,7 @@ impl<'a> Engine<'a> {
         // spreading the members back out would speed them up).
         let could_spread = self.cfg.scheduler.policy.preemptive()
             && self.cluster.free_gpus() > 0
-            && self
-                .groups
-                .iter()
-                .flatten()
-                .any(|g| g.members.len() > 1);
+            && self.groups.iter().flatten().any(|g| g.members.len() > 1);
         if self.dirty || could_spread {
             self.planning_pass();
             self.dirty = false;
@@ -291,9 +317,7 @@ impl<'a> Engine<'a> {
     }
 
     fn done(&self) -> bool {
-        self.arrivals_left == 0
-            && self.queue.is_empty()
-            && self.groups.iter().all(Option::is_none)
+        self.arrivals_left == 0 && self.queue.is_empty() && self.groups.iter().all(Option::is_none)
     }
 
     // ------------------------------------------------------- group motion
@@ -319,7 +343,9 @@ impl<'a> Engine<'a> {
             let dt = now.since(group.last_touch);
             group.last_touch = now;
             for &m in &group.members {
-                self.jobs.get_mut(&m).expect("member exists").attained += dt;
+                if let Some(j) = self.jobs.get_mut(&m) {
+                    j.attained += dt;
+                }
             }
         }
         // Whole iterations since the anchor.
@@ -328,7 +354,9 @@ impl<'a> Engine<'a> {
             if whole > 0 {
                 group.anchor += group.iter_time * whole;
                 for &m in &group.members {
-                    let j = self.jobs.get_mut(&m).expect("member exists");
+                    let Some(j) = self.jobs.get_mut(&m) else {
+                        continue;
+                    };
                     j.done_iters = (j.done_iters + whole).min(j.spec.iterations);
                 }
             }
@@ -344,7 +372,9 @@ impl<'a> Engine<'a> {
             return;
         }
         for m in &finished {
-            self.jobs.get_mut(m).expect("member exists").finish = Some(now);
+            if let Some(j) = self.jobs.get_mut(m) {
+                j.finish = Some(now);
+            }
         }
         let survivors: Vec<JobId> = members
             .into_iter()
@@ -357,7 +387,9 @@ impl<'a> Engine<'a> {
     /// Replace a group's membership (possibly empty → release GPUs),
     /// recompute execution speed, and schedule the next completion.
     fn reform_group(&mut self, gid: usize, members: Vec<JobId>) {
-        let group = self.groups[gid].as_mut().expect("group exists");
+        let Some(group) = self.groups[gid].as_mut() else {
+            return;
+        };
         if members.is_empty() {
             let gpus = group.gpus.clone();
             self.groups[gid] = None;
@@ -369,12 +401,12 @@ impl<'a> Engine<'a> {
         group.anchor = self.now;
         group.last_touch = self.now;
         let member_ids = group.members.clone();
-        let span = self
-            .cluster
-            .spec()
-            .machines_spanned(&self.groups[gid].as_ref().expect("group exists").gpus.gpus);
+        let gpu_list = group.gpus.gpus.clone();
+        let span = self.cluster.spec().machines_spanned(&gpu_list);
         let iter_time = self.execution_iteration_time(&member_ids, span);
-        self.groups[gid].as_mut().expect("group exists").iter_time = iter_time;
+        if let Some(group) = self.groups[gid].as_mut() {
+            group.iter_time = iter_time;
+        }
         self.schedule_completion(gid);
     }
 
@@ -420,13 +452,17 @@ impl<'a> Engine<'a> {
     }
 
     fn schedule_completion(&mut self, gid: usize) {
-        let group = self.groups[gid].as_ref().expect("group exists");
-        let min_rem = group
+        let Some(group) = self.groups[gid].as_ref() else {
+            return;
+        };
+        let Some(min_rem) = group
             .members
             .iter()
             .map(|m| self.jobs[m].remaining_iters())
             .min()
-            .expect("non-empty group");
+        else {
+            return;
+        };
         let at = if group.iter_time.is_zero() {
             group.anchor
         } else {
@@ -445,8 +481,11 @@ impl<'a> Engine<'a> {
     fn planning_pass(&mut self) {
         self.passes += 1;
         let preemptive = self.cfg.scheduler.policy.preemptive();
-        let mut candidates: Vec<PendingJob> =
-            self.queue.iter().map(|id| self.jobs[id].as_pending()).collect();
+        let mut candidates: Vec<PendingJob> = self
+            .queue
+            .iter()
+            .map(|id| self.jobs[id].as_pending())
+            .collect();
         let capacity = if preemptive {
             for g in self.groups.iter().flatten() {
                 for m in &g.members {
@@ -509,6 +548,7 @@ impl<'a> Engine<'a> {
         for (ids, p) in planned {
             self.start_group(ids, p.num_gpus);
         }
+        self.audit_pass();
     }
 
     /// Non-preemptive backfill of free GPUs (on completions/faults).
@@ -517,8 +557,11 @@ impl<'a> Engine<'a> {
             return;
         }
         self.passes += 1;
-        let candidates: Vec<PendingJob> =
-            self.queue.iter().map(|id| self.jobs[id].as_pending()).collect();
+        let candidates: Vec<PendingJob> = self
+            .queue
+            .iter()
+            .map(|id| self.jobs[id].as_pending())
+            .collect();
         let free = self.cluster.free_gpus();
         if free > 0 {
             let plan = plan_schedule(&self.cfg.scheduler, &candidates, free, self.now);
@@ -531,6 +574,7 @@ impl<'a> Engine<'a> {
         if self.cfg.scheduler.policy.gpu_shares() {
             self.antman_join_pass();
         }
+        self.audit_pass();
     }
 
     /// AntMan's opportunistic sharing: when no GPUs are free, queued jobs
@@ -546,9 +590,8 @@ impl<'a> Engine<'a> {
         for job in queued {
             let num_gpus = self.jobs[&job].spec.num_gpus;
             let host = self.groups.iter().position(|g| {
-                g.as_ref().is_some_and(|g| {
-                    g.gpus.len() == num_gpus as usize && g.members.len() < cap
-                })
+                g.as_ref()
+                    .is_some_and(|g| g.gpus.len() == num_gpus as usize && g.members.len() < cap)
             });
             let Some(gid) = host else {
                 continue;
@@ -561,13 +604,14 @@ impl<'a> Engine<'a> {
                 continue;
             }
             self.queue.retain(|id| *id != job);
-            let j = self.jobs.get_mut(&job).expect("queued job exists");
-            if j.first_start.is_none() {
-                j.first_start = Some(self.now);
-            } else {
-                j.restarts += 1;
+            if let Some(j) = self.jobs.get_mut(&job) {
+                if j.first_start.is_none() {
+                    j.first_start = Some(self.now);
+                } else {
+                    j.restarts += 1;
+                }
             }
-            let mut members = self.groups[gid].as_ref().expect("group").members.clone();
+            let mut members = group.members.clone();
             members.push(job);
             self.reform_group(gid, members);
         }
@@ -585,7 +629,9 @@ impl<'a> Engine<'a> {
         for m in group.members {
             if self.jobs[&m].remaining_iters() == 0 {
                 // Completed exactly at the tick boundary.
-                self.jobs.get_mut(&m).expect("member").finish = Some(self.now);
+                if let Some(j) = self.jobs.get_mut(&m) {
+                    j.finish = Some(self.now);
+                }
             } else {
                 self.queue.push(m);
             }
@@ -603,7 +649,9 @@ impl<'a> Engine<'a> {
             let dt = now.since(group.last_touch);
             group.last_touch = now;
             for &m in &group.members {
-                self.jobs.get_mut(&m).expect("member").attained += dt;
+                if let Some(j) = self.jobs.get_mut(&m) {
+                    j.attained += dt;
+                }
             }
         }
         if now > group.anchor && !group.iter_time.is_zero() {
@@ -611,7 +659,9 @@ impl<'a> Engine<'a> {
             if whole > 0 {
                 group.anchor += group.iter_time * whole;
                 for &m in &group.members {
-                    let j = self.jobs.get_mut(&m).expect("member");
+                    let Some(j) = self.jobs.get_mut(&m) else {
+                        continue;
+                    };
                     j.done_iters = (j.done_iters + whole).min(j.spec.iterations);
                 }
             }
@@ -629,7 +679,9 @@ impl<'a> Engine<'a> {
         self.queue.retain(|id| !ids.contains(id));
         let penalty = self.cfg.scheduler.restart_penalty;
         for id in &ids {
-            let j = self.jobs.get_mut(id).expect("job exists");
+            let Some(j) = self.jobs.get_mut(id) else {
+                continue;
+            };
             if j.first_start.is_none() {
                 j.first_start = Some(self.now);
             } else {
@@ -662,7 +714,9 @@ impl<'a> Engine<'a> {
         let Some(mtbf) = self.cfg.faults.mtbf else {
             return;
         };
-        let version = self.groups[gid].as_ref().expect("group").version;
+        let Some(version) = self.groups[gid].as_ref().map(|g| g.version) else {
+            return;
+        };
         for &job in ids {
             let u: f64 = self.fault_rng.gen_range(f64::EPSILON..1.0);
             let dt = SimDuration::from_secs_f64(-mtbf.as_secs_f64() * u.ln());
@@ -675,10 +729,68 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // ---------------------------------------------------------- auditing
+
+    /// Snapshot the engine state for the invariant auditor.
+    #[cfg(feature = "audit")]
+    fn tick_snapshot(&self) -> muri_verify::TickSnapshot {
+        let total_gpus = self.cluster.spec().total_gpus();
+        let mut finished = Vec::new();
+        let mut rejected = Vec::new();
+        for j in self.jobs.values() {
+            if j.spec.num_gpus > total_gpus {
+                rejected.push(j.spec.id);
+            } else if j.finish.is_some() {
+                finished.push(j.spec.id);
+            }
+        }
+        muri_verify::TickSnapshot {
+            time: self.now,
+            total_gpus,
+            running: self
+                .groups
+                .iter()
+                .flatten()
+                .map(|g| muri_verify::GroupSnapshot {
+                    members: g.members.clone(),
+                    gpus: g.gpus.gpus.clone(),
+                })
+                .collect(),
+            queued: self.queue.clone(),
+            finished,
+            rejected,
+            arrived: self.jobs.keys().copied().collect(),
+        }
+    }
+
+    /// Audit hook, run after every scheduling pass. When collecting
+    /// (`simulate_audited`) violations accumulate in the report;
+    /// otherwise debug builds abort on the first violation.
+    #[cfg(feature = "audit")]
+    fn audit_pass(&mut self) {
+        if self.audit.is_none() && !cfg!(debug_assertions) {
+            return;
+        }
+        let snap = self.tick_snapshot();
+        let report = muri_verify::audit_tick(&snap);
+        match self.audit.as_mut() {
+            Some(acc) => acc.merge(report),
+            None => debug_assert!(
+                report.is_clean(),
+                "engine state violates invariants at t={}:\n{report}",
+                snap.time
+            ),
+        }
+    }
+
+    /// No-op without the `audit` feature.
+    #[cfg(not(feature = "audit"))]
+    fn audit_pass(&mut self) {}
+
     // ---------------------------------------------------------- sampling
 
     fn sample(&mut self) {
-        let total_gpus = self.cluster.spec().total_gpus() as f64;
+        let total_gpus = f64::from(self.cluster.spec().total_gpus());
         let mut util = ResourceVec::splat(0.0);
         let mut running_jobs = 0usize;
         for g in self.groups.iter().flatten() {
@@ -701,7 +813,10 @@ impl<'a> Engine<'a> {
             .iter()
             .filter_map(|id| {
                 let j = &self.jobs[id];
-                let pending = self.now.since(j.spec.submit_time).saturating_sub(j.attained);
+                let pending = self
+                    .now
+                    .since(j.spec.submit_time)
+                    .saturating_sub(j.attained);
                 let rem = j.remaining_solo().as_secs_f64();
                 (rem > 0.0).then(|| pending.as_secs_f64() / rem)
             })
@@ -741,8 +856,7 @@ impl<'a> Engine<'a> {
             .iter()
             .filter_map(|r| r.finish)
             .max()
-            .map(|t| t.since(SimTime::ZERO))
-            .unwrap_or(SimDuration::ZERO);
+            .map_or(SimDuration::ZERO, |t| t.since(SimTime::ZERO));
         SimReport {
             policy: self.cfg.scheduler.policy.name().to_string(),
             trace: self.trace.name.clone(),

@@ -21,5 +21,7 @@ pub mod replicate;
 
 pub use config::{FaultConfig, SimConfig};
 pub use engine::simulate;
+#[cfg(feature = "audit")]
+pub use engine::simulate_audited;
 pub use metrics::{JobRecord, SeriesSample, SimReport};
 pub use replicate::{replicate, MetricSummary, ReplicatedMetrics};

@@ -93,8 +93,8 @@ impl SimReport {
     pub fn jcts_secs(&self) -> Vec<f64> {
         self.records
             .iter()
-            .filter_map(|r| r.jct())
-            .map(|d| d.as_secs_f64())
+            .filter_map(JobRecord::jct)
+            .map(muri_workload::SimDuration::as_secs_f64)
             .collect()
     }
 
@@ -159,9 +159,8 @@ impl SimReport {
         let mut out = String::from(
             "job_id,model,gpus,submit_s,start_s,finish_s,jct_s,attained_s,restarts,faults\n",
         );
-        let opt = |t: Option<SimTime>| {
-            t.map_or(String::new(), |t| format!("{:.3}", t.as_secs_f64()))
-        };
+        let opt =
+            |t: Option<SimTime>| t.map_or(String::new(), |t| format!("{:.3}", t.as_secs_f64()));
         for r in &self.records {
             out.push_str(&format!(
                 "{},{},{},{:.3},{},{},{},{:.3},{},{}\n",
@@ -242,8 +241,7 @@ mod tests {
                 .iter()
                 .filter_map(|r| r.finish)
                 .max()
-                .map(|t| t.since(SimTime::ZERO))
-                .unwrap_or(SimDuration::ZERO),
+                .map_or(SimDuration::ZERO, |t| t.since(SimTime::ZERO)),
             records,
             series: Vec::new(),
             scheduling_passes: 0,

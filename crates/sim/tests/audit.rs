@@ -1,0 +1,27 @@
+//! End-to-end audit: full simulations must produce zero violations.
+//! Compiled only with `--features audit`.
+
+#![cfg(feature = "audit")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use muri_core::{PolicyKind, SchedulerConfig};
+use muri_sim::{simulate_audited, SimConfig};
+use muri_workload::philly_like_trace;
+
+#[test]
+fn audited_simulations_are_violation_free() {
+    let trace = philly_like_trace(3, 0.02);
+    for policy in [
+        PolicyKind::MuriL,
+        PolicyKind::MuriS,
+        PolicyKind::Srtf,
+        PolicyKind::Srsf,
+        PolicyKind::AntMan,
+    ] {
+        let cfg = SimConfig::testbed(SchedulerConfig::preset(policy));
+        let (report, audit) = simulate_audited(&trace, &cfg);
+        assert!(report.all_finished(), "{policy:?}: unfinished jobs");
+        assert!(audit.checks > 0, "{policy:?}: auditor never ran");
+        assert!(audit.is_clean(), "{policy:?}:\n{audit}");
+    }
+}

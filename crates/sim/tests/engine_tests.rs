@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
 //! End-to-end tests of the discrete-event engine: conservation laws,
 //! policy sanity, the headline Muri-vs-baseline effect, determinism,
 //! noise, and fault injection.
@@ -5,9 +7,7 @@
 use muri_cluster::ClusterSpec;
 use muri_core::{PolicyKind, SchedulerConfig};
 use muri_sim::{simulate, FaultConfig, SimConfig, SimReport};
-use muri_workload::{
-    JobId, JobSpec, ModelKind, ProfilerConfig, SimDuration, SimTime, Trace,
-};
+use muri_workload::{JobId, JobSpec, ModelKind, ProfilerConfig, SimDuration, SimTime, Trace};
 
 /// A small mixed trace: `n` single-GPU jobs cycling through the four
 /// bottleneck classes, all submitted at t = 0. Every job has the same
@@ -158,7 +158,13 @@ fn muri_beats_srsf_on_complementary_workload() {
 fn srtf_beats_fifo_on_skewed_durations() {
     // One long job ahead of many short ones: FIFO head-of-line blocking
     // vs SRTF.
-    let mut jobs = vec![JobSpec::new(JobId(0), ModelKind::Gpt2, 8, 3000, SimTime::ZERO)];
+    let mut jobs = vec![JobSpec::new(
+        JobId(0),
+        ModelKind::Gpt2,
+        8,
+        3000,
+        SimTime::ZERO,
+    )];
     for i in 1..16 {
         jobs.push(JobSpec::new(
             JobId(i),
@@ -246,8 +252,16 @@ fn antman_shares_gpus_opportunistically() {
     );
     // FIFO without sharing would strand half the jobs in the queue.
     let fifo = simulate(&trace, &small_config(PolicyKind::Fifo));
-    let fifo_peak = fifo.series.iter().map(|s| s.running_jobs).max().unwrap_or(0);
-    assert!(fifo_peak <= 8, "FIFO cannot exceed one job per GPU, got {fifo_peak}");
+    let fifo_peak = fifo
+        .series
+        .iter()
+        .map(|s| s.running_jobs)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        fifo_peak <= 8,
+        "FIFO cannot exceed one job per GPU, got {fifo_peak}"
+    );
 }
 
 #[test]
@@ -292,7 +306,7 @@ fn staggered_arrivals_respect_submit_times() {
                 ModelKind::ResNet18,
                 1,
                 40,
-                SimTime::from_secs(i as u64 * 100),
+                SimTime::from_secs(u64::from(i) * 100),
             )
         })
         .collect();

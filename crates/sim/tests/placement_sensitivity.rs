@@ -11,7 +11,13 @@ use muri_workload::{JobId, JobSpec, ModelKind, SimTime, Trace};
 fn one_big_job(gpus: u32) -> Trace {
     Trace::new(
         "span",
-        vec![JobSpec::new(JobId(0), ModelKind::Vgg19, gpus, 500, SimTime::ZERO)],
+        vec![JobSpec::new(
+            JobId(0),
+            ModelKind::Vgg19,
+            gpus,
+            500,
+            SimTime::ZERO,
+        )],
     )
 }
 
@@ -64,7 +70,10 @@ fn penalty_scales_with_span() {
     // 16 GPUs = 2 machines (factor 1.5); 64 GPUs = 8 machines (factor
     // 4.5). The compute stages are per-worker constants, so the wider
     // job's iteration is strictly longer.
-    assert!(wide > base, "8-machine span ({wide}) must exceed 2-machine ({base})");
+    assert!(
+        wide > base,
+        "8-machine span ({wide}) must exceed 2-machine ({base})"
+    );
 }
 
 #[test]

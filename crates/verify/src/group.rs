@@ -1,0 +1,226 @@
+//! Auditing a formed [`InterleaveGroup`] against Eq. 3/4.
+//!
+//! The recomputation here is deliberately *independent* of
+//! `muri-interleave`'s own arithmetic (only the effective-cycle
+//! construction is shared): the auditor must not trust the code it audits.
+
+use crate::violation::{AuditReport, Violation};
+use muri_interleave::efficiency::effective_cycle;
+use muri_interleave::InterleaveGroup;
+use muri_workload::{ResourceKind, SimDuration, StageProfile, NUM_RESOURCES};
+
+/// Absolute slack for float comparisons of γ.
+const GAMMA_EPS: f64 = 1e-9;
+
+/// Audit one group: offset arity and distinctness (Eq. 3's premise),
+/// γ ∈ [0, 1] (Eq. 4), and agreement of the stored iteration time and
+/// efficiency with a from-scratch recomputation.
+pub fn audit_group(group: &InterleaveGroup) -> AuditReport {
+    let mut report = AuditReport::new();
+    audit_group_into(group, &mut report);
+    report
+}
+
+pub(crate) fn audit_group_into(group: &InterleaveGroup, report: &mut AuditReport) {
+    report.checks += 1;
+    let jobs = group.job_ids();
+    let offsets = &group.ordering.offsets;
+    let k = group.ordering.cycle.len();
+
+    // Arity: one offset per member, and a non-degenerate cycle.
+    if offsets.len() != group.members.len() || (k == 0 && !group.members.is_empty()) {
+        report.push(Violation::DuplicatePhaseOffset {
+            jobs,
+            offsets: offsets.clone(),
+            cycle_len: k,
+        });
+        return;
+    }
+    if group.members.is_empty() {
+        return;
+    }
+
+    // Distinct offsets modulo the cycle — the "each resource hosts at most
+    // one job per phase" premise. A group larger than the cycle (or than
+    // the number of resource types) necessarily collides by pigeonhole.
+    let collides = group.members.len() > k || group.members.len() > NUM_RESOURCES || {
+        let mut seen = vec![false; k];
+        offsets
+            .iter()
+            .any(|&o| std::mem::replace(&mut seen[o % k], true))
+    };
+    if collides {
+        report.push(Violation::DuplicatePhaseOffset {
+            jobs,
+            offsets: offsets.clone(),
+            cycle_len: k,
+        });
+        return;
+    }
+
+    // γ range (Eq. 4).
+    if !(-GAMMA_EPS..=1.0 + GAMMA_EPS).contains(&group.efficiency) || !group.efficiency.is_finite()
+    {
+        report.push(Violation::GammaOutOfRange {
+            jobs: jobs.clone(),
+            gamma: group.efficiency,
+            detail: "Eq. 4 bounds γ to [0, 1]".into(),
+        });
+    }
+
+    // Stored iteration time vs an independent Eq. 3 recomputation over the
+    // stored cycle.
+    let profiles: Vec<StageProfile> = group.members.iter().map(|m| m.profile).collect();
+    let recomputed_t = recompute_iteration_time(&profiles, offsets, &group.ordering.cycle);
+    if recomputed_t != group.ordering.iteration_time {
+        report.push(Violation::GammaOutOfRange {
+            jobs: jobs.clone(),
+            gamma: group.efficiency,
+            detail: format!(
+                "stored iteration time {} disagrees with Eq. 3 recomputation {recomputed_t}",
+                group.ordering.iteration_time
+            ),
+        });
+    }
+
+    // Stored γ vs an independent Eq. 4 recomputation over the effective
+    // cycle (the cycle `InterleaveGroup::form` evaluates γ on).
+    let eff = effective_cycle(&profiles);
+    if group.members.len() <= eff.len()
+        && offsets.iter().all(|&o| {
+            offsets
+                .iter()
+                .filter(|&&x| x % eff.len() == o % eff.len())
+                .count()
+                == 1
+        })
+    {
+        let recomputed_gamma = recompute_efficiency(&profiles, offsets, &eff);
+        if (recomputed_gamma - group.efficiency).abs() > GAMMA_EPS {
+            report.push(Violation::GammaOutOfRange {
+                jobs,
+                gamma: group.efficiency,
+                detail: format!("stored γ disagrees with Eq. 4 recomputation {recomputed_gamma}"),
+            });
+        }
+    }
+}
+
+/// Eq. 3, recomputed locally: `T = Σ_ℓ max_i t_i^{cycle[(o_i + ℓ) mod k]}`.
+fn recompute_iteration_time(
+    profiles: &[StageProfile],
+    offsets: &[usize],
+    cycle: &[ResourceKind],
+) -> SimDuration {
+    let k = cycle.len();
+    if k == 0 {
+        return SimDuration::ZERO;
+    }
+    let mut total = SimDuration::ZERO;
+    for phase in 0..k {
+        let mut longest = SimDuration::ZERO;
+        for (p, &o) in profiles.iter().zip(offsets) {
+            longest = longest.max(p.duration(cycle[(o + phase) % k]));
+        }
+        total += longest;
+    }
+    total
+}
+
+/// Eq. 4, recomputed locally: `γ = 1 − (1/k) Σ_j (T − Σ_i t_i^j) / T`.
+fn recompute_efficiency(
+    profiles: &[StageProfile],
+    offsets: &[usize],
+    cycle: &[ResourceKind],
+) -> f64 {
+    let t = recompute_iteration_time(profiles, offsets, cycle).as_secs_f64();
+    if t == 0.0 {
+        return 0.0;
+    }
+    let mut idle_sum = 0.0;
+    for &r in cycle {
+        let busy: f64 = profiles.iter().map(|p| p.duration(r).as_secs_f64()).sum();
+        idle_sum += (t - busy) / t;
+    }
+    1.0 - idle_sum / cycle.len() as f64
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use muri_interleave::{GroupMember, OrderingPolicy};
+    use muri_workload::JobId;
+
+    fn member(id: u32, storage: u64, cpu: u64, gpu: u64, net: u64) -> GroupMember {
+        GroupMember {
+            job: JobId(id),
+            profile: StageProfile::new(
+                SimDuration::from_secs(storage),
+                SimDuration::from_secs(cpu),
+                SimDuration::from_secs(gpu),
+                SimDuration::from_secs(net),
+            ),
+        }
+    }
+
+    #[test]
+    fn well_formed_groups_audit_clean() {
+        for members in [
+            vec![member(1, 0, 2, 1, 0), member(2, 0, 1, 2, 0)],
+            vec![member(1, 1, 2, 1, 1), member(2, 1, 1, 2, 1)],
+            vec![member(7, 3, 1, 4, 1)],
+            vec![
+                member(1, 1, 1, 1, 1),
+                member(2, 1, 1, 1, 1),
+                member(3, 1, 1, 1, 1),
+                member(4, 1, 1, 1, 1),
+            ],
+        ] {
+            for policy in [OrderingPolicy::Best, OrderingPolicy::Worst] {
+                let g = InterleaveGroup::form(members.clone(), policy);
+                let report = audit_group(&g);
+                assert!(report.is_clean(), "{report}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_gamma_is_flagged() {
+        let mut g = InterleaveGroup::form(
+            vec![member(1, 0, 2, 1, 0), member(2, 0, 1, 2, 0)],
+            OrderingPolicy::Best,
+        );
+        g.efficiency = 1.5;
+        let report = audit_group(&g);
+        assert_eq!(report.count_kind("GammaOutOfRange"), 2, "{report}");
+    }
+
+    #[test]
+    fn duplicate_offsets_are_flagged() {
+        let mut g = InterleaveGroup::form(
+            vec![member(1, 0, 2, 1, 0), member(2, 0, 1, 2, 0)],
+            OrderingPolicy::Best,
+        );
+        g.ordering.offsets = vec![0, 0];
+        let report = audit_group(&g);
+        assert_eq!(report.count_kind("DuplicatePhaseOffset"), 1, "{report}");
+    }
+
+    #[test]
+    fn corrupt_iteration_time_is_flagged() {
+        let mut g = InterleaveGroup::form(
+            vec![member(1, 0, 2, 1, 0), member(2, 0, 1, 2, 0)],
+            OrderingPolicy::Best,
+        );
+        g.ordering.iteration_time += SimDuration::from_secs(1);
+        let report = audit_group(&g);
+        assert_eq!(report.count_kind("GammaOutOfRange"), 1, "{report}");
+    }
+
+    #[test]
+    fn empty_group_is_tolerated() {
+        let g = InterleaveGroup::form(Vec::new(), OrderingPolicy::Best);
+        assert!(audit_group(&g).is_clean());
+    }
+}

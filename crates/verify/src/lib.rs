@@ -1,0 +1,45 @@
+//! # muri-verify
+//!
+//! A typed, independent auditor for Muri schedules. Every structure the
+//! scheduler produces — formed [`InterleaveGroup`]s, Blossom matchings,
+//! planning rounds, timeline runs, and full simulator ticks — can be
+//! checked against the paper's invariants:
+//!
+//! * **Eq. 3/4** — a group's stored iteration time and efficiency must
+//!   match an independent recomputation, and γ ∈ \[0, 1\]
+//!   ([`audit_group`]);
+//! * **§4.1** — phase offsets are distinct (one job per resource per
+//!   phase) and the grouping matching is a real matching
+//!   ([`audit_matching`]);
+//! * **§4.2** — groups never cross GPU-count buckets, never exceed the
+//!   pack factor, and the SRSF/2D-LAS priority order is respected per
+//!   GPU class ([`audit_plan`]);
+//! * **§5 / physicality** — plans fit in the free capacity, no GPU is
+//!   double-booked, no resource is busy for longer than wall-clock, and
+//!   every job is always in exactly one scheduler state
+//!   ([`audit_plan`], [`audit_tick`], [`audit_timeline`]).
+//!
+//! Violations come back as a typed [`Violation`] inside an
+//! [`AuditReport`] rather than a panic, so the auditor can run over
+//! deliberately corrupted inputs (the negative tests) and over full
+//! simulations (`muri verify`). The checks recompute invariants locally
+//! instead of calling back into the code under audit.
+//!
+//! [`InterleaveGroup`]: muri_interleave::InterleaveGroup
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod group;
+pub mod matching;
+pub mod plan;
+pub mod tick;
+pub mod timeline;
+pub mod violation;
+
+pub use group::audit_group;
+pub use matching::audit_matching;
+pub use plan::{audit_plan, PlanContext, PlannedGroupRef};
+pub use tick::{audit_tick, GroupSnapshot, TickSnapshot};
+pub use timeline::audit_timeline;
+pub use violation::{AuditReport, Violation};

@@ -1,0 +1,58 @@
+//! Auditing a Blossom [`Matching`] against its graph.
+
+use crate::violation::{AuditReport, Violation};
+use muri_matching::{DenseGraph, Matching};
+
+/// Audit that `m` is a valid matching of `g`: mate symmetry, no
+/// self-mates, every matched pair backed by an edge, and a total weight
+/// equal to the sum of its edges (§4.1's maximum weighted matching is
+/// meaningless over a non-matching edge set).
+pub fn audit_matching(g: &DenseGraph, m: &Matching) -> AuditReport {
+    let mut report = AuditReport::new();
+    report.checks += 1;
+    if let Err(detail) = m.validate(g) {
+        report.push(Violation::NonMatchingEdgeSet { detail });
+    }
+    report
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use muri_matching::maximum_weight_matching;
+
+    #[test]
+    fn blossom_output_audits_clean() {
+        let mut g = DenseGraph::new(4);
+        g.set_weight(0, 1, 10);
+        g.set_weight(2, 3, 7);
+        g.set_weight(1, 2, 3);
+        let m = maximum_weight_matching(&g);
+        assert!(audit_matching(&g, &m).is_clean());
+    }
+
+    #[test]
+    fn edgeless_pair_is_flagged() {
+        let g = DenseGraph::new(2);
+        let m = Matching {
+            mate: vec![Some(1), Some(0)],
+            total_weight: 0,
+        };
+        let report = audit_matching(&g, &m);
+        assert_eq!(report.count_kind("NonMatchingEdgeSet"), 1, "{report}");
+    }
+
+    #[test]
+    fn asymmetric_mates_are_flagged() {
+        let mut g = DenseGraph::new(3);
+        g.set_weight(0, 1, 5);
+        g.set_weight(1, 2, 5);
+        let m = Matching {
+            mate: vec![Some(1), Some(2), Some(1)],
+            total_weight: 10,
+        };
+        let report = audit_matching(&g, &m);
+        assert_eq!(report.count_kind("NonMatchingEdgeSet"), 1, "{report}");
+    }
+}

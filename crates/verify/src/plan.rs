@@ -1,0 +1,292 @@
+//! Auditing a scheduling plan (the output of one planning round) against
+//! capacity, bucketing, and priority-order invariants.
+
+use crate::group::audit_group_into;
+use crate::violation::{AuditReport, Violation};
+use muri_interleave::InterleaveGroup;
+use muri_workload::JobId;
+use std::collections::HashMap;
+
+/// One planned group as the auditor sees it: the formed group plus the
+/// GPU count it was planned onto.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedGroupRef<'a> {
+    /// The interleave group.
+    pub group: &'a InterleaveGroup,
+    /// GPUs this group occupies (each member's own demand).
+    pub num_gpus: u32,
+}
+
+/// What the planner was given: the capacity it could spend and the
+/// candidate queue it drew from.
+#[derive(Debug, Clone)]
+pub struct PlanContext {
+    /// Free GPUs available to this planning round.
+    pub free_gpus: u32,
+    /// Maximum members per group (the pack factor).
+    pub max_group_size: usize,
+    /// Candidates in priority order, highest priority first, with their
+    /// per-job GPU demand. Every planned job must appear here.
+    pub candidates: Vec<(JobId, u32)>,
+}
+
+/// Audit one planning round:
+///
+/// * every group individually (Eq. 3/4, offsets — see
+///   [`crate::group::audit_group`]);
+/// * groups never mix GPU demands and never exceed the pack factor;
+/// * every planned job is a candidate, planned at its demanded GPU count,
+///   and planned at most once;
+/// * the plan's total demand fits in `free_gpus`;
+/// * within each GPU-demand class, scheduling anything implies scheduling
+///   the class's highest-priority candidate (the provable fragment of the
+///   §4.2 SRSF/2D-LAS order — group-rank capacity selection may
+///   legitimately skip *later* candidates).
+pub fn audit_plan(plan: &[PlannedGroupRef<'_>], ctx: &PlanContext) -> AuditReport {
+    let mut report = AuditReport::new();
+    report.checks += 1;
+
+    let demand_of: HashMap<JobId, u32> = ctx.candidates.iter().copied().collect();
+    let mut seen: HashMap<JobId, usize> = HashMap::new();
+    let mut total_gpus = 0u64;
+
+    for planned in plan {
+        audit_group_into(planned.group, &mut report);
+        let jobs = planned.group.job_ids();
+
+        if jobs.is_empty() {
+            if planned.num_gpus > 0 {
+                report.push(Violation::GpuOversubscribed {
+                    scope: "empty planned group holding GPUs".into(),
+                    demanded: u64::from(planned.num_gpus),
+                    capacity: 0,
+                });
+            }
+            continue;
+        }
+        total_gpus += u64::from(planned.num_gpus);
+
+        if planned.group.len() > ctx.max_group_size {
+            report.push(Violation::GpuOversubscribed {
+                scope: format!("group {jobs:?} exceeds the pack factor"),
+                demanded: planned.group.len() as u64,
+                capacity: ctx.max_group_size as u64,
+            });
+        }
+
+        // Per-member demand: known candidate, demand equal to the planned
+        // GPU count, homogeneous within the group.
+        let mut gpu_counts = Vec::with_capacity(jobs.len());
+        for &job in &jobs {
+            match demand_of.get(&job) {
+                None => report.push(Violation::JobConservationBroken {
+                    job,
+                    detail: "planned but not a candidate of this round".into(),
+                }),
+                Some(&d) => gpu_counts.push(d),
+            }
+            *seen.entry(job).or_insert(0) += 1;
+        }
+        if gpu_counts.iter().any(|&d| d != planned.num_gpus) {
+            report.push(Violation::CrossBucketGroup { jobs, gpu_counts });
+        }
+    }
+
+    for (job, count) in &seen {
+        if *count > 1 {
+            report.push(Violation::JobConservationBroken {
+                job: *job,
+                detail: format!("planned {count} times in one round"),
+            });
+        }
+    }
+
+    if total_gpus > u64::from(ctx.free_gpus) {
+        report.push(Violation::GpuOversubscribed {
+            scope: "plan total".into(),
+            demanded: total_gpus,
+            capacity: u64::from(ctx.free_gpus),
+        });
+    }
+
+    // Priority order, per GPU-demand class: if any class member runs, the
+    // class's top candidate runs.
+    let mut top_of_class: HashMap<u32, JobId> = HashMap::new();
+    for &(job, d) in &ctx.candidates {
+        top_of_class.entry(d).or_insert(job);
+    }
+    let rank_of: HashMap<JobId, usize> = ctx
+        .candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &(job, _))| (job, i))
+        .collect();
+    for (&class, &top) in &top_of_class {
+        if seen.contains_key(&top) {
+            continue;
+        }
+        let scheduled_in_class = seen
+            .keys()
+            .filter(|job| demand_of.get(job) == Some(&class))
+            .max_by_key(|job| rank_of.get(job).copied().unwrap_or(usize::MAX));
+        if let Some(&worst) = scheduled_in_class {
+            report.push(Violation::PriorityInversion {
+                scheduled: worst,
+                skipped: top,
+                num_gpus: class,
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use muri_interleave::{GroupMember, InterleaveGroup, OrderingPolicy};
+    use muri_workload::{SimDuration, StageProfile};
+
+    fn profile() -> StageProfile {
+        StageProfile::new(
+            SimDuration::ZERO,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+            SimDuration::ZERO,
+        )
+    }
+
+    fn group(ids: &[u32]) -> InterleaveGroup {
+        InterleaveGroup::form(
+            ids.iter()
+                .map(|&i| GroupMember {
+                    job: JobId(i),
+                    profile: profile(),
+                })
+                .collect(),
+            OrderingPolicy::Best,
+        )
+    }
+
+    fn ctx(candidates: &[(u32, u32)], free_gpus: u32) -> PlanContext {
+        PlanContext {
+            free_gpus,
+            max_group_size: 4,
+            candidates: candidates.iter().map(|&(j, d)| (JobId(j), d)).collect(),
+        }
+    }
+
+    #[test]
+    fn consistent_plan_is_clean() {
+        let g1 = group(&[1, 2]);
+        let g2 = group(&[3]);
+        let plan = [
+            PlannedGroupRef {
+                group: &g1,
+                num_gpus: 2,
+            },
+            PlannedGroupRef {
+                group: &g2,
+                num_gpus: 1,
+            },
+        ];
+        let report = audit_plan(&plan, &ctx(&[(1, 2), (2, 2), (3, 1)], 3));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn oversubscribed_plan_is_flagged() {
+        let g1 = group(&[1]);
+        let g2 = group(&[2]);
+        let plan = [
+            PlannedGroupRef {
+                group: &g1,
+                num_gpus: 2,
+            },
+            PlannedGroupRef {
+                group: &g2,
+                num_gpus: 2,
+            },
+        ];
+        let report = audit_plan(&plan, &ctx(&[(1, 2), (2, 2)], 3));
+        assert_eq!(report.count_kind("GpuOversubscribed"), 1, "{report}");
+    }
+
+    #[test]
+    fn cross_bucket_group_is_flagged() {
+        let g = group(&[1, 2]);
+        let plan = [PlannedGroupRef {
+            group: &g,
+            num_gpus: 2,
+        }];
+        let report = audit_plan(&plan, &ctx(&[(1, 2), (2, 1)], 4));
+        assert_eq!(report.count_kind("CrossBucketGroup"), 1, "{report}");
+    }
+
+    #[test]
+    fn unknown_job_breaks_conservation() {
+        let g = group(&[9]);
+        let plan = [PlannedGroupRef {
+            group: &g,
+            num_gpus: 1,
+        }];
+        let report = audit_plan(&plan, &ctx(&[(1, 1)], 4));
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+
+    #[test]
+    fn double_planned_job_breaks_conservation() {
+        let g1 = group(&[1]);
+        let g2 = group(&[1]);
+        let plan = [
+            PlannedGroupRef {
+                group: &g1,
+                num_gpus: 1,
+            },
+            PlannedGroupRef {
+                group: &g2,
+                num_gpus: 1,
+            },
+        ];
+        let report = audit_plan(&plan, &ctx(&[(1, 1)], 4));
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+
+    #[test]
+    fn skipping_the_top_candidate_is_an_inversion() {
+        let g = group(&[2]);
+        let plan = [PlannedGroupRef {
+            group: &g,
+            num_gpus: 1,
+        }];
+        let report = audit_plan(&plan, &ctx(&[(1, 1), (2, 1)], 4));
+        assert_eq!(report.count_kind("PriorityInversion"), 1, "{report}");
+    }
+
+    #[test]
+    fn skipping_a_later_candidate_is_legitimate() {
+        // Top candidate runs; the middle one is skipped (backfill may do
+        // this) — no inversion.
+        let g = group(&[1, 3]);
+        let plan = [PlannedGroupRef {
+            group: &g,
+            num_gpus: 1,
+        }];
+        let report = audit_plan(&plan, &ctx(&[(1, 1), (2, 1), (3, 1)], 4));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn pack_factor_breach_is_flagged() {
+        let g = group(&[1, 2]);
+        let plan = [PlannedGroupRef {
+            group: &g,
+            num_gpus: 1,
+        }];
+        let mut c = ctx(&[(1, 1), (2, 1)], 4);
+        c.max_group_size = 1;
+        let report = audit_plan(&plan, &c);
+        assert_eq!(report.count_kind("GpuOversubscribed"), 1, "{report}");
+    }
+}

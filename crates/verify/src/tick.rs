@@ -1,0 +1,232 @@
+//! Auditing a simulator tick: physical GPU assignment and job
+//! conservation across the engine's queues.
+
+use crate::violation::{AuditReport, Violation};
+use muri_cluster::GpuId;
+use muri_workload::{JobId, SimTime};
+use std::collections::HashMap;
+
+/// One running group as the engine placed it.
+#[derive(Debug, Clone, Default)]
+pub struct GroupSnapshot {
+    /// Jobs interleaving on the group's GPUs.
+    pub members: Vec<JobId>,
+    /// The concrete GPUs the group holds.
+    pub gpus: Vec<GpuId>,
+}
+
+/// The engine's full state after one scheduling tick.
+#[derive(Debug, Clone, Default)]
+pub struct TickSnapshot {
+    /// Simulation time of the tick.
+    pub time: SimTime,
+    /// Total GPUs in the cluster.
+    pub total_gpus: u32,
+    /// Every running group.
+    pub running: Vec<GroupSnapshot>,
+    /// Jobs waiting in the queue.
+    pub queued: Vec<JobId>,
+    /// Jobs that finished.
+    pub finished: Vec<JobId>,
+    /// Jobs rejected at submission (demand exceeds the cluster).
+    pub rejected: Vec<JobId>,
+    /// Every job that has arrived so far.
+    pub arrived: Vec<JobId>,
+}
+
+/// Audit one tick:
+///
+/// * no GPU is held by two groups (or twice by one) and every held GPU id
+///   exists in the cluster;
+/// * no group holds GPUs without members;
+/// * every arrived job sits in exactly one of
+///   {queued, running, finished, rejected}, and those sets contain no
+///   job that never arrived.
+pub fn audit_tick(snap: &TickSnapshot) -> AuditReport {
+    let mut report = AuditReport::new();
+    report.checks += 1;
+
+    // GPU assignment.
+    let mut holder_of: HashMap<GpuId, Vec<JobId>> = HashMap::new();
+    for group in &snap.running {
+        if group.members.is_empty() && !group.gpus.is_empty() {
+            report.push(Violation::GpuOversubscribed {
+                scope: format!("memberless running group holds {:?}", group.gpus),
+                demanded: group.gpus.len() as u64,
+                capacity: 0,
+            });
+        }
+        for &gpu in &group.gpus {
+            if gpu.0 >= snap.total_gpus {
+                report.push(Violation::GpuOversubscribed {
+                    scope: format!("{gpu} outside the cluster"),
+                    demanded: u64::from(gpu.0) + 1,
+                    capacity: u64::from(snap.total_gpus),
+                });
+            }
+            holder_of.entry(gpu).or_default().extend(&group.members);
+        }
+        // A GPU listed twice inside one group double-books itself too.
+        let mut in_group: HashMap<GpuId, usize> = HashMap::new();
+        for &gpu in &group.gpus {
+            *in_group.entry(gpu).or_insert(0) += 1;
+        }
+        for (gpu, count) in in_group {
+            if count > 1 {
+                report.push(Violation::ResourceDoubleBooked {
+                    resource: gpu.to_string(),
+                    holders: group.members.clone(),
+                });
+            }
+        }
+    }
+    let mut groups_holding: HashMap<GpuId, usize> = HashMap::new();
+    for group in &snap.running {
+        let mut seen_here = std::collections::HashSet::new();
+        for &gpu in &group.gpus {
+            if seen_here.insert(gpu) {
+                *groups_holding.entry(gpu).or_insert(0) += 1;
+            }
+        }
+    }
+    for (gpu, count) in groups_holding {
+        if count > 1 {
+            report.push(Violation::ResourceDoubleBooked {
+                resource: gpu.to_string(),
+                holders: holder_of.remove(&gpu).unwrap_or_default(),
+            });
+        }
+    }
+
+    // Job conservation.
+    let mut where_is: HashMap<JobId, Vec<&'static str>> = HashMap::new();
+    for &job in &snap.queued {
+        where_is.entry(job).or_default().push("queued");
+    }
+    for group in &snap.running {
+        for &job in &group.members {
+            where_is.entry(job).or_default().push("running");
+        }
+    }
+    for &job in &snap.finished {
+        where_is.entry(job).or_default().push("finished");
+    }
+    for &job in &snap.rejected {
+        where_is.entry(job).or_default().push("rejected");
+    }
+    let arrived: std::collections::HashSet<JobId> = snap.arrived.iter().copied().collect();
+    for &job in &snap.arrived {
+        match where_is.get(&job) {
+            None => report.push(Violation::JobConservationBroken {
+                job,
+                detail: format!("arrived by t={} but tracked nowhere", snap.time),
+            }),
+            Some(places) if places.len() > 1 => {
+                report.push(Violation::JobConservationBroken {
+                    job,
+                    detail: format!("tracked in several places: {places:?}"),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for (job, places) in &where_is {
+        if !arrived.contains(job) {
+            report.push(Violation::JobConservationBroken {
+                job: *job,
+                detail: format!("tracked in {places:?} but never arrived"),
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn jobs(ids: &[u32]) -> Vec<JobId> {
+        ids.iter().map(|&i| JobId(i)).collect()
+    }
+
+    fn gpus(ids: &[u32]) -> Vec<GpuId> {
+        ids.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    fn base() -> TickSnapshot {
+        TickSnapshot {
+            time: SimTime::ZERO,
+            total_gpus: 4,
+            running: vec![
+                GroupSnapshot {
+                    members: jobs(&[1, 2]),
+                    gpus: gpus(&[0]),
+                },
+                GroupSnapshot {
+                    members: jobs(&[3]),
+                    gpus: gpus(&[1, 2]),
+                },
+            ],
+            queued: jobs(&[4]),
+            finished: jobs(&[5]),
+            rejected: jobs(&[6]),
+            arrived: jobs(&[1, 2, 3, 4, 5, 6]),
+        }
+    }
+
+    #[test]
+    fn consistent_tick_is_clean() {
+        let report = audit_tick(&base());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn shared_gpu_across_groups_is_double_booked() {
+        let mut snap = base();
+        snap.running[1].gpus = gpus(&[0, 2]);
+        let report = audit_tick(&snap);
+        assert_eq!(report.count_kind("ResourceDoubleBooked"), 1, "{report}");
+    }
+
+    #[test]
+    fn gpu_listed_twice_in_one_group_is_double_booked() {
+        let mut snap = base();
+        snap.running[1].gpus = gpus(&[1, 1]);
+        let report = audit_tick(&snap);
+        assert_eq!(report.count_kind("ResourceDoubleBooked"), 1, "{report}");
+    }
+
+    #[test]
+    fn out_of_range_gpu_is_oversubscription() {
+        let mut snap = base();
+        snap.running[0].gpus = gpus(&[9]);
+        let report = audit_tick(&snap);
+        assert_eq!(report.count_kind("GpuOversubscribed"), 1, "{report}");
+    }
+
+    #[test]
+    fn job_in_two_queues_breaks_conservation() {
+        let mut snap = base();
+        snap.queued.push(JobId(5)); // also finished
+        let report = audit_tick(&snap);
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+
+    #[test]
+    fn lost_job_breaks_conservation() {
+        let mut snap = base();
+        snap.queued.clear(); // job 4 arrived but is nowhere
+        let report = audit_tick(&snap);
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+
+    #[test]
+    fn phantom_job_breaks_conservation() {
+        let mut snap = base();
+        snap.queued.push(JobId(99)); // never arrived
+        let report = audit_tick(&snap);
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+}

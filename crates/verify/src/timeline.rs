@@ -1,0 +1,167 @@
+//! Auditing a [`TimelineReport`] against its input jobs: physical busy
+//! time and iteration accounting.
+
+use crate::violation::{AuditReport, Violation};
+use muri_interleave::{TimelineJob, TimelineReport};
+use muri_workload::{ResourceKind, SimTime};
+
+/// Audit one timeline run:
+///
+/// * per slot, per resource, total busy time never exceeds the makespan —
+///   a resource serving one worker at a time (§4.1's barrier discipline)
+///   cannot accumulate more busy seconds than wall-clock seconds;
+/// * completed iterations never exceed the requested count, finished jobs
+///   completed exactly their requested count, finish times fit inside the
+///   run, and a run that did not hit the horizon finished every job.
+pub fn audit_timeline(jobs: &[TimelineJob], report: &TimelineReport) -> AuditReport {
+    let mut out = AuditReport::new();
+    out.checks += 1;
+
+    for (slot, busy) in report.busy.iter().enumerate() {
+        for r in ResourceKind::ALL {
+            if busy[r] > report.end_time.since(SimTime::ZERO) {
+                let holders = jobs
+                    .iter()
+                    .filter(|j| j.slots.contains(&slot))
+                    .map(|j| j.id)
+                    .collect();
+                out.push(Violation::ResourceDoubleBooked {
+                    resource: format!(
+                        "slot {slot} {r}: busy {} in a {} run",
+                        busy[r], report.end_time
+                    ),
+                    holders,
+                });
+            }
+        }
+    }
+
+    if report.finish_time.len() != jobs.len() || report.completed_iterations.len() != jobs.len() {
+        out.push(Violation::JobConservationBroken {
+            job: jobs.first().map_or(muri_workload::JobId(0), |j| j.id),
+            detail: format!(
+                "report covers {} finish times / {} iteration counts for {} jobs",
+                report.finish_time.len(),
+                report.completed_iterations.len(),
+                jobs.len()
+            ),
+        });
+        return out;
+    }
+
+    for (j, job) in jobs.iter().enumerate() {
+        let done = report.completed_iterations[j];
+        if done > job.iterations {
+            out.push(Violation::JobConservationBroken {
+                job: job.id,
+                detail: format!(
+                    "completed {done} of {} requested iterations",
+                    job.iterations
+                ),
+            });
+        }
+        match report.finish_time[j] {
+            Some(t) => {
+                if done != job.iterations {
+                    out.push(Violation::JobConservationBroken {
+                        job: job.id,
+                        detail: format!(
+                            "finished at {t} with {done}/{} iterations",
+                            job.iterations
+                        ),
+                    });
+                }
+                if t > report.end_time {
+                    out.push(Violation::JobConservationBroken {
+                        job: job.id,
+                        detail: format!("finish time {t} after run end {}", report.end_time),
+                    });
+                }
+            }
+            None => {
+                if !report.horizon_reached {
+                    out.push(Violation::JobConservationBroken {
+                        job: job.id,
+                        detail: "unfinished although the run did not hit the horizon".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use muri_interleave::run_timeline;
+    use muri_workload::{JobId, SimDuration, StageProfile};
+
+    fn jobs() -> Vec<TimelineJob> {
+        let a = StageProfile::from_secs_f64(0.0, 2.0, 1.0, 0.0);
+        let b = StageProfile::from_secs_f64(0.0, 1.0, 2.0, 0.0);
+        vec![
+            TimelineJob {
+                id: JobId(1),
+                profile: a,
+                slots: vec![0],
+                initial_delay: SimDuration::ZERO,
+                iterations: 10,
+            },
+            TimelineJob {
+                id: JobId(2),
+                profile: b,
+                slots: vec![0],
+                initial_delay: SimDuration::ZERO,
+                iterations: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn real_run_audits_clean() {
+        let jobs = jobs();
+        let r = run_timeline(&jobs, 1, SimDuration::from_hours(1));
+        let report = audit_timeline(&jobs, &r);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn inflated_busy_time_is_double_booking() {
+        let jobs = jobs();
+        let mut r = run_timeline(&jobs, 1, SimDuration::from_hours(1));
+        r.busy[0][ResourceKind::Cpu] = SimDuration::from_hours(100);
+        let report = audit_timeline(&jobs, &r);
+        assert_eq!(report.count_kind("ResourceDoubleBooked"), 1, "{report}");
+    }
+
+    #[test]
+    fn overcounted_iterations_break_conservation() {
+        let jobs = jobs();
+        let mut r = run_timeline(&jobs, 1, SimDuration::from_hours(1));
+        r.completed_iterations[0] = 99;
+        let report = audit_timeline(&jobs, &r);
+        // Over the requested count *and* inconsistent with a finish time.
+        assert_eq!(report.count_kind("JobConservationBroken"), 2, "{report}");
+    }
+
+    #[test]
+    fn silently_dropped_job_breaks_conservation() {
+        let jobs = jobs();
+        let mut r = run_timeline(&jobs, 1, SimDuration::from_hours(1));
+        r.finish_time[1] = None; // not horizon-limited, yet unfinished
+        let report = audit_timeline(&jobs, &r);
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+
+    #[test]
+    fn arity_mismatch_breaks_conservation() {
+        let jobs = jobs();
+        let mut r = run_timeline(&jobs, 1, SimDuration::from_hours(1));
+        r.finish_time.pop();
+        let report = audit_timeline(&jobs, &r);
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+}

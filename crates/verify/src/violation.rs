@@ -1,0 +1,258 @@
+//! The typed violation vocabulary and the audit report that carries it.
+
+use muri_workload::JobId;
+use std::fmt;
+
+/// One broken invariant, with enough context to locate the offender.
+///
+/// Each variant corresponds to a rule the paper states or relies on; the
+/// audit passes in this crate are the only producers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Interleaving efficiency outside `[0, 1]` (Eq. 4), or a stored
+    /// γ / iteration time that disagrees with an independent recomputation
+    /// of Eq. 3/4 from the group's profiles and offsets.
+    GammaOutOfRange {
+        /// Members of the offending group.
+        jobs: Vec<JobId>,
+        /// The stored efficiency value.
+        gamma: f64,
+        /// What exactly disagreed.
+        detail: String,
+    },
+    /// Phase offsets are not distinct modulo the cycle length (or their
+    /// count does not match the member count), so one resource would host
+    /// two jobs in the same phase — the premise of Eq. 3 (§4.1's barrier
+    /// discipline) is void.
+    DuplicatePhaseOffset {
+        /// Members of the offending group.
+        jobs: Vec<JobId>,
+        /// The offending offset assignment.
+        offsets: Vec<usize>,
+        /// Length of the resource cycle the offsets index into.
+        cycle_len: usize,
+    },
+    /// A physical resource (a GPU, or a timeline slot-resource) is claimed
+    /// by two holders at once.
+    ResourceDoubleBooked {
+        /// Human-readable name of the double-booked resource.
+        resource: String,
+        /// Jobs holding it.
+        holders: Vec<JobId>,
+    },
+    /// A matching is not a matching: asymmetric mates, self-mates, matched
+    /// pairs with no edge, or a total weight that does not equal the sum
+    /// of its edges (§4.1 requires a maximum *weighted matching*).
+    NonMatchingEdgeSet {
+        /// What the validation found.
+        detail: String,
+    },
+    /// A group mixes jobs with different GPU counts — grouping must never
+    /// cross GPU-count buckets or the Fig. 7 cascade returns (§4.2
+    /// "Handling multi-GPU jobs").
+    CrossBucketGroup {
+        /// Members of the offending group.
+        jobs: Vec<JobId>,
+        /// Their per-job GPU demands.
+        gpu_counts: Vec<u32>,
+    },
+    /// More capacity claimed than exists: a plan demanding more GPUs than
+    /// are free, a GPU id outside the cluster, or a group packed beyond
+    /// the pack factor.
+    GpuOversubscribed {
+        /// Where the oversubscription was observed.
+        scope: String,
+        /// Units demanded.
+        demanded: u64,
+        /// Units actually available.
+        capacity: u64,
+    },
+    /// A lower-priority job was scheduled while the highest-priority
+    /// candidate of the same GPU class was left waiting — the SRSF /
+    /// 2D-LAS order of §4.2 ("Optimizing for average JCT") was not
+    /// respected.
+    PriorityInversion {
+        /// A scheduled job of the class.
+        scheduled: JobId,
+        /// The higher-priority candidate that was skipped.
+        skipped: JobId,
+        /// The GPU class (per-job demand).
+        num_gpus: u32,
+    },
+    /// A job is unaccounted for or double-counted: it appears in zero or
+    /// in several of {queued, running, finished, rejected}, was planned
+    /// twice, or regressed in progress accounting.
+    JobConservationBroken {
+        /// The offending job.
+        job: JobId,
+        /// What the accounting looks like.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// Stable machine-readable name of the variant (used by the negative
+    /// tests to assert the *kind* of violation detected).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::GammaOutOfRange { .. } => "GammaOutOfRange",
+            Violation::DuplicatePhaseOffset { .. } => "DuplicatePhaseOffset",
+            Violation::ResourceDoubleBooked { .. } => "ResourceDoubleBooked",
+            Violation::NonMatchingEdgeSet { .. } => "NonMatchingEdgeSet",
+            Violation::CrossBucketGroup { .. } => "CrossBucketGroup",
+            Violation::GpuOversubscribed { .. } => "GpuOversubscribed",
+            Violation::PriorityInversion { .. } => "PriorityInversion",
+            Violation::JobConservationBroken { .. } => "JobConservationBroken",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::GammaOutOfRange {
+                jobs,
+                gamma,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "GammaOutOfRange: γ = {gamma} for group {jobs:?} — {detail}"
+                )
+            }
+            Violation::DuplicatePhaseOffset {
+                jobs,
+                offsets,
+                cycle_len,
+            } => write!(
+                f,
+                "DuplicatePhaseOffset: offsets {offsets:?} (cycle length {cycle_len}) \
+                 for group {jobs:?} are not one distinct offset per member"
+            ),
+            Violation::ResourceDoubleBooked { resource, holders } => {
+                write!(f, "ResourceDoubleBooked: {resource} held by {holders:?}")
+            }
+            Violation::NonMatchingEdgeSet { detail } => {
+                write!(f, "NonMatchingEdgeSet: {detail}")
+            }
+            Violation::CrossBucketGroup { jobs, gpu_counts } => write!(
+                f,
+                "CrossBucketGroup: group {jobs:?} mixes GPU demands {gpu_counts:?}"
+            ),
+            Violation::GpuOversubscribed {
+                scope,
+                demanded,
+                capacity,
+            } => write!(
+                f,
+                "GpuOversubscribed: {scope} demands {demanded} with capacity {capacity}"
+            ),
+            Violation::PriorityInversion {
+                scheduled,
+                skipped,
+                num_gpus,
+            } => write!(
+                f,
+                "PriorityInversion: {scheduled} ({num_gpus}-GPU class) runs while \
+                 higher-priority {skipped} waits"
+            ),
+            Violation::JobConservationBroken { job, detail } => {
+                write!(f, "JobConservationBroken: {job} — {detail}")
+            }
+        }
+    }
+}
+
+/// Outcome of one or more audit passes: how many checks ran and every
+/// violation they found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Number of audited entities (groups, plans, matchings, ticks…).
+    pub checks: usize,
+    /// Everything the checks found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        AuditReport::default()
+    }
+
+    /// True if no check found a violation.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Record a violation.
+    pub fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+
+    /// Count of violations of the given [`Violation::kind`].
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.violations.iter().filter(|v| v.kind() == kind).count()
+    }
+
+    /// Human-readable multi-line summary (what `muri verify` prints).
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} checks, {} violation(s)",
+            self.checks,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  - {v}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = AuditReport::new();
+        a.checks = 2;
+        let mut b = AuditReport::new();
+        b.checks = 3;
+        b.push(Violation::NonMatchingEdgeSet { detail: "x".into() });
+        a.merge(b);
+        assert_eq!(a.checks, 5);
+        assert_eq!(a.violations.len(), 1);
+        assert!(!a.is_clean());
+        assert_eq!(a.count_kind("NonMatchingEdgeSet"), 1);
+        assert_eq!(a.count_kind("GammaOutOfRange"), 0);
+    }
+
+    #[test]
+    fn render_lists_each_violation() {
+        let mut r = AuditReport::new();
+        r.checks = 1;
+        r.push(Violation::PriorityInversion {
+            scheduled: JobId(2),
+            skipped: JobId(1),
+            num_gpus: 4,
+        });
+        let text = r.render();
+        assert!(text.contains("PriorityInversion"), "{text}");
+        assert!(text.contains("1 checks"), "{text}");
+    }
+}

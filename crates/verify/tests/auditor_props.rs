@@ -1,0 +1,180 @@
+//! Property tests: real scheduler outputs audit clean, and every seeded
+//! corruption is detected as its expected violation kind.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use muri_core::grouping::{capacity_aware_grouping, BucketInput, GroupingConfig};
+use muri_core::policy::{PendingJob, PolicyKind};
+use muri_core::scheduler::{plan_schedule, SchedulerConfig};
+use muri_interleave::{
+    run_timeline, stagger_delays, GroupMember, InterleaveGroup, OrderingPolicy, TimelineJob,
+};
+use muri_verify::{audit_group, audit_plan, audit_timeline, PlanContext, PlannedGroupRef};
+use muri_workload::{JobId, SimDuration, SimTime, StageProfile};
+use proptest::prelude::*;
+
+/// Stage profiles with a non-empty GPU stage (real jobs always have one)
+/// and small integral durations, which keeps timelines short.
+fn profile_strategy() -> impl Strategy<Value = StageProfile> {
+    (0u64..3, 0u64..4, 1u64..4, 0u64..3).prop_map(|(s, c, g, n)| {
+        StageProfile::from_secs_f64(s as f64, c as f64, g as f64, n as f64)
+    })
+}
+
+fn pending_strategy() -> impl Strategy<Value = Vec<PendingJob>> {
+    proptest::collection::vec(
+        (profile_strategy(), 0usize..4, 1u64..500, 0u64..600),
+        1..=12,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (profile, gpu_class, remaining, submit))| PendingJob {
+                id: JobId(i as u32),
+                num_gpus: 1 << gpu_class, // 1, 2, 4, or 8
+                profile,
+                submit_time: SimTime::from_secs(submit),
+                attained: SimDuration::from_secs(submit / 3),
+                remaining: SimDuration::from_secs(remaining),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    /// Any group formed by `capacity_aware_grouping` audits clean.
+    fn grouped_buckets_audit_clean(
+        bucket_profiles in proptest::collection::vec(
+            proptest::collection::vec(profile_strategy(), 1..=5),
+            1..=3,
+        ),
+        free_gpus in 1u32..32,
+        max_group_size in 1usize..=4,
+    ) {
+        // Distinct, descending GPU counts, as the scheduler feeds them.
+        let buckets: Vec<BucketInput> = bucket_profiles
+            .iter()
+            .enumerate()
+            .map(|(i, profiles)| BucketInput {
+                gpus: 1 << (bucket_profiles.len() - 1 - i),
+                profiles: profiles.clone(),
+            })
+            .collect();
+        let cfg = GroupingConfig {
+            max_group_size,
+            ..GroupingConfig::default()
+        };
+        let grouped = capacity_aware_grouping(&buckets, free_gpus, &cfg);
+        let mut next_id = 0u32;
+        for (bucket, groups) in buckets.iter().zip(&grouped) {
+            for idxs in groups {
+                prop_assert!(idxs.len() <= max_group_size);
+                let members: Vec<GroupMember> = idxs
+                    .iter()
+                    .map(|&i| {
+                        next_id += 1;
+                        GroupMember { job: JobId(next_id), profile: bucket.profiles[i] }
+                    })
+                    .collect();
+                let g = InterleaveGroup::form(members, cfg.ordering);
+                let report = audit_group(&g);
+                prop_assert!(report.is_clean(), "{report}");
+            }
+        }
+    }
+
+    #[test]
+    /// Any full planning round audits clean for every Muri policy.
+    fn plan_schedule_audits_clean(
+        pending in pending_strategy(),
+        free_gpus in 0u32..=24,
+        policy_idx in 0usize..4,
+        now_secs in 0u64..3600,
+    ) {
+        let policy = [
+            PolicyKind::MuriS,
+            PolicyKind::MuriL,
+            PolicyKind::Srtf,
+            PolicyKind::Srsf,
+        ][policy_idx];
+        let cfg = SchedulerConfig::preset(policy);
+        let now = SimTime::from_secs(now_secs);
+        let plan = plan_schedule(&cfg, &pending, free_gpus, now);
+        let mut sorted = pending.clone();
+        cfg.policy.sort(&mut sorted, now);
+        let ctx = PlanContext {
+            free_gpus,
+            max_group_size: cfg.pack_factor(),
+            candidates: sorted.iter().map(|j| (j.id, j.num_gpus)).collect(),
+        };
+        let refs: Vec<PlannedGroupRef<'_>> = plan
+            .iter()
+            .map(|p| PlannedGroupRef { group: &p.group, num_gpus: p.num_gpus })
+            .collect();
+        let report = audit_plan(&refs, &ctx);
+        prop_assert!(report.is_clean(), "{policy:?} free={free_gpus}: {report}");
+    }
+
+    #[test]
+    /// Any staggered timeline run audits clean.
+    fn timeline_runs_audit_clean(
+        profiles in proptest::collection::vec(profile_strategy(), 1..=4),
+        iters in 1u64..8,
+    ) {
+        let offsets: Vec<usize> = (0..profiles.len()).collect();
+        let delays = stagger_delays(&profiles, &offsets);
+        let jobs: Vec<TimelineJob> = profiles
+            .iter()
+            .zip(&delays)
+            .enumerate()
+            .map(|(i, (&profile, &delay))| TimelineJob {
+                id: JobId(i as u32),
+                profile,
+                slots: vec![0],
+                initial_delay: delay,
+                iterations: iters,
+            })
+            .collect();
+        let report = run_timeline(&jobs, 1, SimDuration::from_hours(24));
+        let audit = audit_timeline(&jobs, &report);
+        prop_assert!(audit.is_clean(), "{audit}");
+    }
+
+    #[test]
+    /// Each seeded corruption is detected as exactly its expected kind.
+    fn corruptions_are_detected(
+        profiles in proptest::collection::vec(profile_strategy(), 2..=3),
+        corruption in 0u8..4,
+        bump in 1u64..100,
+    ) {
+        let members: Vec<GroupMember> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, &profile)| GroupMember { job: JobId(i as u32), profile })
+            .collect();
+        let mut g = InterleaveGroup::form(members, OrderingPolicy::Best);
+        let expected = match corruption {
+            0 => {
+                g.efficiency = 1.0 + bump as f64;
+                "GammaOutOfRange"
+            }
+            1 => {
+                g.ordering.offsets = vec![0; g.members.len()];
+                "DuplicatePhaseOffset"
+            }
+            2 => {
+                g.ordering.iteration_time += SimDuration::from_secs(bump);
+                "GammaOutOfRange"
+            }
+            _ => {
+                g.ordering.offsets.pop();
+                "DuplicatePhaseOffset"
+            }
+        };
+        let report = audit_group(&g);
+        prop_assert!(report.count_kind(expected) >= 1, "expected {expected}: {report}");
+    }
+}

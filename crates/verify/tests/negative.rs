@@ -1,0 +1,212 @@
+//! Seeded-corruption tests: each deliberately broken structure must be
+//! detected as exactly its expected [`Violation`] variant.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use muri_cluster::GpuId;
+use muri_interleave::{GroupMember, InterleaveGroup, OrderingPolicy};
+use muri_matching::{DenseGraph, Matching};
+use muri_verify::{
+    audit_group, audit_matching, audit_plan, audit_tick, GroupSnapshot, PlanContext,
+    PlannedGroupRef, TickSnapshot,
+};
+use muri_workload::{JobId, SimDuration, SimTime, StageProfile};
+
+fn profile() -> StageProfile {
+    StageProfile::from_secs_f64(0.0, 2.0, 1.0, 0.0)
+}
+
+fn group(ids: &[u32]) -> InterleaveGroup {
+    InterleaveGroup::form(
+        ids.iter()
+            .map(|&i| GroupMember {
+                job: JobId(i),
+                profile: profile(),
+            })
+            .collect(),
+        OrderingPolicy::Best,
+    )
+}
+
+fn ctx(candidates: &[(u32, u32)], free_gpus: u32) -> PlanContext {
+    PlanContext {
+        free_gpus,
+        max_group_size: 4,
+        candidates: candidates.iter().map(|&(j, d)| (JobId(j), d)).collect(),
+    }
+}
+
+#[test]
+fn corrupt_efficiency_is_gamma_out_of_range() {
+    let mut g = group(&[1, 2]);
+    g.efficiency = 1.5;
+    let report = audit_group(&g);
+    assert!(report.count_kind("GammaOutOfRange") >= 1, "{report}");
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn colliding_offsets_are_duplicate_phase_offset() {
+    let mut g = group(&[1, 2]);
+    g.ordering.offsets = vec![0, 0];
+    let report = audit_group(&g);
+    assert_eq!(report.count_kind("DuplicatePhaseOffset"), 1, "{report}");
+    assert_eq!(report.violations.len(), 1, "{report}");
+}
+
+#[test]
+fn shared_gpu_is_resource_double_booked() {
+    let snap = TickSnapshot {
+        time: SimTime::from_secs(60),
+        total_gpus: 8,
+        running: vec![
+            GroupSnapshot {
+                members: vec![JobId(1)],
+                gpus: vec![GpuId(3)],
+            },
+            GroupSnapshot {
+                members: vec![JobId(2)],
+                gpus: vec![GpuId(3), GpuId(4)],
+            },
+        ],
+        queued: vec![],
+        finished: vec![],
+        rejected: vec![],
+        arrived: vec![JobId(1), JobId(2)],
+    };
+    let report = audit_tick(&snap);
+    assert_eq!(report.count_kind("ResourceDoubleBooked"), 1, "{report}");
+}
+
+#[test]
+fn edgeless_pair_is_non_matching_edge_set() {
+    let mut g = DenseGraph::new(4);
+    g.set_weight(0, 1, 10);
+    // Mate 2↔3 has no edge in the graph.
+    let m = Matching {
+        mate: vec![Some(1), Some(0), Some(3), Some(2)],
+        total_weight: 10,
+    };
+    let report = audit_matching(&g, &m);
+    assert_eq!(report.count_kind("NonMatchingEdgeSet"), 1, "{report}");
+}
+
+#[test]
+fn mixed_demand_group_is_cross_bucket() {
+    let g = group(&[1, 2]);
+    let plan = [PlannedGroupRef {
+        group: &g,
+        num_gpus: 2,
+    }];
+    let report = audit_plan(&plan, &ctx(&[(1, 2), (2, 4)], 8));
+    assert_eq!(report.count_kind("CrossBucketGroup"), 1, "{report}");
+}
+
+#[test]
+fn overspent_capacity_is_gpu_oversubscribed() {
+    let g1 = group(&[1]);
+    let g2 = group(&[2]);
+    let plan = [
+        PlannedGroupRef {
+            group: &g1,
+            num_gpus: 4,
+        },
+        PlannedGroupRef {
+            group: &g2,
+            num_gpus: 4,
+        },
+    ];
+    let report = audit_plan(&plan, &ctx(&[(1, 4), (2, 4)], 6));
+    assert_eq!(report.count_kind("GpuOversubscribed"), 1, "{report}");
+}
+
+#[test]
+fn skipped_top_candidate_is_priority_inversion() {
+    // Job 1 is the highest-priority 1-GPU candidate but only job 2 runs.
+    let g = group(&[2]);
+    let plan = [PlannedGroupRef {
+        group: &g,
+        num_gpus: 1,
+    }];
+    let report = audit_plan(&plan, &ctx(&[(1, 1), (2, 1)], 8));
+    assert_eq!(report.count_kind("PriorityInversion"), 1, "{report}");
+    match &report.violations[0] {
+        muri_verify::Violation::PriorityInversion {
+            scheduled,
+            skipped,
+            num_gpus,
+        } => {
+            assert_eq!(*scheduled, JobId(2));
+            assert_eq!(*skipped, JobId(1));
+            assert_eq!(*num_gpus, 1);
+        }
+        other => panic!("wrong variant: {other}"),
+    }
+}
+
+#[test]
+fn doubly_tracked_job_is_conservation_broken() {
+    let snap = TickSnapshot {
+        time: SimTime::ZERO,
+        total_gpus: 4,
+        running: vec![],
+        queued: vec![JobId(7)],
+        finished: vec![JobId(7)],
+        rejected: vec![],
+        arrived: vec![JobId(7)],
+    };
+    let report = audit_tick(&snap);
+    assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+}
+
+#[test]
+fn corrupt_iteration_time_is_detected() {
+    let mut g = group(&[1, 2]);
+    g.ordering.iteration_time += SimDuration::from_secs(5);
+    let report = audit_group(&g);
+    assert!(report.count_kind("GammaOutOfRange") >= 1, "{report}");
+}
+
+// The positive control: a real planning round audits clean end to end.
+#[test]
+fn real_plan_schedule_output_audits_clean() {
+    use muri_core::policy::{PendingJob, PolicyKind};
+    use muri_core::scheduler::{plan_schedule, SchedulerConfig};
+
+    let cfg = SchedulerConfig::preset(PolicyKind::MuriL);
+    let pending: Vec<PendingJob> = (0..12)
+        .map(|i| PendingJob {
+            id: JobId(i),
+            num_gpus: if i % 3 == 0 { 4 } else { 1 },
+            profile: if i % 2 == 0 {
+                StageProfile::from_secs_f64(0.3, 2.0, 1.0, 0.2)
+            } else {
+                StageProfile::from_secs_f64(0.1, 1.0, 2.0, 0.5)
+            },
+            submit_time: SimTime::from_secs(u64::from(i)),
+            attained: SimDuration::ZERO,
+            remaining: SimDuration::from_secs(100 + u64::from(i) * 7),
+        })
+        .collect();
+
+    for free in [1u32, 4, 9, 16] {
+        let now = SimTime::from_secs(600);
+        let plan = plan_schedule(&cfg, &pending, free, now);
+        let mut sorted = pending.clone();
+        cfg.policy.sort(&mut sorted, now);
+        let ctx = PlanContext {
+            free_gpus: free,
+            max_group_size: cfg.pack_factor(),
+            candidates: sorted.iter().map(|j| (j.id, j.num_gpus)).collect(),
+        };
+        let refs: Vec<PlannedGroupRef<'_>> = plan
+            .iter()
+            .map(|p| PlannedGroupRef {
+                group: &p.group,
+                num_gpus: p.num_gpus,
+            })
+            .collect();
+        let report = audit_plan(&refs, &ctx);
+        assert!(report.is_clean(), "free={free}: {report}");
+    }
+}

@@ -167,7 +167,11 @@ mod tests {
         let stats = analyze(&philly_like_trace(1, 0.5)).expect("non-empty");
         assert_eq!(stats.jobs, 496);
         // Majority single-GPU, per the Philly skew.
-        assert!(stats.single_gpu_fraction > 0.55, "{}", stats.single_gpu_fraction);
+        assert!(
+            stats.single_gpu_fraction > 0.55,
+            "{}",
+            stats.single_gpu_fraction
+        );
         // Bursty arrivals: CV well above Poisson's 1.
         assert!(stats.arrival_cv > 1.2, "CV = {}", stats.arrival_cv);
         // All four bottleneck classes present (Reference profiles).
@@ -188,7 +192,10 @@ mod tests {
         let t = philly_like_trace(2, 0.2);
         let stats = analyze(&t).expect("non-empty");
         assert_eq!(stats.gpu_histogram.values().sum::<usize>(), stats.jobs);
-        assert_eq!(stats.bottleneck_histogram.values().sum::<usize>(), stats.jobs);
+        assert_eq!(
+            stats.bottleneck_histogram.values().sum::<usize>(),
+            stats.jobs
+        );
     }
 
     #[test]
@@ -225,10 +232,22 @@ mod tests {
     fn render_mentions_all_sections() {
         let t = Trace::new(
             "r",
-            vec![JobSpec::new(JobId(0), ModelKind::Gpt2, 2, 100, SimTime::ZERO)],
+            vec![JobSpec::new(
+                JobId(0),
+                ModelKind::Gpt2,
+                2,
+                100,
+                SimTime::ZERO,
+            )],
         );
         let s = analyze(&t).unwrap().render();
-        for needle in ["jobs:", "durations", "gpu histogram", "bottleneck", "GPU-hours"] {
+        for needle in [
+            "jobs:",
+            "durations",
+            "gpu histogram",
+            "bottleneck",
+            "GPU-hours",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
     }

@@ -122,7 +122,7 @@ impl JobSpec {
     /// quantity SRSF ("shortest remaining *service* first") and 2D-LAS rank
     /// jobs by.
     pub fn solo_service(&self) -> SimDuration {
-        self.solo_duration() * self.num_gpus as u64
+        self.solo_duration() * u64::from(self.num_gpus)
     }
 
     /// Construct a spec from a target solo duration instead of an iteration
@@ -160,7 +160,9 @@ mod tests {
     fn from_duration_recovers_iteration_count() {
         // Default profile mode is Reference: iteration time comes from the
         // model's 16-GPU reference profile regardless of the job's size.
-        let iter = ModelKind::Vgg16.profile(REFERENCE_PROFILE_GPUS).iteration_time();
+        let iter = ModelKind::Vgg16
+            .profile(REFERENCE_PROFILE_GPUS)
+            .iteration_time();
         let j = JobSpec::from_duration(
             JobId(2),
             ModelKind::Vgg16,

@@ -59,11 +59,7 @@ impl ModelKind {
 /// barriers of §4.1 mean at most one member propagates at a time.
 pub fn group_peak_memory_mb(members: &[MemoryFootprint]) -> u64 {
     let persistent: u64 = members.iter().map(|m| m.persistent_mb).sum();
-    let worst_activation = members
-        .iter()
-        .map(|m| m.activations_mb)
-        .max()
-        .unwrap_or(0);
+    let worst_activation = members.iter().map(|m| m.activations_mb).max().unwrap_or(0);
     persistent + worst_activation
 }
 
@@ -72,7 +68,7 @@ pub fn group_peak_memory_mb(members: &[MemoryFootprint]) -> u64 {
 pub fn group_memory_overhead(members: &[MemoryFootprint]) -> f64 {
     let max_solo = members
         .iter()
-        .map(|m| m.solo_peak_mb())
+        .map(MemoryFootprint::solo_peak_mb)
         .max()
         .unwrap_or(0) as f64;
     if max_solo == 0.0 {

@@ -145,7 +145,7 @@ impl ModelKind {
         if gpus <= 1 {
             0.0
         } else {
-            1.0 + 0.25 * (gpus as f64).log2()
+            1.0 + 0.25 * f64::from(gpus).log2()
         }
     }
 
@@ -164,7 +164,7 @@ impl ModelKind {
         if iter == 0.0 {
             return 0.0;
         }
-        (self.batch_size() * gpus as u64) as f64 / iter
+        (self.batch_size() * u64::from(gpus)) as f64 / iter
     }
 
     /// The four models of the paper's motivating example (Table 2) in the
@@ -222,10 +222,7 @@ mod tests {
     #[test]
     fn single_gpu_jobs_have_no_sync_stage() {
         for m in ModelKind::ALL {
-            assert!(m
-                .profile(1)
-                .duration(ResourceKind::Network)
-                .is_zero());
+            assert!(m.profile(1).duration(ResourceKind::Network).is_zero());
         }
     }
 
@@ -245,7 +242,11 @@ mod tests {
         // with the number of workers.
         for m in ModelKind::ALL {
             for r in [ResourceKind::Storage, ResourceKind::Cpu, ResourceKind::Gpu] {
-                assert_eq!(m.profile(1).duration(r), m.profile(32).duration(r), "{m}/{r}");
+                assert_eq!(
+                    m.profile(1).duration(r),
+                    m.profile(32).duration(r),
+                    "{m}/{r}"
+                );
             }
         }
     }
@@ -262,7 +263,10 @@ mod tests {
             t(ModelKind::Gpt2),
             t(ModelKind::Vgg16),
         );
-        assert!(sn > a2c && a2c > vgg && vgg > gpt2, "{sn} {a2c} {vgg} {gpt2}");
+        assert!(
+            sn > a2c && a2c > vgg && vgg > gpt2,
+            "{sn} {a2c} {vgg} {gpt2}"
+        );
         assert!(sn > 1500.0 && sn < 2600.0, "ShuffleNet {sn}");
         assert!(gpt2 > 80.0 && gpt2 < 220.0, "GPT-2 {gpt2}");
     }

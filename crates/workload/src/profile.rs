@@ -128,7 +128,7 @@ impl Profiler {
         if self.cfg.reuse_cache && self.cache.contains_key(&(job.model, job.num_gpus)) {
             crate::time::SimDuration::ZERO
         } else {
-            job.true_profile().iteration_time() * self.cfg.dry_run_iterations as u64
+            job.true_profile().iteration_time() * u64::from(self.cfg.dry_run_iterations)
         }
     }
 

@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn iter_yields_canonical_order() {
-        let v = ResourceVec::from_fn(|k| k.index());
+        let v = ResourceVec::from_fn(super::ResourceKind::index);
         let kinds: Vec<_> = v.iter().map(|(k, _)| k).collect();
         assert_eq!(kinds, ResourceKind::ALL.to_vec());
     }

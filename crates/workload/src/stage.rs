@@ -168,7 +168,10 @@ impl UsageTrace {
         };
         let mut samples = Vec::new();
         for r in ResourceKind::ALL {
-            let steps = profile.duration(r).as_micros().div_ceil(period.as_micros().max(1));
+            let steps = profile
+                .duration(r)
+                .as_micros()
+                .div_ceil(period.as_micros().max(1));
             for _ in 0..steps {
                 let usage = ResourceVec::from_fn(|k| {
                     let base = if k == r { 95.0 } else { 4.0 };
@@ -302,7 +305,10 @@ mod tests {
             ],
         };
         let p = trace.to_stage_profile(0.2);
-        assert_eq!(p.duration(ResourceKind::Storage), SimDuration::from_millis(200));
+        assert_eq!(
+            p.duration(ResourceKind::Storage),
+            SimDuration::from_millis(200)
+        );
         assert_eq!(p.duration(ResourceKind::Cpu), SimDuration::from_millis(200));
         assert_eq!(p.duration(ResourceKind::Gpu), SimDuration::from_millis(100));
         // The idle sample (all below 20% of peak) is attributed nowhere.
@@ -321,10 +327,7 @@ mod tests {
             let trace = UsageTrace::synthesize(&truth, period, 0.15, 42);
             let recovered = trace.to_stage_profile(0.3);
             for r in ResourceKind::ALL {
-                let err = recovered
-                    .duration(r)
-                    .as_secs_f64()
-                    - truth.duration(r).as_secs_f64();
+                let err = recovered.duration(r).as_secs_f64() - truth.duration(r).as_secs_f64();
                 assert!(
                     err.abs() <= period.as_secs_f64() + 1e-9,
                     "{m}/{r}: recovered {} vs truth {}",

@@ -18,7 +18,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
@@ -55,7 +55,7 @@ mod tests {
 
     #[test]
     fn percentile_nearest_rank() {
-        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
         assert_eq!(percentile(&xs, 99.0), 99.0);
         assert_eq!(percentile(&xs, 50.0), 50.0);
         assert_eq!(percentile(&xs, 100.0), 100.0);

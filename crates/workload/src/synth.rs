@@ -64,7 +64,7 @@ impl GpuDistribution {
         let total: f64 = self.weights.iter().map(|&(_, w)| w).sum();
         self.weights
             .iter()
-            .map(|&(g, w)| g as f64 * w)
+            .map(|&(g, w)| f64::from(g) * w)
             .sum::<f64>()
             / total
     }
@@ -78,7 +78,7 @@ impl GpuDistribution {
             }
             x -= w;
         }
-        self.weights.last().expect("non-empty weights").0
+        self.weights.last().map_or(1, |&(g, _)| g)
     }
 }
 
@@ -167,7 +167,7 @@ impl SynthConfig {
     /// Mean interarrival implied by the target load.
     pub fn mean_interarrival(&self) -> SimDuration {
         let mean_service = self.mean_duration_secs() * self.gpu_dist.mean();
-        let rate_capacity = self.load_reference_gpus as f64 * self.target_load;
+        let rate_capacity = f64::from(self.load_reference_gpus) * self.target_load;
         SimDuration::from_secs_f64(mean_service / rate_capacity.max(1e-9))
     }
 
@@ -246,7 +246,7 @@ pub fn philly_like_trace(index: usize, scale: f64) -> Trace {
         4 => (5755, 2.00, 1800.0, 404),
         _ => unreachable!(),
     };
-    let num_jobs = ((jobs as f64 * scale).round() as usize).max(8);
+    let num_jobs = ((f64::from(jobs) * scale).round() as usize).max(8);
     let cfg = SynthConfig {
         name: format!("trace-{index}"),
         num_jobs,
@@ -378,7 +378,7 @@ mod tests {
         // The head of trace 3 carries very long jobs.
         let head_max = t3.jobs[..4]
             .iter()
-            .map(|j| j.solo_duration())
+            .map(super::super::job::JobSpec::solo_duration)
             .max()
             .unwrap();
         assert!(head_max >= SimDuration::from_hours(20));

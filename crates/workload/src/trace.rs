@@ -93,7 +93,10 @@ impl Trace {
 
     /// Total GPU service demand of the trace (Σ solo_duration × gpus).
     pub fn total_service(&self) -> SimDuration {
-        self.jobs.iter().map(|j| j.solo_service()).sum()
+        self.jobs
+            .iter()
+            .map(super::job::JobSpec::solo_service)
+            .sum()
     }
 
     /// Offered load relative to a cluster of `total_gpus` over the trace's
@@ -104,7 +107,7 @@ impl Trace {
         if span.is_zero() || total_gpus == 0 {
             return f64::INFINITY;
         }
-        self.total_service().as_secs_f64() / (total_gpus as f64 * span.as_secs_f64())
+        self.total_service().as_secs_f64() / (f64::from(total_gpus) * span.as_secs_f64())
     }
 
     /// Time between the first and last submission.
@@ -180,15 +183,14 @@ impl Trace {
                 reason,
             };
             let id = u32::from_str(fields[0]).map_err(|e| err(format!("job_id: {e}")))?;
-            let model = parse_model(fields[1]).ok_or_else(|| err(format!(
-                "unknown model {:?}",
-                fields[1]
-            )))?;
+            let model = parse_model(fields[1])
+                .ok_or_else(|| err(format!("unknown model {:?}", fields[1])))?;
             let num_gpus = u32::from_str(fields[2]).map_err(|e| err(format!("num_gpus: {e}")))?;
             if !num_gpus.is_power_of_two() {
                 return Err(err(format!("num_gpus {num_gpus} is not a power of two")));
             }
-            let iterations = u64::from_str(fields[3]).map_err(|e| err(format!("iterations: {e}")))?;
+            let iterations =
+                u64::from_str(fields[3]).map_err(|e| err(format!("iterations: {e}")))?;
             let submit = u64::from_str(fields[4]).map_err(|e| err(format!("submit_us: {e}")))?;
             jobs.push(JobSpec::new(
                 JobId(id),
@@ -217,7 +219,11 @@ pub struct TraceParseError {
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error on line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -259,7 +265,13 @@ mod tests {
         // {100, 101, 102}.
         let t = Trace::new(
             "t",
-            vec![job(1, 0), job(2, 100), job(3, 101), job(4, 102), job(5, 500)],
+            vec![
+                job(1, 0),
+                job(2, 100),
+                job(3, 101),
+                job(4, 102),
+                job(5, 500),
+            ],
         );
         let w = t.busiest_window(3);
         assert_eq!(w.len(), 3);
@@ -295,10 +307,19 @@ mod tests {
     #[test]
     fn csv_rejects_bad_rows() {
         assert!(Trace::from_csv("x", "1,NotAModel,1,10,0").is_err());
-        assert!(Trace::from_csv("x", "1,GPT-2,3,10,0").is_err(), "non-power-of-two gpus");
-        assert!(Trace::from_csv("x", "1,GPT-2,2,10").is_err(), "missing field");
-        let err = Trace::from_csv("x", "job_id,model,num_gpus,iterations,submit_us\noops,GPT-2,2,10,0")
-            .unwrap_err();
+        assert!(
+            Trace::from_csv("x", "1,GPT-2,3,10,0").is_err(),
+            "non-power-of-two gpus"
+        );
+        assert!(
+            Trace::from_csv("x", "1,GPT-2,2,10").is_err(),
+            "missing field"
+        );
+        let err = Trace::from_csv(
+            "x",
+            "job_id,model,num_gpus,iterations,submit_us\noops,GPT-2,2,10,0",
+        )
+        .unwrap_err();
         assert_eq!(err.line, 2);
     }
 
@@ -327,7 +348,9 @@ mod tests {
         assert_eq!(w.jobs[0].submit_time, SimTime::from_secs(5));
         assert_eq!(w.jobs[1].submit_time, SimTime::from_secs(15));
         // Empty window.
-        assert!(t.window(SimTime::from_secs(100), SimTime::from_secs(200)).is_empty());
+        assert!(t
+            .window(SimTime::from_secs(100), SimTime::from_secs(200))
+            .is_empty());
     }
 
     #[test]

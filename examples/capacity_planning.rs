@@ -32,7 +32,10 @@ fn main() {
         trace.total_service().as_secs_f64() / 3600.0,
         target_jct_secs
     );
-    println!("{:<10} {}", "policy", "avg JCT by cluster size (machines x 8 GPUs)");
+    println!(
+        "{:<10} avg JCT by cluster size (machines x 8 GPUs)",
+        "policy"
+    );
     let sizes = [2u32, 3, 4, 5, 6, 8];
     for policy in [PolicyKind::Srsf, PolicyKind::Tiresias, PolicyKind::MuriL] {
         let mut cells = Vec::new();

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code: panics surface misuse
+
 //! Interleaving explorer: compare the closed-form group model (Eq. 3,
 //! what the scheduler reasons with) against the fine-grained timeline
 //! executor (what actually runs) for every pair of models. Eq. 3 phases

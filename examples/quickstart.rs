@@ -14,7 +14,10 @@ fn main() {
     // The paper's four motivating jobs (Table 2): each bottlenecked on a
     // different resource when trained on 16 GPUs.
     let models = ModelKind::table2_models();
-    println!("{:<12} {:>10} {:>12} {:>30}", "model", "bottleneck", "iter time", "stage profile");
+    println!(
+        "{:<12} {:>10} {:>12} {:>30}",
+        "model", "bottleneck", "iter time", "stage profile"
+    );
     for m in models {
         let p = m.profile(16);
         println!(
@@ -52,7 +55,11 @@ fn main() {
 
     println!("\nresource busy fractions inside the group:");
     for r in ResourceKind::ALL {
-        println!("  {:<8} {:>5.1}%", r.to_string(), group.busy_fraction(r) * 100.0);
+        println!(
+            "  {:<8} {:>5.1}%",
+            r.to_string(),
+            group.busy_fraction(r) * 100.0
+        );
     }
 
     println!("\nlockstep schedule, two iterations (A=ShuffleNet B=A2C C=GPT-2 D=VGG16):");

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code: panics surface misuse
+
 //! Trace replay: synthesize a Philly-like trace, round-trip it through
 //! CSV (the interchange format for real traces), carve out the busiest
 //! window, and replay it under Muri-L with the Fig. 8 metric series.
@@ -46,7 +48,10 @@ fn main() {
         report.makespan_secs() / 3600.0,
         report.all_finished()
     );
-    println!("\n{:>8} {:>6} {:>6} {:>9} {:>6} {:>6} {:>6}", "t", "queue", "run", "blocking", "io", "cpu", "gpu");
+    println!(
+        "\n{:>8} {:>6} {:>6} {:>9} {:>6} {:>6} {:>6}",
+        "t", "queue", "run", "blocking", "io", "cpu", "gpu"
+    );
     let step = (report.series.len() / 20).max(1);
     for s in report.series.iter().step_by(step) {
         println!(

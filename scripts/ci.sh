@@ -1,0 +1,31 @@
+#!/bin/sh
+# Offline CI gate for the Muri workspace. Runs the same three checks the
+# repo treats as merge-blocking, in fail-fast order:
+#
+#   1. formatting        cargo fmt --all -- --check
+#   2. lints             cargo clippy --workspace --all-targets -- -D warnings
+#      (the lint set lives in [workspace.lints] in Cargo.toml + clippy.toml)
+#   3. tests             cargo test --workspace -q, then again with the
+#      `audit` feature so the muri-verify debug hooks and the audited
+#      engine path are exercised
+#
+# Everything is offline-safe: all dependencies are vendored under
+# vendor/, so no network access is needed or attempted.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo test --workspace -q (with scheduler/engine audit hooks)"
+cargo test --workspace -q --features muri-sim/audit,muri-core/audit
+
+echo "ci: all checks passed"

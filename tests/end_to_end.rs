@@ -5,9 +5,7 @@
 use muri::cluster::ClusterSpec;
 use muri::core::{PolicyKind, SchedulerConfig};
 use muri::sim::{simulate, SimConfig, SimReport};
-use muri::workload::{
-    JobId, JobSpec, ModelKind, SimDuration, SimTime, SynthConfig, Trace,
-};
+use muri::workload::{JobId, JobSpec, ModelKind, SimDuration, SimTime, SynthConfig, Trace};
 
 fn small_trace(n: usize, seed: u64) -> Trace {
     SynthConfig {

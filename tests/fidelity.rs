@@ -7,9 +7,7 @@
 use muri::interleave::{
     choose_ordering, run_timeline, stagger_delays, OrderingPolicy, TimelineJob,
 };
-use muri::workload::{
-    group_memory_overhead, group_peak_memory_mb, JobId, ModelKind, SimDuration,
-};
+use muri::workload::{group_memory_overhead, group_peak_memory_mb, JobId, ModelKind, SimDuration};
 
 #[test]
 fn eq3_upper_bounds_the_executor_for_every_pair() {

@@ -82,7 +82,10 @@ fn complementary_mp_pair_shares_better_than_clones() {
         gain_complementary > gain_clone,
         "complementary MP pair ({gain_complementary:.2}x) must share better than clones ({gain_clone:.2}x)"
     );
-    assert!(gain_complementary > 1.2, "sharing should clearly pay: {gain_complementary:.2}x");
+    assert!(
+        gain_complementary > 1.2,
+        "sharing should clearly pay: {gain_complementary:.2}x"
+    );
     // And the rank-aligned γ the scheduler would use agrees on the ranking.
     let g_good = mp_pair_efficiency(&a, &b, OrderingPolicy::Best).unwrap();
     let g_bad = mp_pair_efficiency(&a, &c, OrderingPolicy::Best).unwrap();

@@ -4,8 +4,8 @@
 //! example.
 
 use muri::interleave::{
-    pair_efficiency, pair_efficiency_two_resources, pair_iteration_time_two_resources,
-    GroupMember, InterleaveGroup, InterferenceModel, OrderingPolicy,
+    pair_efficiency, pair_efficiency_two_resources, pair_iteration_time_two_resources, GroupMember,
+    InterferenceModel, InterleaveGroup, OrderingPolicy,
 };
 use muri::matching::{maximum_weight_matching, weight_from_f64, DenseGraph};
 use muri::workload::{JobId, ModelKind, SimDuration, StageProfile};
@@ -36,8 +36,7 @@ fn figure4_pair_efficiencies_match_paper() {
         secs(3)
     );
     assert!(
-        (pair_efficiency_two_resources((secs(2), secs(1)), (secs(2), secs(1))) - 0.75).abs()
-            < 1e-9
+        (pair_efficiency_two_resources((secs(2), secs(1)), (secs(2), secs(1))) - 0.75).abs() < 1e-9
     );
 }
 
@@ -58,7 +57,12 @@ fn figure5_matching_selects_plan_one() {
     assert_eq!(m.num_pairs(), 2);
     for (u, v) in m.pairs() {
         // Every matched pair must be cpu-heavy + gpu-heavy.
-        assert_ne!(u % 2, v % 2, "matched same-bottleneck pair: {:?}", m.pairs());
+        assert_ne!(
+            u % 2,
+            v % 2,
+            "matched same-bottleneck pair: {:?}",
+            m.pairs()
+        );
     }
     // Plan 1's total weight (2.0 scaled) strictly exceeds plan 2's (1.5).
     assert_eq!(m.total_weight, 2 * weight_from_f64(1.0));

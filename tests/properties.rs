@@ -15,16 +15,20 @@ use proptest::prelude::*;
 /// An arbitrary stage profile with stage durations up to ~100 s
 /// (microsecond granularity).
 fn arb_profile() -> impl Strategy<Value = StageProfile> {
-    (0u64..100_000_000, 0u64..100_000_000, 0u64..100_000_000, 0u64..100_000_000).prop_map(
-        |(a, b, c, d)| {
+    (
+        0u64..100_000_000,
+        0u64..100_000_000,
+        0u64..100_000_000,
+        0u64..100_000_000,
+    )
+        .prop_map(|(a, b, c, d)| {
             StageProfile::new(
                 SimDuration::from_micros(a),
                 SimDuration::from_micros(b),
                 SimDuration::from_micros(c),
                 SimDuration::from_micros(d),
             )
-        },
-    )
+        })
 }
 
 fn arb_profiles(max: usize) -> impl Strategy<Value = Vec<StageProfile>> {
@@ -48,8 +52,8 @@ proptest! {
         // max member serial time ≤ T_best ≤ Σ member serial times.
         let ordering = choose_ordering(&profiles, OrderingPolicy::Best);
         let t = ordering.iteration_time;
-        let max_solo = profiles.iter().map(|p| p.iteration_time()).max().unwrap();
-        let sum_solo: SimDuration = profiles.iter().map(|p| p.iteration_time()).sum();
+        let max_solo = profiles.iter().map(StageProfile::iteration_time).max().unwrap();
+        let sum_solo: SimDuration = profiles.iter().map(StageProfile::iteration_time).sum();
         prop_assert!(t >= max_solo, "T {t} < max solo {max_solo}");
         prop_assert!(t <= sum_solo, "T {t} > Σ solo {sum_solo}");
         // Worst ordering can only be slower.

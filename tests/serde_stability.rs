@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
 //! Serialization stability: every public configuration and report type
 //! must round-trip through JSON (configs are part of the public API —
 //! users persist them alongside results for reproducibility).

@@ -1,0 +1,129 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait
+//! (ranges, tuples, `Just`, `prop_map`, `prop_flat_map`, `any`,
+//! `prop_oneof!`, `collection::vec`), the [`proptest!`] test macro with
+//! `#![proptest_config(...)]`, and the `prop_assert*` macros. Cases are
+//! generated from a deterministic per-test seed; there is **no
+//! shrinking** — a failing case panics with the standard assertion
+//! message. That trades debuggability for zero external dependencies in
+//! an offline build.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    pub use crate::strategy::{btree_set, vec, BTreeSetStrategy, SizeRange, VecStrategy};
+}
+
+/// `proptest::array` — fixed-size array strategies.
+pub use crate::strategy::array;
+
+/// `proptest::prelude` — the glob import test files use.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// `prop::collection::...` alias used by some proptest idioms.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip a case that does not satisfy a precondition. Without shrinking
+/// there is no retry bookkeeping: the case is simply not executed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let mut __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>,
+        > = ::std::vec::Vec::new();
+        $({
+            let __s = $arm;
+            __arms.push(::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                $crate::strategy::Strategy::generate(&__s, rng)
+            }));
+        })+
+        $crate::strategy::Union::new(__arms)
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ( $($strat,)+ );
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let ( $($pat,)+ ) =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                // Mirror real proptest: the body runs in a function
+                // returning `Result<(), TestCaseError>` so it may use
+                // `?` and `return Ok(())`.
+                let __outcome = (|| -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("property failed (case {}): {}", __case, e);
+                }
+            }
+        }
+    )*};
+}

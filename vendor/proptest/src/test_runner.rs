@@ -1,0 +1,69 @@
+//! Test-runner configuration and the deterministic RNG behind it.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A failed (or rejected) property case, mirroring
+/// `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError(msg.to_string())
+    }
+
+    /// A rejected case (no shrinking here, so same as a failure message).
+    pub fn reject(msg: impl std::fmt::Display) -> Self {
+        TestCaseError(format!("rejected: {msg}"))
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Deterministically seeded from the test
+/// name so runs are reproducible and tests are decorrelated.
+pub struct TestRng {
+    /// Underlying generator (public for strategy implementations).
+    pub rng: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name, mixed with a fixed project salt.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h ^ 0x4d55_5249_5445_5354),
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Since the offline build environment has no `syn`/`quote`, the derive
+//! input is parsed directly from `proc_macro` token trees. The supported
+//! subset matches what this workspace uses:
+//!
+//! - structs with named fields (plus `#[serde(default)]` per field),
+//! - tuple structs (single-field newtypes serialize transparently, like
+//!   real serde; multi-field ones as arrays),
+//! - unit structs,
+//! - enums whose variants are all unit variants (serialized as the
+//!   variant name string, optionally with integer discriminants),
+//! - `#[serde(transparent)]` containers,
+//! - simple unbounded type generics (e.g. `struct ResourceVec<T>(...)`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    transparent: bool,
+    body: Body,
+}
+
+/// Derive `serde::Serialize` for the supported item subset.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` for the supported item subset.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+/// Scan one `#[...]` attribute group for `serde(<flag>)` markers.
+fn serde_flags(group: &TokenStream, transparent: &mut bool, default: &mut bool) {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    if tokens.len() != 2 {
+        return;
+    }
+    let TokenTree::Ident(head) = &tokens[0] else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let TokenTree::Group(args) = &tokens[1] else {
+        return;
+    };
+    for tok in args.stream() {
+        if let TokenTree::Ident(flag) = tok {
+            match flag.to_string().as_str() {
+                "transparent" => *transparent = true,
+                "default" => *default = true,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Consume leading `#[...]` attributes starting at `i`, collecting serde
+/// flags; returns the index of the first non-attribute token.
+fn skip_attrs(
+    tokens: &[TokenTree],
+    mut i: usize,
+    transparent: &mut bool,
+    default: &mut bool,
+) -> usize {
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        serde_flags(&g.stream(), transparent, default);
+        i += 2;
+    }
+    i
+}
+
+/// Skip a `pub` / `pub(...)` visibility qualifier if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut ignored = false;
+    let mut i = skip_attrs(&tokens, 0, &mut transparent, &mut ignored);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    // Generics: `<` ident (`,` ident)* `>` — unbounded params only.
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                    return Err(format!(
+                        "serde derive: bounded generics on `{name}` are not supported; \
+                         implement Serialize/Deserialize manually"
+                    ));
+                }
+                Some(_) => {}
+                None => return Err(format!("unterminated generics on `{name}`")),
+            }
+            i += 1;
+        }
+    }
+
+    // Skip a `where` clause if one appears before the body.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let body = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_named_fields(&g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(count_tuple_fields(&g.stream()))
+        }
+        ("struct", _) => Body::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_unit_variants(&name, &g.stream())?)
+        }
+        (k, other) => return Err(format!("unsupported item `{k}` with body {other:?}")),
+    };
+
+    Ok(Input {
+        name,
+        generics,
+        transparent,
+        body,
+    })
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut transparent = false;
+        let mut default = false;
+        i = skip_attrs(&tokens, i, &mut transparent, &mut default);
+        i = skip_vis(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut depth = 0isize;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0isize;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if saw_tokens_since_comma {
+                    count += 1;
+                }
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_unit_variants(name: &str, stream: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut t = false;
+        let mut d = false;
+        i = skip_attrs(&tokens, i, &mut t, &mut d);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name in `{name}`, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde derive: enum `{name}` has a data-carrying variant `{variant}`; \
+                     only unit variants are supported — implement serde manually"
+                ));
+            }
+            // Integer discriminant: `= <expr>` — consume to the comma.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                while let Some(tok) = tokens.get(i) {
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+/// `impl<T: Bound, ...>` header and `Name<T, ...>` type for an item.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let params: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", input.name, input.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, ty) = impl_header(input, "::serde::Serialize");
+    let body = match &input.body {
+        Body::Named(fields) if input.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+        }
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_value(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_owned(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}::{} => ::serde::Value::Str(::std::string::String::from({v:?})),",
+                        input.name, v
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut bound = "::serde::Deserialize".to_owned();
+    // Named/tuple bodies move deserialized values into place; arrays of
+    // generics additionally need the blanket `[T; N]` impl, which only
+    // requires `Deserialize` — so the single bound suffices.
+    let body = match &input.body {
+        Body::Named(fields) if input.transparent && fields.len() == 1 => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                fields[0].name
+            )
+        }
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_owned()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::Error(\
+                             ::std::format!(\"missing field `{}` in {}\")))",
+                            f.name, name
+                        )
+                    };
+                    format!(
+                        "{}: match v.get({:?}) {{\n\
+                             ::std::option::Option::Some(f) => \
+                                 ::serde::Deserialize::from_value(f)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }}",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            if fields.iter().any(|f| f.default) {
+                bound = "::serde::Deserialize + ::std::default::Default".to_owned();
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Map(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"expected object for {name}, got {{}}\", other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"expected {n}-element array for {name}, got {{}}\", other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Body::Unit => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                             \"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"expected string for {name}, got {{}}\", other.kind()))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    let (impl_generics, ty) = impl_header(input, &bound);
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
