@@ -3,7 +3,8 @@
 //! executor, and trace synthesis.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use muri_bench::{det_weight, mixed_profiles};
+use muri_bench::{backlog_buckets, det_weight, mixed_profiles};
+use muri_core::grouping::capacity_aware_grouping;
 use muri_core::{multi_round_grouping, GroupingConfig};
 use muri_interleave::{choose_ordering, run_timeline, OrderingPolicy, TimelineJob};
 use muri_matching::{greedy_matching, maximum_weight_matching, DenseGraph};
@@ -64,6 +65,20 @@ fn bench_grouping(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_capacity_aware_backlog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    group.sample_size(10);
+    // 48 jobs in each of four GPU buckets (720 GPUs of demand) against 64
+    // free GPUs: the multi-bucket phase-1/phase-2 merge-acceptance path
+    // runs for several rounds — the scheduler's worst case under backlog.
+    let buckets = backlog_buckets(48);
+    let cfg = GroupingConfig::default();
+    group.bench_function("capacity_aware_backlog", |b| {
+        b.iter(|| capacity_aware_grouping(black_box(&buckets), 64, &cfg));
+    });
+    group.finish();
+}
+
 fn bench_timeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("timeline");
     group.sample_size(10);
@@ -103,6 +118,7 @@ criterion_group!(
     bench_blossom,
     bench_efficiency,
     bench_grouping,
+    bench_capacity_aware_backlog,
     bench_timeline,
     bench_synth
 );

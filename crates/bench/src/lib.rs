@@ -18,12 +18,32 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use muri_core::grouping::BucketInput;
 use muri_workload::{ModelKind, StageProfile};
 
 /// Deterministic mixed profiles cycling through the model zoo.
 pub fn mixed_profiles(n: usize) -> Vec<StageProfile> {
     (0..n)
         .map(|i| ModelKind::ALL[i % ModelKind::ALL.len()].profile(16))
+        .collect()
+}
+
+/// Bucketed backlog for the capacity-aware grouping bench: GPU sizes
+/// descend in powers of two (8, 4, 2, 1) and every bucket holds
+/// `per_bucket` mixed profiles (each bucket's model cycle is offset so
+/// buckets are not clones of each other). Aggregate demand dwarfs any
+/// realistic free capacity, so grouping runs the multi-bucket
+/// phase-1/phase-2 merge-acceptance path for several rounds.
+pub fn backlog_buckets(per_bucket: usize) -> Vec<BucketInput> {
+    [8u32, 4, 2, 1]
+        .iter()
+        .enumerate()
+        .map(|(offset, &gpus)| BucketInput {
+            gpus,
+            profiles: (0..per_bucket)
+                .map(|i| ModelKind::ALL[(i + offset) % ModelKind::ALL.len()].profile(16))
+                .collect(),
+        })
         .collect()
 }
 
@@ -46,6 +66,18 @@ mod tests {
         assert_eq!(ps.len(), 10);
         assert_eq!(ps[0], ps[8]);
         assert_ne!(ps[0], ps[1]);
+    }
+
+    #[test]
+    fn backlog_buckets_descend_and_differ() {
+        let buckets = backlog_buckets(12);
+        let gpus: Vec<u32> = buckets.iter().map(|b| b.gpus).collect();
+        assert_eq!(gpus, vec![8, 4, 2, 1]);
+        assert!(buckets.iter().all(|b| b.profiles.len() == 12));
+        assert_ne!(
+            buckets[0].profiles, buckets[1].profiles,
+            "bucket profile cycles must be offset"
+        );
     }
 
     #[test]

@@ -10,11 +10,40 @@
 //! The Fig. 11 "w/o Blossom" ablation replaces matching with packing
 //! consecutive jobs in priority order; Fig. 12's group-size sweep is the
 //! `max_group_size` knob (merges that would exceed it get no edge).
+//!
+//! ## Performance structure
+//!
+//! The hot path is scoring `O(n²)` candidate pairs and matching them,
+//! every scheduler tick. Three layers keep that cheap (see DESIGN.md's
+//! Performance section):
+//!
+//! * γ lookups go through the bounded, allocation-free
+//!   [`crate::gamma_cache`] (canonicalized fixed-size keys, segmented
+//!   eviction);
+//! * round-1 graphs, matchings, and final groups are memoized across
+//!   calls in [`crate::round_cache`], so an unchanged bucket re-groups
+//!   without touching the matcher;
+//! * between rounds, edge weights are **incremental**: pairs of nodes
+//!   that survived a merge round unchanged copy their weight from the
+//!   previous round's graph instead of recomputing γ.
+//!
+//! Edge-weight construction optionally fans out over scoped worker
+//! threads ([`GroupingConfig::workers`]); the output is bit-identical for
+//! every worker count because each pair's weight is a pure function of
+//! the two member sets.
 
-use muri_interleave::{choose_ordering, group_efficiency, OrderingPolicy};
-use muri_matching::{greedy_matching, maximum_weight_matching, weight_from_f64, DenseGraph};
-use muri_workload::StageProfile;
+use std::num::NonZeroUsize;
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+use muri_interleave::OrderingPolicy;
+use muri_matching::{
+    greedy_matching, maximum_weight_matching, weight_from_f64, DenseGraph, Matching,
+};
+use muri_workload::{StageProfile, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
+
+use crate::{gamma_cache, round_cache};
 
 /// How jobs are grouped for interleaving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -51,6 +80,13 @@ pub struct GroupingConfig {
     /// GPUs — kept as an ablation of this repo's design decision
     /// (DESIGN.md §5b.3).
     pub capacity_aware: bool,
+    /// Worker threads for edge-weight construction. `0` (the default)
+    /// auto-detects from available parallelism; `1` forces the serial
+    /// path. Grouping output is **bit-identical for every value** — the
+    /// knob trades wall-clock for threads, never results — so it is
+    /// excluded from all memoization keys.
+    #[serde(default)]
+    pub workers: usize,
 }
 
 impl Default for GroupingConfig {
@@ -61,6 +97,7 @@ impl Default for GroupingConfig {
             ordering: OrderingPolicy::Best,
             min_efficiency: 0.0,
             capacity_aware: true,
+            workers: 0,
         }
     }
 }
@@ -78,31 +115,164 @@ impl GroupingConfig {
 /// Interleaving efficiency of the group formed by merging the given jobs,
 /// under the configured ordering policy.
 ///
-/// Memoized per thread: the profile universe is tiny without profiling
-/// noise (one profile per model), and the scheduler recomputes the same
-/// pairs at every tick. The cache is bounded to stay harmless under noisy
-/// profiles (where every job's profile is distinct).
+/// Memoized per thread in the bounded [`crate::gamma_cache`]: the profile
+/// universe is tiny without profiling noise (one profile per model), and
+/// the scheduler recomputes the same pairs at every tick. Under the
+/// permutation-invariant policies ([`OrderingPolicy::Best`] /
+/// [`OrderingPolicy::Worst`]) all member orders share one cache entry and
+/// return bit-identical values.
 pub fn merged_efficiency(profiles: &[StageProfile], ordering: OrderingPolicy) -> f64 {
-    use std::cell::RefCell;
-    use std::collections::HashMap;
-    thread_local! {
-        static CACHE: RefCell<HashMap<(Vec<StageProfile>, OrderingPolicy), f64>> =
-            RefCell::new(HashMap::new());
+    gamma_cache::merged_efficiency_cached(profiles, ordering)
+}
+
+/// Below this node count a round's edge build stays on the calling
+/// thread: spawn overhead beats the `O(n²)` scoring work.
+const PAR_MIN_NODES: usize = 64;
+
+/// Resolve the configured worker count for a round over `n` nodes.
+fn resolve_workers(configured: usize, n: usize) -> usize {
+    if n < PAR_MIN_NODES {
+        return 1;
     }
-    CACHE.with(|cache| {
-        let key = (profiles.to_vec(), ordering);
-        if let Some(&gamma) = cache.borrow().get(&key) {
-            return gamma;
+    if configured != 0 {
+        return configured;
+    }
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
+/// Edge weight for merging two nodes: the fixed-point interleaving
+/// efficiency of the combined member set, or 0 (no edge) when the merge
+/// would exceed the size cap or fall below the efficiency threshold.
+/// Pure in `(u, v)` — this is what makes parallel and incremental edge
+/// construction exact.
+fn node_pair_weight(
+    members_u: &[usize],
+    members_v: &[usize],
+    profiles: &[StageProfile],
+    cap: usize,
+    ordering: OrderingPolicy,
+    min_efficiency: f64,
+) -> i64 {
+    let total = members_u.len() + members_v.len();
+    if total > cap {
+        return 0;
+    }
+    let mut buf = [StageProfile::default(); NUM_RESOURCES];
+    for (slot, &i) in buf.iter_mut().zip(members_u.iter().chain(members_v)) {
+        *slot = profiles[i];
+    }
+    let gamma = merged_efficiency(&buf[..total], ordering);
+    if gamma >= min_efficiency {
+        weight_from_f64(gamma)
+    } else {
+        0
+    }
+}
+
+/// Build a round's edge-weight graph from scratch.
+fn build_node_graph(
+    nodes: &[Vec<usize>],
+    profiles: &[StageProfile],
+    cfg: &GroupingConfig,
+    cap: usize,
+) -> DenseGraph {
+    DenseGraph::build_symmetric(
+        nodes.len(),
+        resolve_workers(cfg.workers, nodes.len()),
+        |u, v| {
+            node_pair_weight(
+                &nodes[u],
+                &nodes[v],
+                profiles,
+                cap,
+                cfg.ordering,
+                cfg.min_efficiency,
+            )
+        },
+    )
+}
+
+/// Rebuild a round graph after merges, incrementally: a pair of nodes
+/// that both survived the previous round unchanged has an unchanged
+/// member set, so its weight is copied from the previous graph; only
+/// pairs involving a freshly merged node are rescored.
+fn update_node_graph(
+    prev: &DenseGraph,
+    provenance: &[Option<usize>],
+    nodes: &[Vec<usize>],
+    profiles: &[StageProfile],
+    cfg: &GroupingConfig,
+    cap: usize,
+) -> DenseGraph {
+    DenseGraph::build_symmetric(
+        nodes.len(),
+        resolve_workers(cfg.workers, nodes.len()),
+        |u, v| match (provenance[u], provenance[v]) {
+            (Some(a), Some(b)) => prev.weight(a, b),
+            _ => node_pair_weight(
+                &nodes[u],
+                &nodes[v],
+                profiles,
+                cap,
+                cfg.ordering,
+                cfg.min_efficiency,
+            ),
+        },
+    )
+}
+
+/// Merge matched pairs into single nodes: merged pairs first, then
+/// surviving nodes, finally sorted by smallest member index (the
+/// highest-priority job in the group — keeps output deterministic).
+/// Also returns the provenance map for incremental edge weights:
+/// `provenance[new] = Some(old)` when new node `new` is old node `old`
+/// unchanged, `None` when it was freshly merged this round.
+fn merge_nodes(
+    nodes: &[Vec<usize>],
+    pairs: &[(usize, usize)],
+) -> (Vec<Vec<usize>>, Vec<Option<usize>>) {
+    let mut next: Vec<(Vec<usize>, Option<usize>)> = Vec::with_capacity(nodes.len());
+    let mut consumed = vec![false; nodes.len()];
+    for &(u, v) in pairs {
+        let mut merged = nodes[u].clone();
+        merged.extend(nodes[v].iter().copied());
+        merged.sort_unstable();
+        next.push((merged, None));
+        consumed[u] = true;
+        consumed[v] = true;
+    }
+    for (u, node) in nodes.iter().enumerate() {
+        if !consumed[u] {
+            next.push((node.clone(), Some(u)));
         }
-        let chosen = choose_ordering(profiles, ordering);
-        let gamma = group_efficiency(profiles, &chosen.offsets);
-        let mut cache = cache.borrow_mut();
-        if cache.len() >= 200_000 {
-            cache.clear();
+    }
+    // Smallest members are unique across nodes (the node sets partition
+    // the index space), so this sort has no ties to break.
+    next.sort_by_key(|(g, _)| g[0]);
+    next.into_iter().unzip()
+}
+
+/// Slot in the round cache's per-mode arrays for a matching mode.
+fn mode_index(mode: GroupingMode) -> usize {
+    match mode {
+        GroupingMode::Blossom => 0,
+        GroupingMode::GreedyMatching => 1,
+        GroupingMode::None | GroupingMode::PriorityPacking => {
+            unreachable!("only matching modes reach the matcher")
         }
-        cache.insert(key, gamma);
-        gamma
-    })
+    }
+}
+
+/// Run the configured matcher on a round graph.
+fn solve_matching(mode: GroupingMode, graph: &DenseGraph) -> Matching {
+    match mode {
+        GroupingMode::Blossom => maximum_weight_matching(graph),
+        GroupingMode::GreedyMatching => greedy_matching(graph),
+        GroupingMode::None | GroupingMode::PriorityPacking => {
+            unreachable!("only matching modes reach the matcher")
+        }
+    }
 }
 
 /// Group the jobs whose measured profiles are given, returning groups as
@@ -142,6 +312,16 @@ pub struct BucketInput {
     pub gpus: u32,
     /// Measured stage profiles, highest priority first.
     pub profiles: Vec<StageProfile>,
+}
+
+/// Per-bucket round state carried across the capacity-aware demand loop:
+/// the current round graph, the matching solved on it, and — when merges
+/// were applied since the graph was built — the provenance map that lets
+/// the next round update the graph incrementally.
+struct BucketRoundState {
+    graph: Option<Rc<DenseGraph>>,
+    matching: Option<Rc<Matching>>,
+    pending: Option<Vec<Option<usize>>>,
 }
 
 /// Capacity-aware grouping across buckets: merge jobs **only as far as
@@ -210,6 +390,15 @@ pub fn capacity_aware_grouping(
     }
     // Matching modes: rounds of per-bucket matchings; accept the
     // highest-γ merges first, only while demand exceeds capacity.
+    let mode_idx = mode_index(cfg.mode);
+    let mut states: Vec<BucketRoundState> = buckets
+        .iter()
+        .map(|_| BucketRoundState {
+            graph: None,
+            matching: None,
+            pending: None,
+        })
+        .collect();
     let max_rounds = 8;
     for _ in 0..max_rounds {
         if demand(&nodes) <= u64::from(free_gpus) {
@@ -222,35 +411,41 @@ pub fn capacity_aware_grouping(
             if ns.len() < 2 {
                 continue;
             }
-            let mut graph = DenseGraph::new(ns.len());
-            let mut any = false;
-            for u in 0..ns.len() {
-                for v in u + 1..ns.len() {
-                    if ns[u].len() + ns[v].len() > cap {
-                        continue;
-                    }
-                    let merged: Vec<StageProfile> = ns[u]
-                        .iter()
-                        .chain(ns[v].iter())
-                        .map(|&i| b.profiles[i])
-                        .collect();
-                    let gamma = merged_efficiency(&merged, cfg.ordering);
-                    if gamma >= cfg.min_efficiency {
-                        let w = weight_from_f64(gamma);
-                        if w > 0 {
-                            graph.set_weight(u, v, w);
-                            any = true;
-                        }
-                    }
+            let st = &mut states[bi];
+            match (st.graph.take(), st.pending.take()) {
+                (None, _) => {
+                    // Round 1: nodes are singletons, so this bucket's
+                    // graph and matching key on exactly its profile list
+                    // — memoized across calls (and across ticks).
+                    let r = round_cache::round1(
+                        &b.profiles,
+                        cap,
+                        cfg.ordering,
+                        cfg.min_efficiency,
+                        mode_idx,
+                        || build_node_graph(ns, &b.profiles, cfg, cap),
+                        |g| solve_matching(cfg.mode, g),
+                    );
+                    st.graph = Some(r.graph);
+                    st.matching = r.matching;
+                }
+                (Some(prev), Some(provenance)) => {
+                    // Merges were applied: refresh the graph
+                    // incrementally and re-match.
+                    let g = update_node_graph(&prev, &provenance, ns, &b.profiles, cfg, cap);
+                    let any = g.has_edges();
+                    let g = Rc::new(g);
+                    st.matching = any.then(|| Rc::new(solve_matching(cfg.mode, &g)));
+                    st.graph = Some(g);
+                }
+                (Some(prev), None) => {
+                    // No merges accepted here last round: graph and
+                    // matching are both still current — reuse as-is.
+                    st.graph = Some(prev);
                 }
             }
-            if !any {
+            let (Some(graph), Some(matching)) = (&st.graph, &st.matching) else {
                 continue;
-            }
-            let matching = match cfg.mode {
-                GroupingMode::Blossom => maximum_weight_matching(&graph),
-                GroupingMode::GreedyMatching => greedy_matching(&graph),
-                _ => unreachable!(),
             };
             for (u, v) in matching.pairs() {
                 candidates.push((graph.weight(u, v), bi, u, v));
@@ -298,24 +493,9 @@ pub fn capacity_aware_grouping(
                 continue;
             }
             progressed = true;
-            let ns = &mut nodes[bi];
-            let mut consumed = vec![false; ns.len()];
-            let mut next: Vec<Vec<usize>> = Vec::with_capacity(ns.len());
-            for &(u, v) in merges {
-                let mut m = ns[u].clone();
-                m.extend(ns[v].iter().copied());
-                m.sort_unstable();
-                next.push(m);
-                consumed[u] = true;
-                consumed[v] = true;
-            }
-            for (u, node) in ns.iter().enumerate() {
-                if !consumed[u] {
-                    next.push(node.clone());
-                }
-            }
-            next.sort_by_key(|g| g[0]);
-            *ns = next;
+            let (next, provenance) = merge_nodes(&nodes[bi], merges);
+            nodes[bi] = next;
+            states[bi].pending = Some(provenance);
         }
         if !progressed {
             break;
@@ -329,63 +509,66 @@ fn matched_grouping(
     cfg: &GroupingConfig,
     cap: usize,
 ) -> Vec<Vec<usize>> {
+    if profiles.len() < 2 {
+        return (0..profiles.len()).map(|i| vec![i]).collect();
+    }
+    let mode_idx = mode_index(cfg.mode);
+    // An exactly repeated call (same profiles, cap, policy, threshold)
+    // returns the memoized groups without touching the matcher.
+    if let Some(groups) =
+        round_cache::cached_final_groups(profiles, cap, cfg.ordering, cfg.min_efficiency, mode_idx)
+    {
+        return groups;
+    }
     // Nodes start as singletons; each round merges matched pairs.
     let mut nodes: Vec<Vec<usize>> = (0..profiles.len()).map(|i| vec![i]).collect();
     let rounds = (usize::BITS - (cap.max(1) - 1).leading_zeros()) as usize; // ceil(log2(cap))
+                                                                            // The previous round's graph plus the provenance of `nodes` relative
+                                                                            // to it, for incremental edge weights.
+    let mut carried: Option<(Rc<DenseGraph>, Vec<Option<usize>>)> = None;
     for _ in 0..rounds {
         if nodes.len() < 2 {
             break;
         }
-        let mut graph = DenseGraph::new(nodes.len());
-        let mut any_edge = false;
-        for u in 0..nodes.len() {
-            for v in u + 1..nodes.len() {
-                if nodes[u].len() + nodes[v].len() > cap {
-                    continue;
-                }
-                let merged: Vec<StageProfile> = nodes[u]
-                    .iter()
-                    .chain(nodes[v].iter())
-                    .map(|&i| profiles[i])
-                    .collect();
-                let gamma = merged_efficiency(&merged, cfg.ordering);
-                if gamma >= cfg.min_efficiency {
-                    let w = weight_from_f64(gamma);
-                    if w > 0 {
-                        graph.set_weight(u, v, w);
-                        any_edge = true;
-                    }
-                }
+        let (graph, any_edge, matching) = match carried.take() {
+            None => {
+                let r = round_cache::round1(
+                    profiles,
+                    cap,
+                    cfg.ordering,
+                    cfg.min_efficiency,
+                    mode_idx,
+                    || build_node_graph(&nodes, profiles, cfg, cap),
+                    |g| solve_matching(cfg.mode, g),
+                );
+                (r.graph, r.any_edge, r.matching)
             }
-        }
+            Some((prev, provenance)) => {
+                let g = update_node_graph(&prev, &provenance, &nodes, profiles, cfg, cap);
+                let any = g.has_edges();
+                let g = Rc::new(g);
+                let m = any.then(|| Rc::new(solve_matching(cfg.mode, &g)));
+                (g, any, m)
+            }
+        };
         if !any_edge {
             break;
         }
-        let matching = match cfg.mode {
-            GroupingMode::Blossom => maximum_weight_matching(&graph),
-            GroupingMode::GreedyMatching => greedy_matching(&graph),
-            _ => unreachable!("matched_grouping only runs for matching modes"),
+        let Some(matching) = matching else {
+            break;
         };
-        let mut next: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
-        let mut consumed = vec![false; nodes.len()];
-        for (u, v) in matching.pairs() {
-            let mut merged = nodes[u].clone();
-            merged.extend(nodes[v].iter().copied());
-            merged.sort_unstable();
-            next.push(merged);
-            consumed[u] = true;
-            consumed[v] = true;
-        }
-        for (u, node) in nodes.iter().enumerate() {
-            if !consumed[u] {
-                next.push(node.clone());
-            }
-        }
-        // Keep deterministic ordering: by smallest member index (which is
-        // the highest-priority job in the group).
-        next.sort_by_key(|g| g[0]);
+        let (next, provenance) = merge_nodes(&nodes, &matching.pairs());
         nodes = next;
+        carried = Some((graph, provenance));
     }
+    round_cache::store_final_groups(
+        profiles,
+        cap,
+        cfg.ordering,
+        cfg.min_efficiency,
+        mode_idx,
+        &nodes,
+    );
     nodes
 }
 
@@ -647,5 +830,50 @@ mod tests {
             multi_round_grouping(&profiles, &cfg),
             multi_round_grouping(&profiles, &cfg)
         );
+    }
+
+    #[test]
+    fn repeated_grouping_hits_the_round_cache() {
+        crate::round_cache::reset();
+        let profiles: Vec<StageProfile> = (0..12)
+            .map(|i| cpu_gpu(1 + (i % 4) as u64, 4 - (i % 4) as u64))
+            .collect();
+        let cfg = GroupingConfig::default();
+        let first = multi_round_grouping(&profiles, &cfg);
+        let before = crate::round_cache::stats();
+        let second = multi_round_grouping(&profiles, &cfg);
+        let after = crate::round_cache::stats();
+        assert_eq!(first, second);
+        assert!(
+            after.hits > before.hits,
+            "second identical call must hit the memo: {before:?} -> {after:?}"
+        );
+        assert_eq!(
+            after.misses, before.misses,
+            "second identical call must not miss"
+        );
+        crate::round_cache::reset();
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_output() {
+        // More nodes than PAR_MIN_NODES so the parallel path really runs.
+        let profiles: Vec<StageProfile> = (0..80)
+            .map(|i| cpu_gpu(1 + (i % 5) as u64, 5 - (i % 5) as u64))
+            .collect();
+        let mut reference = None;
+        for workers in [1usize, 2, 4] {
+            crate::round_cache::reset();
+            crate::gamma_cache::reset();
+            let cfg = GroupingConfig {
+                workers,
+                ..GroupingConfig::default()
+            };
+            let groups = multi_round_grouping(&profiles, &cfg);
+            match &reference {
+                None => reference = Some(groups),
+                Some(r) => assert_eq!(r, &groups, "workers={workers} diverged"),
+            }
+        }
     }
 }

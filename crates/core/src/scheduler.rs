@@ -124,7 +124,11 @@ pub fn plan_schedule(
 
     // 4. Group each bucket, merging only as far as the free capacity
     //    requires (capacity-aware Algorithm 1). Bucket vectors are already
-    //    in priority order.
+    //    in priority order. When a bucket's contents are unchanged since
+    //    the previous tick — the common case between job events — its
+    //    round-1 edge weights and matching come straight from the
+    //    thread-local round cache instead of being recomputed (see
+    //    crate::round_cache).
     let bucket_list: Vec<(&u32, &Vec<(PendingJob, usize)>)> = buckets.iter().rev().collect();
     let inputs: Vec<BucketInput> = bucket_list
         .iter()

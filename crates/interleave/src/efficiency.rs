@@ -41,25 +41,42 @@ use muri_workload::{ResourceKind, SimDuration, StageProfile, NUM_RESOURCES};
 /// order) until the cycle is at least as long as the group. Returns a
 /// single-resource cycle for an all-empty group.
 pub fn effective_cycle(profiles: &[StageProfile]) -> Vec<ResourceKind> {
-    let mut cycle: Vec<ResourceKind> = ResourceKind::ALL
-        .into_iter()
-        .filter(|&r| profiles.iter().any(|p| !p.duration(r).is_zero()))
-        .collect();
-    if cycle.len() < profiles.len() {
+    let (kinds, len) = effective_cycle_buf(profiles);
+    kinds[..len].to_vec()
+}
+
+/// Allocation-free [`effective_cycle`]: the cycle is returned on the
+/// stack as a fixed array plus its length. The grouping hot path calls
+/// this once per candidate pair, so it must not touch the heap.
+pub(crate) fn effective_cycle_buf(
+    profiles: &[StageProfile],
+) -> ([ResourceKind; NUM_RESOURCES], usize) {
+    let mut kinds = [ResourceKind::Storage; NUM_RESOURCES];
+    let mut len = 0;
+    for r in ResourceKind::ALL {
+        if profiles.iter().any(|p| !p.duration(r).is_zero()) {
+            kinds[len] = r;
+            len += 1;
+        }
+    }
+    if len < profiles.len() {
+        // Pad with unused resources, then restore canonical order.
         for r in ResourceKind::ALL {
-            if cycle.len() >= profiles.len() {
+            if len >= profiles.len() {
                 break;
             }
-            if !cycle.contains(&r) {
-                cycle.push(r);
+            if !kinds[..len].contains(&r) {
+                kinds[len] = r;
+                len += 1;
             }
         }
-        cycle.sort_by_key(|r| r.index());
+        kinds[..len].sort_unstable_by_key(|r| r.index());
     }
-    if cycle.is_empty() {
-        cycle.push(ResourceKind::Storage);
+    if len == 0 {
+        kinds[0] = ResourceKind::Storage;
+        len = 1;
     }
-    cycle
+    (kinds, len)
 }
 
 /// Per-iteration time of a group under a phase-offset assignment over its
@@ -96,13 +113,24 @@ pub fn group_iteration_time_on_cycle(
 /// averaged over the effective cycle's resources. Returns 0 for a group
 /// whose iteration time is zero.
 pub fn group_efficiency(profiles: &[StageProfile], offsets: &[usize]) -> f64 {
-    let cycle = effective_cycle(profiles);
-    let t = group_iteration_time_on_cycle(profiles, offsets, &cycle).as_secs_f64();
+    let (kinds, len) = effective_cycle_buf(profiles);
+    group_efficiency_on_cycle(profiles, offsets, &kinds[..len])
+}
+
+/// Eq. 4 over an explicit cycle (exposed for callers that already hold
+/// the effective cycle, like the ordering search, and must not recompute
+/// or reallocate it).
+pub fn group_efficiency_on_cycle(
+    profiles: &[StageProfile],
+    offsets: &[usize],
+    cycle: &[ResourceKind],
+) -> f64 {
+    let t = group_iteration_time_on_cycle(profiles, offsets, cycle).as_secs_f64();
     if t == 0.0 {
         return 0.0;
     }
     let mut idle_sum = 0.0;
-    for &r in &cycle {
+    for &r in cycle {
         let busy: f64 = profiles.iter().map(|p| p.duration(r).as_secs_f64()).sum();
         idle_sum += (t - busy) / t;
     }

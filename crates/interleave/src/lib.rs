@@ -29,13 +29,15 @@ pub mod viz;
 
 pub use contention::InterferenceModel;
 pub use efficiency::{
-    group_efficiency, group_iteration_time, pair_efficiency_two_resources,
-    pair_iteration_time_two_resources,
+    group_efficiency, group_efficiency_on_cycle, group_iteration_time,
+    pair_efficiency_two_resources, pair_iteration_time_two_resources,
 };
 pub use fuse::{best_fused_bipartition, fusion_search_space, FusedJob};
 pub use group::{pair_efficiency, GroupMember, InterleaveGroup};
 pub use model_parallel::{mp_pair_efficiency, ModelParallelJob};
-pub use ordering::{choose_ordering, enumerate_assignments, ChosenOrdering, OrderingPolicy};
+pub use ordering::{
+    choose_ordering, enumerate_assignments, policy_efficiency, ChosenOrdering, OrderingPolicy,
+};
 pub use pipeline::{interleaving_gain_over_pipelining, PipelineModel};
 pub use timeline::{run_timeline, stagger_delays, TimelineJob, TimelineReport};
 pub use viz::render_schedule;

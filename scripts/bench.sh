@@ -1,0 +1,107 @@
+#!/bin/sh
+# Benchmark-baseline workflow for the grouping pipeline (see the
+# Performance section in DESIGN.md). Runs the `scalability` and
+# `algorithms` criterion benches, scrapes the machine-readable
+# `BENCH_JSON {"id":...,"median_ns":...}` lines the vendored criterion
+# harness emits, and assembles `BENCH_grouping.json` at the repo root:
+#
+#   {
+#     "baseline":  { ... },                            # verbatim copy of
+#                          # results/bench_baseline.json — medians of the
+#                          # serial pipeline at the optimization's
+#                          # starting commit
+#     "optimized": { "<group/bench id>": median_ns }   # this run
+#   }
+#
+# Exits non-zero if the benches fail, a required benchmark id is missing
+# from the run, or the assembled JSON fails to serialize / parse.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_grouping.json
+BASELINE=results/bench_baseline.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT INT TERM
+
+echo "==> cargo bench -p muri-bench --bench scalability --bench algorithms"
+cargo bench -p muri-bench --bench scalability --bench algorithms | tee "$RAW"
+
+if ! [ -f "$BASELINE" ]; then
+    echo "bench.sh: missing $BASELINE (baseline medians must be checked in)" >&2
+    exit 1
+fi
+
+if ! grep -q '^BENCH_JSON ' "$RAW"; then
+    echo "bench.sh: benches emitted no BENCH_JSON lines" >&2
+    exit 1
+fi
+
+# Assemble the output: the baseline file verbatim, then this run's
+# medians keyed by benchmark id.
+if ! grep '^BENCH_JSON ' "$RAW" | awk -v baseline="$BASELINE" '
+    BEGIN {
+        printf "{\n  \"baseline\": "
+        first = 1
+        while ((getline line < baseline) > 0) {
+            if (first) { printf "%s\n", line; first = 0 }
+            else       { printf "  %s\n", line }
+        }
+        close(baseline)
+        if (first) exit 1   # baseline unreadable
+        printf "  ,\n  \"optimized\": {\n"
+    }
+    {
+        sub(/^BENCH_JSON /, "")
+        if (match($0, /"id":"[^"]*"/) == 0) exit 1
+        id = substr($0, RSTART + 6, RLENGTH - 7)
+        if (match($0, /"median_ns":[0-9]+/) == 0) exit 1
+        ns = substr($0, RSTART + 12, RLENGTH - 12)
+        entries[++n] = "    \"" id "\": " ns
+    }
+    END {
+        if (n == 0) exit 1
+        for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
+        print "  }"
+        print "}"
+    }
+' > "$OUT"; then
+    echo "bench.sh: failed to serialize $OUT" >&2
+    rm -f "$OUT"
+    exit 1
+fi
+
+# Every id the acceptance criteria track must be present in this run.
+for key in \
+    'scalability/grouping_plan/500' \
+    'scalability/grouping_plan/1000' \
+    'scalability/plan_schedule_1000_jobs_64gpus' \
+    'blossom/max_weight_matching/16' \
+    'blossom/max_weight_matching/64' \
+    'blossom/max_weight_matching/128' \
+    'blossom/max_weight_matching/256' \
+    'grouping/multi_round/128' \
+    'grouping/capacity_aware_backlog'
+do
+    if ! grep -q "\"$key\":" "$OUT"; then
+        echo "bench.sh: $OUT is missing required benchmark \"$key\"" >&2
+        exit 1
+    fi
+done
+
+# Parse-check the result with whatever JSON tool the host has; fall back
+# to accepting the structural checks above on a bare container.
+if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$OUT"; then
+        echo "bench.sh: $OUT is not valid JSON" >&2
+        exit 1
+    fi
+elif command -v jq >/dev/null 2>&1; then
+    if ! jq -e . "$OUT" >/dev/null; then
+        echo "bench.sh: $OUT is not valid JSON" >&2
+        exit 1
+    fi
+fi
+
+echo "bench.sh: wrote $OUT"

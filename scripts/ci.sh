@@ -8,6 +8,9 @@
 #   3. tests             cargo test --workspace -q, then again with the
 #      `audit` feature so the muri-verify debug hooks and the audited
 #      engine path are exercised
+#   4. bench smoke       the criterion bench targets scripts/bench.sh
+#      relies on, run with `--test` (each body executes once, untimed) so
+#      a broken bench fails CI instead of the baseline workflow
 #
 # Everything is offline-safe: all dependencies are vendored under
 # vendor/, so no network access is needed or attempted.
@@ -27,5 +30,8 @@ cargo test --workspace -q
 
 echo "==> cargo test --workspace -q (with scheduler/engine audit hooks)"
 cargo test --workspace -q --features muri-sim/audit,muri-core/audit
+
+echo "==> bench smoke (scalability + algorithms, --test mode)"
+cargo bench -p muri-bench --bench scalability --bench algorithms -- --test
 
 echo "ci: all checks passed"

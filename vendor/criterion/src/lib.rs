@@ -131,6 +131,14 @@ impl BenchmarkGroup<'_> {
     fn report(&self, id: &BenchmarkId, median: Option<Duration>) {
         if let Some(t) = median {
             println!("{}/{}: median {t:?}", self.name, id.id);
+            // Machine-readable line for scripts/bench.sh to assemble
+            // BENCH_grouping.json from.
+            println!(
+                "BENCH_JSON {{\"id\":\"{}/{}\",\"median_ns\":{}}}",
+                self.name,
+                id.id,
+                t.as_nanos()
+            );
         }
     }
 }
