@@ -6,22 +6,31 @@
 //! muri all [--scale S] [--out DIR]
 //! muri trace <1-4> [--scale S]    # dump a synthetic trace as CSV
 //! muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+//!                   [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //! muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+//! muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //! muri validate                   # Eq. 3 vs timeline-executor fidelity
 //! ```
 //!
 //! Experiments print the paper's tables to stdout; `--out` additionally
-//! writes each table as CSV and the full report as JSON. `muri sim` runs
-//! one scheduler over a trace (synthetic or CSV) and prints the metrics.
-//! `muri verify` replays a workload with the `muri-verify` invariant
-//! auditor attached to every scheduling pass and reports violations.
+//! writes each table as CSV and the full report as JSON. `muri sim` (or
+//! its alias `muri simulate`) runs one scheduler over a trace (synthetic
+//! or CSV) and prints the metrics; the telemetry flags additionally
+//! export the run's event journal (JSONL), metrics registry (Prometheus
+//! text), and interleaving timeline (Chrome `trace_event` JSON — open in
+//! Perfetto or `chrome://tracing`). `muri verify` replays a workload
+//! with the `muri-verify` invariant auditor attached to every scheduling
+//! pass and reports violations. `muri telemetry-check` validates
+//! previously exported telemetry artifacts (parse, schema, monotonic
+//! trace timestamps, journal lifecycle conservation).
 //!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 invariant
-//! violations found by `muri verify`.
+//! violations found by `muri verify` / `muri telemetry-check`.
 
 use muri_core::{PolicyKind, SchedulerConfig};
 use muri_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
-use muri_sim::{simulate, simulate_audited, SimConfig};
+use muri_sim::{simulate, simulate_audited, simulate_with_telemetry, SimConfig};
+use muri_telemetry::{Telemetry, TelemetrySink};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -75,12 +84,18 @@ const USAGE: &str = "usage:
   muri models
   muri show-group <model> [<model> ...]
   muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+                    [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
   muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+  muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
   muri validate
 
 policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s muri-l
 
-exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 verify found violations";
+`muri simulate` is an alias for `muri sim`. The telemetry flags export
+the run's event journal (JSONL), Prometheus metrics, and a Chrome
+trace_event timeline (open in Perfetto / chrome://tracing).
+
+exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 violations found";
 
 struct Options {
     scale: Scale,
@@ -218,13 +233,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
             print!("{}", stats.render());
             Ok(())
         }
-        Some("sim") => {
+        Some("sim" | "simulate") => {
             let policy_name = args
                 .get(1)
                 .ok_or_else(|| CliError::usage("sim needs a policy name"))?;
             let policy = parse_policy(policy_name)?;
             run_sim(policy, &args[2..])
         }
+        Some("telemetry-check") => run_telemetry_check(&args[1..]),
         Some("verify") => run_verify(&args[1..]),
         Some("validate") => run_validate(),
         Some(other) => Err(CliError::usage(format!("unknown command {other:?}"))),
@@ -320,9 +336,90 @@ fn parse_workload(args: &[String]) -> Result<(muri_workload::Trace, Scale, u32),
     Ok((trace, scale, machines))
 }
 
-/// `muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]`
+/// Telemetry export destinations parsed off the `sim` command line.
+#[derive(Default)]
+struct TelemetryOpts {
+    journal: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    chrome_trace: Option<PathBuf>,
+}
+
+impl TelemetryOpts {
+    fn any(&self) -> bool {
+        self.journal.is_some() || self.metrics.is_some() || self.chrome_trace.is_some()
+    }
+}
+
+/// Pull `--journal/--metrics/--chrome-trace FILE` out of `args`, leaving
+/// the rest (workload options) untouched.
+fn split_telemetry_opts(args: &[String]) -> Result<(TelemetryOpts, Vec<String>), CliError> {
+    let mut opts = TelemetryOpts::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let slot = match arg.as_str() {
+            "--journal" => &mut opts.journal,
+            "--metrics" => &mut opts.metrics,
+            "--chrome-trace" => &mut opts.chrome_trace,
+            _ => {
+                rest.push(arg.clone());
+                continue;
+            }
+        };
+        *slot = Some(PathBuf::from(it.next().ok_or_else(|| {
+            CliError::usage(format!("{arg} needs a file path"))
+        })?));
+    }
+    Ok((opts, rest))
+}
+
+fn write_file(path: &PathBuf, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError::runtime(format!("writing {path:?}: {e}")))
+}
+
+/// Export the collected telemetry to the requested files.
+fn export_telemetry(t: &muri_telemetry::Telemetry, opts: &TelemetryOpts) -> Result<(), CliError> {
+    if let Some(path) = &opts.journal {
+        if t.journal.dropped() > 0 {
+            eprintln!(
+                "warning: journal overflowed, {} event(s) dropped (capacity {})",
+                t.journal.dropped(),
+                t.journal.capacity()
+            );
+        }
+        write_file(path, &t.journal.to_jsonl())?;
+        eprintln!(
+            "journal:      {} events -> {}",
+            t.journal.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.metrics {
+        write_file(path, &t.metrics.render())?;
+        eprintln!("metrics:      -> {}", path.display());
+    }
+    if let Some(path) = &opts.chrome_trace {
+        if t.trace.dropped_groups() > 0 {
+            eprintln!(
+                "warning: chrome trace capped, {} group timeline(s) not rendered",
+                t.trace.dropped_groups()
+            );
+        }
+        write_file(path, &t.trace.to_json())?;
+        eprintln!(
+            "chrome trace: {} events -> {} (open in Perfetto / chrome://tracing)",
+            t.trace.len(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// `muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+///                    [--journal FILE] [--metrics FILE] [--chrome-trace FILE]`
 fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
-    let (trace, _scale, machines) = parse_workload(args)?;
+    let (topts, rest) = split_telemetry_opts(args)?;
+    let (trace, _scale, machines) = parse_workload(&rest)?;
     let cfg = SimConfig {
         cluster: muri_cluster::ClusterSpec::with_machines(machines),
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
@@ -334,7 +431,17 @@ fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
         cfg.cluster.total_gpus()
     );
     let started = std::time::Instant::now();
-    let r = simulate(&trace, &cfg);
+    let r = if topts.any() {
+        let sink = TelemetrySink::enabled(Telemetry::new());
+        let r = simulate_with_telemetry(&trace, &cfg, &sink);
+        let t = sink
+            .into_inner()
+            .ok_or_else(|| CliError::runtime("telemetry sink still shared after the run"))?;
+        export_telemetry(&t, &topts)?;
+        r
+    } else {
+        simulate(&trace, &cfg)
+    };
     println!("policy:        {}", r.policy);
     println!("trace:         {} ({} jobs)", r.trace, r.records.len());
     println!("finished:      {}/{}", r.finished_jobs(), r.records.len());
@@ -351,6 +458,69 @@ fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
         r.avg_utilization(muri_workload::ResourceKind::Network),
     );
     eprintln!("[simulated in {:.2?}]", started.elapsed());
+    Ok(())
+}
+
+/// `muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]`
+///
+/// Validate previously exported telemetry artifacts:
+///
+/// * the journal parses as event JSONL and its per-job lifecycle ledger
+///   conserves jobs (`muri_verify::audit_journal`) — exit 3 on violations;
+/// * the Prometheus text round-trips through the golden parser;
+/// * the Chrome trace is well-formed with monotonic timestamps.
+fn run_telemetry_check(args: &[String]) -> Result<(), CliError> {
+    let (opts, rest) = split_telemetry_opts(args)?;
+    if let Some(stray) = rest.first() {
+        return Err(CliError::usage(format!("unknown option {stray:?}")));
+    }
+    if !opts.any() {
+        return Err(CliError::usage(
+            "telemetry-check needs at least one of --journal / --metrics / --chrome-trace",
+        ));
+    }
+    let read = |path: &PathBuf| {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("reading {path:?}: {e}")))
+    };
+    let mut violations = 0usize;
+    if let Some(path) = &opts.journal {
+        let events = muri_telemetry::Journal::from_jsonl(&read(path)?)
+            .map_err(|e| CliError::runtime(format!("{}: {e}", path.display())))?;
+        let audit = muri_verify::audit_journal(&events);
+        print!("{}", audit.render());
+        if audit.is_clean() {
+            println!(
+                "journal OK: {} events, {} job ledgers conserve jobs",
+                events.len(),
+                audit.checks
+            );
+        } else {
+            violations += audit.violations.len();
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        let samples = muri_telemetry::parse_prometheus(&read(path)?)
+            .map_err(|e| CliError::runtime(format!("{}: {e}", path.display())))?;
+        if samples.is_empty() {
+            return Err(CliError::runtime(format!(
+                "{}: no metric samples",
+                path.display()
+            )));
+        }
+        println!("metrics OK: {} samples parse", samples.len());
+    }
+    if let Some(path) = &opts.chrome_trace {
+        let stats = muri_telemetry::validate_chrome_trace(&read(path)?)
+            .map_err(|e| CliError::runtime(format!("{}: {e}", path.display())))?;
+        println!(
+            "chrome trace OK: {} events ({} spans, {} metadata), timestamps monotonic to {} us",
+            stats.events, stats.complete, stats.metadata, stats.max_ts_us
+        );
+    }
+    if violations > 0 {
+        return Err(CliError::Violations(violations));
+    }
     Ok(())
 }
 

@@ -2,6 +2,7 @@
 //! tracks the progress of each job, and receives fault reports from
 //! executors.
 
+use muri_telemetry::{Event, TelemetrySink};
 use muri_workload::{JobId, ResourceVec, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -57,12 +58,22 @@ pub struct WorkerMonitor {
     snapshots: Vec<UtilizationSnapshot>,
     progress: HashMap<JobId, JobProgress>,
     faults: Vec<FaultReport>,
+    sink: TelemetrySink,
 }
 
 impl WorkerMonitor {
     /// A fresh monitor.
     pub fn new() -> Self {
         WorkerMonitor::default()
+    }
+
+    /// A monitor that forwards utilization samples and fault reports to
+    /// `sink` (per-resource gauges/histograms and `JobFaulted` events).
+    pub fn with_sink(sink: TelemetrySink) -> Self {
+        WorkerMonitor {
+            sink,
+            ..WorkerMonitor::default()
+        }
     }
 
     /// Record a utilization sample.
@@ -73,6 +84,8 @@ impl WorkerMonitor {
                 .is_none_or(|s| s.time <= snapshot.time),
             "snapshots must be recorded in time order"
         );
+        self.sink
+            .with(|t| t.record_utilization(snapshot.time, &snapshot.util));
         self.snapshots.push(snapshot);
     }
 
@@ -83,6 +96,11 @@ impl WorkerMonitor {
 
     /// Record a fault.
     pub fn report_fault(&mut self, fault: FaultReport) {
+        self.sink.emit(|| Event::JobFaulted {
+            time: fault.time,
+            job: fault.job,
+            reason: fault.reason.clone(),
+        });
         self.faults.push(fault);
     }
 
@@ -184,6 +202,30 @@ mod tests {
             util: ResourceVec::splat(0.5),
         });
         assert_eq!(m2.average_utilization().values(), [0.5; 4]);
+    }
+
+    #[test]
+    fn sink_forwarding_mirrors_monitor_state() {
+        use muri_telemetry::Telemetry;
+        let sink = TelemetrySink::enabled(Telemetry::new());
+        let mut m = WorkerMonitor::with_sink(sink.clone());
+        m.record_utilization(UtilizationSnapshot {
+            time: SimTime::from_secs(1),
+            util: ResourceVec::splat(0.5),
+        });
+        m.report_fault(FaultReport {
+            job: JobId(7),
+            time: SimTime::from_secs(2),
+            reason: "NCCL timeout".into(),
+        });
+        drop(m); // release the monitor's clone of the sink
+        let t = sink.into_inner().expect("last handle");
+        assert_eq!(t.journal.counts().faulted, 1);
+        assert_eq!(
+            t.metrics
+                .gauge_value("muri_utilization", &[("resource", "gpu")]),
+            Some(0.5)
+        );
     }
 
     #[test]

@@ -305,6 +305,20 @@ pub fn multi_round_grouping(profiles: &[StageProfile], cfg: &GroupingConfig) -> 
     }
 }
 
+/// Wall-clock sub-phase timings of one grouping call, for telemetry.
+/// Graph build and matching cover only work actually performed — a
+/// bucket answered by the round cache contributes zero to both (the
+/// cache hit shows up in [`crate::round_cache::stats`] instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupingTimings {
+    /// Microseconds spent building round edge-weight graphs.
+    pub graph_build_us: u64,
+    /// Microseconds spent in the matcher (Blossom or greedy).
+    pub matching_us: u64,
+    /// Matching rounds executed across all buckets.
+    pub rounds: u32,
+}
+
 /// One GPU-count bucket of jobs to group (profiles in priority order).
 #[derive(Debug, Clone)]
 pub struct BucketInput {
@@ -341,6 +355,21 @@ pub fn capacity_aware_grouping(
     buckets: &[BucketInput],
     free_gpus: u32,
     cfg: &GroupingConfig,
+) -> Vec<Vec<Vec<usize>>> {
+    capacity_aware_grouping_timed(buckets, free_gpus, cfg, None)
+}
+
+/// [`capacity_aware_grouping`] with optional sub-phase timing capture.
+/// With `timings: None` this is exactly the untimed path — no clock
+/// reads — preserving the zero-overhead telemetry contract. Timings are
+/// collected on the capacity-aware matching path (the Muri default); the
+/// literal-Algorithm-1 and priority-packing ablations report only round
+/// counts of zero.
+pub fn capacity_aware_grouping_timed(
+    buckets: &[BucketInput],
+    free_gpus: u32,
+    cfg: &GroupingConfig,
+    timings: Option<&mut GroupingTimings>,
 ) -> Vec<Vec<Vec<usize>>> {
     let cap = cfg.max_group_size.clamp(1, muri_workload::NUM_RESOURCES);
     // Current nodes per bucket (each node = merged job indices).
@@ -391,6 +420,10 @@ pub fn capacity_aware_grouping(
     // Matching modes: rounds of per-bucket matchings; accept the
     // highest-γ merges first, only while demand exceeds capacity.
     let mode_idx = mode_index(cfg.mode);
+    let timed = timings.is_some();
+    let mut graph_us = 0u64;
+    let mut match_us = 0u64;
+    let mut rounds_run = 0u32;
     let mut states: Vec<BucketRoundState> = buckets
         .iter()
         .map(|_| BucketRoundState {
@@ -404,6 +437,7 @@ pub fn capacity_aware_grouping(
         if demand(&nodes) <= u64::from(free_gpus) {
             break;
         }
+        rounds_run += 1;
         // Collect candidate merges from every bucket's matching.
         let mut candidates: Vec<(i64, usize, usize, usize)> = Vec::new(); // (w, bucket, u, v)
         for (bi, b) in buckets.iter().enumerate() {
@@ -423,8 +457,12 @@ pub fn capacity_aware_grouping(
                         cfg.ordering,
                         cfg.min_efficiency,
                         mode_idx,
-                        || build_node_graph(ns, &b.profiles, cfg, cap),
-                        |g| solve_matching(cfg.mode, g),
+                        || {
+                            timed_us(timed, &mut graph_us, || {
+                                build_node_graph(ns, &b.profiles, cfg, cap)
+                            })
+                        },
+                        |g| timed_us(timed, &mut match_us, || solve_matching(cfg.mode, g)),
                     );
                     st.graph = Some(r.graph);
                     st.matching = r.matching;
@@ -432,10 +470,16 @@ pub fn capacity_aware_grouping(
                 (Some(prev), Some(provenance)) => {
                     // Merges were applied: refresh the graph
                     // incrementally and re-match.
-                    let g = update_node_graph(&prev, &provenance, ns, &b.profiles, cfg, cap);
+                    let g = timed_us(timed, &mut graph_us, || {
+                        update_node_graph(&prev, &provenance, ns, &b.profiles, cfg, cap)
+                    });
                     let any = g.has_edges();
                     let g = Rc::new(g);
-                    st.matching = any.then(|| Rc::new(solve_matching(cfg.mode, &g)));
+                    st.matching = any.then(|| {
+                        Rc::new(timed_us(timed, &mut match_us, || {
+                            solve_matching(cfg.mode, &g)
+                        }))
+                    });
                     st.graph = Some(g);
                 }
                 (Some(prev), None) => {
@@ -501,7 +545,25 @@ pub fn capacity_aware_grouping(
             break;
         }
     }
+    if let Some(t) = timings {
+        t.graph_build_us = graph_us;
+        t.matching_us = match_us;
+        t.rounds = rounds_run;
+    }
     nodes
+}
+
+/// Measure `f` into `acc` (saturating microseconds) when `timed` is set;
+/// otherwise run `f` with no clock reads at all.
+fn timed_us<R>(timed: bool, acc: &mut u64, f: impl FnOnce() -> R) -> R {
+    if timed {
+        let t = std::time::Instant::now();
+        let r = f();
+        *acc = acc.saturating_add(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+        r
+    } else {
+        f()
+    }
 }
 
 fn matched_grouping(

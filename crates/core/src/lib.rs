@@ -27,6 +27,8 @@ pub mod scheduler;
 
 pub use gamma_cache::CacheStats;
 pub use gittins::gittins_index;
-pub use grouping::{merged_efficiency, multi_round_grouping, GroupingConfig, GroupingMode};
+pub use grouping::{
+    merged_efficiency, multi_round_grouping, GroupingConfig, GroupingMode, GroupingTimings,
+};
 pub use policy::{PendingJob, PolicyKind, PriorityKey};
-pub use scheduler::{plan_schedule, PlannedGroup, SchedulerConfig};
+pub use scheduler::{plan_schedule, plan_schedule_with, PlannedGroup, SchedulerConfig};

@@ -18,12 +18,17 @@
 //! 5. groups are placed in descending order of GPU count, which "avoids
 //!    fragmentation and minimizes the number of nodes used by a job" (§5).
 
-use crate::grouping::{capacity_aware_grouping, BucketInput, GroupingConfig, GroupingMode};
+use crate::grouping::{
+    capacity_aware_grouping_timed, BucketInput, GroupingConfig, GroupingMode, GroupingTimings,
+};
 use crate::policy::{PendingJob, PolicyKind};
+use crate::{gamma_cache, round_cache};
 use muri_interleave::{GroupMember, InterleaveGroup};
+use muri_telemetry::{CacheDelta, Event, PlanPhases, TelemetrySink};
 use muri_workload::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Full scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -92,9 +97,55 @@ pub fn plan_schedule(
     free_gpus: u32,
     now: SimTime,
 ) -> Vec<PlannedGroup> {
+    plan_schedule_with(cfg, pending, free_gpus, now, &TelemetrySink::disabled())
+}
+
+/// Wall-clock phase timer that reads the clock only when telemetry is
+/// enabled — a disabled sink makes every `lap()` a constant 0.
+struct PhaseTimer(Option<Instant>);
+
+impl PhaseTimer {
+    fn start(enabled: bool) -> Self {
+        PhaseTimer(enabled.then(Instant::now))
+    }
+
+    /// Microseconds since the previous lap (or start); resets the mark.
+    fn lap(&mut self) -> u64 {
+        match &mut self.0 {
+            Some(mark) => {
+                let now = Instant::now();
+                let us = u64::try_from(now.duration_since(*mark).as_micros()).unwrap_or(u64::MAX);
+                *mark = now;
+                us
+            }
+            None => 0,
+        }
+    }
+}
+
+/// [`plan_schedule`] with a telemetry sink: when the sink is enabled the
+/// pass emits one [`Event::PlanningPass`] (per-phase wall-clock
+/// durations, γ-/round-cache hit deltas) and one [`Event::GroupFormed`]
+/// per planned group. A disabled sink takes the exact untimed path.
+pub fn plan_schedule_with(
+    cfg: &SchedulerConfig,
+    pending: &[PendingJob],
+    free_gpus: u32,
+    now: SimTime,
+    sink: &TelemetrySink,
+) -> Vec<PlannedGroup> {
+    let enabled = sink.is_enabled();
+    let mut timer = PhaseTimer::start(enabled);
+    let (gamma_before, round_before) = if enabled {
+        (gamma_cache::stats(), round_cache::stats())
+    } else {
+        (Default::default(), Default::default())
+    };
+
     // 1. Priority order.
     let mut jobs: Vec<PendingJob> = pending.to_vec();
     cfg.policy.sort(&mut jobs, now);
+    let sort_us = timer.lap();
 
     // 2. Admission: first n jobs that can fully utilize the cluster when
     //    groups reach the pack factor.
@@ -111,6 +162,7 @@ pub fn plan_schedule(
         admitted_gpus += u64::from(job.num_gpus);
         admitted.push(*job);
     }
+    let admission_us = timer.lap();
 
     // 3. Buckets by GPU count (grouping never crosses buckets). Each
     //    entry keeps its *global* priority rank for capacity selection.
@@ -137,7 +189,14 @@ pub fn plan_schedule(
             profiles: jobs.iter().map(|(j, _)| j.profile).collect(),
         })
         .collect();
-    let grouped = capacity_aware_grouping(&inputs, free_gpus, &cfg.grouping);
+    let bucketing_us = timer.lap();
+    let mut grouping_timings = GroupingTimings::default();
+    let grouped = capacity_aware_grouping_timed(
+        &inputs,
+        free_gpus,
+        &cfg.grouping,
+        enabled.then_some(&mut grouping_timings),
+    );
     let mut planned: Vec<(PlannedGroup, usize)> = Vec::new(); // (group, best rank)
     for ((&num_gpus, bucket), groups) in bucket_list.into_iter().zip(grouped) {
         for idxs in groups {
@@ -161,6 +220,8 @@ pub fn plan_schedule(
             ));
         }
     }
+
+    let grouping_us = timer.lap();
 
     // 5. Capacity selection by *priority* (a group's rank is its best
     //    member's queue position): high-priority groups claim capacity
@@ -214,6 +275,56 @@ pub fn plan_schedule(
     //    of nodes used by a job" (§5).
     accepted.sort_by(|a, b| b.0.num_gpus.cmp(&a.0.num_gpus).then(a.1.cmp(&b.1)));
     let plan: Vec<PlannedGroup> = accepted.into_iter().map(|(g, _)| g).collect();
+    let selection_us = timer.lap();
+
+    if enabled {
+        sink.with(|t| {
+            for p in &plan {
+                t.emit(Event::GroupFormed {
+                    time: now,
+                    members: p.group.job_ids(),
+                    num_gpus: p.num_gpus,
+                    gamma: p.group.efficiency,
+                    iteration_time: p.group.iteration_time(),
+                    cycle: p.group.ordering.cycle.clone(),
+                    offsets: p.group.ordering.offsets.clone(),
+                });
+            }
+            let gamma_after = gamma_cache::stats();
+            let round_after = round_cache::stats();
+            #[allow(clippy::cast_possible_truncation)]
+            t.emit(Event::PlanningPass {
+                time: now,
+                candidates: pending.len().min(u32::MAX as usize) as u32,
+                free_gpus,
+                planned_groups: plan.len().min(u32::MAX as usize) as u32,
+                planned_jobs: plan
+                    .iter()
+                    .map(|p| p.group.len())
+                    .sum::<usize>()
+                    .min(u32::MAX as usize) as u32,
+                phases: PlanPhases {
+                    sort_us,
+                    admission_us,
+                    bucketing_us,
+                    grouping_us,
+                    graph_build_us: grouping_timings.graph_build_us,
+                    matching_us: grouping_timings.matching_us,
+                    matching_rounds: grouping_timings.rounds,
+                    selection_us,
+                },
+                gamma_cache: CacheDelta {
+                    hits: gamma_after.hits.saturating_sub(gamma_before.hits),
+                    misses: gamma_after.misses.saturating_sub(gamma_before.misses),
+                },
+                round_cache: CacheDelta {
+                    hits: round_after.hits.saturating_sub(round_before.hits),
+                    misses: round_after.misses.saturating_sub(round_before.misses),
+                },
+            });
+        });
+    }
+
     #[cfg(feature = "audit")]
     debug_audit_plan(cfg, &jobs, free_gpus, &plan);
     plan
@@ -437,6 +548,30 @@ mod tests {
         let plan = plan_schedule(&cfg, &pending, 64, SimTime::ZERO);
         let used: u32 = plan.iter().map(|p| p.num_gpus).sum();
         assert!(used < 8, "literal grouping should pack, used {used}");
+    }
+
+    #[test]
+    fn telemetry_sink_observes_without_changing_the_plan() {
+        use muri_telemetry::{Telemetry, TelemetrySink};
+        let cfg = SchedulerConfig::preset(PolicyKind::MuriS);
+        let pending = vec![
+            job(1, 1, 10, cpu_heavy()),
+            job(2, 1, 10, gpu_heavy()),
+            job(3, 1, 10, cpu_heavy()),
+            job(4, 1, 10, gpu_heavy()),
+        ];
+        let sink = TelemetrySink::enabled(Telemetry::new());
+        let observed = plan_schedule_with(&cfg, &pending, 1, SimTime::ZERO, &sink);
+        let plain = plan_schedule(&cfg, &pending, 1, SimTime::ZERO);
+        assert_eq!(observed, plain, "telemetry must not affect planning");
+        let t = sink.into_inner().unwrap();
+        let counts = t.journal.counts();
+        assert_eq!(counts.planning_passes, 1);
+        assert_eq!(counts.groups_formed as usize, observed.len());
+        assert_eq!(
+            t.metrics.counter_value("muri_planning_passes_total", &[]),
+            Some(1)
+        );
     }
 
     #[test]

@@ -18,9 +18,10 @@
 
 use crate::config::SimConfig;
 use crate::metrics::{JobRecord, SeriesSample, SimReport};
-use muri_cluster::{Cluster, GpuSet};
-use muri_core::{plan_schedule, PendingJob, PlannedGroup};
-use muri_interleave::choose_ordering;
+use muri_cluster::{Cluster, FaultReport, GpuSet, UtilizationSnapshot, WorkerMonitor};
+use muri_core::{plan_schedule_with, PendingJob, PlannedGroup};
+use muri_interleave::{choose_ordering, GroupMember, InterleaveGroup};
+use muri_telemetry::{Event, TelemetrySink};
 use muri_workload::{
     JobId, JobSpec, Profiler, ResourceKind, ResourceVec, SimDuration, SimTime, StageProfile, Trace,
 };
@@ -44,6 +45,22 @@ use std::collections::{BinaryHeap, HashMap};
 /// ```
 pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
     Engine::new(trace, cfg).run()
+}
+
+/// Simulate `trace` like [`simulate`], streaming scheduler, lifecycle,
+/// and worker-monitor telemetry into `sink`.
+///
+/// With a disabled sink this is byte-for-byte [`simulate`]: every
+/// instrumentation site is a single branch, no event payloads are built,
+/// and no host clocks are read. With an enabled sink the run additionally
+/// produces the event journal, the metrics registry, and the Chrome
+/// trace lanes — without perturbing the simulated schedule (telemetry
+/// never feeds back into planning).
+pub fn simulate_with_telemetry(trace: &Trace, cfg: &SimConfig, sink: &TelemetrySink) -> SimReport {
+    let mut engine = Engine::new(trace, cfg);
+    engine.sink = sink.clone();
+    engine.monitor = WorkerMonitor::with_sink(sink.clone());
+    engine.run()
 }
 
 /// Simulate `trace` like [`simulate`], auditing the engine state against
@@ -133,6 +150,12 @@ struct Engine<'a> {
     series: Vec<SeriesSample>,
     passes: u64,
     nevents: u64,
+    /// Telemetry sink — disabled (a single `None` branch per site) unless
+    /// the run came through [`simulate_with_telemetry`].
+    sink: TelemetrySink,
+    /// The worker monitor (§3): fed utilization samples and fault reports
+    /// only when telemetry is on; forwards both into `sink`.
+    monitor: WorkerMonitor,
     /// `Some` when collecting an audit trail (`simulate_audited`); `None`
     /// means debug builds assert on violations instead.
     #[cfg(feature = "audit")]
@@ -159,6 +182,8 @@ impl<'a> Engine<'a> {
             series: Vec::new(),
             passes: 0,
             nevents: 0,
+            sink: TelemetrySink::disabled(),
+            monitor: WorkerMonitor::new(),
             #[cfg(feature = "audit")]
             audit: None,
         };
@@ -202,6 +227,12 @@ impl<'a> Engine<'a> {
     fn on_arrival(&mut self, idx: usize) {
         let spec = self.trace.jobs[idx];
         self.arrivals_left -= 1;
+        let now = self.now;
+        self.sink.emit(|| Event::JobArrived {
+            time: now,
+            job: spec.id,
+            num_gpus: spec.num_gpus,
+        });
         if spec.num_gpus > self.cluster.spec().total_gpus() {
             // Can never be placed; record as rejected (never finishes).
             self.jobs.insert(
@@ -278,6 +309,16 @@ impl<'a> Engine<'a> {
             .collect();
         if let Some(j) = self.jobs.get_mut(&job) {
             j.faults += 1;
+        }
+        if self.sink.is_enabled() {
+            // Route the fault through the worker monitor (§5): the
+            // executor reports the error, the monitor forwards it to
+            // telemetry as a `JobFaulted` event.
+            self.monitor.report_fault(FaultReport {
+                job,
+                time: self.now,
+                reason: "injected fault (MTBF model)".into(),
+            });
         }
         self.queue.push(job);
         self.dirty = true;
@@ -375,6 +416,8 @@ impl<'a> Engine<'a> {
             if let Some(j) = self.jobs.get_mut(m) {
                 j.finish = Some(now);
             }
+            self.sink
+                .emit(|| Event::JobCompleted { time: now, job: *m });
         }
         let survivors: Vec<JobId> = members
             .into_iter()
@@ -496,7 +539,13 @@ impl<'a> Engine<'a> {
         } else {
             self.cluster.free_gpus()
         };
-        let plan = plan_schedule(&self.cfg.scheduler, &candidates, capacity, self.now);
+        let plan = plan_schedule_with(
+            &self.cfg.scheduler,
+            &candidates,
+            capacity,
+            self.now,
+            &self.sink,
+        );
         if std::env::var_os("MURI_SIM_DEBUG").is_some() {
             let planned_gpus: u32 = plan.iter().map(|p| p.num_gpus).sum();
             let planned_jobs: usize = plan.iter().map(|p| p.group.len()).sum();
@@ -564,7 +613,8 @@ impl<'a> Engine<'a> {
             .collect();
         let free = self.cluster.free_gpus();
         if free > 0 {
-            let plan = plan_schedule(&self.cfg.scheduler, &candidates, free, self.now);
+            let plan =
+                plan_schedule_with(&self.cfg.scheduler, &candidates, free, self.now, &self.sink);
             for p in plan {
                 let mut ids = p.group.job_ids();
                 ids.sort_unstable();
@@ -604,12 +654,19 @@ impl<'a> Engine<'a> {
                 continue;
             }
             self.queue.retain(|id| *id != job);
+            let now = self.now;
             if let Some(j) = self.jobs.get_mut(&job) {
-                if j.first_start.is_none() {
-                    j.first_start = Some(self.now);
-                } else {
+                let restart = j.first_start.is_some();
+                if restart {
                     j.restarts += 1;
+                } else {
+                    j.first_start = Some(self.now);
                 }
+                self.sink.emit(|| Event::JobStarted {
+                    time: now,
+                    job,
+                    restart,
+                });
             }
             let mut members = group.members.clone();
             members.push(job);
@@ -626,14 +683,17 @@ impl<'a> Engine<'a> {
             return;
         };
         self.cluster.release(&group.gpus);
+        let now = self.now;
         for m in group.members {
             if self.jobs[&m].remaining_iters() == 0 {
                 // Completed exactly at the tick boundary.
                 if let Some(j) = self.jobs.get_mut(&m) {
                     j.finish = Some(self.now);
                 }
+                self.sink.emit(|| Event::JobCompleted { time: now, job: m });
             } else {
                 self.queue.push(m);
+                self.sink.emit(|| Event::JobPreempted { time: now, job: m });
             }
         }
     }
@@ -678,15 +738,22 @@ impl<'a> Engine<'a> {
         // Remove members from the queue.
         self.queue.retain(|id| !ids.contains(id));
         let penalty = self.cfg.scheduler.restart_penalty;
+        let now = self.now;
         for id in &ids {
             let Some(j) = self.jobs.get_mut(id) else {
                 continue;
             };
-            if j.first_start.is_none() {
-                j.first_start = Some(self.now);
-            } else {
+            let restart = j.first_start.is_some();
+            if restart {
                 j.restarts += 1;
+            } else {
+                j.first_start = Some(self.now);
             }
+            self.sink.emit(|| Event::JobStarted {
+                time: now,
+                job: *id,
+                restart,
+            });
         }
         let span = self.cluster.spec().machines_spanned(&gpus.gpus);
         let iter_time = self.execution_iteration_time(&ids, span);
@@ -708,6 +775,25 @@ impl<'a> Engine<'a> {
         });
         self.schedule_completion(gid);
         self.maybe_schedule_fault(gid, &ids);
+        if self.sink.is_enabled() {
+            // Trace the group's interleaving lanes over its first two
+            // iterations (the renderer clips the window to that anyway).
+            // Lanes show the *planned* schedule — the measured profiles
+            // under the chosen ordering — which is what the scheduler
+            // believed it was building (Fig. 4-style timelines).
+            let members: Vec<GroupMember> = ids
+                .iter()
+                .map(|&job| GroupMember {
+                    job,
+                    profile: self.jobs[&job].measured,
+                })
+                .collect();
+            let group = InterleaveGroup::form(members, self.cfg.scheduler.grouping.ordering);
+            let start = now + penalty;
+            let end = start + iter_time * 2;
+            self.sink
+                .with(|t| t.record_group_timeline(&group, num_gpus, start, end));
+        }
     }
 
     fn maybe_schedule_fault(&mut self, gid: usize, ids: &[JobId]) {
@@ -821,6 +907,12 @@ impl<'a> Engine<'a> {
                 (rem > 0.0).then(|| pending.as_secs_f64() / rem)
             })
             .collect();
+        if self.sink.is_enabled() {
+            self.monitor.record_utilization(UtilizationSnapshot {
+                time: self.now,
+                util,
+            });
+        }
         self.series.push(SeriesSample {
             time: self.now,
             queue_length: self.queue.len(),

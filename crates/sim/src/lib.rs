@@ -20,8 +20,8 @@ pub mod metrics;
 pub mod replicate;
 
 pub use config::{FaultConfig, SimConfig};
-pub use engine::simulate;
 #[cfg(feature = "audit")]
 pub use engine::simulate_audited;
+pub use engine::{simulate, simulate_with_telemetry};
 pub use metrics::{JobRecord, SeriesSample, SimReport};
 pub use replicate::{replicate, MetricSummary, ReplicatedMetrics};

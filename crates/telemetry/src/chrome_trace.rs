@@ -1,0 +1,452 @@
+//! Chrome `trace_event` / Perfetto exporter.
+//!
+//! Produces the JSON Object Format (`{"traceEvents": [...]}`) understood
+//! by `chrome://tracing` and <https://ui.perfetto.dev>. Timestamps are
+//! **simulation** microseconds, which is exactly the `ts` unit the
+//! format expects, so the rendered timeline reads in sim time directly.
+//!
+//! Layout: process 0 is the scheduler lane (one complete event per
+//! planning pass, `dur` = host wall-clock of the pass); every traced
+//! interleave group gets its own process with one thread lane per
+//! resource of its chosen cycle, reproducing the paper's Fig. 4/6 stage
+//! timelines from real groups.
+
+use muri_interleave::InterleaveGroup;
+use muri_workload::{SimDuration, SimTime};
+use serde::Value;
+
+/// The scheduler's process id in the trace.
+pub const SCHEDULER_PID: u64 = 0;
+/// Group processes start here so they sort after the scheduler lane.
+const FIRST_GROUP_PID: u64 = 1;
+/// Cap on fully-rendered group timelines, bounding trace size; further
+/// groups are counted in [`ChromeTrace::dropped_groups`].
+pub const MAX_TRACED_GROUPS: usize = 512;
+/// Iterations of the lockstep schedule rendered per group.
+const ITERATIONS_PER_GROUP: u64 = 2;
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ph: char,
+    ts: u64,
+    dur: Option<u64>,
+    pid: u64,
+    tid: u64,
+    args: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("cat".to_string(), Value::Str(self.cat.to_string())),
+            ("ph".to_string(), Value::Str(self.ph.to_string())),
+            ("ts".to_string(), Value::UInt(self.ts)),
+            ("pid".to_string(), Value::UInt(self.pid)),
+            ("tid".to_string(), Value::UInt(self.tid)),
+        ];
+        if let Some(dur) = self.dur {
+            m.push(("dur".to_string(), Value::UInt(dur)));
+        }
+        if !self.args.is_empty() {
+            m.push(("args".to_string(), Value::Map(self.args.clone())));
+        }
+        Value::Map(m)
+    }
+}
+
+/// Builder for a Chrome `trace_event` JSON document.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<TraceEvent>,
+    meta: Vec<TraceEvent>,
+    groups: usize,
+    dropped_groups: u64,
+}
+
+impl ChromeTrace {
+    /// An empty trace with the scheduler process lane pre-named.
+    pub fn new() -> Self {
+        let mut t = ChromeTrace::default();
+        t.process_name(SCHEDULER_PID, "scheduler");
+        t.thread_name(SCHEDULER_PID, 0, "plan_schedule");
+        t
+    }
+
+    /// Name a process lane (metadata event).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.meta.push(TraceEvent {
+            name: "process_name".to_string(),
+            cat: "__metadata",
+            ph: 'M',
+            ts: 0,
+            dur: None,
+            pid,
+            tid: 0,
+            args: vec![("name".to_string(), Value::Str(name.to_string()))],
+        });
+    }
+
+    /// Name a thread lane within a process (metadata event).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.meta.push(TraceEvent {
+            name: "thread_name".to_string(),
+            cat: "__metadata",
+            ph: 'M',
+            ts: 0,
+            dur: None,
+            pid,
+            tid,
+            args: vec![("name".to_string(), Value::Str(name.to_string()))],
+        });
+    }
+
+    /// Add a complete (`ph: "X"`) span on the `(pid, tid)` lane.
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &'static str,
+        ts: SimTime,
+        dur_us: u64,
+        lane: (u64, u64),
+        args: Vec<(String, Value)>,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat,
+            ph: 'X',
+            ts: ts.as_micros(),
+            dur: Some(dur_us),
+            pid: lane.0,
+            tid: lane.1,
+            args,
+        });
+    }
+
+    /// Add an instant (`ph: "i"`) marker on a lane.
+    pub fn instant(&mut self, name: &str, cat: &'static str, ts: SimTime, pid: u64, tid: u64) {
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat,
+            ph: 'i',
+            ts: ts.as_micros(),
+            dur: None,
+            pid,
+            tid,
+            args: vec![("s".to_string(), Value::Str("t".to_string()))],
+        });
+    }
+
+    /// Render one traced group: a dedicated process with one thread lane
+    /// per resource of the chosen cycle, spans for each member's stage
+    /// occupancy over up to [`ITERATIONS_PER_GROUP`] iterations starting
+    /// at `start` (clipped to `end`). Returns `false` once the
+    /// [`MAX_TRACED_GROUPS`] cap is hit (the group is counted, not
+    /// rendered).
+    pub fn add_group_lanes(
+        &mut self,
+        group: &InterleaveGroup,
+        num_gpus: u32,
+        start: SimTime,
+        end: SimTime,
+    ) -> bool {
+        let t_iter = group.iteration_time();
+        if group.is_empty() || t_iter.is_zero() || end <= start {
+            return true;
+        }
+        if self.groups >= MAX_TRACED_GROUPS {
+            self.dropped_groups += 1;
+            return false;
+        }
+        let pid = FIRST_GROUP_PID + self.groups as u64;
+        self.groups += 1;
+        let cycle = &group.ordering.cycle;
+        let k = cycle.len();
+        self.process_name(
+            pid,
+            &format!(
+                "group {} ({} jobs, {} GPUs, γ={:.2})",
+                pid - FIRST_GROUP_PID,
+                group.len(),
+                num_gpus,
+                group.efficiency
+            ),
+        );
+        for (row, &resource) in cycle.iter().enumerate() {
+            self.thread_name(pid, row as u64, &resource.to_string());
+        }
+        // Phase lengths follow the lockstep schedule (viz.rs math): phase
+        // p lasts as long as the slowest member's stage in it.
+        let phase_len: Vec<SimDuration> = (0..k)
+            .map(|phase| {
+                group
+                    .members
+                    .iter()
+                    .zip(&group.ordering.offsets)
+                    .map(|(m, &o)| m.profile.duration(cycle[(o + phase) % k]))
+                    .max()
+                    .unwrap_or(SimDuration::ZERO)
+            })
+            .collect();
+        let horizon = end
+            .since(start)
+            .as_micros()
+            .min(t_iter.as_micros().saturating_mul(ITERATIONS_PER_GROUP));
+        let mut iter_start = 0u64;
+        while iter_start < horizon {
+            let mut phase_start = iter_start;
+            for (phase, len) in phase_len.iter().enumerate() {
+                for (m, &o) in group.members.iter().zip(&group.ordering.offsets) {
+                    // Member with offset o occupies cycle[(o + phase) % k]
+                    // during this phase, busy for its own stage duration.
+                    let row = (o + phase) % k;
+                    let busy = m.profile.duration(cycle[row]).as_micros();
+                    if busy == 0 || phase_start >= horizon {
+                        continue;
+                    }
+                    let busy = busy.min(horizon - phase_start);
+                    self.complete(
+                        &format!("job {} {}", m.job.0, cycle[row].stage_name()),
+                        "interleave",
+                        start + SimDuration::from_micros(phase_start),
+                        busy,
+                        (pid, row as u64),
+                        Vec::new(),
+                    );
+                }
+                phase_start += len.as_micros();
+            }
+            iter_start += t_iter.as_micros();
+        }
+        true
+    }
+
+    /// Groups that were not rendered because the cap was reached.
+    pub fn dropped_groups(&self) -> u64 {
+        self.dropped_groups
+    }
+
+    /// Number of span/instant events recorded (metadata excluded).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no span events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize to the JSON Object Format: metadata events first, then
+    /// span events sorted by timestamp (stable, so same-`ts` events keep
+    /// insertion order) — the monotonicity CI validates.
+    pub fn to_json(&self) -> String {
+        let mut spans: Vec<&TraceEvent> = self.events.iter().collect();
+        spans.sort_by_key(|e| e.ts);
+        let all: Vec<Value> = self
+            .meta
+            .iter()
+            .chain(spans)
+            .map(TraceEvent::to_value)
+            .collect();
+        let doc = Value::Map(vec![
+            ("traceEvents".to_string(), Value::Array(all)),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_else(|_| String::from("{\"traceEvents\":[]}"))
+    }
+}
+
+/// Summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeTraceStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Complete (`ph: "X"`) span events.
+    pub complete: usize,
+    /// Metadata (`ph: "M"`) events.
+    pub metadata: usize,
+    /// Largest timestamp seen, in microseconds.
+    pub max_ts_us: u64,
+}
+
+fn event_u64(ev: &Value, key: &str) -> Result<u64, String> {
+    match ev.get(key) {
+        Some(Value::UInt(v)) => Ok(*v),
+        Some(Value::Int(v)) if *v >= 0 => Ok(u64::try_from(*v).unwrap_or(0)),
+        Some(other) => Err(format!(
+            "field `{key}` is not a non-negative integer: {other:?}"
+        )),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// Validate a Chrome trace document: JSON object with a `traceEvents`
+/// array; every event has `name`/`ph`/`ts`/`pid`/`tid`; complete events
+/// carry a `dur`; non-metadata timestamps are monotone non-decreasing in
+/// array order. Returns summary stats on success.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = match doc.get("traceEvents") {
+        Some(Value::Array(evs)) => evs,
+        Some(_) => return Err("`traceEvents` is not an array".to_string()),
+        None => return Err("missing `traceEvents`".to_string()),
+    };
+    let mut stats = ChromeTraceStats {
+        events: events.len(),
+        ..ChromeTraceStats::default()
+    };
+    let mut last_ts = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let check = (|| -> Result<(), String> {
+            let ph = match ev.get("ph") {
+                Some(Value::Str(s)) if !s.is_empty() => s.clone(),
+                _ => return Err("missing or empty `ph`".to_string()),
+            };
+            if !matches!(ev.get("name"), Some(Value::Str(_))) {
+                return Err("missing `name`".to_string());
+            }
+            let ts = event_u64(ev, "ts")?;
+            event_u64(ev, "pid")?;
+            event_u64(ev, "tid")?;
+            match ph.as_str() {
+                "M" => stats.metadata += 1,
+                "X" => {
+                    event_u64(ev, "dur")?;
+                    stats.complete += 1;
+                }
+                _ => {}
+            }
+            if ph != "M" {
+                if ts < last_ts {
+                    return Err(format!("timestamp regression: ts={ts} after ts={last_ts}"));
+                }
+                last_ts = ts;
+                stats.max_ts_us = stats.max_ts_us.max(ts);
+            }
+            Ok(())
+        })();
+        check.map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muri_interleave::{GroupMember, OrderingPolicy};
+    use muri_workload::{JobId, StageProfile};
+
+    fn pair() -> InterleaveGroup {
+        InterleaveGroup::form(
+            vec![
+                GroupMember {
+                    job: JobId(0),
+                    profile: StageProfile::new(
+                        SimDuration::ZERO,
+                        SimDuration::from_secs(2),
+                        SimDuration::from_secs(1),
+                        SimDuration::ZERO,
+                    ),
+                },
+                GroupMember {
+                    job: JobId(1),
+                    profile: StageProfile::new(
+                        SimDuration::ZERO,
+                        SimDuration::from_secs(1),
+                        SimDuration::from_secs(2),
+                        SimDuration::ZERO,
+                    ),
+                },
+            ],
+            OrderingPolicy::Best,
+        )
+    }
+
+    #[test]
+    fn empty_trace_validates() {
+        let t = ChromeTrace::new();
+        let stats = validate_chrome_trace(&t.to_json()).expect("valid");
+        assert_eq!(stats.complete, 0);
+        assert_eq!(stats.metadata, 2); // scheduler process + thread names
+    }
+
+    #[test]
+    fn group_lanes_validate_and_cover_cycle() {
+        let mut t = ChromeTrace::new();
+        let g = pair();
+        assert!(t.add_group_lanes(&g, 2, SimTime::from_secs(10), SimTime::from_secs(100)));
+        let json = t.to_json();
+        let stats = validate_chrome_trace(&json).expect("valid");
+        // 2 members × 2 phases × 2 iterations = 8 spans.
+        assert_eq!(stats.complete, 8, "{json}");
+        // One thread-name per cycle resource + the group process name.
+        assert!(
+            json.contains("\"cpu\"") && json.contains("\"gpu\""),
+            "{json}"
+        );
+        assert!(stats.max_ts_us >= SimTime::from_secs(10).as_micros());
+    }
+
+    #[test]
+    fn lanes_clip_at_group_end() {
+        let mut t = ChromeTrace::new();
+        let g = pair();
+        // Group torn down after 1s: a single clipped phase worth of spans.
+        t.add_group_lanes(&g, 2, SimTime::ZERO, SimTime::from_secs(1));
+        let stats = validate_chrome_trace(&t.to_json()).expect("valid");
+        assert!(stats.complete >= 1);
+        assert!(stats.max_ts_us < SimTime::from_secs(1).as_micros());
+    }
+
+    #[test]
+    fn cap_counts_dropped_groups() {
+        let mut t = ChromeTrace::new();
+        let g = pair();
+        for _ in 0..(MAX_TRACED_GROUPS + 3) {
+            t.add_group_lanes(&g, 2, SimTime::ZERO, SimTime::from_secs(6));
+        }
+        assert_eq!(t.dropped_groups(), 3);
+        validate_chrome_trace(&t.to_json()).expect("still valid");
+    }
+
+    #[test]
+    fn out_of_order_spans_are_sorted_monotone() {
+        let mut t = ChromeTrace::new();
+        t.complete(
+            "b",
+            "sched",
+            SimTime::from_secs(5),
+            10,
+            (SCHEDULER_PID, 0),
+            Vec::new(),
+        );
+        t.complete(
+            "a",
+            "sched",
+            SimTime::from_secs(1),
+            10,
+            (SCHEDULER_PID, 0),
+            Vec::new(),
+        );
+        validate_chrome_trace(&t.to_json()).expect("sorted on export");
+    }
+
+    #[test]
+    fn validator_rejects_malformations() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"x\":1}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":1}").is_err());
+        // Complete event without dur.
+        let bad = r#"{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Timestamp regression.
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"i","ts":5,"pid":0,"tid":0},
+            {"name":"b","ph":"i","ts":4,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("regression"));
+    }
+}

@@ -1,0 +1,399 @@
+//! The typed event vocabulary of the journal.
+//!
+//! Events are flat JSON objects tagged by a `"type"` field. The vendored
+//! serde derive only supports unit-variant enums, so [`Event`]'s
+//! `Serialize` / `Deserialize` impls are written by hand against the
+//! value model — which also keeps the wire schema explicit and stable
+//! (the golden tests in `tests/golden.rs` pin it).
+
+use muri_workload::{JobId, ResourceKind, SimDuration, SimTime};
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Wall-clock durations of the phases of one `plan_schedule` call, in
+/// microseconds. `grouping_us` covers the whole grouping call;
+/// `graph_build_us` / `matching_us` are the portions spent building
+/// round graphs and running the matcher inside it (cache hits skip
+/// both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlanPhases {
+    /// Priority sort of the pending queue.
+    pub sort_us: u64,
+    /// Admission scan (Algorithm 1 lines 3–7).
+    pub admission_us: u64,
+    /// Splitting admitted jobs into GPU-count buckets.
+    pub bucketing_us: u64,
+    /// The capacity-aware multi-round grouping call, total.
+    pub grouping_us: u64,
+    /// Round-graph edge-weight construction inside grouping.
+    pub graph_build_us: u64,
+    /// Blossom / greedy matching rounds inside grouping.
+    pub matching_us: u64,
+    /// Matching rounds executed (0 when every bucket fit outright or was
+    /// answered by the round cache).
+    pub matching_rounds: u32,
+    /// Capacity selection, relaxation, and placement ordering.
+    pub selection_us: u64,
+}
+
+/// Hit/miss delta of one memoization layer across a planning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheDelta {
+    /// Lookups answered from the cache during the pass.
+    pub hits: u64,
+    /// Lookups that had to compute during the pass.
+    pub misses: u64,
+}
+
+/// One journal entry. Times are simulation time; durations inside
+/// [`PlanPhases`] are host wall-clock (the scheduler runs for real even
+/// when the cluster is simulated).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A job entered the system (§3: the scheduler "is periodically
+    /// invoked on events like job arrival").
+    JobArrived {
+        /// Arrival (submission) time.
+        time: SimTime,
+        /// The job.
+        job: JobId,
+        /// Its GPU demand.
+        num_gpus: u32,
+    },
+    /// A job started (or restarted) executing on a GPU set.
+    JobStarted {
+        /// Start time.
+        time: SimTime,
+        /// The job.
+        job: JobId,
+        /// `true` when this is a restart after preemption or a fault.
+        restart: bool,
+    },
+    /// A preemptive tick tore the job's group down and requeued it.
+    JobPreempted {
+        /// Preemption time.
+        time: SimTime,
+        /// The job.
+        job: JobId,
+    },
+    /// An executor reported a fault; the job was terminated and requeued
+    /// (§5).
+    JobFaulted {
+        /// Fault time.
+        time: SimTime,
+        /// The job.
+        job: JobId,
+        /// Executor-provided description.
+        reason: String,
+    },
+    /// A job finished its final iteration.
+    JobCompleted {
+        /// Completion time.
+        time: SimTime,
+        /// The job.
+        job: JobId,
+    },
+    /// The scheduler formed an interleave group (Algorithm 1 output).
+    GroupFormed {
+        /// Formation time.
+        time: SimTime,
+        /// Member jobs, in offset order.
+        members: Vec<JobId>,
+        /// GPUs the group occupies.
+        num_gpus: u32,
+        /// Interleaving efficiency γ (Eq. 4) under the chosen ordering.
+        gamma: f64,
+        /// Group per-iteration time (Eq. 3).
+        iteration_time: SimDuration,
+        /// The effective resource cycle of the chosen ordering.
+        cycle: Vec<ResourceKind>,
+        /// Per-member phase offsets into the cycle.
+        offsets: Vec<usize>,
+    },
+    /// One `plan_schedule` call: inputs, outputs, per-phase durations,
+    /// and memoization-layer deltas.
+    PlanningPass {
+        /// Simulation time of the pass.
+        time: SimTime,
+        /// Candidate jobs handed to the scheduler.
+        candidates: u32,
+        /// Free GPUs available for (re)placement.
+        free_gpus: u32,
+        /// Groups in the returned plan.
+        planned_groups: u32,
+        /// Jobs across the returned plan.
+        planned_jobs: u32,
+        /// Per-phase wall-clock durations.
+        phases: PlanPhases,
+        /// γ-cache hits/misses during the pass.
+        gamma_cache: CacheDelta,
+        /// Round-cache hits/misses during the pass.
+        round_cache: CacheDelta,
+    },
+}
+
+impl Event {
+    /// Simulation time the event is stamped with.
+    pub fn time(&self) -> SimTime {
+        match self {
+            Event::JobArrived { time, .. }
+            | Event::JobStarted { time, .. }
+            | Event::JobPreempted { time, .. }
+            | Event::JobFaulted { time, .. }
+            | Event::JobCompleted { time, .. }
+            | Event::GroupFormed { time, .. }
+            | Event::PlanningPass { time, .. } => *time,
+        }
+    }
+
+    /// The job a lifecycle event concerns (`None` for scheduler events).
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            Event::JobArrived { job, .. }
+            | Event::JobStarted { job, .. }
+            | Event::JobPreempted { job, .. }
+            | Event::JobFaulted { job, .. }
+            | Event::JobCompleted { job, .. } => Some(*job),
+            Event::GroupFormed { .. } | Event::PlanningPass { .. } => None,
+        }
+    }
+
+    /// Stable machine-readable tag — the JSONL `"type"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::JobArrived { .. } => "job_arrived",
+            Event::JobStarted { .. } => "job_started",
+            Event::JobPreempted { .. } => "job_preempted",
+            Event::JobFaulted { .. } => "job_faulted",
+            Event::JobCompleted { .. } => "job_completed",
+            Event::GroupFormed { .. } => "group_formed",
+            Event::PlanningPass { .. } => "planning_pass",
+        }
+    }
+}
+
+/// Build the common `{"type": ..., "time_us": ...}` prefix.
+fn tagged(kind: &str, time: SimTime) -> Vec<(String, Value)> {
+    vec![
+        ("type".to_string(), Value::Str(kind.to_string())),
+        ("time_us".to_string(), Value::UInt(time.as_micros())),
+    ]
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let mut m = tagged(self.kind(), self.time());
+        match self {
+            Event::JobArrived { job, num_gpus, .. } => {
+                m.push(("job".into(), job.to_value()));
+                m.push(("num_gpus".into(), num_gpus.to_value()));
+            }
+            Event::JobStarted { job, restart, .. } => {
+                m.push(("job".into(), job.to_value()));
+                m.push(("restart".into(), restart.to_value()));
+            }
+            Event::JobPreempted { job, .. } | Event::JobCompleted { job, .. } => {
+                m.push(("job".into(), job.to_value()));
+            }
+            Event::JobFaulted { job, reason, .. } => {
+                m.push(("job".into(), job.to_value()));
+                m.push(("reason".into(), reason.to_value()));
+            }
+            Event::GroupFormed {
+                members,
+                num_gpus,
+                gamma,
+                iteration_time,
+                cycle,
+                offsets,
+                ..
+            } => {
+                m.push(("members".into(), members.to_value()));
+                m.push(("num_gpus".into(), num_gpus.to_value()));
+                m.push(("gamma".into(), gamma.to_value()));
+                m.push((
+                    "iteration_time_us".into(),
+                    Value::UInt(iteration_time.as_micros()),
+                ));
+                m.push(("cycle".into(), cycle.to_value()));
+                m.push(("offsets".into(), offsets.to_value()));
+            }
+            Event::PlanningPass {
+                candidates,
+                free_gpus,
+                planned_groups,
+                planned_jobs,
+                phases,
+                gamma_cache,
+                round_cache,
+                ..
+            } => {
+                m.push(("candidates".into(), candidates.to_value()));
+                m.push(("free_gpus".into(), free_gpus.to_value()));
+                m.push(("planned_groups".into(), planned_groups.to_value()));
+                m.push(("planned_jobs".into(), planned_jobs.to_value()));
+                m.push(("phases".into(), phases.to_value()));
+                m.push(("gamma_cache".into(), gamma_cache.to_value()));
+                m.push(("round_cache".into(), round_cache.to_value()));
+            }
+        }
+        Value::Map(m)
+    }
+}
+
+/// Extract and deserialize a required field of an event object.
+fn field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
+    let val = v
+        .get(key)
+        .ok_or_else(|| Error::msg(format!("event missing field `{key}`")))?;
+    T::from_value(val).map_err(|e| Error::msg(format!("field `{key}`: {e}")))
+}
+
+impl Deserialize for Event {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let kind: String = field(v, "type")?;
+        let time = SimTime(field::<u64>(v, "time_us")?);
+        Ok(match kind.as_str() {
+            "job_arrived" => Event::JobArrived {
+                time,
+                job: field(v, "job")?,
+                num_gpus: field(v, "num_gpus")?,
+            },
+            "job_started" => Event::JobStarted {
+                time,
+                job: field(v, "job")?,
+                restart: field(v, "restart")?,
+            },
+            "job_preempted" => Event::JobPreempted {
+                time,
+                job: field(v, "job")?,
+            },
+            "job_faulted" => Event::JobFaulted {
+                time,
+                job: field(v, "job")?,
+                reason: field(v, "reason")?,
+            },
+            "job_completed" => Event::JobCompleted {
+                time,
+                job: field(v, "job")?,
+            },
+            "group_formed" => Event::GroupFormed {
+                time,
+                members: field(v, "members")?,
+                num_gpus: field(v, "num_gpus")?,
+                gamma: field(v, "gamma")?,
+                iteration_time: SimDuration::from_micros(field::<u64>(v, "iteration_time_us")?),
+                cycle: field(v, "cycle")?,
+                offsets: field(v, "offsets")?,
+            },
+            "planning_pass" => Event::PlanningPass {
+                time,
+                candidates: field(v, "candidates")?,
+                free_gpus: field(v, "free_gpus")?,
+                planned_groups: field(v, "planned_groups")?,
+                planned_jobs: field(v, "planned_jobs")?,
+                phases: field(v, "phases")?,
+                gamma_cache: field(v, "gamma_cache")?,
+                round_cache: field(v, "round_cache")?,
+            },
+            other => return Err(Error::msg(format!("unknown event type {other:?}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: &Event) {
+        let json = serde_json::to_string(ev).expect("serializes");
+        let back: Event = serde_json::from_str(&json).expect("parses");
+        assert_eq!(*ev, back, "{json}");
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let t = SimTime::from_secs(7);
+        roundtrip(&Event::JobArrived {
+            time: t,
+            job: JobId(3),
+            num_gpus: 2,
+        });
+        roundtrip(&Event::JobStarted {
+            time: t,
+            job: JobId(3),
+            restart: true,
+        });
+        roundtrip(&Event::JobPreempted {
+            time: t,
+            job: JobId(4),
+        });
+        roundtrip(&Event::JobFaulted {
+            time: t,
+            job: JobId(5),
+            reason: "CUDA OOM".into(),
+        });
+        roundtrip(&Event::JobCompleted {
+            time: t,
+            job: JobId(6),
+        });
+        roundtrip(&Event::GroupFormed {
+            time: t,
+            members: vec![JobId(1), JobId(2)],
+            num_gpus: 4,
+            gamma: 0.93,
+            iteration_time: SimDuration::from_millis(420),
+            cycle: vec![ResourceKind::Cpu, ResourceKind::Gpu],
+            offsets: vec![0, 1],
+        });
+        roundtrip(&Event::PlanningPass {
+            time: t,
+            candidates: 12,
+            free_gpus: 8,
+            planned_groups: 3,
+            planned_jobs: 7,
+            phases: PlanPhases {
+                sort_us: 1,
+                admission_us: 2,
+                bucketing_us: 3,
+                grouping_us: 40,
+                graph_build_us: 20,
+                matching_us: 15,
+                matching_rounds: 2,
+                selection_us: 4,
+            },
+            gamma_cache: CacheDelta {
+                hits: 10,
+                misses: 2,
+            },
+            round_cache: CacheDelta { hits: 1, misses: 0 },
+        });
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let r: Result<Event, _> = serde_json::from_str(r#"{"type":"nope","time_us":0}"#);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let ev = Event::JobCompleted {
+            time: SimTime::from_secs(1),
+            job: JobId(9),
+        };
+        assert_eq!(ev.time(), SimTime::from_secs(1));
+        assert_eq!(ev.job(), Some(JobId(9)));
+        assert_eq!(ev.kind(), "job_completed");
+        let pass = Event::PlanningPass {
+            time: SimTime::ZERO,
+            candidates: 0,
+            free_gpus: 0,
+            planned_groups: 0,
+            planned_jobs: 0,
+            phases: PlanPhases::default(),
+            gamma_cache: CacheDelta::default(),
+            round_cache: CacheDelta::default(),
+        };
+        assert_eq!(pass.job(), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Bounded, allocation-light event journal with JSONL export.
+//!
+//! The journal is a flat `Vec<Event>` with a hard capacity: recording is
+//! an amortized push, and once the bound is hit new events are counted
+//! but dropped (drop-newest) so a runaway simulation cannot exhaust
+//! memory. Conservation cross-checks (`muri-verify`) are only meaningful
+//! when [`Journal::dropped`] is zero, which the checks assert.
+
+use crate::event::Event;
+
+/// Default event capacity — large enough for every tier-1 trace in the
+/// repo while bounding worst-case memory to tens of megabytes.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Tallies of lifecycle events in a journal, used by conservation checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalCounts {
+    /// `JobArrived` events.
+    pub arrived: u64,
+    /// `JobStarted` events with `restart == false`.
+    pub first_starts: u64,
+    /// `JobStarted` events with `restart == true`.
+    pub restarts: u64,
+    /// `JobPreempted` events.
+    pub preempted: u64,
+    /// `JobFaulted` events.
+    pub faulted: u64,
+    /// `JobCompleted` events.
+    pub completed: u64,
+    /// `GroupFormed` events.
+    pub groups_formed: u64,
+    /// `PlanningPass` events.
+    pub planning_passes: u64,
+}
+
+/// A bounded in-memory event log.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// A journal bounded to `capacity` events (at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Journal {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event; drops it (and counts the drop) once full.
+    pub fn record(&mut self, event: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events recorded so far, in arrival order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded after the capacity bound was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Capacity bound this journal was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tally lifecycle events for conservation checks.
+    pub fn counts(&self) -> JournalCounts {
+        let mut c = JournalCounts::default();
+        for ev in &self.events {
+            match ev {
+                Event::JobArrived { .. } => c.arrived += 1,
+                Event::JobStarted { restart, .. } => {
+                    if *restart {
+                        c.restarts += 1;
+                    } else {
+                        c.first_starts += 1;
+                    }
+                }
+                Event::JobPreempted { .. } => c.preempted += 1,
+                Event::JobFaulted { .. } => c.faulted += 1,
+                Event::JobCompleted { .. } => c.completed += 1,
+                Event::GroupFormed { .. } => c.groups_formed += 1,
+                Event::PlanningPass { .. } => c.planning_passes += 1,
+            }
+        }
+        c
+    }
+
+    /// Render the journal as JSON Lines: one compact event object per
+    /// line, in recording order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            // Events serialize to a Value tree infallibly.
+            if let Ok(line) = serde_json::to_string(ev) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parse a JSONL document back into events. Blank lines are skipped;
+    /// any malformed line fails the whole parse with its line number.
+    pub fn from_jsonl(text: &str) -> Result<Vec<Event>, String> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev: Event =
+                serde_json::from_str(line).map_err(|e| format!("journal line {}: {e}", i + 1))?;
+            events.push(ev);
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muri_workload::{JobId, SimTime};
+
+    fn arrived(i: u32) -> Event {
+        Event::JobArrived {
+            time: SimTime::from_secs(u64::from(i)),
+            job: JobId(i),
+            num_gpus: 1,
+        }
+    }
+
+    #[test]
+    fn records_in_order_and_roundtrips() {
+        let mut j = Journal::default();
+        j.record(arrived(0));
+        j.record(Event::JobCompleted {
+            time: SimTime::from_secs(9),
+            job: JobId(0),
+        });
+        let text = j.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = Journal::from_jsonl(&text).expect("parses");
+        assert_eq!(back, j.events());
+    }
+
+    #[test]
+    fn capacity_bound_drops_newest() {
+        let mut j = Journal::with_capacity(2);
+        for i in 0..5 {
+            j.record(arrived(i));
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 3);
+        // The retained events are the oldest two.
+        assert_eq!(j.events()[0].job(), Some(JobId(0)));
+        assert_eq!(j.events()[1].job(), Some(JobId(1)));
+    }
+
+    #[test]
+    fn counts_tally_by_kind() {
+        let mut j = Journal::default();
+        j.record(arrived(0));
+        j.record(arrived(1));
+        j.record(Event::JobStarted {
+            time: SimTime::from_secs(1),
+            job: JobId(0),
+            restart: false,
+        });
+        j.record(Event::JobStarted {
+            time: SimTime::from_secs(2),
+            job: JobId(0),
+            restart: true,
+        });
+        j.record(Event::JobFaulted {
+            time: SimTime::from_secs(2),
+            job: JobId(0),
+            reason: "x".into(),
+        });
+        let c = j.counts();
+        assert_eq!(c.arrived, 2);
+        assert_eq!(c.first_starts, 1);
+        assert_eq!(c.restarts, 1);
+        assert_eq!(c.faulted, 1);
+        assert_eq!(c.completed, 0);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = Journal::from_jsonl("{\"type\":\"job_arrived\"").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let evs = Journal::from_jsonl("\n\n").expect("ok");
+        assert!(evs.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # muri-telemetry
+//!
+//! The observability subsystem of the Muri reproduction. The paper's
+//! worker monitor (§3, §5) continuously collects per-machine resource
+//! information, job progress, and fault reports; every headline figure
+//! (Fig. 8 utilization curves, Fig. 14 noise sensitivity) is derived
+//! from runtime measurements. This crate is the runtime-visibility layer
+//! those measurements flow through:
+//!
+//! * [`event`] — the typed event vocabulary: job lifecycle (arrival,
+//!   start, preemption, fault, completion), scheduler planning passes
+//!   with per-phase durations and cache hit/miss deltas, and group
+//!   formation (members, γ, chosen ordering);
+//! * [`journal`] — a bounded, allocation-light event journal with JSONL
+//!   export and parse-back;
+//! * [`metrics`] — a dependency-free metrics registry (counters, gauges,
+//!   log-bucketed histograms with quantile bounds) rendered in the
+//!   Prometheus text exposition format, plus the golden parser used to
+//!   round-trip it in tests and CI;
+//! * [`chrome_trace`] — a Chrome `trace_event` / Perfetto exporter that
+//!   renders per-resource lanes of group interleaving timelines and
+//!   scheduler-pass spans, loadable in `chrome://tracing` or
+//!   <https://ui.perfetto.dev>;
+//! * [`sink`] — the cheap [`TelemetrySink`] handle threaded through the
+//!   scheduler, the simulator engine, and the worker monitor. A disabled
+//!   sink is a `None` and compiles down to a branch per call site, so
+//!   telemetry-off runs keep the benchmark baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome_trace;
+pub mod event;
+pub mod journal;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome_trace::{validate_chrome_trace, ChromeTrace, ChromeTraceStats};
+pub use event::{CacheDelta, Event, PlanPhases};
+pub use journal::Journal;
+pub use metrics::{parse_prometheus, Histogram, MetricsRegistry, PromSample};
+pub use sink::{Telemetry, TelemetrySink};

@@ -1,0 +1,615 @@
+//! Dependency-free metrics registry with Prometheus text export.
+//!
+//! Three metric kinds: monotone **counters**, last-write **gauges**, and
+//! **log-bucketed histograms** whose buckets are powers of two. Log
+//! buckets give constant relative error across nine decades — enough to
+//! cover both sub-microsecond cache probes and multi-hour makespans with
+//! 62 buckets — and make [`Histogram::quantile_bounds`] a guaranteed
+//! enclosure of the true sample quantile (proved by the proptest in
+//! `tests/quantiles.rs`).
+//!
+//! Export is the Prometheus text exposition format; [`parse_prometheus`]
+//! is the golden parser CI uses to round-trip it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Smallest histogram bucket upper bound is `2^MIN_EXP` (≈ 9.5e-7).
+const MIN_EXP: i32 = -20;
+/// Largest finite bucket upper bound is `2^MAX_EXP` (≈ 1.1e12).
+const MAX_EXP: i32 = 40;
+/// Finite bucket count; one overflow bucket rides on top.
+const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+
+/// A log-bucketed histogram over non-negative `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Upper bound of finite bucket `i`.
+fn bucket_upper(i: usize) -> f64 {
+    f64::powi(2.0, MIN_EXP + i as i32)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample. NaN samples are ignored; negative samples
+    /// clamp into the smallest bucket; `+Inf` lands in the overflow
+    /// bucket.
+    pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = if v <= bucket_upper(0) {
+            0
+        } else if v > bucket_upper(NUM_BUCKETS - 1) {
+            NUM_BUCKETS
+        } else {
+            // Binary search over the monotone bucket bounds: the first
+            // bucket whose upper bound admits v.
+            let (mut lo, mut hi) = (0usize, NUM_BUCKETS - 1);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if bucket_upper(mid) < v {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// An interval `[lower, upper]` guaranteed to contain the true
+    /// sample quantile `sorted[⌈q·n⌉ - 1]` (q clamped to `[0, 1]`).
+    /// `None` when the histogram is empty.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(f64, f64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let lower = if i == 0 { 0.0 } else { bucket_upper(i - 1) };
+                let upper = if i == NUM_BUCKETS {
+                    f64::INFINITY
+                } else {
+                    bucket_upper(i)
+                };
+                // min/max are exact, so the enclosure can only tighten.
+                return Some((lower.max(self.min), upper.min(self.max)));
+            }
+        }
+        // Unreachable: cum sums to self.count >= rank.
+        None
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs for Prometheus rendering:
+    /// every bucket up to the last occupied finite one, plus `+Inf`.
+    fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let last = self.buckets[..NUM_BUCKETS]
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        let mut out = Vec::with_capacity(last + 1);
+        let mut cum = 0u64;
+        for i in 0..last {
+            cum += self.buckets[i];
+            out.push((bucket_upper(i), cum));
+        }
+        out.push((f64::INFINITY, self.count));
+        out
+    }
+}
+
+/// Metric kind, fixed at first registration of a family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Sample {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug, Clone)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    samples: BTreeMap<LabelSet, Sample>,
+}
+
+/// A registry of counter/gauge/histogram families keyed by metric name.
+///
+/// Families auto-register on first touch; a name keeps the kind it was
+/// first used with (later calls of a different kind are ignored rather
+/// than panicking — telemetry must never take the scheduler down).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    families: BTreeMap<String, Family>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> LabelSet {
+    let mut v: LabelSet = labels
+        .iter()
+        .map(|(k, val)| ((*k).to_string(), (*val).to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> Option<&mut Family> {
+        let fam = self
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+                samples: BTreeMap::new(),
+            });
+        (fam.kind == kind).then_some(fam)
+    }
+
+    /// Add `by` to a counter.
+    pub fn inc_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], by: u64) {
+        if let Some(fam) = self.family(name, help, MetricKind::Counter) {
+            let entry = fam
+                .samples
+                .entry(owned_labels(labels))
+                .or_insert(Sample::Counter(0));
+            if let Sample::Counter(v) = entry {
+                *v += by;
+            }
+        }
+    }
+
+    /// Set a gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(fam) = self.family(name, help, MetricKind::Gauge) {
+            let entry = fam
+                .samples
+                .entry(owned_labels(labels))
+                .or_insert(Sample::Gauge(0.0));
+            if let Sample::Gauge(v) = entry {
+                *v = value;
+            }
+        }
+    }
+
+    /// Record `value` into a histogram.
+    pub fn observe(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(fam) = self.family(name, help, MetricKind::Histogram) {
+            let entry = fam
+                .samples
+                .entry(owned_labels(labels))
+                .or_insert_with(|| Sample::Histogram(Histogram::new()));
+            if let Sample::Histogram(h) = entry {
+                h.observe(value);
+            }
+        }
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self
+            .families
+            .get(name)?
+            .samples
+            .get(&owned_labels(labels))?
+        {
+            Sample::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self
+            .families
+            .get(name)?
+            .samples
+            .get(&owned_labels(labels))?
+        {
+            Sample::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A histogram, if registered.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        match self
+            .families
+            .get(name)?
+            .samples
+            .get(&owned_labels(labels))?
+        {
+            Sample::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// True when no family has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Render the registry in the Prometheus text exposition format,
+    /// families and label sets in sorted (deterministic) order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", fam.help);
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+            for (labels, sample) in &fam.samples {
+                match sample {
+                    Sample::Counter(v) => {
+                        let _ = writeln!(out, "{name}{} {v}", render_labels(labels, None));
+                    }
+                    Sample::Gauge(v) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, None),
+                            fmt_value(*v)
+                        );
+                    }
+                    Sample::Histogram(h) => {
+                        for (le, cum) in h.cumulative_buckets() {
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                render_labels(labels, Some(le))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(labels, None),
+                            fmt_value(h.sum())
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            render_labels(labels, None),
+                            h.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format a float the Prometheus way (`+Inf` rather than `inf`).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(labels: &LabelSet, le: Option<f64>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{}\"", fmt_value(le)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One parsed sample line of a Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// The golden parser: parse Prometheus text exposition into samples.
+/// Comment (`#`) and blank lines are skipped; any malformed sample line
+/// fails the parse with its line number.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(
+            parse_sample_line(line).map_err(|e| format!("metrics line {}: {e}", lineno + 1))?,
+        );
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if name.is_empty() || name.starts_with(|c: char| c.is_ascii_digit()) {
+        return Err(format!("invalid metric name in {line:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        let close = find_label_close(body).ok_or("unterminated label set")?;
+        (
+            parse_labels(&body[..close])?,
+            body[close + 1..].trim_start(),
+        )
+    } else {
+        (Vec::new(), rest.trim_start())
+    };
+    let value_str = rest.split_whitespace().next().ok_or("missing value")?;
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        s => s
+            .parse::<f64>()
+            .map_err(|e| format!("bad value {s:?}: {e}"))?,
+    };
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Index of the closing `}` of a label body, honoring quoted strings.
+fn find_label_close(body: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match (in_str, escaped, c) {
+            (true, true, _) => escaped = false,
+            (true, false, '\\') => escaped = true,
+            (true, false, '"') => in_str = false,
+            (false, _, '"') => in_str = true,
+            (false, _, '}') => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label missing `=`")?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..]
+            .trim_start()
+            .strip_prefix('"')
+            .ok_or("label value not quoted")?;
+        let mut value = String::new();
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in after.char_indices() {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = after[end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter("muri_jobs_arrived_total", "Jobs arrived", &[], 3);
+        reg.set_gauge(
+            "muri_utilization",
+            "Per-resource utilization",
+            &[("resource", "gpu")],
+            0.75,
+        );
+        assert_eq!(reg.counter_value("muri_jobs_arrived_total", &[]), Some(3));
+        let text = reg.render();
+        let samples = parse_prometheus(&text).expect("parses");
+        assert!(samples.iter().any(|s| {
+            s.name == "muri_utilization"
+                && s.labels == vec![("resource".to_string(), "gpu".to_string())]
+                && (s.value - 0.75).abs() < 1e-12
+        }));
+    }
+
+    #[test]
+    fn kind_conflicts_are_ignored_not_fatal() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter("m", "h", &[], 1);
+        reg.set_gauge("m", "h", &[], 9.0); // wrong kind: ignored
+        assert_eq!(reg.counter_value("m", &[]), Some(1));
+        assert_eq!(reg.gauge_value("m", &[]), None);
+    }
+
+    #[test]
+    fn histogram_counts_and_bounds() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.0, 2.0, 4.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 107.5).abs() < 1e-9);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(100.0));
+        // Median of [0.5, 1, 2, 4, 100] is 2.0.
+        let (lo, hi) = h.quantile_bounds(0.5).expect("non-empty");
+        assert!(lo <= 2.0 && 2.0 <= hi, "({lo}, {hi})");
+        // Extreme quantiles are exact thanks to min/max tightening.
+        let (lo, hi) = h.quantile_bounds(1.0).expect("non-empty");
+        assert!(lo <= 100.0 && 100.0 <= hi);
+        assert_eq!(hi, 100.0);
+    }
+
+    #[test]
+    fn histogram_edge_samples() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN); // ignored
+        h.observe(-3.0); // clamps into the first bucket
+        h.observe(f64::INFINITY); // overflow bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_bounds(0.5).is_some());
+        assert!(Histogram::new().quantile_bounds(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let mut reg = MetricsRegistry::new();
+        for v in [1.0, 1.5, 3.0] {
+            reg.observe("lat", "latency", &[], v);
+        }
+        let text = reg.render();
+        let samples = parse_prometheus(&text).expect("parses");
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "lat_bucket" && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .expect("+Inf bucket present");
+        assert_eq!(inf.value, 3.0);
+        let count = samples
+            .iter()
+            .find(|s| s.name == "lat_count")
+            .expect("count");
+        assert_eq!(count.value, 3.0);
+        // Cumulative counts are non-decreasing in le order.
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.name == "lat_bucket")
+            .map(|s| s.value)
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("3notaname 1").is_err());
+        assert!(parse_prometheus("m{x=\"unterminated} 1").is_err());
+        assert!(parse_prometheus("m{} ").is_err());
+        assert!(parse_prometheus("m NaNish").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_inf() {
+        let samples = parse_prometheus("m{k=\"a\\\"b\\\\c\\nd\"} +Inf").expect("parses");
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c\nd");
+        assert_eq!(samples[0].value, f64::INFINITY);
+    }
+}

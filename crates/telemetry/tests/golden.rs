@@ -1,0 +1,166 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
+//! Golden-output tests: the Prometheus text format and the journal JSONL
+//! schema are consumed by external tooling, so their exact shape is
+//! pinned here — a diff in these tests is a breaking change to the
+//! exporter contract, not a refactor detail.
+
+use muri_telemetry::{parse_prometheus, Event, Journal, MetricsRegistry, Telemetry};
+use muri_workload::{JobId, ResourceKind, SimDuration, SimTime};
+
+#[test]
+fn prometheus_text_golden() {
+    let mut m = MetricsRegistry::new();
+    m.inc_counter("muri_jobs_arrived_total", "Jobs submitted", &[], 3);
+    m.set_gauge(
+        "muri_utilization",
+        "Latest per-resource cluster utilization",
+        &[("resource", "gpu")],
+        0.75,
+    );
+    let text = m.render();
+    let expected = "\
+# HELP muri_jobs_arrived_total Jobs submitted
+# TYPE muri_jobs_arrived_total counter
+muri_jobs_arrived_total 3
+# HELP muri_utilization Latest per-resource cluster utilization
+# TYPE muri_utilization gauge
+muri_utilization{resource=\"gpu\"} 0.75
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn prometheus_histogram_series_are_cumulative_and_terminated_by_inf() {
+    let mut m = MetricsRegistry::new();
+    m.observe("muri_group_gamma", "Efficiency", &[], 0.5);
+    m.observe("muri_group_gamma", "Efficiency", &[], 1.0);
+    let text = m.render();
+    // The tail of the bucket series is pinned: log-buckets up to the
+    // last occupied one, cumulative counts, then +Inf, _sum, _count.
+    let tail: Vec<&str> = text.lines().rev().take(5).collect();
+    assert_eq!(
+        tail,
+        vec![
+            "muri_group_gamma_count 2",
+            "muri_group_gamma_sum 1.5",
+            "muri_group_gamma_bucket{le=\"+Inf\"} 2",
+            "muri_group_gamma_bucket{le=\"1\"} 2",
+            "muri_group_gamma_bucket{le=\"0.5\"} 1",
+        ]
+    );
+    assert!(
+        text.starts_with("# HELP muri_group_gamma Efficiency\n# TYPE muri_group_gamma histogram\n")
+    );
+    // Cumulative counts never decrease along the bucket series.
+    let counts: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("muri_group_gamma_bucket"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn prometheus_round_trips_through_the_golden_parser() {
+    let mut m = MetricsRegistry::new();
+    m.inc_counter(
+        "a_total",
+        "a",
+        &[("k", "v with \"quotes\" and \\ and \n")],
+        7,
+    );
+    m.set_gauge("g", "g", &[], f64::INFINITY);
+    m.observe("h", "h", &[("phase", "sort")], 0.001);
+    let samples = parse_prometheus(&m.render()).expect("rendered text must parse");
+    assert!(samples.iter().any(|s| s.name == "a_total"
+        && s.value == 7.0
+        && s.labels
+            .iter()
+            .any(|(k, v)| k == "k" && v.contains("\"quotes\""))));
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "g" && s.value == f64::INFINITY));
+    // Histogram explodes into _bucket/_sum/_count series.
+    assert!(samples.iter().any(|s| s.name == "h_bucket"));
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "h_count" && s.value == 1.0));
+}
+
+#[test]
+fn journal_jsonl_schema_golden() {
+    let mut j = Journal::default();
+    j.record(Event::JobArrived {
+        time: SimTime::from_secs(1),
+        job: JobId(7),
+        num_gpus: 2,
+    });
+    j.record(Event::JobStarted {
+        time: SimTime::from_secs(2),
+        job: JobId(7),
+        restart: false,
+    });
+    j.record(Event::GroupFormed {
+        time: SimTime::from_secs(2),
+        members: vec![JobId(7), JobId(9)],
+        num_gpus: 2,
+        gamma: 0.875,
+        iteration_time: SimDuration::from_millis(250),
+        cycle: vec![ResourceKind::Gpu, ResourceKind::Cpu],
+        offsets: vec![0, 1],
+    });
+    let jsonl = j.to_jsonl();
+    let expected = concat!(
+        r#"{"type":"job_arrived","time_us":1000000,"job":7,"num_gpus":2}"#,
+        "\n",
+        r#"{"type":"job_started","time_us":2000000,"job":7,"restart":false}"#,
+        "\n",
+        r#"{"type":"group_formed","time_us":2000000,"members":[7,9],"num_gpus":2,"#,
+        r#""gamma":0.875,"iteration_time_us":250000,"cycle":["Gpu","Cpu"],"offsets":[0,1]}"#,
+        "\n",
+    );
+    assert_eq!(jsonl, expected);
+    // And the schema is self-describing enough to round-trip.
+    let events = Journal::from_jsonl(&jsonl).expect("golden JSONL parses");
+    assert_eq!(events, j.events());
+}
+
+#[test]
+fn every_event_kind_round_trips_through_jsonl() {
+    let mut j = Journal::default();
+    j.record(Event::JobPreempted {
+        time: SimTime::from_secs(3),
+        job: JobId(1),
+    });
+    j.record(Event::JobFaulted {
+        time: SimTime::from_secs(4),
+        job: JobId(1),
+        reason: "line1\nline2 \"quoted\"".into(), // must stay one JSONL line
+    });
+    j.record(Event::JobCompleted {
+        time: SimTime::from_secs(5),
+        job: JobId(1),
+    });
+    let jsonl = j.to_jsonl();
+    assert_eq!(jsonl.trim_end().lines().count(), 3, "one line per event");
+    let events = Journal::from_jsonl(&jsonl).expect("round-trip");
+    assert_eq!(events, j.events());
+}
+
+#[test]
+fn telemetry_emit_keeps_exporters_in_sync() {
+    let mut t = Telemetry::new();
+    for i in 0..4 {
+        t.emit(Event::JobArrived {
+            time: SimTime::from_secs(i),
+            job: JobId(u32::try_from(i).unwrap()),
+            num_gpus: 1,
+        });
+    }
+    assert_eq!(t.journal.counts().arrived, 4);
+    let samples = parse_prometheus(&t.metrics.render()).unwrap();
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "muri_jobs_arrived_total" && s.value == 4.0));
+}

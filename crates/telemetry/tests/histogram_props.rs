@@ -1,0 +1,101 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
+//! Property tests for the log-bucketed [`Histogram`]: whatever the
+//! sample set and quantile, `quantile_bounds(q)` must return an interval
+//! that provably contains the true sample quantile `sorted[⌈q·n⌉ − 1]`,
+//! and the summary statistics must match exact recomputation.
+
+use muri_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// The true sample quantile the histogram documents its bounds against.
+fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantile_bounds_enclose_the_true_sample_quantile(
+        // Positive magnitudes across many orders of magnitude, hitting
+        // underflow (< 2^-20) and overflow (> 2^40) buckets too.
+        samples in proptest::collection::vec(
+            (-30.0f64..50.0).prop_map(|e| 2f64.powf(e)), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let truth = true_quantile(&sorted, q);
+        let (lo, hi) = h.quantile_bounds(q).expect("non-empty");
+        prop_assert!(
+            lo <= truth && truth <= hi,
+            "q={q}: true quantile {truth} outside [{lo}, {hi}]"
+        );
+        // The enclosure is tightened by the exact extremes.
+        prop_assert!(lo >= h.min().unwrap());
+        prop_assert!(hi <= h.max().unwrap());
+    }
+
+    #[test]
+    fn extreme_quantiles_pin_to_min_and_max(
+        samples in proptest::collection::vec(0.001f64..1e6, 1..100),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let (lo0, _) = h.quantile_bounds(0.0).unwrap();
+        let (_, hi1) = h.quantile_bounds(1.0).unwrap();
+        prop_assert_eq!(lo0, h.min().unwrap());
+        prop_assert_eq!(hi1, h.max().unwrap());
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(
+        samples in proptest::collection::vec(0.0f64..1e9, 0..100),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let exact: f64 = samples.iter().sum();
+        prop_assert!((h.sum() - exact).abs() <= exact.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_q(
+        samples in proptest::collection::vec(0.001f64..1e6, 2..100),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let (ql, qh) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let (lo_l, hi_l) = h.quantile_bounds(ql).unwrap();
+        let (lo_h, hi_h) = h.quantile_bounds(qh).unwrap();
+        prop_assert!(lo_l <= lo_h);
+        prop_assert!(hi_l <= hi_h);
+    }
+}
+
+#[test]
+fn degenerate_inputs_are_safe() {
+    let mut h = Histogram::new();
+    assert!(h.quantile_bounds(0.5).is_none());
+    h.observe(f64::NAN); // skipped
+    assert_eq!(h.count(), 0);
+    h.observe(-1.0); // clamped into the first bucket
+    h.observe(f64::INFINITY); // overflow bucket
+    assert_eq!(h.count(), 2);
+    let (lo, hi) = h.quantile_bounds(1.0).unwrap();
+    assert!(lo >= -1.0);
+    assert_eq!(hi, f64::INFINITY);
+}

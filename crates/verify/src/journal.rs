@@ -1,0 +1,260 @@
+//! Telemetry-journal lifecycle audit.
+//!
+//! The event journal (`muri-telemetry`) records every job lifecycle
+//! transition the engine performed. This auditor replays the stream and
+//! checks the per-job conservation ledger the simulator must obey:
+//!
+//! * every job with any lifecycle event **arrived exactly once**, and
+//!   arrival is its first event;
+//! * at most one completion, and nothing after it;
+//! * a completed job started at least once;
+//! * each (re)start consumes a queue entry: `starts ≤ arrivals +
+//!   preemptions + faults`;
+//! * exactly one start carries `restart = false` (the first), all later
+//!   ones `restart = true`;
+//! * a job's own events are in non-decreasing time order.
+//!
+//! The audit is only exact when the journal did not drop events
+//! (`Journal::dropped() == 0`) — a truncated journal legitimately
+//! violates the ledger, so callers should check that first.
+
+use crate::violation::{AuditReport, Violation};
+use muri_telemetry::Event;
+use muri_workload::{JobId, SimTime};
+use std::collections::BTreeMap;
+
+/// Per-job tally accumulated from the event stream.
+#[derive(Debug, Default)]
+struct Ledger {
+    arrived: u32,
+    starts: u32,
+    fresh_starts: u32,
+    preempted: u32,
+    faulted: u32,
+    completed: u32,
+    first_kind: Option<&'static str>,
+    last_time: Option<SimTime>,
+    out_of_order: bool,
+    events_after_completion: u32,
+}
+
+/// Audit a telemetry event journal for job-conservation violations.
+///
+/// `events` is the journal stream in record order (e.g. from
+/// `Journal::events()` or `Journal::from_jsonl`). Group-formation and
+/// planning-pass events carry no single job and are ignored. Each job
+/// contributes one check; every broken ledger rule surfaces as a
+/// [`Violation::JobConservationBroken`].
+pub fn audit_journal(events: &[Event]) -> AuditReport {
+    let mut ledgers: BTreeMap<JobId, Ledger> = BTreeMap::new();
+    for event in events {
+        let Some(job) = event.job() else {
+            continue;
+        };
+        let l = ledgers.entry(job).or_default();
+        if l.first_kind.is_none() {
+            l.first_kind = Some(event.kind());
+        }
+        if l.last_time.is_some_and(|prev| event.time() < prev) {
+            l.out_of_order = true;
+        }
+        l.last_time = Some(event.time());
+        if l.completed > 0 {
+            l.events_after_completion += 1;
+        }
+        match event {
+            Event::JobArrived { .. } => l.arrived += 1,
+            Event::JobStarted { restart, .. } => {
+                l.starts += 1;
+                if !restart {
+                    l.fresh_starts += 1;
+                }
+            }
+            Event::JobPreempted { .. } => l.preempted += 1,
+            Event::JobFaulted { .. } => l.faulted += 1,
+            Event::JobCompleted { .. } => l.completed += 1,
+            Event::GroupFormed { .. } | Event::PlanningPass { .. } => {}
+        }
+    }
+
+    let mut report = AuditReport::new();
+    for (job, l) in &ledgers {
+        report.checks += 1;
+        let mut broken = |detail: String| {
+            report
+                .violations
+                .push(Violation::JobConservationBroken { job: *job, detail });
+        };
+        if l.arrived != 1 {
+            broken(format!("arrived {} times (want exactly 1)", l.arrived));
+        }
+        if l.arrived > 0 && l.first_kind != Some("job_arrived") {
+            broken(format!(
+                "first journal event is {:?}, not its arrival",
+                l.first_kind.unwrap_or("none")
+            ));
+        }
+        if l.completed > 1 {
+            broken(format!("completed {} times", l.completed));
+        }
+        if l.completed >= 1 && l.starts == 0 {
+            broken("completed without ever starting".to_string());
+        }
+        if l.events_after_completion > 0 {
+            broken(format!(
+                "{} lifecycle event(s) after completion",
+                l.events_after_completion
+            ));
+        }
+        let queue_entries = l.arrived + l.preempted + l.faulted;
+        if l.starts > queue_entries {
+            broken(format!(
+                "{} starts but only {queue_entries} queue entries \
+                 (1 arrival + {} preemptions + {} faults)",
+                l.starts, l.preempted, l.faulted
+            ));
+        }
+        if l.starts > 0 && l.fresh_starts != 1 {
+            broken(format!(
+                "{} of {} starts carry restart=false (want exactly 1, the first)",
+                l.fresh_starts, l.starts
+            ));
+        }
+        if l.out_of_order {
+            broken("events out of time order".to_string());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)] // test code
+
+    use super::*;
+    use muri_workload::JobId;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn arrived(secs: u64, job: u32) -> Event {
+        Event::JobArrived {
+            time: t(secs),
+            job: JobId(job),
+            num_gpus: 1,
+        }
+    }
+
+    fn started(secs: u64, job: u32, restart: bool) -> Event {
+        Event::JobStarted {
+            time: t(secs),
+            job: JobId(job),
+            restart,
+        }
+    }
+
+    fn completed(secs: u64, job: u32) -> Event {
+        Event::JobCompleted {
+            time: t(secs),
+            job: JobId(job),
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let events = vec![
+            arrived(0, 1),
+            started(1, 1, false),
+            Event::JobPreempted {
+                time: t(2),
+                job: JobId(1),
+            },
+            started(3, 1, true),
+            completed(4, 1),
+            // A rejected job: arrives and never runs — still clean.
+            arrived(0, 2),
+        ];
+        let report = audit_journal(&events);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.checks, 2);
+    }
+
+    #[test]
+    fn faulted_restart_consumes_the_fault_entry() {
+        let events = vec![
+            arrived(0, 1),
+            started(1, 1, false),
+            Event::JobFaulted {
+                time: t(2),
+                job: JobId(1),
+                reason: "injected".into(),
+            },
+            started(3, 1, true),
+            completed(9, 1),
+        ];
+        assert!(audit_journal(&events).is_clean());
+    }
+
+    #[test]
+    fn duplicate_arrival_is_flagged() {
+        let report = audit_journal(&[arrived(0, 1), arrived(1, 1)]);
+        assert_eq!(report.count_kind("JobConservationBroken"), 1);
+    }
+
+    #[test]
+    fn completion_without_start_is_flagged() {
+        let report = audit_journal(&[arrived(0, 1), completed(5, 1)]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn start_before_arrival_is_flagged() {
+        let report = audit_journal(&[started(0, 1, false), arrived(1, 1)]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn extra_start_without_queue_entry_is_flagged() {
+        let report = audit_journal(&[
+            arrived(0, 1),
+            started(1, 1, false),
+            started(2, 1, true), // never went back to the queue
+            completed(3, 1),
+        ]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn wrong_restart_flag_is_flagged() {
+        // Second start pretends to be fresh.
+        let report = audit_journal(&[
+            arrived(0, 1),
+            started(1, 1, false),
+            Event::JobPreempted {
+                time: t(2),
+                job: JobId(1),
+            },
+            started(3, 1, false),
+            completed(4, 1),
+        ]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn events_after_completion_are_flagged() {
+        let report = audit_journal(&[
+            arrived(0, 1),
+            started(1, 1, false),
+            completed(2, 1),
+            started(3, 1, true),
+        ]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn out_of_order_times_are_flagged() {
+        let report = audit_journal(&[arrived(5, 1), started(1, 1, false), completed(9, 1)]);
+        assert!(!report.is_clean());
+    }
+}

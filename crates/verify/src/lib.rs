@@ -17,7 +17,10 @@
 //! * **§5 / physicality** — plans fit in the free capacity, no GPU is
 //!   double-booked, no resource is busy for longer than wall-clock, and
 //!   every job is always in exactly one scheduler state
-//!   ([`audit_plan`], [`audit_tick`], [`audit_timeline`]).
+//!   ([`audit_plan`], [`audit_tick`], [`audit_timeline`]);
+//! * **lifecycle conservation** — a recorded telemetry journal replays
+//!   to a consistent per-job ledger: one arrival first, starts consume
+//!   queue entries, nothing after completion ([`audit_journal`]).
 //!
 //! Violations come back as a typed [`Violation`] inside an
 //! [`AuditReport`] rather than a panic, so the auditor can run over
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod group;
+pub mod journal;
 pub mod matching;
 pub mod plan;
 pub mod tick;
@@ -38,6 +42,7 @@ pub mod timeline;
 pub mod violation;
 
 pub use group::audit_group;
+pub use journal::audit_journal;
 pub use matching::audit_matching;
 pub use plan::{audit_plan, PlanContext, PlannedGroupRef};
 pub use tick::{audit_tick, GroupSnapshot, TickSnapshot};

@@ -11,6 +11,11 @@
 #   4. bench smoke       the criterion bench targets scripts/bench.sh
 #      relies on, run with `--test` (each body executes once, untimed) so
 #      a broken bench fails CI instead of the baseline workflow
+#   5. telemetry smoke   a 20-job simulation with all three telemetry
+#      exporters enabled, then `muri telemetry-check` validates the
+#      artifacts: the journal parses and its lifecycle ledger conserves
+#      jobs, the Chrome trace is well-formed with monotonic timestamps,
+#      and the Prometheus text round-trips the golden parser
 #
 # Everything is offline-safe: all dependencies are vendored under
 # vendor/, so no network access is needed or attempted.
@@ -33,5 +38,17 @@ cargo test --workspace -q --features muri-sim/audit,muri-core/audit
 
 echo "==> bench smoke (scalability + algorithms, --test mode)"
 cargo bench -p muri-bench --bench scalability --bench algorithms -- --test
+
+echo "==> telemetry smoke (20-job sim, all three exporters, validated)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q -p muri-cli -- simulate muri-l --trace 1 --scale 0.02 \
+    --journal "$tmpdir/journal.jsonl" \
+    --metrics "$tmpdir/metrics.prom" \
+    --chrome-trace "$tmpdir/trace.json" >/dev/null
+cargo run -q -p muri-cli -- telemetry-check \
+    --journal "$tmpdir/journal.jsonl" \
+    --metrics "$tmpdir/metrics.prom" \
+    --chrome-trace "$tmpdir/trace.json"
 
 echo "ci: all checks passed"
