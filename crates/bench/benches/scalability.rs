@@ -25,6 +25,36 @@ fn bench_grouping_1000(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold-start grouping at n = 1000, dense Blossom vs the default top-m
+/// pruned solver. Both caches are reset inside the timed closure so
+/// every iteration pays the full graph-build + matching cost the first
+/// scheduling pass after a queue change pays (the reset itself is
+/// nanoseconds against a multi-millisecond solve). The acceptance
+/// criterion compares these two medians: pruned must be ≥ 5× faster.
+fn bench_cold_start_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    let profiles = mixed_profiles(1000);
+    let dense = GroupingConfig {
+        prune_top_m: 0,
+        ..GroupingConfig::default()
+    };
+    let pruned = GroupingConfig::default();
+    for (name, cfg) in [
+        ("grouping_plan_cold_dense", &dense),
+        ("grouping_plan_cold_pruned", &pruned),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 1000), &profiles, |b, profiles| {
+            b.iter(|| {
+                muri_core::round_cache::reset();
+                muri_core::gamma_cache::reset();
+                multi_round_grouping(black_box(profiles), cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_full_scheduling_pass(c: &mut Criterion) {
     let mut group = c.benchmark_group("scalability");
     group.sample_size(10);
@@ -51,5 +81,10 @@ fn bench_full_scheduling_pass(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_grouping_1000, bench_full_scheduling_pass);
+criterion_group!(
+    benches,
+    bench_grouping_1000,
+    bench_cold_start_pruning,
+    bench_full_scheduling_pass
+);
 criterion_main!(benches);

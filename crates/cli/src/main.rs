@@ -7,7 +7,9 @@
 //! muri trace <1-4> [--scale S]    # dump a synthetic trace as CSV
 //! muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
 //!                   [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
+//!                   [--prune-top-m M] [--prune-loss-bound F]
 //! muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+//!                        [--prune-top-m M] [--prune-loss-bound F]
 //! muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //! muri validate                   # Eq. 3 vs timeline-executor fidelity
 //! ```
@@ -85,7 +87,9 @@ const USAGE: &str = "usage:
   muri show-group <model> [<model> ...]
   muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
                     [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
+                    [--prune-top-m M] [--prune-loss-bound F]
   muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+                         [--prune-top-m M] [--prune-loss-bound F]
   muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
   muri validate
 
@@ -93,7 +97,10 @@ policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s mur
 
 `muri simulate` is an alias for `muri sim`. The telemetry flags export
 the run's event journal (JSONL), Prometheus metrics, and a Chrome
-trace_event timeline (open in Perfetto / chrome://tracing).
+trace_event timeline (open in Perfetto / chrome://tracing). The prune
+flags tune the Blossom sparsifier: keep each node's top-M heaviest γ
+edges (0 disables pruning) with a certified matching-weight loss of at
+most fraction F before the dense fallback fires.
 
 exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 violations found";
 
@@ -336,6 +343,64 @@ fn parse_workload(args: &[String]) -> Result<(muri_workload::Trace, Scale, u32),
     Ok((trace, scale, machines))
 }
 
+/// Blossom sparsification overrides parsed off the `sim`/`verify`
+/// command line. `None` keeps the [`GroupingConfig`] default.
+///
+/// [`GroupingConfig`]: muri_core::GroupingConfig
+#[derive(Default)]
+struct PruneOpts {
+    top_m: Option<usize>,
+    loss_bound: Option<f64>,
+}
+
+impl PruneOpts {
+    /// Overwrite the grouping config's prune knobs with any explicit
+    /// command-line values (`--prune-top-m 0` disables pruning).
+    fn apply(&self, cfg: &mut SchedulerConfig) {
+        if let Some(m) = self.top_m {
+            cfg.grouping.prune_top_m = m;
+        }
+        if let Some(b) = self.loss_bound {
+            cfg.grouping.prune_loss_bound = b;
+        }
+    }
+}
+
+/// Pull `--prune-top-m M` / `--prune-loss-bound F` out of `args`,
+/// leaving the rest untouched.
+fn split_prune_opts(args: &[String]) -> Result<(PruneOpts, Vec<String>), CliError> {
+    let mut opts = PruneOpts::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--prune-top-m" => {
+                opts.top_m = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--prune-top-m needs a count"))?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --prune-top-m count"))?,
+                );
+            }
+            "--prune-loss-bound" => {
+                let b: f64 = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--prune-loss-bound needs a fraction"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --prune-loss-bound fraction"))?;
+                if !(0.0..=1.0).contains(&b) {
+                    return Err(CliError::usage(format!(
+                        "prune loss bound {b} out of range [0, 1]"
+                    )));
+                }
+                opts.loss_bound = Some(b);
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((opts, rest))
+}
+
 /// Telemetry export destinations parsed off the `sim` command line.
 #[derive(Default)]
 struct TelemetryOpts {
@@ -416,14 +481,17 @@ fn export_telemetry(t: &muri_telemetry::Telemetry, opts: &TelemetryOpts) -> Resu
 }
 
 /// `muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
-///                    [--journal FILE] [--metrics FILE] [--chrome-trace FILE]`
+///                    [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
+///                    [--prune-top-m M] [--prune-loss-bound F]`
 fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
     let (topts, rest) = split_telemetry_opts(args)?;
+    let (popts, rest) = split_prune_opts(&rest)?;
     let (trace, _scale, machines) = parse_workload(&rest)?;
-    let cfg = SimConfig {
+    let mut cfg = SimConfig {
         cluster: muri_cluster::ClusterSpec::with_machines(machines),
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
     };
+    popts.apply(&mut cfg.scheduler);
     eprintln!(
         "simulating {} jobs under {} on {} GPUs...",
         trace.len(),
@@ -524,7 +592,8 @@ fn run_telemetry_check(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]`
+/// `muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
+///                         [--prune-top-m M] [--prune-loss-bound F]`
 ///
 /// Replays the workload with the invariant auditor attached to every
 /// scheduling pass and prints a human-readable violation report. Exit
@@ -535,11 +604,13 @@ fn run_verify(args: &[String]) -> Result<(), CliError> {
         Some(first) if !first.starts_with("--") => (parse_policy(first)?, &args[1..]),
         _ => (PolicyKind::MuriL, args),
     };
-    let (trace, _scale, machines) = parse_workload(rest)?;
-    let cfg = SimConfig {
+    let (popts, rest) = split_prune_opts(rest)?;
+    let (trace, _scale, machines) = parse_workload(&rest)?;
+    let mut cfg = SimConfig {
         cluster: muri_cluster::ClusterSpec::with_machines(machines),
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
     };
+    popts.apply(&mut cfg.scheduler);
     eprintln!(
         "auditing {} under {} on {} GPUs ({} jobs)...",
         trace.name,

@@ -38,7 +38,8 @@ use std::sync::OnceLock;
 
 use muri_interleave::OrderingPolicy;
 use muri_matching::{
-    greedy_matching, maximum_weight_matching, weight_from_f64, DenseGraph, Matching,
+    greedy_matching, maximum_weight_matching, pruned_maximum_weight_matching, weight_from_f64,
+    DenseGraph, Matching, PruneConfig, DEFAULT_PRUNE_LOSS_BOUND, DEFAULT_PRUNE_TOP_M,
 };
 use muri_workload::{StageProfile, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,23 @@ pub struct GroupingConfig {
     /// excluded from all memoization keys.
     #[serde(default)]
     pub workers: usize,
+    /// Sparsify Blossom inputs to each node's `prune_top_m` heaviest
+    /// incident edges before matching (plus keep-threshold edges); `0`
+    /// disables sparsification and always runs the dense solver. Results
+    /// are protected by an a-posteriori loss certificate — see
+    /// [`prune_loss_bound`](Self::prune_loss_bound).
+    ///
+    /// Serialized configs predating this knob deserialize to `0`
+    /// (pruning off), preserving their original dense behaviour;
+    /// [`GroupingConfig::default`] enables the paper-scale default.
+    #[serde(default)]
+    pub prune_top_m: usize,
+    /// Maximum fraction of matching weight sparsification may sacrifice.
+    /// When the certificate cannot guarantee this bound, the solver falls
+    /// back to the dense Blossom run, so quality is always within
+    /// `1 − prune_loss_bound` of optimal.
+    #[serde(default)]
+    pub prune_loss_bound: f64,
 }
 
 impl Default for GroupingConfig {
@@ -98,6 +116,8 @@ impl Default for GroupingConfig {
             min_efficiency: 0.0,
             capacity_aware: true,
             workers: 0,
+            prune_top_m: DEFAULT_PRUNE_TOP_M,
+            prune_loss_bound: DEFAULT_PRUNE_LOSS_BOUND,
         }
     }
 }
@@ -163,8 +183,18 @@ fn node_pair_weight(
         *slot = profiles[i];
     }
     let gamma = merged_efficiency(&buf[..total], ordering);
-    if gamma >= min_efficiency {
-        weight_from_f64(gamma)
+    thresholded_weight(gamma, min_efficiency)
+}
+
+/// Apply the efficiency threshold **after** quantizing both sides onto
+/// the `2⁻²⁰` fixed-point grid. Filtering in the float domain lets γ
+/// values straddling a grid cell disagree with their own edge weight: a
+/// pair can pass the filter yet quantize to weight 0 ("no edge"), or be
+/// rejected although its quantized weight equals the quantized threshold.
+fn thresholded_weight(gamma: f64, min_efficiency: f64) -> i64 {
+    let w = weight_from_f64(gamma);
+    if w >= weight_from_f64(min_efficiency) {
+        w
     } else {
         0
     }
@@ -264,10 +294,70 @@ fn mode_index(mode: GroupingMode) -> usize {
     }
 }
 
-/// Run the configured matcher on a round graph.
-fn solve_matching(mode: GroupingMode, graph: &DenseGraph) -> Matching {
+/// Sparsification stats of one grouping call, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneCounters {
+    /// Edges dropped by the top-m sparsification pass across all
+    /// matcher runs of the call.
+    pub dropped_edges: u64,
+    /// Dense fallbacks taken because the loss certificate failed.
+    pub fallbacks: u64,
+}
+
+/// The matcher-level prune config for a grouping config.
+fn prune_config(cfg: &GroupingConfig) -> PruneConfig {
+    PruneConfig::new(cfg.prune_top_m, cfg.prune_loss_bound)
+}
+
+/// The round-cache key parameters for a grouping config.
+fn round_params(cfg: &GroupingConfig, cap: usize) -> round_cache::RoundParams {
+    round_cache::RoundParams {
+        cap,
+        ordering: cfg.ordering,
+        min_eff_bits: cfg.min_efficiency.to_bits(),
+        prune_top_m: cfg.prune_top_m,
+        prune_loss_bits: cfg.prune_loss_bound.to_bits(),
+    }
+}
+
+/// Run the configured matcher on a round graph. Blossom goes through the
+/// certified sparsification pass when enabled and the graph is large
+/// enough for pruning to remove anything (`n > m + 1` — below that every
+/// incident edge is in every node's top-m and the pass is an exact no-op,
+/// so we skip straight to the dense solver).
+fn solve_matching(
+    mode: GroupingMode,
+    graph: &DenseGraph,
+    prune: &PruneConfig,
+    counters: &mut PruneCounters,
+) -> Matching {
     match mode {
-        GroupingMode::Blossom => maximum_weight_matching(graph),
+        GroupingMode::Blossom => {
+            if prune.is_disabled() || graph.len() <= prune.top_m + 1 {
+                maximum_weight_matching(graph)
+            } else {
+                let out = pruned_maximum_weight_matching(graph, prune);
+                counters.dropped_edges += out.certificate.dropped_edges;
+                if out.fell_back {
+                    counters.fallbacks += 1;
+                }
+                #[cfg(feature = "audit")]
+                if cfg!(debug_assertions) {
+                    let report = muri_verify::audit_pruning(
+                        graph,
+                        &out.matching,
+                        prune.top_m,
+                        muri_matching::weight_from_f64(prune.keep_threshold),
+                        out.fell_back,
+                    );
+                    debug_assert!(
+                        report.is_clean(),
+                        "pruned matching violated the sparsification contract:\n{report}"
+                    );
+                }
+                out.matching
+            }
+        }
         GroupingMode::GreedyMatching => greedy_matching(graph),
         GroupingMode::None | GroupingMode::PriorityPacking => {
             unreachable!("only matching modes reach the matcher")
@@ -317,6 +407,11 @@ pub struct GroupingTimings {
     pub matching_us: u64,
     /// Matching rounds executed across all buckets.
     pub rounds: u32,
+    /// Edges dropped by the sparsification pass (0 when pruning is
+    /// disabled or every matcher run was answered by the round cache).
+    pub pruned_edges: u64,
+    /// Dense fallbacks taken because the loss certificate failed.
+    pub prune_fallbacks: u64,
 }
 
 /// One GPU-count bucket of jobs to group (profiles in priority order).
@@ -420,10 +515,13 @@ pub fn capacity_aware_grouping_timed(
     // Matching modes: rounds of per-bucket matchings; accept the
     // highest-γ merges first, only while demand exceeds capacity.
     let mode_idx = mode_index(cfg.mode);
+    let prune = prune_config(cfg);
+    let params = round_params(cfg, cap);
     let timed = timings.is_some();
     let mut graph_us = 0u64;
     let mut match_us = 0u64;
     let mut rounds_run = 0u32;
+    let mut prune_counters = PruneCounters::default();
     let mut states: Vec<BucketRoundState> = buckets
         .iter()
         .map(|_| BucketRoundState {
@@ -453,16 +551,18 @@ pub fn capacity_aware_grouping_timed(
                     // — memoized across calls (and across ticks).
                     let r = round_cache::round1(
                         &b.profiles,
-                        cap,
-                        cfg.ordering,
-                        cfg.min_efficiency,
+                        params,
                         mode_idx,
                         || {
                             timed_us(timed, &mut graph_us, || {
                                 build_node_graph(ns, &b.profiles, cfg, cap)
                             })
                         },
-                        |g| timed_us(timed, &mut match_us, || solve_matching(cfg.mode, g)),
+                        |g| {
+                            timed_us(timed, &mut match_us, || {
+                                solve_matching(cfg.mode, g, &prune, &mut prune_counters)
+                            })
+                        },
                     );
                     st.graph = Some(r.graph);
                     st.matching = r.matching;
@@ -477,7 +577,7 @@ pub fn capacity_aware_grouping_timed(
                     let g = Rc::new(g);
                     st.matching = any.then(|| {
                         Rc::new(timed_us(timed, &mut match_us, || {
-                            solve_matching(cfg.mode, &g)
+                            solve_matching(cfg.mode, &g, &prune, &mut prune_counters)
                         }))
                     });
                     st.graph = Some(g);
@@ -549,6 +649,8 @@ pub fn capacity_aware_grouping_timed(
         t.graph_build_us = graph_us;
         t.matching_us = match_us;
         t.rounds = rounds_run;
+        t.pruned_edges = prune_counters.dropped_edges;
+        t.prune_fallbacks = prune_counters.fallbacks;
     }
     nodes
 }
@@ -575,11 +677,15 @@ fn matched_grouping(
         return (0..profiles.len()).map(|i| vec![i]).collect();
     }
     let mode_idx = mode_index(cfg.mode);
-    // An exactly repeated call (same profiles, cap, policy, threshold)
-    // returns the memoized groups without touching the matcher.
-    if let Some(groups) =
-        round_cache::cached_final_groups(profiles, cap, cfg.ordering, cfg.min_efficiency, mode_idx)
-    {
+    let prune = prune_config(cfg);
+    let params = round_params(cfg, cap);
+    // Sparsification stats of the ablation path are not reported —
+    // telemetry collects them on the capacity-aware scheduler path.
+    let mut prune_counters = PruneCounters::default();
+    // An exactly repeated call (same profiles, cap, policy, threshold,
+    // prune config) returns the memoized groups without touching the
+    // matcher.
+    if let Some(groups) = round_cache::cached_final_groups(profiles, params, mode_idx) {
         return groups;
     }
     // Nodes start as singletons; each round merges matched pairs.
@@ -596,12 +702,10 @@ fn matched_grouping(
             None => {
                 let r = round_cache::round1(
                     profiles,
-                    cap,
-                    cfg.ordering,
-                    cfg.min_efficiency,
+                    params,
                     mode_idx,
                     || build_node_graph(&nodes, profiles, cfg, cap),
-                    |g| solve_matching(cfg.mode, g),
+                    |g| solve_matching(cfg.mode, g, &prune, &mut prune_counters),
                 );
                 (r.graph, r.any_edge, r.matching)
             }
@@ -609,7 +713,8 @@ fn matched_grouping(
                 let g = update_node_graph(&prev, &provenance, &nodes, profiles, cfg, cap);
                 let any = g.has_edges();
                 let g = Rc::new(g);
-                let m = any.then(|| Rc::new(solve_matching(cfg.mode, &g)));
+                let m =
+                    any.then(|| Rc::new(solve_matching(cfg.mode, &g, &prune, &mut prune_counters)));
                 (g, any, m)
             }
         };
@@ -623,14 +728,7 @@ fn matched_grouping(
         nodes = next;
         carried = Some((graph, provenance));
     }
-    round_cache::store_final_groups(
-        profiles,
-        cap,
-        cfg.ordering,
-        cfg.min_efficiency,
-        mode_idx,
-        &nodes,
-    );
+    round_cache::store_final_groups(profiles, params, mode_idx, &nodes);
     nodes
 }
 
@@ -914,6 +1012,91 @@ mod tests {
             after.misses, before.misses,
             "second identical call must not miss"
         );
+        crate::round_cache::reset();
+    }
+
+    #[test]
+    fn threshold_filter_agrees_with_quantized_weights() {
+        use muri_matching::WEIGHT_SCALE;
+        let grid = |k: i64, frac: f64| (k as f64 + frac) / WEIGHT_SCALE as f64;
+        // γ just below the threshold in the float domain, but both
+        // quantize to the same grid point: the edge must survive (the old
+        // float-domain filter rejected it).
+        let min_eff = grid(786_432, 0.4); // rounds to 786_432
+        let gamma = grid(786_432, 0.2); // also rounds to 786_432
+        assert!(gamma < min_eff, "test setup: float compare must disagree");
+        assert_eq!(thresholded_weight(gamma, min_eff), 786_432);
+        // γ above the threshold but rounding *below* the quantized
+        // threshold must be rejected — filter and weight agree.
+        let min_eff = grid(786_432, 0.6); // rounds to 786_433
+        let gamma = grid(786_432, 0.7); // also rounds to 786_433
+        assert!(gamma > min_eff);
+        assert_eq!(thresholded_weight(gamma, min_eff), 786_433);
+        let below = grid(786_432, 0.3); // rounds to 786_432 < 786_433
+        assert_eq!(thresholded_weight(below, min_eff), 0);
+        // A γ that passes a tiny float threshold but quantizes to 0 is
+        // "no edge" on both sides of the filter now.
+        assert_eq!(thresholded_weight(2e-7, 1e-7), 0);
+    }
+
+    #[test]
+    fn pruned_grouping_is_deterministic_and_partitions() {
+        // Big enough that top-m=2 actually drops edges in round 1.
+        let profiles: Vec<StageProfile> = (0..40)
+            .map(|i| cpu_gpu(1 + (i % 6) as u64, 6 - (i % 6) as u64))
+            .collect();
+        let cfg = GroupingConfig {
+            prune_top_m: 2,
+            ..GroupingConfig::default()
+        };
+        crate::round_cache::reset();
+        let a = multi_round_grouping(&profiles, &cfg);
+        crate::round_cache::reset();
+        let b = multi_round_grouping(&profiles, &cfg);
+        assert_eq!(a, b);
+        assert_partition(&a, 40, 4);
+    }
+
+    #[test]
+    fn prune_disabled_matches_small_graph_shortcut() {
+        // n ≤ top_m + 1: the pruned path is skipped entirely, so results
+        // must be bit-identical to pruning disabled.
+        let profiles: Vec<StageProfile> = (0..8)
+            .map(|i| cpu_gpu(1 + (i % 4) as u64, 4 - (i % 4) as u64))
+            .collect();
+        let pruned_cfg = GroupingConfig::default(); // top_m = 8 ≥ n − 1
+        let dense_cfg = GroupingConfig {
+            prune_top_m: 0,
+            ..GroupingConfig::default()
+        };
+        crate::round_cache::reset();
+        let pruned = multi_round_grouping(&profiles, &pruned_cfg);
+        let dense = multi_round_grouping(&profiles, &dense_cfg);
+        assert_eq!(pruned, dense);
+    }
+
+    #[test]
+    fn prune_counters_reach_timings_on_backlog() {
+        // A single-GPU backlog far over capacity forces real matcher runs;
+        // with an aggressive prune width the counters must register drops.
+        crate::round_cache::reset();
+        let profiles: Vec<StageProfile> = (0..30)
+            .map(|i| cpu_gpu(1 + (i % 5) as u64, 5 - (i % 5) as u64))
+            .collect();
+        let buckets = vec![BucketInput { gpus: 1, profiles }];
+        let cfg = GroupingConfig {
+            prune_top_m: 2,
+            ..GroupingConfig::default()
+        };
+        let mut timings = GroupingTimings::default();
+        let groups = capacity_aware_grouping_timed(&buckets, 4, &cfg, Some(&mut timings));
+        assert!(timings.rounds > 0);
+        assert!(
+            timings.pruned_edges > 0,
+            "top_m=2 over 30 nodes must drop edges: {timings:?}"
+        );
+        let total: usize = groups[0].iter().map(Vec::len).sum();
+        assert_eq!(total, 30);
         crate::round_cache::reset();
     }
 

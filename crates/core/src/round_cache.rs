@@ -5,8 +5,9 @@
 //! scheduler presents the *same* bucket contents tick after tick whenever
 //! no job arrived, finished, or was preempted in between. This cache
 //! keys on exactly the inputs that determine round-1 state — the profile
-//! list (in priority order), the group-size cap, the ordering policy, and
-//! the efficiency threshold — and memoizes:
+//! list (in priority order), the group-size cap, the ordering policy, the
+//! efficiency threshold, and the sparsification knobs (top-m width and
+//! loss bound, see [`RoundParams`]) — and memoizes:
 //!
 //! * the round-1 edge-weight graph (shared by every matching mode and
 //!   every worker count, since edge weights are a pure function of the
@@ -44,41 +45,46 @@ const DEFAULT_SEGMENT_CELL_BUDGET: usize = 8_000_000;
 /// Matching-mode slots in a cache entry: Blossom and greedy.
 pub(crate) const NUM_MATCH_MODES: usize = 2;
 
+/// The scalar half of a round-cache key: every configuration knob that
+/// changes round-1 state. The sparsification knobs are part of the key —
+/// a pruned matching is a different (certified-approximate) answer than
+/// the dense one, so configs with different prune settings must never
+/// share a memoized matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RoundParams {
+    /// Group-size cap.
+    pub cap: usize,
+    /// Stage-ordering policy.
+    pub ordering: OrderingPolicy,
+    /// `min_efficiency.to_bits()` — bitwise so NaN/−0.0 never alias.
+    pub min_eff_bits: u64,
+    /// Top-m prune width (0 = dense).
+    pub prune_top_m: usize,
+    /// `prune_loss_bound.to_bits()`.
+    pub prune_loss_bits: u64,
+}
+
 #[derive(Clone, PartialEq)]
 struct RoundKey {
     profiles: Vec<StageProfile>,
-    cap: usize,
-    ordering: OrderingPolicy,
-    min_eff_bits: u64,
+    params: RoundParams,
 }
 
 impl RoundKey {
-    fn matches(
-        &self,
-        profiles: &[StageProfile],
-        cap: usize,
-        ordering: OrderingPolicy,
-        min_eff_bits: u64,
-    ) -> bool {
-        self.cap == cap
-            && self.ordering == ordering
-            && self.min_eff_bits == min_eff_bits
-            && self.profiles == profiles
+    fn matches(&self, profiles: &[StageProfile], params: RoundParams) -> bool {
+        self.params == params && self.profiles == profiles
     }
 }
 
 /// Hash the borrowed key parts without building an owned key.
-fn key_hash(
-    profiles: &[StageProfile],
-    cap: usize,
-    ordering: OrderingPolicy,
-    min_eff_bits: u64,
-) -> u64 {
+fn key_hash(profiles: &[StageProfile], params: RoundParams) -> u64 {
     let mut h = FxHasher::default();
     profiles.hash(&mut h);
-    cap.hash(&mut h);
-    ordering.hash(&mut h);
-    min_eff_bits.hash(&mut h);
+    params.cap.hash(&mut h);
+    params.ordering.hash(&mut h);
+    params.min_eff_bits.hash(&mut h);
+    params.prune_top_m.hash(&mut h);
+    params.prune_loss_bits.hash(&mut h);
     h.finish()
 }
 
@@ -124,20 +130,18 @@ impl RoundCache {
         &mut self,
         h: u64,
         profiles: &[StageProfile],
-        cap: usize,
-        ordering: OrderingPolicy,
-        min_eff_bits: u64,
+        params: RoundParams,
     ) -> Option<&mut RoundEntry> {
         let hot_match = self
             .hot
             .get(&h)
-            .is_some_and(|e| e.key.matches(profiles, cap, ordering, min_eff_bits));
+            .is_some_and(|e| e.key.matches(profiles, params));
         if hot_match {
             self.hits += 1;
             return self.hot.get_mut(&h);
         }
         if let Some(entry) = self.cold.remove(&h) {
-            if entry.key.matches(profiles, cap, ordering, min_eff_bits) {
+            if entry.key.matches(profiles, params) {
                 self.hits += 1;
                 self.insert(h, entry);
                 return self.hot.get_mut(&h);
@@ -185,18 +189,15 @@ pub(crate) struct Round1 {
 /// graph has at least one edge (and at most once per mode per entry).
 pub(crate) fn round1(
     profiles: &[StageProfile],
-    cap: usize,
-    ordering: OrderingPolicy,
-    min_efficiency: f64,
+    params: RoundParams,
     mode_idx: usize,
     build: impl FnOnce() -> DenseGraph,
     solve: impl FnOnce(&DenseGraph) -> Matching,
 ) -> Round1 {
-    let min_eff_bits = min_efficiency.to_bits();
-    let h = key_hash(profiles, cap, ordering, min_eff_bits);
+    let h = key_hash(profiles, params);
     CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
-        if let Some(entry) = cache.lookup(h, profiles, cap, ordering, min_eff_bits) {
+        if let Some(entry) = cache.lookup(h, profiles, params) {
             if entry.any_edge && entry.matchings[mode_idx].is_none() {
                 entry.matchings[mode_idx] = Some(Rc::new(solve(&entry.graph)));
             }
@@ -214,9 +215,7 @@ pub(crate) fn round1(
         let entry = RoundEntry {
             key: RoundKey {
                 profiles: profiles.to_vec(),
-                cap,
-                ordering,
-                min_eff_bits,
+                params,
             },
             graph: Rc::clone(&graph),
             any_edge,
@@ -236,21 +235,16 @@ pub(crate) fn round1(
 /// any. Does not count toward hit/miss stats unless found.
 pub(crate) fn cached_final_groups(
     profiles: &[StageProfile],
-    cap: usize,
-    ordering: OrderingPolicy,
-    min_efficiency: f64,
+    params: RoundParams,
     mode_idx: usize,
 ) -> Option<Vec<Vec<usize>>> {
-    let min_eff_bits = min_efficiency.to_bits();
-    let h = key_hash(profiles, cap, ordering, min_eff_bits);
+    let h = key_hash(profiles, params);
     CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
         let entry = match cache.hot.get(&h) {
-            Some(e) if e.key.matches(profiles, cap, ordering, min_eff_bits) => cache.hot.get(&h),
+            Some(e) if e.key.matches(profiles, params) => cache.hot.get(&h),
             _ => match cache.cold.get(&h) {
-                Some(e) if e.key.matches(profiles, cap, ordering, min_eff_bits) => {
-                    cache.cold.get(&h)
-                }
+                Some(e) if e.key.matches(profiles, params) => cache.cold.get(&h),
                 _ => None,
             },
         }?;
@@ -266,20 +260,17 @@ pub(crate) fn cached_final_groups(
 /// [`round1`] (cannot happen within one grouping call).
 pub(crate) fn store_final_groups(
     profiles: &[StageProfile],
-    cap: usize,
-    ordering: OrderingPolicy,
-    min_efficiency: f64,
+    params: RoundParams,
     mode_idx: usize,
     groups: &[Vec<usize>],
 ) {
-    let min_eff_bits = min_efficiency.to_bits();
-    let h = key_hash(profiles, cap, ordering, min_eff_bits);
+    let h = key_hash(profiles, params);
     CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
         let cache = &mut *cache;
         for seg in [&mut cache.hot, &mut cache.cold] {
             if let Some(entry) = seg.get_mut(&h) {
-                if entry.key.matches(profiles, cap, ordering, min_eff_bits) {
+                if entry.key.matches(profiles, params) {
                     entry.groups[mode_idx] = Some(Rc::new(groups.to_vec()));
                     return;
                 }
@@ -333,6 +324,16 @@ mod tests {
         muri_matching::greedy_matching(g)
     }
 
+    fn params(cap: usize) -> RoundParams {
+        RoundParams {
+            cap,
+            ordering: OrderingPolicy::Best,
+            min_eff_bits: 0.0f64.to_bits(),
+            prune_top_m: 8,
+            prune_loss_bits: 0.05f64.to_bits(),
+        }
+    }
+
     #[test]
     fn round1_memoizes_graph_and_matching_per_mode() {
         set_segment_cell_budget(1_000_000);
@@ -342,9 +343,7 @@ mod tests {
         for _ in 0..3 {
             let r = round1(
                 &ps,
-                4,
-                OrderingPolicy::Best,
-                0.0,
+                params(4),
                 0,
                 || {
                     builds += 1;
@@ -363,9 +362,7 @@ mod tests {
         // A different mode reuses the graph but solves its own matching.
         let r = round1(
             &ps,
-            4,
-            OrderingPolicy::Best,
-            0.0,
+            params(4),
             1,
             || {
                 builds += 1;
@@ -379,33 +376,61 @@ mod tests {
     }
 
     #[test]
+    fn prune_config_joins_the_key() {
+        set_segment_cell_budget(1_000_000);
+        let ps = vec![profile(1, 2), profile(2, 1), profile(3, 3)];
+        let mut builds = 0;
+        round1(
+            &ps,
+            params(4),
+            0,
+            || {
+                builds += 1;
+                toy_graph(3)
+            },
+            toy_matching,
+        );
+        // Different top-m: must not share the entry.
+        let mut alt = params(4);
+        alt.prune_top_m = 0;
+        round1(
+            &ps,
+            alt,
+            0,
+            || {
+                builds += 1;
+                toy_graph(3)
+            },
+            toy_matching,
+        );
+        // Different loss bound: also a distinct key.
+        let mut alt2 = params(4);
+        alt2.prune_loss_bits = 0.01f64.to_bits();
+        round1(
+            &ps,
+            alt2,
+            0,
+            || {
+                builds += 1;
+                toy_graph(3)
+            },
+            toy_matching,
+        );
+        assert_eq!(builds, 3, "each prune config must build its own entry");
+        reset();
+    }
+
+    #[test]
     fn final_groups_round_trip() {
         set_segment_cell_budget(1_000_000);
         let ps = vec![profile(1, 2), profile(2, 1)];
-        assert_eq!(
-            cached_final_groups(&ps, 4, OrderingPolicy::Best, 0.0, 0),
-            None
-        );
-        round1(
-            &ps,
-            4,
-            OrderingPolicy::Best,
-            0.0,
-            0,
-            || toy_graph(2),
-            toy_matching,
-        );
+        assert_eq!(cached_final_groups(&ps, params(4), 0), None);
+        round1(&ps, params(4), 0, || toy_graph(2), toy_matching);
         let groups = vec![vec![0, 1]];
-        store_final_groups(&ps, 4, OrderingPolicy::Best, 0.0, 0, &groups);
-        assert_eq!(
-            cached_final_groups(&ps, 4, OrderingPolicy::Best, 0.0, 0),
-            Some(groups)
-        );
+        store_final_groups(&ps, params(4), 0, &groups);
+        assert_eq!(cached_final_groups(&ps, params(4), 0), Some(groups));
         // The other mode's slot is independent.
-        assert_eq!(
-            cached_final_groups(&ps, 4, OrderingPolicy::Best, 0.0, 1),
-            None
-        );
+        assert_eq!(cached_final_groups(&ps, params(4), 1), None);
         reset();
     }
 
@@ -414,33 +439,15 @@ mod tests {
         // Budget of ~2 ten-node graphs per segment.
         set_segment_cell_budget(200);
         let keep = vec![profile(999, 1); 10];
-        round1(
-            &keep,
-            4,
-            OrderingPolicy::Best,
-            0.0,
-            0,
-            || toy_graph(10),
-            toy_matching,
-        );
+        round1(&keep, params(4), 0, || toy_graph(10), toy_matching);
         for i in 0..20u64 {
             let ps = vec![profile(i + 1, 2 * i + 3); 10];
-            round1(
-                &ps,
-                4,
-                OrderingPolicy::Best,
-                0.0,
-                0,
-                || toy_graph(10),
-                toy_matching,
-            );
+            round1(&ps, params(4), 0, || toy_graph(10), toy_matching);
             // Touch `keep` so it keeps getting promoted across rotations.
             let mut rebuilt = false;
             round1(
                 &keep,
-                4,
-                OrderingPolicy::Best,
-                0.0,
+                params(4),
                 0,
                 || {
                     rebuilt = true;

@@ -311,6 +311,8 @@ pub fn plan_schedule_with(
                     graph_build_us: grouping_timings.graph_build_us,
                     matching_us: grouping_timings.matching_us,
                     matching_rounds: grouping_timings.rounds,
+                    pruned_edges: grouping_timings.pruned_edges,
+                    prune_fallbacks: grouping_timings.prune_fallbacks,
                     selection_us,
                 },
                 gamma_cache: CacheDelta {

@@ -61,6 +61,12 @@ struct Solver {
     n: usize,
     n_x: usize,
     g: Vec<Vec<Edge>>,
+    /// Positive-weight neighbours of each original node, ascending id.
+    /// Tree growth and slack scans touch only real edges through this,
+    /// so phases cost `O(E)` instead of `O(n²)` on sparse (pruned)
+    /// inputs; the dense bookkeeping matrix `g` is still what blossom
+    /// contraction reads and writes.
+    adj: Vec<Vec<usize>>,
     lab: Vec<i64>,
     mate: Vec<usize>,
     slack: Vec<usize>,
@@ -79,19 +85,21 @@ impl Solver {
         let n = graph.len();
         let cap = 2 * n + 1;
         let mut g = vec![vec![Edge::default(); cap]; cap];
+        let mut adj = vec![Vec::new(); cap];
         for (u, row) in g.iter_mut().enumerate().take(n + 1).skip(1) {
             for (v, e) in row.iter_mut().enumerate().take(n + 1).skip(1) {
-                *e = Edge {
-                    u,
-                    v,
-                    w: graph.weight(u - 1, v - 1),
-                };
+                let w = graph.weight(u - 1, v - 1);
+                *e = Edge { u, v, w };
+                if w > 0 && u != v {
+                    adj[u].push(v);
+                }
             }
         }
         Solver {
             n,
             n_x: n,
             g,
+            adj,
             lab: vec![0; cap],
             mate: vec![0; cap],
             slack: vec![0; cap],
@@ -120,9 +128,21 @@ impl Solver {
 
     fn set_slack(&mut self, x: usize) {
         self.slack[x] = 0;
-        for u in 1..=self.n {
-            if self.g[u][x].w > 0 && self.st[u] != x && self.s[self.st[u]] == 0 {
-                self.update_slack(u, x);
+        if x <= self.n {
+            // Original node: its positive edges are exactly its adjacency
+            // list (g[u][x] is symmetric to g[x][u] for originals).
+            for i in 0..self.adj[x].len() {
+                let u = self.adj[x][i];
+                if self.st[u] != x && self.s[self.st[u]] == 0 {
+                    self.update_slack(u, x);
+                }
+            }
+        } else {
+            // Blossom: g[u][x] is contraction bookkeeping, scan densely.
+            for u in 1..=self.n {
+                if self.g[u][x].w > 0 && self.st[u] != x && self.s[self.st[u]] == 0 {
+                    self.update_slack(u, x);
+                }
             }
         }
     }
@@ -342,8 +362,9 @@ impl Solver {
                 if self.s[self.st[u]] == 1 {
                     continue;
                 }
-                for v in 1..=self.n {
-                    if self.g[u][v].w > 0 && self.st[u] != self.st[v] {
+                for i in 0..self.adj[u].len() {
+                    let v = self.adj[u][i];
+                    if self.st[u] != self.st[v] {
                         if self.e_delta(self.g[u][v]) == 0 {
                             if self.on_found_edge(self.g[u][v]) {
                                 return true;

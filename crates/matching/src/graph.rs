@@ -58,12 +58,29 @@ impl DenseGraph {
     }
 
     /// Weight of edge `(u, v)`; 0 if absent or a self-loop.
+    ///
+    /// Out-of-range nodes are a caller bug: `set_weight` panics on them,
+    /// and silently answering "no edge" here masks index errors. Debug
+    /// builds assert; release builds keep the historical 0 answer rather
+    /// than panic in the scheduler hot path.
     pub fn weight(&self, u: usize, v: usize) -> i64 {
+        debug_assert!(
+            u < self.n && v < self.n,
+            "node out of range ({u},{v}) of {}",
+            self.n
+        );
         if u == v || u >= self.n || v >= self.n {
             0
         } else {
             self.w[u * self.n + v]
         }
+    }
+
+    /// The full weight row of node `u` (length `n`), for callers that
+    /// scan incident edges without per-cell bounds checks.
+    pub fn row(&self, u: usize) -> &[i64] {
+        assert!(u < self.n, "node {u} out of range of {}", self.n);
+        &self.w[u * self.n..(u + 1) * self.n]
     }
 
     /// Build a complete graph from a scoring function over node pairs
@@ -275,6 +292,22 @@ mod tests {
     #[should_panic(expected = "self-loops")]
     fn graph_rejects_self_loop() {
         DenseGraph::new(2).set_weight(1, 1, 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn weight_asserts_out_of_range_in_debug() {
+        let g = DenseGraph::new(2);
+        let _ = g.weight(0, 5);
+    }
+
+    #[test]
+    fn row_exposes_weights() {
+        let mut g = DenseGraph::new(3);
+        g.set_weight(0, 2, 7);
+        assert_eq!(g.row(0), &[0, 0, 7]);
+        assert_eq!(g.row(2), &[7, 0, 0]);
     }
 
     #[test]

@@ -9,21 +9,38 @@
 use crate::graph::{DenseGraph, Matching};
 
 /// Greedy maximum-weight matching (≥ ½ of optimal).
+///
+/// Scans weight rows directly and skips all-zero rows, so sparse/pruned
+/// graphs only pay for the edges they actually carry instead of the full
+/// `O(n²)` cell walk. Pruned callers that already hold a candidate edge
+/// list should use [`greedy_matching_on_edges`] and skip the scan
+/// entirely.
 pub fn greedy_matching(g: &DenseGraph) -> Matching {
     let n = g.len();
     let mut edges: Vec<(i64, usize, usize)> = Vec::new();
     for u in 0..n {
-        for v in u + 1..n {
-            let w = g.weight(u, v);
+        let row = &g.row(u)[u + 1..];
+        if row.iter().all(|&w| w == 0) {
+            continue;
+        }
+        for (i, &w) in row.iter().enumerate() {
             if w > 0 {
-                edges.push((w, u, v));
+                edges.push((w, u, u + 1 + i));
             }
         }
     }
-    // Descending by weight; deterministic tie-break by node ids.
+    greedy_matching_on_edges(n, &mut edges)
+}
+
+/// Greedy matching over an explicit edge list `(w, u, v)` with `u < v`
+/// — the sparse entry point. Sorts `edges` in place with the same
+/// deterministic tie-break as [`greedy_matching`] (descending weight,
+/// then ascending node ids), so the dense and sparse paths pick identical
+/// matchings for identical edge sets.
+pub fn greedy_matching_on_edges(n: usize, edges: &mut [(i64, usize, usize)]) -> Matching {
     edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut m = Matching::empty(n);
-    for (w, u, v) in edges {
+    for &(w, u, v) in edges.iter() {
         if m.mate[u].is_none() && m.mate[v].is_none() {
             m.mate[u] = Some(v);
             m.mate[v] = Some(u);
@@ -67,5 +84,19 @@ mod tests {
         let m = greedy_matching(&DenseGraph::new(3));
         assert_eq!(m.total_weight, 0);
         assert_eq!(m.num_pairs(), 0);
+    }
+
+    #[test]
+    fn edge_list_entry_matches_dense_scan() {
+        let mut g = DenseGraph::new(6);
+        g.set_weight(0, 1, 5);
+        g.set_weight(2, 3, 5);
+        g.set_weight(0, 3, 5);
+        g.set_weight(4, 5, 2);
+        let dense = greedy_matching(&g);
+        let mut edges = vec![(5, 0, 1), (5, 2, 3), (5, 0, 3), (2, 4, 5)];
+        let sparse = greedy_matching_on_edges(6, &mut edges);
+        assert_eq!(dense, sparse);
+        sparse.validate(&g).unwrap();
     }
 }

@@ -13,6 +13,10 @@
 //! * [`exact_maximum_weight_matching`] — an `O(2ⁿ·n)` subset-DP oracle,
 //!   the testing ground truth;
 //! * [`greedy_matching`] — the ½-approximation baseline.
+//!
+//! [`pruned_maximum_weight_matching`] wraps the Blossom solver with
+//! bounded top-m edge pruning and an a-posteriori loss certificate — the
+//! cold-start fast path (see [`sparse`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,8 +25,13 @@ pub mod blossom;
 pub mod graph;
 pub mod greedy;
 pub mod oracle;
+pub mod sparse;
 
 pub use blossom::maximum_weight_matching;
 pub use graph::{weight_from_f64, DenseGraph, Matching, WEIGHT_SCALE};
-pub use greedy::greedy_matching;
+pub use greedy::{greedy_matching, greedy_matching_on_edges};
 pub use oracle::{exact_maximum_weight_matching, ORACLE_MAX_NODES};
+pub use sparse::{
+    pruned_maximum_weight_matching, PruneCertificate, PruneConfig, PruneOutcome, SparseCandidates,
+    DEFAULT_PRUNE_LOSS_BOUND, DEFAULT_PRUNE_TOP_M,
+};

@@ -1,0 +1,143 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
+//! Property tests for the sparsification pass: the pruned Blossom result
+//! must honour its a-posteriori loss-bound certificate against the exact
+//! subset-DP oracle, the certificate's dense upper bound must be sound,
+//! and the fallback must fire whenever the bound cannot be guaranteed.
+
+use muri_matching::{
+    exact_maximum_weight_matching, maximum_weight_matching, pruned_maximum_weight_matching,
+    DenseGraph, PruneConfig,
+};
+use proptest::prelude::*;
+
+/// Fixed-point scale mirroring the certificate arithmetic.
+const LOSS_SCALE: i128 = 1_000_000;
+
+/// Random graph on `n ∈ [0, 14]` nodes with random density and weights.
+fn arb_graph() -> impl Strategy<Value = DenseGraph> {
+    (0usize..=14).prop_flat_map(|n| {
+        let m = n * n.saturating_sub(1) / 2;
+        proptest::collection::vec((0u8..=2, 1i64..=200), m).prop_map(move |ws| {
+            let mut g = DenseGraph::new(n);
+            let mut it = ws.into_iter();
+            for u in 0..n {
+                for v in u + 1..n {
+                    let (keep, w) = it.next().expect("enough weights");
+                    if keep > 0 {
+                        g.set_weight(u, v, w);
+                    }
+                }
+            }
+            g
+        })
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = PruneConfig> {
+    (
+        1usize..=4,
+        prop_oneof![Just(0.0), Just(0.02), Just(0.05), Just(0.1)],
+    )
+        .prop_map(|(top_m, loss_bound)| PruneConfig {
+            top_m,
+            loss_bound,
+            keep_threshold: 2.0, // rank-only pruning: stress the certificate
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// The headline guarantee: whenever the certificate holds, the pruned
+    /// matching weight is within the configured loss bound of the *true*
+    /// optimum (oracle), and the certificate's implied dense upper bound
+    /// is sound. When it does not hold, the fallback must have produced
+    /// the exact dense answer.
+    #[test]
+    fn certified_weight_within_loss_bound(g in arb_graph(), cfg in arb_config()) {
+        let out = pruned_maximum_weight_matching(&g, &cfg);
+        let exact = exact_maximum_weight_matching(&g);
+        out.matching.validate(&g).map_err(TestCaseError::fail)?;
+        if out.fell_back {
+            prop_assert!(!out.certificate.holds);
+            prop_assert_eq!(out.matching.total_weight, exact.total_weight);
+        } else {
+            prop_assert!(out.certificate.holds);
+            // (1 − ε)·OPT ≤ W_p, evaluated in scaled integers exactly as
+            // the certificate does.
+            let eps = (cfg.loss_bound * LOSS_SCALE as f64).round() as i128;
+            prop_assert!(
+                LOSS_SCALE * i128::from(out.matching.total_weight)
+                    >= (LOSS_SCALE - eps) * i128::from(exact.total_weight),
+                "pruned {} below bound vs exact {} (eps {})",
+                out.matching.total_weight, exact.total_weight, cfg.loss_bound
+            );
+            prop_assert!(out.certificate.dense_upper_bound() >= exact.total_weight);
+        }
+    }
+
+    /// Zero tolerance: with `loss_bound = 0`, any positive dropped-edge
+    /// bound must trigger the dense fallback, and the result is always
+    /// exactly optimal — the path a conservative operator relies on.
+    #[test]
+    fn zero_loss_bound_always_exact(g in arb_graph(), top_m in 1usize..=3) {
+        let cfg = PruneConfig { top_m, loss_bound: 0.0, keep_threshold: 2.0 };
+        let out = pruned_maximum_weight_matching(&g, &cfg);
+        let exact = exact_maximum_weight_matching(&g);
+        prop_assert_eq!(out.matching.total_weight, exact.total_weight);
+        if out.certificate.dropped_bound > 0 {
+            prop_assert!(out.fell_back, "dropped weight without fallback at zero tolerance");
+        }
+    }
+
+    /// Pruning is deterministic: identical inputs give byte-identical
+    /// outcomes (matching, certificate, fallback flag).
+    #[test]
+    fn pruning_is_deterministic(g in arb_graph(), cfg in arb_config()) {
+        let a = pruned_maximum_weight_matching(&g, &cfg);
+        let b = pruned_maximum_weight_matching(&g, &cfg);
+        prop_assert_eq!(a.matching, b.matching);
+        prop_assert_eq!(a.certificate, b.certificate);
+        prop_assert_eq!(a.fell_back, b.fell_back);
+    }
+
+    /// When nothing is dropped the pruned run IS the dense run —
+    /// bit-identical matching, no fallback.
+    #[test]
+    fn no_drop_is_bit_identical_to_dense(g in arb_graph()) {
+        let cfg = PruneConfig { top_m: 16, loss_bound: 0.05, keep_threshold: 2.0 };
+        let out = pruned_maximum_weight_matching(&g, &cfg);
+        prop_assert_eq!(out.certificate.dropped_edges, 0);
+        prop_assert!(!out.fell_back);
+        prop_assert_eq!(out.matching, maximum_weight_matching(&g));
+    }
+}
+
+/// Deterministic fallback-path regression: a dense clique of near-equal
+/// heavy edges pruned to `top_m = 1` drops weight the certificate cannot
+/// write off, so the dense run must fire and recover the optimum.
+#[test]
+fn fallback_recovers_dense_optimum() {
+    let n = 14;
+    let mut g = DenseGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.set_weight(u, v, 900 + ((u * 13 + v * 7) % 100) as i64);
+        }
+    }
+    let cfg = PruneConfig {
+        top_m: 1,
+        loss_bound: 0.01,
+        keep_threshold: 2.0,
+    };
+    let out = pruned_maximum_weight_matching(&g, &cfg);
+    assert!(out.certificate.dropped_edges > 0);
+    assert!(
+        !out.certificate.holds,
+        "pruning to m=1 must violate a 1% bound here"
+    );
+    assert!(out.fell_back);
+    let exact = exact_maximum_weight_matching(&g);
+    assert_eq!(out.matching.total_weight, exact.total_weight);
+}

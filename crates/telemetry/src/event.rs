@@ -31,6 +31,14 @@ pub struct PlanPhases {
     /// Matching rounds executed (0 when every bucket fit outright or was
     /// answered by the round cache).
     pub matching_rounds: u32,
+    /// Edges dropped by the Blossom sparsification pass (0 when pruning
+    /// is off or the matcher never ran). Journals predating the knob
+    /// deserialize to 0.
+    #[serde(default)]
+    pub pruned_edges: u64,
+    /// Dense re-runs taken because the prune loss certificate failed.
+    #[serde(default)]
+    pub prune_fallbacks: u64,
     /// Capacity selection, relaxation, and placement ordering.
     pub selection_us: u64,
 }
@@ -359,6 +367,8 @@ mod tests {
                 graph_build_us: 20,
                 matching_us: 15,
                 matching_rounds: 2,
+                pruned_edges: 37,
+                prune_fallbacks: 1,
                 selection_us: 4,
             },
             gamma_cache: CacheDelta {

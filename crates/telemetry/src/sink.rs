@@ -155,6 +155,18 @@ impl Telemetry {
                         delta.misses,
                     );
                 }
+                self.metrics.inc_counter(
+                    "muri_pruned_edges_total",
+                    "Edges dropped by Blossom sparsification",
+                    &[],
+                    phases.pruned_edges,
+                );
+                self.metrics.inc_counter(
+                    "muri_prune_fallbacks_total",
+                    "Dense fallbacks after a failed prune certificate",
+                    &[],
+                    phases.prune_fallbacks,
+                );
                 let total_us = phases.sort_us
                     + phases.admission_us
                     + phases.bucketing_us

@@ -127,6 +127,56 @@ fn journal_jsonl_schema_golden() {
 }
 
 #[test]
+fn planning_pass_jsonl_schema_golden() {
+    use muri_telemetry::{CacheDelta, PlanPhases};
+    let mut j = Journal::default();
+    j.record(Event::PlanningPass {
+        time: SimTime::from_secs(3),
+        candidates: 5,
+        free_gpus: 8,
+        planned_groups: 2,
+        planned_jobs: 4,
+        phases: PlanPhases {
+            sort_us: 1,
+            admission_us: 2,
+            bucketing_us: 3,
+            grouping_us: 10,
+            graph_build_us: 4,
+            matching_us: 5,
+            matching_rounds: 1,
+            pruned_edges: 12,
+            prune_fallbacks: 1,
+            selection_us: 6,
+        },
+        gamma_cache: CacheDelta { hits: 9, misses: 1 },
+        round_cache: CacheDelta { hits: 0, misses: 2 },
+    });
+    let jsonl = j.to_jsonl();
+    let expected = concat!(
+        r#"{"type":"planning_pass","time_us":3000000,"candidates":5,"free_gpus":8,"#,
+        r#""planned_groups":2,"planned_jobs":4,"phases":{"sort_us":1,"admission_us":2,"#,
+        r#""bucketing_us":3,"grouping_us":10,"graph_build_us":4,"matching_us":5,"#,
+        r#""matching_rounds":1,"pruned_edges":12,"prune_fallbacks":1,"selection_us":6},"#,
+        r#""gamma_cache":{"hits":9,"misses":1},"round_cache":{"hits":0,"misses":2}}"#,
+        "\n",
+    );
+    assert_eq!(jsonl, expected);
+    let events = Journal::from_jsonl(&jsonl).expect("golden JSONL parses");
+    assert_eq!(events, j.events());
+    // Journals written before the prune counters existed still parse:
+    // the missing fields default to zero.
+    let legacy = expected.replace(r#""pruned_edges":12,"prune_fallbacks":1,"#, "");
+    let events = Journal::from_jsonl(&legacy).expect("legacy JSONL parses");
+    match &events[0] {
+        Event::PlanningPass { phases, .. } => {
+            assert_eq!(phases.pruned_edges, 0);
+            assert_eq!(phases.prune_fallbacks, 0);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+}
+
+#[test]
 fn every_event_kind_round_trips_through_jsonl() {
     let mut j = Journal::default();
     j.record(Event::JobPreempted {

@@ -11,6 +11,9 @@
 //! * **§4.1** — phase offsets are distinct (one job per resource per
 //!   phase) and the grouping matching is a real matching
 //!   ([`audit_matching`]);
+//! * **sparsification contract** — every matched γ edge survived the
+//!   top-m pruning pass, or the dense fallback fired
+//!   ([`audit_pruning`]);
 //! * **§4.2** — groups never cross GPU-count buckets, never exceed the
 //!   pack factor, and the SRSF/2D-LAS priority order is respected per
 //!   GPU class ([`audit_plan`]);
@@ -43,7 +46,7 @@ pub mod violation;
 
 pub use group::audit_group;
 pub use journal::audit_journal;
-pub use matching::audit_matching;
+pub use matching::{audit_matching, audit_pruning};
 pub use plan::{audit_plan, PlanContext, PlannedGroupRef};
 pub use tick::{audit_tick, GroupSnapshot, TickSnapshot};
 pub use timeline::audit_timeline;

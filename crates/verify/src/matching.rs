@@ -16,6 +16,92 @@ pub fn audit_matching(g: &DenseGraph, m: &Matching) -> AuditReport {
     report
 }
 
+/// Audit the sparsification contract: unless the dense fallback fired,
+/// every matched edge must have survived top-m pruning — either endpoint
+/// selects it among its `top_m` diversified heaviest incident edges
+/// (weight descending, ties by cyclic distance from the owning node,
+/// slots filled round-robin across distinct weight levels — the
+/// candidate builder's documented order), or it clears the absolute
+/// keep-threshold weight. The selection is replayed locally from the
+/// dense graph rather than by calling the candidate builder under audit.
+///
+/// `top_m == 0` (pruning disabled) and `fell_back` audits are vacuously
+/// clean: the reported matching came from the dense solver.
+pub fn audit_pruning(
+    g: &DenseGraph,
+    m: &Matching,
+    top_m: usize,
+    keep_threshold_weight: i64,
+    fell_back: bool,
+) -> AuditReport {
+    let mut report = AuditReport::new();
+    report.checks += 1;
+    if top_m == 0 || fell_back {
+        return report;
+    }
+    let n = g.len();
+    for (u, v) in m.pairs() {
+        let w = g.weight(u, v);
+        if w > 0 && w >= keep_threshold_weight {
+            continue;
+        }
+        // Replay a's selection: sort incident edges by (weight desc,
+        // cyclic distance from a asc), then fill the m slots round-robin
+        // across distinct weight levels — sweep s takes the (s+1)-th
+        // nearest edge of each level, heaviest level first.
+        let in_top = |a: usize, b: usize| {
+            let mut incident: Vec<(i64, usize)> = (0..n)
+                .filter(|&x| x != a)
+                .filter_map(|x| {
+                    let wx = g.weight(a, x);
+                    (wx > 0).then_some((wx, x))
+                })
+                .collect();
+            incident.sort_unstable_by(|p, q| {
+                q.0.cmp(&p.0)
+                    .then(((p.1 + n - a) % n).cmp(&((q.1 + n - a) % n)))
+            });
+            let mut levels: Vec<(usize, usize)> = Vec::new();
+            let mut start = 0;
+            for i in 1..=incident.len() {
+                if i == incident.len() || incident[i].0 != incident[start].0 {
+                    levels.push((start, i));
+                    start = i;
+                }
+            }
+            let mut taken = 0usize;
+            let mut sweep = 0usize;
+            loop {
+                let mut advanced = false;
+                for &(lo, hi) in &levels {
+                    if lo + sweep < hi {
+                        advanced = true;
+                        if incident[lo + sweep].1 == b {
+                            return true;
+                        }
+                        taken += 1;
+                        if taken == top_m {
+                            return false;
+                        }
+                    }
+                }
+                if !advanced {
+                    return false;
+                }
+                sweep += 1;
+            }
+        };
+        if !(in_top(u, v) || in_top(v, u)) {
+            report.push(Violation::PrunedEdgeMatched {
+                pair: (u, v),
+                weight: w,
+                top_m,
+            });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -41,6 +127,22 @@ mod tests {
         };
         let report = audit_matching(&g, &m);
         assert_eq!(report.count_kind("NonMatchingEdgeSet"), 1, "{report}");
+    }
+
+    #[test]
+    fn pruned_blossom_output_audits_clean() {
+        use muri_matching::{pruned_maximum_weight_matching, weight_from_f64, PruneConfig};
+        let mut g = DenseGraph::new(12);
+        for u in 0..12 {
+            for v in u + 1..12 {
+                g.set_weight(u, v, 100 + ((u * 17 + v * 29) % 400) as i64);
+            }
+        }
+        let cfg = PruneConfig::new(3, 0.25);
+        let out = pruned_maximum_weight_matching(&g, &cfg);
+        let keep_w = weight_from_f64(cfg.keep_threshold);
+        let report = audit_pruning(&g, &out.matching, cfg.top_m, keep_w, out.fell_back);
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -88,6 +88,18 @@ pub enum Violation {
         /// What the accounting looks like.
         detail: String,
     },
+    /// A matched pair's γ edge was pruned away by the top-m
+    /// sparsification pass, yet no dense fallback was recorded — the
+    /// reported matching cannot have come from the pruned graph the
+    /// certificate covers.
+    PrunedEdgeMatched {
+        /// The offending matched node pair (graph indices).
+        pair: (usize, usize),
+        /// The edge's fixed-point weight.
+        weight: i64,
+        /// The configured top-m prune width.
+        top_m: usize,
+    },
 }
 
 impl Violation {
@@ -103,6 +115,7 @@ impl Violation {
             Violation::GpuOversubscribed { .. } => "GpuOversubscribed",
             Violation::PriorityInversion { .. } => "PriorityInversion",
             Violation::JobConservationBroken { .. } => "JobConservationBroken",
+            Violation::PrunedEdgeMatched { .. } => "PrunedEdgeMatched",
         }
     }
 }
@@ -159,6 +172,15 @@ impl fmt::Display for Violation {
             Violation::JobConservationBroken { job, detail } => {
                 write!(f, "JobConservationBroken: {job} — {detail}")
             }
+            Violation::PrunedEdgeMatched {
+                pair,
+                weight,
+                top_m,
+            } => write!(
+                f,
+                "PrunedEdgeMatched: matched pair {pair:?} (weight {weight}) was outside \
+                 both endpoints' top-{top_m} candidate edges and no fallback fired"
+            ),
         }
     }
 }

@@ -92,6 +92,30 @@ fn edgeless_pair_is_non_matching_edge_set() {
 }
 
 #[test]
+fn pruned_away_matched_edge_is_pruned_edge_matched() {
+    // Node 0's only top-1 edge is (0,1); node 2's is (2,3). A matching
+    // that pairs 0 with 2 over their weak mutual edge claims an edge the
+    // sparsifier would have dropped — unless the fallback fired.
+    let mut g = DenseGraph::new(4);
+    g.set_weight(0, 1, 100);
+    g.set_weight(2, 3, 100);
+    g.set_weight(0, 2, 5);
+    let m = Matching {
+        mate: vec![Some(2), None, Some(0), None],
+        total_weight: 5,
+    };
+    let keep_w = muri_matching::WEIGHT_SCALE; // threshold never reached
+    let report = muri_verify::audit_pruning(&g, &m, 1, keep_w, false);
+    assert_eq!(report.count_kind("PrunedEdgeMatched"), 1, "{report}");
+    // The same matching is legitimate when the dense fallback fired.
+    let report = muri_verify::audit_pruning(&g, &m, 1, keep_w, true);
+    assert!(report.is_clean(), "{report}");
+    // And when the edge clears the keep-threshold it survives pruning.
+    let report = muri_verify::audit_pruning(&g, &m, 1, 5, false);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
 fn mixed_demand_group_is_cross_bucket() {
     let g = group(&[1, 2]);
     let plan = [PlannedGroupRef {

@@ -76,6 +76,8 @@ fi
 for key in \
     'scalability/grouping_plan/500' \
     'scalability/grouping_plan/1000' \
+    'scalability/grouping_plan_cold_dense/1000' \
+    'scalability/grouping_plan_cold_pruned/1000' \
     'scalability/plan_schedule_1000_jobs_64gpus' \
     'blossom/max_weight_matching/16' \
     'blossom/max_weight_matching/64' \
@@ -89,6 +91,20 @@ do
         exit 1
     fi
 done
+
+# The sparsifier's reason to exist: cold-start pruned grouping at
+# n = 1000 must beat the dense solver by at least 5x.
+dense_ns=$(grep -o '"scalability/grouping_plan_cold_dense/1000": [0-9]*' "$OUT" | grep -o '[0-9]*$')
+pruned_ns=$(grep -o '"scalability/grouping_plan_cold_pruned/1000": [0-9]*' "$OUT" | grep -o '[0-9]*$')
+if [ -z "$dense_ns" ] || [ -z "$pruned_ns" ] || [ "$pruned_ns" -eq 0 ]; then
+    echo "bench.sh: could not extract cold-start dense/pruned medians from $OUT" >&2
+    exit 1
+fi
+if [ $((dense_ns / pruned_ns)) -lt 5 ]; then
+    echo "bench.sh: cold-start pruned grouping is only $((dense_ns / pruned_ns))x faster than dense (need >= 5x): dense=${dense_ns}ns pruned=${pruned_ns}ns" >&2
+    exit 1
+fi
+echo "bench.sh: cold-start pruning speedup $((dense_ns / pruned_ns))x (dense=${dense_ns}ns pruned=${pruned_ns}ns)"
 
 # Parse-check the result with whatever JSON tool the host has; fall back
 # to accepting the structural checks above on a bare container.

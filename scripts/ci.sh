@@ -16,6 +16,13 @@
 #      artifacts: the journal parses and its lifecycle ledger conserves
 #      jobs, the Chrome trace is well-formed with monotonic timestamps,
 #      and the Prometheus text round-trips the golden parser
+#   6. pruning smoke     two checks on trace 2: at --scale 0.02 every
+#      bucket fits the small-graph shortcut (n <= top_m + 1), so default
+#      sparsification and --prune-top-m 0 must produce byte-identical
+#      reports; at --scale 0.1 buckets are large enough that edges are
+#      really dropped, so the run only has to complete cleanly — the
+#      certificate bounds (but does not zero) the matching-weight
+#      difference, and the report may legitimately differ from dense
 #
 # Everything is offline-safe: all dependencies are vendored under
 # vendor/, so no network access is needed or attempted.
@@ -50,5 +57,18 @@ cargo run -q -p muri-cli -- telemetry-check \
     --journal "$tmpdir/journal.jsonl" \
     --metrics "$tmpdir/metrics.prom" \
     --chrome-trace "$tmpdir/trace.json"
+
+echo "==> pruning smoke (small-bucket identity at 0.02, pruned run at 0.1)"
+cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.02 \
+    >"$tmpdir/pruned.out" 2>/dev/null
+cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.02 --prune-top-m 0 \
+    >"$tmpdir/dense.out" 2>/dev/null
+if ! cmp -s "$tmpdir/pruned.out" "$tmpdir/dense.out"; then
+    echo "ci: pruned simulation diverged from the dense baseline on" >&2
+    echo "ci: small buckets, where the shortcut makes pruning a no-op:" >&2
+    diff "$tmpdir/pruned.out" "$tmpdir/dense.out" >&2 || true
+    exit 1
+fi
+cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.1 >/dev/null 2>&1
 
 echo "ci: all checks passed"
