@@ -8,8 +8,13 @@
 //! muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
 //!                   [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //!                   [--prune-top-m M] [--prune-loss-bound F]
+//!                   [fault flags: --mtbf S --fault-seed N --machine-mtbf S
+//!                    --machine-mttr S --transient-fraction F --degraded N
+//!                    --degraded-slowdown F --checkpoint-interval S
+//!                    --checkpoint-cost S]
 //! muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
 //!                        [--prune-top-m M] [--prune-loss-bound F]
+//!                        [fault flags as for `muri sim`]
 //! muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //! muri validate                   # Eq. 3 vs timeline-executor fidelity
 //! ```
@@ -88,8 +93,14 @@ const USAGE: &str = "usage:
   muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
                     [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
                     [--prune-top-m M] [--prune-loss-bound F]
+                    [--mtbf S] [--fault-seed N]
+                    [--machine-mtbf S] [--machine-mttr S]
+                    [--transient-fraction F] [--degraded N]
+                    [--degraded-slowdown F]
+                    [--checkpoint-interval S] [--checkpoint-cost S]
   muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
                          [--prune-top-m M] [--prune-loss-bound F]
+                         [fault flags as for `muri sim`]
   muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
   muri validate
 
@@ -100,7 +111,14 @@ the run's event journal (JSONL), Prometheus metrics, and a Chrome
 trace_event timeline (open in Perfetto / chrome://tracing). The prune
 flags tune the Blossom sparsifier: keep each node's top-M heaviest γ
 edges (0 disables pruning) with a certified matching-weight loss of at
-most fraction F before the dense fallback fires.
+most fraction F before the dense fallback fires. The fault flags inject
+per-job faults (--mtbf, mean seconds between faults per running job) and
+machine-level fault domains (--machine-mtbf/--machine-mttr, with
+--transient-fraction of faults leaving the machine up), mark --degraded N
+machines slower by --degraded-slowdown, and enable periodic
+checkpointing (--checkpoint-interval/--checkpoint-cost) so machine
+faults roll jobs back to the last checkpoint instead of losing all
+uncheckpointed work.
 
 exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 violations found";
 
@@ -401,6 +419,154 @@ fn split_prune_opts(args: &[String]) -> Result<(PruneOpts, Vec<String>), CliErro
     Ok((opts, rest))
 }
 
+/// Fault-injection overrides parsed off the `sim`/`verify` command
+/// line. `None` keeps the [`FaultPlan`]/[`CheckpointConfig`] defaults
+/// (all fault features off), so a plain invocation is byte-identical to
+/// the pre-fault-domain CLI.
+///
+/// [`FaultPlan`]: muri_sim::FaultPlan
+/// [`CheckpointConfig`]: muri_sim::CheckpointConfig
+#[derive(Default)]
+struct FaultOpts {
+    mtbf: Option<f64>,
+    seed: Option<u64>,
+    machine_mtbf: Option<f64>,
+    machine_mttr: Option<f64>,
+    transient_fraction: Option<f64>,
+    degraded: Option<u32>,
+    degraded_slowdown: Option<f64>,
+    checkpoint_interval: Option<f64>,
+    checkpoint_cost: Option<f64>,
+}
+
+impl FaultOpts {
+    fn any(&self) -> bool {
+        self.mtbf.is_some()
+            || self.machine_mtbf.is_some()
+            || self.degraded.is_some()
+            || self.checkpoint_interval.is_some()
+    }
+
+    /// Overwrite the fault plan and checkpoint model with any explicit
+    /// command-line values.
+    fn apply(&self, cfg: &mut SimConfig) {
+        let secs = |v: f64| muri_workload::SimDuration::from_secs_f64(v);
+        if let Some(v) = self.mtbf {
+            cfg.faults.mtbf = Some(secs(v));
+        }
+        if let Some(v) = self.seed {
+            cfg.faults.seed = v;
+        }
+        if let Some(v) = self.machine_mtbf {
+            cfg.faults.machine_mtbf = Some(secs(v));
+        }
+        if let Some(v) = self.machine_mttr {
+            cfg.faults.machine_mttr = secs(v);
+        }
+        if let Some(v) = self.transient_fraction {
+            cfg.faults.transient_fraction = v;
+        }
+        if let Some(v) = self.degraded {
+            cfg.faults.degraded_machines = v;
+        }
+        if let Some(v) = self.degraded_slowdown {
+            cfg.faults.degraded_slowdown = v;
+        }
+        if let Some(v) = self.checkpoint_interval {
+            cfg.checkpoint.interval = Some(secs(v));
+        }
+        if let Some(v) = self.checkpoint_cost {
+            cfg.checkpoint.cost = secs(v);
+        }
+    }
+}
+
+/// Pull the fault-injection flags out of `args`, leaving the rest
+/// untouched.
+fn split_fault_opts(args: &[String]) -> Result<(FaultOpts, Vec<String>), CliError> {
+    let mut opts = FaultOpts::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("{arg} needs {what}")))
+        };
+        match arg.as_str() {
+            "--mtbf" => {
+                opts.mtbf = Some(parse_positive_secs(arg, value("seconds")?)?);
+            }
+            "--fault-seed" => {
+                opts.seed = Some(
+                    value("a seed")?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --fault-seed value"))?,
+                );
+            }
+            "--machine-mtbf" => {
+                opts.machine_mtbf = Some(parse_positive_secs(arg, value("seconds")?)?);
+            }
+            "--machine-mttr" => {
+                opts.machine_mttr = Some(parse_positive_secs(arg, value("seconds")?)?);
+            }
+            "--transient-fraction" => {
+                let f: f64 = value("a fraction")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --transient-fraction value"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(CliError::usage(format!(
+                        "transient fraction {f} out of range [0, 1]"
+                    )));
+                }
+                opts.transient_fraction = Some(f);
+            }
+            "--degraded" => {
+                opts.degraded = Some(
+                    value("a machine count")?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --degraded count"))?,
+                );
+            }
+            "--degraded-slowdown" => {
+                let f: f64 = value("a factor")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --degraded-slowdown value"))?;
+                if f < 1.0 {
+                    return Err(CliError::usage(format!(
+                        "degraded slowdown {f} must be >= 1"
+                    )));
+                }
+                opts.degraded_slowdown = Some(f);
+            }
+            "--checkpoint-interval" => {
+                opts.checkpoint_interval = Some(parse_positive_secs(arg, value("seconds")?)?);
+            }
+            "--checkpoint-cost" => {
+                let v: f64 = value("seconds")?
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad {arg} value")))?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(CliError::usage(format!("{arg} must be >= 0 seconds")));
+                }
+                opts.checkpoint_cost = Some(v);
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((opts, rest))
+}
+
+/// Parse a strictly positive seconds value for `flag`.
+fn parse_positive_secs(flag: &str, raw: &str) -> Result<f64, CliError> {
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| CliError::usage(format!("bad {flag} value")))?;
+    if !(v.is_finite() && v > 0.0) {
+        return Err(CliError::usage(format!("{flag} must be > 0 seconds")));
+    }
+    Ok(v)
+}
+
 /// Telemetry export destinations parsed off the `sim` command line.
 #[derive(Default)]
 struct TelemetryOpts {
@@ -486,12 +652,14 @@ fn export_telemetry(t: &muri_telemetry::Telemetry, opts: &TelemetryOpts) -> Resu
 fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
     let (topts, rest) = split_telemetry_opts(args)?;
     let (popts, rest) = split_prune_opts(&rest)?;
+    let (fopts, rest) = split_fault_opts(&rest)?;
     let (trace, _scale, machines) = parse_workload(&rest)?;
     let mut cfg = SimConfig {
         cluster: muri_cluster::ClusterSpec::with_machines(machines),
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
     };
     popts.apply(&mut cfg.scheduler);
+    fopts.apply(&mut cfg);
     eprintln!(
         "simulating {} jobs under {} on {} GPUs...",
         trace.len(),
@@ -525,6 +693,13 @@ fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
         r.avg_utilization(muri_workload::ResourceKind::Gpu),
         r.avg_utilization(muri_workload::ResourceKind::Network),
     );
+    // Only when fault injection is on — a fault-free invocation's stdout
+    // must stay byte-identical to the pre-fault-domain CLI.
+    if fopts.any() {
+        let faults: u64 = r.records.iter().map(|j| u64::from(j.faults)).sum();
+        let restarts: u64 = r.records.iter().map(|j| u64::from(j.restarts)).sum();
+        println!("faults:        {faults} ({restarts} restarts)");
+    }
     eprintln!("[simulated in {:.2?}]", started.elapsed());
     Ok(())
 }
@@ -605,12 +780,14 @@ fn run_verify(args: &[String]) -> Result<(), CliError> {
         _ => (PolicyKind::MuriL, args),
     };
     let (popts, rest) = split_prune_opts(rest)?;
+    let (fopts, rest) = split_fault_opts(&rest)?;
     let (trace, _scale, machines) = parse_workload(&rest)?;
     let mut cfg = SimConfig {
         cluster: muri_cluster::ClusterSpec::with_machines(machines),
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
     };
     popts.apply(&mut cfg.scheduler);
+    fopts.apply(&mut cfg);
     eprintln!(
         "auditing {} under {} on {} GPUs ({} jobs)...",
         trace.name,

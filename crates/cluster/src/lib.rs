@@ -8,7 +8,8 @@
 //! * [`placement`] — allocation tracking with the paper's node-minimizing
 //!   best-fit placement (§5);
 //! * [`monitor`] — the worker monitor: utilization snapshots, job
-//!   progress, and fault reports (§3).
+//!   progress, fault reports, and per-machine health tracking with
+//!   blacklisting (§3, §5).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,6 +20,9 @@ pub mod placement;
 pub mod topology;
 
 pub use machine::MachineSpec;
-pub use monitor::{FaultReport, JobProgress, UtilizationSnapshot, WorkerMonitor};
+pub use monitor::{
+    FaultReport, HealthPolicy, JobProgress, MachineHealth, UtilizationSnapshot, WorkerMonitor,
+};
+pub use muri_telemetry::{BlacklistReason, FaultKind};
 pub use placement::{Cluster, GpuSet};
 pub use topology::{ClusterSpec, GpuId};

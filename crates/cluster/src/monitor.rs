@@ -1,11 +1,12 @@
 //! The worker monitor (§3): collects per-machine resource information,
-//! tracks the progress of each job, and receives fault reports from
-//! executors.
+//! tracks the progress of each job, receives fault reports from
+//! executors, and — new with fault domains — tracks per-machine health
+//! so placement can steer replanned groups away from bad machines.
 
-use muri_telemetry::{Event, TelemetrySink};
+use muri_telemetry::{BlacklistReason, Event, FaultKind, TelemetrySink};
 use muri_workload::{JobId, ResourceVec, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A point-in-time cluster utilization sample (average across leased
 /// GPUs; the Fig. 8 utilization curves come from these).
@@ -42,29 +43,110 @@ impl JobProgress {
 /// A fault reported by an executor (§5: "when a fault occurs, the executor
 /// will report the error information to the worker monitor and terminate
 /// the training process").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultReport {
     /// The faulted job.
     pub job: JobId,
     /// When the fault occurred.
     pub time: SimTime,
-    /// Executor-provided description.
-    pub reason: String,
+    /// What kind of failure the executor reported.
+    pub kind: FaultKind,
+    /// The machine at fault, when the failure was machine-level.
+    pub machine: Option<u32>,
+}
+
+/// Thresholds and bounds for the monitor's health tracking and memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// Consecutive machine-level faults before a machine is blacklisted.
+    pub fault_threshold: u32,
+    /// Realized/planned iteration-rate ratio at or above which a machine
+    /// observation counts as a straggler strike.
+    pub straggler_slowdown: f64,
+    /// Consecutive straggler strikes before a machine is blacklisted.
+    pub straggler_threshold: u32,
+    /// How long a blacklist lasts before the machine is retried.
+    pub blacklist_duration: SimDuration,
+    /// Retained utilization samples before the series is decimated.
+    pub max_utilization_samples: usize,
+    /// Retained fault reports (newer reports are counted but dropped).
+    pub max_fault_reports: usize,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            fault_threshold: 3,
+            straggler_slowdown: 1.25,
+            straggler_threshold: 3,
+            blacklist_duration: SimDuration::from_secs(30 * 60),
+            max_utilization_samples: 4096,
+            max_fault_reports: 1024,
+        }
+    }
+}
+
+/// Where a machine sits in the monitor's health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineHealth {
+    /// No strikes against the machine.
+    Healthy,
+    /// Some consecutive faults or straggler strikes, below threshold.
+    Suspect,
+    /// Blacklisted: placement must avoid the machine until the ban
+    /// expires.
+    Blacklisted,
+}
+
+/// Per-machine health counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct MachineState {
+    consecutive_faults: u32,
+    straggler_strikes: u32,
+    blacklisted_until: Option<SimTime>,
 }
 
 /// The worker monitor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct WorkerMonitor {
     snapshots: Vec<UtilizationSnapshot>,
+    /// Only every `snapshot_stride`-th sample is retained; doubles on
+    /// each decimation so memory stays bounded for week-long traces.
+    snapshot_stride: u64,
+    snapshot_seq: u64,
     progress: HashMap<JobId, JobProgress>,
     faults: Vec<FaultReport>,
+    faults_dropped: u64,
+    machines: BTreeMap<u32, MachineState>,
+    policy: HealthPolicy,
     sink: TelemetrySink,
 }
 
+impl Default for WorkerMonitor {
+    fn default() -> Self {
+        WorkerMonitor::with_policy(HealthPolicy::default())
+    }
+}
+
 impl WorkerMonitor {
-    /// A fresh monitor.
+    /// A fresh monitor with the default health policy.
     pub fn new() -> Self {
         WorkerMonitor::default()
+    }
+
+    /// A monitor with an explicit health policy.
+    pub fn with_policy(policy: HealthPolicy) -> Self {
+        WorkerMonitor {
+            snapshots: Vec::new(),
+            snapshot_stride: 1,
+            snapshot_seq: 0,
+            progress: HashMap::new(),
+            faults: Vec::new(),
+            faults_dropped: 0,
+            machines: BTreeMap::new(),
+            policy,
+            sink: TelemetrySink::disabled(),
+        }
     }
 
     /// A monitor that forwards utilization samples and fault reports to
@@ -76,7 +158,20 @@ impl WorkerMonitor {
         }
     }
 
-    /// Record a utilization sample.
+    /// Attach (or replace) the telemetry sink, keeping all state.
+    pub fn set_sink(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
+    }
+
+    /// The health policy in force.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Record a utilization sample. Live gauges always see the sample;
+    /// the retained series is decimated (every other sample dropped and
+    /// the stride doubled) whenever it would exceed
+    /// [`HealthPolicy::max_utilization_samples`].
     pub fn record_utilization(&mut self, snapshot: UtilizationSnapshot) {
         debug_assert!(
             self.snapshots
@@ -86,6 +181,20 @@ impl WorkerMonitor {
         );
         self.sink
             .with(|t| t.record_utilization(snapshot.time, &snapshot.util));
+        let seq = self.snapshot_seq;
+        self.snapshot_seq += 1;
+        if !seq.is_multiple_of(self.snapshot_stride) {
+            return;
+        }
+        if self.snapshots.len() >= self.policy.max_utilization_samples.max(2) {
+            let mut i = 0usize;
+            self.snapshots.retain(|_| {
+                let keep = i.is_multiple_of(2);
+                i += 1;
+                keep
+            });
+            self.snapshot_stride *= 2;
+        }
         self.snapshots.push(snapshot);
     }
 
@@ -94,14 +203,117 @@ impl WorkerMonitor {
         self.progress.insert(job, progress);
     }
 
-    /// Record a fault.
+    /// Drop the progress entry of a finished job so week-long traces
+    /// don't accumulate completed-job state.
+    pub fn forget_job(&mut self, job: JobId) {
+        self.progress.remove(&job);
+    }
+
+    /// Record a fault. The report always feeds telemetry; the retained
+    /// list is bounded by [`HealthPolicy::max_fault_reports`]
+    /// (drop-newest, with a counter).
     pub fn report_fault(&mut self, fault: FaultReport) {
         self.sink.emit(|| Event::JobFaulted {
             time: fault.time,
             job: fault.job,
-            reason: fault.reason.clone(),
+            kind: fault.kind,
         });
-        self.faults.push(fault);
+        if self.faults.len() < self.policy.max_fault_reports.max(1) {
+            self.faults.push(fault);
+        } else {
+            self.faults_dropped += 1;
+        }
+    }
+
+    /// Count one machine-level failure against `machine`'s health.
+    /// Called once per machine fault (not once per victim job); crossing
+    /// [`HealthPolicy::fault_threshold`] blacklists the machine.
+    pub fn record_machine_fault(&mut self, machine: u32, time: SimTime) {
+        let st = self.machines.entry(machine).or_default();
+        st.consecutive_faults += 1;
+        if st.consecutive_faults >= self.policy.fault_threshold && !Self::is_banned_at(st, time) {
+            self.blacklist(machine, time, BlacklistReason::ConsecutiveFaults);
+        }
+    }
+
+    /// Feed one realized/planned slowdown observation for `machine`.
+    /// A ratio at or above [`HealthPolicy::straggler_slowdown`] is a
+    /// strike; consecutive strikes crossing the threshold blacklist the
+    /// machine, and any on-pace observation clears the strikes.
+    pub fn observe_machine_rate(&mut self, machine: u32, time: SimTime, ratio: f64) {
+        let st = self.machines.entry(machine).or_default();
+        if ratio >= self.policy.straggler_slowdown {
+            st.straggler_strikes += 1;
+            if st.straggler_strikes >= self.policy.straggler_threshold
+                && !Self::is_banned_at(st, time)
+            {
+                self.blacklist(machine, time, BlacklistReason::Straggler);
+            }
+        } else {
+            st.straggler_strikes = 0;
+        }
+    }
+
+    /// A group hosted on `machine` made healthy progress: clear its
+    /// consecutive-fault counter.
+    pub fn record_machine_ok(&mut self, machine: u32) {
+        if let Some(st) = self.machines.get_mut(&machine) {
+            st.consecutive_faults = 0;
+        }
+    }
+
+    fn is_banned_at(st: &MachineState, now: SimTime) -> bool {
+        st.blacklisted_until.is_some_and(|until| now < until)
+    }
+
+    fn blacklist(&mut self, machine: u32, time: SimTime, reason: BlacklistReason) {
+        if let Some(st) = self.machines.get_mut(&machine) {
+            st.blacklisted_until = Some(time + self.policy.blacklist_duration);
+            // Probation: the machine re-earns trust from zero when the
+            // blacklist expires.
+            st.consecutive_faults = 0;
+            st.straggler_strikes = 0;
+        }
+        self.sink.emit(|| Event::MachineBlacklisted {
+            time,
+            machine,
+            reason,
+        });
+    }
+
+    /// Health of `machine` as of `now` (expired blacklists read as
+    /// healthy or suspect depending on counters).
+    pub fn health(&self, machine: u32, now: SimTime) -> MachineHealth {
+        match self.machines.get(&machine) {
+            None => MachineHealth::Healthy,
+            Some(st) if Self::is_banned_at(st, now) => MachineHealth::Blacklisted,
+            Some(st) if st.consecutive_faults > 0 || st.straggler_strikes > 0 => {
+                MachineHealth::Suspect
+            }
+            Some(_) => MachineHealth::Healthy,
+        }
+    }
+
+    /// Machines blacklisted as of `now`, ascending.
+    pub fn blacklisted_machines(&self, now: SimTime) -> Vec<u32> {
+        self.machines
+            .iter()
+            .filter(|(_, st)| Self::is_banned_at(st, now))
+            .map(|(&m, _)| m)
+            .collect()
+    }
+
+    /// Machines blacklisted as of `now` with their expiry instants,
+    /// ascending by machine. The expiry identifies the *ban episode*: a
+    /// re-blacklist after probation carries a later expiry, which is how
+    /// the recovery auditor tells "banned the whole window" apart from
+    /// "expired, hosted a legal placement, and was banned again".
+    pub fn blacklisted_with_expiry(&self, now: SimTime) -> Vec<(u32, SimTime)> {
+        self.machines
+            .iter()
+            .filter(|(_, st)| Self::is_banned_at(st, now))
+            .filter_map(|(&m, st)| st.blacklisted_until.map(|until| (m, until)))
+            .collect()
     }
 
     /// Latest known progress of `job`.
@@ -109,14 +321,20 @@ impl WorkerMonitor {
         self.progress.get(&job)
     }
 
-    /// All recorded utilization samples, in time order.
+    /// All retained utilization samples, in time order (decimated once
+    /// the memory bound is hit).
     pub fn utilization_series(&self) -> &[UtilizationSnapshot] {
         &self.snapshots
     }
 
-    /// All recorded faults.
+    /// All retained faults.
     pub fn faults(&self) -> &[FaultReport] {
         &self.faults
+    }
+
+    /// Fault reports dropped after the retention bound was reached.
+    pub fn faults_dropped(&self) -> u64 {
+        self.faults_dropped
     }
 
     /// Time-weighted average utilization per resource over the recorded
@@ -216,7 +434,8 @@ mod tests {
         m.report_fault(FaultReport {
             job: JobId(7),
             time: SimTime::from_secs(2),
-            reason: "NCCL timeout".into(),
+            kind: FaultKind::Injected,
+            machine: None,
         });
         drop(m); // release the monitor's clone of the sink
         let t = sink.into_inner().expect("last handle");
@@ -229,14 +448,125 @@ mod tests {
     }
 
     #[test]
-    fn faults_accumulate() {
-        let mut m = WorkerMonitor::new();
-        m.report_fault(FaultReport {
-            job: JobId(3),
-            time: SimTime::from_secs(10),
-            reason: "CUDA OOM".into(),
+    fn faults_accumulate_up_to_the_retention_bound() {
+        let mut m = WorkerMonitor::with_policy(HealthPolicy {
+            max_fault_reports: 2,
+            ..HealthPolicy::default()
         });
-        assert_eq!(m.faults().len(), 1);
-        assert_eq!(m.faults()[0].job, JobId(3));
+        for i in 0..5u32 {
+            m.report_fault(FaultReport {
+                job: JobId(i),
+                time: SimTime::from_secs(u64::from(i)),
+                kind: FaultKind::MachineTransient,
+                machine: Some(0),
+            });
+        }
+        assert_eq!(m.faults().len(), 2);
+        assert_eq!(m.faults_dropped(), 3);
+        assert_eq!(m.faults()[0].job, JobId(0));
+    }
+
+    #[test]
+    fn consecutive_machine_faults_blacklist_then_expire() {
+        let mut m = WorkerMonitor::new(); // fault_threshold 3, 30 min ban
+        let t = SimTime::from_secs(100);
+        m.record_machine_fault(2, t);
+        m.record_machine_fault(2, t);
+        assert_eq!(m.health(2, t), MachineHealth::Suspect);
+        assert!(m.blacklisted_machines(t).is_empty());
+        m.record_machine_fault(2, t);
+        assert_eq!(m.health(2, t), MachineHealth::Blacklisted);
+        assert_eq!(m.blacklisted_machines(t), vec![2]);
+        // The ban is time-bound: after the duration the machine is
+        // retried (counters were reset on blacklist).
+        let later = t + m.policy().blacklist_duration;
+        assert_eq!(m.health(2, later), MachineHealth::Healthy);
+        assert!(m.blacklisted_machines(later).is_empty());
+    }
+
+    #[test]
+    fn healthy_progress_resets_the_fault_streak() {
+        let mut m = WorkerMonitor::new();
+        let t = SimTime::from_secs(5);
+        m.record_machine_fault(1, t);
+        m.record_machine_fault(1, t);
+        m.record_machine_ok(1);
+        m.record_machine_fault(1, t);
+        // 2 faults + reset + 1 fault: never 3 consecutive.
+        assert_eq!(m.health(1, t), MachineHealth::Suspect);
+        assert!(m.blacklisted_machines(t).is_empty());
+    }
+
+    #[test]
+    fn straggler_strikes_blacklist_and_on_pace_observations_clear() {
+        let mut m = WorkerMonitor::new(); // slowdown 1.25, threshold 3
+        let t = SimTime::from_secs(50);
+        m.observe_machine_rate(4, t, 1.5);
+        m.observe_machine_rate(4, t, 1.5);
+        m.observe_machine_rate(4, t, 1.0); // on pace: strikes clear
+        m.observe_machine_rate(4, t, 1.5);
+        m.observe_machine_rate(4, t, 1.5);
+        assert_eq!(m.health(4, t), MachineHealth::Suspect);
+        m.observe_machine_rate(4, t, 1.5);
+        assert_eq!(m.health(4, t), MachineHealth::Blacklisted);
+    }
+
+    #[test]
+    fn blacklist_events_reach_the_sink() {
+        use muri_telemetry::Telemetry;
+        let sink = TelemetrySink::enabled(Telemetry::new());
+        let mut m = WorkerMonitor::new();
+        m.set_sink(sink.clone());
+        let t = SimTime::from_secs(9);
+        for _ in 0..3 {
+            m.record_machine_fault(7, t);
+        }
+        drop(m);
+        let telem = sink.into_inner().expect("last handle");
+        assert_eq!(telem.journal.counts().machine_blacklists, 1);
+        match &telem.journal.events()[0] {
+            Event::MachineBlacklisted {
+                machine, reason, ..
+            } => {
+                assert_eq!(*machine, 7);
+                assert_eq!(*reason, muri_telemetry::BlacklistReason::ConsecutiveFaults);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utilization_series_is_decimated_at_the_bound() {
+        let mut m = WorkerMonitor::with_policy(HealthPolicy {
+            max_utilization_samples: 8,
+            ..HealthPolicy::default()
+        });
+        for t in 0..100u64 {
+            m.record_utilization(UtilizationSnapshot {
+                time: SimTime::from_secs(t),
+                util: ResourceVec::splat(0.5),
+            });
+        }
+        let series = m.utilization_series();
+        assert!(
+            series.len() <= 9,
+            "series must stay bounded, got {}",
+            series.len()
+        );
+        // Decimation keeps the series in time order and spanning the run.
+        assert!(series.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(series[0].time, SimTime::ZERO);
+        // The average is still computable and sane.
+        let avg = m.average_utilization();
+        assert!((avg[ResourceKind::Gpu] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forget_job_prunes_progress() {
+        let mut m = WorkerMonitor::new();
+        m.record_progress(JobId(1), JobProgress::default());
+        assert!(m.progress(JobId(1)).is_some());
+        m.forget_job(JobId(1));
+        assert!(m.progress(JobId(1)).is_none());
     }
 }

@@ -28,11 +28,22 @@ impl GpuSet {
 }
 
 /// Mutable allocation state of a cluster.
+///
+/// Beyond GPU leases, the cluster tracks two per-machine conditions that
+/// fault domains introduce: *down* (fail-stopped, under repair) and
+/// *banned* (blacklisted by the worker monitor). Neither kind of machine
+/// receives new placements; existing leases on a banned machine keep
+/// running, while a machine going down tears its leases apart at the
+/// engine level before `set_down` is called.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cluster {
     spec: ClusterSpec,
     /// `free[g] == true` iff GPU `g` is unleased.
     free: Vec<bool>,
+    /// `down[m] == true` iff machine `m` is fail-stopped.
+    down: Vec<bool>,
+    /// `banned[m] == true` iff machine `m` is blacklisted for placement.
+    banned: Vec<bool>,
 }
 
 impl Cluster {
@@ -40,6 +51,8 @@ impl Cluster {
     pub fn new(spec: ClusterSpec) -> Self {
         Cluster {
             free: vec![true; spec.total_gpus() as usize],
+            down: vec![false; spec.machines as usize],
+            banned: vec![false; spec.machines as usize],
             spec,
         }
     }
@@ -49,14 +62,52 @@ impl Cluster {
         &self.spec
     }
 
-    /// Number of free GPUs.
-    pub fn free_gpus(&self) -> u32 {
-        self.free.iter().filter(|&&f| f).count() as u32
+    /// True when machine `m` may host new placements (neither down nor
+    /// blacklisted).
+    pub fn machine_available(&self, m: u32) -> bool {
+        !self.down[m as usize] && !self.banned[m as usize]
     }
 
-    /// Number of leased GPUs.
+    /// Mark machine `m` fail-stopped (or repaired).
+    pub fn set_down(&mut self, m: u32, down: bool) {
+        self.down[m as usize] = down;
+    }
+
+    /// Mark machine `m` blacklisted (or cleared) for new placements.
+    pub fn set_banned(&mut self, m: u32, banned: bool) {
+        self.banned[m as usize] = banned;
+    }
+
+    /// True iff machine `m` is fail-stopped.
+    pub fn is_down(&self, m: u32) -> bool {
+        self.down[m as usize]
+    }
+
+    /// True iff machine `m` is blacklisted for new placements.
+    pub fn is_banned(&self, m: u32) -> bool {
+        self.banned[m as usize]
+    }
+
+    /// Number of free GPUs on machines that may host new placements.
+    pub fn free_gpus(&self) -> u32 {
+        (0..self.spec.machines)
+            .filter(|&m| self.machine_available(m))
+            .map(|m| self.free_on_machine(m).len() as u32)
+            .sum()
+    }
+
+    /// Total GPUs (free or leased) on machines that may host new
+    /// placements — the capacity a preemptive planning pass may use.
+    pub fn available_gpus(&self) -> u32 {
+        (0..self.spec.machines)
+            .filter(|&m| self.machine_available(m))
+            .count() as u32
+            * self.spec.machine.gpus
+    }
+
+    /// Number of leased GPUs (on any machine, available or not).
     pub fn used_gpus(&self) -> u32 {
-        self.spec.total_gpus() - self.free_gpus()
+        self.free.iter().filter(|&&f| !f).count() as u32
     }
 
     /// Free GPUs on machine `m`.
@@ -76,8 +127,9 @@ impl Cluster {
     /// * otherwise span machines, taking from the machines with the *most*
     ///   free GPUs first (minimizes the number of nodes crossed).
     ///
-    /// Returns `None` (and changes nothing) if fewer than `n` GPUs are
-    /// free in total.
+    /// Down and blacklisted machines are skipped entirely. Returns `None`
+    /// (and changes nothing) if fewer than `n` GPUs are free on the
+    /// remaining machines.
     pub fn allocate(&mut self, n: u32) -> Option<GpuSet> {
         if n == 0 {
             return Some(GpuSet { gpus: Vec::new() });
@@ -87,7 +139,7 @@ impl Cluster {
         }
         // Best fit on a single machine.
         let mut best: Option<(u32, usize)> = None; // (machine, free count)
-        for m in 0..self.spec.machines {
+        for m in (0..self.spec.machines).filter(|&m| self.machine_available(m)) {
             let cnt = self.free_on_machine(m).len();
             if cnt >= n as usize {
                 match best {
@@ -102,6 +154,7 @@ impl Cluster {
         } else {
             // Span machines: most-free first to minimize the span.
             let mut machines: Vec<(usize, u32)> = (0..self.spec.machines)
+                .filter(|&m| self.machine_available(m))
                 .map(|m| (self.free_on_machine(m).len(), m))
                 .collect();
             machines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -231,5 +284,59 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 64);
+    }
+
+    #[test]
+    fn banned_machines_host_no_new_placements() {
+        let mut c = testbed();
+        c.set_banned(0, true);
+        assert!(!c.machine_available(0));
+        assert_eq!(c.free_gpus(), 56);
+        assert_eq!(c.available_gpus(), 56);
+        // 18×3 = 54 ≤ 56 available GPUs — every allocation must fit.
+        for _ in 0..18 {
+            let lease = c.allocate(3).unwrap();
+            assert!(
+                lease.gpus.iter().all(|&g| c.spec().machine_of(g) != 0),
+                "banned machine received a placement: {:?}",
+                lease.gpus
+            );
+            // Keep the lease so later allocations keep probing.
+        }
+        // Unbanning restores the machine for placement.
+        c.set_banned(0, false);
+        let lease = c.allocate(8).unwrap();
+        assert_eq!(c.spec().machine_of(lease.gpus[0]), 0);
+    }
+
+    #[test]
+    fn down_machines_are_excluded_like_banned_ones() {
+        let mut c = testbed();
+        c.set_down(3, true);
+        assert!(c.is_down(3) && !c.is_banned(3));
+        assert_eq!(c.available_gpus(), 56);
+        // A full-cluster allocation can no longer fit.
+        assert!(c.allocate(64).is_none());
+        let spanning = c.allocate(56).unwrap();
+        assert!(spanning.gpus.iter().all(|&g| c.spec().machine_of(g) != 3));
+        assert_eq!(c.free_gpus(), 0);
+        c.set_down(3, false);
+        assert_eq!(c.free_gpus(), 8);
+    }
+
+    #[test]
+    fn used_gpus_counts_leases_on_unavailable_machines() {
+        let mut c = testbed();
+        let lease = c.allocate(8).unwrap();
+        let m = c.spec().machine_of(lease.gpus[0]);
+        c.set_banned(m, true);
+        // The lease survives the ban and still counts as used; the
+        // banned machine had no free GPUs left, so free_gpus is
+        // unchanged.
+        assert!(c.holds(&lease));
+        assert_eq!(c.used_gpus(), 8);
+        assert_eq!(c.free_gpus(), 56);
+        c.release(&lease);
+        assert_eq!(c.used_gpus(), 0);
     }
 }

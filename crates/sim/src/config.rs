@@ -1,19 +1,101 @@
 //! Simulation configuration.
 
-use muri_cluster::ClusterSpec;
+use muri_cluster::{ClusterSpec, HealthPolicy};
 use muri_core::SchedulerConfig;
 use muri_workload::{ProfilerConfig, SimDuration};
 use serde::{Deserialize, Serialize};
 
-/// Fault-injection configuration (§5: executors report faults to the
-/// worker monitor; the job is terminated and pushed back to the queue).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
-pub struct FaultConfig {
+/// Fault-domain plan (§5: executors report faults to the worker monitor;
+/// the job is terminated and pushed back to the queue). Beyond the
+/// original per-job MTBF model this injects machine-level fail-stop and
+/// transient faults — a machine fault cascades to every job and group
+/// the machine hosts — and degraded machines that run every stage of
+/// jobs placed on them slower.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
     /// Mean time between faults per running job (exponential). `None`
-    /// disables fault injection (the paper's evaluation runs fault-free).
+    /// disables per-job fault injection (the paper's evaluation runs
+    /// fault-free).
     pub mtbf: Option<SimDuration>,
-    /// RNG seed for fault times.
+    /// RNG seed for all fault streams (per-job, machine, degradation).
     pub seed: u64,
+    /// Mean time between machine-level faults, per machine
+    /// (exponential). `None` disables machine faults.
+    #[serde(default)]
+    pub machine_mtbf: Option<SimDuration>,
+    /// Mean time to repair a fail-stopped machine (exponential).
+    #[serde(default)]
+    pub machine_mttr: SimDuration,
+    /// Fraction of machine faults that are transient (the machine stays
+    /// up; only its jobs die). The rest are fail-stop.
+    #[serde(default)]
+    pub transient_fraction: f64,
+    /// Number of machines that run degraded (chosen by seeded draw).
+    #[serde(default)]
+    pub degraded_machines: u32,
+    /// Slowdown factor applied to every stage of jobs placed on a
+    /// degraded machine.
+    #[serde(default)]
+    pub degraded_slowdown: f64,
+    /// Worker-monitor health thresholds (blacklisting policy).
+    #[serde(default)]
+    pub health: HealthPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            mtbf: None,
+            seed: 0,
+            machine_mtbf: None,
+            machine_mttr: SimDuration::from_secs(600),
+            transient_fraction: 0.5,
+            degraded_machines: 0,
+            degraded_slowdown: 1.5,
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when machine-health tracking matters: machine faults or
+    /// degraded machines are in play, so the engine feeds the monitor
+    /// and syncs blacklists into placement.
+    pub fn health_active(&self) -> bool {
+        self.machine_mtbf.is_some() || self.degraded_machines > 0
+    }
+
+    /// True when any fault feature is enabled.
+    pub fn any_active(&self) -> bool {
+        self.mtbf.is_some() || self.health_active()
+    }
+}
+
+/// Historical name of [`FaultPlan`].
+pub type FaultConfig = FaultPlan;
+
+/// Checkpoint/restore model: jobs periodically pay a checkpoint cost
+/// and, on a *machine* fault, resume from the last durable point
+/// (checkpoint or graceful stop) instead of keeping all progress.
+/// Per-job injected faults keep progress — the process restarts on a
+/// healthy machine and pays only the flat restart penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Wall-clock between checkpoints of a running group. `None`
+    /// disables checkpointing: machine faults destroy all work since
+    /// the job's last graceful stop.
+    pub interval: Option<SimDuration>,
+    /// Pause the whole group pays per checkpoint.
+    pub cost: SimDuration,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            interval: None,
+            cost: SimDuration::from_secs(30),
+        }
+    }
 }
 
 /// Full configuration of one simulation run.
@@ -25,8 +107,11 @@ pub struct SimConfig {
     pub scheduler: SchedulerConfig,
     /// Profiler (noise) configuration — what the scheduler *sees*.
     pub profiler: ProfilerConfig,
-    /// Fault injection.
-    pub faults: FaultConfig,
+    /// Fault injection (per-job and machine-level).
+    pub faults: FaultPlan,
+    /// Checkpoint/restore model.
+    #[serde(default)]
+    pub checkpoint: CheckpointConfig,
     /// Execution overhead per extra interleaved group member: a group of
     /// `m` jobs runs `1 + o·(m−1)` slower than Eq. 3 predicts. Models the
     /// residual contention the paper cites for why 4-job groups don't
@@ -59,7 +144,8 @@ impl SimConfig {
             cluster: ClusterSpec::paper_testbed(),
             scheduler,
             profiler: ProfilerConfig::exact(),
-            faults: FaultConfig::default(),
+            faults: FaultPlan::default(),
+            checkpoint: CheckpointConfig::default(),
             interleave_overhead_per_job: 0.03,
             sharing_overhead_per_job: 0.25,
             cross_machine_net_penalty: 0.0,

@@ -14,11 +14,21 @@
 //!   profiles; *execution* speed comes from the ground-truth profiles —
 //!   exactly how profiling noise degrades Muri in Fig. 14;
 //! * group execution follows Eq. 3 under the configured ordering policy,
-//!   scaled by the contention overhead model.
+//!   scaled by the contention overhead model;
+//! * fault domains (§5): beyond per-job MTBF faults (process crashes
+//!   that keep progress behind a flat restart penalty), machines fail
+//!   (fail-stop with exponential repair, or transient) and cascade to
+//!   every group they host; machine faults destroy device state, so
+//!   jobs roll back to their last checkpoint (`CheckpointConfig`), the
+//!   worker monitor blacklists machines with consecutive faults or
+//!   straggler behavior, and placement avoids down/blacklisted machines
+//!   until they recover.
 
 use crate::config::SimConfig;
 use crate::metrics::{JobRecord, SeriesSample, SimReport};
-use muri_cluster::{Cluster, FaultReport, GpuSet, UtilizationSnapshot, WorkerMonitor};
+use muri_cluster::{
+    Cluster, FaultKind, FaultReport, GpuId, GpuSet, JobProgress, UtilizationSnapshot, WorkerMonitor,
+};
 use muri_core::{plan_schedule_with, PendingJob, PlannedGroup};
 use muri_interleave::{choose_ordering, GroupMember, InterleaveGroup};
 use muri_telemetry::{Event, TelemetrySink};
@@ -59,7 +69,7 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
 pub fn simulate_with_telemetry(trace: &Trace, cfg: &SimConfig, sink: &TelemetrySink) -> SimReport {
     let mut engine = Engine::new(trace, cfg);
     engine.sink = sink.clone();
-    engine.monitor = WorkerMonitor::with_sink(sink.clone());
+    engine.monitor.set_sink(sink.clone());
     engine.run()
 }
 
@@ -82,6 +92,9 @@ struct JobState {
     measured: StageProfile,
     truth: StageProfile,
     done_iters: u64,
+    /// Durable progress: iterations persisted by the last checkpoint (or
+    /// a graceful stop). A fault rolls `done_iters` back to this.
+    saved_iters: u64,
     attained: SimDuration,
     first_start: Option<SimTime>,
     finish: Option<SimTime>,
@@ -129,6 +142,9 @@ enum Ev {
     Arrival(u32),
     Completion { gid: u32, version: u64 },
     Fault { gid: u32, version: u64, job: JobId },
+    Checkpoint { gid: u32, version: u64 },
+    MachineFail(u32),
+    MachineRecover(u32),
     Tick,
 }
 
@@ -142,11 +158,21 @@ struct Engine<'a> {
     groups: Vec<Option<RunningGroup>>,
     events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
     seq: u64,
+    /// Monotone group-version counter, shared across group slots so a
+    /// reused slot can never alias a stale event's `(gid, version)` key
+    /// onto its new occupant.
+    next_version: u64,
     now: SimTime,
     dirty: bool,
     next_tick: Option<SimTime>,
     arrivals_left: usize,
     fault_rng: SmallRng,
+    /// Machine fail/repair draws — a stream separate from `fault_rng` so
+    /// enabling one fault feature doesn't shift the other's schedule.
+    machine_rng: SmallRng,
+    /// `degraded[m]` — machine `m` runs every stage of hosted jobs slower
+    /// by `faults.degraded_slowdown`.
+    degraded: Vec<bool>,
     series: Vec<SeriesSample>,
     passes: u64,
     nevents: u64,
@@ -160,10 +186,36 @@ struct Engine<'a> {
     /// means debug builds assert on violations instead.
     #[cfg(feature = "audit")]
     audit: Option<muri_verify::AuditReport>,
+    /// Previous recovery snapshot — `audit_recovery` checks pass-to-pass
+    /// deltas (no job lost/duplicated, progress monotone).
+    #[cfg(feature = "audit")]
+    prev_recovery: Option<muri_verify::RecoverySnapshot>,
+}
+
+/// Exponential gap with the given mean: `-mean · ln(u)`, `u ∈ [ε, 1)`.
+fn exp_gap(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
 }
 
 impl<'a> Engine<'a> {
     fn new(trace: &'a Trace, cfg: &'a SimConfig) -> Self {
+        let machines = cfg.cluster.machines as usize;
+        let mut degraded = vec![false; machines];
+        if cfg.faults.degraded_machines > 0 {
+            // Seeded draw of distinct degraded machines, on a stream of
+            // its own so it doesn't perturb fault times.
+            let mut rng = SmallRng::seed_from_u64(cfg.faults.seed ^ 0xDE6A);
+            let want = (cfg.faults.degraded_machines as usize).min(machines);
+            let mut chosen = 0usize;
+            while chosen < want {
+                let m = rng.gen_range(0..machines);
+                if !degraded[m] {
+                    degraded[m] = true;
+                    chosen += 1;
+                }
+            }
+        }
         let mut engine = Engine {
             cfg,
             trace,
@@ -174,21 +226,32 @@ impl<'a> Engine<'a> {
             groups: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
+            next_version: 0,
             now: SimTime::ZERO,
             dirty: false,
             next_tick: None,
             arrivals_left: trace.len(),
             fault_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0xFA17),
+            machine_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0x3AC1),
+            degraded,
             series: Vec::new(),
             passes: 0,
             nevents: 0,
             sink: TelemetrySink::disabled(),
-            monitor: WorkerMonitor::new(),
+            monitor: WorkerMonitor::with_policy(cfg.faults.health),
             #[cfg(feature = "audit")]
             audit: None,
+            #[cfg(feature = "audit")]
+            prev_recovery: None,
         };
         for (i, job) in trace.jobs.iter().enumerate() {
             engine.schedule_at(job.submit_time, Ev::Arrival(i as u32));
+        }
+        if let Some(mtbf) = cfg.faults.machine_mtbf {
+            for m in 0..cfg.cluster.machines {
+                let gap = exp_gap(&mut engine.machine_rng, mtbf);
+                engine.schedule_at(SimTime::ZERO + gap, Ev::MachineFail(m));
+            }
         }
         engine
     }
@@ -217,6 +280,9 @@ impl<'a> Engine<'a> {
                 Ev::Arrival(idx) => self.on_arrival(idx as usize),
                 Ev::Completion { gid, version } => self.on_completion(gid as usize, version),
                 Ev::Fault { gid, version, job } => self.on_fault(gid as usize, version, job),
+                Ev::Checkpoint { gid, version } => self.on_checkpoint(gid as usize, version),
+                Ev::MachineFail(m) => self.on_machine_fail(m),
+                Ev::MachineRecover(m) => self.on_machine_recover(m),
                 Ev::Tick => self.on_tick(),
             }
         }
@@ -242,6 +308,7 @@ impl<'a> Engine<'a> {
                     measured: StageProfile::default(),
                     truth: spec.true_profile(),
                     done_iters: 0,
+                    saved_iters: 0,
                     attained: SimDuration::ZERO,
                     first_start: None,
                     finish: None,
@@ -259,6 +326,7 @@ impl<'a> Engine<'a> {
                 measured,
                 truth: spec.true_profile(),
                 done_iters: 0,
+                saved_iters: 0,
                 attained: SimDuration::ZERO,
                 first_start: None,
                 finish: None,
@@ -280,6 +348,18 @@ impl<'a> Engine<'a> {
             return;
         }
         self.advance_and_reap(gid);
+        if self.group_version_matches(gid, version) {
+            // Premature wakeup: a checkpoint pushed the anchor past the
+            // time this completion was scheduled for. Re-aim at the (now
+            // later) completion instant; the version is unchanged, so no
+            // duplicate chain starts.
+            if !self.groups[gid]
+                .as_ref()
+                .is_some_and(|g| g.iter_time.is_zero())
+            {
+                self.schedule_completion(gid);
+            }
+        }
         if self.dirty {
             // Capacity was freed (or membership changed): backfill
             // immediately without preempting anyone.
@@ -292,37 +372,229 @@ impl<'a> Engine<'a> {
             return;
         }
         self.advance_and_reap(gid);
-        // The job may have completed exactly at the fault boundary.
-        let Some(group) = self.groups[gid].as_ref() else {
-            self.fill_pass();
+        // The job may have completed exactly at the fault boundary (in
+        // which case the reap above re-formed or released the group and
+        // bumped the version).
+        let still_running = self.groups[gid]
+            .as_ref()
+            .is_some_and(|g| g.members.contains(&job));
+        if !still_running {
+            if self.dirty {
+                self.fill_pass();
+            }
+            return;
+        }
+        // Group-aware recovery (§5): the faulted member is terminated
+        // and restarted; the survivors cannot keep the interleave cycle
+        // going around the hole, so they are gracefully stopped —
+        // progress and attained service intact — and requeued for the
+        // next pass to regroup.
+        let Some(group) = self.groups[gid].take() else {
             return;
         };
-        if !group.members.contains(&job) {
-            return;
+        self.cluster.release(&group.gpus);
+        let now = self.now;
+        for m in group.members {
+            if m == job {
+                self.fault_job(m, FaultKind::Injected, None);
+            } else {
+                // advance_and_reap left only unfinished members behind.
+                if let Some(j) = self.jobs.get_mut(&m) {
+                    j.saved_iters = j.done_iters;
+                }
+                self.queue.push(m);
+                self.sink.emit(|| Event::JobPreempted { time: now, job: m });
+            }
         }
-        // Terminate the job and push it back to the queue (§5).
-        let members: Vec<JobId> = group
-            .members
-            .iter()
-            .copied()
-            .filter(|&j| j != job)
-            .collect();
+        self.dirty = true;
+        self.fill_pass();
+    }
+
+    /// Terminate a running job under a fault, route the report through
+    /// the worker monitor (§5), and requeue the job.
+    ///
+    /// Machine-level faults destroy device state: progress rolls back to
+    /// the last durable point (checkpoint or graceful stop) and the lost
+    /// work is accounted. Per-job injected faults model a process crash
+    /// whose state survives on the still-healthy machine, so the job
+    /// resumes where it stopped and pays only the flat restart penalty.
+    fn fault_job(&mut self, job: JobId, kind: FaultKind, machine: Option<u32>) {
+        let now = self.now;
+        let mut lost = 0u64;
+        let mut wasted = SimDuration::ZERO;
         if let Some(j) = self.jobs.get_mut(&job) {
+            if kind.is_machine() {
+                lost = j.done_iters.saturating_sub(j.saved_iters);
+                wasted = j.truth.iteration_time() * lost;
+                j.done_iters = j.saved_iters;
+            } else {
+                j.saved_iters = j.done_iters;
+            }
             j.faults += 1;
         }
-        if self.sink.is_enabled() {
-            // Route the fault through the worker monitor (§5): the
-            // executor reports the error, the monitor forwards it to
-            // telemetry as a `JobFaulted` event.
-            self.monitor.report_fault(FaultReport {
+        if lost > 0 {
+            self.sink.emit(|| Event::WorkLost {
+                time: now,
                 job,
-                time: self.now,
-                reason: "injected fault (MTBF model)".into(),
+                iterations: lost,
+                wasted,
             });
         }
+        // Always routed (not sink-gated): the report feeds machine
+        // health, which feeds placement — behavior must be identical
+        // with telemetry on or off.
+        self.monitor.report_fault(FaultReport {
+            job,
+            time: now,
+            kind,
+            machine,
+        });
         self.queue.push(job);
+    }
+
+    fn on_checkpoint(&mut self, gid: usize, version: u64) {
+        if !self.group_version_matches(gid, version) {
+            return;
+        }
+        self.advance_and_reap(gid);
+        // A reap that changed membership bumped the version and started
+        // a fresh checkpoint chain — this stale chain ends here.
+        if !self.group_version_matches(gid, version) {
+            if self.dirty {
+                self.fill_pass();
+            }
+            return;
+        }
+        let Some(interval) = self.cfg.checkpoint.interval else {
+            return;
+        };
+        let cost = self.cfg.checkpoint.cost;
+        let now = self.now;
+        let members = match self.groups[gid].as_mut() {
+            Some(group) => {
+                // The whole group pauses while its members persist
+                // state: iteration progress is pushed out by the cost
+                // (attained service keeps accruing — the GPUs stay
+                // held), which is the checkpoint overhead the lost-work
+                // trade-off pays for.
+                group.anchor += cost;
+                group.members.clone()
+            }
+            None => return,
+        };
+        for job in members {
+            let Some(j) = self.jobs.get_mut(&job) else {
+                continue;
+            };
+            j.saved_iters = j.done_iters;
+            let iters_saved = j.saved_iters;
+            self.sink.emit(|| Event::CheckpointTaken {
+                time: now,
+                job,
+                iters_saved,
+            });
+        }
+        self.schedule_at(
+            self.now + interval,
+            Ev::Checkpoint {
+                gid: gid as u32,
+                version,
+            },
+        );
+        if self.dirty {
+            self.fill_pass();
+        }
+    }
+
+    fn on_machine_fail(&mut self, m: u32) {
+        let Some(mtbf) = self.cfg.faults.machine_mtbf else {
+            return;
+        };
+        if self.done() {
+            // Drain stale machine events without re-arming, so the run
+            // terminates once the workload does.
+            return;
+        }
+        let transient = self.machine_rng.gen_range(0.0..1.0) < self.cfg.faults.transient_fraction;
+        let kind = if transient {
+            FaultKind::MachineTransient
+        } else {
+            FaultKind::MachineFailStop
+        };
+        // Cascade: every group with a GPU on machine `m` loses all its
+        // members — the interleave cycle cannot survive a hole.
+        let mut jobs_hit = 0u32;
+        for gid in 0..self.groups.len() {
+            let hit = self.groups[gid].as_ref().is_some_and(|g| {
+                g.gpus
+                    .gpus
+                    .iter()
+                    .any(|&gpu| self.cluster.spec().machine_of(gpu) == m)
+            });
+            if !hit {
+                continue;
+            }
+            // Settle attained service and whole iterations up to the
+            // crash instant before rolling anyone back.
+            self.advance_only(gid);
+            let Some(group) = self.groups[gid].take() else {
+                continue;
+            };
+            self.cluster.release(&group.gpus);
+            let now = self.now;
+            for job in group.members {
+                if self.jobs[&job].remaining_iters() == 0 {
+                    // Finished exactly at the fault instant — the
+                    // completion stands.
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.finish = Some(now);
+                    }
+                    self.sink.emit(|| Event::JobCompleted { time: now, job });
+                    self.monitor.forget_job(job);
+                } else {
+                    self.fault_job(job, kind, Some(m));
+                    jobs_hit += 1;
+                }
+            }
+        }
+        let now = self.now;
+        self.sink.emit(|| Event::MachineFailed {
+            time: now,
+            machine: m,
+            transient,
+            jobs_hit,
+        });
+        // One health strike per machine failure (not one per victim).
+        self.monitor.record_machine_fault(m, now);
+        if transient {
+            let gap = exp_gap(&mut self.machine_rng, mtbf);
+            self.schedule_at(self.now + gap, Ev::MachineFail(m));
+        } else {
+            self.cluster.set_down(m, true);
+            let repair = exp_gap(&mut self.machine_rng, self.cfg.faults.machine_mttr);
+            self.schedule_at(self.now + repair, Ev::MachineRecover(m));
+        }
+        self.sync_banned();
         self.dirty = true;
-        self.reform_group(gid, members);
+        self.fill_pass();
+    }
+
+    fn on_machine_recover(&mut self, m: u32) {
+        let Some(mtbf) = self.cfg.faults.machine_mtbf else {
+            return;
+        };
+        self.cluster.set_down(m, false);
+        let now = self.now;
+        self.sink.emit(|| Event::MachineRecovered {
+            time: now,
+            machine: m,
+        });
+        if self.done() {
+            return;
+        }
+        let gap = exp_gap(&mut self.machine_rng, mtbf);
+        self.schedule_at(self.now + gap, Ev::MachineFail(m));
+        self.dirty = true;
         self.fill_pass();
     }
 
@@ -333,6 +605,12 @@ impl<'a> Engine<'a> {
             if self.groups[gid].is_some() {
                 self.advance_and_reap(gid);
             }
+        }
+        // Blacklist expiry is purely time-based (no event fires), so the
+        // tick refreshes the placement mask; a changed mask is freed (or
+        // newly lost) capacity and must replan.
+        if self.sync_banned() {
+            self.dirty = true;
         }
         // Replan when anything changed — or when packed groups coexist
         // with idle GPUs (capacity freed since the groups formed, so
@@ -418,6 +696,14 @@ impl<'a> Engine<'a> {
             }
             self.sink
                 .emit(|| Event::JobCompleted { time: now, job: *m });
+            self.monitor.forget_job(*m);
+        }
+        if self.cfg.faults.health_active() {
+            // Completions are healthy progress: clear the hosting
+            // machines' consecutive-fault streaks.
+            for m in self.machines_of_group(gid) {
+                self.monitor.record_machine_ok(m);
+            }
         }
         let survivors: Vec<JobId> = members
             .into_iter()
@@ -427,9 +713,48 @@ impl<'a> Engine<'a> {
         self.reform_group(gid, survivors);
     }
 
+    /// Distinct machines spanned by a group's lease, ascending.
+    fn machines_of_group(&self, gid: usize) -> Vec<u32> {
+        let mut ms: Vec<u32> = self.groups[gid]
+            .as_ref()
+            .map(|g| {
+                g.gpus
+                    .gpus
+                    .iter()
+                    .map(|&gpu| self.cluster.spec().machine_of(gpu))
+                    .collect()
+            })
+            .unwrap_or_default();
+        ms.sort_unstable();
+        ms.dedup();
+        ms
+    }
+
+    /// Mirror the monitor's current blacklist into the cluster's
+    /// placement mask (no-op when machine-health tracking is off).
+    /// Returns `true` when the mask changed — a blacklist expiry frees
+    /// capacity without raising an event, so the caller must replan.
+    fn sync_banned(&mut self) -> bool {
+        if !self.cfg.faults.health_active() {
+            return false;
+        }
+        let banned = self.monitor.blacklisted_machines(self.now);
+        let mut changed = false;
+        for m in 0..self.cfg.cluster.machines {
+            let ban = banned.binary_search(&m).is_ok();
+            if self.cluster.is_banned(m) != ban {
+                self.cluster.set_banned(m, ban);
+                changed = true;
+            }
+        }
+        changed
+    }
+
     /// Replace a group's membership (possibly empty → release GPUs),
     /// recompute execution speed, and schedule the next completion.
     fn reform_group(&mut self, gid: usize, members: Vec<JobId>) {
+        self.next_version += 1;
+        let version = self.next_version;
         let Some(group) = self.groups[gid].as_mut() else {
             return;
         };
@@ -440,17 +765,17 @@ impl<'a> Engine<'a> {
             return;
         }
         group.members = members;
-        group.version += 1;
+        group.version = version;
         group.anchor = self.now;
         group.last_touch = self.now;
         let member_ids = group.members.clone();
         let gpu_list = group.gpus.gpus.clone();
-        let span = self.cluster.spec().machines_spanned(&gpu_list);
-        let iter_time = self.execution_iteration_time(&member_ids, span);
+        let iter_time = self.execution_iteration_time(&member_ids, &gpu_list);
         if let Some(group) = self.groups[gid].as_mut() {
             group.iter_time = iter_time;
         }
         self.schedule_completion(gid);
+        self.schedule_checkpoint(gid);
     }
 
     /// Realized group iteration time. The scheduler *plans* (chooses the
@@ -460,7 +785,8 @@ impl<'a> Engine<'a> {
     /// ordering, and reality pays for it. Stages the plan did not
     /// schedule at all (measured as zero but truly nonzero) cannot
     /// overlap anything and serialize on top.
-    fn execution_iteration_time(&self, members: &[JobId], machines_spanned: usize) -> SimDuration {
+    fn execution_iteration_time(&self, members: &[JobId], gpus: &[GpuId]) -> SimDuration {
+        let machines_spanned = self.cluster.spec().machines_spanned(gpus);
         let measured: Vec<StageProfile> = members.iter().map(|m| self.jobs[m].measured).collect();
         let net_factor =
             1.0 + self.cfg.cross_machine_net_penalty * machines_spanned.saturating_sub(1) as f64;
@@ -488,10 +814,19 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        let overhead = self
+        let mut factor = self
             .cfg
             .group_overhead(truths.len(), self.cfg.scheduler.policy.gpu_shares());
-        t.scale(overhead)
+        if gpus
+            .iter()
+            .any(|&g| self.degraded[self.cluster.spec().machine_of(g) as usize])
+        {
+            // A degraded machine slows every stage of everything placed
+            // on it, and the interleave cycle stalls with its slowest
+            // participant.
+            factor *= self.cfg.faults.degraded_slowdown;
+        }
+        t.scale(factor)
     }
 
     fn schedule_completion(&mut self, gid: usize) {
@@ -518,11 +853,30 @@ impl<'a> Engine<'a> {
         self.schedule_at(at.max(self.now), ev);
     }
 
+    /// Arm the group's checkpoint chain. One chain runs per group
+    /// version; a stale chain dies at the handler's version guard.
+    fn schedule_checkpoint(&mut self, gid: usize) {
+        let Some(interval) = self.cfg.checkpoint.interval else {
+            return;
+        };
+        let Some(version) = self.groups[gid].as_ref().map(|g| g.version) else {
+            return;
+        };
+        self.schedule_at(
+            self.now + interval,
+            Ev::Checkpoint {
+                gid: gid as u32,
+                version,
+            },
+        );
+    }
+
     // ---------------------------------------------------------- planning
 
     /// Full (possibly preemptive) planning pass at a tick.
     fn planning_pass(&mut self) {
         self.passes += 1;
+        self.sync_banned();
         let preemptive = self.cfg.scheduler.policy.preemptive();
         let mut candidates: Vec<PendingJob> = self
             .queue
@@ -535,7 +889,10 @@ impl<'a> Engine<'a> {
                     candidates.push(self.jobs[m].as_pending());
                 }
             }
-            self.cluster.spec().total_gpus()
+            // Plan only against machines that can host placements —
+            // conservative when kept groups still sit on newly-banned
+            // machines (their capacity is simply not re-offered).
+            self.cluster.available_gpus()
         } else {
             self.cluster.free_gpus()
         };
@@ -606,6 +963,7 @@ impl<'a> Engine<'a> {
             return;
         }
         self.passes += 1;
+        self.sync_banned();
         let candidates: Vec<PendingJob> = self
             .queue
             .iter()
@@ -640,8 +998,14 @@ impl<'a> Engine<'a> {
         for job in queued {
             let num_gpus = self.jobs[&job].spec.num_gpus;
             let host = self.groups.iter().position(|g| {
-                g.as_ref()
-                    .is_some_and(|g| g.gpus.len() == num_gpus as usize && g.members.len() < cap)
+                g.as_ref().is_some_and(|g| {
+                    g.gpus.len() == num_gpus as usize
+                        && g.members.len() < cap
+                        && g.gpus.gpus.iter().all(|&gpu| {
+                            self.cluster
+                                .machine_available(self.cluster.spec().machine_of(gpu))
+                        })
+                })
             });
             let Some(gid) = host else {
                 continue;
@@ -691,7 +1055,13 @@ impl<'a> Engine<'a> {
                     j.finish = Some(self.now);
                 }
                 self.sink.emit(|| Event::JobCompleted { time: now, job: m });
+                self.monitor.forget_job(m);
             } else {
+                // Graceful stop: progress persists across the preemption
+                // (the restart penalty models the save/restore cost).
+                if let Some(j) = self.jobs.get_mut(&m) {
+                    j.saved_iters = j.done_iters;
+                }
                 self.queue.push(m);
                 self.sink.emit(|| Event::JobPreempted { time: now, job: m });
             }
@@ -755,8 +1125,7 @@ impl<'a> Engine<'a> {
                 restart,
             });
         }
-        let span = self.cluster.spec().machines_spanned(&gpus.gpus);
-        let iter_time = self.execution_iteration_time(&ids, span);
+        let iter_time = self.execution_iteration_time(&ids, &gpus.gpus);
         let gid = self
             .groups
             .iter()
@@ -765,8 +1134,9 @@ impl<'a> Engine<'a> {
                 self.groups.push(None);
                 self.groups.len() - 1
             });
+        self.next_version += 1;
         self.groups[gid] = Some(RunningGroup {
-            version: 1,
+            version: self.next_version,
             gpus,
             members: ids.clone(),
             iter_time,
@@ -774,7 +1144,22 @@ impl<'a> Engine<'a> {
             last_touch: self.now,
         });
         self.schedule_completion(gid);
+        self.schedule_checkpoint(gid);
         self.maybe_schedule_fault(gid, &ids);
+        if self.cfg.faults.health_active() {
+            // The monitor compares each hosting machine's realized stage
+            // rate against the plan; degraded machines read as
+            // stragglers, on-pace machines clear their strikes.
+            for m in self.machines_of_group(gid) {
+                let ratio = if self.degraded[m as usize] {
+                    self.cfg.faults.degraded_slowdown
+                } else {
+                    1.0
+                };
+                self.monitor.observe_machine_rate(m, self.now, ratio);
+            }
+            self.sync_banned();
+        }
         if self.sink.is_enabled() {
             // Trace the group's interleaving lanes over its first two
             // iterations (the renderer clips the window to that anyway).
@@ -849,6 +1234,65 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Snapshot the fault/recovery-relevant state for `audit_recovery`.
+    #[cfg(feature = "audit")]
+    fn recovery_snapshot(&self) -> muri_verify::RecoverySnapshot {
+        let spec = self.cluster.spec();
+        let total_gpus = spec.total_gpus();
+        let down = (0..spec.machines)
+            .filter(|&m| self.cluster.is_down(m))
+            .collect();
+        // The monitor's view (with expiry instants), not the cluster
+        // mask: the mask is only refreshed at planning passes and ticks,
+        // and the expiry is what lets the auditor distinguish a ban that
+        // spanned the window from one that lapsed and was re-issued.
+        let blacklisted = self
+            .monitor
+            .blacklisted_with_expiry(self.now)
+            .into_iter()
+            .map(|(m, until)| (m, until.as_micros()))
+            .collect();
+        let mut finished = Vec::new();
+        let mut attained_us = Vec::new();
+        let mut saved_iters = Vec::new();
+        let mut done_iters = Vec::new();
+        for j in self.jobs.values() {
+            if j.spec.num_gpus > total_gpus {
+                continue; // rejected at submission; never tracked
+            }
+            if j.finish.is_some() {
+                finished.push(j.spec.id);
+            }
+            attained_us.push((j.spec.id, j.attained.as_micros()));
+            saved_iters.push((j.spec.id, j.saved_iters));
+            done_iters.push((j.spec.id, j.done_iters));
+        }
+        finished.sort_unstable();
+        attained_us.sort_unstable();
+        saved_iters.sort_unstable();
+        done_iters.sort_unstable();
+        muri_verify::RecoverySnapshot {
+            time: self.now,
+            gpus_per_machine: spec.machine.gpus,
+            down,
+            blacklisted,
+            running: self
+                .groups
+                .iter()
+                .flatten()
+                .map(|g| muri_verify::GroupSnapshot {
+                    members: g.members.clone(),
+                    gpus: g.gpus.gpus.clone(),
+                })
+                .collect(),
+            queued: self.queue.clone(),
+            finished,
+            attained_us,
+            saved_iters,
+            done_iters,
+        }
+    }
+
     /// Audit hook, run after every scheduling pass. When collecting
     /// (`simulate_audited`) violations accumulate in the report;
     /// otherwise debug builds abort on the first violation.
@@ -858,7 +1302,13 @@ impl<'a> Engine<'a> {
             return;
         }
         let snap = self.tick_snapshot();
-        let report = muri_verify::audit_tick(&snap);
+        let mut report = muri_verify::audit_tick(&snap);
+        let rec = self.recovery_snapshot();
+        report.merge(muri_verify::audit_recovery(
+            self.prev_recovery.as_ref(),
+            &rec,
+        ));
+        self.prev_recovery = Some(rec);
         match self.audit.as_mut() {
             Some(acc) => acc.merge(report),
             None => debug_assert!(
@@ -912,6 +1362,21 @@ impl<'a> Engine<'a> {
                 time: self.now,
                 util,
             });
+            // Executor progress reports for every running member (the
+            // monitor prunes these as jobs finish).
+            for g in self.groups.iter().flatten() {
+                for &m in &g.members {
+                    let j = &self.jobs[&m];
+                    self.monitor.record_progress(
+                        m,
+                        JobProgress {
+                            completed_iterations: j.done_iters,
+                            total_iterations: j.spec.iterations,
+                            avg_iteration: Some(g.iter_time),
+                        },
+                    );
+                }
+            }
         }
         self.series.push(SeriesSample {
             time: self.now,

@@ -3,10 +3,11 @@
 //! Discrete-event GPU-cluster simulator for DL training schedulers:
 //!
 //! * [`config`] — simulation configuration (cluster, scheduler, profiler
-//!   noise, fault injection, contention overheads);
+//!   noise, fault/checkpoint plans, contention overheads);
 //! * [`engine`] — the event loop: arrivals, six-minute scheduling ticks
 //!   with keep-identical-groups preemption, completion backfill, group
-//!   execution per Eq. 3, fault injection;
+//!   execution per Eq. 3, machine-level fault domains with checkpoint/
+//!   restore and group-aware recovery;
 //! * [`metrics`] — job records, the paper's aggregate metrics (average /
 //!   tail JCT, makespan) and time series (queue length, blocking index,
 //!   per-resource utilization — Fig. 8).
@@ -19,9 +20,9 @@ pub mod engine;
 pub mod metrics;
 pub mod replicate;
 
-pub use config::{FaultConfig, SimConfig};
+pub use config::{CheckpointConfig, FaultConfig, FaultPlan, SimConfig};
 #[cfg(feature = "audit")]
 pub use engine::simulate_audited;
 pub use engine::{simulate, simulate_with_telemetry};
 pub use metrics::{JobRecord, SeriesSample, SimReport};
-pub use replicate::{replicate, MetricSummary, ReplicatedMetrics};
+pub use replicate::{replicate, replicate_with_workers, MetricSummary, ReplicatedMetrics};

@@ -91,10 +91,21 @@ fn run_replica(synth: &SynthConfig, sim: &SimConfig, i: usize) -> Observation {
 /// summary is computed from the replica-ordered observations, so the
 /// output is bit-identical to the sequential run.
 pub fn replicate(synth: &SynthConfig, sim: &SimConfig, replicas: usize) -> ReplicatedMetrics {
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    replicate_with_workers(synth, sim, replicas, workers)
+}
+
+/// [`replicate`] with an explicit worker-thread count (clamped to
+/// `[1, replicas]`). `workers = 1` forces the sequential path; the
+/// determinism tests compare it byte-for-byte against parallel runs.
+pub fn replicate_with_workers(
+    synth: &SynthConfig,
+    sim: &SimConfig,
+    replicas: usize,
+    workers: usize,
+) -> ReplicatedMetrics {
     assert!(replicas >= 1, "need at least one replica");
-    let workers = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(replicas);
+    let workers = workers.clamp(1, replicas);
     let mut results: Vec<Observation> = vec![[0.0; 3]; replicas];
     if workers == 1 {
         for (i, slot) in results.iter_mut().enumerate() {

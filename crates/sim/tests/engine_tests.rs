@@ -216,6 +216,7 @@ fn faults_requeue_and_jobs_still_finish() {
     cfg.faults = FaultConfig {
         mtbf: Some(SimDuration::from_secs(40)),
         seed: 7,
+        ..FaultConfig::default()
     };
     let faulty = simulate(&trace, &cfg);
     check_conservation(&faulty, &trace);

@@ -1,0 +1,49 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
+//! Regression pin for the disabled-fault path: with every fault feature
+//! off (no job MTBF, no machine faults, no degraded machines, no
+//! checkpointing) the simulator must produce a byte-identical
+//! [`muri_sim::SimReport`] across refactors. The fixture was generated
+//! before the fault-domain subsystem landed; run with `MURI_BLESS=1` to
+//! regenerate it after a *deliberate* behavior change.
+
+use muri_core::{PolicyKind, SchedulerConfig};
+use muri_sim::{simulate, SimConfig};
+use muri_workload::philly_like_trace;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check(name: &str, policy: PolicyKind) {
+    let trace = philly_like_trace(1, 0.02); // deterministic 20-job slice
+    let cfg = SimConfig::testbed(SchedulerConfig::preset(policy));
+    let report = simulate(&trace, &cfg);
+    let json = serde_json::to_string(&report).unwrap();
+    let path = fixture_path(name);
+    if std::env::var_os("MURI_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .expect("fixture missing — regenerate with MURI_BLESS=1 cargo test");
+    assert_eq!(
+        json,
+        pinned.trim_end(),
+        "{name}: disabled-fault SimReport diverged from the pinned pre-fault-subsystem output"
+    );
+}
+
+#[test]
+fn disabled_path_muril_report_is_pinned() {
+    check("report_disabled_muril.json", PolicyKind::MuriL);
+}
+
+#[test]
+fn disabled_path_srsf_report_is_pinned() {
+    check("report_disabled_srsf.json", PolicyKind::Srsf);
+}

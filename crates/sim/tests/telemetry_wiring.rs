@@ -40,6 +40,7 @@ fn noisy_faulty_config(policy: PolicyKind) -> SimConfig {
     cfg.faults = FaultConfig {
         mtbf: Some(SimDuration::from_secs(120)),
         seed: 11,
+        ..FaultConfig::default()
     };
     cfg
 }

@@ -9,6 +9,93 @@
 use muri_workload::{JobId, ResourceKind, SimDuration, SimTime};
 use serde::{Deserialize, Error, Serialize, Value};
 
+/// Typed cause of a reported fault. Replaces the old free-form string
+/// reason: per-fault reports no longer allocate, and exporters can label
+/// by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Per-job exponential fault injection (the MTBF model).
+    Injected,
+    /// The hosting machine fail-stopped and is down until repaired.
+    MachineFailStop,
+    /// The hosting machine suffered a transient fault (it stays up, but
+    /// every job it hosted was killed).
+    MachineTransient,
+}
+
+impl FaultKind {
+    /// Stable wire tag (the JSONL `"kind"` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Injected => "injected",
+            FaultKind::MachineFailStop => "machine_fail_stop",
+            FaultKind::MachineTransient => "machine_transient",
+        }
+    }
+
+    /// True when the fault was caused by a machine-level failure.
+    pub fn is_machine(self) -> bool {
+        matches!(
+            self,
+            FaultKind::MachineFailStop | FaultKind::MachineTransient
+        )
+    }
+}
+
+impl Serialize for FaultKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for FaultKind {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s: String = String::from_value(v)?;
+        Ok(match s.as_str() {
+            "injected" => FaultKind::Injected,
+            "machine_fail_stop" => FaultKind::MachineFailStop,
+            "machine_transient" => FaultKind::MachineTransient,
+            other => return Err(Error::msg(format!("unknown fault kind {other:?}"))),
+        })
+    }
+}
+
+/// Why the worker monitor blacklisted a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlacklistReason {
+    /// The machine hit the consecutive machine-fault threshold.
+    ConsecutiveFaults,
+    /// The machine repeatedly ran its groups slower than planned.
+    Straggler,
+}
+
+impl BlacklistReason {
+    /// Stable wire tag (the JSONL `"reason"` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BlacklistReason::ConsecutiveFaults => "consecutive_faults",
+            BlacklistReason::Straggler => "straggler",
+        }
+    }
+}
+
+impl Serialize for BlacklistReason {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for BlacklistReason {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s: String = String::from_value(v)?;
+        Ok(match s.as_str() {
+            "consecutive_faults" => BlacklistReason::ConsecutiveFaults,
+            "straggler" => BlacklistReason::Straggler,
+            other => return Err(Error::msg(format!("unknown blacklist reason {other:?}"))),
+        })
+    }
+}
+
 /// Wall-clock durations of the phases of one `plan_schedule` call, in
 /// microseconds. `grouping_us` covers the whole grouping call;
 /// `graph_build_us` / `matching_us` are the portions spent building
@@ -90,8 +177,8 @@ pub enum Event {
         time: SimTime,
         /// The job.
         job: JobId,
-        /// Executor-provided description.
-        reason: String,
+        /// What kind of failure terminated the job.
+        kind: FaultKind,
     },
     /// A job finished its final iteration.
     JobCompleted {
@@ -137,6 +224,57 @@ pub enum Event {
         /// Round-cache hits/misses during the pass.
         round_cache: CacheDelta,
     },
+    /// A machine-level fault killed every job the machine hosted (§5:
+    /// the executor reports the error and terminates training).
+    MachineFailed {
+        /// Fault time.
+        time: SimTime,
+        /// The failed machine.
+        machine: u32,
+        /// `true` when the machine stayed up (transient fault); `false`
+        /// for fail-stop, in which case a `MachineRecovered` follows.
+        transient: bool,
+        /// Running jobs terminated by the cascade.
+        jobs_hit: u32,
+    },
+    /// A fail-stopped machine finished repair and rejoined the cluster.
+    MachineRecovered {
+        /// Recovery time.
+        time: SimTime,
+        /// The repaired machine.
+        machine: u32,
+    },
+    /// The worker monitor blacklisted a machine; placement avoids it
+    /// until the blacklist expires.
+    MachineBlacklisted {
+        /// Blacklist time.
+        time: SimTime,
+        /// The blacklisted machine.
+        machine: u32,
+        /// Which health threshold tripped.
+        reason: BlacklistReason,
+    },
+    /// A running job persisted its progress (and paid the checkpoint
+    /// cost).
+    CheckpointTaken {
+        /// Checkpoint time.
+        time: SimTime,
+        /// The job.
+        job: JobId,
+        /// Durable iterations after this checkpoint.
+        iters_saved: u64,
+    },
+    /// A fault rolled a job back to its last checkpoint.
+    WorkLost {
+        /// Fault time.
+        time: SimTime,
+        /// The job.
+        job: JobId,
+        /// Iterations discarded by the rollback.
+        iterations: u64,
+        /// Wall-clock worth of the discarded iterations.
+        wasted: SimDuration,
+    },
 }
 
 impl Event {
@@ -149,19 +287,31 @@ impl Event {
             | Event::JobFaulted { time, .. }
             | Event::JobCompleted { time, .. }
             | Event::GroupFormed { time, .. }
-            | Event::PlanningPass { time, .. } => *time,
+            | Event::PlanningPass { time, .. }
+            | Event::MachineFailed { time, .. }
+            | Event::MachineRecovered { time, .. }
+            | Event::MachineBlacklisted { time, .. }
+            | Event::CheckpointTaken { time, .. }
+            | Event::WorkLost { time, .. } => *time,
         }
     }
 
-    /// The job a lifecycle event concerns (`None` for scheduler events).
+    /// The job a lifecycle event concerns (`None` for scheduler and
+    /// machine events).
     pub fn job(&self) -> Option<JobId> {
         match self {
             Event::JobArrived { job, .. }
             | Event::JobStarted { job, .. }
             | Event::JobPreempted { job, .. }
             | Event::JobFaulted { job, .. }
-            | Event::JobCompleted { job, .. } => Some(*job),
-            Event::GroupFormed { .. } | Event::PlanningPass { .. } => None,
+            | Event::JobCompleted { job, .. }
+            | Event::CheckpointTaken { job, .. }
+            | Event::WorkLost { job, .. } => Some(*job),
+            Event::GroupFormed { .. }
+            | Event::PlanningPass { .. }
+            | Event::MachineFailed { .. }
+            | Event::MachineRecovered { .. }
+            | Event::MachineBlacklisted { .. } => None,
         }
     }
 
@@ -175,6 +325,11 @@ impl Event {
             Event::JobCompleted { .. } => "job_completed",
             Event::GroupFormed { .. } => "group_formed",
             Event::PlanningPass { .. } => "planning_pass",
+            Event::MachineFailed { .. } => "machine_failed",
+            Event::MachineRecovered { .. } => "machine_recovered",
+            Event::MachineBlacklisted { .. } => "machine_blacklisted",
+            Event::CheckpointTaken { .. } => "checkpoint_taken",
+            Event::WorkLost { .. } => "work_lost",
         }
     }
 }
@@ -202,9 +357,9 @@ impl Serialize for Event {
             Event::JobPreempted { job, .. } | Event::JobCompleted { job, .. } => {
                 m.push(("job".into(), job.to_value()));
             }
-            Event::JobFaulted { job, reason, .. } => {
+            Event::JobFaulted { job, kind, .. } => {
                 m.push(("job".into(), job.to_value()));
-                m.push(("reason".into(), reason.to_value()));
+                m.push(("kind".into(), kind.to_value()));
             }
             Event::GroupFormed {
                 members,
@@ -243,6 +398,41 @@ impl Serialize for Event {
                 m.push(("gamma_cache".into(), gamma_cache.to_value()));
                 m.push(("round_cache".into(), round_cache.to_value()));
             }
+            Event::MachineFailed {
+                machine,
+                transient,
+                jobs_hit,
+                ..
+            } => {
+                m.push(("machine".into(), machine.to_value()));
+                m.push(("transient".into(), transient.to_value()));
+                m.push(("jobs_hit".into(), jobs_hit.to_value()));
+            }
+            Event::MachineRecovered { machine, .. } => {
+                m.push(("machine".into(), machine.to_value()));
+            }
+            Event::MachineBlacklisted {
+                machine, reason, ..
+            } => {
+                m.push(("machine".into(), machine.to_value()));
+                m.push(("reason".into(), reason.to_value()));
+            }
+            Event::CheckpointTaken {
+                job, iters_saved, ..
+            } => {
+                m.push(("job".into(), job.to_value()));
+                m.push(("iters_saved".into(), iters_saved.to_value()));
+            }
+            Event::WorkLost {
+                job,
+                iterations,
+                wasted,
+                ..
+            } => {
+                m.push(("job".into(), job.to_value()));
+                m.push(("iterations".into(), iterations.to_value()));
+                m.push(("wasted_us".into(), Value::UInt(wasted.as_micros())));
+            }
         }
         Value::Map(m)
     }
@@ -278,7 +468,7 @@ impl Deserialize for Event {
             "job_faulted" => Event::JobFaulted {
                 time,
                 job: field(v, "job")?,
-                reason: field(v, "reason")?,
+                kind: field(v, "kind")?,
             },
             "job_completed" => Event::JobCompleted {
                 time,
@@ -302,6 +492,32 @@ impl Deserialize for Event {
                 phases: field(v, "phases")?,
                 gamma_cache: field(v, "gamma_cache")?,
                 round_cache: field(v, "round_cache")?,
+            },
+            "machine_failed" => Event::MachineFailed {
+                time,
+                machine: field(v, "machine")?,
+                transient: field(v, "transient")?,
+                jobs_hit: field(v, "jobs_hit")?,
+            },
+            "machine_recovered" => Event::MachineRecovered {
+                time,
+                machine: field(v, "machine")?,
+            },
+            "machine_blacklisted" => Event::MachineBlacklisted {
+                time,
+                machine: field(v, "machine")?,
+                reason: field(v, "reason")?,
+            },
+            "checkpoint_taken" => Event::CheckpointTaken {
+                time,
+                job: field(v, "job")?,
+                iters_saved: field(v, "iters_saved")?,
+            },
+            "work_lost" => Event::WorkLost {
+                time,
+                job: field(v, "job")?,
+                iterations: field(v, "iterations")?,
+                wasted: SimDuration::from_micros(field::<u64>(v, "wasted_us")?),
             },
             other => return Err(Error::msg(format!("unknown event type {other:?}"))),
         })
@@ -338,7 +554,7 @@ mod tests {
         roundtrip(&Event::JobFaulted {
             time: t,
             job: JobId(5),
-            reason: "CUDA OOM".into(),
+            kind: FaultKind::Injected,
         });
         roundtrip(&Event::JobCompleted {
             time: t,
@@ -377,6 +593,56 @@ mod tests {
             },
             round_cache: CacheDelta { hits: 1, misses: 0 },
         });
+        roundtrip(&Event::MachineFailed {
+            time: t,
+            machine: 3,
+            transient: true,
+            jobs_hit: 4,
+        });
+        roundtrip(&Event::MachineRecovered {
+            time: t,
+            machine: 3,
+        });
+        roundtrip(&Event::MachineBlacklisted {
+            time: t,
+            machine: 5,
+            reason: BlacklistReason::Straggler,
+        });
+        roundtrip(&Event::CheckpointTaken {
+            time: t,
+            job: JobId(8),
+            iters_saved: 120,
+        });
+        roundtrip(&Event::WorkLost {
+            time: t,
+            job: JobId(8),
+            iterations: 37,
+            wasted: SimDuration::from_secs(11),
+        });
+    }
+
+    #[test]
+    fn fault_kinds_and_blacklist_reasons_roundtrip() {
+        for kind in [
+            FaultKind::Injected,
+            FaultKind::MachineFailStop,
+            FaultKind::MachineTransient,
+        ] {
+            let json = serde_json::to_string(&kind).expect("serializes");
+            let back: FaultKind = serde_json::from_str(&json).expect("parses");
+            assert_eq!(kind, back);
+            assert_eq!(kind.is_machine(), kind != FaultKind::Injected);
+        }
+        for reason in [
+            BlacklistReason::ConsecutiveFaults,
+            BlacklistReason::Straggler,
+        ] {
+            let json = serde_json::to_string(&reason).expect("serializes");
+            let back: BlacklistReason = serde_json::from_str(&json).expect("parses");
+            assert_eq!(reason, back);
+        }
+        assert!(serde_json::from_str::<FaultKind>("\"melted\"").is_err());
+        assert!(serde_json::from_str::<BlacklistReason>("\"vibes\"").is_err());
     }
 
     #[test]

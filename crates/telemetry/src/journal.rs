@@ -31,6 +31,16 @@ pub struct JournalCounts {
     pub groups_formed: u64,
     /// `PlanningPass` events.
     pub planning_passes: u64,
+    /// `MachineFailed` events.
+    pub machine_failures: u64,
+    /// `MachineRecovered` events.
+    pub machine_recoveries: u64,
+    /// `MachineBlacklisted` events.
+    pub machine_blacklists: u64,
+    /// `CheckpointTaken` events.
+    pub checkpoints: u64,
+    /// `WorkLost` events.
+    pub work_lost: u64,
 }
 
 /// A bounded in-memory event log.
@@ -109,6 +119,11 @@ impl Journal {
                 Event::JobCompleted { .. } => c.completed += 1,
                 Event::GroupFormed { .. } => c.groups_formed += 1,
                 Event::PlanningPass { .. } => c.planning_passes += 1,
+                Event::MachineFailed { .. } => c.machine_failures += 1,
+                Event::MachineRecovered { .. } => c.machine_recoveries += 1,
+                Event::MachineBlacklisted { .. } => c.machine_blacklists += 1,
+                Event::CheckpointTaken { .. } => c.checkpoints += 1,
+                Event::WorkLost { .. } => c.work_lost += 1,
             }
         }
         c
@@ -147,7 +162,7 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use muri_workload::{JobId, SimTime};
+    use muri_workload::{JobId, SimDuration, SimTime};
 
     fn arrived(i: u32) -> Event {
         Event::JobArrived {
@@ -202,7 +217,19 @@ mod tests {
         j.record(Event::JobFaulted {
             time: SimTime::from_secs(2),
             job: JobId(0),
-            reason: "x".into(),
+            kind: crate::event::FaultKind::Injected,
+        });
+        j.record(Event::WorkLost {
+            time: SimTime::from_secs(2),
+            job: JobId(0),
+            iterations: 5,
+            wasted: SimDuration::from_secs(1),
+        });
+        j.record(Event::MachineFailed {
+            time: SimTime::from_secs(3),
+            machine: 0,
+            transient: false,
+            jobs_hit: 1,
         });
         let c = j.counts();
         assert_eq!(c.arrived, 2);
@@ -210,6 +237,8 @@ mod tests {
         assert_eq!(c.restarts, 1);
         assert_eq!(c.faulted, 1);
         assert_eq!(c.completed, 0);
+        assert_eq!(c.work_lost, 1);
+        assert_eq!(c.machine_failures, 1);
     }
 
     #[test]

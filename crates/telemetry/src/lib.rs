@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod sink;
 
 pub use chrome_trace::{validate_chrome_trace, ChromeTrace, ChromeTraceStats};
-pub use event::{CacheDelta, Event, PlanPhases};
+pub use event::{BlacklistReason, CacheDelta, Event, FaultKind, PlanPhases};
 pub use journal::Journal;
 pub use metrics::{parse_prometheus, Histogram, MetricsRegistry, PromSample};
 pub use sink::{Telemetry, TelemetrySink};

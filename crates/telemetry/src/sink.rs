@@ -81,11 +81,11 @@ impl Telemetry {
                     1,
                 );
             }
-            Event::JobFaulted { .. } => {
+            Event::JobFaulted { kind, .. } => {
                 self.metrics.inc_counter(
                     "muri_jobs_faulted_total",
-                    "Executor faults reported to the monitor",
-                    &[],
+                    "Executor faults reported to the monitor, by kind",
+                    &[("kind", kind.as_str())],
                     1,
                 );
             }
@@ -220,6 +220,85 @@ impl Telemetry {
                             Value::UInt(u64::from(phases.matching_rounds)),
                         ),
                     ],
+                );
+            }
+            Event::MachineFailed {
+                time,
+                machine,
+                transient,
+                ..
+            } => {
+                let transient = if *transient { "true" } else { "false" };
+                self.metrics.inc_counter(
+                    "muri_machine_failures_total",
+                    "Machine-level faults by transience",
+                    &[("transient", transient)],
+                    1,
+                );
+                self.trace.instant(
+                    &format!("machine{machine}_failed"),
+                    "fault",
+                    *time,
+                    SCHEDULER_PID,
+                    1,
+                );
+            }
+            Event::MachineRecovered { time, machine } => {
+                self.metrics.inc_counter(
+                    "muri_machine_recoveries_total",
+                    "Fail-stopped machines repaired and rejoined",
+                    &[],
+                    1,
+                );
+                self.trace.instant(
+                    &format!("machine{machine}_recovered"),
+                    "fault",
+                    *time,
+                    SCHEDULER_PID,
+                    1,
+                );
+            }
+            Event::MachineBlacklisted {
+                time,
+                machine,
+                reason,
+            } => {
+                self.metrics.inc_counter(
+                    "muri_machine_blacklists_total",
+                    "Machines blacklisted by the worker monitor, by reason",
+                    &[("reason", reason.as_str())],
+                    1,
+                );
+                self.trace.instant(
+                    &format!("machine{machine}_blacklisted"),
+                    "fault",
+                    *time,
+                    SCHEDULER_PID,
+                    1,
+                );
+            }
+            Event::CheckpointTaken { .. } => {
+                self.metrics.inc_counter(
+                    "muri_checkpoints_total",
+                    "Checkpoints taken by running jobs",
+                    &[],
+                    1,
+                );
+            }
+            Event::WorkLost {
+                iterations, wasted, ..
+            } => {
+                self.metrics.inc_counter(
+                    "muri_work_lost_iterations_total",
+                    "Iterations discarded by fault rollbacks",
+                    &[],
+                    *iterations,
+                );
+                self.metrics.observe(
+                    "muri_work_lost_seconds",
+                    "Wall-clock worth of work lost per fault rollback",
+                    &[],
+                    wasted.as_secs_f64(),
                 );
             }
         }

@@ -5,7 +5,9 @@
 //! pinned here — a diff in these tests is a breaking change to the
 //! exporter contract, not a refactor detail.
 
-use muri_telemetry::{parse_prometheus, Event, Journal, MetricsRegistry, Telemetry};
+use muri_telemetry::{
+    parse_prometheus, BlacklistReason, Event, FaultKind, Journal, MetricsRegistry, Telemetry,
+};
 use muri_workload::{JobId, ResourceKind, SimDuration, SimTime};
 
 #[test]
@@ -186,7 +188,7 @@ fn every_event_kind_round_trips_through_jsonl() {
     j.record(Event::JobFaulted {
         time: SimTime::from_secs(4),
         job: JobId(1),
-        reason: "line1\nline2 \"quoted\"".into(), // must stay one JSONL line
+        kind: FaultKind::MachineTransient,
     });
     j.record(Event::JobCompleted {
         time: SimTime::from_secs(5),
@@ -196,6 +198,72 @@ fn every_event_kind_round_trips_through_jsonl() {
     assert_eq!(jsonl.trim_end().lines().count(), 3, "one line per event");
     let events = Journal::from_jsonl(&jsonl).expect("round-trip");
     assert_eq!(events, j.events());
+}
+
+#[test]
+fn fault_domain_jsonl_schema_golden() {
+    let mut j = Journal::default();
+    j.record(Event::JobFaulted {
+        time: SimTime::from_secs(1),
+        job: JobId(4),
+        kind: FaultKind::Injected,
+    });
+    j.record(Event::MachineFailed {
+        time: SimTime::from_secs(2),
+        machine: 3,
+        transient: false,
+        jobs_hit: 2,
+    });
+    j.record(Event::WorkLost {
+        time: SimTime::from_secs(2),
+        job: JobId(4),
+        iterations: 40,
+        wasted: SimDuration::from_millis(1500),
+    });
+    j.record(Event::MachineBlacklisted {
+        time: SimTime::from_secs(2),
+        machine: 3,
+        reason: BlacklistReason::ConsecutiveFaults,
+    });
+    j.record(Event::CheckpointTaken {
+        time: SimTime::from_secs(3),
+        job: JobId(5),
+        iters_saved: 128,
+    });
+    j.record(Event::MachineRecovered {
+        time: SimTime::from_secs(9),
+        machine: 3,
+    });
+    let jsonl = j.to_jsonl();
+    let expected = concat!(
+        r#"{"type":"job_faulted","time_us":1000000,"job":4,"kind":"injected"}"#,
+        "\n",
+        r#"{"type":"machine_failed","time_us":2000000,"machine":3,"transient":false,"jobs_hit":2}"#,
+        "\n",
+        r#"{"type":"work_lost","time_us":2000000,"job":4,"iterations":40,"wasted_us":1500000}"#,
+        "\n",
+        r#"{"type":"machine_blacklisted","time_us":2000000,"machine":3,"reason":"consecutive_faults"}"#,
+        "\n",
+        r#"{"type":"checkpoint_taken","time_us":3000000,"job":5,"iters_saved":128}"#,
+        "\n",
+        r#"{"type":"machine_recovered","time_us":9000000,"machine":3}"#,
+        "\n",
+    );
+    assert_eq!(jsonl, expected);
+    let events = Journal::from_jsonl(&jsonl).expect("golden JSONL parses");
+    assert_eq!(events, j.events());
+    let c = j.counts();
+    assert_eq!(
+        (
+            c.faulted,
+            c.machine_failures,
+            c.work_lost,
+            c.machine_blacklists,
+            c.checkpoints,
+            c.machine_recoveries
+        ),
+        (1, 1, 1, 1, 1, 1)
+    );
 }
 
 #[test]

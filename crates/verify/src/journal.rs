@@ -73,7 +73,14 @@ pub fn audit_journal(events: &[Event]) -> AuditReport {
             Event::JobPreempted { .. } => l.preempted += 1,
             Event::JobFaulted { .. } => l.faulted += 1,
             Event::JobCompleted { .. } => l.completed += 1,
-            Event::GroupFormed { .. } | Event::PlanningPass { .. } => {}
+            // Job-scoped but not lifecycle transitions: they still feed
+            // the first-event / time-order / after-completion checks.
+            Event::CheckpointTaken { .. } | Event::WorkLost { .. } => {}
+            Event::GroupFormed { .. }
+            | Event::PlanningPass { .. }
+            | Event::MachineFailed { .. }
+            | Event::MachineRecovered { .. }
+            | Event::MachineBlacklisted { .. } => {}
         }
     }
 
@@ -188,7 +195,7 @@ mod tests {
             Event::JobFaulted {
                 time: t(2),
                 job: JobId(1),
-                reason: "injected".into(),
+                kind: muri_telemetry::FaultKind::Injected,
             },
             started(3, 1, true),
             completed(9, 1),

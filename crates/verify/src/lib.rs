@@ -23,7 +23,11 @@
 //!   ([`audit_plan`], [`audit_tick`], [`audit_timeline`]);
 //! * **lifecycle conservation** — a recorded telemetry journal replays
 //!   to a consistent per-job ledger: one arrival first, starts consume
-//!   queue entries, nothing after completion ([`audit_journal`]).
+//!   queue entries, nothing after completion ([`audit_journal`]);
+//! * **fault recovery** — across scheduling passes no job is lost,
+//!   duplicated, or left assigned to a dead/blacklisted machine, and
+//!   attained service plus durable checkpointed progress stay monotone
+//!   ([`audit_recovery`]).
 //!
 //! Violations come back as a typed [`Violation`] inside an
 //! [`AuditReport`] rather than a panic, so the auditor can run over
@@ -40,6 +44,7 @@ pub mod group;
 pub mod journal;
 pub mod matching;
 pub mod plan;
+pub mod recovery;
 pub mod tick;
 pub mod timeline;
 pub mod violation;
@@ -48,6 +53,7 @@ pub use group::audit_group;
 pub use journal::audit_journal;
 pub use matching::{audit_matching, audit_pruning};
 pub use plan::{audit_plan, PlanContext, PlannedGroupRef};
+pub use recovery::{audit_recovery, RecoverySnapshot};
 pub use tick::{audit_tick, GroupSnapshot, TickSnapshot};
 pub use timeline::audit_timeline;
 pub use violation::{AuditReport, Violation};

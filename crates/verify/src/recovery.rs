@@ -1,0 +1,328 @@
+//! Auditing fault recovery across scheduling passes: after machine
+//! failures and group teardowns, no job may be lost, duplicated, or left
+//! assigned to a dead machine, and the progress ledger (attained
+//! service, durable checkpointed iterations) must be monotone.
+
+use crate::tick::GroupSnapshot;
+use crate::violation::{AuditReport, Violation};
+use muri_workload::{JobId, SimTime};
+use std::collections::HashSet;
+
+/// The fault-domain-relevant engine state after one scheduling pass.
+///
+/// All job-keyed vectors are sorted by [`JobId`] and cover every tracked
+/// (non-rejected, arrived) job; `down`/`blacklisted`/`finished` are
+/// sorted ascending.
+#[derive(Debug, Clone, Default)]
+pub struct RecoverySnapshot {
+    /// Simulation time of the pass.
+    pub time: SimTime,
+    /// GPUs per machine (`machine = gpu / gpus_per_machine`).
+    pub gpus_per_machine: u32,
+    /// Machines currently fail-stopped.
+    pub down: Vec<u32>,
+    /// Machines currently blacklisted for placement, with the expiry
+    /// instant of the ban (in microseconds). The expiry identifies the
+    /// ban *episode*: a machine re-blacklisted after probation carries a
+    /// later expiry, so equal expiries at two snapshots prove the ban
+    /// spanned the whole window.
+    pub blacklisted: Vec<(u32, u64)>,
+    /// Every running group.
+    pub running: Vec<GroupSnapshot>,
+    /// Jobs waiting in the queue.
+    pub queued: Vec<JobId>,
+    /// Jobs that finished.
+    pub finished: Vec<JobId>,
+    /// Attained service per tracked job, in microseconds.
+    pub attained_us: Vec<(JobId, u64)>,
+    /// Durable (checkpointed) iterations per tracked job.
+    pub saved_iters: Vec<(JobId, u64)>,
+    /// Executed iterations per tracked job.
+    pub done_iters: Vec<(JobId, u64)>,
+}
+
+impl RecoverySnapshot {
+    fn machines_of(&self, group: &GroupSnapshot) -> Vec<u32> {
+        let per = self.gpus_per_machine.max(1);
+        let mut ms: Vec<u32> = group.gpus.iter().map(|g| g.0 / per).collect();
+        ms.sort_unstable();
+        ms.dedup();
+        ms
+    }
+
+    fn tracked(&self) -> HashSet<JobId> {
+        let mut set: HashSet<JobId> = self.queued.iter().copied().collect();
+        for g in &self.running {
+            set.extend(g.members.iter().copied());
+        }
+        set.extend(self.finished.iter().copied());
+        set
+    }
+}
+
+fn lookup(map: &[(JobId, u64)], job: JobId) -> Option<u64> {
+    map.binary_search_by_key(&job, |&(j, _)| j)
+        .ok()
+        .map(|i| map[i].1)
+}
+
+fn lookup_machine(map: &[(u32, u64)], machine: u32) -> Option<u64> {
+    map.binary_search_by_key(&machine, |&(m, _)| m)
+        .ok()
+        .map(|i| map[i].1)
+}
+
+/// Audit one recovery step (`prev` is the previous pass's snapshot, or
+/// `None` on the first pass):
+///
+/// * no running group occupies a fail-stopped machine;
+/// * a group that is *new* since `prev` (by member set) does not occupy
+///   a machine whose ban spanned the whole window (blacklisted at both
+///   snapshots with the same expiry — a changed expiry means the ban
+///   lapsed in between, and the placement may have been legal) —
+///   replanned work must steer around machines the monitor has banned;
+/// * attained service and durable checkpointed progress never shrink,
+///   and executed iterations never fall below the previously durable
+///   mark (a fault may roll them back to the last checkpoint, no
+///   further);
+/// * every job tracked at `prev` is still tracked at `cur` — recovery
+///   requeues, it never drops.
+pub fn audit_recovery(prev: Option<&RecoverySnapshot>, cur: &RecoverySnapshot) -> AuditReport {
+    let mut report = AuditReport::new();
+    report.checks += 1;
+
+    // Dead-machine assignments.
+    for group in &cur.running {
+        for m in cur.machines_of(group) {
+            if cur.down.binary_search(&m).is_ok() {
+                report.push(Violation::DeadMachineAssignment {
+                    machine: m,
+                    jobs: group.members.clone(),
+                    status: "down".into(),
+                });
+            }
+        }
+    }
+
+    let Some(prev) = prev else {
+        return report;
+    };
+
+    // Newly-placed groups avoid machines banned across the whole window.
+    let prev_sets: Vec<Vec<JobId>> = prev
+        .running
+        .iter()
+        .map(|g| {
+            let mut ids = g.members.clone();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    for group in &cur.running {
+        let mut ids = group.members.clone();
+        ids.sort_unstable();
+        if prev_sets.contains(&ids) {
+            // Kept running from before the ban — existing leases on a
+            // blacklisted machine are allowed to finish.
+            continue;
+        }
+        for m in cur.machines_of(group) {
+            let banned_through = match (
+                lookup_machine(&prev.blacklisted, m),
+                lookup_machine(&cur.blacklisted, m),
+            ) {
+                // Same expiry at both ends: the ban never lapsed, so the
+                // group was placed while the machine was blacklisted.
+                (Some(before), Some(after)) => before == after,
+                _ => false,
+            };
+            if banned_through {
+                report.push(Violation::DeadMachineAssignment {
+                    machine: m,
+                    jobs: group.members.clone(),
+                    status: "blacklisted".into(),
+                });
+            }
+        }
+    }
+
+    // Progress monotonicity.
+    for &(job, before) in &prev.attained_us {
+        if let Some(after) = lookup(&cur.attained_us, job) {
+            if after < before {
+                report.push(Violation::ProgressRegressed {
+                    job,
+                    metric: "attained_us".into(),
+                    before,
+                    after,
+                });
+            }
+        }
+    }
+    for &(job, before) in &prev.saved_iters {
+        if let Some(after) = lookup(&cur.saved_iters, job) {
+            if after < before {
+                report.push(Violation::ProgressRegressed {
+                    job,
+                    metric: "saved_iters".into(),
+                    before,
+                    after,
+                });
+            }
+        }
+        // A fault may roll executed iterations back, but never below
+        // what was durably checkpointed at the previous pass.
+        if let Some(done) = lookup(&cur.done_iters, job) {
+            if done < before {
+                report.push(Violation::ProgressRegressed {
+                    job,
+                    metric: "done_iters".into(),
+                    before,
+                    after: done,
+                });
+            }
+        }
+    }
+
+    // Job conservation across the recovery step.
+    let cur_tracked = cur.tracked();
+    for job in prev.tracked() {
+        if !cur_tracked.contains(&job) {
+            report.push(Violation::JobConservationBroken {
+                job,
+                detail: format!(
+                    "tracked at t={} but lost by t={} (recovery must requeue, not drop)",
+                    prev.time, cur.time
+                ),
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use muri_cluster::GpuId;
+
+    fn jobs(ids: &[u32]) -> Vec<JobId> {
+        ids.iter().map(|&i| JobId(i)).collect()
+    }
+
+    fn gpus(ids: &[u32]) -> Vec<GpuId> {
+        ids.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    fn base() -> RecoverySnapshot {
+        RecoverySnapshot {
+            time: SimTime::from_secs(100),
+            gpus_per_machine: 8,
+            down: vec![],
+            blacklisted: vec![],
+            running: vec![GroupSnapshot {
+                members: jobs(&[1, 2]),
+                gpus: gpus(&[0, 1]),
+            }],
+            queued: jobs(&[3]),
+            finished: jobs(&[4]),
+            attained_us: vec![
+                (JobId(1), 10),
+                (JobId(2), 20),
+                (JobId(3), 0),
+                (JobId(4), 99),
+            ],
+            saved_iters: vec![(JobId(1), 5), (JobId(2), 8), (JobId(3), 0), (JobId(4), 50)],
+            done_iters: vec![(JobId(1), 7), (JobId(2), 8), (JobId(3), 0), (JobId(4), 50)],
+        }
+    }
+
+    fn later(mut s: RecoverySnapshot) -> RecoverySnapshot {
+        s.time = SimTime::from_secs(200);
+        s
+    }
+
+    #[test]
+    fn steady_state_is_clean() {
+        let prev = base();
+        let cur = later(base());
+        assert!(audit_recovery(None, &prev).is_clean());
+        assert!(audit_recovery(Some(&prev), &cur).is_clean());
+    }
+
+    #[test]
+    fn group_on_down_machine_is_flagged() {
+        let mut cur = base();
+        cur.down = vec![0];
+        let report = audit_recovery(None, &cur);
+        assert_eq!(report.count_kind("DeadMachineAssignment"), 1, "{report}");
+    }
+
+    #[test]
+    fn new_group_on_blacklisted_machine_is_flagged() {
+        let mut prev = base();
+        prev.blacklisted = vec![(0, 1_000_000)];
+        let mut cur = later(base());
+        cur.blacklisted = vec![(0, 1_000_000)];
+        // The running group {1,2} exists in prev too → kept, allowed.
+        assert!(audit_recovery(Some(&prev), &cur).is_clean());
+        // A newly-formed group on the continuously banned machine is a
+        // violation.
+        cur.running.push(GroupSnapshot {
+            members: jobs(&[3]),
+            gpus: gpus(&[2]),
+        });
+        cur.queued.clear();
+        let report = audit_recovery(Some(&prev), &cur);
+        assert_eq!(report.count_kind("DeadMachineAssignment"), 1, "{report}");
+    }
+
+    #[test]
+    fn placement_in_a_ban_gap_is_legal() {
+        // Banned at both snapshots, but the expiries differ: the first
+        // ban lapsed, the placement happened in the gap, and the machine
+        // was re-blacklisted afterwards. Not a violation.
+        let mut prev = base();
+        prev.blacklisted = vec![(0, 1_000_000)];
+        let mut cur = later(base());
+        cur.blacklisted = vec![(0, 2_000_000)];
+        cur.running.push(GroupSnapshot {
+            members: jobs(&[3]),
+            gpus: gpus(&[2]),
+        });
+        cur.queued.clear();
+        assert!(audit_recovery(Some(&prev), &cur).is_clean());
+    }
+
+    #[test]
+    fn attained_service_must_not_shrink() {
+        let prev = base();
+        let mut cur = later(base());
+        cur.attained_us[0].1 = 5; // job 1: 10 → 5
+        let report = audit_recovery(Some(&prev), &cur);
+        assert_eq!(report.count_kind("ProgressRegressed"), 1, "{report}");
+    }
+
+    #[test]
+    fn rollback_below_the_checkpoint_is_flagged() {
+        let prev = base();
+        let mut cur = later(base());
+        // Job 1 faulted: done 7 → 5 (back to the checkpoint) is fine…
+        cur.done_iters[0].1 = 5;
+        assert!(audit_recovery(Some(&prev), &cur).is_clean());
+        // …but below the durable mark (5) is not.
+        cur.done_iters[0].1 = 3;
+        let report = audit_recovery(Some(&prev), &cur);
+        assert_eq!(report.count_kind("ProgressRegressed"), 1, "{report}");
+    }
+
+    #[test]
+    fn dropped_job_breaks_conservation() {
+        let prev = base();
+        let mut cur = later(base());
+        cur.queued.clear(); // job 3 vanished
+        let report = audit_recovery(Some(&prev), &cur);
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+}

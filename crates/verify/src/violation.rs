@@ -100,6 +100,32 @@ pub enum Violation {
         /// The configured top-m prune width.
         top_m: usize,
     },
+    /// A running group occupies a machine that is fail-stopped, or a
+    /// newly-placed group occupies a machine the monitor had blacklisted
+    /// for the whole planning window — recovery must steer replanned
+    /// work off bad machines.
+    DeadMachineAssignment {
+        /// The dead or banned machine.
+        machine: u32,
+        /// Jobs assigned to it.
+        jobs: Vec<JobId>,
+        /// Why the machine must not host work (`"down"`,
+        /// `"blacklisted"`).
+        status: String,
+    },
+    /// A quantity that must never shrink across recovery (attained
+    /// service, durable checkpointed progress) went backwards between
+    /// two scheduling passes.
+    ProgressRegressed {
+        /// The offending job.
+        job: JobId,
+        /// Which ledger entry regressed.
+        metric: String,
+        /// Value at the earlier pass.
+        before: u64,
+        /// Value at the later pass.
+        after: u64,
+    },
 }
 
 impl Violation {
@@ -116,6 +142,8 @@ impl Violation {
             Violation::PriorityInversion { .. } => "PriorityInversion",
             Violation::JobConservationBroken { .. } => "JobConservationBroken",
             Violation::PrunedEdgeMatched { .. } => "PrunedEdgeMatched",
+            Violation::DeadMachineAssignment { .. } => "DeadMachineAssignment",
+            Violation::ProgressRegressed { .. } => "ProgressRegressed",
         }
     }
 }
@@ -180,6 +208,23 @@ impl fmt::Display for Violation {
                 f,
                 "PrunedEdgeMatched: matched pair {pair:?} (weight {weight}) was outside \
                  both endpoints' top-{top_m} candidate edges and no fallback fired"
+            ),
+            Violation::DeadMachineAssignment {
+                machine,
+                jobs,
+                status,
+            } => write!(
+                f,
+                "DeadMachineAssignment: machine {machine} is {status} yet hosts {jobs:?}"
+            ),
+            Violation::ProgressRegressed {
+                job,
+                metric,
+                before,
+                after,
+            } => write!(
+                f,
+                "ProgressRegressed: {job} {metric} went backwards {before} → {after}"
             ),
         }
     }

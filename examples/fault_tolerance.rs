@@ -39,6 +39,7 @@ fn main() {
         cfg.faults = FaultConfig {
             mtbf: (mtbf_mins > 0).then(|| SimDuration::from_mins(mtbf_mins)),
             seed: 5,
+            ..FaultConfig::default()
         };
         let r = simulate(&trace, &cfg);
         assert!(r.all_finished(), "faults must never lose a job");

@@ -16,7 +16,12 @@
 #      artifacts: the journal parses and its lifecycle ledger conserves
 #      jobs, the Chrome trace is well-formed with monotonic timestamps,
 #      and the Prometheus text round-trips the golden parser
-#   6. pruning smoke     two checks on trace 2: at --scale 0.02 every
+#   6. fault smoke       a 20-job simulation under the machine-level
+#      fault battery (machine faults + repair, a degraded machine,
+#      periodic checkpointing) with the journal exported, then
+#      `muri telemetry-check` proves the faulty run's lifecycle ledger
+#      still conserves jobs
+#   7. pruning smoke     two checks on trace 2: at --scale 0.02 every
 #      bucket fits the small-graph shortcut (n <= top_m + 1), so default
 #      sparsification and --prune-top-m 0 must produce byte-identical
 #      reports; at --scale 0.1 buckets are large enough that edges are
@@ -57,6 +62,14 @@ cargo run -q -p muri-cli -- telemetry-check \
     --journal "$tmpdir/journal.jsonl" \
     --metrics "$tmpdir/metrics.prom" \
     --chrome-trace "$tmpdir/trace.json"
+
+echo "==> fault smoke (machine faults + checkpointing, journal conserved)"
+cargo run -q -p muri-cli -- simulate muri-l --trace 1 --scale 0.02 \
+    --machine-mtbf 1800 --machine-mttr 300 --transient-fraction 0.5 \
+    --degraded 1 --fault-seed 42 \
+    --checkpoint-interval 120 --checkpoint-cost 5 \
+    --journal "$tmpdir/fault_journal.jsonl" >/dev/null
+cargo run -q -p muri-cli -- telemetry-check --journal "$tmpdir/fault_journal.jsonl"
 
 echo "==> pruning smoke (small-bucket identity at 0.02, pruned run at 0.1)"
 cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.02 \

@@ -44,9 +44,31 @@ fn sim_config_roundtrips() {
     cfg.faults = FaultConfig {
         mtbf: Some(SimDuration::from_hours(2)),
         seed: 99,
+        machine_mtbf: Some(SimDuration::from_hours(6)),
+        machine_mttr: SimDuration::from_mins(10),
+        transient_fraction: 0.25,
+        degraded_machines: 1,
+        degraded_slowdown: 1.75,
+        ..FaultConfig::default()
+    };
+    cfg.checkpoint = muri::sim::CheckpointConfig {
+        interval: Some(SimDuration::from_mins(5)),
+        cost: SimDuration::from_secs(10),
     };
     cfg.cross_machine_net_penalty = 0.2;
     assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn json_fault_plan_defaults_for_old_payloads() {
+    // A FaultPlan serialized before the machine-level fault domains
+    // existed must still parse (serde defaults keep every new feature
+    // off).
+    let legacy = r#"{"mtbf":7200000000,"seed":99}"#;
+    let plan: FaultConfig = serde_json::from_str(legacy).expect("legacy parses");
+    assert_eq!(plan.mtbf, Some(SimDuration::from_hours(2)));
+    assert_eq!(plan.machine_mtbf, None);
+    assert_eq!(plan.degraded_machines, 0);
 }
 
 #[test]
