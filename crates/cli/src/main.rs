@@ -49,6 +49,9 @@ enum CliError {
     Runtime(String),
     /// `muri verify` found invariant violations (exit 3).
     Violations(usize),
+    /// `muri lint` found lint violations (exit 3). The report has
+    /// already been printed; this only carries the exit code.
+    LintViolations(usize),
 }
 
 impl CliError {
@@ -79,6 +82,10 @@ fn main() -> ExitCode {
             eprintln!("verification failed: {count} invariant violation(s)");
             ExitCode::from(3)
         }
+        Err(CliError::LintViolations(count)) => {
+            eprintln!("lint failed: {count} violation(s)");
+            ExitCode::from(3)
+        }
     }
 }
 
@@ -102,9 +109,15 @@ const USAGE: &str = "usage:
                          [--prune-top-m M] [--prune-loss-bound F]
                          [fault flags as for `muri sim`]
   muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
+  muri lint [--json] [--root DIR]
   muri validate
 
 policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s muri-l
+
+`muri lint` runs the muri-lint determinism & audit-coverage scanner over
+the workspace sources (rules D001-D004, C001, A001, S001; suppress a
+finding with `// muri-lint: allow(RULE, reason = \"...\")`). --json emits a
+machine-readable report; a finding exits 3.
 
 `muri simulate` is an alias for `muri sim`. The telemetry flags export
 the run's event journal (JSONL), Prometheus metrics, and a Chrome
@@ -265,11 +278,57 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let policy = parse_policy(policy_name)?;
             run_sim(policy, &args[2..])
         }
+        Some("lint") => run_lint(&args[1..]),
         Some("telemetry-check") => run_telemetry_check(&args[1..]),
         Some("verify") => run_verify(&args[1..]),
         Some("validate") => run_validate(),
         Some(other) => Err(CliError::usage(format!("unknown command {other:?}"))),
         None => Err(CliError::usage("no command given")),
+    }
+}
+
+/// `muri lint [--json] [--root DIR]` — run the workspace determinism &
+/// audit-coverage scanner. Human output goes to stdout; `--json` emits
+/// the machine-readable report instead. Any surviving violation exits 3.
+fn run_lint(args: &[String]) -> Result<(), CliError> {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                root =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        CliError::usage("--root needs a directory")
+                    })?));
+            }
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| CliError::runtime(format!("cannot read the current dir: {e}")))?;
+            muri_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                CliError::runtime(
+                    "no [workspace] Cargo.toml above the current directory (pass --root DIR)",
+                )
+            })?
+        }
+    };
+    let report = muri_lint::scan_workspace(&root, &muri_lint::LintConfig::default())
+        .map_err(|e| CliError::runtime(format!("lint scan failed: {e}")))?;
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::LintViolations(report.violations.len()))
     }
 }
 

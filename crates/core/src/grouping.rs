@@ -41,6 +41,7 @@ use muri_matching::{
     greedy_matching, maximum_weight_matching, pruned_maximum_weight_matching, weight_from_f64,
     DenseGraph, Matching, PruneConfig, DEFAULT_PRUNE_LOSS_BOUND, DEFAULT_PRUNE_TOP_M,
 };
+use muri_telemetry::timed_us;
 use muri_workload::{StageProfile, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
 
@@ -653,19 +654,6 @@ pub fn capacity_aware_grouping_timed(
         t.prune_fallbacks = prune_counters.fallbacks;
     }
     nodes
-}
-
-/// Measure `f` into `acc` (saturating microseconds) when `timed` is set;
-/// otherwise run `f` with no clock reads at all.
-fn timed_us<R>(timed: bool, acc: &mut u64, f: impl FnOnce() -> R) -> R {
-    if timed {
-        let t = std::time::Instant::now();
-        let r = f();
-        *acc = acc.saturating_add(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
-        r
-    } else {
-        f()
-    }
 }
 
 fn matched_grouping(

@@ -24,11 +24,10 @@ use crate::grouping::{
 use crate::policy::{PendingJob, PolicyKind};
 use crate::{gamma_cache, round_cache};
 use muri_interleave::{GroupMember, InterleaveGroup};
-use muri_telemetry::{CacheDelta, Event, PlanPhases, TelemetrySink};
+use muri_telemetry::{CacheDelta, Event, PhaseTimer, PlanPhases, TelemetrySink};
 use muri_workload::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// Full scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,29 +97,6 @@ pub fn plan_schedule(
     now: SimTime,
 ) -> Vec<PlannedGroup> {
     plan_schedule_with(cfg, pending, free_gpus, now, &TelemetrySink::disabled())
-}
-
-/// Wall-clock phase timer that reads the clock only when telemetry is
-/// enabled — a disabled sink makes every `lap()` a constant 0.
-struct PhaseTimer(Option<Instant>);
-
-impl PhaseTimer {
-    fn start(enabled: bool) -> Self {
-        PhaseTimer(enabled.then(Instant::now))
-    }
-
-    /// Microseconds since the previous lap (or start); resets the mark.
-    fn lap(&mut self) -> u64 {
-        match &mut self.0 {
-            Some(mark) => {
-                let now = Instant::now();
-                let us = u64::try_from(now.duration_since(*mark).as_micros()).unwrap_or(u64::MAX);
-                *mark = now;
-                us
-            }
-            None => 0,
-        }
-    }
 }
 
 /// [`plan_schedule`] with a telemetry sink: when the sink is enabled the

@@ -1,0 +1,493 @@
+//! A hand-rolled Rust lexer, just rich enough for lint-rule matching.
+//!
+//! The workspace policy vendors every dependency, so pulling in `syn` for
+//! a CI lint pass is off the table — and full parsing is overkill anyway:
+//! every `muri-lint` rule is expressible over a token stream that gets
+//! comments, string/char literals, lifetimes, numbers, identifiers, and
+//! the `::` path separator right. The lexer is lossless about *position*
+//! (every token carries its 1-based line and column) and deliberately
+//! lossy about anything a rule never looks at (it does not distinguish
+//! keywords from identifiers, nor `+=` from `+` `=`).
+//!
+//! Correctness notes for the constructs that commonly break naive
+//! scanners:
+//!
+//! * nested block comments (`/* /* */ */`) are tracked with a depth
+//!   counter, as rustc does;
+//! * raw strings (`r"…"`, `r#"…"#`, any hash count) and byte strings
+//!   (`b"…"`, `br#"…"#`) are consumed without interpreting escapes;
+//! * `'a` lifetimes are distinguished from `'a'` char literals by a
+//!   one-character lookahead past the quoted char;
+//! * float literals (`1.5`, `1e6`, `2.5e-3`, `1f64`) are classified
+//!   separately from integers so rule D004 can flag them, while `0..n`
+//!   ranges and `x.0` tuple accesses stay integers.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Integer literal, including any suffix (`42`, `0xff_u32`).
+    IntLit,
+    /// Float literal, including any suffix (`1.5`, `1e6`, `2f64`).
+    FloatLit,
+    /// String, raw-string, byte-string, byte, or char literal.
+    StrLit,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment (doc comments included), possibly nested.
+    BlockComment,
+    /// `'a`-style lifetime (or loop label).
+    Lifetime,
+    /// Any other single character of punctuation — except `::`, which is
+    /// kept as one two-character token so path matching is a simple
+    /// token-sequence comparison.
+    Punct,
+}
+
+/// One lexed token: a kind plus its byte range and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the source.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advance one *character* (multi-byte UTF-8 sequences count as one
+    /// column), maintaining the line/column counters.
+    fn bump(&mut self) {
+        let Some(&b) = self.bytes.get(self.pos) else {
+            return;
+        };
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.pos += 1;
+            return;
+        }
+        // Skip continuation bytes of a multi-byte character in one bump.
+        let mut next = self.pos + 1;
+        if b >= 0x80 {
+            while next < self.bytes.len() && (self.bytes[next] & 0xC0) == 0x80 {
+                next += 1;
+            }
+        }
+        self.pos = next;
+        self.col += 1;
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token vector. Never fails: unterminated literals and
+/// comments are closed at end of input, and unknown bytes become
+/// [`TokenKind::Punct`]. The linter scans files that already compile, so
+/// leniency only ever matters for fixtures.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+        let (start, line, col) = (c.pos, c.line, c.col);
+        let kind = lex_one(&mut c, b);
+        out.push(Token {
+            kind,
+            start,
+            end: c.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_one(c: &mut Cursor<'_>, b: u8) -> TokenKind {
+    match b {
+        b'/' if c.peek_at(1) == Some(b'/') => {
+            c.bump_while(|x| x != b'\n');
+            TokenKind::LineComment
+        }
+        b'/' if c.peek_at(1) == Some(b'*') => {
+            c.bump(); // `/`
+            c.bump(); // `*`
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (c.peek(), c.peek_at(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        c.bump();
+                        c.bump();
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        c.bump();
+                        c.bump();
+                    }
+                    (Some(_), _) => c.bump(),
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        }
+        b'r' | b'b' => lex_prefixed(c),
+        b'\'' => lex_quote(c),
+        b'"' => {
+            lex_string(c);
+            TokenKind::StrLit
+        }
+        b'0'..=b'9' => lex_number(c),
+        b':' if c.peek_at(1) == Some(b':') => {
+            c.bump();
+            c.bump();
+            TokenKind::Punct
+        }
+        _ if is_ident_start(b) => {
+            c.bump_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        _ => {
+            c.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Tokens starting with `r` or `b`: raw strings, byte strings, byte
+/// chars, raw identifiers — or a plain identifier that merely begins with
+/// one of those letters.
+fn lex_prefixed(c: &mut Cursor<'_>) -> TokenKind {
+    let first = c.peek();
+    let second = c.peek_at(1);
+    let third = c.peek_at(2);
+    match (first, second, third) {
+        // r"…" | r#"…"#
+        (Some(b'r'), Some(b'"'), _) | (Some(b'r'), Some(b'#'), _) => {
+            // `r#ident` (raw identifier) vs `r#"…"#` (raw string).
+            if second == Some(b'#') && third.is_some_and(is_ident_start) {
+                c.bump(); // r
+                c.bump(); // #
+                c.bump_while(is_ident_continue);
+                return TokenKind::Ident;
+            }
+            c.bump(); // r
+            lex_raw_string(c);
+            TokenKind::StrLit
+        }
+        // b"…" | b'…' | br"…" | br#"…"#
+        (Some(b'b'), Some(b'"'), _) => {
+            c.bump(); // b
+            lex_string(c);
+            TokenKind::StrLit
+        }
+        (Some(b'b'), Some(b'\''), _) => {
+            c.bump(); // b
+            c.bump(); // '
+            lex_char_body(c);
+            TokenKind::StrLit
+        }
+        (Some(b'b'), Some(b'r'), Some(b'"')) | (Some(b'b'), Some(b'r'), Some(b'#')) => {
+            c.bump(); // b
+            c.bump(); // r
+            lex_raw_string(c);
+            TokenKind::StrLit
+        }
+        _ => {
+            c.bump_while(is_ident_continue);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// After an opening `'`: decide between a lifetime and a char literal.
+fn lex_quote(c: &mut Cursor<'_>) -> TokenKind {
+    c.bump(); // '
+    match c.peek() {
+        Some(b'\\') => {
+            lex_char_body(c);
+            TokenKind::StrLit
+        }
+        Some(b) if is_ident_start(b) => {
+            // `'a'` is a char literal; `'a` (no closing quote after one
+            // identifier-ish char) is a lifetime or label. Look one
+            // character past the first to decide.
+            let mut probe = 1;
+            if b >= 0x80 {
+                while c.peek_at(probe).is_some_and(|x| (x & 0xC0) == 0x80) {
+                    probe += 1;
+                }
+            }
+            if c.peek_at(probe) == Some(b'\'') {
+                lex_char_body(c);
+                TokenKind::StrLit
+            } else {
+                c.bump_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            lex_char_body(c);
+            TokenKind::StrLit
+        }
+        None => TokenKind::Punct,
+    }
+}
+
+/// Consume the body and closing quote of a char literal (cursor sits on
+/// the first content character, or on `\` of an escape).
+fn lex_char_body(c: &mut Cursor<'_>) {
+    if c.peek() == Some(b'\\') {
+        c.bump();
+        c.bump(); // the escaped character (enough for \n \' \\ \0 \x.. \u{..})
+        c.bump_while(|x| x != b'\'' && x != b'\n');
+    } else {
+        c.bump();
+    }
+    if c.peek() == Some(b'\'') {
+        c.bump();
+    }
+}
+
+/// Consume a `"…"` string with escapes (cursor sits on the opening `"`).
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening "
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// Consume a raw string; cursor sits on `#` or `"` after the `r`.
+fn lex_raw_string(c: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek() != Some(b'"') {
+        return; // not actually a raw string; treat consumed prefix as done
+    }
+    c.bump(); // opening "
+    while let Some(b) = c.peek() {
+        c.bump();
+        if b == b'"' {
+            let mut seen = 0usize;
+            while seen < hashes && c.peek() == Some(b'#') {
+                seen += 1;
+                c.bump();
+            }
+            if seen == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Consume a number; cursor sits on the first digit.
+fn lex_number(c: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    if c.peek() == Some(b'0')
+        && matches!(c.peek_at(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+    {
+        c.bump();
+        c.bump();
+        c.bump_while(|x| x.is_ascii_alphanumeric() || x == b'_');
+        return TokenKind::IntLit;
+    }
+    c.bump_while(|x| x.is_ascii_digit() || x == b'_');
+    // Fractional part: a `.` followed by a digit (so `0..n` and `x.f()`
+    // stay out), or a trailing `.` not followed by an identifier or `.`.
+    if c.peek() == Some(b'.') {
+        match c.peek_at(1) {
+            Some(d) if d.is_ascii_digit() => {
+                float = true;
+                c.bump();
+                c.bump_while(|x| x.is_ascii_digit() || x == b'_');
+            }
+            Some(d) if is_ident_start(d) || d == b'.' => {}
+            _ => {
+                float = true;
+                c.bump();
+            }
+        }
+    }
+    // Exponent.
+    if matches!(c.peek(), Some(b'e' | b'E')) {
+        let (sign, digit) = (c.peek_at(1), c.peek_at(2));
+        let has_exp = match sign {
+            Some(b'+' | b'-') => digit.is_some_and(|d| d.is_ascii_digit()),
+            Some(d) => d.is_ascii_digit(),
+            None => false,
+        };
+        if has_exp {
+            float = true;
+            c.bump(); // e
+            if matches!(c.peek(), Some(b'+' | b'-')) {
+                c.bump();
+            }
+            c.bump_while(|x| x.is_ascii_digit() || x == b'_');
+        }
+    }
+    // Type suffix (`u32`, `f64`, …) — a float suffix forces float.
+    if c.peek().is_some_and(is_ident_start) {
+        let suffix_start = c.pos;
+        c.bump_while(is_ident_continue);
+        let suffix = &c.src[suffix_start..c.pos];
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+    }
+    if float {
+        TokenKind::FloatLit
+    } else {
+        TokenKind::IntLit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let ks = kinds("std::thread::spawn(x);");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["std", "::", "thread", "::", "spawn", "(", "x", ")", ";"]
+        );
+        assert_eq!(ks[1].0, TokenKind::Punct);
+        assert_eq!(ks[0].0, TokenKind::Ident);
+    }
+
+    #[test]
+    fn comments_nested_and_line() {
+        let ks = kinds("a /* b /* c */ d */ e // tail\nf");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts[0], "a");
+        assert_eq!(ks[1].0, TokenKind::BlockComment);
+        assert_eq!(texts[2], "e");
+        assert_eq!(ks[3].0, TokenKind::LineComment);
+        assert_eq!(texts[4], "f");
+    }
+
+    #[test]
+    fn strings_raw_and_byte() {
+        let ks = kinds(r####"let s = r#"has "quotes" and \"#; let b = b"x\"y"; let c = 'q';"####);
+        let strs: Vec<&(TokenKind, String)> =
+            ks.iter().filter(|(k, _)| *k == TokenKind::StrLit).collect();
+        assert_eq!(strs.len(), 3, "{ks:?}");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'z'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = ks.iter().filter(|(k, _)| *k == TokenKind::StrLit).collect();
+        assert_eq!(lifetimes.len(), 2, "{ks:?}");
+        assert_eq!(chars.len(), 2, "{ks:?}");
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let ks = kinds("1 1.5 1e6 2.5e-3 1f64 7u32 0xff 0..n x.0 1_000");
+        let floats: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::FloatLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.5", "1e6", "2.5e-3", "1f64"]);
+        let ints: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::IntLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, ["1", "7u32", "0xff", "0", "0", "1_000"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[1].text("a\n  bb"), "bb");
+    }
+}

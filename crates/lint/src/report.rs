@@ -1,0 +1,190 @@
+//! Report rendering: the human format CI prints and a JSON form for
+//! tooling. The JSON writer is hand-rolled (string escaping only — the
+//! schema is flat), keeping the analyzer itself dependency-free so it can
+//! never be broken by the crates it lints.
+
+use crate::rules::{RuleId, Violation};
+use std::fmt::Write as _;
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations that survived suppression, ordered by path, then line.
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of crates scanned.
+    pub crates_scanned: usize,
+    /// Violations silenced by reasoned suppressions.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// True when no violations survived.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Per-rule counts over the surviving violations, in rule order.
+    pub fn rule_counts(&self) -> Vec<(RuleId, usize)> {
+        RuleId::ALL
+            .into_iter()
+            .map(|r| (r, self.violations.iter().filter(|v| v.rule == r).count()))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// The human-readable report: one `path:line:col: RULE message` line
+    /// per violation, then a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{v}");
+        }
+        if self.is_clean() {
+            let _ = writeln!(
+                out,
+                "muri-lint: clean — {} files across {} crates, {} reasoned suppression(s)",
+                self.files_scanned, self.crates_scanned, self.suppressed
+            );
+        } else {
+            let summary: Vec<String> = self
+                .rule_counts()
+                .into_iter()
+                .map(|(r, n)| format!("{n}x {r}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "muri-lint: {} violation(s) [{}] in {} files across {} crates \
+                 ({} suppressed)",
+                self.violations.len(),
+                summary.join(", "),
+                self.files_scanned,
+                self.crates_scanned,
+                self.suppressed
+            );
+        }
+        out
+    }
+
+    /// The machine-readable report (one JSON object, stable key order).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
+                 \"message\": {}}}",
+                json_str(v.rule.as_str()),
+                json_str(&v.path),
+                v.line,
+                v.col,
+                json_str(&v.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"files_scanned\": {},\n  \"crates_scanned\": {},\n  \
+             \"suppressed\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.crates_scanned,
+            self.suppressed,
+            self.is_clean()
+        );
+        out
+    }
+}
+
+/// Escape `s` as a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation() -> Violation {
+        Violation {
+            rule: RuleId::D001,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "iteration over \"map\"".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_report_lists_and_summarizes() {
+        let r = LintReport {
+            violations: vec![violation()],
+            files_scanned: 2,
+            crates_scanned: 1,
+            suppressed: 1,
+        };
+        let text = r.render_human();
+        assert!(text.contains("crates/x/src/lib.rs:3:7: D001"));
+        assert!(text.contains("1 violation(s) [1x D001]"));
+    }
+
+    #[test]
+    fn json_is_parseable_and_escaped() {
+        let r = LintReport {
+            violations: vec![violation()],
+            files_scanned: 2,
+            crates_scanned: 1,
+            suppressed: 0,
+        };
+        let json = r.render_json();
+        assert!(json.contains(r#""rule": "D001""#));
+        assert!(json.contains(r#"\"map\""#), "{json}");
+        assert!(json.contains("\"clean\": false"));
+        // Keep the writer honest against a real parser in dev builds.
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("report JSON must parse");
+        let violations = match parsed.get("violations") {
+            Some(serde_json::Value::Array(items)) => items,
+            other => panic!("violations must be an array, got {other:?}"),
+        };
+        assert_eq!(violations[0].get("line"), Some(&serde_json::Value::UInt(3)));
+        assert_eq!(
+            parsed.get("files_scanned"),
+            Some(&serde_json::Value::UInt(2))
+        );
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = LintReport {
+            files_scanned: 5,
+            crates_scanned: 2,
+            ..Default::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.render_human().contains("clean"));
+        let parsed: serde_json::Value = serde_json::from_str(&r.render_json()).unwrap();
+        assert_eq!(parsed.get("clean"), Some(&serde_json::Value::Bool(true)));
+    }
+}

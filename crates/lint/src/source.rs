@@ -1,0 +1,420 @@
+//! Per-file source model: the token stream plus everything the rules
+//! share — which lines are test code, and which lines carry
+//! `// muri-lint: allow(...)` suppressions.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One parsed suppression comment.
+///
+/// Syntax: `// muri-lint: allow(D001, reason = "why this is safe")`.
+/// Multiple rule ids may be listed before the `reason`. A suppression on
+/// its own line covers the next line that has code; a trailing
+/// suppression covers its own line. A suppression without a non-empty
+/// reason still *parses* — rule S001 then reports it, and it suppresses
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule ids as written (e.g. `"D001"`), in order.
+    pub rules: Vec<String>,
+    /// The quoted reason, if one was given.
+    pub reason: Option<String>,
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// 1-based line the suppression applies to.
+    pub covers: u32,
+    /// Set when the comment contained `muri-lint:` but could not be
+    /// parsed as `allow(...)` — reported by S001 as malformed.
+    pub malformed: bool,
+}
+
+impl Suppression {
+    /// Whether this suppression is effective for `rule` on `line`.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        !self.malformed
+            && self.covers == line
+            && self.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
+            && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// A lexed source file with the derived facts every rule consumes.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Full source text.
+    pub src: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Inclusive 1-based line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl ScannedFile {
+    /// Lex and analyze one file.
+    pub fn new(rel_path: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let test_ranges = find_test_ranges(&tokens, &code, src);
+        let suppressions = find_suppressions(&tokens, &code, src);
+        ScannedFile {
+            rel_path: rel_path.to_string(),
+            src: src.to_string(),
+            tokens,
+            code,
+            test_ranges,
+            suppressions,
+        }
+    }
+
+    /// Whether 1-based `line` falls inside test-gated code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The text of code token `ci` (an index into [`Self::code`]).
+    pub fn code_text(&self, ci: usize) -> &str {
+        self.tokens[self.code[ci]].text(&self.src)
+    }
+
+    /// The token behind code index `ci`.
+    pub fn code_token(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Number of code tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if code token `ci` exists, is of `kind`, and its text is
+    /// `text`.
+    pub fn code_is(&self, ci: usize, kind: TokenKind, text: &str) -> bool {
+        self.code.get(ci).is_some_and(|&ti| {
+            self.tokens[ti].kind == kind && self.tokens[ti].text(&self.src) == text
+        })
+    }
+}
+
+/// Locate `#[cfg(test)]` and `#[test]` items and return the line ranges
+/// their bodies span.
+///
+/// The walk is purely lexical: on an attribute opener (`#` `[`), the
+/// attribute's tokens are collected to the matching `]`; if they spell
+/// `cfg ( test )` or are exactly `test`, the following item is located by
+/// scanning past any further attributes to the first `{` (its matching
+/// `}` closes the range) or to a `;` for body-less items. That covers
+/// `mod tests { … }`, `#[test] fn case() { … }`, and test-only `use`
+/// lines — the forms that occur in this workspace.
+fn find_test_ranges(tokens: &[Token], code: &[usize], src: &str) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(token_is(tokens, code, src, i, "#") && token_is(tokens, code, src, i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = tokens[code[i]].line;
+        let Some((attr_tokens, after_attr)) = attribute_contents(tokens, code, src, i) else {
+            i += 1;
+            continue;
+        };
+        let is_test_attr = attr_tokens == ["test"]
+            || attr_tokens
+                .windows(4)
+                .any(|w| w == ["cfg", "(", "test", ")"]);
+        if !is_test_attr {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = after_attr;
+        while token_is(tokens, code, src, j, "#") && token_is(tokens, code, src, j + 1, "[") {
+            match attribute_contents(tokens, code, src, j) {
+                Some((_, nj)) => j = nj,
+                None => break,
+            }
+        }
+        // Find the item's extent: first `{` at depth 0 (then match it),
+        // or a `;` (body-less item).
+        let mut depth = 0i32;
+        let mut end_line = attr_start_line;
+        let mut k = j;
+        while k < code.len() {
+            let t = &tokens[code[k]];
+            match t.text(src) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        end_line = t.line;
+                        k += 1;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end_line = t.line;
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        ranges.push((attr_start_line, end_line));
+        i = k;
+    }
+    ranges
+}
+
+fn token_is(tokens: &[Token], code: &[usize], src: &str, ci: usize, text: &str) -> bool {
+    code.get(ci).is_some_and(|&ti| tokens[ti].text(src) == text)
+}
+
+/// Given `ci` pointing at `#`, return the attribute's token texts and the
+/// code index just past the closing `]`.
+fn attribute_contents<'a>(
+    tokens: &[Token],
+    code: &[usize],
+    src: &'a str,
+    ci: usize,
+) -> Option<(Vec<&'a str>, usize)> {
+    if !token_is(tokens, code, src, ci, "#") || !token_is(tokens, code, src, ci + 1, "[") {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut texts = Vec::new();
+    let mut k = ci + 1;
+    while k < code.len() {
+        let t = tokens[code[k]].text(src);
+        match t {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((texts, k + 1));
+                }
+            }
+            _ => texts.push(t),
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Parse every comment for `muri-lint:` suppression markers.
+fn find_suppressions(tokens: &[Token], code: &[usize], src: &str) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (ti, t) in tokens.iter().enumerate() {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(src);
+        // Doc comments document; only plain comments suppress. This lets
+        // rustdoc (and this crate's own sources) spell out the
+        // suppression grammar without tripping S001.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(marker) = text.find("muri-lint:") else {
+            continue;
+        };
+        let rest = &text[marker + "muri-lint:".len()..];
+        // Does any code token precede this comment on the same line?
+        // Trailing comments cover their own line; standalone ones cover
+        // the next line that has code.
+        let standalone = !code
+            .iter()
+            .take_while(|&&ci| ci < ti)
+            .any(|&ci| tokens[ci].line == t.line);
+        let covers = if standalone {
+            code.iter()
+                .find(|&&ci| ci > ti && tokens[ci].line > t.line)
+                .map_or(t.line + 1, |&ci| tokens[ci].line)
+        } else {
+            t.line
+        };
+        match parse_allow(rest) {
+            Some((rules, reason)) => out.push(Suppression {
+                rules,
+                reason,
+                line: t.line,
+                covers,
+                malformed: false,
+            }),
+            None => out.push(Suppression {
+                rules: Vec::new(),
+                reason: None,
+                line: t.line,
+                covers,
+                malformed: true,
+            }),
+        }
+    }
+    out
+}
+
+/// Parse `allow(RULE[, RULE…][, reason = "…"])` from the text after the
+/// `muri-lint:` marker. Returns the rule list and the reason, or `None`
+/// if the text does not fit the grammar. The reason may freely contain
+/// commas and parentheses — it is delimited by its quotes, not by the
+/// argument syntax around it.
+fn parse_allow(rest: &str) -> Option<(Vec<String>, Option<String>)> {
+    let rest = rest.trim_start();
+    let mut s = rest.strip_prefix("allow")?.trim_start();
+    s = s.strip_prefix('(')?;
+    let mut rules = Vec::new();
+    let mut reason = None;
+    loop {
+        s = s.trim_start();
+        if let Some(tail) = s.strip_prefix(')') {
+            let _ = tail;
+            break;
+        }
+        if let Some(tail) = s.strip_prefix(',') {
+            s = tail;
+            continue;
+        }
+        // `reason = "…"` — the quoted string may contain anything but
+        // an unescaped quote.
+        if let Some(tail) = s.strip_prefix("reason") {
+            let tail = tail.trim_start().strip_prefix('=')?.trim_start();
+            let mut chars = tail.char_indices();
+            let (_, quote) = chars.next()?;
+            if quote != '"' {
+                return None;
+            }
+            let mut text = String::new();
+            let mut escaped = false;
+            let mut end = None;
+            for (i, c) in chars {
+                if escaped {
+                    text.push(c);
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i + c.len_utf8());
+                    break;
+                } else {
+                    text.push(c);
+                }
+            }
+            let end = end?;
+            reason = Some(text);
+            s = &tail[end..];
+            continue;
+        }
+        // A rule id: a run of alphanumerics/underscores.
+        let id_len = s
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(s.len());
+        if id_len == 0 {
+            return None; // unexpected character
+        }
+        rules.push(s[..id_len].to_string());
+        s = &s[id_len..];
+    }
+    if rules.is_empty() {
+        return None;
+    }
+    Some((rules, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mod_lines_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_attr_is_marked() {
+        let src = "fn real() {}\n#[test]\nfn case() {\n    body();\n}\nfn after() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_use_line_is_marked() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn suppression_trailing_covers_own_line() {
+        let src = "let x = 1; // muri-lint: allow(D001, reason = \"lookup only\")\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert_eq!(s.covers, 1);
+        assert!(s.allows("D001", 1));
+        assert!(!s.allows("D002", 1));
+    }
+
+    #[test]
+    fn suppression_standalone_covers_next_code_line() {
+        let src =
+            "// muri-lint: allow(D002, D004, reason = \"telemetry only\")\n\nlet t = now();\n";
+        let f = ScannedFile::new("x.rs", src);
+        let s = &f.suppressions[0];
+        assert_eq!(s.covers, 3);
+        assert!(s.allows("D004", 3));
+    }
+
+    #[test]
+    fn bare_allow_parses_but_allows_nothing() {
+        let src = "// muri-lint: allow(D001)\nlet x = 1;\n";
+        let f = ScannedFile::new("x.rs", src);
+        let s = &f.suppressions[0];
+        assert!(!s.malformed);
+        assert!(s.reason.is_none());
+        assert!(!s.allows("D001", 2));
+    }
+
+    #[test]
+    fn garbage_marker_is_malformed() {
+        let src = "// muri-lint: disable everything\nlet x = 1;\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.suppressions[0].malformed);
+    }
+
+    #[test]
+    fn doc_comments_are_not_suppressions() {
+        let src = "//! Module docs: `// muri-lint: allow(D001)` is the grammar.\n\
+/// Item docs may also mention muri-lint: allow(D002) freely.\n\
+/** Block docs too: muri-lint: allow(D003). */\n\
+fn real() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.suppressions.is_empty(), "{:?}", f.suppressions);
+    }
+}

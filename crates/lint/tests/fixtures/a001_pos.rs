@@ -1,0 +1,12 @@
+// A001 positive: public entry points with no visible audit story.
+// Expected: A001 at lines 5 (plan_groups) and 10 (simulate_quick).
+pub struct Plan;
+
+pub fn plan_groups(jobs: &[u32]) -> Plan {
+    let _ = jobs;
+    Plan
+}
+
+pub fn simulate_quick(steps: u32) -> u32 {
+    steps * 2
+}

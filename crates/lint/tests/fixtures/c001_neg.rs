@@ -1,0 +1,14 @@
+// C001 negative: the approved pattern — scoped threads, joined before
+// the scope returns, so borrows need no 'static and shutdown order is
+// deterministic.
+pub fn fan_out(work: &[u64]) -> u64 {
+    let mut totals = vec![0u64; work.len()];
+    std::thread::scope(|s| {
+        for (slot, w) in totals.iter_mut().zip(work) {
+            s.spawn(move || {
+                *slot = w * 2;
+            });
+        }
+    });
+    totals.iter().sum()
+}

@@ -1,0 +1,11 @@
+// C001 positive: raw free-running threads.
+// Expected: C001 at lines 5 and 9.
+pub fn fan_out(work: Vec<u64>) {
+    for w in work {
+        std::thread::spawn(move || {
+            let _ = w;
+        });
+    }
+    let builder = std::thread::Builder::new();
+    let _ = builder;
+}

@@ -1,0 +1,49 @@
+// D001 negative: hash maps used for order-independent lookups, ordered
+// collections iterated freely, and hash iteration confined to test code.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Cache {
+    memo: HashMap<u64, u64>,
+    ordered: BTreeMap<u64, u64>,
+}
+
+impl Cache {
+    pub fn lookup(&mut self, k: u64) -> Option<u64> {
+        if let Some(&v) = self.memo.get(&k) {
+            return Some(v);
+        }
+        self.memo.insert(k, k * 2);
+        self.memo.remove(&(k + 1));
+        None
+    }
+
+    pub fn walk(&self) -> Vec<u64> {
+        // BTreeMap iteration is deterministic: not a finding.
+        self.ordered.values().copied().collect()
+    }
+}
+
+pub struct Spec {
+    /// Shares the name `memo` with the hash-typed field above, but this
+    /// one is a Vec on a different type.
+    pub memo: Vec<u64>,
+}
+
+pub fn total(spec: &Spec) -> u64 {
+    // Receiver is `spec`, not `self` or a bare binding: the name-based
+    // pass cannot see its type, so it must stay silent.
+    spec.memo.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_in_tests_is_fine() {
+        let memo: HashMap<u64, u64> = HashMap::new();
+        for (_, v) in &memo {
+            let _ = v;
+        }
+    }
+}

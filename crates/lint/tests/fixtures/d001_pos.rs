@@ -1,0 +1,22 @@
+// D001 positive: order-dependent iteration over hash collections in a
+// deterministic crate. Expected: D001 at lines 11, 14, 17.
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_id: HashMap<u32, String>,
+}
+
+impl Index {
+    pub fn dump(&self, seen: HashSet<u32>) -> Vec<String> {
+        let mut out: Vec<String> = self.by_id.values().cloned().collect();
+        let fresh = HashMap::new();
+        let _ = fresh.get(&1u32);
+        for (_, v) in &self.by_id {
+            out.push(v.clone());
+        }
+        for s in seen {
+            out.push(s.to_string());
+        }
+        out
+    }
+}

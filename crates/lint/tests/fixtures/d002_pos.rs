@@ -1,0 +1,13 @@
+// D002 positive: wall-clock reads in a deterministic crate.
+// Expected: D002 at lines 6 and 9.
+use std::time::{Instant, SystemTime};
+
+pub fn measure_pass() -> u128 {
+    let start = Instant::now();
+    busy_work();
+    let elapsed = start.elapsed().as_micros();
+    let _stamp = SystemTime::now();
+    elapsed
+}
+
+fn busy_work() {}

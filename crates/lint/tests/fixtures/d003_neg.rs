@@ -1,0 +1,11 @@
+// D003 negative: every rng derives from an explicit u64 seed, so the
+// run replays. Mentions of thread_rng in comments or strings are not
+// code.
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let banned = "thread_rng is banned here";
+    let _ = banned;
+    rng.gen()
+}

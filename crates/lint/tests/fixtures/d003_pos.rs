@@ -1,0 +1,10 @@
+// D003 positive: unseeded randomness.
+// Expected: D003 at lines 6, 7, 8.
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let mut other = SmallRng::from_entropy();
+    let bonus: u64 = rand::random();
+    rng.gen::<u64>() + other.gen::<u64>() + bonus
+}

@@ -1,0 +1,19 @@
+// D004 negative: a decision path ranking entirely in the scaled-integer
+// fixed-point convention. Integer literals, shifts, and i128 widening
+// are all fine; the float boundary lives elsewhere (weight_from_f64).
+pub const WEIGHT_SCALE: i64 = 1_000_000;
+
+pub fn rank(score_a: i64, score_b: i64) -> bool {
+    let a = i128::from(score_a) * i128::from(WEIGHT_SCALE);
+    let b = i128::from(score_b) * i128::from(WEIGHT_SCALE) / 2;
+    a + b > i128::from(WEIGHT_SCALE)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_in_tests_is_fine() {
+        let x = 0.5_f64;
+        assert!(x < 1.0);
+    }
+}

@@ -1,0 +1,9 @@
+// D004 positive (scanned as a decision-path file): float types and
+// literals inside ranking logic. Expected: D004 at line 5 (f64),
+// line 6 (f64 and 0.5), line 7 (f64 and 1e6) — five findings.
+pub fn rank(score_a: u64, score_b: u64) -> bool {
+    let a = score_a as f64;
+    let b = score_b as f64 * 0.5;
+    let threshold: f64 = 1e6;
+    a + b > threshold
+}

@@ -1,0 +1,13 @@
+// S001 negative: a well-formed, reasoned suppression — it silences its
+// target and is itself silent.
+use std::time::Instant;
+
+pub fn calibration_probe() -> Instant {
+    // muri-lint: allow(D002, reason = "one-shot calibration, result never feeds planning")
+    Instant::now()
+}
+
+/// Doc comments are exempt from suppression parsing, so documentation
+/// may spell out the grammar — even a bare `// muri-lint: allow(D001)` —
+/// without tripping S001.
+pub fn documented() {}

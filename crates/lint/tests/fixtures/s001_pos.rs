@@ -1,0 +1,11 @@
+// S001 positive: suppressions that fail hygiene.
+// Expected: S001 at lines 6 (no reason), 8 (unknown rule), 10
+// (malformed), plus the underlying D002 still reported at line 8.
+use std::time::Instant;
+
+// muri-lint: allow(D002)
+pub fn bare() -> Instant {
+    Instant::now() // muri-lint: allow(D999, reason = "wrong rule id")
+}
+// muri-lint: silence this file
+pub fn tail() {}

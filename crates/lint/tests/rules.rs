@@ -1,0 +1,213 @@
+//! Golden fixture corpus: every rule has a positive fixture (expected
+//! findings, by line) and a negative fixture (clean), and every positive
+//! case goes dark when its rule is disabled — so each rule is provably
+//! the one doing the catching, and CI fails if a rule is turned off.
+
+use muri_lint::{scan_source, CrateClass, FileContext, FileResult, LintConfig, RuleId};
+
+fn det_ctx() -> FileContext {
+    FileContext {
+        crate_name: "muri-core".to_string(),
+        class: CrateClass::Deterministic,
+        decision_path: false,
+    }
+}
+
+fn harness_ctx() -> FileContext {
+    FileContext {
+        crate_name: "muri-cli".to_string(),
+        class: CrateClass::Harness,
+        decision_path: false,
+    }
+}
+
+fn decision_ctx() -> FileContext {
+    FileContext {
+        crate_name: "muri-core".to_string(),
+        class: CrateClass::Deterministic,
+        decision_path: true,
+    }
+}
+
+fn scan(src: &str, ctx: &FileContext, cfg: &LintConfig) -> FileResult {
+    scan_source("fixture.rs", src, ctx, cfg)
+}
+
+/// The (rule, line) pairs of a result, sorted.
+fn findings(r: &FileResult) -> Vec<(RuleId, u32)> {
+    let mut out: Vec<(RuleId, u32)> = r.violations.iter().map(|v| (v.rule, v.line)).collect();
+    out.sort();
+    out
+}
+
+/// Assert the positive fixture yields exactly `expected` under the full
+/// config, and zero findings of `rule` once that rule is disabled.
+fn check_rule(rule: RuleId, pos: &str, neg: &str, ctx: &FileContext, expected: &[(RuleId, u32)]) {
+    let full = LintConfig::default();
+    let got = findings(&scan(pos, ctx, &full));
+    assert_eq!(got, expected, "{rule} positive fixture");
+
+    let neg_result = scan(neg, ctx, &full);
+    assert!(
+        neg_result.violations.is_empty(),
+        "{rule} negative fixture must be clean, got {:?}",
+        neg_result.violations
+    );
+
+    let disabled = scan(pos, ctx, &LintConfig::without(rule));
+    assert!(
+        !disabled.violations.iter().any(|v| v.rule == rule),
+        "disabling {rule} must silence its findings"
+    );
+    // And the findings really were attributable to this rule: with only
+    // this rule enabled, the rule's subset of `expected` comes back.
+    let only = scan(pos, ctx, &LintConfig::only(rule));
+    let want: Vec<(RuleId, u32)> = expected
+        .iter()
+        .copied()
+        .filter(|&(r, _)| r == rule)
+        .collect();
+    assert_eq!(findings(&only), want, "{rule} only-this-rule scan");
+}
+
+#[test]
+fn d001_hash_iteration() {
+    check_rule(
+        RuleId::D001,
+        include_str!("fixtures/d001_pos.rs"),
+        include_str!("fixtures/d001_neg.rs"),
+        &det_ctx(),
+        &[(RuleId::D001, 11), (RuleId::D001, 14), (RuleId::D001, 17)],
+    );
+}
+
+#[test]
+fn d001_is_scoped_to_deterministic_crates() {
+    let pos = include_str!("fixtures/d001_pos.rs");
+    let r = scan(pos, &harness_ctx(), &LintConfig::default());
+    assert!(
+        r.violations.is_empty(),
+        "harness crates may iterate hash maps: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn d002_wall_clock() {
+    check_rule(
+        RuleId::D002,
+        include_str!("fixtures/d002_pos.rs"),
+        include_str!("fixtures/d002_neg.rs"),
+        &det_ctx(),
+        &[(RuleId::D002, 6), (RuleId::D002, 9)],
+    );
+}
+
+#[test]
+fn d002_is_scoped_to_deterministic_crates() {
+    let pos = include_str!("fixtures/d002_pos.rs");
+    let obs = FileContext {
+        crate_name: "muri-telemetry".to_string(),
+        class: CrateClass::Observability,
+        decision_path: false,
+    };
+    assert!(scan(pos, &obs, &LintConfig::default())
+        .violations
+        .is_empty());
+    assert!(scan(pos, &harness_ctx(), &LintConfig::default())
+        .violations
+        .is_empty());
+}
+
+#[test]
+fn d003_unseeded_randomness() {
+    check_rule(
+        RuleId::D003,
+        include_str!("fixtures/d003_pos.rs"),
+        include_str!("fixtures/d003_neg.rs"),
+        &harness_ctx(), // D003 applies everywhere, even in harnesses
+        &[(RuleId::D003, 6), (RuleId::D003, 7), (RuleId::D003, 8)],
+    );
+}
+
+#[test]
+fn d004_decision_path_floats() {
+    check_rule(
+        RuleId::D004,
+        include_str!("fixtures/d004_pos.rs"),
+        include_str!("fixtures/d004_neg.rs"),
+        &decision_ctx(),
+        &[
+            (RuleId::D004, 5),
+            (RuleId::D004, 6),
+            (RuleId::D004, 6),
+            (RuleId::D004, 7),
+            (RuleId::D004, 7),
+        ],
+    );
+}
+
+#[test]
+fn d004_is_scoped_to_decision_paths() {
+    let pos = include_str!("fixtures/d004_pos.rs");
+    let r = scan(pos, &det_ctx(), &LintConfig::default());
+    assert!(
+        r.violations.is_empty(),
+        "floats off the decision path are fine: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn c001_raw_thread_spawn() {
+    check_rule(
+        RuleId::C001,
+        include_str!("fixtures/c001_pos.rs"),
+        include_str!("fixtures/c001_neg.rs"),
+        &harness_ctx(),
+        &[(RuleId::C001, 5), (RuleId::C001, 9)],
+    );
+}
+
+#[test]
+fn a001_audit_hooks() {
+    check_rule(
+        RuleId::A001,
+        include_str!("fixtures/a001_pos.rs"),
+        include_str!("fixtures/a001_neg.rs"),
+        &det_ctx(),
+        &[(RuleId::A001, 5), (RuleId::A001, 10)],
+    );
+}
+
+#[test]
+fn a001_is_scoped_to_deterministic_crates() {
+    let pos = include_str!("fixtures/a001_pos.rs");
+    assert!(scan(pos, &harness_ctx(), &LintConfig::default())
+        .violations
+        .is_empty());
+}
+
+#[test]
+fn s001_suppression_hygiene() {
+    check_rule(
+        RuleId::S001,
+        include_str!("fixtures/s001_pos.rs"),
+        include_str!("fixtures/s001_neg.rs"),
+        &det_ctx(),
+        &[
+            (RuleId::D002, 8),
+            (RuleId::S001, 6),
+            (RuleId::S001, 8),
+            (RuleId::S001, 10),
+        ],
+    );
+}
+
+#[test]
+fn s001_negative_fixture_suppresses_exactly_one() {
+    let neg = include_str!("fixtures/s001_neg.rs");
+    let r = scan(neg, &det_ctx(), &LintConfig::default());
+    assert!(r.violations.is_empty());
+    assert_eq!(r.suppressed, 1, "the reasoned allow silences one D002");
+}

@@ -1,0 +1,122 @@
+//! Suppression round-trips: a reasoned allow silences exactly its rule
+//! on exactly its line; a bare allow silences nothing and is itself a
+//! violation; S001 cannot be suppressed.
+
+use muri_lint::{scan_source, CrateClass, FileContext, LintConfig, RuleId};
+
+fn det_ctx() -> FileContext {
+    FileContext {
+        crate_name: "muri-core".to_string(),
+        class: CrateClass::Deterministic,
+        decision_path: false,
+    }
+}
+
+fn rules_of(src: &str) -> Vec<RuleId> {
+    let r = scan_source("fixture.rs", src, &det_ctx(), &LintConfig::default());
+    let mut out: Vec<RuleId> = r.violations.iter().map(|v| v.rule).collect();
+    out.sort();
+    out
+}
+
+const ITERATION: &str = "use std::collections::HashMap;\n\
+pub fn sum(m: &HashMap<u32, u64>) -> u64 {\n\
+    m.values().sum()\n\
+}\n";
+
+#[test]
+fn unsuppressed_baseline_fires() {
+    assert_eq!(rules_of(ITERATION), vec![RuleId::D001]);
+}
+
+#[test]
+fn trailing_reasoned_allow_passes() {
+    let src = ITERATION.replace(
+        "m.values().sum()",
+        "m.values().sum() // muri-lint: allow(D001, reason = \"sum is order-independent\")",
+    );
+    let r = scan_source("fixture.rs", &src, &det_ctx(), &LintConfig::default());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn standalone_reasoned_allow_covers_next_line() {
+    let src = ITERATION.replace(
+        "m.values().sum()",
+        "// muri-lint: allow(D001, reason = \"sum is order-independent\")\nm.values().sum()",
+    );
+    let r = scan_source("fixture.rs", &src, &det_ctx(), &LintConfig::default());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn bare_allow_fails_both_ways() {
+    let src = ITERATION.replace(
+        "m.values().sum()",
+        "m.values().sum() // muri-lint: allow(D001)",
+    );
+    // The D001 is NOT silenced, and the reasonless allow adds S001.
+    assert_eq!(rules_of(&src), vec![RuleId::D001, RuleId::S001]);
+}
+
+#[test]
+fn empty_reason_counts_as_bare() {
+    let src = ITERATION.replace(
+        "m.values().sum()",
+        "m.values().sum() // muri-lint: allow(D001, reason = \"  \")",
+    );
+    assert_eq!(rules_of(&src), vec![RuleId::D001, RuleId::S001]);
+}
+
+#[test]
+fn allow_for_a_different_rule_does_not_leak() {
+    let src = ITERATION.replace(
+        "m.values().sum()",
+        "m.values().sum() // muri-lint: allow(D002, reason = \"wrong rule\")",
+    );
+    assert_eq!(rules_of(&src), vec![RuleId::D001]);
+}
+
+#[test]
+fn allow_on_a_different_line_does_not_leak() {
+    let src = format!(
+        "// muri-lint: allow(D001, reason = \"too far away to cover line 4\")\n{ITERATION}"
+    );
+    // The comment covers line 2 (`use …`); the iteration on line 4 stays.
+    assert_eq!(rules_of(&src), vec![RuleId::D001]);
+}
+
+#[test]
+fn multi_rule_allow_covers_each_listed_rule() {
+    let src = "use std::collections::HashMap;\n\
+pub fn probe(m: &HashMap<u32, u64>) -> u64 {\n\
+    // muri-lint: allow(D001, D002, reason = \"calibration probe, order and time unobserved\")\n\
+    m.values().sum::<u64>() + std::time::Instant::now().elapsed().as_micros() as u64\n\
+}\n";
+    let r = scan_source("fixture.rs", src, &det_ctx(), &LintConfig::default());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.suppressed, 2, "one D001 + one D002 silenced");
+}
+
+#[test]
+fn s001_cannot_be_suppressed() {
+    // A reasonless allow plus a reasoned allow *for S001* on the same
+    // line: the S001 must still be reported.
+    let src = "use std::collections::HashMap;\n\
+pub fn sum(m: &HashMap<u32, u64>) -> u64 {\n\
+    // muri-lint: allow(D001)\n\
+    // muri-lint: allow(S001, reason = \"please look away\")\n\
+    m.values().sum()\n\
+}\n";
+    let rules = rules_of(src);
+    assert!(
+        rules.contains(&RuleId::S001),
+        "S001 must be unsuppressable: {rules:?}"
+    );
+    assert!(
+        rules.contains(&RuleId::D001),
+        "the bare allow must not silence D001: {rules:?}"
+    );
+}

@@ -1,0 +1,30 @@
+//! The linter run against the real workspace — the same gate
+//! `scripts/ci.sh` enforces, kept in tier-1 tests so `cargo test` alone
+//! catches a determinism regression. Also pins the audit-trail
+//! guarantee: every suppression in the tree carries a written reason
+//! (S001 enforces this; a clean scan implies it).
+
+use muri_lint::{find_workspace_root, scan_workspace, LintConfig};
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(start).expect("workspace root above crates/lint");
+    let report = scan_workspace(&root, &LintConfig::default()).expect("scan must succeed");
+    assert!(
+        report.crates_scanned >= 12,
+        "expected the full workspace, saw {} crates",
+        report.crates_scanned
+    );
+    assert!(
+        report.files_scanned >= 40,
+        "expected the full workspace, saw {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace must be muri-lint clean:\n{}",
+        report.render_human()
+    );
+}

@@ -38,7 +38,7 @@ use muri_workload::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Simulate `trace` under `cfg` and return the full report.
 ///
@@ -153,7 +153,7 @@ struct Engine<'a> {
     trace: &'a Trace,
     cluster: Cluster,
     profiler: Profiler,
-    jobs: HashMap<JobId, JobState>,
+    jobs: BTreeMap<JobId, JobState>,
     queue: Vec<JobId>,
     groups: Vec<Option<RunningGroup>>,
     events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
@@ -221,7 +221,7 @@ impl<'a> Engine<'a> {
             trace,
             cluster: Cluster::new(cfg.cluster),
             profiler: Profiler::new(cfg.profiler),
-            jobs: HashMap::with_capacity(trace.len()),
+            jobs: BTreeMap::new(),
             queue: Vec::new(),
             groups: Vec::new(),
             events: BinaryHeap::new(),

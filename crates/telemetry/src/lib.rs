@@ -30,12 +30,14 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome_trace;
+pub mod clock;
 pub mod event;
 pub mod journal;
 pub mod metrics;
 pub mod sink;
 
 pub use chrome_trace::{validate_chrome_trace, ChromeTrace, ChromeTraceStats};
+pub use clock::{timed_us, PhaseTimer};
 pub use event::{BlacklistReason, CacheDelta, Event, FaultKind, PlanPhases};
 pub use journal::Journal;
 pub use metrics::{parse_prometheus, Histogram, MetricsRegistry, PromSample};

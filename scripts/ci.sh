@@ -1,27 +1,30 @@
 #!/bin/sh
-# Offline CI gate for the Muri workspace. Runs the same three checks the
+# Offline CI gate for the Muri workspace. Runs the same checks the
 # repo treats as merge-blocking, in fail-fast order:
 #
 #   1. formatting        cargo fmt --all -- --check
 #   2. lints             cargo clippy --workspace --all-targets -- -D warnings
 #      (the lint set lives in [workspace.lints] in Cargo.toml + clippy.toml)
-#   3. tests             cargo test --workspace -q, then again with the
+#   3. muri-lint         the workspace determinism & audit-coverage
+#      scanner (rules D001-D004, C001, A001, S001 — see DESIGN.md
+#      "Static analysis"); any violation fails the build (exit 3)
+#   4. tests             cargo test --workspace -q, then again with the
 #      `audit` feature so the muri-verify debug hooks and the audited
 #      engine path are exercised
-#   4. bench smoke       the criterion bench targets scripts/bench.sh
+#   5. bench smoke       the criterion bench targets scripts/bench.sh
 #      relies on, run with `--test` (each body executes once, untimed) so
 #      a broken bench fails CI instead of the baseline workflow
-#   5. telemetry smoke   a 20-job simulation with all three telemetry
+#   6. telemetry smoke   a 20-job simulation with all three telemetry
 #      exporters enabled, then `muri telemetry-check` validates the
 #      artifacts: the journal parses and its lifecycle ledger conserves
 #      jobs, the Chrome trace is well-formed with monotonic timestamps,
 #      and the Prometheus text round-trips the golden parser
-#   6. fault smoke       a 20-job simulation under the machine-level
+#   7. fault smoke       a 20-job simulation under the machine-level
 #      fault battery (machine faults + repair, a degraded machine,
 #      periodic checkpointing) with the journal exported, then
 #      `muri telemetry-check` proves the faulty run's lifecycle ledger
 #      still conserves jobs
-#   7. pruning smoke     two checks on trace 2: at --scale 0.02 every
+#   8. pruning smoke     two checks on trace 2: at --scale 0.02 every
 #      bucket fits the small-graph shortcut (n <= top_m + 1), so default
 #      sparsification and --prune-top-m 0 must produce byte-identical
 #      reports; at --scale 0.1 buckets are large enough that edges are
@@ -29,10 +32,23 @@
 #      certificate bounds (but does not zero) the matching-weight
 #      difference, and the report may legitimately differ from dense
 #
+# `scripts/ci.sh --deep` additionally runs the core/matching test suites
+# under Miri and a ThreadSanitizer build when a nightly toolchain with
+# those components is installed; without one, each deep step prints a
+# skip notice and the gate result is unaffected.
+#
 # Everything is offline-safe: all dependencies are vendored under
 # vendor/, so no network access is needed or attempted.
 
 set -eu
+
+deep=0
+for arg in "$@"; do
+    case "$arg" in
+        --deep) deep=1 ;;
+        *) echo "usage: scripts/ci.sh [--deep]" >&2; exit 2 ;;
+    esac
+done
 
 cd "$(dirname "$0")/.."
 
@@ -41,6 +57,9 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> muri lint (workspace determinism & audit-coverage scan)"
+cargo run -q -p muri-cli -- lint
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -83,5 +102,30 @@ if ! cmp -s "$tmpdir/pruned.out" "$tmpdir/dense.out"; then
     exit 1
 fi
 cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.1 >/dev/null 2>&1
+
+if [ "$deep" = 1 ]; then
+    # Best-effort deep checks: both need a nightly toolchain, which the
+    # offline image may not carry. Detection failures skip with a notice
+    # rather than failing the gate; actual test failures still fail it.
+    echo "==> deep: cargo miri test (muri-core, muri-matching)"
+    if rustup run nightly cargo miri --version >/dev/null 2>&1; then
+        rustup run nightly cargo miri test -p muri-core -p muri-matching -q
+    else
+        echo "ci: skipping Miri — no nightly toolchain with the miri component installed"
+    fi
+
+    echo "==> deep: ThreadSanitizer build (muri-core, muri-matching)"
+    # -Zsanitizer=thread needs the std sources (-Zbuild-std), so both a
+    # nightly toolchain and its rust-src component must be present.
+    if rustup run nightly rustc --version >/dev/null 2>&1 &&
+        rustup component list --toolchain nightly 2>/dev/null |
+        grep -q "rust-src (installed)"; then
+        RUSTFLAGS="-Zsanitizer=thread" \
+            rustup run nightly cargo test -p muri-core -p muri-matching -q \
+            -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')"
+    else
+        echo "ci: skipping ThreadSanitizer — no nightly toolchain with rust-src installed"
+    fi
+fi
 
 echo "ci: all checks passed"
