@@ -55,6 +55,61 @@ fn bench_cold_start_pruning(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sharded cold-start planning at cluster scale (DESIGN.md §8): full
+/// multi-round grouping from cold caches under the default config.
+/// Sharding auto-engages at n >= 1024, so the 1k point doubles as the
+/// boundary case and 10k/100k exercise the O(n·m) candidate graph. The
+/// size axis is a comma-separated list like `1k,10k,100k` read from
+/// `MURI_BENCH_SIZES` (`scripts/bench.sh --sizes`); the default
+/// `1k,10k` keeps the harness affordable while still covering the
+/// tentpole acceptance point (10k under a second).
+fn bench_cold_start_sharded(c: &mut Criterion) {
+    let sizes_spec = std::env::var("MURI_BENCH_SIZES").unwrap_or_else(|_| "1k,10k".to_string());
+    let mut group = c.benchmark_group("scalability");
+    for spec in sizes_spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        let n = parse_size(spec);
+        let profiles = mixed_profiles(n);
+        let cfg = GroupingConfig::default();
+        // Large points cost seconds per iteration; scale the sample
+        // count down so the 100k point stays in minutes.
+        group.sample_size(if n >= 50_000 {
+            1
+        } else if n >= 5_000 {
+            3
+        } else {
+            10
+        });
+        group.bench_with_input(
+            BenchmarkId::new("grouping_plan_cold", spec),
+            &profiles,
+            |b, profiles| {
+                b.iter(|| {
+                    muri_core::round_cache::reset();
+                    muri_core::gamma_cache::reset();
+                    multi_round_grouping(black_box(profiles), &cfg)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// `"10k"` → 10_000; bare integers pass through.
+fn parse_size(spec: &str) -> usize {
+    let (digits, mult) = match spec.strip_suffix(['k', 'K']) {
+        Some(d) => (d, 1000),
+        None => (spec, 1),
+    };
+    digits
+        .parse::<usize>()
+        .unwrap_or_else(|_| panic!("bad size {spec:?} in MURI_BENCH_SIZES"))
+        * mult
+}
+
 fn bench_full_scheduling_pass(c: &mut Criterion) {
     let mut group = c.benchmark_group("scalability");
     group.sample_size(10);
@@ -85,6 +140,7 @@ criterion_group!(
     benches,
     bench_grouping_1000,
     bench_cold_start_pruning,
+    bench_cold_start_sharded,
     bench_full_scheduling_pass
 );
 criterion_main!(benches);

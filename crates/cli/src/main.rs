@@ -8,12 +8,14 @@
 //! muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
 //!                   [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //!                   [--prune-top-m M] [--prune-loss-bound F]
+//!                   [--shard-by auto|off|force] [--shard-size N] [--candidate-m M]
 //!                   [fault flags: --mtbf S --fault-seed N --machine-mtbf S
 //!                    --machine-mttr S --transient-fraction F --degraded N
 //!                    --degraded-slowdown F --checkpoint-interval S
 //!                    --checkpoint-cost S]
 //! muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
 //!                        [--prune-top-m M] [--prune-loss-bound F]
+//!                        [--shard-by auto|off|force] [--shard-size N] [--candidate-m M]
 //!                        [fault flags as for `muri sim`]
 //! muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
 //! muri validate                   # Eq. 3 vs timeline-executor fidelity
@@ -100,6 +102,7 @@ const USAGE: &str = "usage:
   muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
                     [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
                     [--prune-top-m M] [--prune-loss-bound F]
+                    [--shard-by auto|off|force] [--shard-size N] [--candidate-m M]
                     [--mtbf S] [--fault-seed N]
                     [--machine-mtbf S] [--machine-mttr S]
                     [--transient-fraction F] [--degraded N]
@@ -107,6 +110,7 @@ const USAGE: &str = "usage:
                     [--checkpoint-interval S] [--checkpoint-cost S]
   muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
                          [--prune-top-m M] [--prune-loss-bound F]
+                         [--shard-by auto|off|force] [--shard-size N] [--candidate-m M]
                          [fault flags as for `muri sim`]
   muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
   muri lint [--json] [--root DIR]
@@ -124,7 +128,12 @@ the run's event journal (JSONL), Prometheus metrics, and a Chrome
 trace_event timeline (open in Perfetto / chrome://tracing). The prune
 flags tune the Blossom sparsifier: keep each node's top-M heaviest γ
 edges (0 disables pruning) with a certified matching-weight loss of at
-most fraction F before the dense fallback fires. The fault flags inject
+most fraction F before the dense fallback fires. The shard flags tune
+the sharded cold-start planner: --shard-by auto (default) engages it on
+large job pools, off always runs the dense round, force shards every
+pool; --shard-size sets nodes per shard and --candidate-m the
+locality-sensitive candidate partners per profile class (0 = defaults).
+The fault flags inject
 per-job faults (--mtbf, mean seconds between faults per running job) and
 machine-level fault domains (--machine-mtbf/--machine-mttr, with
 --transient-fraction of faults leaving the machine up), mark --degraded N
@@ -478,6 +487,72 @@ fn split_prune_opts(args: &[String]) -> Result<(PruneOpts, Vec<String>), CliErro
     Ok((opts, rest))
 }
 
+/// Sharded cold-start planner overrides parsed off the `sim`/`verify`
+/// command line. `None` keeps the [`GroupingConfig`] default
+/// (auto-sharding at large pool sizes).
+///
+/// [`GroupingConfig`]: muri_core::GroupingConfig
+#[derive(Default)]
+struct ShardOpts {
+    shard_by: Option<muri_core::ShardBy>,
+    shard_size: Option<usize>,
+    candidate_m: Option<usize>,
+}
+
+impl ShardOpts {
+    /// Overwrite the grouping config's shard knobs with any explicit
+    /// command-line values (`--shard-by off` disables sharding).
+    fn apply(&self, cfg: &mut SchedulerConfig) {
+        if let Some(s) = self.shard_by {
+            cfg.grouping.shard_by = s;
+        }
+        if let Some(s) = self.shard_size {
+            cfg.grouping.shard_size = s;
+        }
+        if let Some(m) = self.candidate_m {
+            cfg.grouping.candidate_m = m;
+        }
+    }
+}
+
+/// Pull `--shard-by auto|off|force` / `--shard-size N` /
+/// `--candidate-m M` out of `args`, leaving the rest untouched.
+fn split_shard_opts(args: &[String]) -> Result<(ShardOpts, Vec<String>), CliError> {
+    let mut opts = ShardOpts::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shard-by" => {
+                opts.shard_by = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--shard-by needs auto|off|force"))?
+                        .parse()
+                        .map_err(CliError::usage)?,
+                );
+            }
+            "--shard-size" => {
+                opts.shard_size = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--shard-size needs a count"))?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --shard-size count"))?,
+                );
+            }
+            "--candidate-m" => {
+                opts.candidate_m = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--candidate-m needs a count"))?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --candidate-m count"))?,
+                );
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((opts, rest))
+}
+
 /// Fault-injection overrides parsed off the `sim`/`verify` command
 /// line. `None` keeps the [`FaultPlan`]/[`CheckpointConfig`] defaults
 /// (all fault features off), so a plain invocation is byte-identical to
@@ -707,10 +782,12 @@ fn export_telemetry(t: &muri_telemetry::Telemetry, opts: &TelemetryOpts) -> Resu
 
 /// `muri sim <policy> [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
 ///                    [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
-///                    [--prune-top-m M] [--prune-loss-bound F]`
+///                    [--prune-top-m M] [--prune-loss-bound F]
+///                    [--shard-by auto|off|force] [--shard-size N] [--candidate-m M]`
 fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
     let (topts, rest) = split_telemetry_opts(args)?;
     let (popts, rest) = split_prune_opts(&rest)?;
+    let (sopts, rest) = split_shard_opts(&rest)?;
     let (fopts, rest) = split_fault_opts(&rest)?;
     let (trace, _scale, machines) = parse_workload(&rest)?;
     let mut cfg = SimConfig {
@@ -718,6 +795,7 @@ fn run_sim(policy: PolicyKind, args: &[String]) -> Result<(), CliError> {
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
     };
     popts.apply(&mut cfg.scheduler);
+    sopts.apply(&mut cfg.scheduler);
     fopts.apply(&mut cfg);
     eprintln!(
         "simulating {} jobs under {} on {} GPUs...",
@@ -827,7 +905,8 @@ fn run_telemetry_check(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
-///                         [--prune-top-m M] [--prune-loss-bound F]`
+///                         [--prune-top-m M] [--prune-loss-bound F]
+///                         [--shard-by auto|off|force] [--shard-size N] [--candidate-m M]`
 ///
 /// Replays the workload with the invariant auditor attached to every
 /// scheduling pass and prints a human-readable violation report. Exit
@@ -839,6 +918,7 @@ fn run_verify(args: &[String]) -> Result<(), CliError> {
         _ => (PolicyKind::MuriL, args),
     };
     let (popts, rest) = split_prune_opts(rest)?;
+    let (sopts, rest) = split_shard_opts(&rest)?;
     let (fopts, rest) = split_fault_opts(&rest)?;
     let (trace, _scale, machines) = parse_workload(&rest)?;
     let mut cfg = SimConfig {
@@ -846,6 +926,7 @@ fn run_verify(args: &[String]) -> Result<(), CliError> {
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
     };
     popts.apply(&mut cfg.scheduler);
+    sopts.apply(&mut cfg.scheduler);
     fopts.apply(&mut cfg);
     eprintln!(
         "auditing {} under {} on {} GPUs ({} jobs)...",

@@ -45,6 +45,7 @@ use muri_telemetry::timed_us;
 use muri_workload::{StageProfile, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
 
+use crate::shard::{self, ShardBy, ShardCounters};
 use crate::{gamma_cache, round_cache};
 
 /// How jobs are grouped for interleaving.
@@ -106,6 +107,23 @@ pub struct GroupingConfig {
     /// `1 − prune_loss_bound` of optimal.
     #[serde(default)]
     pub prune_loss_bound: f64,
+    /// When the sharded cold-start planner runs (see [`crate::shard`]):
+    /// [`ShardBy::Auto`] engages it at
+    /// [`shard::SHARD_AUTO_MIN_NODES`] nodes, `Off` always runs the
+    /// dense round, `Force` shards every pool (smokes and tests).
+    /// Sharded output is protected by the same loss-certificate
+    /// machinery as edge pruning, composed across shards.
+    #[serde(default)]
+    pub shard_by: ShardBy,
+    /// Nodes per shard for the sharded planner; `0` selects
+    /// [`shard::DEFAULT_SHARD_SIZE`].
+    #[serde(default)]
+    pub shard_size: usize,
+    /// Candidate partner classes per profile class in the sharded
+    /// planner's locality-sensitive candidate graph; `0` selects
+    /// [`shard::DEFAULT_CANDIDATE_M`].
+    #[serde(default)]
+    pub candidate_m: usize,
 }
 
 impl Default for GroupingConfig {
@@ -119,6 +137,9 @@ impl Default for GroupingConfig {
             workers: 0,
             prune_top_m: DEFAULT_PRUNE_TOP_M,
             prune_loss_bound: DEFAULT_PRUNE_LOSS_BOUND,
+            shard_by: ShardBy::Auto,
+            shard_size: 0,
+            candidate_m: 0,
         }
     }
 }
@@ -151,7 +172,7 @@ pub fn merged_efficiency(profiles: &[StageProfile], ordering: OrderingPolicy) ->
 const PAR_MIN_NODES: usize = 64;
 
 /// Resolve the configured worker count for a round over `n` nodes.
-fn resolve_workers(configured: usize, n: usize) -> usize {
+pub(crate) fn resolve_workers(configured: usize, n: usize) -> usize {
     if n < PAR_MIN_NODES {
         return 1;
     }
@@ -167,7 +188,7 @@ fn resolve_workers(configured: usize, n: usize) -> usize {
 /// would exceed the size cap or fall below the efficiency threshold.
 /// Pure in `(u, v)` — this is what makes parallel and incremental edge
 /// construction exact.
-fn node_pair_weight(
+pub(crate) fn node_pair_weight(
     members_u: &[usize],
     members_v: &[usize],
     profiles: &[StageProfile],
@@ -306,7 +327,7 @@ pub struct PruneCounters {
 }
 
 /// The matcher-level prune config for a grouping config.
-fn prune_config(cfg: &GroupingConfig) -> PruneConfig {
+pub(crate) fn prune_config(cfg: &GroupingConfig) -> PruneConfig {
     PruneConfig::new(cfg.prune_top_m, cfg.prune_loss_bound)
 }
 
@@ -318,6 +339,9 @@ fn round_params(cfg: &GroupingConfig, cap: usize) -> round_cache::RoundParams {
         min_eff_bits: cfg.min_efficiency.to_bits(),
         prune_top_m: cfg.prune_top_m,
         prune_loss_bits: cfg.prune_loss_bound.to_bits(),
+        shard_by: cfg.shard_by,
+        shard_size: cfg.shard_size,
+        candidate_m: cfg.candidate_m,
     }
 }
 
@@ -409,10 +433,22 @@ pub struct GroupingTimings {
     /// Matching rounds executed across all buckets.
     pub rounds: u32,
     /// Edges dropped by the sparsification pass (0 when pruning is
-    /// disabled or every matcher run was answered by the round cache).
+    /// disabled or every matcher run was answered by the round cache),
+    /// including within-shard pruning on the sharded planner path.
     pub pruned_edges: u64,
-    /// Dense fallbacks taken because the loss certificate failed.
+    /// Dense fallbacks taken because the loss certificate failed
+    /// (within-shard prune fallbacks included).
     pub prune_fallbacks: u64,
+    /// Shard subproblems planned by the sharded cold-start planner
+    /// (0 when it never engaged).
+    pub shards: u64,
+    /// Distinct shard templates solved (≤ `shards`; the rest were
+    /// answered by the template cache).
+    pub shard_templates: u64,
+    /// Sharded plans whose composed loss certificate failed (each either
+    /// fell back to the dense round or — beyond the dense-fallback size —
+    /// was kept and surfaced here).
+    pub shard_fallbacks: u64,
 }
 
 /// One GPU-count bucket of jobs to group (profiles in priority order).
@@ -432,6 +468,13 @@ struct BucketRoundState {
     graph: Option<Rc<DenseGraph>>,
     matching: Option<Rc<Matching>>,
     pending: Option<Vec<Option<usize>>>,
+    /// This bucket plans on the sharded path (decided from its initial
+    /// size; flips to `false` permanently if a composed certificate
+    /// fails at dense-fallback scale).
+    sharded: bool,
+    /// The sharded plan for the current nodes, kept until merges make it
+    /// stale.
+    shard_pairs: Option<Rc<round_cache::ShardedPairs>>,
 }
 
 /// Capacity-aware grouping across buckets: merge jobs **only as far as
@@ -523,12 +566,15 @@ pub fn capacity_aware_grouping_timed(
     let mut match_us = 0u64;
     let mut rounds_run = 0u32;
     let mut prune_counters = PruneCounters::default();
+    let mut shard_counters = ShardCounters::default();
     let mut states: Vec<BucketRoundState> = buckets
         .iter()
-        .map(|_| BucketRoundState {
+        .map(|b| BucketRoundState {
             graph: None,
             matching: None,
             pending: None,
+            sharded: shard::use_sharding(cfg, b.profiles.len()),
+            shard_pairs: None,
         })
         .collect();
     let max_rounds = 8;
@@ -545,8 +591,50 @@ pub fn capacity_aware_grouping_timed(
                 continue;
             }
             let st = &mut states[bi];
+            if st.sharded {
+                // Sharded planning path: no dense graph ever exists for
+                // this bucket. Recompute the plan only when merges made
+                // the previous one stale.
+                if st.pending.take().is_some() {
+                    st.shard_pairs = None;
+                }
+                if st.shard_pairs.is_none() {
+                    let singletons = ns.len() == b.profiles.len();
+                    let computed = if singletons {
+                        // Round 1 keys on exactly the profile list —
+                        // memoized across calls (and across ticks).
+                        round_cache::sharded_round1(&b.profiles, params, mode_idx, || {
+                            timed_us(timed, &mut match_us, || {
+                                shard::sharded_round(ns, &b.profiles, cfg, cap, &mut shard_counters)
+                            })
+                        })
+                    } else {
+                        timed_us(timed, &mut match_us, || {
+                            shard::sharded_round(ns, &b.profiles, cfg, cap, &mut shard_counters)
+                        })
+                        .map(Rc::new)
+                    };
+                    match computed {
+                        Some(pairs) => st.shard_pairs = Some(pairs),
+                        None => {
+                            // Composed certificate failed at a size the
+                            // dense matrix can afford: this bucket goes
+                            // dense from here on.
+                            st.sharded = false;
+                        }
+                    }
+                }
+                if st.sharded {
+                    if let Some(pairs) = &st.shard_pairs {
+                        for &(u, v, w) in pairs.iter() {
+                            candidates.push((w, bi, u, v));
+                        }
+                    }
+                    continue;
+                }
+            }
             match (st.graph.take(), st.pending.take()) {
-                (None, _) => {
+                (None, _) if ns.len() == b.profiles.len() => {
                     // Round 1: nodes are singletons, so this bucket's
                     // graph and matching key on exactly its profile list
                     // — memoized across calls (and across ticks).
@@ -567,6 +655,22 @@ pub fn capacity_aware_grouping_timed(
                     );
                     st.graph = Some(r.graph);
                     st.matching = r.matching;
+                }
+                (None, _) => {
+                    // Mid-flight sharded→dense fallback: nodes have
+                    // already merged, so the round-1 memo (keyed on
+                    // singletons) does not apply — build directly.
+                    let g = timed_us(timed, &mut graph_us, || {
+                        build_node_graph(ns, &b.profiles, cfg, cap)
+                    });
+                    let any = g.has_edges();
+                    let g = Rc::new(g);
+                    st.matching = any.then(|| {
+                        Rc::new(timed_us(timed, &mut match_us, || {
+                            solve_matching(cfg.mode, &g, &prune, &mut prune_counters)
+                        }))
+                    });
+                    st.graph = Some(g);
                 }
                 (Some(prev), Some(provenance)) => {
                     // Merges were applied: refresh the graph
@@ -650,8 +754,11 @@ pub fn capacity_aware_grouping_timed(
         t.graph_build_us = graph_us;
         t.matching_us = match_us;
         t.rounds = rounds_run;
-        t.pruned_edges = prune_counters.dropped_edges;
-        t.prune_fallbacks = prune_counters.fallbacks;
+        t.pruned_edges = prune_counters.dropped_edges + shard_counters.pruned_edges;
+        t.prune_fallbacks = prune_counters.fallbacks + shard_counters.prune_fallbacks;
+        t.shards = shard_counters.shards;
+        t.shard_templates = shard_counters.templates;
+        t.shard_fallbacks = shard_counters.cert_failures;
     }
     nodes
 }
@@ -675,6 +782,15 @@ fn matched_grouping(
     // matcher.
     if let Some(groups) = round_cache::cached_final_groups(profiles, params, mode_idx) {
         return groups;
+    }
+    if shard::use_sharding(cfg, profiles.len()) {
+        let mut counters = ShardCounters::default();
+        if let Some(groups) = sharded_matched_grouping(profiles, cfg, cap, &mut counters) {
+            round_cache::store_final_groups(profiles, params, mode_idx, &groups);
+            return groups;
+        }
+        // A composed certificate failed at dense-fallback scale: run the
+        // dense rounds below from scratch (deterministic either way).
     }
     // Nodes start as singletons; each round merges matched pairs.
     let mut nodes: Vec<Vec<usize>> = (0..profiles.len()).map(|i| vec![i]).collect();
@@ -718,6 +834,43 @@ fn matched_grouping(
     }
     round_cache::store_final_groups(profiles, params, mode_idx, &nodes);
     nodes
+}
+
+/// The multi-round grouping loop on the sharded planner: each round
+/// plans matched pairs without ever materializing a dense graph, then
+/// merges them. Returns `None` when a round's composed loss certificate
+/// failed at dense-fallback scale — the caller reruns the dense rounds.
+fn sharded_matched_grouping(
+    profiles: &[StageProfile],
+    cfg: &GroupingConfig,
+    cap: usize,
+    counters: &mut ShardCounters,
+) -> Option<Vec<Vec<usize>>> {
+    let mode_idx = mode_index(cfg.mode);
+    let params = round_params(cfg, cap);
+    let mut nodes: Vec<Vec<usize>> = (0..profiles.len()).map(|i| vec![i]).collect();
+    let rounds = (usize::BITS - (cap.max(1) - 1).leading_zeros()) as usize; // ceil(log2(cap))
+    for round in 0..rounds {
+        if nodes.len() < 2 {
+            break;
+        }
+        let pairs = if round == 0 {
+            // Round 1 keys on exactly the profile list — memoized across
+            // calls. Only certified plans enter the memo.
+            round_cache::sharded_round1(profiles, params, mode_idx, || {
+                shard::sharded_round(&nodes, profiles, cfg, cap, counters)
+            })?
+        } else {
+            Rc::new(shard::sharded_round(&nodes, profiles, cfg, cap, counters)?)
+        };
+        if pairs.is_empty() {
+            break;
+        }
+        let merges: Vec<(usize, usize)> = pairs.iter().map(|&(u, v, _)| (u, v)).collect();
+        let (next, _) = merge_nodes(&nodes, &merges);
+        nodes = next;
+    }
+    Some(nodes)
 }
 
 #[cfg(test)]

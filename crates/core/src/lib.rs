@@ -24,6 +24,7 @@ pub mod grouping;
 pub mod policy;
 pub mod round_cache;
 pub mod scheduler;
+pub mod shard;
 
 pub use gamma_cache::CacheStats;
 pub use gittins::gittins_index;
@@ -32,3 +33,4 @@ pub use grouping::{
 };
 pub use policy::{PendingJob, PolicyKind, PriorityKey};
 pub use scheduler::{plan_schedule, plan_schedule_with, PlannedGroup, SchedulerConfig};
+pub use shard::{ShardBy, ShardCounters};

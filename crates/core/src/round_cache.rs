@@ -30,6 +30,7 @@
 //! outweighs thousands of small ones.
 
 use crate::gamma_cache::{CacheStats, FxBuildHasher, FxHasher};
+use crate::shard::ShardBy;
 use muri_interleave::OrderingPolicy;
 use muri_matching::{DenseGraph, Matching};
 use muri_workload::StageProfile;
@@ -62,6 +63,14 @@ pub(crate) struct RoundParams {
     pub prune_top_m: usize,
     /// `prune_loss_bound.to_bits()`.
     pub prune_loss_bits: u64,
+    /// Sharded-planner engagement mode. Part of the key because a
+    /// sharded plan is a different certified answer than the dense one
+    /// (same reasoning as the prune knobs).
+    pub shard_by: ShardBy,
+    /// Nodes per shard (0 = default).
+    pub shard_size: usize,
+    /// Candidate partner classes per profile class (0 = default).
+    pub candidate_m: usize,
 }
 
 #[derive(Clone, PartialEq)]
@@ -85,20 +94,34 @@ fn key_hash(profiles: &[StageProfile], params: RoundParams) -> u64 {
     params.min_eff_bits.hash(&mut h);
     params.prune_top_m.hash(&mut h);
     params.prune_loss_bits.hash(&mut h);
+    params.shard_by.hash(&mut h);
+    params.shard_size.hash(&mut h);
+    params.candidate_m.hash(&mut h);
     h.finish()
 }
 
+/// Matched pairs `(u, v, w)` of one sharded planning round.
+pub(crate) type ShardedPairs = Vec<(usize, usize, i64)>;
+
 struct RoundEntry {
     key: RoundKey,
-    graph: Rc<DenseGraph>,
+    /// `None` for entries created by the sharded planner, which never
+    /// materializes a dense round graph; [`round1`] fills it lazily if
+    /// the dense path is ever asked for the same key.
+    graph: Option<Rc<DenseGraph>>,
     any_edge: bool,
     matchings: [Option<Rc<Matching>>; NUM_MATCH_MODES],
     groups: [Option<Rc<Vec<Vec<usize>>>>; NUM_MATCH_MODES],
+    /// Round-1 sharded plans per matching mode (only successful —
+    /// certified — plans are memoized).
+    sharded: [Option<Rc<ShardedPairs>>; NUM_MATCH_MODES],
 }
 
 impl RoundEntry {
     fn cells(&self) -> usize {
-        self.graph.len() * self.graph.len()
+        let graph = self.graph.as_ref().map_or(0, |g| g.len() * g.len());
+        let sharded: usize = self.sharded.iter().flatten().map(|p| p.len() * 3).sum();
+        graph + sharded + self.key.profiles.len()
     }
 }
 
@@ -198,11 +221,23 @@ pub(crate) fn round1(
     CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
         if let Some(entry) = cache.lookup(h, profiles, params) {
+            let graph = match &entry.graph {
+                Some(g) => Rc::clone(g),
+                None => {
+                    // Sharded-only entry asked for the dense round (the
+                    // certificate-failure fallback): fill the graph
+                    // lazily.
+                    let g = Rc::new(build());
+                    entry.any_edge = g.has_edges();
+                    entry.graph = Some(Rc::clone(&g));
+                    g
+                }
+            };
             if entry.any_edge && entry.matchings[mode_idx].is_none() {
-                entry.matchings[mode_idx] = Some(Rc::new(solve(&entry.graph)));
+                entry.matchings[mode_idx] = Some(Rc::new(solve(&graph)));
             }
             return Round1 {
-                graph: Rc::clone(&entry.graph),
+                graph,
                 any_edge: entry.any_edge,
                 matching: entry.matchings[mode_idx].clone(),
             };
@@ -217,10 +252,11 @@ pub(crate) fn round1(
                 profiles: profiles.to_vec(),
                 params,
             },
-            graph: Rc::clone(&graph),
+            graph: Some(Rc::clone(&graph)),
             any_edge,
             matchings,
             groups: Default::default(),
+            sharded: Default::default(),
         };
         cache.insert(h, entry);
         Round1 {
@@ -228,6 +264,48 @@ pub(crate) fn round1(
             any_edge,
             matching,
         }
+    })
+}
+
+/// Fetch — computing on miss — the memoized round-1 **sharded** plan for
+/// a singleton-node profile list. `compute` runs the sharded planner and
+/// may return `None` (certificate failure at fallback scale); failures
+/// are never memoized, so the subsequent dense round starts clean and a
+/// later identical call re-attempts nothing (it goes dense through
+/// [`round1`], which reuses this entry's slot).
+pub(crate) fn sharded_round1(
+    profiles: &[StageProfile],
+    params: RoundParams,
+    mode_idx: usize,
+    compute: impl FnOnce() -> Option<ShardedPairs>,
+) -> Option<Rc<ShardedPairs>> {
+    let h = key_hash(profiles, params);
+    CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(entry) = cache.lookup(h, profiles, params) {
+            if let Some(pairs) = &entry.sharded[mode_idx] {
+                return Some(Rc::clone(pairs));
+            }
+            let pairs = Rc::new(compute()?);
+            entry.sharded[mode_idx] = Some(Rc::clone(&pairs));
+            return Some(pairs);
+        }
+        let pairs = Rc::new(compute()?);
+        let mut sharded: [Option<Rc<ShardedPairs>>; NUM_MATCH_MODES] = Default::default();
+        sharded[mode_idx] = Some(Rc::clone(&pairs));
+        let entry = RoundEntry {
+            key: RoundKey {
+                profiles: profiles.to_vec(),
+                params,
+            },
+            graph: None,
+            any_edge: false,
+            matchings: Default::default(),
+            groups: Default::default(),
+            sharded,
+        };
+        cache.insert(h, entry);
+        Some(pairs)
     })
 }
 
@@ -331,6 +409,9 @@ mod tests {
             min_eff_bits: 0.0f64.to_bits(),
             prune_top_m: 8,
             prune_loss_bits: 0.05f64.to_bits(),
+            shard_by: ShardBy::Auto,
+            shard_size: 0,
+            candidate_m: 0,
         }
     }
 

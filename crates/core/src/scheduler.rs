@@ -289,6 +289,9 @@ pub fn plan_schedule_with(
                     matching_rounds: grouping_timings.rounds,
                     pruned_edges: grouping_timings.pruned_edges,
                     prune_fallbacks: grouping_timings.prune_fallbacks,
+                    shards: grouping_timings.shards,
+                    shard_templates: grouping_timings.shard_templates,
+                    shard_fallbacks: grouping_timings.shard_fallbacks,
                     selection_us,
                 },
                 gamma_cache: CacheDelta {

@@ -58,11 +58,13 @@ pub const OBSERVABILITY_CRATES: [&str; 2] = ["muri-telemetry", "muri-bench"];
 /// fixed-point convention is mandatory (D004). Floats are confined to
 /// the conversion boundary (`weight_from_f64` in `muri-matching::graph`)
 /// and to γ modeling — never to the code that compares and ranks.
-pub const DECISION_PATH_FILES: [&str; 4] = [
+pub const DECISION_PATH_FILES: [&str; 6] = [
     "crates/core/src/scheduler.rs",
     "crates/core/src/policy.rs",
+    "crates/core/src/shard.rs",
     "crates/matching/src/blossom.rs",
     "crates/matching/src/greedy.rs",
+    "crates/matching/src/sparse_graph.rs",
 ];
 
 /// Which rules to run. Defaults to all of them; tests narrow this to

@@ -1,0 +1,29 @@
+// D004 negative: a SparseGraph construction site in the scaled-integer
+// fixed-point convention. Weights arrive as scaled i64 (quantized at
+// the weight_from_f64 boundary elsewhere); the keep-threshold is
+// consumed through its pre-scaled accessor, so no float token ever
+// appears where edges are selected and ranked.
+pub const WEIGHT_SCALE: i64 = 1 << 20;
+
+pub fn build_candidate_edges(
+    weights: &[(usize, usize, i64)],
+    keep_weight: i64,
+) -> Vec<(i64, usize, usize)> {
+    let mut edges = Vec::new();
+    for &(u, v, w) in weights {
+        if w > 0 && w >= keep_weight {
+            edges.push((w, u, v));
+        }
+    }
+    edges.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_tolerances_in_tests_are_fine() {
+        let loss_bound = 0.05_f64;
+        assert!(loss_bound < 1.0);
+    }
+}

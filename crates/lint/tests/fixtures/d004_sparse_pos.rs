@@ -1,0 +1,17 @@
+// D004 positive (scanned as a decision-path file): a SparseGraph
+// construction site letting float weights into the CSR edge list.
+// Weights must enter as scaled i64 — the conversion boundary is
+// weight_from_f64, never the candidate builder. Expected: D004 at
+// line 8 (f64), line 9 (0.95), line 11 (f64 and 0.5) — four findings.
+pub fn build_candidate_edges(gammas: &[(usize, usize, u64)]) -> Vec<(i64, usize, usize)> {
+    let mut edges = Vec::new();
+    let keep_threshold = 0.95_f64;
+    let scale = 0.95;
+    for &(u, v, g) in gammas {
+        let w = g as f64 * scale * 0.5;
+        if w > keep_threshold {
+            edges.push((w as i64, u, v));
+        }
+    }
+    edges
+}

@@ -148,6 +148,42 @@ fn d004_decision_path_floats() {
 }
 
 #[test]
+fn d004_sparse_graph_construction_sites() {
+    // The sharded planner's SparseGraph candidate builders are on the
+    // decision path: weights must enter as scaled i64 (quantized at the
+    // weight_from_f64 boundary), never as floats at the edge-selection
+    // site. Pinned so the sparse cold-start path can't drift onto floats.
+    check_rule(
+        RuleId::D004,
+        include_str!("fixtures/d004_sparse_pos.rs"),
+        include_str!("fixtures/d004_sparse_neg.rs"),
+        &decision_ctx(),
+        &[
+            (RuleId::D004, 8),
+            (RuleId::D004, 9),
+            (RuleId::D004, 11),
+            (RuleId::D004, 11),
+        ],
+    );
+}
+
+#[test]
+fn sparse_graph_and_shard_files_are_decision_path() {
+    // The workspace scan must treat the CSR candidate builder and the
+    // sharded planner as decision-path files — D004 coverage follows
+    // the list, so membership is part of the contract.
+    for file in [
+        "crates/matching/src/sparse_graph.rs",
+        "crates/core/src/shard.rs",
+    ] {
+        assert!(
+            muri_lint::DECISION_PATH_FILES.contains(&file),
+            "{file} must stay on the D004 decision path"
+        );
+    }
+}
+
+#[test]
 fn d004_is_scoped_to_decision_paths() {
     let pos = include_str!("fixtures/d004_pos.rs");
     let r = scan(pos, &det_ctx(), &LintConfig::default());

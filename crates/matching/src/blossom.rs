@@ -18,6 +18,7 @@
 //! crate's property tests).
 
 use crate::graph::{DenseGraph, Matching};
+use crate::sparse_graph::SparseGraph;
 use std::collections::VecDeque;
 
 const INF: i64 = i64::MAX / 4;
@@ -55,9 +56,15 @@ struct Edge {
     w: i64,
 }
 
+/// True when at least `pos_pairs` out of `n·(n−1)/2` possible edges —
+/// half or more — carry positive weight.
+fn is_dense(n: usize, pos_pairs: usize) -> bool {
+    n >= 2 && pos_pairs * 4 >= n * (n - 1)
+}
+
 /// Internal solver state. Node ids are 1-based; ids `1..=n` are original
 /// nodes, ids `n+1..=n_x` are (possibly nested) blossoms. Id 0 is "none".
-struct Solver {
+pub(crate) struct Solver {
     n: usize,
     n_x: usize,
     g: Vec<Vec<Edge>>,
@@ -65,8 +72,16 @@ struct Solver {
     /// Tree growth and slack scans touch only real edges through this,
     /// so phases cost `O(E)` instead of `O(n²)` on sparse (pruned)
     /// inputs; the dense bookkeeping matrix `g` is still what blossom
-    /// contraction reads and writes.
+    /// contraction reads and writes. Empty (never built) when `dense`.
     adj: Vec<Vec<usize>>,
+    /// True when at least half of all possible edges carry positive
+    /// weight. Unpruned inputs take the direct matrix-scan fast path in
+    /// `set_slack` and the tree-growth BFS: on dense graphs the
+    /// adjacency indirection only adds cache misses and the per-node
+    /// `Vec` allocations dominate small instances. Both scans visit
+    /// positive neighbours in ascending id order, so the two paths are
+    /// bit-identical.
+    dense: bool,
     lab: Vec<i64>,
     mate: Vec<usize>,
     slack: Vec<usize>,
@@ -85,13 +100,24 @@ impl Solver {
         let n = graph.len();
         let cap = 2 * n + 1;
         let mut g = vec![vec![Edge::default(); cap]; cap];
-        let mut adj = vec![Vec::new(); cap];
+        let mut pos = 0usize;
         for (u, row) in g.iter_mut().enumerate().take(n + 1).skip(1) {
             for (v, e) in row.iter_mut().enumerate().take(n + 1).skip(1) {
                 let w = graph.weight(u - 1, v - 1);
                 *e = Edge { u, v, w };
                 if w > 0 && u != v {
-                    adj[u].push(v);
+                    pos += 1;
+                }
+            }
+        }
+        let dense = is_dense(n, pos / 2);
+        let mut adj = vec![Vec::new(); cap];
+        if !dense {
+            for (u, nbrs) in adj.iter_mut().enumerate().take(n + 1).skip(1) {
+                for (v, e) in g[u].iter().enumerate().take(n + 1).skip(1) {
+                    if v != u && e.w > 0 {
+                        nbrs.push(v);
+                    }
                 }
             }
         }
@@ -100,6 +126,57 @@ impl Solver {
             n_x: n,
             g,
             adj,
+            dense,
+            lab: vec![0; cap],
+            mate: vec![0; cap],
+            slack: vec![0; cap],
+            st: vec![0; cap],
+            pa: vec![0; cap],
+            flower: vec![Vec::new(); cap],
+            flower_from: vec![vec![0; n + 1]; cap],
+            s: vec![-1; cap],
+            vis: vec![0; cap],
+            vis_clock: 0,
+            q: VecDeque::new(),
+        }
+    }
+
+    /// Build a solver from a CSR graph without materializing a
+    /// `DenseGraph` first. The internal bookkeeping matrix is initialized
+    /// cell-for-cell exactly as the dense constructor does (every `(u, v)`
+    /// pair in `[1, n]²` gets an `Edge { u, v, w }`, absent edges with
+    /// `w = 0`) and the adjacency lists inherit the CSR's ascending column
+    /// order, so solving a `SparseGraph` and solving the equivalent
+    /// `DenseGraph` are bit-identical.
+    pub(crate) fn from_sparse(sg: &SparseGraph) -> Self {
+        let n = sg.len();
+        let cap = 2 * n + 1;
+        let mut g = vec![vec![Edge::default(); cap]; cap];
+        for (u, row) in g.iter_mut().enumerate().take(n + 1).skip(1) {
+            for (v, e) in row.iter_mut().enumerate().take(n + 1).skip(1) {
+                *e = Edge { u, v, w: 0 };
+            }
+        }
+        for u in 0..n {
+            let (cols, weights) = sg.neighbors(u);
+            for (&c, &w) in cols.iter().zip(weights) {
+                g[u + 1][c as usize + 1].w = w;
+            }
+        }
+        let dense = is_dense(n, sg.edge_count());
+        let mut adj = vec![Vec::new(); cap];
+        if !dense {
+            for u in 0..n {
+                let (cols, _) = sg.neighbors(u);
+                adj[u + 1] = cols.iter().map(|&c| c as usize + 1).collect();
+            }
+        }
+        Solver {
+            n,
+            n_x: n,
+            g,
+            adj,
+            dense,
             lab: vec![0; cap],
             mate: vec![0; cap],
             slack: vec![0; cap],
@@ -128,9 +205,10 @@ impl Solver {
 
     fn set_slack(&mut self, x: usize) {
         self.slack[x] = 0;
-        if x <= self.n {
-            // Original node: its positive edges are exactly its adjacency
-            // list (g[u][x] is symmetric to g[x][u] for originals).
+        if !self.dense && x <= self.n {
+            // Original node, sparse input: its positive edges are exactly
+            // its adjacency list (g[u][x] is symmetric to g[x][u] for
+            // originals).
             for i in 0..self.adj[x].len() {
                 let u = self.adj[x][i];
                 if self.st[u] != x && self.s[self.st[u]] == 0 {
@@ -138,7 +216,9 @@ impl Solver {
                 }
             }
         } else {
-            // Blossom: g[u][x] is contraction bookkeeping, scan densely.
+            // Blossom (g[u][x] is contraction bookkeeping) or dense
+            // input: scan the matrix row directly, ascending — the same
+            // visit order the adjacency walk would take.
             for u in 1..=self.n {
                 if self.g[u][x].w > 0 && self.st[u] != x && self.s[self.st[u]] == 0 {
                     self.update_slack(u, x);
@@ -362,16 +442,31 @@ impl Solver {
                 if self.s[self.st[u]] == 1 {
                     continue;
                 }
-                for i in 0..self.adj[u].len() {
-                    let v = self.adj[u][i];
-                    if self.st[u] != self.st[v] {
-                        if self.e_delta(self.g[u][v]) == 0 {
-                            if self.on_found_edge(self.g[u][v]) {
-                                return true;
+                if self.dense {
+                    for v in 1..=self.n {
+                        if self.g[u][v].w > 0 && self.st[u] != self.st[v] {
+                            if self.e_delta(self.g[u][v]) == 0 {
+                                if self.on_found_edge(self.g[u][v]) {
+                                    return true;
+                                }
+                            } else {
+                                let sv = self.st[v];
+                                self.update_slack(u, sv);
                             }
-                        } else {
-                            let sv = self.st[v];
-                            self.update_slack(u, sv);
+                        }
+                    }
+                } else {
+                    for i in 0..self.adj[u].len() {
+                        let v = self.adj[u][i];
+                        if self.st[u] != self.st[v] {
+                            if self.e_delta(self.g[u][v]) == 0 {
+                                if self.on_found_edge(self.g[u][v]) {
+                                    return true;
+                                }
+                            } else {
+                                let sv = self.st[v];
+                                self.update_slack(u, sv);
+                            }
                         }
                     }
                 }
@@ -432,7 +527,7 @@ impl Solver {
         }
     }
 
-    fn solve(&mut self) {
+    pub(crate) fn solve(&mut self) {
         for u in 0..=self.n {
             self.st[u] = u;
             self.flower[u].clear();
@@ -457,6 +552,22 @@ impl Solver {
                 m.mate[u - 1] = Some(self.mate[u] - 1);
                 if self.mate[u] < u {
                     m.total_weight += graph.weight(u - 1, self.mate[u] - 1);
+                }
+            }
+        }
+        m
+    }
+
+    /// Extract the matching using the weights stored in the solver's own
+    /// bookkeeping matrix (original-node cells are never overwritten by
+    /// blossom contraction), so sparse callers need no second graph.
+    pub(crate) fn into_matching_stored(self) -> Matching {
+        let mut m = Matching::empty(self.n);
+        for u in 1..=self.n {
+            if self.mate[u] != 0 {
+                m.mate[u - 1] = Some(self.mate[u] - 1);
+                if self.mate[u] < u {
+                    m.total_weight += self.g[self.mate[u]][u].w;
                 }
             }
         }

@@ -17,6 +17,11 @@
 //! [`pruned_maximum_weight_matching`] wraps the Blossom solver with
 //! bounded top-m edge pruning and an a-posteriori loss certificate — the
 //! cold-start fast path (see [`sparse`]).
+//!
+//! [`SparseGraph`] (see [`sparse_graph`]) carries candidate graphs in CSR
+//! form — `O(E)` memory instead of the n×n matrix — through the same
+//! three solvers bit-identically; the sharded cold-start planner builds
+//! its per-shard graphs on it directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,12 +31,17 @@ pub mod graph;
 pub mod greedy;
 pub mod oracle;
 pub mod sparse;
+pub mod sparse_graph;
 
 pub use blossom::maximum_weight_matching;
 pub use graph::{weight_from_f64, DenseGraph, Matching, WEIGHT_SCALE};
 pub use greedy::{greedy_matching, greedy_matching_on_edges};
 pub use oracle::{exact_maximum_weight_matching, ORACLE_MAX_NODES};
 pub use sparse::{
-    pruned_maximum_weight_matching, PruneCertificate, PruneConfig, PruneOutcome, SparseCandidates,
-    DEFAULT_PRUNE_LOSS_BOUND, DEFAULT_PRUNE_TOP_M,
+    loss_certificate_holds, pruned_maximum_weight_matching, PruneCertificate, PruneConfig,
+    PruneOutcome, SparseCandidates, DEFAULT_PRUNE_LOSS_BOUND, DEFAULT_PRUNE_TOP_M,
+};
+pub use sparse_graph::{
+    greedy_matching_sparse, half_max_sum_sparse, maximum_weight_matching_sparse,
+    pruned_maximum_weight_matching_sparse, SparseGraph,
 };

@@ -84,6 +84,12 @@ impl PruneConfig {
     pub fn is_disabled(&self) -> bool {
         self.top_m == 0
     }
+
+    /// The keep-threshold as a scaled fixed-point weight — the only form
+    /// the float-free (D004) candidate builders may consume it in.
+    pub fn keep_weight(&self) -> i64 {
+        weight_from_f64(self.keep_threshold.clamp(0.0, 1.0))
+    }
 }
 
 impl Default for PruneConfig {
@@ -125,7 +131,7 @@ impl SparseCandidates {
     pub fn build(g: &DenseGraph, cfg: &PruneConfig) -> Self {
         let n = g.len();
         let m = cfg.top_m;
-        let keep_w = weight_from_f64(cfg.keep_threshold.clamp(0.0, 1.0));
+        let keep_w = cfg.keep_weight();
         let mut keep = vec![false; n * n];
         let mut incident: Vec<(i64, usize)> = Vec::with_capacity(n.saturating_sub(1));
         let mut max_sum: i128 = 0;
@@ -278,15 +284,18 @@ pub struct PruneOutcome {
     pub fell_back: bool,
 }
 
-/// Evaluate `ε·W_p ≥ (1 − ε)·U` in fixed-point integer arithmetic so the
+/// Evaluate `ε·W ≥ (1 − ε)·U` in fixed-point integer arithmetic so the
 /// verdict is deterministic across platforms and never subject to float
-/// rounding near the boundary.
-fn certificate_holds(pruned_weight: i64, dropped_bound: i64, loss_bound: f64) -> bool {
+/// rounding near the boundary. `W` is the achieved matching weight and
+/// `U` an upper bound on how much weight the unrestricted optimum can
+/// exceed it by; public so composed certificates (sharding + pruning)
+/// evaluate the exact same inequality.
+pub fn loss_certificate_holds(achieved_weight: i64, dropped_bound: i64, loss_bound: f64) -> bool {
     if dropped_bound == 0 {
         return true;
     }
     let eps = (loss_bound.clamp(0.0, 1.0) * LOSS_BOUND_SCALE as f64).round() as i128;
-    i128::from(pruned_weight) * eps >= i128::from(dropped_bound) * (LOSS_BOUND_SCALE - eps)
+    i128::from(achieved_weight) * eps >= i128::from(dropped_bound) * (LOSS_BOUND_SCALE - eps)
 }
 
 /// Maximum-weight matching via top-m pruning with a certified loss bound.
@@ -323,7 +332,7 @@ pub fn pruned_maximum_weight_matching(g: &DenseGraph, cfg: &PruneConfig) -> Prun
         .saturating_sub(matching.total_weight)
         .max(0);
     let dropped_bound = split_bound.min(half_max_bound);
-    let holds = certificate_holds(matching.total_weight, dropped_bound, cfg.loss_bound);
+    let holds = loss_certificate_holds(matching.total_weight, dropped_bound, cfg.loss_bound);
     let certificate = PruneCertificate {
         kept_edges: candidates.kept_edges().len() as u64,
         dropped_edges: candidates.dropped_edges().len() as u64,
@@ -445,11 +454,11 @@ mod tests {
     fn certificate_boundary_is_exact() {
         // ε = 0.05: holds iff 5·W_p ≥ 95·U (scaled). Check both sides of
         // the boundary exactly.
-        assert!(certificate_holds(19, 1, 0.05));
-        assert!(!certificate_holds(18, 1, 0.05));
-        assert!(certificate_holds(0, 0, 0.05));
-        assert!(!certificate_holds(1_000_000, 1, 0.0));
-        assert!(certificate_holds(1, 1_000_000, 1.0));
+        assert!(loss_certificate_holds(19, 1, 0.05));
+        assert!(!loss_certificate_holds(18, 1, 0.05));
+        assert!(loss_certificate_holds(0, 0, 0.05));
+        assert!(!loss_certificate_holds(1_000_000, 1, 0.0));
+        assert!(loss_certificate_holds(1, 1_000_000, 1.0));
     }
 
     #[test]

@@ -126,6 +126,18 @@ pub struct PlanPhases {
     /// Dense re-runs taken because the prune loss certificate failed.
     #[serde(default)]
     pub prune_fallbacks: u64,
+    /// Shard subproblems planned by the sharded cold-start planner
+    /// (0 when it never engaged). Journals predating the knob
+    /// deserialize to 0.
+    #[serde(default)]
+    pub shards: u64,
+    /// Distinct shard templates solved (≤ `shards`; the rest were
+    /// answered by the template cache).
+    #[serde(default)]
+    pub shard_templates: u64,
+    /// Sharded plans whose composed loss certificate failed.
+    #[serde(default)]
+    pub shard_fallbacks: u64,
     /// Capacity selection, relaxation, and placement ordering.
     pub selection_us: u64,
 }
@@ -585,6 +597,9 @@ mod tests {
                 matching_rounds: 2,
                 pruned_edges: 37,
                 prune_fallbacks: 1,
+                shards: 9,
+                shard_templates: 3,
+                shard_fallbacks: 0,
                 selection_us: 4,
             },
             gamma_cache: CacheDelta {

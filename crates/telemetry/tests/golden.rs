@@ -148,6 +148,9 @@ fn planning_pass_jsonl_schema_golden() {
             matching_rounds: 1,
             pruned_edges: 12,
             prune_fallbacks: 1,
+            shards: 7,
+            shard_templates: 2,
+            shard_fallbacks: 1,
             selection_us: 6,
         },
         gamma_cache: CacheDelta { hits: 9, misses: 1 },
@@ -158,21 +161,27 @@ fn planning_pass_jsonl_schema_golden() {
         r#"{"type":"planning_pass","time_us":3000000,"candidates":5,"free_gpus":8,"#,
         r#""planned_groups":2,"planned_jobs":4,"phases":{"sort_us":1,"admission_us":2,"#,
         r#""bucketing_us":3,"grouping_us":10,"graph_build_us":4,"matching_us":5,"#,
-        r#""matching_rounds":1,"pruned_edges":12,"prune_fallbacks":1,"selection_us":6},"#,
+        r#""matching_rounds":1,"pruned_edges":12,"prune_fallbacks":1,"shards":7,"#,
+        r#""shard_templates":2,"shard_fallbacks":1,"selection_us":6},"#,
         r#""gamma_cache":{"hits":9,"misses":1},"round_cache":{"hits":0,"misses":2}}"#,
         "\n",
     );
     assert_eq!(jsonl, expected);
     let events = Journal::from_jsonl(&jsonl).expect("golden JSONL parses");
     assert_eq!(events, j.events());
-    // Journals written before the prune counters existed still parse:
-    // the missing fields default to zero.
-    let legacy = expected.replace(r#""pruned_edges":12,"prune_fallbacks":1,"#, "");
+    // Journals written before the prune and shard counters existed still
+    // parse: the missing fields default to zero.
+    let legacy = expected
+        .replace(r#""pruned_edges":12,"prune_fallbacks":1,"#, "")
+        .replace(r#""shards":7,"shard_templates":2,"shard_fallbacks":1,"#, "");
     let events = Journal::from_jsonl(&legacy).expect("legacy JSONL parses");
     match &events[0] {
         Event::PlanningPass { phases, .. } => {
             assert_eq!(phases.pruned_edges, 0);
             assert_eq!(phases.prune_fallbacks, 0);
+            assert_eq!(phases.shards, 0);
+            assert_eq!(phases.shard_templates, 0);
+            assert_eq!(phases.shard_fallbacks, 0);
         }
         other => panic!("unexpected event {other:?}"),
     }

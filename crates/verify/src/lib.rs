@@ -51,7 +51,7 @@ pub mod violation;
 
 pub use group::audit_group;
 pub use journal::audit_journal;
-pub use matching::{audit_matching, audit_pruning};
+pub use matching::{audit_matching, audit_pruning, audit_sharding};
 pub use plan::{audit_plan, PlanContext, PlannedGroupRef};
 pub use recovery::{audit_recovery, RecoverySnapshot};
 pub use tick::{audit_tick, GroupSnapshot, TickSnapshot};

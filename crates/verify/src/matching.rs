@@ -1,7 +1,10 @@
-//! Auditing a Blossom [`Matching`] against its graph.
+//! Auditing a Blossom [`Matching`] against its graph, and sharded
+//! cold-start plans against their loss certificate.
 
 use crate::violation::{AuditReport, Violation};
-use muri_matching::{DenseGraph, Matching};
+use muri_interleave::{policy_efficiency, OrderingPolicy};
+use muri_matching::{loss_certificate_holds, weight_from_f64, DenseGraph, Matching};
+use muri_workload::{StageProfile, NUM_RESOURCES};
 
 /// Audit that `m` is a valid matching of `g`: mate symmetry, no
 /// self-mates, every matched pair backed by an edge, and a total weight
@@ -102,6 +105,123 @@ pub fn audit_pruning(
     report
 }
 
+/// Independently recompute the planner's edge weight for merging two
+/// nodes: concatenate their member profiles, canonicalize member order
+/// the way the planner's γ cache does (Best/Worst are
+/// permutation-invariant and computed on the sorted order; Canonical is
+/// order-dependent and computed as given), evaluate the ordering
+/// policy's efficiency, quantize onto the fixed-point grid, and apply
+/// the efficiency threshold after quantization — bit-identical to the
+/// planner's weight, with no planner code on the audit path.
+fn recompute_pair_weight(
+    a: &[StageProfile],
+    b: &[StageProfile],
+    cap: usize,
+    ordering: OrderingPolicy,
+    min_efficiency: f64,
+) -> i64 {
+    let total = a.len() + b.len();
+    if total > cap || total > NUM_RESOURCES {
+        return 0;
+    }
+    let mut merged: Vec<StageProfile> = a.iter().chain(b).copied().collect();
+    if matches!(ordering, OrderingPolicy::Best | OrderingPolicy::Worst) {
+        merged.sort_unstable_by_key(|p| p.stage.0);
+    }
+    let gamma = policy_efficiency(&merged, ordering);
+    let w = weight_from_f64(gamma);
+    if w >= weight_from_f64(min_efficiency) {
+        w
+    } else {
+        0
+    }
+}
+
+/// Audit a sharded cold-start plan (see `muri-core`'s sharded planner):
+/// `nodes` are the pool's current nodes as member-profile lists, `pairs`
+/// the plan's matched `(u, v, weight)` triples.
+///
+/// Three contracts are replayed independently of the planner:
+///
+/// * **structure** — pairs are in-range, `u < v`, node-disjoint, and
+///   within the group-size cap;
+/// * **weights** — each stated pair weight equals a from-scratch
+///   recomputation of the merged efficiency (the certificate is
+///   meaningless over misstated weights);
+/// * **certificate** — the plan's total weight is within the configured
+///   loss tolerance of the availability-aware half-max-sum upper bound
+///   `⌊½·Σᵤ maxᵥ w(u,v)⌋` on the dense optimum, recomputed over all
+///   `O(n²)` pairs. The planner's class-level bound is never below this
+///   one, so a plan the planner certified always audits clean.
+pub fn audit_sharding(
+    nodes: &[Vec<StageProfile>],
+    pairs: &[(usize, usize, i64)],
+    cap: usize,
+    ordering: OrderingPolicy,
+    min_efficiency: f64,
+    loss_bound: f64,
+) -> AuditReport {
+    let mut report = AuditReport::new();
+    report.checks += 1;
+    let n = nodes.len();
+    let mut seen = vec![false; n];
+    let mut achieved: i64 = 0;
+    for &(u, v, w) in pairs {
+        if u >= v || v >= n {
+            report.push(Violation::NonMatchingEdgeSet {
+                detail: format!("sharded pair ({u}, {v}) is out of range or unordered"),
+            });
+            continue;
+        }
+        if seen[u] || seen[v] {
+            report.push(Violation::NonMatchingEdgeSet {
+                detail: format!("sharded pair ({u}, {v}) reuses a matched node"),
+            });
+            continue;
+        }
+        seen[u] = true;
+        seen[v] = true;
+        let recomputed = recompute_pair_weight(&nodes[u], &nodes[v], cap, ordering, min_efficiency);
+        if recomputed != w || w <= 0 {
+            report.push(Violation::ShardPairMismatch {
+                pair: (u, v),
+                stated: w,
+                recomputed,
+            });
+            continue;
+        }
+        achieved = achieved.saturating_add(w);
+    }
+    let mut half_max: i128 = 0;
+    for u in 0..n {
+        let mut best: i64 = 0;
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+            best = best.max(recompute_pair_weight(
+                &nodes[lo],
+                &nodes[hi],
+                cap,
+                ordering,
+                min_efficiency,
+            ));
+        }
+        half_max += i128::from(best);
+    }
+    let upper = i64::try_from(half_max / 2).unwrap_or(i64::MAX);
+    let slack = upper.saturating_sub(achieved).max(0);
+    if !loss_certificate_holds(achieved, slack, loss_bound) {
+        report.push(Violation::ShardLossExceeded {
+            achieved,
+            upper_bound: upper,
+            loss_bound,
+        });
+    }
+    report
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -143,6 +263,71 @@ mod tests {
         let keep_w = weight_from_f64(cfg.keep_threshold);
         let report = audit_pruning(&g, &out.matching, cfg.top_m, keep_w, out.fell_back);
         assert!(report.is_clean(), "{report}");
+    }
+
+    fn node(cpu: u64, gpu: u64) -> Vec<StageProfile> {
+        use muri_workload::SimDuration;
+        vec![StageProfile::new(
+            SimDuration::ZERO,
+            SimDuration::from_secs(cpu),
+            SimDuration::from_secs(gpu),
+            SimDuration::ZERO,
+        )]
+    }
+
+    fn complementary_pool() -> Vec<Vec<StageProfile>> {
+        vec![node(4, 1), node(1, 4), node(4, 1), node(1, 4)]
+    }
+
+    fn honest_pairs(nodes: &[Vec<StageProfile>]) -> Vec<(usize, usize, i64)> {
+        let w = |u: usize, v: usize| {
+            recompute_pair_weight(&nodes[u], &nodes[v], 4, OrderingPolicy::Best, 0.0)
+        };
+        vec![(0, 1, w(0, 1)), (2, 3, w(2, 3))]
+    }
+
+    #[test]
+    fn sharded_plan_with_true_weights_audits_clean() {
+        let nodes = complementary_pool();
+        let pairs = honest_pairs(&nodes);
+        let report = audit_sharding(&nodes, &pairs, 4, OrderingPolicy::Best, 0.0, 0.05);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn misstated_shard_weight_is_flagged() {
+        let nodes = complementary_pool();
+        let mut pairs = honest_pairs(&nodes);
+        pairs[0].2 += 1;
+        let report = audit_sharding(&nodes, &pairs, 4, OrderingPolicy::Best, 0.0, 0.05);
+        assert_eq!(report.count_kind("ShardPairMismatch"), 1, "{report}");
+    }
+
+    #[test]
+    fn lossy_shard_plan_is_flagged_under_zero_tolerance() {
+        // Pair the clones instead of the complements: real weights, but
+        // clearly below the half-max-sum bound.
+        let nodes = complementary_pool();
+        let w = |u: usize, v: usize| {
+            recompute_pair_weight(&nodes[u], &nodes[v], 4, OrderingPolicy::Best, 0.0)
+        };
+        let pairs = vec![(0, 2, w(0, 2)), (1, 3, w(1, 3))];
+        let report = audit_sharding(&nodes, &pairs, 4, OrderingPolicy::Best, 0.0, 0.0);
+        assert_eq!(report.count_kind("ShardLossExceeded"), 1, "{report}");
+        // A 50% tolerance accepts the same plan.
+        let relaxed = audit_sharding(&nodes, &pairs, 4, OrderingPolicy::Best, 0.0, 0.5);
+        assert_eq!(relaxed.count_kind("ShardLossExceeded"), 0, "{relaxed}");
+    }
+
+    #[test]
+    fn overlapping_shard_pairs_are_flagged() {
+        let nodes = complementary_pool();
+        let w = |u: usize, v: usize| {
+            recompute_pair_weight(&nodes[u], &nodes[v], 4, OrderingPolicy::Best, 0.0)
+        };
+        let pairs = vec![(0, 1, w(0, 1)), (1, 2, w(1, 2))];
+        let report = audit_sharding(&nodes, &pairs, 4, OrderingPolicy::Best, 0.0, 0.5);
+        assert_eq!(report.count_kind("NonMatchingEdgeSet"), 1, "{report}");
     }
 
     #[test]

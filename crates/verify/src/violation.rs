@@ -100,6 +100,30 @@ pub enum Violation {
         /// The configured top-m prune width.
         top_m: usize,
     },
+    /// A sharded cold-start plan reports a pair weight that disagrees
+    /// with an independent recomputation of the merged efficiency from
+    /// the two nodes' member profiles (quantized and thresholded exactly
+    /// like the planner's edge weights).
+    ShardPairMismatch {
+        /// The offending matched node pair (pool indices).
+        pair: (usize, usize),
+        /// The weight the plan reported.
+        stated: i64,
+        /// The independently recomputed weight.
+        recomputed: i64,
+    },
+    /// A sharded cold-start plan's composed loss certificate does not
+    /// hold: the achieved weight is too far below the availability-aware
+    /// half-max-sum upper bound on the dense optimum for the configured
+    /// loss tolerance.
+    ShardLossExceeded {
+        /// Total weight of the sharded plan.
+        achieved: i64,
+        /// The independently recomputed upper bound.
+        upper_bound: i64,
+        /// The configured loss tolerance.
+        loss_bound: f64,
+    },
     /// A running group occupies a machine that is fail-stopped, or a
     /// newly-placed group occupies a machine the monitor had blacklisted
     /// for the whole planning window — recovery must steer replanned
@@ -142,6 +166,8 @@ impl Violation {
             Violation::PriorityInversion { .. } => "PriorityInversion",
             Violation::JobConservationBroken { .. } => "JobConservationBroken",
             Violation::PrunedEdgeMatched { .. } => "PrunedEdgeMatched",
+            Violation::ShardPairMismatch { .. } => "ShardPairMismatch",
+            Violation::ShardLossExceeded { .. } => "ShardLossExceeded",
             Violation::DeadMachineAssignment { .. } => "DeadMachineAssignment",
             Violation::ProgressRegressed { .. } => "ProgressRegressed",
         }
@@ -208,6 +234,24 @@ impl fmt::Display for Violation {
                 f,
                 "PrunedEdgeMatched: matched pair {pair:?} (weight {weight}) was outside \
                  both endpoints' top-{top_m} candidate edges and no fallback fired"
+            ),
+            Violation::ShardPairMismatch {
+                pair,
+                stated,
+                recomputed,
+            } => write!(
+                f,
+                "ShardPairMismatch: pair {pair:?} states weight {stated} but \
+                 recomputation gives {recomputed}"
+            ),
+            Violation::ShardLossExceeded {
+                achieved,
+                upper_bound,
+                loss_bound,
+            } => write!(
+                f,
+                "ShardLossExceeded: plan weight {achieved} vs bound {upper_bound} \
+                 exceeds the loss tolerance {loss_bound}"
             ),
             Violation::DeadMachineAssignment {
                 machine,

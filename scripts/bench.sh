@@ -14,18 +14,38 @@
 #   }
 #
 # Exits non-zero if the benches fail, a required benchmark id is missing
-# from the run, or the assembled JSON fails to serialize / parse.
+# from the run, any benchmark pinned in the baseline has disappeared
+# from the harness, the sharded cold-start gate (10k under a second)
+# fails, or the assembled JSON fails to serialize / parse.
+#
+#   scripts/bench.sh [--sizes 1k,10k,100k]
+#
+# --sizes sets the cluster-size axis of the sharded cold-start bench
+# (scalability/grouping_plan_cold/<size>), exported to the harness as
+# MURI_BENCH_SIZES. Default: 1k,10k. The 100k point costs a few minutes
+# per run, so it is opt-in.
 
 set -eu
 
 cd "$(dirname "$0")/.."
+
+SIZES="1k,10k"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --sizes) [ $# -ge 2 ] || { echo "bench.sh: --sizes needs a value" >&2; exit 2; }
+                 SIZES="$2"; shift 2 ;;
+        --sizes=*) SIZES="${1#--sizes=}"; shift ;;
+        *) echo "usage: scripts/bench.sh [--sizes 1k,10k,100k]" >&2; exit 2 ;;
+    esac
+done
+export MURI_BENCH_SIZES="$SIZES"
 
 OUT=BENCH_grouping.json
 BASELINE=results/bench_baseline.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT INT TERM
 
-echo "==> cargo bench -p muri-bench --bench scalability --bench algorithms"
+echo "==> cargo bench -p muri-bench --bench scalability --bench algorithms (cold-start sizes: $SIZES)"
 cargo bench -p muri-bench --bench scalability --bench algorithms | tee "$RAW"
 
 if ! [ -f "$BASELINE" ]; then
@@ -40,7 +60,7 @@ fi
 
 # Assemble the output: the baseline file verbatim, then this run's
 # medians keyed by benchmark id.
-if ! grep '^BENCH_JSON ' "$RAW" | awk -v baseline="$BASELINE" '
+if ! grep '^BENCH_JSON ' "$RAW" | awk -v baseline="$BASELINE" -v sizes="$SIZES" '
     BEGIN {
         printf "{\n  \"baseline\": "
         first = 1
@@ -50,7 +70,7 @@ if ! grep '^BENCH_JSON ' "$RAW" | awk -v baseline="$BASELINE" '
         }
         close(baseline)
         if (first) exit 1   # baseline unreadable
-        printf "  ,\n  \"optimized\": {\n"
+        printf "  ,\n  \"cold_start_sizes\": \"%s\",\n  \"optimized\": {\n", sizes
     }
     {
         sub(/^BENCH_JSON /, "")
@@ -72,22 +92,42 @@ if ! grep '^BENCH_JSON ' "$RAW" | awk -v baseline="$BASELINE" '
     exit 1
 fi
 
-# Every id the acceptance criteria track must be present in this run.
-for key in \
-    'scalability/grouping_plan/500' \
-    'scalability/grouping_plan/1000' \
-    'scalability/grouping_plan_cold_dense/1000' \
-    'scalability/grouping_plan_cold_pruned/1000' \
-    'scalability/plan_schedule_1000_jobs_64gpus' \
-    'blossom/max_weight_matching/16' \
-    'blossom/max_weight_matching/64' \
-    'blossom/max_weight_matching/128' \
-    'blossom/max_weight_matching/256' \
-    'grouping/multi_round/128' \
-    'grouping/capacity_aware_backlog'
-do
+# Every id the acceptance criteria track must be present in this run,
+# including one sharded cold-start point per size on the --sizes axis.
+required_keys='scalability/grouping_plan/500
+scalability/grouping_plan/1000
+scalability/grouping_plan_cold_dense/1000
+scalability/grouping_plan_cold_pruned/1000
+scalability/plan_schedule_1000_jobs_64gpus
+blossom/max_weight_matching/16
+blossom/max_weight_matching/64
+blossom/max_weight_matching/128
+blossom/max_weight_matching/256
+grouping/multi_round/128
+grouping/capacity_aware_backlog'
+for size in $(printf '%s' "$SIZES" | tr ',' ' '); do
+    required_keys="$required_keys
+scalability/grouping_plan_cold/$size"
+done
+for key in $required_keys; do
     if ! grep -q "\"$key\":" "$OUT"; then
         echo "bench.sh: $OUT is missing required benchmark \"$key\"" >&2
+        exit 1
+    fi
+done
+
+# Every benchmark pinned in the baseline must still exist in the
+# harness. A bench that silently disappears (renamed, dropped from a
+# criterion_group!, file deleted) would otherwise make the baseline
+# comparison vacuous — fail loudly instead.
+baseline_keys=$(grep -o '"[^"]*": *[0-9]' "$BASELINE" | sed 's/": *[0-9]$//; s/^"//' | grep '/' || true)
+if [ -z "$baseline_keys" ]; then
+    echo "bench.sh: could not extract any benchmark ids from $BASELINE" >&2
+    exit 1
+fi
+for key in $baseline_keys; do
+    if ! grep -q "\"$key\":" "$OUT"; then
+        echo "bench.sh: benchmark \"$key\" is pinned in $BASELINE but absent from this run — the harness lost it" >&2
         exit 1
     fi
 done
@@ -105,6 +145,23 @@ if [ $((dense_ns / pruned_ns)) -lt 5 ]; then
     exit 1
 fi
 echo "bench.sh: cold-start pruning speedup $((dense_ns / pruned_ns))x (dense=${dense_ns}ns pruned=${pruned_ns}ns)"
+
+# Tentpole gate: sharded cold-start planning at 10k jobs must land
+# under a second (enforced whenever the 10k point is on the axis).
+case ",$SIZES," in
+    *,10k,*)
+        cold10k_ns=$(grep -o '"scalability/grouping_plan_cold/10k": [0-9]*' "$OUT" | grep -o '[0-9]*$')
+        if [ -z "$cold10k_ns" ]; then
+            echo "bench.sh: could not extract the 10k sharded cold-start median from $OUT" >&2
+            exit 1
+        fi
+        if [ "$cold10k_ns" -ge 1000000000 ]; then
+            echo "bench.sh: sharded cold-start at 10k took ${cold10k_ns}ns (must be < 1s)" >&2
+            exit 1
+        fi
+        echo "bench.sh: sharded cold-start at 10k in ${cold10k_ns}ns"
+        ;;
+esac
 
 # Parse-check the result with whatever JSON tool the host has; fall back
 # to accepting the structural checks above on a bare container.

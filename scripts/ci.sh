@@ -31,6 +31,13 @@
 #      really dropped, so the run only has to complete cleanly — the
 #      certificate bounds (but does not zero) the matching-weight
 #      difference, and the report may legitimately differ from dense
+#   9. sharded smoke     two checks on trace 2 at --scale 0.1: with one
+#      giant forced shard and pruning off, the sharded planner builds
+#      the full candidate graph and solves it exactly, so its report
+#      must be byte-identical to the unsharded dense run; then an
+#      audited `muri verify` replay with sharding forced must finish
+#      with zero violations (the sharded plan's stated pair weights and
+#      composed loss certificate both survive independent recomputation)
 #
 # `scripts/ci.sh --deep` additionally runs the core/matching test suites
 # under Miri and a ThreadSanitizer build when a nightly toolchain with
@@ -102,6 +109,22 @@ if ! cmp -s "$tmpdir/pruned.out" "$tmpdir/dense.out"; then
     exit 1
 fi
 cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.1 >/dev/null 2>&1
+
+echo "==> sharded smoke (one-shard identity vs dense, audited forced-shard run)"
+cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.1 --prune-top-m 0 \
+    --shard-by force --shard-size 100000 --candidate-m 0 \
+    >"$tmpdir/sharded.out" 2>/dev/null
+cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.1 --prune-top-m 0 \
+    --shard-by off \
+    >"$tmpdir/unsharded.out" 2>/dev/null
+if ! cmp -s "$tmpdir/sharded.out" "$tmpdir/unsharded.out"; then
+    echo "ci: one-shard sharded simulation diverged from the unsharded" >&2
+    echo "ci: dense baseline, where the full candidate graph makes the" >&2
+    echo "ci: sparse solve exact:" >&2
+    diff "$tmpdir/sharded.out" "$tmpdir/unsharded.out" >&2 || true
+    exit 1
+fi
+cargo run -q -p muri-cli -- verify muri-l --trace 2 --scale 0.1 --shard-by force
 
 if [ "$deep" = 1 ]; then
     # Best-effort deep checks: both need a nightly toolchain, which the
