@@ -1,0 +1,136 @@
+//! Service-path benchmarks: the daemon must sustain 10k+ submissions
+//! per second (median HTTP submit round-trip < 100 µs) with p99
+//! wall-clock placement latency under 10 ms. Both are measured against
+//! a real daemon booted in-process on an ephemeral port, over one
+//! keep-alive connection — the same wire path `muri serve-load`
+//! exercises — and pinned in `BENCH_grouping.json` by
+//! `scripts/bench.sh`.
+//!
+//! Placement latency is measured client-side (submission POST until a
+//! status poll leaves `"queued"`): the daemon's own
+//! `muri_serve_placement_latency_us` histogram records *scheduler-time*
+//! latency, which is zero for a synchronously placed job, while the
+//! service target is about wall time as a client observes it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use muri_core::{PolicyKind, SchedulerConfig};
+use muri_serve::{bind, HttpClient, ServerConfig};
+use muri_sim::SimConfig;
+use std::time::{Duration, Instant};
+
+/// The smallest admissible job: one GPU, one iteration. At the bench's
+/// time scale it finishes within one scheduler heartbeat, so the open
+/// set stays bounded across hundreds of submissions.
+const SUBMIT: &str = "{\"model\":\"ResNet18\",\"num_gpus\":1,\"iterations\":1}";
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Unwrap an I/O result with context; a wire failure fails the bench.
+fn ok<T>(r: std::io::Result<T>, what: &str) -> T {
+    r.unwrap_or_else(|e| panic!("{what}: {e}"))
+}
+
+fn parse_job_id(body: &str) -> u64 {
+    let Some(at) = body.find("\"job\":") else {
+        panic!("submit response carries no job id: {body}");
+    };
+    let digits: String = body[at + "\"job\":".len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric job id in {body}"))
+}
+
+/// Wait until the cluster has fully drained (no queue, no used GPUs),
+/// so the placement measurement starts from an idle scheduler.
+fn drain(client: &mut HttpClient) {
+    for _ in 0..4000 {
+        let (st, body) = ok(client.get("/v1/cluster"), "cluster state");
+        assert_eq!(st, 200, "{body}");
+        if body.contains("\"queued_jobs\":0") && body.contains("\"used_gpus\":0") {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("cluster did not drain after the submit benchmark");
+}
+
+/// Submit a batch of jobs one at a time, timing each from the POST to
+/// the first status poll that is no longer queued, and report the p99
+/// as a `BENCH_JSON` line for `scripts/bench.sh` to pin.
+fn placement_p99(client: &mut HttpClient) {
+    let jobs = if test_mode() { 8 } else { 200 };
+    let mut latencies: Vec<Duration> = Vec::with_capacity(jobs);
+    for _ in 0..jobs {
+        let start = Instant::now();
+        let (st, body) = ok(client.post("/v1/jobs", SUBMIT), "submit");
+        assert_eq!(st, 200, "{body}");
+        let id = parse_job_id(&body);
+        loop {
+            let (st, body) = ok(client.get(&format!("/v1/jobs/{id}")), "status");
+            assert_eq!(st, 200, "{body}");
+            if !body.contains("\"phase\":\"queued\"") {
+                break;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "job {id} never left the queue: {body}"
+            );
+        }
+        latencies.push(start.elapsed());
+    }
+    latencies.sort_unstable();
+    let p99 = latencies[(jobs * 99).div_ceil(100) - 1];
+    if !test_mode() {
+        println!("serve/placement_p99: p99 {p99:?} over {jobs} jobs");
+        println!(
+            "BENCH_JSON {{\"id\":\"serve/placement_p99\",\"median_ns\":{}}}",
+            p99.as_nanos()
+        );
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut cfg = ServerConfig::new(SimConfig::testbed(SchedulerConfig::preset(
+        PolicyKind::MuriL,
+    )));
+    // Fast virtual time: one-iteration jobs complete within a heartbeat,
+    // so back-to-back submissions never saturate the cluster for long.
+    cfg.time_scale = 36_000.0;
+    cfg.workers = 2;
+    let bound = ok(bind(cfg), "bind ephemeral port");
+    let addr = bound.addr().to_string();
+
+    std::thread::scope(|s| {
+        let server = s.spawn(move || bound.run());
+        let mut client = ok(HttpClient::connect(&addr), "connect");
+
+        let mut group = c.benchmark_group("serve");
+        group.sample_size(400);
+        group.bench_function("submit_http", |b| {
+            b.iter(|| {
+                let (st, body) = ok(client.post("/v1/jobs", SUBMIT), "submit");
+                assert_eq!(st, 200, "{body}");
+                black_box(body.len())
+            });
+        });
+        group.finish();
+
+        drain(&mut client);
+        placement_p99(&mut client);
+
+        let (st, _) = ok(client.post("/v1/shutdown", ""), "shutdown");
+        assert_eq!(st, 200);
+        match server.join() {
+            Ok(r) => ok(r, "server shutdown"),
+            Err(_) => panic!("server thread panicked"),
+        }
+    });
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -114,6 +114,12 @@ const USAGE: &str = "usage:
                          [fault flags as for `muri sim`]
   muri telemetry-check [--journal FILE] [--metrics FILE] [--chrome-trace FILE]
   muri lint [--json] [--root DIR]
+  muri serve [--port P] [--machines N] [--policy NAME] [--workers N]
+             [--tenants \"a=8,b\"] [--incremental] [--time-scale F]
+             [--journal FILE]
+  muri serve-load --addr HOST:PORT [--jobs N] [--gpus G] [--iters I]
+                  [--model NAME] [--tenant NAME] [--journal FILE]
+                  [--shutdown]
   muri validate
 
 policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s muri-l
@@ -122,6 +128,19 @@ policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s mur
 the workspace sources (rules D001-D004, C001, A001, S001; suppress a
 finding with `// muri-lint: allow(RULE, reason = \"...\")`). --json emits a
 machine-readable report; a finding exits 3.
+
+`muri serve` boots the always-on scheduler daemon (JSON over HTTP/1.1;
+endpoints /v1/jobs, /v1/cluster, /metrics, /v1/journal, /v1/shutdown).
+--port 0 picks an ephemeral port (the bound address is printed on
+startup); --tenants enables closed-mode multi-tenancy with optional
+per-tenant GPU quotas (\"alice=8,bob\" caps alice at 8 GPUs and leaves
+bob unlimited); --incremental re-plans only dirty profile classes;
+--time-scale F runs F scheduler-seconds per wall-second; --journal
+flushes the telemetry journal to FILE on graceful shutdown.
+`muri serve-load` drives a running daemon: submits --jobs identical
+jobs, polls them to completion, prints a one-line JSON summary, and
+optionally fetches the journal (--journal) and stops the daemon
+(--shutdown).
 
 `muri simulate` is an alias for `muri sim`. The telemetry flags export
 the run's event journal (JSONL), Prometheus metrics, and a Chrome
@@ -288,6 +307,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
             run_sim(policy, &args[2..])
         }
         Some("lint") => run_lint(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        Some("serve-load") => run_serve_load(&args[1..]),
         Some("telemetry-check") => run_telemetry_check(&args[1..]),
         Some("verify") => run_verify(&args[1..]),
         Some("validate") => run_validate(),
@@ -339,6 +360,252 @@ fn run_lint(args: &[String]) -> Result<(), CliError> {
     } else {
         Err(CliError::LintViolations(report.violations.len()))
     }
+}
+
+/// Parse a `--tenants "alice=8,bob"` spec: comma-separated tenant names,
+/// each optionally `=N` for a GPU quota (no `=` means unlimited).
+fn parse_tenants(spec: &str) -> Result<Vec<muri_serve::TenantConfig>, CliError> {
+    let mut tenants = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, quota) = match part.split_once('=') {
+            Some((name, q)) => {
+                let quota: u32 = q
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad tenant quota {q:?} in {part:?}")))?;
+                (name, Some(quota))
+            }
+            None => (part, None),
+        };
+        tenants.push(muri_serve::TenantConfig {
+            name: name.to_string(),
+            quota_gpus: quota,
+        });
+    }
+    if tenants.is_empty() {
+        return Err(CliError::usage("--tenants needs at least one tenant name"));
+    }
+    Ok(tenants)
+}
+
+/// `muri serve [--port P] [--machines N] [--policy NAME] [--workers N]
+///             [--tenants "a=8,b"] [--incremental] [--time-scale F]
+///             [--journal FILE]`
+///
+/// Boot the always-on scheduler daemon. Blocks until a client POSTs
+/// `/v1/shutdown`, then drains, checkpoints running groups, flushes the
+/// journal, and exits 0.
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    let mut port = 0u16;
+    let mut machines = 8u32;
+    let mut policy = PolicyKind::MuriL;
+    let mut workers = 4usize;
+    let mut tenants = Vec::new();
+    let mut plan_mode = muri_core::PlanMode::Full;
+    let mut time_scale = 1.0f64;
+    let mut journal: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("{arg} needs {what}")))
+        };
+        match arg.as_str() {
+            "--port" => {
+                port = value("a port")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --port value"))?;
+            }
+            "--machines" => {
+                machines = value("a count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --machines count"))?;
+            }
+            "--policy" => {
+                policy = parse_policy(value("a policy name")?)?;
+            }
+            "--workers" => {
+                workers = value("a count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --workers count"))?;
+                if workers == 0 {
+                    return Err(CliError::usage("--workers must be >= 1"));
+                }
+            }
+            "--tenants" => {
+                tenants = parse_tenants(value("a tenant spec")?)?;
+            }
+            "--incremental" => plan_mode = muri_core::PlanMode::Incremental,
+            "--time-scale" => {
+                let f: f64 = value("a factor")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --time-scale value"))?;
+                if !(f.is_finite() && f > 0.0) {
+                    return Err(CliError::usage("--time-scale must be > 0"));
+                }
+                time_scale = f;
+            }
+            "--journal" => {
+                journal = Some(value("a file path")?.clone());
+            }
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
+        }
+    }
+    let sim = SimConfig {
+        cluster: muri_cluster::ClusterSpec::with_machines(machines),
+        ..SimConfig::testbed(SchedulerConfig::preset(policy))
+    };
+    let mut cfg = muri_serve::ServerConfig::new(sim);
+    cfg.addr = format!("127.0.0.1:{port}");
+    cfg.workers = workers;
+    cfg.tenants = tenants;
+    cfg.plan_mode = plan_mode;
+    cfg.time_scale = time_scale;
+    cfg.journal_path = journal;
+    muri_serve::serve(cfg).map_err(|e| CliError::runtime(format!("serve: {e}")))
+}
+
+/// `muri serve-load --addr HOST:PORT [--jobs N] [--gpus G] [--iters I]
+///                  [--model NAME] [--tenant NAME] [--journal FILE]
+///                  [--shutdown]`
+///
+/// Drive a running daemon over HTTP: submit a batch of identical jobs,
+/// poll them to completion, and print a one-line JSON summary.
+fn run_serve_load(args: &[String]) -> Result<(), CliError> {
+    let mut addr: Option<String> = None;
+    let mut jobs = 8usize;
+    let mut gpus = 1u32;
+    let mut iters = 50u64;
+    let mut model = "ResNet18".to_string();
+    let mut tenant: Option<String> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("{arg} needs {what}")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("host:port")?.clone()),
+            "--jobs" => {
+                jobs = value("a count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --jobs count"))?;
+            }
+            "--gpus" => {
+                gpus = value("a count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --gpus count"))?;
+            }
+            "--iters" => {
+                iters = value("a count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --iters count"))?;
+            }
+            "--model" => model = value("a model name")?.clone(),
+            "--tenant" => tenant = Some(value("a tenant name")?.clone()),
+            "--journal" => journal = Some(PathBuf::from(value("a file path")?)),
+            "--shutdown" => shutdown = true,
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
+        }
+    }
+    let addr = addr.ok_or_else(|| CliError::usage("serve-load needs --addr HOST:PORT"))?;
+    let mut client = muri_serve::HttpClient::connect(&addr)
+        .map_err(|e| CliError::runtime(format!("connecting to {addr}: {e}")))?;
+    let http_err = |what: &str, e: std::io::Error| CliError::runtime(format!("{what}: {e}"));
+
+    let req = muri_serve::SubmitRequest {
+        tenant,
+        model,
+        num_gpus: gpus,
+        iterations: iters,
+    };
+    let body = serde_json::to_string(&req)
+        .map_err(|e| CliError::runtime(format!("encoding request: {e}")))?;
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut refused = 0usize;
+    for _ in 0..jobs {
+        let (st, resp) = client
+            .post("/v1/jobs", &body)
+            .map_err(|e| http_err("submit", e))?;
+        let v: serde_json::Value = serde_json::from_str(&resp)
+            .map_err(|e| CliError::runtime(format!("submit response: {e}")))?;
+        if st == 200 {
+            match v.get("job") {
+                Some(&serde_json::Value::UInt(id)) => accepted.push(id),
+                other => {
+                    return Err(CliError::runtime(format!(
+                        "submit accepted without a job id ({other:?}): {resp}"
+                    )))
+                }
+            }
+        } else {
+            refused += 1;
+        }
+    }
+
+    // Poll every accepted job to a terminal phase (bounded: ~5 minutes).
+    let terminal = ["finished", "cancelled", "rejected"];
+    let mut finished = 0usize;
+    for id in &accepted {
+        let mut done = false;
+        for _ in 0..60_000 {
+            let (st, resp) = client
+                .get(&format!("/v1/jobs/{id}"))
+                .map_err(|e| http_err("status", e))?;
+            if st != 200 {
+                return Err(CliError::runtime(format!("status for job {id}: {resp}")));
+            }
+            let v: serde_json::Value = serde_json::from_str(&resp)
+                .map_err(|e| CliError::runtime(format!("status response: {e}")))?;
+            let phase = match v.get("status").and_then(|s| s.get("phase")) {
+                Some(serde_json::Value::Str(p)) => p.clone(),
+                _ => String::new(),
+            };
+            if terminal.contains(&phase.as_str()) {
+                if phase == "finished" {
+                    finished += 1;
+                }
+                done = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        if !done {
+            return Err(CliError::runtime(format!(
+                "timed out waiting for job {id} to reach a terminal phase"
+            )));
+        }
+    }
+
+    if let Some(path) = &journal {
+        let (st, jsonl) = client
+            .get("/v1/journal")
+            .map_err(|e| http_err("journal", e))?;
+        if st != 200 {
+            return Err(CliError::runtime(format!("journal fetch failed: {st}")));
+        }
+        write_file(path, &jsonl)?;
+        eprintln!("journal -> {}", path.display());
+    }
+    if shutdown {
+        let (st, resp) = client
+            .post("/v1/shutdown", "")
+            .map_err(|e| http_err("shutdown", e))?;
+        if st != 200 {
+            return Err(CliError::runtime(format!("shutdown failed: {resp}")));
+        }
+        eprintln!("daemon shutdown acknowledged: {resp}");
+    }
+    println!(
+        "{{\"submitted\":{jobs},\"accepted\":{},\"refused\":{refused},\"finished\":{finished}}}",
+        accepted.len()
+    );
+    Ok(())
 }
 
 fn parse_trace_index(arg: Option<&String>, cmd: &str) -> Result<usize, CliError> {

@@ -1,0 +1,402 @@
+//! Incremental re-planning on arrival/completion deltas.
+//!
+//! The batch simulator re-plans the world at every pass; an always-on
+//! daemon sustaining 10k+ submissions/sec cannot. Because grouping
+//! never crosses GPU-count buckets (§4.2), an arrival or completion
+//! only invalidates the planning problem *inside its own GPU class* —
+//! the other classes' queues and profiles are untouched. The
+//! [`IncrementalPlanner`] tracks which classes are dirty, and
+//! [`plan_incremental_with`] re-solves just those classes against the
+//! current free capacity.
+//!
+//! What couples classes is *capacity*: freed GPUs may admit a job from
+//! a class nothing marked. The planner therefore certifies each
+//! incremental result with a stranding check — if any unplanned
+//! candidate (from the full set) fits in the capacity the incremental
+//! plan left unused, it discards the result and falls back to a full
+//! cold re-plan. The surviving fast path carries a provable utility
+//! bound (utility = Σ planned GPU demand):
+//!
+//! ```text
+//! utility(incremental) ≥ utility(full) − min_unplanned_demand + 1
+//! ```
+//!
+//! since `utility(full) ≤ free_gpus` and every unplanned candidate's
+//! demand exceeds the unused capacity. `muri_verify::audit_incremental`
+//! checks exactly this contract; with the `audit` feature, debug
+//! builds run it (against the freshly computed full oracle) after
+//! every incremental pass.
+
+use std::collections::BTreeSet;
+
+use muri_telemetry::TelemetrySink;
+use muri_workload::{JobId, SimTime};
+
+use crate::policy::PendingJob;
+use crate::scheduler::{plan_schedule_with, PlannedGroup, SchedulerConfig};
+
+/// How a scheduling pass derives its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Re-plan the world every pass (the simulator's historical
+    /// behavior, and the fixture-pinned default).
+    #[default]
+    Full,
+    /// Re-solve only dirty GPU classes, with the certified stranding
+    /// fallback to a full re-plan.
+    Incremental,
+}
+
+/// Counters describing how the incremental fast path is doing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Incremental passes attempted.
+    pub passes: u64,
+    /// Passes that fell back to a full re-plan (stranding, or an
+    /// explicit mark-all after faults/topology changes).
+    pub fallbacks: u64,
+    /// Passes whose dirty set restricted the solve to a strict subset
+    /// of the candidates.
+    pub restricted: u64,
+}
+
+/// Dirty-class bookkeeping between planning passes.
+///
+/// GPU classes (per-job demand buckets) are marked dirty by the events
+/// that invalidate them: an arrival marks its own class, a completion
+/// marks the finished jobs' classes, and faults or machine/topology
+/// changes mark everything. A full planning pass clears the set.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalPlanner {
+    dirty: BTreeSet<u32>,
+    all_dirty: bool,
+    stats: IncrementalStats,
+}
+
+impl IncrementalPlanner {
+    /// A planner with an empty dirty set.
+    pub fn new() -> Self {
+        IncrementalPlanner::default()
+    }
+
+    /// Mark one GPU class dirty.
+    pub fn mark(&mut self, num_gpus: u32) {
+        self.dirty.insert(num_gpus);
+    }
+
+    /// Mark every class dirty (faults, machine churn, quota edits —
+    /// anything whose blast radius is not a single class).
+    pub fn mark_all(&mut self) {
+        self.all_dirty = true;
+    }
+
+    /// Forget all marks (a full plan has seen everything).
+    pub fn clear(&mut self) {
+        self.dirty.clear();
+        self.all_dirty = false;
+    }
+
+    /// Whether `num_gpus` is currently marked dirty.
+    pub fn is_dirty(&self, num_gpus: u32) -> bool {
+        self.all_dirty || self.dirty.contains(&num_gpus)
+    }
+
+    /// Fast-path counters so far.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+}
+
+/// Outcome of one incremental planning pass.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    /// The plan to start (same shape as [`plan_schedule_with`]'s).
+    pub plan: Vec<PlannedGroup>,
+    /// Whether the pass fell back to a full re-plan (the dirty set is
+    /// then spent: the caller observes a full pass).
+    pub fell_back: bool,
+}
+
+/// Plan like [`plan_schedule_with`], but re-solving only the GPU
+/// classes `planner` has marked dirty; falls back to a full re-plan
+/// when the restricted solve would strand capacity. Clears the dirty
+/// set in either case — the produced plan is current as of `now`.
+pub fn plan_incremental_with(
+    cfg: &SchedulerConfig,
+    candidates: &[PendingJob],
+    free_gpus: u32,
+    now: SimTime,
+    sink: &TelemetrySink,
+    planner: &mut IncrementalPlanner,
+) -> IncrementalOutcome {
+    planner.stats.passes += 1;
+    if planner.all_dirty {
+        planner.stats.fallbacks += 1;
+        planner.clear();
+        let plan = plan_schedule_with(cfg, candidates, free_gpus, now, sink);
+        return IncrementalOutcome {
+            plan,
+            fell_back: true,
+        };
+    }
+
+    let dirty_candidates: Vec<PendingJob> = candidates
+        .iter()
+        .filter(|c| planner.dirty.contains(&c.num_gpus))
+        .copied()
+        .collect();
+    let restricted = dirty_candidates.len() < candidates.len();
+    if restricted {
+        planner.stats.restricted += 1;
+    }
+    let plan = if dirty_candidates.is_empty() {
+        Vec::new()
+    } else {
+        plan_schedule_with(cfg, &dirty_candidates, free_gpus, now, sink)
+    };
+
+    // Stranding check over the *full* candidate set: freed capacity may
+    // admit a job from a class nothing marked.
+    let planned: BTreeSet<JobId> = plan.iter().flat_map(|p| p.group.job_ids()).collect();
+    let used: u32 = plan.iter().map(|p| p.num_gpus).sum();
+    let remaining = free_gpus.saturating_sub(used);
+    let stranded = candidates
+        .iter()
+        .any(|c| !planned.contains(&c.id) && c.num_gpus <= remaining);
+    if stranded {
+        planner.stats.fallbacks += 1;
+        planner.clear();
+        let plan = plan_schedule_with(cfg, candidates, free_gpus, now, sink);
+        return IncrementalOutcome {
+            plan,
+            fell_back: true,
+        };
+    }
+
+    debug_audit_incremental(cfg, candidates, free_gpus, now, &plan, planner);
+    planner.clear();
+    IncrementalOutcome {
+        plan,
+        fell_back: false,
+    }
+}
+
+/// Debug-build hook (audit feature): check the incremental contract —
+/// legality, dirty confinement, no stranding, and the loss bound vs a
+/// freshly computed full oracle — and abort on any violation.
+#[cfg(feature = "audit")]
+fn debug_audit_incremental(
+    cfg: &SchedulerConfig,
+    candidates: &[PendingJob],
+    free_gpus: u32,
+    now: SimTime,
+    plan: &[PlannedGroup],
+    planner: &IncrementalPlanner,
+) {
+    if cfg!(debug_assertions) {
+        let oracle =
+            plan_schedule_with(cfg, candidates, free_gpus, now, &TelemetrySink::disabled());
+        let full_utility: u32 = oracle.iter().map(|p| p.num_gpus).sum();
+        // audit_plan's priority check reads candidate order as priority
+        // order, so hand it the policy-sorted view.
+        let mut sorted: Vec<PendingJob> = candidates.to_vec();
+        cfg.policy.sort(&mut sorted, now);
+        let snap = muri_verify::IncrementalSnapshot {
+            free_gpus,
+            max_group_size: cfg.pack_factor(),
+            candidates: sorted
+                .iter()
+                .map(|c| (c.id, c.num_gpus, planner.is_dirty(c.num_gpus)))
+                .collect(),
+            plan: plan
+                .iter()
+                .map(|p| muri_verify::PlannedGroupRef {
+                    group: &p.group,
+                    num_gpus: p.num_gpus,
+                })
+                .collect(),
+            full_utility,
+            fell_back: false,
+        };
+        let report = muri_verify::audit_incremental(&snap);
+        debug_assert!(
+            report.is_clean(),
+            "plan_incremental_with broke its contract:\n{report}"
+        );
+    }
+}
+
+/// No-op without the `audit` feature.
+#[cfg(not(feature = "audit"))]
+fn debug_audit_incremental(
+    _cfg: &SchedulerConfig,
+    _candidates: &[PendingJob],
+    _free_gpus: u32,
+    _now: SimTime,
+    _plan: &[PlannedGroup],
+    _planner: &IncrementalPlanner,
+) {
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use muri_workload::{SimDuration, StageProfile};
+
+    fn job(id: u32, num_gpus: u32, remaining_secs: u64, profile: StageProfile) -> PendingJob {
+        PendingJob {
+            id: JobId(id),
+            num_gpus,
+            profile,
+            submit_time: SimTime::ZERO,
+            attained: SimDuration::ZERO,
+            remaining: SimDuration::from_secs(remaining_secs),
+        }
+    }
+
+    fn cpu_heavy() -> StageProfile {
+        StageProfile::from_secs_f64(0.0, 2.0, 1.0, 0.0)
+    }
+
+    fn gpu_heavy() -> StageProfile {
+        StageProfile::from_secs_f64(0.0, 1.0, 2.0, 0.0)
+    }
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::preset(PolicyKind::MuriL)
+    }
+
+    #[test]
+    fn empty_dirty_set_with_no_fitting_candidate_plans_nothing() {
+        let mut planner = IncrementalPlanner::new();
+        // 8-GPU job queued, 4 GPUs free: nothing fits, nothing dirty.
+        let candidates = [job(1, 8, 100, cpu_heavy())];
+        let out = plan_incremental_with(
+            &cfg(),
+            &candidates,
+            4,
+            SimTime::ZERO,
+            &TelemetrySink::disabled(),
+            &mut planner,
+        );
+        assert!(out.plan.is_empty());
+        assert!(!out.fell_back);
+    }
+
+    #[test]
+    fn dirty_class_is_resolved_and_matches_full_plan_on_that_class() {
+        let mut planner = IncrementalPlanner::new();
+        planner.mark(2);
+        let candidates = [
+            job(1, 2, 100, cpu_heavy()),
+            job(2, 2, 100, gpu_heavy()),
+            // 8-GPU class untouched and unfittable with 4 free GPUs.
+            job(3, 8, 100, cpu_heavy()),
+        ];
+        let out = plan_incremental_with(
+            &cfg(),
+            &candidates,
+            4,
+            SimTime::ZERO,
+            &TelemetrySink::disabled(),
+            &mut planner,
+        );
+        assert!(!out.fell_back);
+        let planned: Vec<JobId> = out.plan.iter().flat_map(|p| p.group.job_ids()).collect();
+        assert!(planned.contains(&JobId(1)) && planned.contains(&JobId(2)));
+        // The dirty set is spent.
+        assert!(!planner.is_dirty(2));
+    }
+
+    #[test]
+    fn stranding_triggers_full_fallback() {
+        let mut planner = IncrementalPlanner::new();
+        // Only the (empty) 8-GPU class is dirty, but a 2-GPU job from a
+        // clean class fits the free capacity: fallback must fire and
+        // plan it.
+        planner.mark(8);
+        let candidates = [job(1, 2, 100, cpu_heavy())];
+        let out = plan_incremental_with(
+            &cfg(),
+            &candidates,
+            4,
+            SimTime::ZERO,
+            &TelemetrySink::disabled(),
+            &mut planner,
+        );
+        assert!(out.fell_back);
+        assert_eq!(out.plan.len(), 1);
+        assert_eq!(planner.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn mark_all_is_a_full_replan() {
+        let mut planner = IncrementalPlanner::new();
+        planner.mark_all();
+        let candidates = [job(1, 2, 100, cpu_heavy()), job(2, 4, 100, gpu_heavy())];
+        let out = plan_incremental_with(
+            &cfg(),
+            &candidates,
+            8,
+            SimTime::ZERO,
+            &TelemetrySink::disabled(),
+            &mut planner,
+        );
+        assert!(out.fell_back);
+        let full = plan_schedule_with(
+            &cfg(),
+            &candidates,
+            8,
+            SimTime::ZERO,
+            &TelemetrySink::disabled(),
+        );
+        assert_eq!(out.plan.len(), full.len());
+        assert!(!planner.is_dirty(2));
+    }
+
+    #[test]
+    fn incremental_utility_meets_certified_bound() {
+        // Arrival into the 2-GPU class with other classes queued: the
+        // incremental utility must stay within min-unplanned-demand of
+        // the full oracle.
+        let mut planner = IncrementalPlanner::new();
+        planner.mark(2);
+        let candidates = [
+            job(1, 2, 100, cpu_heavy()),
+            job(2, 2, 50, gpu_heavy()),
+            job(3, 4, 100, cpu_heavy()),
+            job(4, 4, 80, gpu_heavy()),
+        ];
+        let free = 8;
+        let out = plan_incremental_with(
+            &cfg(),
+            &candidates,
+            free,
+            SimTime::ZERO,
+            &TelemetrySink::disabled(),
+            &mut planner,
+        );
+        let utility: u32 = out.plan.iter().map(|p| p.num_gpus).sum();
+        let full = plan_schedule_with(
+            &cfg(),
+            &candidates,
+            free,
+            SimTime::ZERO,
+            &TelemetrySink::disabled(),
+        );
+        let full_utility: u32 = full.iter().map(|p| p.num_gpus).sum();
+        let planned: BTreeSet<JobId> = out.plan.iter().flat_map(|p| p.group.job_ids()).collect();
+        let min_unplanned = candidates
+            .iter()
+            .filter(|c| !planned.contains(&c.id))
+            .map(|c| c.num_gpus)
+            .min()
+            .unwrap_or(0);
+        assert!(
+            utility + min_unplanned >= full_utility + u32::from(min_unplanned > 0),
+            "utility {utility} vs full {full_utility} (min unplanned {min_unplanned})"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Reusable event-driven scheduler core.
+//!
+//! The Muri scheduler runs in two harnesses that must share one event
+//! loop: the deterministic batch simulator (`muri-sim`) and the
+//! always-on daemon (`muri-serve`). This crate is the seam between
+//! them. It defines
+//!
+//! - [`SchedulerEvent`] — the typed events the scheduler reacts to
+//!   (submissions, completions, faults, checkpoints, planning ticks),
+//! - [`EventQueue`] — a deterministic priority-queue trait over
+//!   `(SimTime, SchedulerEvent)` pairs with FIFO tie-breaking,
+//! - [`VirtualClockQueue`] — the virtual-clock implementation both
+//!   harnesses schedule into (the daemon wraps it in a wall-clock
+//!   gate; see `muri-serve::realtime`),
+//! - [`EventHandler`] + [`drive`] — the dispatch contract and the
+//!   batch drive loop the simulator's `simulate` entry points run.
+//!
+//! The split is behavior-preserving by construction: the event
+//! ordering (time, then insertion sequence) and the drive loop's
+//! deadline semantics are bit-for-bit the ones the simulator used
+//! before the extraction, which is what keeps the `SimReport` golden
+//! fixtures byte-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod queue;
+
+pub use event::SchedulerEvent;
+pub use queue::{drive, EventHandler, EventQueue, VirtualClockQueue};

@@ -42,17 +42,33 @@ use std::path::{Path, PathBuf};
 /// Crates whose output must be bit-identical across runs, worker counts,
 /// and replays. D001/D002/A001 apply here; this is the set named in the
 /// determinism contract (DESIGN.md) — the planning pipeline end to end.
-pub const DETERMINISTIC_CRATES: [&str; 6] = [
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "muri-core",
     "muri-matching",
     "muri-interleave",
     "muri-sim",
     "muri-cluster",
     "muri-workload",
+    "muri-engine",
+    "muri-serve",
 ];
 
 /// Crates that own the wall clock and measurement: exempt from D002.
 pub const OBSERVABILITY_CRATES: [&str; 2] = ["muri-telemetry", "muri-bench"];
+
+/// Individually sanctioned wall-clock sites inside deterministic crates,
+/// with the reason each is allowed. D002 skips exactly these files;
+/// everything else in the crate keeps the full discipline. Today this
+/// is the daemon's single wall→scheduler time boundary: `WallClock`
+/// maps host time onto `SimTime` to decide *when* queued events are
+/// released, never *what* the scheduler decides — which is what keeps
+/// the daemon's deterministic replay mode byte-equivalent to the
+/// simulator.
+pub const D002_SANCTIONED_CLOCK_FILES: [(&str, &str); 1] = [(
+    "crates/serve/src/realtime.rs",
+    "the daemon's one-way wall-clock -> SimTime boundary (event release \
+     timing only; planning inputs stay deterministic)",
+)];
 
 /// Files on the scheduler decision path, where the scaled-integer
 /// fixed-point convention is mandatory (D004). Floats are confined to
@@ -270,9 +286,22 @@ mod tests {
     #[test]
     fn classification_tables() {
         assert_eq!(classify_crate("muri-core"), CrateClass::Deterministic);
+        assert_eq!(classify_crate("muri-engine"), CrateClass::Deterministic);
+        assert_eq!(classify_crate("muri-serve"), CrateClass::Deterministic);
         assert_eq!(classify_crate("muri-telemetry"), CrateClass::Observability);
         assert_eq!(classify_crate("muri-cli"), CrateClass::Harness);
         assert_eq!(classify_crate("muri-lint"), CrateClass::Harness);
+    }
+
+    #[test]
+    fn sanctioned_clock_files_carry_reasons() {
+        for (path, reason) in D002_SANCTIONED_CLOCK_FILES {
+            assert!(path.starts_with("crates/"), "sanction path {path:?}");
+            assert!(
+                !reason.trim().is_empty(),
+                "sanction for {path} needs a reason"
+            );
+        }
     }
 
     #[test]

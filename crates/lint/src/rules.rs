@@ -402,9 +402,17 @@ fn for_loop_target(file: &ScannedFile, ci: usize) -> Option<usize> {
 /// Virtual time (`SimTime`/`SimDuration`) is the only clock deterministic
 /// code may consult; real timing belongs in `muri-telemetry` (see its
 /// `clock` module) or the bench harness, both of which are classified
-/// [`CrateClass::Observability`].
+/// [`CrateClass::Observability`]. The only other escape is the explicit
+/// per-file sanction list [`crate::D002_SANCTIONED_CLOCK_FILES`], which
+/// today names exactly the daemon's wall→scheduler time boundary.
 fn check_d002(file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Violation>) {
     if ctx.class != CrateClass::Deterministic {
+        return;
+    }
+    if crate::D002_SANCTIONED_CLOCK_FILES
+        .iter()
+        .any(|&(path, _reason)| path == file.rel_path)
+    {
         return;
     }
     for ci in 0..file.code_len() {

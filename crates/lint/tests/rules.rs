@@ -120,6 +120,36 @@ fn d002_is_scoped_to_deterministic_crates() {
 }
 
 #[test]
+fn d002_sanctions_exactly_the_serve_realtime_clock() {
+    // muri-serve is a deterministic crate, but its wall→SimTime boundary
+    // (crates/serve/src/realtime.rs) is on the sanction list: the same
+    // wall-clock read is clean there and a violation in any other serve
+    // module. The positive fixture pins the lines so a lexer or sanction
+    // change that widens the hole fails loudly.
+    let pos = include_str!("fixtures/d002_pos.rs");
+    let serve_ctx = FileContext {
+        crate_name: "muri-serve".to_string(),
+        class: CrateClass::Deterministic,
+        decision_path: false,
+    };
+    let cfg = LintConfig::only(RuleId::D002);
+
+    let sanctioned = scan_source("crates/serve/src/realtime.rs", pos, &serve_ctx, &cfg);
+    assert!(
+        sanctioned.violations.is_empty(),
+        "the sanctioned realtime clock site must be clean: {:?}",
+        sanctioned.violations
+    );
+
+    let unsanctioned = scan_source("crates/serve/src/server.rs", pos, &serve_ctx, &cfg);
+    assert_eq!(
+        findings(&unsanctioned),
+        &[(RuleId::D002, 6), (RuleId::D002, 9)],
+        "every other serve module keeps the full D002 discipline"
+    );
+}
+
+#[test]
 fn d003_unseeded_randomness() {
     check_rule(
         RuleId::D003,

@@ -1,0 +1,488 @@
+//! [`ServeCore`]: the daemon's scheduler state, one layer above
+//! `muri_sim::EngineCore`.
+//!
+//! Owns the engine, its event queue, the tenant ledger, and the
+//! telemetry sink; exposes exactly the operations the HTTP surface
+//! needs. The same type runs in two modes:
+//!
+//! * **live** — a [`WallClock`]-gated [`RealTimeQueue`]; [`pump`]
+//!   (called by the scheduler thread between requests) releases due
+//!   events and reconciles job lifecycles;
+//! * **deterministic** — a plain `VirtualClockQueue` driven to
+//!   completion, used by tests to prove the daemon's request path is
+//!   byte-equivalent to the batch simulator ([`deterministic_run`]).
+//!
+//! [`pump`]: ServeCore::pump
+
+use crate::proto::{ClusterView, JobView, ShutdownResponse, SubmitRequest, SubmitResponse};
+use crate::realtime::{RealTimeQueue, WallClock};
+use crate::tenant::{TenantConfig, TenantRegistry};
+use muri_core::PlanMode;
+use muri_engine::{EventQueue, VirtualClockQueue};
+use muri_sim::{EngineCore, JobPhase, SimConfig, SimReport};
+use muri_telemetry::{Telemetry, TelemetrySink};
+use muri_workload::{JobId, JobSpec, SimTime, Trace};
+use std::collections::BTreeMap;
+
+/// Tenant/billing state for one not-yet-terminal job.
+#[derive(Debug)]
+struct OpenJob {
+    tenant: String,
+    num_gpus: u32,
+    submitted: SimTime,
+    placed: bool,
+}
+
+/// The daemon's scheduler state. See the module docs.
+pub struct ServeCore {
+    engine: EngineCore,
+    q: Box<dyn EventQueue>,
+    clock: Option<WallClock>,
+    tenants: TenantRegistry,
+    next_id: u32,
+    open: BTreeMap<JobId, OpenJob>,
+    sink: TelemetrySink,
+}
+
+impl ServeCore {
+    /// A live core: wall-clock-gated events, telemetry on.
+    #[must_use]
+    pub fn live(
+        cfg: &SimConfig,
+        tenants: Vec<TenantConfig>,
+        plan_mode: PlanMode,
+        time_scale: f64,
+    ) -> Self {
+        let clock = WallClock::new(time_scale);
+        let q = Box::new(RealTimeQueue::new(clock));
+        ServeCore::new_inner(
+            cfg,
+            "live",
+            tenants,
+            plan_mode,
+            q,
+            Some(clock),
+            TelemetrySink::enabled(Telemetry::new()),
+        )
+    }
+
+    /// A deterministic core: virtual-clock events, driven explicitly —
+    /// the daemon's test mode.
+    #[must_use]
+    pub fn deterministic(
+        cfg: &SimConfig,
+        name: &str,
+        tenants: Vec<TenantConfig>,
+        plan_mode: PlanMode,
+        sink: TelemetrySink,
+    ) -> Self {
+        let q = Box::new(VirtualClockQueue::new());
+        ServeCore::new_inner(cfg, name, tenants, plan_mode, q, None, sink)
+    }
+
+    fn new_inner(
+        cfg: &SimConfig,
+        name: &str,
+        tenants: Vec<TenantConfig>,
+        plan_mode: PlanMode,
+        mut q: Box<dyn EventQueue>,
+        clock: Option<WallClock>,
+        sink: TelemetrySink,
+    ) -> Self {
+        let mut engine = EngineCore::new_live(cfg, name, q.as_mut());
+        engine.set_telemetry(sink.clone());
+        engine.set_plan_mode(plan_mode);
+        ServeCore {
+            engine,
+            q,
+            clock,
+            tenants: TenantRegistry::new(tenants),
+            next_id: 0,
+            open: BTreeMap::new(),
+            sink,
+        }
+    }
+
+    /// Current scheduler time (wall-derived in live mode).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock.map_or(self.engine.now(), |c| c.now_sim())
+    }
+
+    /// Admit and submit one job. The admission check (model, shape,
+    /// tenant quota) runs *before* the scheduler sees the job — a
+    /// refusal never reaches grouping.
+    pub fn submit(&mut self, req: &SubmitRequest) -> SubmitResponse {
+        let refuse = |reason: String| SubmitResponse {
+            accepted: false,
+            job: None,
+            reason: Some(reason),
+        };
+        let Some(model) = crate::proto::parse_model(&req.model) else {
+            return self.count_submit(refuse(format!("unknown model {:?}", req.model)));
+        };
+        if req.num_gpus == 0 || !req.num_gpus.is_power_of_two() {
+            return self.count_submit(refuse(format!(
+                "num_gpus must be a nonzero power of two, got {}",
+                req.num_gpus
+            )));
+        }
+        let total = self.engine.cluster_state().total_gpus;
+        if req.num_gpus > total {
+            return self.count_submit(refuse(format!(
+                "job demands {} GPUs but the cluster has {total}",
+                req.num_gpus
+            )));
+        }
+        if req.iterations == 0 {
+            return self.count_submit(refuse("iterations must be positive".to_string()));
+        }
+        let tenant = req.tenant.as_deref().unwrap_or("default");
+        if let Err(reason) = self.tenants.admit(tenant, req.num_gpus) {
+            return self.count_submit(refuse(reason));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let spec = JobSpec::new(JobId(id), model, req.num_gpus, req.iterations, self.now());
+        self.track_and_submit(tenant, spec);
+        self.count_submit(SubmitResponse {
+            accepted: true,
+            job: Some(id),
+            reason: None,
+        })
+    }
+
+    /// Trace-replay submission path (deterministic mode): the spec keeps
+    /// its trace identity but still passes through tenant admission.
+    pub fn submit_spec(&mut self, tenant: &str, spec: JobSpec) -> Result<(), String> {
+        self.tenants.admit(tenant, spec.num_gpus)?;
+        self.next_id = self.next_id.max(spec.id.0.saturating_add(1));
+        self.track_and_submit(tenant, spec);
+        Ok(())
+    }
+
+    fn track_and_submit(&mut self, tenant: &str, spec: JobSpec) {
+        self.open.insert(
+            spec.id,
+            OpenJob {
+                tenant: tenant.to_string(),
+                num_gpus: spec.num_gpus,
+                submitted: spec.submit_time,
+                placed: false,
+            },
+        );
+        self.engine.submit(spec, self.q.as_mut());
+    }
+
+    fn count_submit(&mut self, resp: SubmitResponse) -> SubmitResponse {
+        let accepted = if resp.accepted { "true" } else { "false" };
+        self.sink.with(|t| {
+            t.metrics.inc_counter(
+                "muri_serve_submissions_total",
+                "Submissions by admission outcome",
+                &[("accepted", accepted)],
+                1,
+            );
+        });
+        resp
+    }
+
+    /// Release due events into the engine and reconcile job lifecycles
+    /// (placement latency, tenant demand release). The scheduler
+    /// thread's heartbeat.
+    pub fn pump(&mut self) {
+        if let Some(clock) = self.clock {
+            self.engine.advance_to(clock.now_sim(), self.q.as_mut());
+        }
+        self.reconcile();
+    }
+
+    /// Drive the virtual-clock queue until all submitted work completes
+    /// (deterministic mode only; in live mode events gate on the wall
+    /// clock, so this behaves like one [`pump`](ServeCore::pump)).
+    pub fn run_to_completion(&mut self) {
+        self.engine.drive(self.q.as_mut());
+        self.reconcile();
+    }
+
+    fn reconcile(&mut self) {
+        let mut done: Vec<JobId> = Vec::new();
+        for (&id, o) in &mut self.open {
+            let Some(st) = self.engine.job_status(id) else {
+                continue;
+            };
+            if !o.placed {
+                if let Some(first) = st.first_start {
+                    o.placed = true;
+                    let latency_us = first.since(o.submitted).as_micros();
+                    self.sink.with(|t| {
+                        t.metrics.observe(
+                            "muri_serve_placement_latency_us",
+                            "Scheduler-time latency from submission to first placement (us)",
+                            &[],
+                            latency_us as f64,
+                        );
+                    });
+                }
+            }
+            if matches!(
+                st.phase,
+                JobPhase::Finished | JobPhase::Cancelled | JobPhase::Rejected
+            ) {
+                done.push(id);
+            }
+        }
+        for id in done {
+            if let Some(o) = self.open.remove(&id) {
+                self.tenants.release(&o.tenant, o.num_gpus);
+            }
+        }
+    }
+
+    /// Status of one job, if known.
+    #[must_use]
+    pub fn status(&self, job: u32) -> Option<JobView> {
+        self.engine
+            .job_status(JobId(job))
+            .map(|status| JobView { job, status })
+    }
+
+    /// Cancel one job. Tenant demand is released on the next reconcile.
+    pub fn cancel(&mut self, job: u32) -> bool {
+        let ok = self.engine.cancel(JobId(job), self.q.as_mut());
+        if ok {
+            self.sink.with(|t| {
+                t.metrics.inc_counter(
+                    "muri_serve_cancellations_total",
+                    "Jobs cancelled through the API",
+                    &[],
+                    1,
+                );
+            });
+            self.reconcile();
+        }
+        ok
+    }
+
+    /// Aggregate cluster + tenant state.
+    #[must_use]
+    pub fn cluster(&self) -> ClusterView {
+        ClusterView {
+            cluster: self.engine.cluster_state(),
+            tenants: self.tenants.snapshot(),
+        }
+    }
+
+    /// Render the metrics registry in the Prometheus text format, after
+    /// refreshing the daemon gauges.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let state = self.engine.cluster_state();
+        let inc = self.engine.incremental_stats();
+        let open = self.open.len();
+        let tenants = self.tenants.snapshot();
+        self.sink
+            .with(|t| {
+                let m = &mut t.metrics;
+                let g = "Daemon gauge";
+                m.set_gauge("muri_serve_free_gpus", g, &[], f64::from(state.free_gpus));
+                m.set_gauge("muri_serve_used_gpus", g, &[], f64::from(state.used_gpus));
+                m.set_gauge("muri_serve_queued_jobs", g, &[], state.queued_jobs as f64);
+                m.set_gauge(
+                    "muri_serve_running_groups",
+                    g,
+                    &[],
+                    state.groups.len() as f64,
+                );
+                m.set_gauge("muri_serve_open_jobs", g, &[], open as f64);
+                m.set_gauge(
+                    "muri_serve_incremental_passes",
+                    "Incremental planner pass count",
+                    &[],
+                    inc.passes as f64,
+                );
+                m.set_gauge(
+                    "muri_serve_incremental_fallbacks",
+                    "Incremental planner full-replan fallbacks",
+                    &[],
+                    inc.fallbacks as f64,
+                );
+                for (name, outstanding, _) in &tenants {
+                    m.set_gauge(
+                        "muri_serve_tenant_outstanding_gpus",
+                        "Outstanding admitted GPU demand per tenant",
+                        &[("tenant", name)],
+                        f64::from(*outstanding),
+                    );
+                }
+                m.render()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The telemetry journal as JSONL.
+    #[must_use]
+    pub fn journal_jsonl(&self) -> String {
+        self.sink.with(|t| t.journal.to_jsonl()).unwrap_or_default()
+    }
+
+    /// Graceful-shutdown checkpoint: settle progress, persist every
+    /// running member's iterations, and report what was protected.
+    pub fn shutdown(&mut self) -> ShutdownResponse {
+        self.pump();
+        self.engine.checkpoint_all();
+        let checkpointed_jobs = self
+            .engine
+            .cluster_state()
+            .groups
+            .iter()
+            .map(|g| g.members.len())
+            .sum();
+        let journal_events = self.sink.with(|t| t.journal.len()).unwrap_or(0);
+        ShutdownResponse {
+            checkpointed_jobs,
+            journal_events,
+        }
+    }
+
+    /// Whether every submitted job has reached a terminal state.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.engine.is_done()
+    }
+
+    /// Consume the core and produce the batch-style report
+    /// (deterministic mode's output).
+    #[must_use]
+    pub fn finalize(self) -> SimReport {
+        self.engine.finalize()
+    }
+}
+
+/// Replay `trace` through the daemon's deterministic test mode: every
+/// job passes the admission path ([`ServeCore::submit_spec`]) and the
+/// run is driven to completion on the virtual clock. With the same
+/// config, the report is byte-equivalent to `muri_sim::simulate` —
+/// the equivalence test pins exactly that.
+pub fn deterministic_run(trace: &Trace, cfg: &SimConfig, sink: &TelemetrySink) -> SimReport {
+    let mut core = ServeCore::deterministic(cfg, &trace.name, vec![], PlanMode::Full, sink.clone());
+    for spec in &trace.jobs {
+        // Open-mode tenancy: admission always passes, so the engine sees
+        // every trace job exactly as the batch simulator does.
+        let admitted = core.submit_spec("default", *spec);
+        debug_assert!(admitted.is_ok());
+    }
+    core.run_to_completion();
+    core.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muri_core::{PolicyKind, SchedulerConfig};
+
+    fn testbed() -> SimConfig {
+        SimConfig::testbed(SchedulerConfig::preset(PolicyKind::MuriL))
+    }
+
+    fn submit(model: &str, gpus: u32, iters: u64, tenant: Option<&str>) -> SubmitRequest {
+        SubmitRequest {
+            tenant: tenant.map(str::to_string),
+            model: model.to_string(),
+            num_gpus: gpus,
+            iterations: iters,
+        }
+    }
+
+    #[test]
+    fn deterministic_submit_runs_to_completion() {
+        let cfg = testbed();
+        let mut core =
+            ServeCore::deterministic(&cfg, "t", vec![], PlanMode::Full, TelemetrySink::disabled());
+        let resp = core.submit(&submit("ResNet18", 2, 50, None));
+        assert!(resp.accepted, "{resp:?}");
+        let id = resp.job.expect("job id");
+        core.run_to_completion();
+        let view = core.status(id).expect("status");
+        assert_eq!(view.status.phase, JobPhase::Finished);
+        assert!(core.is_done());
+        // Tenant demand was released on completion.
+        assert_eq!(core.tenants.outstanding("default"), 0);
+    }
+
+    #[test]
+    fn admission_refuses_bad_shapes_and_quota() {
+        let cfg = testbed();
+        let tenants = vec![TenantConfig {
+            name: "alice".to_string(),
+            quota_gpus: Some(4),
+        }];
+        let mut core = ServeCore::deterministic(
+            &cfg,
+            "t",
+            tenants,
+            PlanMode::Full,
+            TelemetrySink::disabled(),
+        );
+        assert!(!core.submit(&submit("NoSuchModel", 2, 10, None)).accepted);
+        assert!(!core.submit(&submit("ResNet18", 3, 10, None)).accepted);
+        assert!(!core.submit(&submit("ResNet18", 128, 10, None)).accepted);
+        assert!(!core.submit(&submit("ResNet18", 2, 0, None)).accepted);
+        // Closed mode: unknown tenant refused; quota enforced.
+        assert!(!core.submit(&submit("ResNet18", 2, 10, None)).accepted);
+        assert!(
+            core.submit(&submit("ResNet18", 4, 10, Some("alice")))
+                .accepted
+        );
+        let over = core.submit(&submit("ResNet18", 2, 10, Some("alice")));
+        assert!(!over.accepted);
+        assert!(over.reason.unwrap_or_default().contains("quota"));
+    }
+
+    #[test]
+    fn cancel_releases_tenant_demand() {
+        let cfg = testbed();
+        let tenants = vec![TenantConfig {
+            name: "alice".to_string(),
+            quota_gpus: Some(4),
+        }];
+        let mut core = ServeCore::deterministic(
+            &cfg,
+            "t",
+            tenants,
+            PlanMode::Full,
+            TelemetrySink::disabled(),
+        );
+        let resp = core.submit(&submit("ResNet18", 4, 1_000_000, Some("alice")));
+        let id = resp.job.expect("job id");
+        assert!(
+            !core
+                .submit(&submit("ResNet18", 2, 10, Some("alice")))
+                .accepted
+        );
+        assert!(core.cancel(id));
+        assert!(
+            core.submit(&submit("ResNet18", 2, 10, Some("alice")))
+                .accepted
+        );
+    }
+
+    #[test]
+    fn metrics_render_includes_daemon_gauges() {
+        let cfg = testbed();
+        let mut core = ServeCore::deterministic(
+            &cfg,
+            "t",
+            vec![],
+            PlanMode::Full,
+            TelemetrySink::enabled(Telemetry::new()),
+        );
+        let _ = core.submit(&submit("ResNet18", 2, 50, None));
+        core.run_to_completion();
+        let text = core.metrics_text();
+        assert!(text.contains("muri_serve_free_gpus"), "{text}");
+        assert!(text.contains("muri_serve_submissions_total"), "{text}");
+        assert!(text.contains("muri_serve_placement_latency_us"), "{text}");
+        muri_telemetry::parse_prometheus(&text).expect("valid Prometheus exposition");
+    }
+}

@@ -1,0 +1,181 @@
+//! Dependency-free HTTP/1.1 on `std::net::TcpStream`.
+//!
+//! Implements exactly the subset the daemon needs: request line,
+//! headers, `Content-Length` bodies, keep-alive by default, bounded
+//! reads. The [`HttpClient`] half is what the CLI load generator, the
+//! integration tests, and the benches talk through.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body.
+pub const MAX_BODY: usize = 1 << 20;
+/// Largest accepted single header line (incl. the request line).
+const MAX_LINE: usize = 16 << 10;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (e.g. `/v1/jobs/3`).
+    pub target: String,
+    /// Decoded request body (empty when no `Content-Length`).
+    pub body: String,
+    /// Whether the connection stays open after the response.
+    pub keep_alive: bool,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_line_bounded(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = r.take(MAX_LINE as u64).read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n >= MAX_LINE {
+        return Err(bad("header line too long"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Read one request off the connection. `Ok(None)` means the peer closed
+/// cleanly between requests.
+pub fn read_request(r: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let Some(start) = read_line_bounded(r)? else {
+        return Ok(None);
+    };
+    let mut parts = start.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || target.is_empty() {
+        return Err(bad(format!("malformed request line {start:?}")));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let Some(line) = read_line_bounded(r)? else {
+            return Ok(None);
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((k, v)) = line.split_once(':') else {
+            continue;
+        };
+        let k = k.trim().to_ascii_lowercase();
+        let v = v.trim();
+        if k == "content-length" {
+            content_length = v
+                .parse()
+                .map_err(|_| bad(format!("bad content-length {v:?}")))?;
+        } else if k == "connection" && v.eq_ignore_ascii_case("close") {
+            keep_alive = false;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    Ok(Some(Request {
+        method,
+        target,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Write one response (keep-alive) with the given status and body.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    )?;
+    w.flush()
+}
+
+/// A keep-alive HTTP/1.1 client over one `TcpStream`.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connect to `addr` (e.g. `127.0.0.1:7070`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issue one request and return `(status, body)`. The connection is
+    /// reused across calls.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        {
+            let stream = self.reader.get_mut();
+            write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: muri-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )?;
+            stream.flush()?;
+        }
+        let Some(status_line) = read_line_bounded(&mut self.reader)? else {
+            return Err(bad("connection closed before response"));
+        };
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let Some(line) = read_line_bounded(&mut self.reader)? else {
+                return Err(bad("connection closed inside response headers"));
+            };
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad response content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| bad("response body is not UTF-8"))
+    }
+
+    /// Shorthand for a body-less `GET`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// Shorthand for a JSON `POST`.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+}

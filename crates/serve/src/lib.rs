@@ -1,0 +1,45 @@
+//! # muri-serve
+//!
+//! The always-on scheduler daemon. Where `muri-sim` pumps the shared
+//! scheduler core (`muri_sim::EngineCore`) from a pre-loaded trace under
+//! a virtual clock, this crate pumps the *same core* from a wire
+//! listener under the wall clock:
+//!
+//! * [`realtime`] — the real-time event source: a [`WallClock`] mapping
+//!   host time to scheduler time (the crate's one sanctioned wall-clock
+//!   read), and [`RealTimeQueue`], the `muri_engine::EventQueue`
+//!   implementation that releases events only once they are due;
+//! * [`tenant`] — multi-tenant virtual clusters: per-tenant GPU quotas
+//!   enforced by admission control *before* jobs reach grouping;
+//! * [`proto`] — the JSON wire types of the HTTP API;
+//! * [`http`] — a dependency-free HTTP/1.1 reader/writer on
+//!   `std::net::TcpStream`, plus the keep-alive client used by the CLI,
+//!   the tests, and the benches;
+//! * [`core`] — [`ServeCore`]: admission, submission, status, cancel,
+//!   metrics/journal rendering, shutdown checkpointing, and the
+//!   deterministic replay mode the sim/serve equivalence test drives;
+//! * [`server`] — the daemon itself: a `TcpListener` with a scoped
+//!   worker-thread pool, a single scheduler thread owning the core, and
+//!   graceful shutdown (drain → checkpoint → flush → exit 0).
+//!
+//! Endpoints: `POST /v1/jobs`, `GET /v1/jobs/{id}`,
+//! `POST /v1/jobs/{id}/cancel`, `GET /v1/cluster`, `GET /metrics`
+//! (Prometheus text), `GET /v1/journal` (JSONL), `POST /v1/shutdown`,
+//! `GET /v1/healthz`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod core;
+pub mod http;
+pub mod proto;
+pub mod realtime;
+pub mod server;
+pub mod tenant;
+
+pub use crate::core::{deterministic_run, ServeCore};
+pub use http::HttpClient;
+pub use proto::{parse_model, SubmitRequest, SubmitResponse};
+pub use realtime::{RealTimeQueue, WallClock};
+pub use server::{bind, serve, BoundServer, ServerConfig};
+pub use tenant::{TenantConfig, TenantRegistry};

@@ -1,0 +1,102 @@
+//! JSON wire types of the daemon's HTTP API.
+
+use muri_sim::{ClusterState, JobStatus};
+use muri_workload::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// `POST /v1/jobs` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// Tenant the job bills against (default tenant when omitted).
+    #[serde(default)]
+    pub tenant: Option<String>,
+    /// Model name, matched case-insensitively against the known models
+    /// (see [`parse_model`]).
+    pub model: String,
+    /// GPUs demanded (a nonzero power of two).
+    pub num_gpus: u32,
+    /// Training iterations to run.
+    pub iterations: u64,
+}
+
+/// `POST /v1/jobs` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// Whether admission accepted the job.
+    pub accepted: bool,
+    /// Assigned job id (present iff accepted).
+    #[serde(default)]
+    pub job: Option<u32>,
+    /// Refusal reason (present iff not accepted).
+    #[serde(default)]
+    pub reason: Option<String>,
+}
+
+/// `GET /v1/jobs/{id}` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobView {
+    /// The job id queried.
+    pub job: u32,
+    /// The scheduler's view of the job.
+    pub status: JobStatus,
+}
+
+/// `GET /v1/cluster` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterView {
+    /// Aggregate scheduler/cluster state.
+    pub cluster: ClusterState,
+    /// `(tenant, outstanding GPU demand, quota)` rows.
+    pub tenants: Vec<(String, u32, Option<u32>)>,
+}
+
+/// `POST /v1/shutdown` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShutdownResponse {
+    /// Running jobs whose progress was checkpointed before exit.
+    pub checkpointed_jobs: usize,
+    /// Events in the flushed telemetry journal.
+    pub journal_events: usize,
+}
+
+/// Error response body (any non-2xx status).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// What went wrong.
+    pub error: String,
+}
+
+/// Resolve a model name (case-insensitive) against the known models.
+#[must_use]
+pub fn parse_model(name: &str) -> Option<ModelKind> {
+    ModelKind::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_round_trip() {
+        for m in ModelKind::ALL {
+            assert_eq!(parse_model(m.name()), Some(m));
+            assert_eq!(parse_model(&m.name().to_uppercase()), Some(m));
+        }
+        assert_eq!(parse_model("NotAModel"), None);
+    }
+
+    #[test]
+    fn submit_request_parses_with_and_without_tenant() {
+        let r: SubmitRequest =
+            serde_json::from_str(r#"{"model":"ResNet18","num_gpus":2,"iterations":100}"#)
+                .expect("parse");
+        assert!(r.tenant.is_none());
+        let r: SubmitRequest = serde_json::from_str(
+            r#"{"tenant":"alice","model":"ResNet18","num_gpus":2,"iterations":100}"#,
+        )
+        .expect("parse");
+        assert_eq!(r.tenant.as_deref(), Some("alice"));
+    }
+}

@@ -1,0 +1,132 @@
+//! The real-time event source: wall clock → scheduler time.
+//!
+//! This module is the daemon's *only* home for host-clock reads
+//! (muri-lint D002 sanctions exactly this file). The mapping is strictly
+//! one-way: wall time decides *when* queued events are released, never
+//! *what* the scheduler decides — every planning input is still the
+//! deterministic scheduler state, which is what makes the daemon's
+//! deterministic replay mode (and the sim/serve equivalence test)
+//! possible at all.
+
+use muri_engine::{EventQueue, SchedulerEvent, VirtualClockQueue};
+use muri_workload::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// Maps host wall time onto scheduler time, with a configurable scale
+/// (scheduler seconds per wall second — a scale of 600 runs a six-minute
+/// scheduling interval every 0.6 wall seconds, which is what the CI
+/// smoke test uses).
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: Instant,
+    scale: f64,
+}
+
+impl WallClock {
+    /// Start a clock at scheduler time zero. `scale` is clamped to be
+    /// positive and finite.
+    #[must_use]
+    pub fn new(scale: f64) -> Self {
+        let scale = if scale.is_finite() && scale > 0.0 {
+            scale
+        } else {
+            1.0
+        };
+        WallClock {
+            origin: Instant::now(),
+            scale,
+        }
+    }
+
+    /// Current scheduler time under this clock.
+    #[must_use]
+    pub fn now_sim(&self) -> SimTime {
+        let wall_us = u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let sim_us = (wall_us as f64 * self.scale).min(u64::MAX as f64) as u64;
+        SimTime::ZERO + SimDuration::from_micros(sim_us)
+    }
+
+    /// The scheduler-seconds-per-wall-second scale.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// A `muri_engine::EventQueue` gated by a [`WallClock`]: events schedule
+/// like in the virtual-clock queue, but [`pop`](EventQueue::pop) only
+/// releases an event once its scheduler time has come due on the wall
+/// clock. The engine's drive loop therefore processes exactly the due
+/// prefix and returns, and the daemon re-enters it as time passes.
+#[derive(Debug)]
+pub struct RealTimeQueue {
+    inner: VirtualClockQueue,
+    clock: WallClock,
+}
+
+impl RealTimeQueue {
+    /// A real-time queue gated by `clock`.
+    #[must_use]
+    pub fn new(clock: WallClock) -> Self {
+        RealTimeQueue {
+            inner: VirtualClockQueue::new(),
+            clock,
+        }
+    }
+
+    /// The gating clock.
+    #[must_use]
+    pub fn clock(&self) -> WallClock {
+        self.clock
+    }
+}
+
+impl EventQueue for RealTimeQueue {
+    fn schedule(&mut self, at: SimTime, ev: SchedulerEvent) {
+        self.inner.schedule(at, ev);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, SchedulerEvent)> {
+        let due = self.clock.now_sim();
+        if self.inner.peek_time().is_some_and(|at| at <= due) {
+            self.inner.pop()
+        } else {
+            None
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.inner.peek_time()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn future_events_are_withheld_until_due() {
+        // A slow clock (1 sim-us per wall-hour, effectively) keeps a
+        // future event unpoppable; a past-due event comes out at once.
+        let mut q = RealTimeQueue::new(WallClock::new(1e-9));
+        q.schedule(SimTime::from_secs(3600), SchedulerEvent::PlanRequested);
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 1);
+        q.schedule(SimTime::ZERO, SchedulerEvent::PlanRequested);
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::ZERO, SchedulerEvent::PlanRequested))
+        );
+    }
+
+    #[test]
+    fn scale_is_sanitized() {
+        assert!((WallClock::new(f64::NAN).scale() - 1.0).abs() < f64::EPSILON);
+        assert!((WallClock::new(-3.0).scale() - 1.0).abs() < f64::EPSILON);
+        assert!((WallClock::new(600.0).scale() - 600.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,411 @@
+//! The daemon: a `TcpListener`, a scoped worker-thread pool, and one
+//! scheduler thread owning the [`ServeCore`].
+//!
+//! The core holds `Rc`-based telemetry and is deliberately not `Send`,
+//! so exactly one scheduler thread owns it; HTTP workers do pure I/O
+//! and talk to the scheduler over an mpsc command channel with per-
+//! request reply channels. All threads are scoped
+//! (`std::thread::scope`), so nothing outlives the listener.
+//!
+//! Graceful shutdown (`POST /v1/shutdown`): the scheduler drains every
+//! queued command, checkpoints all running groups, flushes the journal
+//! to the configured path, and replies; the handling worker then flips
+//! the shutdown flag and pokes the accept loop awake with a loopback
+//! connection. [`serve`] returns `Ok(())` — exit code 0.
+
+use crate::core::ServeCore;
+use crate::http::{read_request, write_response, Request};
+use crate::proto::{ErrorBody, ShutdownResponse, SubmitRequest};
+use crate::tenant::TenantConfig;
+use muri_core::PlanMode;
+use muri_sim::SimConfig;
+use std::io::{self, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How the daemon is wired up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (printed on boot).
+    pub addr: String,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Cluster/scheduler configuration shared with the simulator.
+    pub sim: SimConfig,
+    /// Tenant quotas (empty → open mode).
+    pub tenants: Vec<TenantConfig>,
+    /// Backfill planning mode.
+    pub plan_mode: PlanMode,
+    /// Scheduler seconds per wall second.
+    pub time_scale: f64,
+    /// Flush the telemetry journal here on shutdown.
+    pub journal_path: Option<String>,
+}
+
+impl ServerConfig {
+    /// Defaults: ephemeral loopback port, 4 workers, open tenancy, full
+    /// planning, real time.
+    #[must_use]
+    pub fn new(sim: SimConfig) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            sim,
+            tenants: Vec::new(),
+            plan_mode: PlanMode::Full,
+            time_scale: 1.0,
+            journal_path: None,
+        }
+    }
+}
+
+/// One scheduler-thread operation, with its reply channel.
+enum Command {
+    Submit(SubmitRequest, Sender<String>),
+    Status(u32, Sender<Option<String>>),
+    Cancel(u32, Sender<bool>),
+    Cluster(Sender<String>),
+    Metrics(Sender<String>),
+    Journal(Sender<String>),
+    Shutdown(Sender<ShutdownResponse>),
+}
+
+/// Scheduler-thread poll interval while idle.
+const POLL: Duration = Duration::from_millis(2);
+
+/// A daemon bound to its socket but not yet serving — lets callers
+/// (tests, benches) learn the ephemeral port before starting the loop.
+#[derive(Debug)]
+pub struct BoundServer {
+    listener: TcpListener,
+    addr: std::net::SocketAddr,
+    cfg: ServerConfig,
+}
+
+/// Bind the daemon's listener without serving yet.
+pub fn bind(cfg: ServerConfig) -> io::Result<BoundServer> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    Ok(BoundServer {
+        listener,
+        addr,
+        cfg,
+    })
+}
+
+impl BoundServer {
+    /// The bound socket address.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a shutdown request completes. Prints
+    /// `muri-serve listening on http://ADDR` on entry.
+    pub fn run(self) -> io::Result<()> {
+        run_server(self.listener, self.addr, &self.cfg);
+        Ok(())
+    }
+}
+
+/// Bind and run the daemon until a shutdown request completes.
+pub fn serve(cfg: ServerConfig) -> io::Result<()> {
+    bind(cfg)?.run()
+}
+
+fn run_server(listener: TcpListener, addr: std::net::SocketAddr, cfg: &ServerConfig) {
+    println!("muri-serve listening on http://{addr}");
+
+    let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+    let (work_tx, work_rx) = mpsc::channel::<TcpStream>();
+    let work_rx = Mutex::new(work_rx);
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        s.spawn(move || scheduler_loop(cfg, &cmd_rx));
+        for _ in 0..cfg.workers.max(1) {
+            let cmd_tx = cmd_tx.clone();
+            let work_rx = &work_rx;
+            let shutdown = &shutdown;
+            s.spawn(move || loop {
+                let stream = {
+                    let Ok(guard) = work_rx.lock() else { break };
+                    guard.recv()
+                };
+                let Ok(stream) = stream else { break };
+                handle_connection(stream, &cmd_tx, shutdown, addr);
+            });
+        }
+        drop(cmd_tx);
+
+        for conn in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = conn {
+                if work_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        }
+        drop(work_tx);
+    });
+}
+
+/// The single thread that owns the (non-`Send`) core: answer commands,
+/// pump the engine, and perform the shutdown sequence.
+fn scheduler_loop(cfg: &ServerConfig, cmd_rx: &Receiver<Command>) {
+    let mut core = ServeCore::live(&cfg.sim, cfg.tenants.clone(), cfg.plan_mode, cfg.time_scale);
+    let mut shutdown_replies: Vec<Sender<ShutdownResponse>> = Vec::new();
+    loop {
+        match cmd_rx.recv_timeout(POLL) {
+            Ok(cmd) => handle_command(&mut core, cmd, &mut shutdown_replies),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        // Drain the queue so a burst is answered in one wakeup.
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            handle_command(&mut core, cmd, &mut shutdown_replies);
+        }
+        core.pump();
+        if !shutdown_replies.is_empty() {
+            let resp = core.shutdown();
+            if let Some(path) = &cfg.journal_path {
+                let _ = std::fs::write(path, core.journal_jsonl());
+            }
+            for reply in shutdown_replies.drain(..) {
+                let _ = reply.send(resp.clone());
+            }
+            break;
+        }
+    }
+}
+
+fn handle_command(
+    core: &mut ServeCore,
+    cmd: Command,
+    shutdown_replies: &mut Vec<Sender<ShutdownResponse>>,
+) {
+    match cmd {
+        Command::Submit(req, reply) => {
+            let resp = core.submit(&req);
+            let _ = reply.send(serde_json::to_string(&resp).unwrap_or_default());
+        }
+        Command::Status(id, reply) => {
+            let body = core.status(id).and_then(|v| serde_json::to_string(&v).ok());
+            let _ = reply.send(body);
+        }
+        Command::Cancel(id, reply) => {
+            let _ = reply.send(core.cancel(id));
+        }
+        Command::Cluster(reply) => {
+            let _ = reply.send(serde_json::to_string(&core.cluster()).unwrap_or_default());
+        }
+        Command::Metrics(reply) => {
+            let _ = reply.send(core.metrics_text());
+        }
+        Command::Journal(reply) => {
+            let _ = reply.send(core.journal_jsonl());
+        }
+        Command::Shutdown(reply) => shutdown_replies.push(reply),
+    }
+}
+
+/// Serve keep-alive requests on one connection until it closes (or a
+/// shutdown request asks us to stop).
+fn handle_connection(
+    stream: TcpStream,
+    cmd_tx: &Sender<Command>,
+    shutdown: &AtomicBool,
+    addr: std::net::SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(e) => {
+                let body = error_body(&format!("bad request: {e}"));
+                let _ = write_response(reader.get_mut(), 400, "Bad Request", JSON, &body);
+                break;
+            }
+        };
+        let keep_alive = req.keep_alive;
+        let (status, reason, ctype, body, stop) = route(&req, cmd_tx);
+        if write_response(reader.get_mut(), status, reason, ctype, &body).is_err() {
+            break;
+        }
+        if stop {
+            // Shutdown has been checkpointed and acknowledged: flip the
+            // flag, then poke the accept loop awake so it observes it.
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+}
+
+const JSON: &str = "application/json";
+
+fn error_body(msg: &str) -> String {
+    serde_json::to_string(&ErrorBody {
+        error: msg.to_string(),
+    })
+    .unwrap_or_default()
+}
+
+type Routed = (u16, &'static str, &'static str, String, bool);
+
+fn unavailable() -> Routed {
+    (
+        503,
+        "Service Unavailable",
+        JSON,
+        error_body("scheduler is shutting down"),
+        true,
+    )
+}
+
+/// Dispatch one request to the scheduler thread and shape the response.
+fn route(req: &Request, cmd_tx: &Sender<Command>) -> Routed {
+    let ok = |body: String| (200, "OK", JSON, body, false);
+    let not_found = || {
+        (
+            404,
+            "Not Found",
+            JSON,
+            error_body("no such resource"),
+            false,
+        )
+    };
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/v1/healthz") => ok("{\"ok\":true}".to_string()),
+        ("POST", "/v1/jobs") => {
+            let parsed: Result<SubmitRequest, _> = serde_json::from_str(&req.body);
+            match parsed {
+                Ok(sub) => {
+                    let (tx, rx) = mpsc::channel();
+                    if cmd_tx.send(Command::Submit(sub, tx)).is_err() {
+                        return unavailable();
+                    }
+                    match rx.recv() {
+                        Ok(body) => {
+                            // Refusals carry `accepted:false`; surface
+                            // them as a client error, not a 200.
+                            if body.contains("\"accepted\":true") {
+                                ok(body)
+                            } else {
+                                (409, "Conflict", JSON, body, false)
+                            }
+                        }
+                        Err(_) => unavailable(),
+                    }
+                }
+                Err(e) => (
+                    400,
+                    "Bad Request",
+                    JSON,
+                    error_body(&format!("bad submit body: {e}")),
+                    false,
+                ),
+            }
+        }
+        ("GET", "/v1/cluster") => match ask(cmd_tx, Command::Cluster) {
+            Some(body) => ok(body),
+            None => unavailable(),
+        },
+        ("GET", "/metrics") => match ask(cmd_tx, Command::Metrics) {
+            Some(body) => (200, "OK", "text/plain; version=0.0.4", body, false),
+            None => unavailable(),
+        },
+        ("GET", "/v1/journal") => match ask(cmd_tx, Command::Journal) {
+            Some(body) => (200, "OK", "application/x-ndjson", body, false),
+            None => unavailable(),
+        },
+        ("POST", "/v1/shutdown") => {
+            let (tx, rx) = mpsc::channel();
+            if cmd_tx.send(Command::Shutdown(tx)).is_err() {
+                return unavailable();
+            }
+            match rx.recv() {
+                Ok(resp) => (
+                    200,
+                    "OK",
+                    JSON,
+                    serde_json::to_string(&resp).unwrap_or_default(),
+                    true,
+                ),
+                Err(_) => unavailable(),
+            }
+        }
+        ("GET", target) => match parse_job_path(target) {
+            Some(id) => {
+                let (tx, rx) = mpsc::channel();
+                if cmd_tx.send(Command::Status(id, tx)).is_err() {
+                    return unavailable();
+                }
+                match rx.recv() {
+                    Ok(Some(body)) => ok(body),
+                    Ok(None) => not_found(),
+                    Err(_) => unavailable(),
+                }
+            }
+            None => not_found(),
+        },
+        ("POST", target) => match parse_cancel_path(target) {
+            Some(id) => {
+                let (tx, rx) = mpsc::channel();
+                if cmd_tx.send(Command::Cancel(id, tx)).is_err() {
+                    return unavailable();
+                }
+                match rx.recv() {
+                    Ok(true) => ok("{\"cancelled\":true}".to_string()),
+                    Ok(false) => not_found(),
+                    Err(_) => unavailable(),
+                }
+            }
+            None => not_found(),
+        },
+        _ => not_found(),
+    }
+}
+
+fn ask(cmd_tx: &Sender<Command>, make: impl FnOnce(Sender<String>) -> Command) -> Option<String> {
+    let (tx, rx) = mpsc::channel();
+    cmd_tx.send(make(tx)).ok()?;
+    rx.recv().ok()
+}
+
+/// `/v1/jobs/{id}` → id.
+fn parse_job_path(target: &str) -> Option<u32> {
+    target.strip_prefix("/v1/jobs/")?.parse().ok()
+}
+
+/// `/v1/jobs/{id}/cancel` → id.
+fn parse_cancel_path(target: &str) -> Option<u32> {
+    target
+        .strip_prefix("/v1/jobs/")?
+        .strip_suffix("/cancel")?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_paths_parse() {
+        assert_eq!(parse_job_path("/v1/jobs/17"), Some(17));
+        assert_eq!(parse_job_path("/v1/jobs/x"), None);
+        assert_eq!(parse_cancel_path("/v1/jobs/17/cancel"), Some(17));
+        assert_eq!(parse_cancel_path("/v1/jobs/17"), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Multi-tenant virtual clusters: per-tenant GPU quotas.
+//!
+//! Admission control runs *before* a submission reaches the scheduler —
+//! a job that would push its tenant's outstanding GPU demand over the
+//! tenant's quota is rejected at the door, so grouping never sees it
+//! (the quota carves a virtual cluster out of the shared one, in
+//! demand, not in concrete GPUs). Outstanding demand is held from
+//! admission until the job finishes, is cancelled, or is rejected by
+//! placement.
+
+use std::collections::BTreeMap;
+
+/// One tenant's configured share.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name (the `tenant` field of a submission).
+    pub name: String,
+    /// Outstanding-GPU-demand quota; `None` is unlimited.
+    pub quota_gpus: Option<u32>,
+}
+
+#[derive(Debug, Default)]
+struct Tenant {
+    quota: Option<u32>,
+    outstanding: u32,
+}
+
+/// Quota registry and outstanding-demand ledger.
+///
+/// In *open* mode (no tenants configured) every tenant name is accepted
+/// and unlimited. In *closed* mode (at least one tenant configured)
+/// submissions must name a configured tenant.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: BTreeMap<String, Tenant>,
+    closed: bool,
+}
+
+impl TenantRegistry {
+    /// Registry over the configured tenants (empty → open mode).
+    #[must_use]
+    pub fn new(configs: Vec<TenantConfig>) -> Self {
+        let closed = !configs.is_empty();
+        let tenants = configs
+            .into_iter()
+            .map(|c| {
+                (
+                    c.name,
+                    Tenant {
+                        quota: c.quota_gpus,
+                        outstanding: 0,
+                    },
+                )
+            })
+            .collect();
+        TenantRegistry { tenants, closed }
+    }
+
+    /// Admit `num_gpus` of new demand for `tenant`, or explain the
+    /// refusal. Admitted demand is held until [`release`](Self::release).
+    pub fn admit(&mut self, tenant: &str, num_gpus: u32) -> Result<(), String> {
+        if !self.tenants.contains_key(tenant) {
+            if self.closed {
+                return Err(format!("unknown tenant {tenant:?}"));
+            }
+            self.tenants.insert(tenant.to_string(), Tenant::default());
+        }
+        let Some(t) = self.tenants.get_mut(tenant) else {
+            return Err(format!("unknown tenant {tenant:?}"));
+        };
+        if let Some(quota) = t.quota {
+            let wanted = t.outstanding.saturating_add(num_gpus);
+            if wanted > quota {
+                return Err(format!(
+                    "tenant {tenant:?} quota exceeded: outstanding {} + requested {num_gpus} > quota {quota}",
+                    t.outstanding
+                ));
+            }
+        }
+        t.outstanding = t.outstanding.saturating_add(num_gpus);
+        Ok(())
+    }
+
+    /// Return `num_gpus` of demand to `tenant` (job finished, cancelled,
+    /// or rejected by placement).
+    pub fn release(&mut self, tenant: &str, num_gpus: u32) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.outstanding = t.outstanding.saturating_sub(num_gpus);
+        }
+    }
+
+    /// Outstanding GPU demand currently held by `tenant`.
+    #[must_use]
+    pub fn outstanding(&self, tenant: &str) -> u32 {
+        self.tenants.get(tenant).map_or(0, |t| t.outstanding)
+    }
+
+    /// `(name, outstanding, quota)` rows for every known tenant.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, u32, Option<u32>)> {
+        self.tenants
+            .iter()
+            .map(|(name, t)| (name.clone(), t.outstanding, t.quota))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(name: &str, quota: Option<u32>) -> TenantConfig {
+        TenantConfig {
+            name: name.to_string(),
+            quota_gpus: quota,
+        }
+    }
+
+    #[test]
+    fn open_mode_accepts_anyone() {
+        let mut reg = TenantRegistry::new(vec![]);
+        assert!(reg.admit("alice", 8).is_ok());
+        assert!(reg.admit("bob", 1024).is_ok());
+        assert_eq!(reg.outstanding("alice"), 8);
+    }
+
+    #[test]
+    fn closed_mode_rejects_unknown_tenants() {
+        let mut reg = TenantRegistry::new(vec![cfg("alice", Some(8))]);
+        assert!(reg.admit("mallory", 1).is_err());
+    }
+
+    #[test]
+    fn quota_is_enforced_and_released() {
+        let mut reg = TenantRegistry::new(vec![cfg("alice", Some(8))]);
+        assert!(reg.admit("alice", 4).is_ok());
+        assert!(reg.admit("alice", 4).is_ok());
+        assert!(reg.admit("alice", 1).is_err());
+        reg.release("alice", 4);
+        assert!(reg.admit("alice", 4).is_ok());
+        assert_eq!(reg.outstanding("alice"), 8);
+    }
+
+    #[test]
+    fn unlimited_tenant_in_closed_mode() {
+        let mut reg = TenantRegistry::new(vec![cfg("alice", None)]);
+        assert!(reg.admit("alice", 10_000).is_ok());
+    }
+}

@@ -1,0 +1,97 @@
+//! Sim/serve equivalence: replaying a trace through the daemon's
+//! deterministic test mode must be indistinguishable from the batch
+//! simulator — same group assignments, same JCT ordering, same report
+//! bytes. Both paths drive the same `muri_sim::EngineCore` through the
+//! `muri-engine` event core; this test pins that the daemon's
+//! admission/submission layer adds no behavioral drift.
+
+use muri_core::{PolicyKind, SchedulerConfig};
+use muri_serve::deterministic_run;
+use muri_sim::{simulate, simulate_with_telemetry, SimConfig, SimReport};
+use muri_telemetry::{Telemetry, TelemetrySink};
+use muri_workload::philly_like_trace;
+
+fn report_json(r: &SimReport) -> String {
+    serde_json::to_string(r).unwrap_or_else(|e| panic!("serialize report: {e:?}"))
+}
+
+/// Strip the wall-clock profiling micros (`"phases":{...}`) that
+/// `planning_pass` events carry: they measure real elapsed time and so
+/// legitimately differ between two runs of the same schedule. Every
+/// other field — group members, times, candidates, cache hits — must
+/// match exactly.
+fn strip_profiling(journal: &str) -> String {
+    journal
+        .lines()
+        .map(|line| match line.find("\"phases\":{") {
+            Some(start) => {
+                let rest = &line[start..];
+                let end = rest
+                    .find('}')
+                    .unwrap_or_else(|| panic!("phases object never closes in {line:?}"))
+                    + 1;
+                format!("{}{}", &line[..start], &line[start + end..])
+            }
+            None => line.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn daemon_replay_matches_batch_simulator_bytes() {
+    for policy in [PolicyKind::MuriL, PolicyKind::MuriS, PolicyKind::Srsf] {
+        let trace = philly_like_trace(1, 0.02);
+        let cfg = SimConfig::testbed(SchedulerConfig::preset(policy));
+        let batch = simulate(&trace, &cfg);
+        let daemon = deterministic_run(&trace, &cfg, &TelemetrySink::disabled());
+        assert_eq!(
+            report_json(&batch),
+            report_json(&daemon),
+            "daemon replay diverged from the simulator under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn daemon_replay_matches_group_assignments_and_jct_ordering() {
+    let trace = philly_like_trace(2, 0.02);
+    let cfg = SimConfig::testbed(SchedulerConfig::preset(PolicyKind::MuriL));
+
+    let sink_a = TelemetrySink::enabled(Telemetry::new());
+    let batch = simulate_with_telemetry(&trace, &cfg, &sink_a);
+    let journal_a = sink_a
+        .into_inner()
+        .map(|t| t.journal.to_jsonl())
+        .unwrap_or_default();
+
+    let sink_b = TelemetrySink::enabled(Telemetry::new());
+    let daemon = deterministic_run(&trace, &cfg, &sink_b);
+    let journal_b = sink_b
+        .into_inner()
+        .map(|t| t.journal.to_jsonl())
+        .unwrap_or_default();
+
+    // The journal carries every GroupFormed event: identical JSONL means
+    // identical group assignments in identical order.
+    assert!(!journal_a.is_empty());
+    assert_eq!(
+        strip_profiling(&journal_a),
+        strip_profiling(&journal_b),
+        "telemetry journals diverged"
+    );
+
+    // JCT ordering: jobs finish in the same order with the same times.
+    let order = |r: &SimReport| {
+        let mut v: Vec<(u64, u32)> = r
+            .records
+            .iter()
+            .filter_map(|rec| rec.finish.map(|f| (f.as_micros(), rec.id.0)))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let oa = order(&batch);
+    assert!(!oa.is_empty());
+    assert_eq!(oa, order(&daemon), "JCT ordering diverged");
+}

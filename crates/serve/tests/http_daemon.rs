@@ -1,0 +1,161 @@
+//! End-to-end daemon test over real sockets: boot on an ephemeral port,
+//! submit jobs over HTTP, poll them to completion, exercise every
+//! endpoint, and shut down gracefully.
+
+use muri_core::{PolicyKind, SchedulerConfig};
+use muri_serve::{bind, HttpClient, ServerConfig};
+use muri_sim::SimConfig;
+use serde_json::Value;
+use std::time::Duration;
+
+fn poll_until<F: FnMut() -> bool>(mut done: F, what: &str) {
+    for _ in 0..4000 {
+        if done() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn daemon_end_to_end_over_http() {
+    let mut cfg = ServerConfig::new(SimConfig::testbed(SchedulerConfig::preset(
+        PolicyKind::MuriL,
+    )));
+    // Fast virtual time so jobs finish in wall milliseconds.
+    cfg.time_scale = 36_000.0;
+    cfg.workers = 2;
+    let bound = bind(cfg).expect("bind ephemeral port");
+    let addr = bound.addr().to_string();
+
+    std::thread::scope(|s| {
+        let server = s.spawn(move || bound.run());
+
+        let mut c = HttpClient::connect(&addr).expect("connect");
+        let (st, body) = c.get("/v1/healthz").expect("healthz");
+        assert_eq!(st, 200, "{body}");
+
+        // Submit a handful of jobs on one keep-alive connection.
+        let mut ids = Vec::new();
+        for gpus in [1u32, 2, 2, 4] {
+            let req = format!("{{\"model\":\"ResNet18\",\"num_gpus\":{gpus},\"iterations\":20}}");
+            let (st, body) = c.post("/v1/jobs", &req).expect("submit");
+            assert_eq!(st, 200, "{body}");
+            let v: Value = serde_json::from_str(&body).expect("submit json");
+            assert_eq!(v.get("accepted"), Some(&Value::Bool(true)), "{body}");
+            let id = match v.get("job") {
+                Some(&Value::UInt(n)) => n,
+                Some(&Value::Int(n)) => u64::try_from(n).expect("job id sign"),
+                other => panic!("missing job id ({other:?}) in {body}"),
+            };
+            ids.push(id);
+        }
+
+        // Malformed submissions are refused without crashing anything.
+        let (st, _) = c.post("/v1/jobs", "{\"nope\":1}").expect("bad submit");
+        assert_eq!(st, 400);
+        let (st, body) = c
+            .post(
+                "/v1/jobs",
+                "{\"model\":\"ResNet18\",\"num_gpus\":3,\"iterations\":5}",
+            )
+            .expect("bad shape");
+        assert_eq!(st, 409, "{body}");
+
+        // Poll everything to completion.
+        poll_until(
+            || {
+                ids.iter().all(|id| {
+                    let (st, body) = c.get(&format!("/v1/jobs/{id}")).expect("status");
+                    assert_eq!(st, 200, "{body}");
+                    let v: Value = serde_json::from_str(&body).expect("status json");
+                    v.get("status").and_then(|s| s.get("phase"))
+                        == Some(&Value::Str("finished".to_string()))
+                })
+            },
+            "all jobs to finish",
+        );
+
+        // Unknown job → 404 (status and cancel alike).
+        let (st, _) = c.get("/v1/jobs/99999").expect("missing status");
+        assert_eq!(st, 404);
+        let (st, _) = c.post("/v1/jobs/99999/cancel", "").expect("missing cancel");
+        assert_eq!(st, 404);
+
+        // Cluster state: everything drained.
+        let (st, body) = c.get("/v1/cluster").expect("cluster");
+        assert_eq!(st, 200);
+        let v: Value = serde_json::from_str(&body).expect("cluster json");
+        let cluster = v.get("cluster").expect("cluster key");
+        assert_eq!(cluster.get("queued_jobs"), Some(&Value::UInt(0)), "{body}");
+        assert_eq!(cluster.get("used_gpus"), Some(&Value::UInt(0)), "{body}");
+
+        // Metrics: valid Prometheus exposition with the daemon families.
+        let (st, text) = c.get("/metrics").expect("metrics");
+        assert_eq!(st, 200);
+        assert!(text.contains("muri_serve_submissions_total"), "{text}");
+        assert!(text.contains("muri_serve_placement_latency_us"), "{text}");
+        muri_telemetry::parse_prometheus(&text).expect("prometheus parses");
+
+        // Journal: JSONL that parses back into events.
+        let (st, jsonl) = c.get("/v1/journal").expect("journal");
+        assert_eq!(st, 200);
+        let events = muri_telemetry::Journal::from_jsonl(&jsonl).expect("journal parses");
+        assert!(!events.is_empty());
+
+        // Graceful shutdown: acknowledged, then the server loop exits 0.
+        let (st, body) = c.post("/v1/shutdown", "").expect("shutdown");
+        assert_eq!(st, 200, "{body}");
+        let v: Value = serde_json::from_str(&body).expect("shutdown json");
+        assert!(
+            matches!(v.get("checkpointed_jobs"), Some(&Value::UInt(_))),
+            "{body}"
+        );
+
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    });
+}
+
+#[test]
+fn tenant_quota_is_enforced_over_http() {
+    let mut cfg = ServerConfig::new(SimConfig::testbed(SchedulerConfig::preset(
+        PolicyKind::MuriL,
+    )));
+    cfg.time_scale = 36_000.0;
+    cfg.workers = 1;
+    cfg.tenants = vec![muri_serve::TenantConfig {
+        name: "alice".to_string(),
+        quota_gpus: Some(2),
+    }];
+    let bound = bind(cfg).expect("bind");
+    let addr = bound.addr().to_string();
+
+    std::thread::scope(|s| {
+        let server = s.spawn(move || bound.run());
+        let mut c = HttpClient::connect(&addr).expect("connect");
+
+        let ok =
+            "{\"tenant\":\"alice\",\"model\":\"ResNet18\",\"num_gpus\":2,\"iterations\":1000000}";
+        let (st, body) = c.post("/v1/jobs", ok).expect("submit");
+        assert_eq!(st, 200, "{body}");
+
+        // Second job blows the quota while the first is outstanding.
+        let (st, body) = c.post("/v1/jobs", ok).expect("submit over quota");
+        assert_eq!(st, 409, "{body}");
+        assert!(body.contains("quota"), "{body}");
+
+        // Unknown tenants are refused in closed mode.
+        let stranger =
+            "{\"tenant\":\"mallory\",\"model\":\"ResNet18\",\"num_gpus\":1,\"iterations\":5}";
+        let (st, body) = c.post("/v1/jobs", stranger).expect("unknown tenant");
+        assert_eq!(st, 409, "{body}");
+
+        let (st, _) = c.post("/v1/shutdown", "").expect("shutdown");
+        assert_eq!(st, 200);
+        server.join().expect("join").expect("clean exit");
+    });
+}

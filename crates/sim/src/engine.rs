@@ -1,4 +1,4 @@
-//! The discrete-event cluster simulator.
+//! The scheduler core and the discrete-event cluster simulator built on it.
 //!
 //! Faithful to the paper's setup (§5, §6.1):
 //!
@@ -23,13 +23,26 @@
 //!   worker monitor blacklists machines with consecutive faults or
 //!   straggler behavior, and placement avoids down/blacklisted machines
 //!   until they recover.
+//!
+//! Since the event-core extraction, the scheduler state machine lives in
+//! [`EngineCore`], which implements `muri_engine::EventHandler` and is
+//! agnostic to where events come from. The batch entry points
+//! ([`simulate`] and friends) are thin harnesses that pump a
+//! `VirtualClockQueue` through it; the `muri-serve` daemon drives the
+//! same core from a wire listener, using the live API
+//! ([`EngineCore::submit`], [`EngineCore::cancel`],
+//! [`EngineCore::advance_to`], [`EngineCore::checkpoint_all`]).
 
 use crate::config::SimConfig;
 use crate::metrics::{JobRecord, SeriesSample, SimReport};
 use muri_cluster::{
     Cluster, FaultKind, FaultReport, GpuId, GpuSet, JobProgress, UtilizationSnapshot, WorkerMonitor,
 };
-use muri_core::{plan_schedule_with, PendingJob, PlannedGroup};
+use muri_core::{
+    plan_incremental_with, plan_schedule_with, IncrementalPlanner, IncrementalStats, PendingJob,
+    PlanMode, PlannedGroup,
+};
+use muri_engine::{EventHandler, EventQueue, SchedulerEvent, VirtualClockQueue};
 use muri_interleave::{choose_ordering, GroupMember, InterleaveGroup};
 use muri_telemetry::{Event, TelemetrySink};
 use muri_workload::{
@@ -37,8 +50,8 @@ use muri_workload::{
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Simulate `trace` under `cfg` and return the full report.
 ///
@@ -54,7 +67,9 @@ use std::collections::{BTreeMap, BinaryHeap};
 /// assert!(report.avg_jct_secs() > 0.0);
 /// ```
 pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
-    Engine::new(trace, cfg).run()
+    let mut q = VirtualClockQueue::new();
+    let core = EngineCore::from_trace(trace, cfg, &mut q);
+    core.run(&mut q)
 }
 
 /// Simulate `trace` like [`simulate`], streaming scheduler, lifecycle,
@@ -67,10 +82,10 @@ pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimReport {
 /// trace lanes — without perturbing the simulated schedule (telemetry
 /// never feeds back into planning).
 pub fn simulate_with_telemetry(trace: &Trace, cfg: &SimConfig, sink: &TelemetrySink) -> SimReport {
-    let mut engine = Engine::new(trace, cfg);
-    engine.sink = sink.clone();
-    engine.monitor.set_sink(sink.clone());
-    engine.run()
+    let mut q = VirtualClockQueue::new();
+    let mut core = EngineCore::from_trace(trace, cfg, &mut q);
+    core.set_telemetry(sink.clone());
+    core.run(&mut q)
 }
 
 /// Simulate `trace` like [`simulate`], auditing the engine state against
@@ -79,11 +94,12 @@ pub fn simulate_with_telemetry(trace: &Trace, cfg: &SimConfig, sink: &TelemetryS
 /// are collected, not panicked on — this is what `muri verify` runs.
 #[cfg(feature = "audit")]
 pub fn simulate_audited(trace: &Trace, cfg: &SimConfig) -> (SimReport, muri_verify::AuditReport) {
-    let mut engine = Engine::new(trace, cfg);
-    engine.audit = Some(muri_verify::AuditReport::new());
-    engine.drive();
-    let audit = engine.audit.take().unwrap_or_default();
-    (engine.finalize(), audit)
+    let mut q = VirtualClockQueue::new();
+    let mut core = EngineCore::from_trace(trace, cfg, &mut q);
+    core.audit = Some(muri_verify::AuditReport::new());
+    core.drive(&mut q);
+    let audit = core.audit.take().unwrap_or_default();
+    (core.finalize(), audit)
 }
 
 #[derive(Debug, Clone)]
@@ -137,27 +153,116 @@ struct RunningGroup {
     last_touch: SimTime,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Ev {
-    Arrival(u32),
-    Completion { gid: u32, version: u64 },
-    Fault { gid: u32, version: u64, job: JobId },
-    Checkpoint { gid: u32, version: u64 },
-    MachineFail(u32),
-    MachineRecover(u32),
-    Tick,
+/// Where a job is in its lifecycle, as reported by
+/// [`EngineCore::job_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Submitted and waiting for GPUs.
+    Queued,
+    /// Running inside an interleave group.
+    Running,
+    /// Completed all iterations.
+    Finished,
+    /// Demands more GPUs than the cluster has — never placeable.
+    Rejected,
+    /// Cancelled via [`EngineCore::cancel`].
+    Cancelled,
 }
 
-struct Engine<'a> {
-    cfg: &'a SimConfig,
-    trace: &'a Trace,
+impl JobPhase {
+    /// The snake_case wire name (the daemon's status endpoint).
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Finished => "finished",
+            JobPhase::Rejected => "rejected",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl Serialize for JobPhase {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.wire_name().to_string())
+    }
+}
+
+/// Point-in-time status of one job (the daemon's status endpoint).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct JobStatus {
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// GPUs the job demands.
+    pub num_gpus: u32,
+    /// Iterations completed.
+    pub iterations_done: u64,
+    /// Total iterations requested.
+    pub iterations_total: u64,
+    /// Submission time.
+    pub submit: SimTime,
+    /// First placement time, if any.
+    pub first_start: Option<SimTime>,
+    /// Completion time, if finished.
+    pub finish: Option<SimTime>,
+    /// Times the job was restarted (preemption or faults).
+    pub restarts: u32,
+    /// Faults the job suffered.
+    pub faults: u32,
+}
+
+/// One running interleave group, as exposed by
+/// [`EngineCore::cluster_state`].
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupState {
+    /// Member jobs, in group order.
+    pub members: Vec<JobId>,
+    /// GPUs the group's lease holds.
+    pub num_gpus: u32,
+}
+
+/// Aggregate scheduler/cluster state (the daemon's cluster endpoint).
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterState {
+    /// Current scheduler time.
+    pub now: SimTime,
+    /// Total GPUs in the cluster.
+    pub total_gpus: u32,
+    /// GPUs currently leased to groups.
+    pub used_gpus: u32,
+    /// GPUs free for placement.
+    pub free_gpus: u32,
+    /// Jobs waiting in the queue.
+    pub queued_jobs: usize,
+    /// Running interleave groups.
+    pub groups: Vec<GroupState>,
+    /// Scheduling passes executed so far.
+    pub scheduling_passes: u64,
+    /// Events processed so far.
+    pub events: u64,
+}
+
+/// The scheduler core: cluster, queue, running groups, fault machinery,
+/// and every event handler — independent of the event source.
+///
+/// Both harnesses drive it through `muri_engine`: the batch simulator
+/// constructs it with [`EngineCore::from_trace`] and pumps a
+/// `VirtualClockQueue` to completion ([`EngineCore::drive`]); the
+/// `muri-serve` daemon constructs it with [`EngineCore::new_live`] and
+/// interleaves [`EngineCore::submit`] / [`EngineCore::cancel`] with
+/// bounded [`EngineCore::advance_to`] steps.
+pub struct EngineCore {
+    cfg: SimConfig,
+    /// Job specs by submission index (trace order for batch runs). The
+    /// payload of `SchedulerEvent::JobSubmitted` indexes into this.
+    specs: Vec<JobSpec>,
+    trace_name: String,
     cluster: Cluster,
     profiler: Profiler,
     jobs: BTreeMap<JobId, JobState>,
     queue: Vec<JobId>,
     groups: Vec<Option<RunningGroup>>,
-    events: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
-    seq: u64,
     /// Monotone group-version counter, shared across group slots so a
     /// reused slot can never alias a stale event's `(gid, version)` key
     /// onto its new occupant.
@@ -176,8 +281,17 @@ struct Engine<'a> {
     series: Vec<SeriesSample>,
     passes: u64,
     nevents: u64,
+    /// Jobs cancelled through the live API. Kept out of `JobRecord` (the
+    /// golden report fixtures pin that shape); a cancelled job simply
+    /// never finishes.
+    cancelled: BTreeSet<JobId>,
+    /// How backfill passes plan: full re-plan (fixture-pinned default)
+    /// or dirty-class incremental with certified fallback.
+    plan_mode: PlanMode,
+    /// Dirty-class bookkeeping for [`PlanMode::Incremental`].
+    inc: IncrementalPlanner,
     /// Telemetry sink — disabled (a single `None` branch per site) unless
-    /// the run came through [`simulate_with_telemetry`].
+    /// installed via [`EngineCore::set_telemetry`].
     sink: TelemetrySink,
     /// The worker monitor (§3): fed utilization samples and fault reports
     /// only when telemetry is on; forwards both into `sink`.
@@ -198,8 +312,31 @@ fn exp_gap(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
     SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
 }
 
-impl<'a> Engine<'a> {
-    fn new(trace: &'a Trace, cfg: &'a SimConfig) -> Self {
+impl EventHandler for EngineCore {
+    fn handle(&mut self, at: SimTime, ev: SchedulerEvent, q: &mut dyn EventQueue) {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.nevents += 1;
+        match ev {
+            SchedulerEvent::JobSubmitted(idx) => self.on_arrival(idx as usize, q),
+            SchedulerEvent::JobCompleted { gid, version } => {
+                self.on_completion(gid as usize, version, q);
+            }
+            SchedulerEvent::JobFault { gid, version, job } => {
+                self.on_fault(gid as usize, version, job, q);
+            }
+            SchedulerEvent::CheckpointDue { gid, version } => {
+                self.on_checkpoint(gid as usize, version, q);
+            }
+            SchedulerEvent::MachineFailed(m) => self.on_machine_fail(m, q),
+            SchedulerEvent::MachineRecovered(m) => self.on_machine_recover(m, q),
+            SchedulerEvent::PlanRequested => self.on_tick(q),
+        }
+    }
+}
+
+impl EngineCore {
+    fn empty(cfg: &SimConfig, trace_name: String, arrivals_left: usize) -> Self {
         let machines = cfg.cluster.machines as usize;
         let mut degraded = vec![false; machines];
         if cfg.faults.degraded_machines > 0 {
@@ -216,83 +353,299 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        let mut engine = Engine {
-            cfg,
-            trace,
+        EngineCore {
+            cfg: *cfg,
+            specs: Vec::new(),
+            trace_name,
             cluster: Cluster::new(cfg.cluster),
             profiler: Profiler::new(cfg.profiler),
             jobs: BTreeMap::new(),
             queue: Vec::new(),
             groups: Vec::new(),
-            events: BinaryHeap::new(),
-            seq: 0,
             next_version: 0,
             now: SimTime::ZERO,
             dirty: false,
             next_tick: None,
-            arrivals_left: trace.len(),
+            arrivals_left,
             fault_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0xFA17),
             machine_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0x3AC1),
             degraded,
             series: Vec::new(),
             passes: 0,
             nevents: 0,
+            cancelled: BTreeSet::new(),
+            plan_mode: PlanMode::Full,
+            inc: IncrementalPlanner::new(),
             sink: TelemetrySink::disabled(),
             monitor: WorkerMonitor::with_policy(cfg.faults.health),
             #[cfg(feature = "audit")]
             audit: None,
             #[cfg(feature = "audit")]
             prev_recovery: None,
-        };
-        for (i, job) in trace.jobs.iter().enumerate() {
-            engine.schedule_at(job.submit_time, Ev::Arrival(i as u32));
         }
-        if let Some(mtbf) = cfg.faults.machine_mtbf {
-            for m in 0..cfg.cluster.machines {
-                let gap = exp_gap(&mut engine.machine_rng, mtbf);
-                engine.schedule_at(SimTime::ZERO + gap, Ev::MachineFail(m));
+    }
+
+    /// Build a core pre-loaded with a whole trace: every submission and
+    /// (if configured) every machine-fault arming event is scheduled
+    /// into `q` up front, in the order the batch simulator always used.
+    pub fn from_trace(trace: &Trace, cfg: &SimConfig, q: &mut dyn EventQueue) -> Self {
+        let mut core = EngineCore::empty(cfg, trace.name.clone(), trace.len());
+        core.specs.extend(trace.jobs.iter().copied());
+        for (i, job) in trace.jobs.iter().enumerate() {
+            q.schedule(job.submit_time, SchedulerEvent::JobSubmitted(i as u32));
+        }
+        core.arm_machine_faults(q);
+        core
+    }
+
+    /// Build an empty live core (no pre-loaded submissions — jobs come
+    /// in through [`EngineCore::submit`]). Machine faults, if the
+    /// config enables them, are armed immediately.
+    pub fn new_live(cfg: &SimConfig, name: impl Into<String>, q: &mut dyn EventQueue) -> Self {
+        let mut core = EngineCore::empty(cfg, name.into(), 0);
+        core.arm_machine_faults(q);
+        core
+    }
+
+    fn arm_machine_faults(&mut self, q: &mut dyn EventQueue) {
+        if let Some(mtbf) = self.cfg.faults.machine_mtbf {
+            for m in 0..self.cfg.cluster.machines {
+                let gap = exp_gap(&mut self.machine_rng, mtbf);
+                q.schedule(SimTime::ZERO + gap, SchedulerEvent::MachineFailed(m));
             }
         }
-        engine
     }
 
-    fn schedule_at(&mut self, at: SimTime, ev: Ev) {
-        self.seq += 1;
-        self.events.push(Reverse((at, self.seq, ev)));
-    }
-
-    fn run(mut self) -> SimReport {
-        self.drive();
+    fn run(mut self, q: &mut dyn EventQueue) -> SimReport {
+        self.drive(q);
         self.finalize()
     }
 
     /// Pump the event loop to completion (or the simulation deadline).
-    fn drive(&mut self) {
+    pub fn drive(&mut self, q: &mut dyn EventQueue) {
         let deadline = SimTime::ZERO + self.cfg.max_sim_time;
-        while let Some(Reverse((at, _, ev))) = self.events.pop() {
-            if at > deadline {
+        muri_engine::drive(q, deadline, self);
+    }
+
+    /// Process every event due at or before `deadline`, then advance
+    /// the clock to `deadline`. Unlike [`EngineCore::drive`], future
+    /// events stay queued — this is the live harness's stepping
+    /// primitive, called as wall time (mapped to scheduler time)
+    /// passes.
+    pub fn advance_to(&mut self, deadline: SimTime, q: &mut dyn EventQueue) {
+        while q.peek_time().is_some_and(|at| at <= deadline) {
+            let Some((at, ev)) = q.pop() else {
                 break;
+            };
+            self.handle(at, ev, q);
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    // --------------------------------------------------------- live API
+
+    /// Submit one job. The submission surfaces as a `JobSubmitted`
+    /// event no earlier than the core's current time.
+    pub fn submit(&mut self, spec: JobSpec, q: &mut dyn EventQueue) {
+        let idx = self.specs.len() as u32;
+        self.specs.push(spec);
+        self.arrivals_left += 1;
+        let at = spec.submit_time.max(self.now);
+        q.schedule(at, SchedulerEvent::JobSubmitted(idx));
+    }
+
+    /// Cancel a job. Queued jobs leave the queue; a running job's group
+    /// continues with the surviving members (or releases its GPUs when
+    /// it empties). Returns `false` for unknown, finished, or
+    /// already-cancelled jobs.
+    pub fn cancel(&mut self, id: JobId, q: &mut dyn EventQueue) -> bool {
+        if self.cancelled.contains(&id) {
+            return false;
+        }
+        if let Some(pos) = self.queue.iter().position(|&j| j == id) {
+            self.queue.remove(pos);
+            self.cancelled.insert(id);
+            self.monitor.forget_job(id);
+            return true;
+        }
+        if let Some(gid) = self
+            .groups
+            .iter()
+            .position(|g| g.as_ref().is_some_and(|g| g.members.contains(&id)))
+        {
+            // Settle progress first: the job may complete exactly at
+            // the cancellation boundary, in which case the completion
+            // stands and there is nothing left to cancel.
+            self.advance_and_reap(gid, q);
+            let still_running = self.groups[gid]
+                .as_ref()
+                .is_some_and(|g| g.members.contains(&id));
+            if !still_running {
+                if self.dirty {
+                    self.fill_pass(q);
+                }
+                return false;
             }
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.nevents += 1;
-            match ev {
-                Ev::Arrival(idx) => self.on_arrival(idx as usize),
-                Ev::Completion { gid, version } => self.on_completion(gid as usize, version),
-                Ev::Fault { gid, version, job } => self.on_fault(gid as usize, version, job),
-                Ev::Checkpoint { gid, version } => self.on_checkpoint(gid as usize, version),
-                Ev::MachineFail(m) => self.on_machine_fail(m),
-                Ev::MachineRecover(m) => self.on_machine_recover(m),
-                Ev::Tick => self.on_tick(),
+            let survivors: Vec<JobId> = self.groups[gid]
+                .as_ref()
+                .map(|g| g.members.iter().copied().filter(|&m| m != id).collect())
+                .unwrap_or_default();
+            self.cancelled.insert(id);
+            self.monitor.forget_job(id);
+            self.reform_group(gid, survivors, q);
+            self.dirty = true;
+            self.inc.mark_all();
+            self.fill_pass(q);
+            return true;
+        }
+        // Submitted but not yet arrived: swallow the pending arrival.
+        if self.specs.iter().any(|s| s.id == id) && !self.jobs.contains_key(&id) {
+            self.cancelled.insert(id);
+            return true;
+        }
+        false
+    }
+
+    /// Checkpoint every running group *now*: progress is settled up to
+    /// the current instant and every member's durable progress is
+    /// advanced to it. The graceful-shutdown path — a daemon restart
+    /// resumes from here instead of the last periodic checkpoint.
+    pub fn checkpoint_all(&mut self) {
+        for gid in 0..self.groups.len() {
+            self.advance_only(gid);
+            let Some(group) = self.groups[gid].as_ref() else {
+                continue;
+            };
+            let members = group.members.clone();
+            let now = self.now;
+            for job in members {
+                let Some(j) = self.jobs.get_mut(&job) else {
+                    continue;
+                };
+                j.saved_iters = j.done_iters;
+                let iters_saved = j.saved_iters;
+                self.sink.emit(|| Event::CheckpointTaken {
+                    time: now,
+                    job,
+                    iters_saved,
+                });
             }
+        }
+    }
+
+    /// Install a telemetry sink (journal/metrics/Chrome-trace) on the
+    /// core and its worker monitor.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink.clone();
+        self.monitor.set_sink(sink);
+    }
+
+    /// Choose how backfill passes plan (the periodic tick always runs a
+    /// full pass).
+    pub fn set_plan_mode(&mut self, mode: PlanMode) {
+        self.plan_mode = mode;
+    }
+
+    /// Incremental-planning counters (all zero under [`PlanMode::Full`]).
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.inc.stats()
+    }
+
+    /// The core's current time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether all submitted work has run to completion.
+    pub fn is_done(&self) -> bool {
+        self.done()
+    }
+
+    /// Point-in-time status of one job, if the core has ever seen it.
+    pub fn job_status(&self, id: JobId) -> Option<JobStatus> {
+        let spec_of = |id: JobId| self.specs.iter().find(|s| s.id == id).copied();
+        if let Some(j) = self.jobs.get(&id) {
+            let phase = if self.cancelled.contains(&id) {
+                JobPhase::Cancelled
+            } else if j.finish.is_some() {
+                JobPhase::Finished
+            } else if j.spec.num_gpus > self.cluster.spec().total_gpus() {
+                JobPhase::Rejected
+            } else if self
+                .groups
+                .iter()
+                .flatten()
+                .any(|g| g.members.contains(&id))
+            {
+                JobPhase::Running
+            } else {
+                JobPhase::Queued
+            };
+            return Some(JobStatus {
+                phase,
+                num_gpus: j.spec.num_gpus,
+                iterations_done: j.done_iters,
+                iterations_total: j.spec.iterations,
+                submit: j.spec.submit_time,
+                first_start: j.first_start,
+                finish: j.finish,
+                restarts: j.restarts,
+                faults: j.faults,
+            });
+        }
+        // Submitted, arrival not yet processed (or cancelled pre-arrival).
+        let spec = spec_of(id)?;
+        let phase = if self.cancelled.contains(&id) {
+            JobPhase::Cancelled
+        } else {
+            JobPhase::Queued
+        };
+        Some(JobStatus {
+            phase,
+            num_gpus: spec.num_gpus,
+            iterations_done: 0,
+            iterations_total: spec.iterations,
+            submit: spec.submit_time,
+            first_start: None,
+            finish: None,
+            restarts: 0,
+            faults: 0,
+        })
+    }
+
+    /// Aggregate scheduler/cluster state.
+    pub fn cluster_state(&self) -> ClusterState {
+        ClusterState {
+            now: self.now,
+            total_gpus: self.cluster.spec().total_gpus(),
+            used_gpus: self.cluster.used_gpus(),
+            free_gpus: self.cluster.free_gpus(),
+            queued_jobs: self.queue.len(),
+            groups: self
+                .groups
+                .iter()
+                .flatten()
+                .map(|g| GroupState {
+                    members: g.members.clone(),
+                    num_gpus: g.gpus.len() as u32,
+                })
+                .collect(),
+            scheduling_passes: self.passes,
+            events: self.nevents,
         }
     }
 
     // ------------------------------------------------------------- events
 
-    fn on_arrival(&mut self, idx: usize) {
-        let spec = self.trace.jobs[idx];
+    fn on_arrival(&mut self, idx: usize, q: &mut dyn EventQueue) {
+        let spec = self.specs[idx];
         self.arrivals_left -= 1;
+        if self.cancelled.contains(&spec.id) {
+            // Cancelled between submission and arrival — never surfaces.
+            return;
+        }
         let now = self.now;
         self.sink.emit(|| Event::JobArrived {
             time: now,
@@ -336,18 +689,19 @@ impl<'a> Engine<'a> {
         );
         self.queue.push(spec.id);
         self.dirty = true;
+        self.inc.mark(spec.num_gpus);
         // The scheduler "is periodically invoked on events like job
         // arrival" (§3): backfill free GPUs right away; preemption still
         // waits for the tick.
-        self.fill_pass();
-        self.ensure_tick();
+        self.fill_pass(q);
+        self.ensure_tick(q);
     }
 
-    fn on_completion(&mut self, gid: usize, version: u64) {
+    fn on_completion(&mut self, gid: usize, version: u64, q: &mut dyn EventQueue) {
         if !self.group_version_matches(gid, version) {
             return;
         }
-        self.advance_and_reap(gid);
+        self.advance_and_reap(gid, q);
         if self.group_version_matches(gid, version) {
             // Premature wakeup: a checkpoint pushed the anchor past the
             // time this completion was scheduled for. Re-aim at the (now
@@ -357,21 +711,21 @@ impl<'a> Engine<'a> {
                 .as_ref()
                 .is_some_and(|g| g.iter_time.is_zero())
             {
-                self.schedule_completion(gid);
+                self.schedule_completion(gid, q);
             }
         }
         if self.dirty {
             // Capacity was freed (or membership changed): backfill
             // immediately without preempting anyone.
-            self.fill_pass();
+            self.fill_pass(q);
         }
     }
 
-    fn on_fault(&mut self, gid: usize, version: u64, job: JobId) {
+    fn on_fault(&mut self, gid: usize, version: u64, job: JobId, q: &mut dyn EventQueue) {
         if !self.group_version_matches(gid, version) {
             return;
         }
-        self.advance_and_reap(gid);
+        self.advance_and_reap(gid, q);
         // The job may have completed exactly at the fault boundary (in
         // which case the reap above re-formed or released the group and
         // bumped the version).
@@ -380,7 +734,7 @@ impl<'a> Engine<'a> {
             .is_some_and(|g| g.members.contains(&job));
         if !still_running {
             if self.dirty {
-                self.fill_pass();
+                self.fill_pass(q);
             }
             return;
         }
@@ -407,7 +761,8 @@ impl<'a> Engine<'a> {
             }
         }
         self.dirty = true;
-        self.fill_pass();
+        self.inc.mark_all();
+        self.fill_pass(q);
     }
 
     /// Terminate a running job under a fault, route the report through
@@ -452,16 +807,16 @@ impl<'a> Engine<'a> {
         self.queue.push(job);
     }
 
-    fn on_checkpoint(&mut self, gid: usize, version: u64) {
+    fn on_checkpoint(&mut self, gid: usize, version: u64, q: &mut dyn EventQueue) {
         if !self.group_version_matches(gid, version) {
             return;
         }
-        self.advance_and_reap(gid);
+        self.advance_and_reap(gid, q);
         // A reap that changed membership bumped the version and started
         // a fresh checkpoint chain — this stale chain ends here.
         if !self.group_version_matches(gid, version) {
             if self.dirty {
-                self.fill_pass();
+                self.fill_pass(q);
             }
             return;
         }
@@ -494,19 +849,19 @@ impl<'a> Engine<'a> {
                 iters_saved,
             });
         }
-        self.schedule_at(
+        q.schedule(
             self.now + interval,
-            Ev::Checkpoint {
+            SchedulerEvent::CheckpointDue {
                 gid: gid as u32,
                 version,
             },
         );
         if self.dirty {
-            self.fill_pass();
+            self.fill_pass(q);
         }
     }
 
-    fn on_machine_fail(&mut self, m: u32) {
+    fn on_machine_fail(&mut self, m: u32, q: &mut dyn EventQueue) {
         let Some(mtbf) = self.cfg.faults.machine_mtbf else {
             return;
         };
@@ -568,18 +923,19 @@ impl<'a> Engine<'a> {
         self.monitor.record_machine_fault(m, now);
         if transient {
             let gap = exp_gap(&mut self.machine_rng, mtbf);
-            self.schedule_at(self.now + gap, Ev::MachineFail(m));
+            q.schedule(self.now + gap, SchedulerEvent::MachineFailed(m));
         } else {
             self.cluster.set_down(m, true);
             let repair = exp_gap(&mut self.machine_rng, self.cfg.faults.machine_mttr);
-            self.schedule_at(self.now + repair, Ev::MachineRecover(m));
+            q.schedule(self.now + repair, SchedulerEvent::MachineRecovered(m));
         }
         self.sync_banned();
         self.dirty = true;
-        self.fill_pass();
+        self.inc.mark_all();
+        self.fill_pass(q);
     }
 
-    fn on_machine_recover(&mut self, m: u32) {
+    fn on_machine_recover(&mut self, m: u32, q: &mut dyn EventQueue) {
         let Some(mtbf) = self.cfg.faults.machine_mtbf else {
             return;
         };
@@ -593,17 +949,18 @@ impl<'a> Engine<'a> {
             return;
         }
         let gap = exp_gap(&mut self.machine_rng, mtbf);
-        self.schedule_at(self.now + gap, Ev::MachineFail(m));
+        q.schedule(self.now + gap, SchedulerEvent::MachineFailed(m));
         self.dirty = true;
-        self.fill_pass();
+        self.inc.mark_all();
+        self.fill_pass(q);
     }
 
-    fn on_tick(&mut self) {
+    fn on_tick(&mut self, q: &mut dyn EventQueue) {
         self.next_tick = None;
         // Settle every group's progress before planning.
         for gid in 0..self.groups.len() {
             if self.groups[gid].is_some() {
-                self.advance_and_reap(gid);
+                self.advance_and_reap(gid, q);
             }
         }
         // Blacklist expiry is purely time-based (no event fires), so the
@@ -619,20 +976,20 @@ impl<'a> Engine<'a> {
             && self.cluster.free_gpus() > 0
             && self.groups.iter().flatten().any(|g| g.members.len() > 1);
         if self.dirty || could_spread {
-            self.planning_pass();
+            self.planning_pass(q);
             self.dirty = false;
         }
         self.sample();
-        self.ensure_tick();
+        self.ensure_tick(q);
     }
 
-    fn ensure_tick(&mut self) {
+    fn ensure_tick(&mut self, q: &mut dyn EventQueue) {
         if self.next_tick.is_some() || self.done() {
             return;
         }
         let at = self.now + self.cfg.scheduler.interval;
         self.next_tick = Some(at);
-        self.schedule_at(at, Ev::Tick);
+        q.schedule(at, SchedulerEvent::PlanRequested);
     }
 
     fn done(&self) -> bool {
@@ -651,7 +1008,7 @@ impl<'a> Engine<'a> {
     /// Account elapsed time to a group: attained service, whole iterations
     /// completed, and member completion. Re-forms or releases the group as
     /// members finish.
-    fn advance_and_reap(&mut self, gid: usize) {
+    fn advance_and_reap(&mut self, gid: usize, q: &mut dyn EventQueue) {
         let Some(group) = self.groups[gid].as_mut() else {
             return;
         };
@@ -697,6 +1054,7 @@ impl<'a> Engine<'a> {
             self.sink
                 .emit(|| Event::JobCompleted { time: now, job: *m });
             self.monitor.forget_job(*m);
+            self.inc.mark(self.jobs[m].spec.num_gpus);
         }
         if self.cfg.faults.health_active() {
             // Completions are healthy progress: clear the hosting
@@ -710,7 +1068,7 @@ impl<'a> Engine<'a> {
             .filter(|m| !finished.contains(m))
             .collect();
         self.dirty = true;
-        self.reform_group(gid, survivors);
+        self.reform_group(gid, survivors, q);
     }
 
     /// Distinct machines spanned by a group's lease, ascending.
@@ -752,7 +1110,7 @@ impl<'a> Engine<'a> {
 
     /// Replace a group's membership (possibly empty → release GPUs),
     /// recompute execution speed, and schedule the next completion.
-    fn reform_group(&mut self, gid: usize, members: Vec<JobId>) {
+    fn reform_group(&mut self, gid: usize, members: Vec<JobId>, q: &mut dyn EventQueue) {
         self.next_version += 1;
         let version = self.next_version;
         let Some(group) = self.groups[gid].as_mut() else {
@@ -774,8 +1132,8 @@ impl<'a> Engine<'a> {
         if let Some(group) = self.groups[gid].as_mut() {
             group.iter_time = iter_time;
         }
-        self.schedule_completion(gid);
-        self.schedule_checkpoint(gid);
+        self.schedule_completion(gid, q);
+        self.schedule_checkpoint(gid, q);
     }
 
     /// Realized group iteration time. The scheduler *plans* (chooses the
@@ -829,7 +1187,7 @@ impl<'a> Engine<'a> {
         t.scale(factor)
     }
 
-    fn schedule_completion(&mut self, gid: usize) {
+    fn schedule_completion(&mut self, gid: usize, q: &mut dyn EventQueue) {
         let Some(group) = self.groups[gid].as_ref() else {
             return;
         };
@@ -846,25 +1204,25 @@ impl<'a> Engine<'a> {
         } else {
             group.anchor + group.iter_time * min_rem
         };
-        let ev = Ev::Completion {
+        let ev = SchedulerEvent::JobCompleted {
             gid: gid as u32,
             version: group.version,
         };
-        self.schedule_at(at.max(self.now), ev);
+        q.schedule(at.max(self.now), ev);
     }
 
     /// Arm the group's checkpoint chain. One chain runs per group
     /// version; a stale chain dies at the handler's version guard.
-    fn schedule_checkpoint(&mut self, gid: usize) {
+    fn schedule_checkpoint(&mut self, gid: usize, q: &mut dyn EventQueue) {
         let Some(interval) = self.cfg.checkpoint.interval else {
             return;
         };
         let Some(version) = self.groups[gid].as_ref().map(|g| g.version) else {
             return;
         };
-        self.schedule_at(
+        q.schedule(
             self.now + interval,
-            Ev::Checkpoint {
+            SchedulerEvent::CheckpointDue {
                 gid: gid as u32,
                 version,
             },
@@ -874,7 +1232,7 @@ impl<'a> Engine<'a> {
     // ---------------------------------------------------------- planning
 
     /// Full (possibly preemptive) planning pass at a tick.
-    fn planning_pass(&mut self) {
+    fn planning_pass(&mut self, q: &mut dyn EventQueue) {
         self.passes += 1;
         self.sync_banned();
         let preemptive = self.cfg.scheduler.policy.preemptive();
@@ -952,13 +1310,15 @@ impl<'a> Engine<'a> {
                 .then_with(|| a.1.group.members[0].job.0.cmp(&b.1.group.members[0].job.0))
         });
         for (ids, p) in planned {
-            self.start_group(ids, p.num_gpus);
+            self.start_group(ids, p.num_gpus, q);
         }
+        // A full pass saw every class — incremental marks are spent.
+        self.inc.clear();
         self.audit_pass();
     }
 
     /// Non-preemptive backfill of free GPUs (on completions/faults).
-    fn fill_pass(&mut self) {
+    fn fill_pass(&mut self, q: &mut dyn EventQueue) {
         if self.queue.is_empty() {
             return;
         }
@@ -971,16 +1331,30 @@ impl<'a> Engine<'a> {
             .collect();
         let free = self.cluster.free_gpus();
         if free > 0 {
-            let plan =
-                plan_schedule_with(&self.cfg.scheduler, &candidates, free, self.now, &self.sink);
+            let plan = match self.plan_mode {
+                PlanMode::Full => {
+                    plan_schedule_with(&self.cfg.scheduler, &candidates, free, self.now, &self.sink)
+                }
+                PlanMode::Incremental => {
+                    plan_incremental_with(
+                        &self.cfg.scheduler,
+                        &candidates,
+                        free,
+                        self.now,
+                        &self.sink,
+                        &mut self.inc,
+                    )
+                    .plan
+                }
+            };
             for p in plan {
                 let mut ids = p.group.job_ids();
                 ids.sort_unstable();
-                self.start_group(ids, p.num_gpus);
+                self.start_group(ids, p.num_gpus, q);
             }
         }
         if self.cfg.scheduler.policy.gpu_shares() {
-            self.antman_join_pass();
+            self.antman_join_pass(q);
         }
         self.audit_pass();
     }
@@ -990,7 +1364,7 @@ impl<'a> Engine<'a> {
     /// resident slot (`antman_max_per_gpu`), in FIFO order. The joiners
     /// run degraded (the sharing-overhead model) but start immediately —
     /// AntMan's makespan advantage in Fig. 10 comes from exactly this.
-    fn antman_join_pass(&mut self) {
+    fn antman_join_pass(&mut self, q: &mut dyn EventQueue) {
         let cap = self.cfg.scheduler.antman_max_per_gpu.max(1);
         // FIFO order over the queue.
         let mut queued: Vec<JobId> = self.queue.clone();
@@ -1010,7 +1384,7 @@ impl<'a> Engine<'a> {
             let Some(gid) = host else {
                 continue;
             };
-            self.advance_and_reap(gid);
+            self.advance_and_reap(gid, q);
             let Some(group) = self.groups[gid].as_ref() else {
                 continue;
             };
@@ -1034,7 +1408,7 @@ impl<'a> Engine<'a> {
             }
             let mut members = group.members.clone();
             members.push(job);
-            self.reform_group(gid, members);
+            self.reform_group(gid, members, q);
         }
     }
 
@@ -1098,7 +1472,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn start_group(&mut self, ids: Vec<JobId>, num_gpus: u32) {
+    fn start_group(&mut self, ids: Vec<JobId>, num_gpus: u32, q: &mut dyn EventQueue) {
         debug_assert!(!ids.is_empty());
         let Some(gpus) = self.cluster.allocate(num_gpus) else {
             // Capacity raced away (shouldn't happen — plans respect
@@ -1143,9 +1517,9 @@ impl<'a> Engine<'a> {
             anchor: self.now + penalty,
             last_touch: self.now,
         });
-        self.schedule_completion(gid);
-        self.schedule_checkpoint(gid);
-        self.maybe_schedule_fault(gid, &ids);
+        self.schedule_completion(gid, q);
+        self.schedule_checkpoint(gid, q);
+        self.maybe_schedule_fault(gid, &ids, q);
         if self.cfg.faults.health_active() {
             // The monitor compares each hosting machine's realized stage
             // rate against the plan; degraded machines read as
@@ -1181,7 +1555,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn maybe_schedule_fault(&mut self, gid: usize, ids: &[JobId]) {
+    fn maybe_schedule_fault(&mut self, gid: usize, ids: &[JobId], q: &mut dyn EventQueue) {
         let Some(mtbf) = self.cfg.faults.mtbf else {
             return;
         };
@@ -1191,12 +1565,12 @@ impl<'a> Engine<'a> {
         for &job in ids {
             let u: f64 = self.fault_rng.gen_range(f64::EPSILON..1.0);
             let dt = SimDuration::from_secs_f64(-mtbf.as_secs_f64() * u.ln());
-            let ev = Ev::Fault {
+            let ev = SchedulerEvent::JobFault {
                 gid: gid as u32,
                 version,
                 job,
             };
-            self.schedule_at(self.now + dt, ev);
+            q.schedule(self.now + dt, ev);
         }
     }
 
@@ -1321,6 +1695,7 @@ impl<'a> Engine<'a> {
 
     /// No-op without the `audit` feature.
     #[cfg(not(feature = "audit"))]
+    #[allow(clippy::unused_self)]
     fn audit_pass(&mut self) {}
 
     // ---------------------------------------------------------- sampling
@@ -1388,10 +1763,12 @@ impl<'a> Engine<'a> {
         });
     }
 
-    fn finalize(self) -> SimReport {
+    /// Consume the core and produce the final report: one record per
+    /// submitted job (submission order), the tick time series, and the
+    /// aggregate counters.
+    pub fn finalize(self) -> SimReport {
         let mut records: Vec<JobRecord> = self
-            .trace
-            .jobs
+            .specs
             .iter()
             .filter_map(|spec| self.jobs.get(&spec.id))
             .map(|j| JobRecord {
@@ -1416,7 +1793,7 @@ impl<'a> Engine<'a> {
             .map_or(SimDuration::ZERO, |t| t.since(SimTime::ZERO));
         SimReport {
             policy: self.cfg.scheduler.policy.name().to_string(),
-            trace: self.trace.name.clone(),
+            trace: self.trace_name,
             records,
             series: self.series,
             makespan,

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Benchmark-baseline workflow for the grouping pipeline (see the
-# Performance section in DESIGN.md). Runs the `scalability` and
-# `algorithms` criterion benches, scrapes the machine-readable
+# Performance section in DESIGN.md). Runs the `scalability`,
+# `algorithms`, and `serve` criterion benches, scrapes the machine-readable
 # `BENCH_JSON {"id":...,"median_ns":...}` lines the vendored criterion
 # harness emits, and assembles `BENCH_grouping.json` at the repo root:
 #
@@ -45,8 +45,8 @@ BASELINE=results/bench_baseline.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT INT TERM
 
-echo "==> cargo bench -p muri-bench --bench scalability --bench algorithms (cold-start sizes: $SIZES)"
-cargo bench -p muri-bench --bench scalability --bench algorithms | tee "$RAW"
+echo "==> cargo bench -p muri-bench --bench scalability --bench algorithms --bench serve (cold-start sizes: $SIZES)"
+cargo bench -p muri-bench --bench scalability --bench algorithms --bench serve | tee "$RAW"
 
 if ! [ -f "$BASELINE" ]; then
     echo "bench.sh: missing $BASELINE (baseline medians must be checked in)" >&2
@@ -104,7 +104,9 @@ blossom/max_weight_matching/64
 blossom/max_weight_matching/128
 blossom/max_weight_matching/256
 grouping/multi_round/128
-grouping/capacity_aware_backlog'
+grouping/capacity_aware_backlog
+serve/submit_http
+serve/placement_p99'
 for size in $(printf '%s' "$SIZES" | tr ',' ' '); do
     required_keys="$required_keys
 scalability/grouping_plan_cold/$size"
@@ -162,6 +164,25 @@ case ",$SIZES," in
         echo "bench.sh: sharded cold-start at 10k in ${cold10k_ns}ns"
         ;;
 esac
+
+# Service gates: the daemon must take submissions faster than 10k/sec
+# (median HTTP submit round-trip under 100 µs) and place an uncontended
+# job within 10 ms of wall clock at the 99th percentile.
+submit_ns=$(grep -o '"serve/submit_http": [0-9]*' "$OUT" | grep -o '[0-9]*$')
+p99_ns=$(grep -o '"serve/placement_p99": [0-9]*' "$OUT" | grep -o '[0-9]*$')
+if [ -z "$submit_ns" ] || [ -z "$p99_ns" ]; then
+    echo "bench.sh: could not extract the serve medians from $OUT" >&2
+    exit 1
+fi
+if [ "$submit_ns" -ge 100000 ]; then
+    echo "bench.sh: HTTP submit median ${submit_ns}ns (must be < 100000ns for 10k submissions/sec)" >&2
+    exit 1
+fi
+if [ "$p99_ns" -ge 10000000 ]; then
+    echo "bench.sh: placement p99 ${p99_ns}ns (must be < 10ms)" >&2
+    exit 1
+fi
+echo "bench.sh: serve submit median ${submit_ns}ns ($((1000000000 / submit_ns)) submissions/sec), placement p99 ${p99_ns}ns"
 
 # Parse-check the result with whatever JSON tool the host has; fall back
 # to accepting the structural checks above on a bare container.

@@ -12,8 +12,9 @@
 #      `audit` feature so the muri-verify debug hooks and the audited
 #      engine path are exercised
 #   5. bench smoke       the criterion bench targets scripts/bench.sh
-#      relies on, run with `--test` (each body executes once, untimed) so
-#      a broken bench fails CI instead of the baseline workflow
+#      relies on (including the serve daemon bench), run with `--test`
+#      (each body executes once, untimed) so a broken bench fails CI
+#      instead of the baseline workflow
 #   6. telemetry smoke   a 20-job simulation with all three telemetry
 #      exporters enabled, then `muri telemetry-check` validates the
 #      artifacts: the journal parses and its lifecycle ledger conserves
@@ -38,6 +39,11 @@
 #      audited `muri verify` replay with sharding forced must finish
 #      with zero violations (the sharded plan's stated pair weights and
 #      composed loss certificate both survive independent recomputation)
+#  10. serve smoke       the always-on daemon end to end: boot
+#      `muri serve` on an ephemeral port, drive it over HTTP with
+#      `muri serve-load` (submit, poll to completion, fetch the
+#      journal, shut down gracefully), validate the fetched journal
+#      with `muri telemetry-check`, and require daemon exit code 0
 #
 # `scripts/ci.sh --deep` additionally runs the core/matching test suites
 # under Miri and a ThreadSanitizer build when a nightly toolchain with
@@ -74,8 +80,8 @@ cargo test --workspace -q
 echo "==> cargo test --workspace -q (with scheduler/engine audit hooks)"
 cargo test --workspace -q --features muri-sim/audit,muri-core/audit
 
-echo "==> bench smoke (scalability + algorithms, --test mode)"
-cargo bench -p muri-bench --bench scalability --bench algorithms -- --test
+echo "==> bench smoke (scalability + algorithms + serve, --test mode)"
+cargo bench -p muri-bench --bench scalability --bench algorithms --bench serve -- --test
 
 echo "==> telemetry smoke (20-job sim, all three exporters, validated)"
 tmpdir=$(mktemp -d)
@@ -125,6 +131,44 @@ if ! cmp -s "$tmpdir/sharded.out" "$tmpdir/unsharded.out"; then
     exit 1
 fi
 cargo run -q -p muri-cli -- verify muri-l --trace 2 --scale 0.1 --shard-by force
+
+echo "==> serve smoke (daemon boot, HTTP load, journal conserved, clean exit)"
+# Boot the daemon on an ephemeral port, drive it over HTTP with
+# serve-load (submit, poll to completion, fetch the journal, request
+# shutdown), validate the journal's lifecycle ledger, and require the
+# daemon process itself to exit 0.
+cargo build -q -p muri-cli
+target/debug/muri serve --port 0 --time-scale 36000 --workers 2 \
+    --journal "$tmpdir/serve_daemon_journal.jsonl" \
+    >"$tmpdir/serve.log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+i=0
+while [ $i -lt 100 ]; do
+    serve_addr=$(sed -n 's#^muri-serve listening on http://##p' "$tmpdir/serve.log")
+    [ -n "$serve_addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "ci: serve daemon died before binding:" >&2
+        cat "$tmpdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$serve_addr" ]; then
+    echo "ci: serve daemon never reported its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+cargo run -q -p muri-cli -- serve-load --addr "$serve_addr" \
+    --jobs 6 --gpus 2 --iters 20 \
+    --journal "$tmpdir/serve_journal.jsonl" --shutdown
+cargo run -q -p muri-cli -- telemetry-check --journal "$tmpdir/serve_journal.jsonl"
+if ! wait "$serve_pid"; then
+    echo "ci: serve daemon exited non-zero:" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+fi
 
 if [ "$deep" = 1 ]; then
     # Best-effort deep checks: both need a nightly toolchain, which the
