@@ -1,10 +1,11 @@
 //! Service-path benchmarks: the daemon must sustain 10k+ submissions
 //! per second (median HTTP submit round-trip < 100 µs) with p99
-//! wall-clock placement latency under 10 ms. Both are measured against
-//! a real daemon booted in-process on an ephemeral port, over one
-//! keep-alive connection — the same wire path `muri serve-load`
-//! exercises — and pinned in `BENCH_grouping.json` by
-//! `scripts/bench.sh`.
+//! wall-clock placement latency under 10 ms, and keep admitting work
+//! in under 10 ms p99 even while saturated and shedding (the overload
+//! bench). All are measured against a real daemon booted in-process on
+//! an ephemeral port, over one keep-alive connection — the same wire
+//! path `muri serve-load` exercises — and pinned in
+//! `BENCH_grouping.json` by `scripts/bench.sh`.
 //!
 //! Placement latency is measured client-side (submission POST until a
 //! status poll leaves `"queued"`): the daemon's own
@@ -14,7 +15,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use muri_core::{PolicyKind, SchedulerConfig};
-use muri_serve::{bind, HttpClient, ServerConfig};
+use muri_serve::{bind, HttpClient, ServeLimits, ServerConfig};
 use muri_sim::SimConfig;
 use std::time::{Duration, Instant};
 
@@ -94,6 +95,100 @@ fn placement_p99(client: &mut HttpClient) {
     }
 }
 
+/// Overload benchmark: a second daemon with a tiny open-job bound is
+/// pinned full with heavy never-finishing jobs (real-time scale, so
+/// nothing completes during the measurement), then hammered with
+/// equally heavy submissions that the shedder cannot evict (shedding
+/// requires a strictly heavier victim) — every one must be refused
+/// retryable with a `Retry-After` hint while the queue depth stays at
+/// the bound. The p99 round-trip of the *admitted* submissions is the
+/// pinned service number: admission control must not make accepting
+/// work slow.
+fn overload_admit_p99() {
+    let pinned = if test_mode() { 4 } else { 64 };
+    let storm = if test_mode() { 8 } else { 200 };
+    // weight = gpus * iters is far above anything shed_order would
+    // evict for an equal-weight newcomer, so refusals are deterministic.
+    let heavy = "{\"model\":\"ResNet18\",\"num_gpus\":4,\"iterations\":1000000}";
+
+    let mut cfg = ServerConfig::new(SimConfig::testbed(SchedulerConfig::preset(
+        PolicyKind::MuriL,
+    )));
+    cfg.time_scale = 1.0; // real time: pinned jobs outlive the bench
+    cfg.workers = 2;
+    cfg.limits = ServeLimits {
+        max_open_jobs: pinned,
+        tenant_depth: 4096,
+        retry_after_ms: 250,
+    };
+    let bound = ok(bind(cfg), "bind overload daemon");
+    let addr = bound.addr().to_string();
+
+    std::thread::scope(|s| {
+        let server = s.spawn(move || bound.run());
+        let mut client = ok(HttpClient::connect(&addr), "connect overload");
+
+        // Fill every open-job slot, timing each admitted round-trip.
+        let mut admitted: Vec<Duration> = Vec::with_capacity(pinned);
+        for i in 0..pinned {
+            let start = Instant::now();
+            let (st, body) = ok(client.post("/v1/jobs", heavy), "pin submit");
+            admitted.push(start.elapsed());
+            assert_eq!(st, 200, "pin {i} refused before the bound: {body}");
+        }
+
+        // The storm: every submission past the bound must bounce with a
+        // retryable status and a Retry-After hint.
+        for i in 0..storm {
+            let (st, headers, body) = ok(
+                client.request_full("POST", "/v1/jobs", heavy),
+                "storm submit",
+            );
+            assert!(
+                st == 503 || st == 429,
+                "storm {i}: expected a retryable refusal, got {st}: {body}"
+            );
+            assert!(
+                headers.iter().any(|(k, _)| k == "retry-after"),
+                "storm {i}: refusal carries no Retry-After: {headers:?}"
+            );
+            assert!(body.contains("\"retry_after_ms\":250"), "storm {i}: {body}");
+        }
+
+        // Bounded queue: the open-job gauge sits exactly at the cap.
+        let (st, metrics) = ok(client.get("/metrics"), "metrics");
+        assert_eq!(st, 200);
+        let open = metrics
+            .lines()
+            .find_map(|l| l.strip_prefix("muri_serve_open_jobs "))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("no open-jobs gauge in {metrics}"));
+        assert!(
+            (open - pinned as f64).abs() < 0.5,
+            "queue depth {open} escaped the bound {pinned}"
+        );
+
+        admitted.sort_unstable();
+        let p99 = admitted[(pinned * 99).div_ceil(100) - 1];
+        if !test_mode() {
+            println!(
+                "serve/overload_admit_p99: p99 {p99:?} over {pinned} admits, {storm} refusals"
+            );
+            println!(
+                "BENCH_JSON {{\"id\":\"serve/overload_admit_p99\",\"median_ns\":{}}}",
+                p99.as_nanos()
+            );
+        }
+
+        let (st, _) = ok(client.post("/v1/shutdown", ""), "overload shutdown");
+        assert_eq!(st, 200);
+        match server.join() {
+            Ok(r) => ok(r, "overload server shutdown"),
+            Err(_) => panic!("overload server thread panicked"),
+        }
+    });
+}
+
 fn bench_serve(c: &mut Criterion) {
     let mut cfg = ServerConfig::new(SimConfig::testbed(SchedulerConfig::preset(
         PolicyKind::MuriL,
@@ -122,6 +217,7 @@ fn bench_serve(c: &mut Criterion) {
 
         drain(&mut client);
         placement_p99(&mut client);
+        overload_admit_p99();
 
         let (st, _) = ok(client.post("/v1/shutdown", ""), "shutdown");
         assert_eq!(st, 200);

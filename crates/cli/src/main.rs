@@ -38,9 +38,9 @@
 
 use muri_core::{PolicyKind, SchedulerConfig};
 use muri_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
-use muri_sim::{simulate, simulate_audited, simulate_with_telemetry, SimConfig};
+use muri_sim::{simulate, simulate_audited, simulate_with_telemetry, JobPhase, SimConfig};
 use muri_telemetry::{Telemetry, TelemetrySink};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// A CLI failure with its exit code.
@@ -116,16 +116,18 @@ const USAGE: &str = "usage:
   muri lint [--json] [--root DIR]
   muri serve [--port P] [--machines N] [--policy NAME] [--workers N]
              [--tenants \"a=8,b\"] [--incremental] [--time-scale F]
-             [--journal FILE]
+             [--journal FILE] [--state DIR] [--recover]
+             [--max-open N] [--tenant-depth N] [--retry-after-ms MS]
+             [--cmd-queue N] [--read-timeout-ms MS] [--snapshot-every N]
   muri serve-load --addr HOST:PORT [--jobs N] [--gpus G] [--iters I]
                   [--model NAME] [--tenant NAME] [--journal FILE]
-                  [--shutdown]
+                  [--shutdown] [--no-wait]
   muri validate
 
 policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s muri-l
 
 `muri lint` runs the muri-lint determinism & audit-coverage scanner over
-the workspace sources (rules D001-D004, C001, A001, S001; suppress a
+the workspace sources (rules D001-D005, C001, A001, S001; suppress a
 finding with `// muri-lint: allow(RULE, reason = \"...\")`). --json emits a
 machine-readable report; a finding exits 3.
 
@@ -136,11 +138,21 @@ startup); --tenants enables closed-mode multi-tenancy with optional
 per-tenant GPU quotas (\"alice=8,bob\" caps alice at 8 GPUs and leaves
 bob unlimited); --incremental re-plans only dirty profile classes;
 --time-scale F runs F scheduler-seconds per wall-second; --journal
-flushes the telemetry journal to FILE on graceful shutdown.
+flushes the telemetry journal to FILE on graceful shutdown. --state DIR
+makes the daemon durable: every submit/cancel/config is fsync'd to an
+op log in DIR (compacted into snapshots every --snapshot-every ops)
+before it is acknowledged, and --recover replays that journal back to
+the exact pre-crash state on boot (the replay is audited with
+muri-verify first; a divergent journal refuses to boot, exit 3).
+--max-open and --tenant-depth bound the open-job queue globally and per
+tenant; saturated submits are refused with 503/429 + a Retry-After of
+--retry-after-ms. --cmd-queue bounds the worker->scheduler channel and
+--read-timeout-ms bounds slow clients (413 for oversized bodies, 408
+for stalled reads).
 `muri serve-load` drives a running daemon: submits --jobs identical
-jobs, polls them to completion, prints a one-line JSON summary, and
-optionally fetches the journal (--journal) and stops the daemon
-(--shutdown).
+jobs, polls them to completion (--no-wait skips the polling, for
+crash-recovery smokes), prints a one-line JSON summary, and optionally
+fetches the journal (--journal) and stops the daemon (--shutdown).
 
 `muri simulate` is an alias for `muri sim`. The telemetry flags export
 the run's event journal (JSONL), Prometheus metrics, and a Chrome
@@ -393,11 +405,16 @@ fn parse_tenants(spec: &str) -> Result<Vec<muri_serve::TenantConfig>, CliError> 
 
 /// `muri serve [--port P] [--machines N] [--policy NAME] [--workers N]
 ///             [--tenants "a=8,b"] [--incremental] [--time-scale F]
-///             [--journal FILE]`
+///             [--journal FILE] [--state DIR] [--recover]
+///             [--max-open N] [--tenant-depth N] [--retry-after-ms MS]
+///             [--cmd-queue N] [--read-timeout-ms MS]
+///             [--snapshot-every N]`
 ///
 /// Boot the always-on scheduler daemon. Blocks until a client POSTs
 /// `/v1/shutdown`, then drains, checkpoints running groups, flushes the
-/// journal, and exits 0.
+/// journal, and exits 0. With `--state` every mutating op is journaled
+/// before it is acknowledged; with `--recover` the journal is replayed
+/// (and audited) on boot.
 fn run_serve(args: &[String]) -> Result<(), CliError> {
     let mut port = 0u16;
     let mut machines = 8u32;
@@ -407,6 +424,12 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
     let mut plan_mode = muri_core::PlanMode::Full;
     let mut time_scale = 1.0f64;
     let mut journal: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut recover = false;
+    let mut limits = muri_serve::ServeLimits::default();
+    let mut cmd_queue = 256usize;
+    let mut read_timeout_ms = 5000u64;
+    let mut snapshot_every = muri_serve::journal::DEFAULT_SNAPSHOT_EVERY;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> Result<&String, CliError> {
@@ -451,13 +474,60 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             "--journal" => {
                 journal = Some(value("a file path")?.clone());
             }
+            "--state" => {
+                state_dir = Some(value("a directory")?.clone());
+            }
+            "--recover" => recover = true,
+            "--max-open" => {
+                limits.max_open_jobs = value("a count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --max-open count"))?;
+            }
+            "--tenant-depth" => {
+                limits.tenant_depth = value("a count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --tenant-depth count"))?;
+            }
+            "--retry-after-ms" => {
+                limits.retry_after_ms = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --retry-after-ms value"))?;
+            }
+            "--cmd-queue" => {
+                cmd_queue = value("a depth")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --cmd-queue depth"))?;
+                if cmd_queue == 0 {
+                    return Err(CliError::usage("--cmd-queue must be >= 1"));
+                }
+            }
+            "--read-timeout-ms" => {
+                read_timeout_ms = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --read-timeout-ms value"))?;
+            }
+            "--snapshot-every" => {
+                snapshot_every = value("an op count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --snapshot-every count"))?;
+                if snapshot_every == 0 {
+                    return Err(CliError::usage("--snapshot-every must be >= 1"));
+                }
+            }
             other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
+    }
+    if recover && state_dir.is_none() {
+        return Err(CliError::usage("--recover needs --state DIR"));
     }
     let sim = SimConfig {
         cluster: muri_cluster::ClusterSpec::with_machines(machines),
         ..SimConfig::testbed(SchedulerConfig::preset(policy))
     };
+    if recover {
+        let dir = PathBuf::from(state_dir.as_deref().unwrap_or_default());
+        audit_recovered_journal(&sim, &tenants, plan_mode, limits, &dir)?;
+    }
     let mut cfg = muri_serve::ServerConfig::new(sim);
     cfg.addr = format!("127.0.0.1:{port}");
     cfg.workers = workers;
@@ -465,15 +535,105 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
     cfg.plan_mode = plan_mode;
     cfg.time_scale = time_scale;
     cfg.journal_path = journal;
+    cfg.limits = limits;
+    cfg.cmd_queue_depth = cmd_queue;
+    cfg.read_timeout_ms = read_timeout_ms;
+    cfg.state_dir = state_dir;
+    cfg.recover = recover;
+    cfg.snapshot_every = snapshot_every;
     muri_serve::serve(cfg).map_err(|e| CliError::runtime(format!("serve: {e}")))
+}
+
+/// Dry-run a recovery from `dir` under the deterministic clock and
+/// audit the replayed op log with `muri_verify::audit_recovery_replay`:
+/// monotone sequencing, zero jobs lost, no id reissuable. A divergent
+/// journal refuses the boot (exit 3) before the daemon ever binds.
+fn audit_recovered_journal(
+    sim: &SimConfig,
+    tenants: &[muri_serve::TenantConfig],
+    plan_mode: muri_core::PlanMode,
+    limits: muri_serve::ServeLimits,
+    dir: &Path,
+) -> Result<(), CliError> {
+    use muri_serve::OpRecord;
+    use muri_verify::{ReplayOp, ReplayOpKind, ReplayedState};
+    let (snapshot, log) = muri_serve::journal::load_state(dir)
+        .map_err(|e| CliError::runtime(format!("recovery state in {}: {e}", dir.display())))?;
+    let boot = muri_serve::RecoverBoot {
+        cfg: sim,
+        name: "serve-recovery-audit".to_string(),
+        tenants: tenants.to_vec(),
+        plan_mode,
+        limits,
+        live_time_scale: None,
+        sink: muri_telemetry::TelemetrySink::disabled(),
+    };
+    let (core, summary) = muri_serve::ServeCore::recover(boot, &snapshot, &log)
+        .map_err(|e| CliError::runtime(format!("recovery replay: {e}")))?;
+    let ops: Vec<ReplayOp> = core
+        .history()
+        .iter()
+        .filter_map(|op| {
+            let kind = match op {
+                OpRecord::Submit { spec, .. } => ReplayOpKind::Submit { job: spec.id.0 },
+                OpRecord::Cancel { job, shed, .. } => ReplayOpKind::Cancel {
+                    job: *job,
+                    shed: *shed,
+                },
+                OpRecord::Config { .. } => ReplayOpKind::Config,
+                OpRecord::Checkpoint { .. } => ReplayOpKind::Checkpoint,
+                OpRecord::Complete { job, .. } => ReplayOpKind::Complete { job: *job },
+                OpRecord::Header { .. } => return None,
+            };
+            Some(ReplayOp {
+                seq: op.seq().unwrap_or(0),
+                time_us: op.time().map_or(0, muri_workload::SimTime::as_micros),
+                kind,
+            })
+        })
+        .collect();
+    let mut state = ReplayedState {
+        next_id: core.next_id(),
+        ..ReplayedState::default()
+    };
+    for id in 0..core.next_id() {
+        if let Some(view) = core.status(id) {
+            match view.status.phase {
+                JobPhase::Finished | JobPhase::Cancelled | JobPhase::Rejected => {
+                    state.terminal.push(id);
+                }
+                JobPhase::Queued | JobPhase::Running => state.open.push(id),
+            }
+        }
+    }
+    let report = muri_verify::audit_recovery_replay(&ops, &state);
+    if report.is_clean() {
+        eprintln!(
+            "recovery audit OK: {} ops ({} submits, {} cancels, {} sheds, \
+             {} configs, {} completions) replay clean under {} checks",
+            summary.ops,
+            summary.submits,
+            summary.cancels,
+            summary.sheds,
+            summary.configs,
+            summary.completions,
+            report.checks
+        );
+        Ok(())
+    } else {
+        eprint!("{}", report.render());
+        Err(CliError::Violations(report.violations.len()))
+    }
 }
 
 /// `muri serve-load --addr HOST:PORT [--jobs N] [--gpus G] [--iters I]
 ///                  [--model NAME] [--tenant NAME] [--journal FILE]
-///                  [--shutdown]`
+///                  [--shutdown] [--no-wait]`
 ///
 /// Drive a running daemon over HTTP: submit a batch of identical jobs,
-/// poll them to completion, and print a one-line JSON summary.
+/// poll them to completion (unless `--no-wait` — the crash-recovery
+/// smoke kills the daemon mid-load instead), and print a one-line JSON
+/// summary.
 fn run_serve_load(args: &[String]) -> Result<(), CliError> {
     let mut addr: Option<String> = None;
     let mut jobs = 8usize;
@@ -483,6 +643,7 @@ fn run_serve_load(args: &[String]) -> Result<(), CliError> {
     let mut tenant: Option<String> = None;
     let mut journal: Option<PathBuf> = None;
     let mut shutdown = false;
+    let mut no_wait = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> Result<&String, CliError> {
@@ -510,6 +671,7 @@ fn run_serve_load(args: &[String]) -> Result<(), CliError> {
             "--tenant" => tenant = Some(value("a tenant name")?.clone()),
             "--journal" => journal = Some(PathBuf::from(value("a file path")?)),
             "--shutdown" => shutdown = true,
+            "--no-wait" => no_wait = true,
             other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
     }
@@ -551,7 +713,8 @@ fn run_serve_load(args: &[String]) -> Result<(), CliError> {
     // Poll every accepted job to a terminal phase (bounded: ~5 minutes).
     let terminal = ["finished", "cancelled", "rejected"];
     let mut finished = 0usize;
-    for id in &accepted {
+    let poll_ids: &[u64] = if no_wait { &[] } else { &accepted };
+    for id in poll_ids {
         let mut done = false;
         for _ in 0..60_000 {
             let (st, resp) = client

@@ -28,4 +28,4 @@ pub mod event;
 pub mod queue;
 
 pub use event::SchedulerEvent;
-pub use queue::{drive, EventHandler, EventQueue, VirtualClockQueue};
+pub use queue::{drive, drive_due, EventHandler, EventQueue, VirtualClockQueue};

@@ -100,6 +100,25 @@ pub fn drive(q: &mut dyn EventQueue, deadline: SimTime, handler: &mut dyn EventH
     }
 }
 
+/// Dispatch exactly the events due at or before `now`, leaving every
+/// future event queued.
+///
+/// This is the live-harness stepping primitive (and the replayable
+/// event source recovery leans on): unlike [`drive`], nothing is ever
+/// discarded, so a daemon can interleave request handling with event
+/// processing — or replay a journaled operation log op by op — without
+/// losing follow-ups scheduled past `now`. The peek-gate also respects
+/// real-time sources whose [`EventQueue::pop`] withholds not-yet-due
+/// events.
+pub fn drive_due(q: &mut dyn EventQueue, now: SimTime, handler: &mut dyn EventHandler) {
+    while q.peek_time().is_some_and(|at| at <= now) {
+        let Some((at, ev)) = q.pop() else {
+            break;
+        };
+        handler.handle(at, ev, q);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +208,37 @@ mod tests {
         assert_eq!(h.seen, vec![(at(1), SchedulerEvent::PlanRequested)]);
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(at(60)));
+    }
+
+    #[test]
+    fn drive_due_leaves_future_events_queued() {
+        let mut q = VirtualClockQueue::new();
+        q.schedule(at(1), SchedulerEvent::PlanRequested);
+        q.schedule(at(50), SchedulerEvent::MachineFailed(0));
+        q.schedule(at(60), SchedulerEvent::MachineRecovered(0));
+        let mut h = Recorder {
+            seen: Vec::new(),
+            respawn_until: 0,
+        };
+        drive_due(&mut q, at(10), &mut h);
+        // Unlike `drive`, nothing past `now` is consumed.
+        assert_eq!(h.seen, vec![(at(1), SchedulerEvent::PlanRequested)]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(at(50)));
+    }
+
+    #[test]
+    fn drive_due_dispatches_due_followups() {
+        let mut q = VirtualClockQueue::new();
+        q.schedule(at(0), SchedulerEvent::JobSubmitted(0));
+        let mut h = Recorder {
+            seen: Vec::new(),
+            respawn_until: 3,
+        };
+        // Follow-ups land at 1s spacing; only those due by `now` fire.
+        drive_due(&mut q, at(2), &mut h);
+        assert_eq!(h.seen.len(), 3);
+        assert_eq!(q.peek_time(), Some(at(3)));
     }
 
     #[test]

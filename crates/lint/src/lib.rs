@@ -70,6 +70,21 @@ pub const D002_SANCTIONED_CLOCK_FILES: [(&str, &str); 1] = [(
      timing only; planning inputs stay deterministic)",
 )];
 
+/// Individually sanctioned filesystem-persistence sites inside
+/// deterministic crates, with the reason each is allowed. D005 skips
+/// exactly these files. Today this is the daemon's write-ahead journal:
+/// every durable write and fsync in `muri-serve` lives in this one
+/// module so the durability discipline — group-committed `sync_data`
+/// per command burst, atomic temp+rename+dir-fsync compaction,
+/// fail-stop on sync error — is reviewable in one place. A write or
+/// fsync appearing anywhere else in a deterministic crate is a
+/// durability hole the crash-recovery proof cannot see.
+pub const D005_SANCTIONED_PERSISTENCE_FILES: [(&str, &str); 1] = [(
+    "crates/serve/src/journal.rs",
+    "the daemon's single write-ahead journal module: all durable writes \
+     and fsyncs are group-committed and compacted here by design",
+)];
+
 /// Files on the scheduler decision path, where the scaled-integer
 /// fixed-point convention is mandatory (D004). Floats are confined to
 /// the conversion boundary (`weight_from_f64` in `muri-matching::graph`)
@@ -302,6 +317,23 @@ mod tests {
                 "sanction for {path} needs a reason"
             );
         }
+    }
+
+    #[test]
+    fn sanctioned_persistence_files_carry_reasons() {
+        for (path, reason) in D005_SANCTIONED_PERSISTENCE_FILES {
+            assert!(path.starts_with("crates/"), "sanction path {path:?}");
+            assert!(
+                !reason.trim().is_empty(),
+                "sanction for {path} needs a reason"
+            );
+        }
+        // The journal module is the only persistence hole, and it stays
+        // inside the daemon crate.
+        assert_eq!(
+            D005_SANCTIONED_PERSISTENCE_FILES[0].0,
+            "crates/serve/src/journal.rs"
+        );
     }
 
     #[test]

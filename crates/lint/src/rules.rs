@@ -8,6 +8,7 @@
 //! | D002 | no wall-clock reads (`Instant::now`, `SystemTime::now`) in deterministic crates |
 //! | D003 | no unseeded randomness (`thread_rng`, `from_entropy`, `rand::random`) anywhere |
 //! | D004 | no float types/literals in scheduler decision paths (scaled-integer convention) |
+//! | D005 | no filesystem writes/fsyncs outside the sanctioned journal module in deterministic crates |
 //! | C001 | no raw `std::thread::spawn` / `thread::Builder` — use scoped threads |
 //! | A001 | public `plan_*`/`simulate*` entry points carry the `audit` debug hooks |
 //! | S001 | every suppression names known rules and carries a written reason |
@@ -34,6 +35,9 @@ pub enum RuleId {
     D003,
     /// Float arithmetic in a scheduler decision path.
     D004,
+    /// Filesystem access outside the sanctioned persistence module in a
+    /// deterministic crate.
+    D005,
     /// Raw thread spawn outside the approved scoped-thread helpers.
     C001,
     /// Audit-feature debug hook missing from a public entry point.
@@ -44,11 +48,12 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::D001,
         RuleId::D002,
         RuleId::D003,
         RuleId::D004,
+        RuleId::D005,
         RuleId::C001,
         RuleId::A001,
         RuleId::S001,
@@ -61,6 +66,7 @@ impl RuleId {
             RuleId::D002 => "D002",
             RuleId::D003 => "D003",
             RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
             RuleId::C001 => "C001",
             RuleId::A001 => "A001",
             RuleId::S001 => "S001",
@@ -79,6 +85,7 @@ impl RuleId {
             RuleId::D002 => "wall-clock read in a deterministic crate",
             RuleId::D003 => "unseeded randomness",
             RuleId::D004 => "float arithmetic in a scheduler decision path",
+            RuleId::D005 => "filesystem access outside the sanctioned persistence module",
             RuleId::C001 => "raw thread spawn outside the scoped-thread helpers",
             RuleId::A001 => "public entry point without the audit-feature debug hook",
             RuleId::S001 => "suppression without a written reason",
@@ -165,6 +172,7 @@ pub fn check_file(file: &ScannedFile, ctx: &FileContext, enabled: &[RuleId]) -> 
             RuleId::D002 => check_d002(file, ctx, &mut raw),
             RuleId::D003 => check_d003(file, ctx, &mut raw),
             RuleId::D004 => check_d004(file, ctx, &mut raw),
+            RuleId::D005 => check_d005(file, ctx, &mut raw),
             RuleId::C001 => check_c001(file, ctx, &mut raw),
             RuleId::A001 => check_a001(file, ctx, &mut raw),
             RuleId::S001 => check_s001(file, &mut raw),
@@ -508,6 +516,73 @@ fn check_d004(file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Violation>) {
                     "float `{text}` on the scheduler decision path: decisions must \
                      use the scaled-integer fixed-point convention \
                      (weight_from_f64 / WEIGHT_SCALE), or carry a reasoned allow"
+                ),
+            );
+        }
+    }
+}
+
+/// D005 — filesystem writes/fsyncs in deterministic crates.
+///
+/// Flags `fs :: <fn>` paths, unqualified `File :: …` / `OpenOptions ::
+/// …` constructor calls, and `.sync_all()` / `.sync_data()` method
+/// calls. Deterministic code must not touch the filesystem on its own:
+/// durable state flows through the daemon's single write-ahead journal
+/// module, the one entry on the per-file sanction list
+/// [`crate::D005_SANCTIONED_PERSISTENCE_FILES`]. Keeping every write
+/// and fsync in one audited module is what makes the durability
+/// discipline — group-committed fsync, atomic rename compaction,
+/// fail-stop on sync error — checkable at all. A `File`/`OpenOptions`
+/// segment already preceded by `::` is skipped so a fully qualified
+/// `std::fs::File::create` reports once (at the `fs::` segment), not
+/// twice.
+fn check_d005(file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Violation>) {
+    if ctx.class != CrateClass::Deterministic {
+        return;
+    }
+    if crate::D005_SANCTIONED_PERSISTENCE_FILES
+        .iter()
+        .any(|&(path, _reason)| path == file.rel_path)
+    {
+        return;
+    }
+    for ci in 0..file.code_len() {
+        let t = file.code_token(ci);
+        if t.kind != TokenKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        let text = file.code_text(ci);
+        let path_seg = |name: &str| {
+            file.code_is(ci + 1, TokenKind::Punct, "::")
+                .then(|| file.code.get(ci + 2))
+                .flatten()
+                .map(|&ni| format!("{name}::{}", file.tokens[ni].text(&file.src)))
+        };
+        let what = match text {
+            "fs" => path_seg("fs"),
+            "File" | "OpenOptions" if ci == 0 || !file.code_is(ci - 1, TokenKind::Punct, "::") => {
+                path_seg(text)
+            }
+            "sync_all" | "sync_data"
+                if ci > 0
+                    && file.code_is(ci - 1, TokenKind::Punct, ".")
+                    && file.code_is(ci + 1, TokenKind::Punct, "(") =>
+            {
+                Some(format!(".{text}()"))
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            push(
+                out,
+                file,
+                ci,
+                RuleId::D005,
+                format!(
+                    "filesystem access `{what}` in deterministic crate {}: durable \
+                     state goes through the sanctioned journal module \
+                     (crates/serve/src/journal.rs), or carry a reasoned allow",
+                    ctx.crate_name
                 ),
             );
         }

@@ -1,0 +1,18 @@
+// D005 negative: deterministic code renders journal text and hands it
+// to the sanctioned persistence module; the one direct write sits in
+// test code, which is exempt.
+
+pub fn render_journal(lines: &[String]) -> String {
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writing_a_scratch_file_in_a_test_is_fine() {
+        let body = render_journal(&["{}".to_string()]);
+        std::fs::write("/tmp/scratch.jsonl", body).unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+// D005 positive: filesystem writes and fsyncs in a deterministic
+// crate, outside the sanctioned persistence module.
+// Expected: D005 at lines 5, 8, 9, 10, 11, 12.
+
+use std::fs::File;
+
+pub fn persist(path: &str, body: &str) -> std::io::Result<()> {
+    std::fs::write(path, body)?;
+    std::fs::rename(path, "renamed")?;
+    let out = File::create(path)?;
+    out.sync_all()?;
+    let _opts = std::fs::OpenOptions::new();
+    Ok(())
+}

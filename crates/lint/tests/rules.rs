@@ -225,6 +225,72 @@ fn d004_is_scoped_to_decision_paths() {
 }
 
 #[test]
+fn d005_filesystem_persistence() {
+    check_rule(
+        RuleId::D005,
+        include_str!("fixtures/d005_pos.rs"),
+        include_str!("fixtures/d005_neg.rs"),
+        &det_ctx(),
+        &[
+            (RuleId::D005, 5),
+            (RuleId::D005, 8),
+            (RuleId::D005, 9),
+            (RuleId::D005, 10),
+            (RuleId::D005, 11),
+            (RuleId::D005, 12),
+        ],
+    );
+}
+
+#[test]
+fn d005_is_scoped_to_deterministic_crates() {
+    let pos = include_str!("fixtures/d005_pos.rs");
+    let r = scan(pos, &harness_ctx(), &LintConfig::default());
+    assert!(
+        r.violations.is_empty(),
+        "harness crates may touch the filesystem: {:?}",
+        r.violations
+    );
+}
+
+#[test]
+fn d005_sanctions_exactly_the_serve_journal() {
+    // muri-serve is a deterministic crate, but its write-ahead journal
+    // module (crates/serve/src/journal.rs) is on the sanction list: the
+    // same writes and fsyncs are clean there and violations in any
+    // other serve module. Pinned by line so a lexer or sanction change
+    // that widens the hole fails loudly.
+    let pos = include_str!("fixtures/d005_pos.rs");
+    let serve_ctx = FileContext {
+        crate_name: "muri-serve".to_string(),
+        class: CrateClass::Deterministic,
+        decision_path: false,
+    };
+    let cfg = LintConfig::only(RuleId::D005);
+
+    let sanctioned = scan_source("crates/serve/src/journal.rs", pos, &serve_ctx, &cfg);
+    assert!(
+        sanctioned.violations.is_empty(),
+        "the sanctioned journal module must be clean: {:?}",
+        sanctioned.violations
+    );
+
+    let unsanctioned = scan_source("crates/serve/src/server.rs", pos, &serve_ctx, &cfg);
+    assert_eq!(
+        findings(&unsanctioned),
+        &[
+            (RuleId::D005, 5),
+            (RuleId::D005, 8),
+            (RuleId::D005, 9),
+            (RuleId::D005, 10),
+            (RuleId::D005, 11),
+            (RuleId::D005, 12),
+        ],
+        "every other serve module keeps the full D005 discipline"
+    );
+}
+
+#[test]
 fn c001_raw_thread_spawn() {
     check_rule(
         RuleId::C001,

@@ -2,8 +2,12 @@
 //!
 //! Implements exactly the subset the daemon needs: request line,
 //! headers, `Content-Length` bodies, keep-alive by default, bounded
-//! reads. The [`HttpClient`] half is what the CLI load generator, the
-//! integration tests, and the benches talk through.
+//! reads. Reads are doubly bounded: a per-line/body size cap (an
+//! oversized declaration is refused with `413` *before* the body is
+//! read) and a socket read timeout set by the server (a stalled client
+//! gets `408` and its connection back, instead of parking a worker
+//! thread forever). The [`HttpClient`] half is what the CLI load
+//! generator, the integration tests, and the benches talk through.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -26,13 +30,48 @@ pub struct Request {
     pub keep_alive: bool,
 }
 
-fn bad(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+/// Why a request could not be read — each maps to a distinct HTTP
+/// status on the server side.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Declared body exceeds [`MAX_BODY`]: refused *without* reading
+    /// the body (→ `413 Payload Too Large`).
+    TooLarge,
+    /// The socket read timed out mid-request: a slow or stalled client
+    /// (→ `408 Request Timeout`).
+    Timeout,
+    /// Anything else — bad request line, bad length, non-UTF-8 body,
+    /// peer reset (→ `400 Bad Request`).
+    Malformed(String),
 }
 
-fn read_line_bounded(r: &mut impl BufRead) -> io::Result<Option<String>> {
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::TooLarge => write!(f, "request body too large"),
+            RequestError::Timeout => write!(f, "request read timed out"),
+            RequestError::Malformed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> RequestError {
+    RequestError::Malformed(msg.into())
+}
+
+fn classify(e: &io::Error) -> RequestError {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => RequestError::Timeout,
+        _ => RequestError::Malformed(e.to_string()),
+    }
+}
+
+fn read_line_bounded(r: &mut impl BufRead) -> Result<Option<String>, RequestError> {
     let mut line = String::new();
-    let n = r.take(MAX_LINE as u64).read_line(&mut line)?;
+    let n = r
+        .take(MAX_LINE as u64)
+        .read_line(&mut line)
+        .map_err(|e| classify(&e))?;
     if n == 0 {
         return Ok(None);
     }
@@ -47,7 +86,7 @@ fn read_line_bounded(r: &mut impl BufRead) -> io::Result<Option<String>> {
 
 /// Read one request off the connection. `Ok(None)` means the peer closed
 /// cleanly between requests.
-pub fn read_request(r: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+pub fn read_request(r: &mut BufReader<TcpStream>) -> Result<Option<Request>, RequestError> {
     let Some(start) = read_line_bounded(r)? else {
         return Ok(None);
     };
@@ -80,10 +119,12 @@ pub fn read_request(r: &mut BufReader<TcpStream>) -> io::Result<Option<Request>>
         }
     }
     if content_length > MAX_BODY {
-        return Err(bad("request body too large"));
+        // Refuse before reading: an attacker-declared length never
+        // allocates or drains through the worker.
+        return Err(RequestError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body)?;
+    r.read_exact(&mut body).map_err(|e| classify(&e))?;
     let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
     Ok(Some(Request {
         method,
@@ -101,13 +142,33 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
+    write_response_with(w, status, reason, content_type, &[], body)
+}
+
+/// [`write_response`] with extra headers (e.g. `Retry-After` on
+/// backpressure refusals).
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
     )?;
+    for (k, v) in extra_headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(w, "Connection: keep-alive\r\n\r\n{body}")?;
     w.flush()
 }
+
+/// Status code, lowercased response headers, and body of one exchange.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
 
 /// A keep-alive HTTP/1.1 client over one `TcpStream`.
 #[derive(Debug)]
@@ -128,6 +189,19 @@ impl HttpClient {
     /// Issue one request and return `(status, body)`. The connection is
     /// reused across calls.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request_full(method, path, body)
+            .map(|(status, _, body)| (status, body))
+    }
+
+    /// Issue one request and return `(status, headers, body)` — the
+    /// headers lowercased, for tests that assert on `Retry-After`.
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> io::Result<FullResponse> {
+        let io_bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
         {
             let stream = self.reader.get_mut();
             write!(
@@ -137,36 +211,43 @@ impl HttpClient {
             )?;
             stream.flush()?;
         }
-        let Some(status_line) = read_line_bounded(&mut self.reader)? else {
-            return Err(bad("connection closed before response"));
+        let read_line = |r: &mut BufReader<TcpStream>| -> io::Result<Option<String>> {
+            read_line_bounded(r)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        };
+        let Some(status_line) = read_line(&mut self.reader)? else {
+            return Err(io_bad("connection closed before response"));
         };
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+            .ok_or_else(|| io_bad(&format!("malformed status line {status_line:?}")))?;
+        let mut headers = Vec::new();
         let mut content_length = 0usize;
         loop {
-            let Some(line) = read_line_bounded(&mut self.reader)? else {
-                return Err(bad("connection closed inside response headers"));
+            let Some(line) = read_line(&mut self.reader)? else {
+                return Err(io_bad("connection closed inside response headers"));
             };
             if line.is_empty() {
                 break;
             }
             if let Some((k, v)) = line.split_once(':') {
-                if k.trim().eq_ignore_ascii_case("content-length") {
+                let k = k.trim().to_ascii_lowercase();
+                let v = v.trim().to_string();
+                if k == "content-length" {
                     content_length = v
-                        .trim()
                         .parse()
-                        .map_err(|_| bad("bad response content-length"))?;
+                        .map_err(|_| io_bad("bad response content-length"))?;
                 }
+                headers.push((k, v));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         String::from_utf8(body)
-            .map(|b| (status, b))
-            .map_err(|_| bad("response body is not UTF-8"))
+            .map(|b| (status, headers, b))
+            .map_err(|_| io_bad("response body is not UTF-8"))
     }
 
     /// Shorthand for a body-less `GET`.

@@ -30,6 +30,12 @@ pub struct SubmitResponse {
     /// Refusal reason (present iff not accepted).
     #[serde(default)]
     pub reason: Option<String>,
+    /// Present on *retryable* refusals (daemon saturated, not a bad
+    /// request): how long the client should back off. Surfaced as a
+    /// `429`/`503` with a `Retry-After` header; permanent refusals
+    /// (bad shape, unknown tenant, over quota) stay `409`.
+    #[serde(default)]
+    pub retry_after_ms: Option<u64>,
 }
 
 /// `GET /v1/jobs/{id}` response body.
@@ -57,6 +63,27 @@ pub struct ShutdownResponse {
     pub checkpointed_jobs: usize,
     /// Events in the flushed telemetry journal.
     pub journal_events: usize,
+}
+
+/// `POST /v1/config` request body: a rolling configuration change,
+/// applied without restart and journaled so recovery replays it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigRequest {
+    /// Tenant-quota upserts (tenants not named keep their quota).
+    #[serde(default)]
+    pub tenants: Vec<crate::tenant::TenantConfig>,
+    /// Planning-mode change: `"full"` or `"incremental"`.
+    #[serde(default)]
+    pub plan_mode: Option<String>,
+}
+
+/// `POST /v1/config` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigResponse {
+    /// Whether the change was applied (and journaled).
+    pub applied: bool,
+    /// Tenant rows upserted.
+    pub tenants_updated: usize,
 }
 
 /// Error response body (any non-2xx status).

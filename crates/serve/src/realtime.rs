@@ -19,6 +19,7 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy)]
 pub struct WallClock {
     origin: Instant,
+    start: SimTime,
     scale: f64,
 }
 
@@ -27,6 +28,15 @@ impl WallClock {
     /// positive and finite.
     #[must_use]
     pub fn new(scale: f64) -> Self {
+        WallClock::resume_at(SimTime::ZERO, scale)
+    }
+
+    /// Start a clock at scheduler time `start` — the crash-recovery
+    /// boot path: a recovered daemon resumes scheduler time where the
+    /// journal left off, so every replayed event is already due and
+    /// new wall time extends the old timeline instead of rewinding it.
+    #[must_use]
+    pub fn resume_at(start: SimTime, scale: f64) -> Self {
         let scale = if scale.is_finite() && scale > 0.0 {
             scale
         } else {
@@ -34,6 +44,7 @@ impl WallClock {
         };
         WallClock {
             origin: Instant::now(),
+            start,
             scale,
         }
     }
@@ -43,7 +54,17 @@ impl WallClock {
     pub fn now_sim(&self) -> SimTime {
         let wall_us = u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX);
         let sim_us = (wall_us as f64 * self.scale).min(u64::MAX as f64) as u64;
-        SimTime::ZERO + SimDuration::from_micros(sim_us)
+        self.start + SimDuration::from_micros(sim_us)
+    }
+
+    /// Wall-clock time until scheduler instant `at` comes due
+    /// (zero when already due). The scheduler thread sleeps exactly
+    /// this long instead of busy-polling.
+    #[must_use]
+    pub fn wall_until(&self, at: SimTime) -> std::time::Duration {
+        let sim_us = at.since(self.now_sim()).as_micros();
+        let wall_us = (sim_us as f64 / self.scale).min(u64::MAX as f64) as u64;
+        std::time::Duration::from_micros(wall_us)
     }
 
     /// The scheduler-seconds-per-wall-second scale.
@@ -128,5 +149,33 @@ mod tests {
         assert!((WallClock::new(f64::NAN).scale() - 1.0).abs() < f64::EPSILON);
         assert!((WallClock::new(-3.0).scale() - 1.0).abs() < f64::EPSILON);
         assert!((WallClock::new(600.0).scale() - 600.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn resumed_clock_starts_where_the_journal_left_off() {
+        let start = SimTime::from_secs(5000);
+        let clock = WallClock::resume_at(start, 1.0);
+        let now = clock.now_sim();
+        assert!(now >= start, "resumed clock rewound to {now:?}");
+        // A recovered queue's backlog (events at or before `start`) is
+        // due immediately.
+        let mut q = RealTimeQueue::new(clock);
+        q.schedule(SimTime::from_secs(10), SchedulerEvent::PlanRequested);
+        assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn wall_until_maps_sim_lead_through_the_scale() {
+        // 600 scheduler-seconds per wall second: a 600-sim-second lead
+        // is about one wall second away.
+        let clock = WallClock::new(600.0);
+        let wait = clock.wall_until(clock.now_sim() + SimDuration::from_secs(600));
+        assert!(wait <= std::time::Duration::from_secs(1), "{wait:?}");
+        assert!(wait >= std::time::Duration::from_millis(900), "{wait:?}");
+        // A past-due instant needs no wait at all.
+        assert_eq!(
+            clock.wall_until(SimTime::ZERO),
+            std::time::Duration::from_micros(0)
+        );
     }
 }

@@ -7,15 +7,24 @@
 //! demand, not in concrete GPUs). Outstanding demand is held from
 //! admission until the job finishes, is cancelled, or is rejected by
 //! placement.
+//!
+//! Holds are keyed by job id and releases are idempotent: a job whose
+//! cancel races its completion (both paths call
+//! [`TenantRegistry::release_job`]) gives its demand back exactly once.
+//! The pre-ledger implementation subtracted a raw GPU count with
+//! `saturating_sub`, which silently masked such double releases and
+//! leaked quota headroom to the tenant.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One tenant's configured share.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TenantConfig {
     /// Tenant name (the `tenant` field of a submission).
     pub name: String,
     /// Outstanding-GPU-demand quota; `None` is unlimited.
+    #[serde(default)]
     pub quota_gpus: Option<u32>,
 }
 
@@ -33,6 +42,8 @@ struct Tenant {
 #[derive(Debug, Default)]
 pub struct TenantRegistry {
     tenants: BTreeMap<String, Tenant>,
+    /// Admitted-but-not-yet-released holds: job id → (tenant, GPUs).
+    held: BTreeMap<u32, (String, u32)>,
     closed: bool,
 }
 
@@ -53,12 +64,20 @@ impl TenantRegistry {
                 )
             })
             .collect();
-        TenantRegistry { tenants, closed }
+        TenantRegistry {
+            tenants,
+            held: BTreeMap::new(),
+            closed,
+        }
     }
 
-    /// Admit `num_gpus` of new demand for `tenant`, or explain the
-    /// refusal. Admitted demand is held until [`release`](Self::release).
-    pub fn admit(&mut self, tenant: &str, num_gpus: u32) -> Result<(), String> {
+    /// Admit `num_gpus` of new demand for `tenant` on behalf of job
+    /// `job`, or explain the refusal. Admitted demand is held until
+    /// [`release_job`](Self::release_job).
+    pub fn hold(&mut self, tenant: &str, job: u32, num_gpus: u32) -> Result<(), String> {
+        if self.held.contains_key(&job) {
+            return Err(format!("job {job} already holds tenant demand"));
+        }
         if !self.tenants.contains_key(tenant) {
             if self.closed {
                 return Err(format!("unknown tenant {tenant:?}"));
@@ -78,15 +97,47 @@ impl TenantRegistry {
             }
         }
         t.outstanding = t.outstanding.saturating_add(num_gpus);
+        self.held.insert(job, (tenant.to_string(), num_gpus));
         Ok(())
     }
 
-    /// Return `num_gpus` of demand to `tenant` (job finished, cancelled,
-    /// or rejected by placement).
-    pub fn release(&mut self, tenant: &str, num_gpus: u32) {
-        if let Some(t) = self.tenants.get_mut(tenant) {
+    /// Return job `job`'s held demand to its tenant (job finished, was
+    /// cancelled, or was rejected by placement). Idempotent: only the
+    /// first release for a given job id moves the ledger; later calls
+    /// return `false` and change nothing.
+    pub fn release_job(&mut self, job: u32) -> bool {
+        let Some((tenant, num_gpus)) = self.held.remove(&job) else {
+            return false;
+        };
+        if let Some(t) = self.tenants.get_mut(&tenant) {
+            debug_assert!(
+                t.outstanding >= num_gpus,
+                "tenant {tenant:?} ledger underflow: outstanding {} < released {num_gpus}",
+                t.outstanding
+            );
             t.outstanding = t.outstanding.saturating_sub(num_gpus);
         }
+        true
+    }
+
+    /// Apply a rolling quota change: upsert every named tenant's quota,
+    /// preserving its outstanding holds; tenants not named keep their
+    /// current quota. A non-empty update on an open registry switches
+    /// it to closed mode.
+    pub fn apply_config(&mut self, configs: &[TenantConfig]) {
+        if !configs.is_empty() {
+            self.closed = true;
+        }
+        for c in configs {
+            let t = self.tenants.entry(c.name.clone()).or_default();
+            t.quota = c.quota_gpus;
+        }
+    }
+
+    /// Open-job count currently held by `tenant`.
+    #[must_use]
+    pub fn held_jobs(&self, tenant: &str) -> usize {
+        self.held.values().filter(|(t, _)| t == tenant).count()
     }
 
     /// Outstanding GPU demand currently held by `tenant`.
@@ -119,31 +170,81 @@ mod tests {
     #[test]
     fn open_mode_accepts_anyone() {
         let mut reg = TenantRegistry::new(vec![]);
-        assert!(reg.admit("alice", 8).is_ok());
-        assert!(reg.admit("bob", 1024).is_ok());
+        assert!(reg.hold("alice", 0, 8).is_ok());
+        assert!(reg.hold("bob", 1, 1024).is_ok());
         assert_eq!(reg.outstanding("alice"), 8);
+        assert_eq!(reg.held_jobs("alice"), 1);
     }
 
     #[test]
     fn closed_mode_rejects_unknown_tenants() {
         let mut reg = TenantRegistry::new(vec![cfg("alice", Some(8))]);
-        assert!(reg.admit("mallory", 1).is_err());
+        assert!(reg.hold("mallory", 0, 1).is_err());
     }
 
     #[test]
     fn quota_is_enforced_and_released() {
         let mut reg = TenantRegistry::new(vec![cfg("alice", Some(8))]);
-        assert!(reg.admit("alice", 4).is_ok());
-        assert!(reg.admit("alice", 4).is_ok());
-        assert!(reg.admit("alice", 1).is_err());
-        reg.release("alice", 4);
-        assert!(reg.admit("alice", 4).is_ok());
+        assert!(reg.hold("alice", 0, 4).is_ok());
+        assert!(reg.hold("alice", 1, 4).is_ok());
+        assert!(reg.hold("alice", 2, 1).is_err());
+        assert!(reg.release_job(0));
+        assert!(reg.hold("alice", 3, 4).is_ok());
         assert_eq!(reg.outstanding("alice"), 8);
+    }
+
+    #[test]
+    fn double_release_is_idempotent() {
+        // Regression: cancel-then-complete used to subtract the job's
+        // GPUs twice, silently leaking quota headroom through
+        // `saturating_sub`.
+        let mut reg = TenantRegistry::new(vec![cfg("alice", Some(8))]);
+        assert!(reg.hold("alice", 0, 4).is_ok());
+        assert!(reg.hold("alice", 1, 4).is_ok());
+        assert!(reg.release_job(0));
+        assert!(!reg.release_job(0), "second release must be a no-op");
+        assert_eq!(
+            reg.outstanding("alice"),
+            4,
+            "job 1's hold must survive job 0's double release"
+        );
+        assert!(reg.hold("alice", 2, 4).is_ok());
+        assert!(
+            reg.hold("alice", 3, 1).is_err(),
+            "quota headroom was leaked by a double release"
+        );
+    }
+
+    #[test]
+    fn duplicate_hold_for_one_job_is_refused() {
+        let mut reg = TenantRegistry::new(vec![]);
+        assert!(reg.hold("alice", 7, 2).is_ok());
+        assert!(reg.hold("alice", 7, 2).is_err());
+        assert_eq!(reg.outstanding("alice"), 2);
     }
 
     #[test]
     fn unlimited_tenant_in_closed_mode() {
         let mut reg = TenantRegistry::new(vec![cfg("alice", None)]);
-        assert!(reg.admit("alice", 10_000).is_ok());
+        assert!(reg.hold("alice", 0, 10_000).is_ok());
+    }
+
+    #[test]
+    fn rolling_config_upserts_quotas_and_preserves_holds() {
+        let mut reg = TenantRegistry::new(vec![cfg("alice", Some(8))]);
+        assert!(reg.hold("alice", 0, 8).is_ok());
+        // Raise alice, add bob.
+        reg.apply_config(&[cfg("alice", Some(12)), cfg("bob", Some(4))]);
+        assert_eq!(reg.outstanding("alice"), 8);
+        assert!(reg.hold("alice", 1, 4).is_ok());
+        assert!(reg.hold("alice", 2, 1).is_err());
+        assert!(reg.hold("bob", 3, 4).is_ok());
+        // Lowering below current holds refuses new demand but keeps
+        // existing holds intact.
+        reg.apply_config(&[cfg("alice", Some(2))]);
+        assert_eq!(reg.outstanding("alice"), 12);
+        assert!(reg.hold("alice", 4, 1).is_err());
+        assert!(reg.release_job(1));
+        assert_eq!(reg.outstanding("alice"), 8);
     }
 }

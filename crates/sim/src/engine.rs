@@ -433,12 +433,7 @@ impl EngineCore {
     /// primitive, called as wall time (mapped to scheduler time)
     /// passes.
     pub fn advance_to(&mut self, deadline: SimTime, q: &mut dyn EventQueue) {
-        while q.peek_time().is_some_and(|at| at <= deadline) {
-            let Some((at, ev)) = q.pop() else {
-                break;
-            };
-            self.handle(at, ev, q);
-        }
+        muri_engine::drive_due(q, deadline, self);
         if deadline > self.now {
             self.now = deadline;
         }
@@ -1604,6 +1599,14 @@ impl EngineCore {
             queued: self.queue.clone(),
             finished,
             rejected,
+            // Only arrived cancellations: a pre-arrival cancel swallows
+            // the arrival, so the job never enters the tracked universe.
+            cancelled: self
+                .cancelled
+                .iter()
+                .filter(|id| self.jobs.contains_key(id))
+                .copied()
+                .collect(),
             arrived: self.jobs.keys().copied().collect(),
         }
     }
@@ -1661,6 +1664,12 @@ impl EngineCore {
                 .collect(),
             queued: self.queue.clone(),
             finished,
+            cancelled: self
+                .cancelled
+                .iter()
+                .filter(|id| self.jobs.contains_key(id))
+                .copied()
+                .collect(),
             attained_us,
             saved_iters,
             done_iters,

@@ -31,7 +31,12 @@
 //! * **fault recovery** — across scheduling passes no job is lost,
 //!   duplicated, or left assigned to a dead/blacklisted machine, and
 //!   attained service plus durable checkpointed progress stay monotone
-//!   ([`audit_recovery`]).
+//!   ([`audit_recovery`]);
+//! * **crash-recovery replay** — a recovered daemon's op log and
+//!   post-replay state are mutually consistent: monotone sequencing,
+//!   no duplicated/orphaned job references, zero jobs lost, and an id
+//!   allocator that cannot reissue a dead job's identity
+//!   ([`audit_recovery_replay`]).
 //!
 //! Violations come back as a typed [`Violation`] inside an
 //! [`AuditReport`] rather than a panic, so the auditor can run over
@@ -50,6 +55,7 @@ pub mod journal;
 pub mod matching;
 pub mod plan;
 pub mod recovery;
+pub mod replay;
 pub mod tick;
 pub mod timeline;
 pub mod violation;
@@ -60,6 +66,7 @@ pub use journal::audit_journal;
 pub use matching::{audit_matching, audit_pruning, audit_sharding};
 pub use plan::{audit_plan, PlanContext, PlannedGroupRef};
 pub use recovery::{audit_recovery, RecoverySnapshot};
+pub use replay::{audit_recovery_replay, ReplayOp, ReplayOpKind, ReplayedState};
 pub use tick::{audit_tick, GroupSnapshot, TickSnapshot};
 pub use timeline::audit_timeline;
 pub use violation::{AuditReport, Violation};

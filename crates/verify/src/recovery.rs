@@ -33,6 +33,9 @@ pub struct RecoverySnapshot {
     pub queued: Vec<JobId>,
     /// Jobs that finished.
     pub finished: Vec<JobId>,
+    /// Jobs cancelled through the live API (client cancel or overload
+    /// shed) after arriving — a terminal location, not a drop.
+    pub cancelled: Vec<JobId>,
     /// Attained service per tracked job, in microseconds.
     pub attained_us: Vec<(JobId, u64)>,
     /// Durable (checkpointed) iterations per tracked job.
@@ -56,6 +59,7 @@ impl RecoverySnapshot {
             set.extend(g.members.iter().copied());
         }
         set.extend(self.finished.iter().copied());
+        set.extend(self.cancelled.iter().copied());
         set
     }
 }
@@ -86,7 +90,8 @@ fn lookup_machine(map: &[(u32, u64)], machine: u32) -> Option<u64> {
 ///   mark (a fault may roll them back to the last checkpoint, no
 ///   further);
 /// * every job tracked at `prev` is still tracked at `cur` — recovery
-///   requeues, it never drops.
+///   requeues, it never drops (a live-API cancellation moves the job to
+///   the `cancelled` location; it does not untrack it).
 pub fn audit_recovery(prev: Option<&RecoverySnapshot>, cur: &RecoverySnapshot) -> AuditReport {
     let mut report = AuditReport::new();
     report.checks += 1;
@@ -227,6 +232,7 @@ mod tests {
             }],
             queued: jobs(&[3]),
             finished: jobs(&[4]),
+            cancelled: vec![],
             attained_us: vec![
                 (JobId(1), 10),
                 (JobId(2), 20),
@@ -324,5 +330,14 @@ mod tests {
         cur.queued.clear(); // job 3 vanished
         let report = audit_recovery(Some(&prev), &cur);
         assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+
+    #[test]
+    fn cancelled_job_is_still_tracked() {
+        let prev = base();
+        let mut cur = later(base());
+        cur.queued.clear();
+        cur.cancelled = jobs(&[3]); // job 3 cancelled, not dropped
+        assert!(audit_recovery(Some(&prev), &cur).is_clean());
     }
 }

@@ -1,0 +1,215 @@
+//! Auditing crash-recovery journal replay: a recovered daemon's
+//! operation log and post-replay state must be mutually consistent —
+//! monotone op sequencing, no duplicated or orphaned job references,
+//! zero jobs lost, and an id allocator that can never reissue a dead
+//! job's identity.
+//!
+//! The auditor is deliberately decoupled from `muri-serve`'s concrete
+//! journal types (the dependency points the other way everywhere else
+//! in the workspace): callers mirror their op log into [`ReplayOp`]s
+//! and their recovered scheduler state into a [`ReplayedState`]. The
+//! CLI's `serve --recover` path runs this audit after replay and
+//! refuses to boot on violations.
+
+use crate::violation::{AuditReport, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one journaled op did, job-reference-wise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOpKind {
+    /// An accepted submission of the given job id.
+    Submit {
+        /// The submitted job.
+        job: u32,
+    },
+    /// A cancel — client-requested or shed by overload control.
+    Cancel {
+        /// The cancelled job.
+        job: u32,
+        /// True when overload shedding issued it.
+        shed: bool,
+    },
+    /// A rolling config change (no job reference).
+    Config,
+    /// A checkpoint barrier (no job reference).
+    Checkpoint,
+    /// A terminal-phase cross-check for the given job.
+    Complete {
+        /// The terminal job.
+        job: u32,
+    },
+}
+
+/// One journaled op, as mirrored by the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOp {
+    /// Op sequence number (must be strictly increasing).
+    pub seq: u64,
+    /// Scheduler time the op was applied (µs; must be non-decreasing).
+    pub time_us: u64,
+    /// What the op did.
+    pub kind: ReplayOpKind,
+}
+
+/// The recovered scheduler's job-accounting state after replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayedState {
+    /// Next job id the recovered daemon will issue.
+    pub next_id: u32,
+    /// Jobs still open (queued or running) after replay.
+    pub open: Vec<u32>,
+    /// Jobs in a terminal phase (finished/cancelled/rejected) after
+    /// replay.
+    pub terminal: Vec<u32>,
+}
+
+/// Audit a replayed journal against the recovered state. `checks`
+/// counts the audited ops plus one state cross-check.
+#[must_use]
+pub fn audit_recovery_replay(ops: &[ReplayOp], state: &ReplayedState) -> AuditReport {
+    let mut report = AuditReport::new();
+    report.checks = ops.len() + 1;
+    let mut prev_seq = 0u64;
+    let mut prev_time = 0u64;
+    let mut submitted: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut cancelled: BTreeSet<u32> = BTreeSet::new();
+    for op in ops {
+        if op.seq <= prev_seq {
+            report.push(Violation::ReplayDivergence {
+                seq: op.seq,
+                detail: format!("op seq {} not strictly after {}", op.seq, prev_seq),
+            });
+        }
+        if op.time_us < prev_time {
+            report.push(Violation::ReplayDivergence {
+                seq: op.seq,
+                detail: format!("op time {}us rewinds past {}us", op.time_us, prev_time),
+            });
+        }
+        prev_seq = prev_seq.max(op.seq);
+        prev_time = prev_time.max(op.time_us);
+        match &op.kind {
+            ReplayOpKind::Submit { job } => {
+                if submitted.insert(*job, op.seq).is_some() {
+                    report.push(Violation::ReplayDivergence {
+                        seq: op.seq,
+                        detail: format!("job {job} submitted twice"),
+                    });
+                }
+            }
+            ReplayOpKind::Cancel { job, .. } => {
+                if !submitted.contains_key(job) {
+                    report.push(Violation::ReplayDivergence {
+                        seq: op.seq,
+                        detail: format!("cancel references never-submitted job {job}"),
+                    });
+                }
+                cancelled.insert(*job);
+            }
+            ReplayOpKind::Complete { job } => {
+                if !submitted.contains_key(job) {
+                    report.push(Violation::ReplayDivergence {
+                        seq: op.seq,
+                        detail: format!("completion references never-submitted job {job}"),
+                    });
+                }
+            }
+            ReplayOpKind::Config | ReplayOpKind::Checkpoint => {}
+        }
+    }
+    // State cross-checks: no job lost, no id reissuable.
+    let open: BTreeSet<u32> = state.open.iter().copied().collect();
+    let terminal: BTreeSet<u32> = state.terminal.iter().copied().collect();
+    for (&job, &seq) in &submitted {
+        if !open.contains(&job) && !terminal.contains(&job) {
+            report.push(Violation::ReplayDivergence {
+                seq,
+                detail: format!("job {job} was submitted but is lost after replay"),
+            });
+        }
+        if state.next_id <= job {
+            report.push(Violation::ReplayDivergence {
+                seq,
+                detail: format!(
+                    "next id {} would reissue already-used job id {job}",
+                    state.next_id
+                ),
+            });
+        }
+    }
+    for &job in open.intersection(&terminal) {
+        report.push(Violation::ReplayDivergence {
+            seq: prev_seq,
+            detail: format!("job {job} is both open and terminal after replay"),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn submit(seq: u64, time_us: u64, job: u32) -> ReplayOp {
+        ReplayOp {
+            seq,
+            time_us,
+            kind: ReplayOpKind::Submit { job },
+        }
+    }
+
+    fn cancel(seq: u64, time_us: u64, job: u32) -> ReplayOp {
+        ReplayOp {
+            seq,
+            time_us,
+            kind: ReplayOpKind::Cancel { job, shed: false },
+        }
+    }
+
+    #[test]
+    fn clean_replay_passes() {
+        let ops = vec![submit(1, 10, 0), submit(2, 20, 1), cancel(3, 30, 0)];
+        let state = ReplayedState {
+            next_id: 2,
+            open: vec![1],
+            terminal: vec![0],
+        };
+        let report = audit_recovery_replay(&ops, &state);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.checks, 4);
+    }
+
+    #[test]
+    fn id_aliasing_is_flagged() {
+        // Regression shape for the recovery id bug: a replayed log with
+        // a cancelled id must never leave next_id at or below it.
+        let ops = vec![submit(1, 10, 0), cancel(2, 20, 0)];
+        let state = ReplayedState {
+            next_id: 0,
+            open: vec![],
+            terminal: vec![0],
+        };
+        let report = audit_recovery_replay(&ops, &state);
+        assert_eq!(report.count_kind("ReplayDivergence"), 1, "{report}");
+        assert!(report.render().contains("reissue"), "{report}");
+    }
+
+    #[test]
+    fn lost_jobs_and_broken_sequencing_are_flagged() {
+        let ops = vec![
+            submit(2, 10, 0),
+            submit(2, 5, 1),  // duplicate seq AND rewound time
+            submit(2, 5, 1),  // duplicate submit (and seq again)
+            cancel(9, 50, 7), // never-submitted job
+        ];
+        let state = ReplayedState {
+            next_id: 2,
+            open: vec![],
+            terminal: vec![1], // job 0 lost
+        };
+        let report = audit_recovery_replay(&ops, &state);
+        assert!(report.count_kind("ReplayDivergence") >= 5, "{report}");
+        assert!(report.render().contains("lost"), "{report}");
+    }
+}

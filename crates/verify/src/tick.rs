@@ -30,6 +30,9 @@ pub struct TickSnapshot {
     pub finished: Vec<JobId>,
     /// Jobs rejected at submission (demand exceeds the cluster).
     pub rejected: Vec<JobId>,
+    /// Jobs cancelled through the live API (client cancel or overload
+    /// shed) after arriving: out of every queue by design, not lost.
+    pub cancelled: Vec<JobId>,
     /// Every job that has arrived so far.
     pub arrived: Vec<JobId>,
 }
@@ -40,8 +43,8 @@ pub struct TickSnapshot {
 ///   exists in the cluster;
 /// * no group holds GPUs without members;
 /// * every arrived job sits in exactly one of
-///   {queued, running, finished, rejected}, and those sets contain no
-///   job that never arrived.
+///   {queued, running, finished, rejected, cancelled}, and those sets
+///   contain no job that never arrived.
 pub fn audit_tick(snap: &TickSnapshot) -> AuditReport {
     let mut report = AuditReport::new();
     report.checks += 1;
@@ -114,6 +117,9 @@ pub fn audit_tick(snap: &TickSnapshot) -> AuditReport {
     for &job in &snap.rejected {
         where_is.entry(job).or_default().push("rejected");
     }
+    for &job in &snap.cancelled {
+        where_is.entry(job).or_default().push("cancelled");
+    }
     let arrived: std::collections::HashSet<JobId> = snap.arrived.iter().copied().collect();
     for &job in &snap.arrived {
         match where_is.get(&job) {
@@ -172,7 +178,8 @@ mod tests {
             queued: jobs(&[4]),
             finished: jobs(&[5]),
             rejected: jobs(&[6]),
-            arrived: jobs(&[1, 2, 3, 4, 5, 6]),
+            cancelled: jobs(&[7]),
+            arrived: jobs(&[1, 2, 3, 4, 5, 6, 7]),
         }
     }
 
@@ -226,6 +233,14 @@ mod tests {
     fn phantom_job_breaks_conservation() {
         let mut snap = base();
         snap.queued.push(JobId(99)); // never arrived
+        let report = audit_tick(&snap);
+        assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
+    }
+
+    #[test]
+    fn cancelled_job_still_in_a_queue_breaks_conservation() {
+        let mut snap = base();
+        snap.queued.push(JobId(7)); // cancelled AND queued
         let report = audit_tick(&snap);
         assert_eq!(report.count_kind("JobConservationBroken"), 1, "{report}");
     }

@@ -170,6 +170,16 @@ pub enum Violation {
         /// The certified lower bound the incremental plan must meet.
         bound: u32,
     },
+    /// A recovered daemon's replayed op log and post-replay state
+    /// disagree: broken seq/time monotonicity, duplicated or orphaned
+    /// job references, a submitted job lost by replay, or an id
+    /// allocator that could reissue an already-used job id.
+    ReplayDivergence {
+        /// Sequence number of the offending (or nearest) op.
+        seq: u64,
+        /// What diverged.
+        detail: String,
+    },
     /// A quantity that must never shrink across recovery (attained
     /// service, durable checkpointed progress) went backwards between
     /// two scheduling passes.
@@ -205,6 +215,7 @@ impl Violation {
             Violation::IncrementalOutsideDirty { .. } => "IncrementalOutsideDirty",
             Violation::IncrementalStrandedCapacity { .. } => "IncrementalStrandedCapacity",
             Violation::IncrementalLossBound { .. } => "IncrementalLossBound",
+            Violation::ReplayDivergence { .. } => "ReplayDivergence",
             Violation::ProgressRegressed { .. } => "ProgressRegressed",
         }
     }
@@ -320,6 +331,9 @@ impl fmt::Display for Violation {
                 "IncrementalLossBound: incremental utility {utility} is below the \
                  certified bound {bound} (full re-plan achieves {full_utility})"
             ),
+            Violation::ReplayDivergence { seq, detail } => {
+                write!(f, "ReplayDivergence: op seq {seq} — {detail}")
+            }
             Violation::ProgressRegressed {
                 job,
                 metric,

@@ -72,6 +72,7 @@ fn shared_gpu_is_resource_double_booked() {
         queued: vec![],
         finished: vec![],
         rejected: vec![],
+        cancelled: vec![],
         arrived: vec![JobId(1), JobId(2)],
     };
     let report = audit_tick(&snap);
@@ -177,6 +178,7 @@ fn doubly_tracked_job_is_conservation_broken() {
         queued: vec![JobId(7)],
         finished: vec![JobId(7)],
         rejected: vec![],
+        cancelled: vec![],
         arrived: vec![JobId(7)],
     };
     let report = audit_tick(&snap);

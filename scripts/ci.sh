@@ -6,7 +6,7 @@
 #   2. lints             cargo clippy --workspace --all-targets -- -D warnings
 #      (the lint set lives in [workspace.lints] in Cargo.toml + clippy.toml)
 #   3. muri-lint         the workspace determinism & audit-coverage
-#      scanner (rules D001-D004, C001, A001, S001 — see DESIGN.md
+#      scanner (rules D001-D005, C001, A001, S001 — see DESIGN.md
 #      "Static analysis"); any violation fails the build (exit 3)
 #   4. tests             cargo test --workspace -q, then again with the
 #      `audit` feature so the muri-verify debug hooks and the audited
@@ -44,6 +44,12 @@
 #      `muri serve-load` (submit, poll to completion, fetch the
 #      journal, shut down gracefully), validate the fetched journal
 #      with `muri telemetry-check`, and require daemon exit code 0
+#  11. serve crash smoke  durability end to end: boot a daemon with
+#      `--state DIR`, submit load without waiting, SIGKILL it, restart
+#      with `--recover` (the boot-time recovery-replay audit must
+#      report clean), drive the recovered daemon to completion,
+#      validate the journal, assert the idle daemon burns ~no CPU
+#      (no busy-polling), and require a clean graceful exit
 #
 # `scripts/ci.sh --deep` additionally runs the core/matching test suites
 # under Miri and a ThreadSanitizer build when a nightly toolchain with
@@ -167,6 +173,83 @@ cargo run -q -p muri-cli -- telemetry-check --journal "$tmpdir/serve_journal.jso
 if ! wait "$serve_pid"; then
     echo "ci: serve daemon exited non-zero:" >&2
     cat "$tmpdir/serve.log" >&2
+    exit 1
+fi
+
+echo "==> serve crash smoke (SIGKILL mid-load, --recover replay, journal conserved)"
+# Boot a durable daemon, submit load without waiting, SIGKILL it
+# mid-flight, restart from the same state directory with --recover
+# (which runs the recovery-replay audit before serving), drive the
+# recovered daemon to completion, and validate the fetched journal.
+# Finally assert the idle daemon burns ~no CPU (the event loop must
+# sleep on its next deadline, not busy-poll).
+wait_serve_addr() {
+    # $1 = logfile, $2 = pid; prints the bound address or returns 1.
+    _i=0
+    while [ $_i -lt 100 ]; do
+        _addr=$(sed -n 's#^muri-serve listening on http://##p' "$1")
+        if [ -n "$_addr" ]; then
+            printf '%s\n' "$_addr"
+            return 0
+        fi
+        kill -0 "$2" 2>/dev/null || return 1
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    return 1
+}
+statedir="$tmpdir/serve_state"
+target/debug/muri serve --port 0 --time-scale 36000 --workers 2 \
+    --state "$statedir" \
+    >"$tmpdir/crash1.log" 2>&1 &
+crash_pid=$!
+if ! crash_addr=$(wait_serve_addr "$tmpdir/crash1.log" "$crash_pid"); then
+    echo "ci: durable serve daemon never reported its address:" >&2
+    cat "$tmpdir/crash1.log" >&2
+    exit 1
+fi
+cargo run -q -p muri-cli -- serve-load --addr "$crash_addr" \
+    --jobs 6 --gpus 2 --iters 2000 --no-wait
+kill -9 "$crash_pid"
+wait "$crash_pid" 2>/dev/null || true
+
+target/debug/muri serve --port 0 --time-scale 36000 --workers 2 \
+    --state "$statedir" --recover \
+    >"$tmpdir/crash2.log" 2>&1 &
+recover_pid=$!
+if ! recover_addr=$(wait_serve_addr "$tmpdir/crash2.log" "$recover_pid"); then
+    echo "ci: recovered serve daemon never came back up:" >&2
+    cat "$tmpdir/crash2.log" >&2
+    exit 1
+fi
+if ! grep -q "recovery audit OK" "$tmpdir/crash2.log"; then
+    echo "ci: recovered daemon did not report a clean recovery audit:" >&2
+    cat "$tmpdir/crash2.log" >&2
+    kill "$recover_pid" 2>/dev/null || true
+    exit 1
+fi
+cargo run -q -p muri-cli -- serve-load --addr "$recover_addr" \
+    --jobs 4 --gpus 1 --iters 20 \
+    --journal "$tmpdir/crash_journal.jsonl"
+cargo run -q -p muri-cli -- telemetry-check --journal "$tmpdir/crash_journal.jsonl"
+if [ -r "/proc/$recover_pid/stat" ]; then
+    cpu_before=$(awk '{print $14 + $15}' "/proc/$recover_pid/stat")
+    sleep 2
+    cpu_after=$(awk '{print $14 + $15}' "/proc/$recover_pid/stat")
+    # An idle daemon that busy-polled at 2 ms would burn most of a core;
+    # sleeping on the next event deadline keeps it near zero. Allow a
+    # handful of scheduler ticks (USER_HZ is typically 100/sec) of slack.
+    if [ $((cpu_after - cpu_before)) -gt 20 ]; then
+        echo "ci: idle recovered daemon burned $((cpu_after - cpu_before)) CPU ticks over 2s — event loop is busy-polling" >&2
+        kill "$recover_pid" 2>/dev/null || true
+        exit 1
+    fi
+fi
+cargo run -q -p muri-cli -- serve-load --addr "$recover_addr" \
+    --jobs 0 --shutdown >/dev/null
+if ! wait "$recover_pid"; then
+    echo "ci: recovered serve daemon exited non-zero:" >&2
+    cat "$tmpdir/crash2.log" >&2
     exit 1
 fi
 
