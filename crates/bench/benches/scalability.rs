@@ -127,6 +127,7 @@ fn bench_full_scheduling_pass(c: &mut Criterion) {
             submit_time: SimTime::from_secs(i as u64),
             attained: SimDuration::ZERO,
             remaining: SimDuration::from_secs(600 + i as u64),
+            deadline: None,
         })
         .collect();
     let cfg = SchedulerConfig::preset(PolicyKind::MuriS);

@@ -108,6 +108,11 @@ const USAGE: &str = "usage:
                     [--transient-fraction F] [--degraded N]
                     [--degraded-slowdown F]
                     [--checkpoint-interval S] [--checkpoint-cost S]
+                    [--spot-machines N] [--spot-mtbe S]
+                    [--spot-warning S] [--spot-downtime S]
+                    [--gpu-generations N] [--generation-gap F]
+                    [--elastic-fraction F] [--elastic-interval S]
+                    [--slo-fraction F] [--slo-slack F]
   muri verify [<policy>] [--trace 1-4 | --csv FILE] [--scale S] [--machines N]
                          [--prune-top-m M] [--prune-loss-bound F]
                          [--shard-by auto|off|force] [--shard-size N] [--candidate-m M]
@@ -121,7 +126,7 @@ const USAGE: &str = "usage:
              [--cmd-queue N] [--read-timeout-ms MS] [--snapshot-every N]
   muri serve-load --addr HOST:PORT [--jobs N] [--gpus G] [--iters I]
                   [--model NAME] [--tenant NAME] [--journal FILE]
-                  [--shutdown] [--no-wait]
+                  [--shutdown] [--no-wait] [--retries N]
   muri validate
 
 policies: fifo sjf srtf srsf las 2dlas tiresias gittins themis antman muri-s muri-l
@@ -153,6 +158,9 @@ for stalled reads).
 jobs, polls them to completion (--no-wait skips the polling, for
 crash-recovery smokes), prints a one-line JSON summary, and optionally
 fetches the journal (--journal) and stops the daemon (--shutdown).
+Backpressured submits (429/503) are retried up to --retries times with
+capped exponential backoff, honoring the daemon's retry_after_ms hint;
+a submit counts as refused only once its retries are exhausted.
 
 `muri simulate` is an alias for `muri sim`. The telemetry flags export
 the run's event journal (JSONL), Prometheus metrics, and a Chrome
@@ -171,7 +179,17 @@ machine-level fault domains (--machine-mtbf/--machine-mttr, with
 machines slower by --degraded-slowdown, and enable periodic
 checkpointing (--checkpoint-interval/--checkpoint-cost) so machine
 faults roll jobs back to the last checkpoint instead of losing all
-uncheckpointed work.
+uncheckpointed work. The hostile-cluster scenarios layer on top:
+--spot-machines N marks N machines preemptible with mean --spot-mtbe
+seconds between evictions, an advance warning of --spot-warning seconds
+(0 = no warning; hosted jobs drain to a checkpoint when the warning
+window covers the checkpoint cost) and --spot-downtime seconds before
+the capacity returns; --gpu-generations splits the cluster into GPU
+generations, each --generation-gap slower than the last (placement
+keeps groups inside one generation); --elastic-fraction of jobs resize
+their GPU count at iteration boundaries every ~--elastic-interval
+seconds; --slo-fraction of jobs carry a deadline of submit +
+--slo-slack x solo duration whose priority escalates as slack burns.
 
 exit codes: 0 ok, 1 runtime failure, 2 usage error, 3 violations found";
 
@@ -628,12 +646,15 @@ fn audit_recovered_journal(
 
 /// `muri serve-load --addr HOST:PORT [--jobs N] [--gpus G] [--iters I]
 ///                  [--model NAME] [--tenant NAME] [--journal FILE]
-///                  [--shutdown] [--no-wait]`
+///                  [--shutdown] [--no-wait] [--retries N]`
 ///
 /// Drive a running daemon over HTTP: submit a batch of identical jobs,
 /// poll them to completion (unless `--no-wait` — the crash-recovery
 /// smoke kills the daemon mid-load instead), and print a one-line JSON
-/// summary.
+/// summary. Backpressured submits (429/503) are retried up to
+/// `--retries` times with capped exponential backoff, honoring the
+/// daemon's `retry_after_ms` hint; only exhausted retries count as
+/// refused.
 fn run_serve_load(args: &[String]) -> Result<(), CliError> {
     let mut addr: Option<String> = None;
     let mut jobs = 8usize;
@@ -644,6 +665,7 @@ fn run_serve_load(args: &[String]) -> Result<(), CliError> {
     let mut journal: Option<PathBuf> = None;
     let mut shutdown = false;
     let mut no_wait = false;
+    let mut retries = 5usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> Result<&String, CliError> {
@@ -672,6 +694,11 @@ fn run_serve_load(args: &[String]) -> Result<(), CliError> {
             "--journal" => journal = Some(PathBuf::from(value("a file path")?)),
             "--shutdown" => shutdown = true,
             "--no-wait" => no_wait = true,
+            "--retries" => {
+                retries = value("a count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --retries count"))?;
+            }
             other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
     }
@@ -690,23 +717,45 @@ fn run_serve_load(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::runtime(format!("encoding request: {e}")))?;
     let mut accepted: Vec<u64> = Vec::new();
     let mut refused = 0usize;
+    let mut retried = 0usize;
     for _ in 0..jobs {
-        let (st, resp) = client
-            .post("/v1/jobs", &body)
-            .map_err(|e| http_err("submit", e))?;
-        let v: serde_json::Value = serde_json::from_str(&resp)
-            .map_err(|e| CliError::runtime(format!("submit response: {e}")))?;
-        if st == 200 {
-            match v.get("job") {
-                Some(&serde_json::Value::UInt(id)) => accepted.push(id),
-                other => {
-                    return Err(CliError::runtime(format!(
-                        "submit accepted without a job id ({other:?}): {resp}"
-                    )))
+        let mut attempt = 0usize;
+        loop {
+            let (st, resp) = client
+                .post("/v1/jobs", &body)
+                .map_err(|e| http_err("submit", e))?;
+            let v: serde_json::Value = serde_json::from_str(&resp)
+                .map_err(|e| CliError::runtime(format!("submit response: {e}")))?;
+            if st == 200 {
+                match v.get("job") {
+                    Some(&serde_json::Value::UInt(id)) => accepted.push(id),
+                    other => {
+                        return Err(CliError::runtime(format!(
+                            "submit accepted without a job id ({other:?}): {resp}"
+                        )))
+                    }
                 }
+                break;
             }
-        } else {
+            // Backpressure (429 tenant depth / 503 daemon bound) is
+            // transient by contract: honor the daemon's retry_after_ms
+            // hint, falling back to capped exponential backoff. Only an
+            // exhausted retry budget — or a permanent refusal (409) —
+            // counts as refused.
+            if (st == 429 || st == 503) && attempt < retries {
+                let hint = match v.get("retry_after_ms") {
+                    Some(&serde_json::Value::UInt(ms)) => Some(ms),
+                    _ => None,
+                };
+                let backoff = 50u64 << attempt.min(6);
+                let wait = hint.unwrap_or(backoff).min(2_000);
+                std::thread::sleep(std::time::Duration::from_millis(wait));
+                attempt += 1;
+                retried += 1;
+                continue;
+            }
             refused += 1;
+            break;
         }
     }
 
@@ -765,7 +814,8 @@ fn run_serve_load(args: &[String]) -> Result<(), CliError> {
         eprintln!("daemon shutdown acknowledged: {resp}");
     }
     println!(
-        "{{\"submitted\":{jobs},\"accepted\":{},\"refused\":{refused},\"finished\":{finished}}}",
+        "{{\"submitted\":{jobs},\"accepted\":{},\"refused\":{refused},\
+         \"retried\":{retried},\"finished\":{finished}}}",
         accepted.len()
     );
     Ok(())
@@ -1001,6 +1051,16 @@ struct FaultOpts {
     degraded_slowdown: Option<f64>,
     checkpoint_interval: Option<f64>,
     checkpoint_cost: Option<f64>,
+    spot_machines: Option<u32>,
+    spot_mtbe: Option<f64>,
+    spot_warning: Option<f64>,
+    spot_downtime: Option<f64>,
+    gpu_generations: Option<u32>,
+    generation_gap: Option<f64>,
+    elastic_fraction: Option<f64>,
+    elastic_interval: Option<f64>,
+    slo_fraction: Option<f64>,
+    slo_slack: Option<f64>,
 }
 
 impl FaultOpts {
@@ -1009,6 +1069,10 @@ impl FaultOpts {
             || self.machine_mtbf.is_some()
             || self.degraded.is_some()
             || self.checkpoint_interval.is_some()
+            || self.spot_machines.is_some()
+            || self.gpu_generations.is_some()
+            || self.elastic_fraction.is_some()
+            || self.slo_fraction.is_some()
     }
 
     /// Overwrite the fault plan and checkpoint model with any explicit
@@ -1041,6 +1105,36 @@ impl FaultOpts {
         }
         if let Some(v) = self.checkpoint_cost {
             cfg.checkpoint.cost = secs(v);
+        }
+        if let Some(v) = self.spot_machines {
+            cfg.faults.spot_machines = v;
+        }
+        if let Some(v) = self.spot_mtbe {
+            cfg.faults.spot_mtbe = Some(secs(v));
+        }
+        if let Some(v) = self.spot_warning {
+            cfg.faults.spot_warning = secs(v);
+        }
+        if let Some(v) = self.spot_downtime {
+            cfg.faults.spot_downtime = secs(v);
+        }
+        if let Some(v) = self.gpu_generations {
+            cfg.faults.gpu_generations = v;
+        }
+        if let Some(v) = self.generation_gap {
+            cfg.faults.generation_gap = v;
+        }
+        if let Some(v) = self.elastic_fraction {
+            cfg.faults.elastic_fraction = v;
+        }
+        if let Some(v) = self.elastic_interval {
+            cfg.faults.elastic_interval = Some(secs(v));
+        }
+        if let Some(v) = self.slo_fraction {
+            cfg.faults.slo_fraction = v;
+        }
+        if let Some(v) = self.slo_slack {
+            cfg.faults.slo_slack = v;
         }
     }
 }
@@ -1113,6 +1207,80 @@ fn split_fault_opts(args: &[String]) -> Result<(FaultOpts, Vec<String>), CliErro
                     return Err(CliError::usage(format!("{arg} must be >= 0 seconds")));
                 }
                 opts.checkpoint_cost = Some(v);
+            }
+            "--spot-machines" => {
+                opts.spot_machines = Some(
+                    value("a machine count")?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --spot-machines count"))?,
+                );
+            }
+            "--spot-mtbe" => {
+                opts.spot_mtbe = Some(parse_positive_secs(arg, value("seconds")?)?);
+            }
+            "--spot-warning" => {
+                // Zero is meaningful: no-warning eviction for drain
+                // comparisons.
+                let v: f64 = value("seconds")?
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad {arg} value")))?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(CliError::usage(format!("{arg} must be >= 0 seconds")));
+                }
+                opts.spot_warning = Some(v);
+            }
+            "--spot-downtime" => {
+                opts.spot_downtime = Some(parse_positive_secs(arg, value("seconds")?)?);
+            }
+            "--gpu-generations" => {
+                opts.gpu_generations = Some(
+                    value("a generation count")?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --gpu-generations count"))?,
+                );
+            }
+            "--generation-gap" => {
+                let f: f64 = value("a factor")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --generation-gap value"))?;
+                if !(f.is_finite() && f >= 0.0) {
+                    return Err(CliError::usage(format!("generation gap {f} must be >= 0")));
+                }
+                opts.generation_gap = Some(f);
+            }
+            "--elastic-fraction" => {
+                let f: f64 = value("a fraction")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --elastic-fraction value"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(CliError::usage(format!(
+                        "elastic fraction {f} out of range [0, 1]"
+                    )));
+                }
+                opts.elastic_fraction = Some(f);
+            }
+            "--elastic-interval" => {
+                opts.elastic_interval = Some(parse_positive_secs(arg, value("seconds")?)?);
+            }
+            "--slo-fraction" => {
+                let f: f64 = value("a fraction")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --slo-fraction value"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(CliError::usage(format!(
+                        "SLO fraction {f} out of range [0, 1]"
+                    )));
+                }
+                opts.slo_fraction = Some(f);
+            }
+            "--slo-slack" => {
+                let f: f64 = value("a factor")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --slo-slack value"))?;
+                if !(f.is_finite() && f > 0.0) {
+                    return Err(CliError::usage(format!("SLO slack {f} must be > 0")));
+                }
+                opts.slo_slack = Some(f);
             }
             _ => rest.push(arg.clone()),
         }

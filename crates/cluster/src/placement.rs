@@ -44,6 +44,11 @@ pub struct Cluster {
     down: Vec<bool>,
     /// `banned[m] == true` iff machine `m` is blacklisted for placement.
     banned: Vec<bool>,
+    /// GPU generation per machine (0 = newest). Empty (the default)
+    /// means a homogeneous cluster; allocation then behaves exactly as
+    /// it did before generations existed.
+    #[serde(default)]
+    generations: Vec<u32>,
 }
 
 impl Cluster {
@@ -53,8 +58,74 @@ impl Cluster {
             free: vec![true; spec.total_gpus() as usize],
             down: vec![false; spec.machines as usize],
             banned: vec![false; spec.machines as usize],
+            generations: Vec::new(),
             spec,
         }
+    }
+
+    /// Install per-machine GPU generations (one entry per machine,
+    /// 0 = newest). An empty vector (or all zeros) restores homogeneous
+    /// allocation.
+    ///
+    /// # Panics
+    /// If `gens` is non-empty and its length differs from the machine
+    /// count.
+    pub fn set_generations(&mut self, gens: Vec<u32>) {
+        assert!(
+            gens.is_empty() || gens.len() == self.spec.machines as usize,
+            "generation vector length {} != {} machines",
+            gens.len(),
+            self.spec.machines
+        );
+        self.generations = gens;
+    }
+
+    /// Generation of machine `m` (0 when homogeneous).
+    pub fn generation_of_machine(&self, m: u32) -> u32 {
+        self.generations.get(m as usize).copied().unwrap_or(0)
+    }
+
+    /// True when the cluster mixes generations (placement becomes
+    /// generation-aware).
+    pub fn is_hetero(&self) -> bool {
+        self.generations.iter().any(|&g| g != 0)
+    }
+
+    /// Static GPU capacity of generation `g`: every machine of that
+    /// generation, up or not. Used to decide whether a job could *ever*
+    /// fit inside one generation — only jobs larger than every
+    /// generation's static capacity may legally span generations.
+    pub fn generation_capacity(&self, g: u32) -> u32 {
+        if self.generations.is_empty() {
+            return self.spec.total_gpus();
+        }
+        self.generations.iter().filter(|&&x| x == g).count() as u32 * self.spec.machine.gpus
+    }
+
+    /// Largest single-generation static capacity (total GPUs when
+    /// homogeneous).
+    pub fn max_generation_capacity(&self) -> u32 {
+        if !self.is_hetero() {
+            return self.spec.total_gpus();
+        }
+        let mut gens: Vec<u32> = self.generations.clone();
+        gens.sort_unstable();
+        gens.dedup();
+        gens.iter()
+            .map(|&g| self.generation_capacity(g))
+            .max()
+            .unwrap_or(self.spec.total_gpus())
+    }
+
+    /// Distinct generations spanned by a set of GPUs, sorted ascending.
+    pub fn generations_spanned(&self, gpus: &[GpuId]) -> Vec<u32> {
+        let mut gens: Vec<u32> = gpus
+            .iter()
+            .map(|&g| self.generation_of_machine(self.spec.machine_of(g)))
+            .collect();
+        gens.sort_unstable();
+        gens.dedup();
+        gens
     }
 
     /// The static spec.
@@ -134,12 +205,51 @@ impl Cluster {
         if n == 0 {
             return Some(GpuSet { gpus: Vec::new() });
         }
-        if self.free_gpus() < n {
+        if !self.is_hetero() {
+            return self.allocate_masked(n, None);
+        }
+        // Generation-aware placement: a group must land inside one
+        // generation so interleaved stages stay in lockstep. Try the
+        // newest generation first; a generation whose *static* capacity
+        // cannot hold the job is skipped (no point waiting for it).
+        let mut gens: Vec<u32> = self.generations.clone();
+        gens.sort_unstable();
+        gens.dedup();
+        for &g in &gens {
+            if self.generation_capacity(g) < n {
+                continue;
+            }
+            let mask: Vec<bool> = self.generations.iter().map(|&x| x == g).collect();
+            if let Some(set) = self.allocate_masked(n, Some(&mask)) {
+                return Some(set);
+            }
+        }
+        if gens.iter().all(|&g| self.generation_capacity(g) < n) {
+            // Larger than every generation: a cross-generation span is
+            // the only legal placement.
+            return self.allocate_masked(n, None);
+        }
+        // Some generation could fit the job once capacity frees up —
+        // leave it queued rather than splitting it across generations.
+        None
+    }
+
+    /// The node-minimizing best-fit core, optionally restricted to
+    /// machines where `mask[m]` is true. `mask: None` is exactly the
+    /// historical homogeneous policy.
+    fn allocate_masked(&mut self, n: u32, mask: Option<&[bool]>) -> Option<GpuSet> {
+        let allowed =
+            |m: u32| -> bool { mask.is_none_or(|ms| ms[m as usize]) && self.machine_available(m) };
+        let free_total: u32 = (0..self.spec.machines)
+            .filter(|&m| allowed(m))
+            .map(|m| self.free_on_machine(m).len() as u32)
+            .sum();
+        if free_total < n {
             return None;
         }
         // Best fit on a single machine.
         let mut best: Option<(u32, usize)> = None; // (machine, free count)
-        for m in (0..self.spec.machines).filter(|&m| self.machine_available(m)) {
+        for m in (0..self.spec.machines).filter(|&m| allowed(m)) {
             let cnt = self.free_on_machine(m).len();
             if cnt >= n as usize {
                 match best {
@@ -154,7 +264,7 @@ impl Cluster {
         } else {
             // Span machines: most-free first to minimize the span.
             let mut machines: Vec<(usize, u32)> = (0..self.spec.machines)
-                .filter(|&m| self.machine_available(m))
+                .filter(|&m| allowed(m))
                 .map(|m| (self.free_on_machine(m).len(), m))
                 .collect();
             machines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -322,6 +432,67 @@ mod tests {
         assert_eq!(c.free_gpus(), 0);
         c.set_down(3, false);
         assert_eq!(c.free_gpus(), 8);
+    }
+
+    #[test]
+    fn trivial_generations_change_nothing() {
+        // All-zero generations must allocate exactly like no generations.
+        let mut plain = testbed();
+        let mut zeroed = testbed();
+        zeroed.set_generations(vec![0; 8]);
+        assert!(!zeroed.is_hetero());
+        for n in [1u32, 3, 8, 16, 5] {
+            assert_eq!(plain.allocate(n), zeroed.allocate(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn hetero_groups_stay_inside_one_generation() {
+        let mut c = testbed();
+        // Machines alternate generations 0/1 (4 machines = 32 GPUs each).
+        c.set_generations((0..8).map(|m| m % 2).collect());
+        assert!(c.is_hetero());
+        assert_eq!(c.generation_capacity(0), 32);
+        for n in [2u32, 8, 16, 32] {
+            let lease = c.allocate(n).unwrap();
+            assert_eq!(
+                c.generations_spanned(&lease.gpus).len(),
+                1,
+                "{n}-GPU group crossed generations: {:?}",
+                lease.gpus
+            );
+            c.release(&lease);
+        }
+        // Newest generation fills first.
+        let lease = c.allocate(8).unwrap();
+        assert_eq!(
+            c.generation_of_machine(c.spec().machine_of(lease.gpus[0])),
+            0
+        );
+    }
+
+    #[test]
+    fn oversize_jobs_may_span_generations() {
+        let mut c = testbed();
+        c.set_generations((0..8).map(|m| m % 2).collect());
+        assert_eq!(c.max_generation_capacity(), 32);
+        // 64 > 32 = the largest generation: spanning is legal.
+        let big = c.allocate(64).unwrap();
+        assert_eq!(c.generations_spanned(&big.gpus), vec![0, 1]);
+        c.release(&big);
+        // 32 fits generation 0 exactly; fill generation 0 and ask again:
+        // the job must wait (None), not split across generations.
+        let hold = c.allocate(32).unwrap();
+        assert_eq!(c.generations_spanned(&hold.gpus), vec![0]);
+        let second = c.allocate(32).unwrap();
+        assert_eq!(
+            c.generations_spanned(&second.gpus),
+            vec![1],
+            "second 32-GPU job lands on the older generation"
+        );
+        assert!(c.allocate(32).is_none());
+        c.release(&hold);
+        assert!(c.allocate(32).is_some());
     }
 
     #[test]

@@ -253,6 +253,7 @@ mod tests {
             submit_time: SimTime::ZERO,
             attained: SimDuration::ZERO,
             remaining: SimDuration::from_secs(remaining_secs),
+            deadline: None,
         }
     }
 

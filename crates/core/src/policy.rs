@@ -30,6 +30,13 @@ pub struct PendingJob {
     /// Remaining solo running time (`r_i`). Only duration-aware policies
     /// may read this — it encodes knowledge of the true duration.
     pub remaining: SimDuration,
+    /// SLO deadline, if the job carries one. Deadline jobs escalate as
+    /// their slack burns down: the priority key is capped at the
+    /// remaining slack, so the cap tightens monotonically with time and
+    /// a job about to miss its deadline outranks everything with a
+    /// larger key.
+    #[serde(default)]
+    pub deadline: Option<SimTime>,
 }
 
 impl PendingJob {
@@ -175,6 +182,16 @@ impl PolicyKind {
                 -((rho * 1e6).min(i64::MAX as f64 / 2.0)) as i64 // muri-lint: allow(D004, reason = "quantized into an i64 key; schedule pinned by fixture tests")
             }
         };
+        // SLO modifier, layered identically on every base policy: a
+        // deadline job's key is capped at its remaining slack
+        // (deadline − now − remaining work), all in integer
+        // microseconds. The cap only ever tightens as `now` advances,
+        // so escalation is monotone by construction; past-due jobs go
+        // negative and outrank everything non-critical.
+        let primary = match job.deadline {
+            Some(deadline) => primary.min(deadline_slack(deadline, now, job.remaining)),
+            None => primary,
+        };
         PriorityKey {
             primary,
             submit: job.submit_time.as_micros(),
@@ -190,6 +207,16 @@ impl PolicyKind {
 
 fn saturating_service(d: SimDuration, gpus: u32) -> i64 {
     (d.as_micros().saturating_mul(u64::from(gpus))).min(i64::MAX as u64) as i64
+}
+
+/// Remaining slack of a deadline job in integer microseconds:
+/// `deadline − now − remaining`. Strictly decreasing in `now`, may go
+/// negative once the deadline is unmeetable.
+fn deadline_slack(deadline: SimTime, now: SimTime, remaining: SimDuration) -> i64 {
+    let clamp = |us: u64| us.min(i64::MAX as u64) as i64;
+    clamp(deadline.as_micros())
+        .saturating_sub(clamp(now.as_micros()))
+        .saturating_sub(clamp(remaining.as_micros()))
 }
 
 /// Sortable priority; smaller schedules first.
@@ -215,6 +242,7 @@ mod tests {
             submit_time: SimTime::from_secs(submit),
             attained: SimDuration::from_secs(attained),
             remaining: SimDuration::from_secs(remaining),
+            deadline: None,
         }
     }
 
@@ -342,6 +370,53 @@ mod tests {
         assert!(!PolicyKind::Srsf.interleaves());
         assert!(PolicyKind::AntMan.gpu_shares());
         assert!(!PolicyKind::MuriS.gpu_shares());
+    }
+
+    #[test]
+    fn slo_jobs_escalate_as_slack_burns_down() {
+        // A big deadline job under SRSF would normally rank last; once
+        // its slack shrinks below the small job's service key it jumps
+        // the queue.
+        let mut slo = job(1, 8, 0, 0, 1000); // 8000 GPU-s service key
+        slo.deadline = Some(SimTime::from_secs(1500));
+        let small = job(2, 1, 0, 0, 100); // 100 GPU-s service key
+        let early = order(PolicyKind::Srsf, vec![slo, small], SimTime::ZERO);
+        assert_eq!(early, vec![2, 1], "ample slack: base order holds");
+        // At t=450 the slack is 1500-450-1000 = 50s < 100 GPU-s.
+        let late = order(PolicyKind::Srsf, vec![slo, small], SimTime::from_secs(450));
+        assert_eq!(late, vec![1, 2], "burned slack escalates the SLO job");
+    }
+
+    #[test]
+    fn slo_escalation_is_monotone_in_time() {
+        let mut j = job(1, 2, 0, 0, 500);
+        j.deadline = Some(SimTime::from_secs(800));
+        let mut prev = i64::MAX;
+        for t in (0..2000).step_by(100) {
+            let key = PolicyKind::MuriL
+                .priority(&j, SimTime::from_secs(t))
+                .primary;
+            assert!(key <= prev, "key rose from {prev} to {key} at t={t}");
+            prev = key;
+        }
+        // Past-due: negative key outranks any non-deadline job.
+        let past = PolicyKind::MuriL
+            .priority(&j, SimTime::from_secs(2000))
+            .primary;
+        assert!(past < 0);
+    }
+
+    #[test]
+    fn ample_deadlines_leave_the_base_key_untouched() {
+        // While the slack exceeds the base key the cap does not bind: a
+        // deadline job ranks exactly as its base policy would rank it.
+        let plain = job(1, 8, 0, 5, 10);
+        let mut capped = plain;
+        capped.deadline = Some(SimTime::from_secs(1_000_000));
+        let now = SimTime::from_secs(77);
+        for policy in [PolicyKind::Srsf, PolicyKind::TwoDLas, PolicyKind::Tiresias] {
+            assert_eq!(policy.priority(&plain, now), policy.priority(&capped, now));
+        }
     }
 
     #[test]

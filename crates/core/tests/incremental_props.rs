@@ -168,6 +168,7 @@ proptest! {
                         submit_time: now,
                         attained: SimDuration::ZERO,
                         remaining: SimDuration::from_secs(remaining_secs),
+                        deadline: None,
                     });
                     next_id += 1;
                     planner.mark(num_gpus);

@@ -39,6 +39,7 @@ fn arb_job() -> impl Strategy<Value = PendingJob> {
                 submit_time: SimTime::from_secs(submit),
                 attained: SimDuration::from_secs(attained),
                 remaining: SimDuration::from_secs(remaining),
+                deadline: None,
             },
         )
 }

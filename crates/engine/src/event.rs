@@ -52,4 +52,23 @@ pub enum SchedulerEvent {
     /// A periodic planning tick: run the full (preemptive) scheduling
     /// pass if anything changed since the last one.
     PlanRequested,
+    /// Spot machine `m` receives its advance eviction warning: drain
+    /// hosted groups to a checkpoint before the eviction lands.
+    ///
+    /// New variants append here — the `Ord` variant order above is
+    /// frozen (see the type docs).
+    SpotWarning(u32),
+    /// Spot machine `m` is evicted (capacity leaves the cluster).
+    SpotEvicted(u32),
+    /// Spot machine `m` returns after an eviction.
+    SpotRestored(u32),
+    /// Elastic job `job` reaches a resize point: grow or shrink its GPU
+    /// count at the next iteration boundary.
+    ElasticResize {
+        /// The resizing job.
+        job: JobId,
+        /// Resize epoch (guards against stale events after the job
+        /// finishes or the chain is re-armed).
+        epoch: u64,
+    },
 }

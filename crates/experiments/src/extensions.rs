@@ -125,6 +125,109 @@ pub fn ext_replication(scale: Scale) -> ExperimentReport {
     report
 }
 
+/// The hostile-cluster fault plan shared by every `ext-hostile` run:
+/// all four scenarios at once — spot evictions with a drain window,
+/// two GPU generations, elastic jobs, and SLO deadlines — plus the
+/// checkpointing the drain path needs.
+fn hostile_plan(cfg: &mut SimConfig) {
+    let secs = muri_workload::SimDuration::from_secs_f64;
+    cfg.faults.seed = 7;
+    cfg.faults.spot_machines = 2;
+    cfg.faults.spot_mtbe = Some(secs(3600.0));
+    cfg.faults.spot_warning = secs(60.0);
+    cfg.faults.spot_downtime = secs(600.0);
+    cfg.faults.gpu_generations = 2;
+    cfg.faults.generation_gap = 0.5;
+    cfg.faults.elastic_fraction = 0.25;
+    cfg.faults.elastic_interval = Some(secs(1800.0));
+    cfg.faults.slo_fraction = 0.3;
+    cfg.faults.slo_slack = 2.0;
+    cfg.checkpoint.interval = Some(secs(600.0));
+    cfg.checkpoint.cost = secs(5.0);
+}
+
+/// SLO outcome of a hostile run: `(missed, total)` deadline jobs. The
+/// deadlines are recomputed purely from the plan's seeded draws
+/// ([`muri_sim::FaultPlan::deadline_for`]) — no engine state needed. A
+/// deadline job misses when it never finished or finished late.
+fn slo_outcome(
+    trace: &muri_workload::Trace,
+    cfg: &SimConfig,
+    report: &muri_sim::SimReport,
+) -> (usize, usize) {
+    let mut missed = 0usize;
+    let mut total = 0usize;
+    for spec in &trace.jobs {
+        let Some(deadline) = cfg.faults.deadline_for(spec) else {
+            continue;
+        };
+        total += 1;
+        let finish = report
+            .records
+            .iter()
+            .find(|r| r.id == spec.id)
+            .and_then(|r| r.finish);
+        if finish.is_none_or(|f| f > deadline) {
+            missed += 1;
+        }
+    }
+    (missed, total)
+}
+
+/// `ext-hostile`: the hostile-cluster scenario suite (DESIGN.md §10) —
+/// spot evictions with drain warnings, heterogeneous GPU generations,
+/// elastic jobs, and SLO deadlines, all active at once — compared
+/// across Muri-S/L and the strongest duration-known/unknown baselines.
+pub fn ext_hostile(scale: Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "ext-hostile",
+        "Hostile cluster: spot + hetero GPUs + elastic + SLO deadlines",
+    );
+    let trace = simulation_trace(2, scale);
+    let mut t = Table::new(
+        "All four scenarios active (trace 2)",
+        &["Policy", "Avg JCT (s)", "Makespan (h)", "SLO miss rate"],
+    );
+    for policy in [
+        PolicyKind::Srsf,
+        PolicyKind::MuriS,
+        PolicyKind::Tiresias,
+        PolicyKind::MuriL,
+    ] {
+        let mut cfg = config_for(policy);
+        hostile_plan(&mut cfg);
+        let r = run_with(&trace, &cfg);
+        let (missed, total) = slo_outcome(&trace, &cfg, &r);
+        t.push_row(vec![
+            policy.name().to_string(),
+            format!("{:.0}", r.avg_jct_secs()),
+            f2(r.makespan_secs() / 3600.0),
+            format!("{missed}/{total} ({:.0}%)", ratio_pct(missed, total)),
+        ]);
+    }
+    report.push_table(t);
+    report.note(
+        "Same seeded hostile plan for every policy: 2 spot machines \
+         (1h MTBE, 60s drain warning, 10min downtime), 2 GPU \
+         generations 1.5x apart, 25% elastic jobs (~30min resize \
+         interval), 30% SLO jobs at 2x solo-duration slack, 10min/5s \
+         checkpointing. SLO deadlines are recomputed from the plan's \
+         pure seeded draws, so the miss rate is comparable across \
+         policies. Muri's interleaving headroom should show up as lower \
+         JCT and fewer deadline misses under the same hostility.",
+    );
+    report
+}
+
+/// Percentage helper tolerating an empty denominator.
+fn ratio_pct(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
 /// Quick access to a report's speedup note (test helper).
 pub fn replication_speedup(report: &ExperimentReport) -> Option<f64> {
     report
@@ -161,6 +264,27 @@ mod tests {
         for row in &r.tables[0].rows {
             let jct: f64 = row[1].parse().unwrap();
             assert!((0.7..2.0).contains(&jct), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_suite_reports_all_policies() {
+        let r = ext_hostile(TINY);
+        let rows = &r.tables[0].rows;
+        assert_eq!(rows.len(), 4, "Srsf, Muri-S, Tiresias, Muri-L");
+        for row in rows {
+            let jct: f64 = row[1].parse().unwrap();
+            assert!(jct.is_finite() && jct > 0.0, "{row:?}");
+            // "missed/total (pct%)" — the seeded 30% draw must tag at
+            // least one job even on the tiny trace.
+            let total: usize = row[3]
+                .split('/')
+                .nth(1)
+                .and_then(|s| s.split(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(total > 0, "no SLO jobs drawn: {row:?}");
         }
     }
 

@@ -39,7 +39,7 @@ pub use setup::Scale;
 pub use table::Table;
 
 /// All experiment ids, in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "table1",
     "table2",
     "fig1",
@@ -56,6 +56,7 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
     "ext-capacity",
     "ext-matching",
     "ext-replication",
+    "ext-hostile",
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.
@@ -77,6 +78,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "ext-capacity" => extensions::ext_capacity(scale),
         "ext-matching" => extensions::ext_matching(scale),
         "ext-replication" => extensions::ext_replication(scale),
+        "ext-hostile" => extensions::ext_hostile(scale),
         _ => return None,
     })
 }

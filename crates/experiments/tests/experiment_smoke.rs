@@ -62,11 +62,11 @@ fn registry_is_complete_and_rejects_unknown_ids() {
     // Every id in the registry is covered by one of the smoke tests in
     // this file or by the extensions unit tests; here we only assert the
     // registry's integrity.
-    assert_eq!(ALL_EXPERIMENTS.len(), 16);
+    assert_eq!(ALL_EXPERIMENTS.len(), 17);
     let mut sorted = ALL_EXPERIMENTS.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    assert_eq!(sorted.len(), 16, "duplicate experiment ids");
+    assert_eq!(sorted.len(), 17, "duplicate experiment ids");
     assert!(run_experiment("no-such-id", TINY).is_none());
 }
 

@@ -38,7 +38,15 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 /// Wire-format version of the operation log.
-pub const OPLOG_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial format.
+/// * 2 — the boot-config signature covers the hostile-scenario knobs
+///   (spot eviction, GPU generations, elastic jobs, SLO deadlines), so
+///   a recovery replays their seeded schedules identically. Logs
+///   written by version-1 builds are refused loudly rather than
+///   replayed against a drifted fault model.
+pub const OPLOG_VERSION: u32 = 2;
 
 /// Compacted-history file inside the state directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.jsonl";

@@ -273,6 +273,47 @@ mod tests {
     }
 
     #[test]
+    fn recover_from_dir_fails_loudly_on_an_unknown_version_journal() {
+        use crate::core::sim_signature;
+        use muri_core::{PolicyKind, SchedulerConfig};
+
+        let cfg = SimConfig::testbed(SchedulerConfig::preset(PolicyKind::MuriL));
+        let dir =
+            std::env::temp_dir().join(format!("muri-recover-version-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A journal written by an older build: correct signature, stale
+        // format version. The new scenario events changed the wire
+        // format, so replaying it would resurrect a drifted fault
+        // model — recovery must refuse, loudly naming both versions.
+        let stale = OpRecord::Header {
+            version: OPLOG_VERSION - 1,
+            sim: sim_signature(&cfg),
+            next_seq: 1,
+            next_id: 0,
+        };
+        let log = journal::DurableLog::create(&dir, &stale, 16).expect("create");
+        drop(log);
+        let boot = RecoverBoot {
+            cfg: &cfg,
+            name: "version-test".into(),
+            tenants: Vec::new(),
+            plan_mode: PlanMode::Full,
+            limits: ServeLimits::default(),
+            live_time_scale: None,
+            sink: TelemetrySink::disabled(),
+        };
+        let Err(err) = recover_from_dir(boot, &dir, 16) else {
+            panic!("stale version must refuse")
+        };
+        assert!(err.contains("format version"), "{err}");
+        assert!(
+            err.contains(&format!("this build reads {OPLOG_VERSION}")),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn next_id_floor_never_rewinds_past_the_header_watermark() {
         // The suffix log was lost (torn tail): only the snapshot header
         // knows ids 0-4 were ever issued. The floor must hold anyway so

@@ -116,6 +116,11 @@ struct JobState {
     finish: Option<SimTime>,
     restarts: u32,
     faults: u32,
+    /// SLO deadline, if the job drew one (`FaultPlan::deadline_for`).
+    deadline: Option<SimTime>,
+    /// Current elastic-resize epoch; a queued `ElasticResize` event with
+    /// a stale epoch is dropped.
+    resize_epoch: u64,
 }
 
 impl JobState {
@@ -136,6 +141,7 @@ impl JobState {
             submit_time: self.spec.submit_time,
             attained: self.attained,
             remaining: self.remaining_solo(),
+            deadline: self.deadline,
         }
     }
 }
@@ -278,6 +284,21 @@ pub struct EngineCore {
     /// `degraded[m]` — machine `m` runs every stage of hosted jobs slower
     /// by `faults.degraded_slowdown`.
     degraded: Vec<bool>,
+    /// `spot[m]` — machine `m` is spot/preemptible (seeded draw).
+    spot: Vec<bool>,
+    /// When the pending spot warning fired, per machine (`None` when no
+    /// eviction is in flight or the eviction came without warning).
+    spot_warned: Vec<Option<SimTime>>,
+    /// Jobs drained to a checkpoint at the pending warning, per machine.
+    spot_drained: Vec<u64>,
+    /// Spot eviction draws — a stream of its own so enabling spot
+    /// machines doesn't shift per-job or machine fault schedules.
+    spot_rng: SmallRng,
+    /// Elastic resize-gap draws — likewise an independent stream.
+    elastic_rng: SmallRng,
+    /// Per-machine stage-speed factor ≥ 1: GPU-generation slowdown ×
+    /// degradation. All ones on a homogeneous, healthy cluster.
+    speed: Vec<f64>,
     series: Vec<SeriesSample>,
     passes: u64,
     nevents: u64,
@@ -304,12 +325,32 @@ pub struct EngineCore {
     /// deltas (no job lost/duplicated, progress monotone).
     #[cfg(feature = "audit")]
     prev_recovery: Option<muri_verify::RecoverySnapshot>,
+    /// Spot evictions since the last audit pass (`audit_spot`).
+    #[cfg(feature = "audit")]
+    spot_records: Vec<muri_verify::SpotEvictionRecord>,
+    /// Elastic resizes since the last audit pass (`audit_elastic`).
+    #[cfg(feature = "audit")]
+    elastic_records: Vec<muri_verify::ElasticResizeRecord>,
+    /// Queued SLO jobs' priority keys at the previous audit pass —
+    /// `audit_slo_escalation` checks keys only escalate as slack burns.
+    #[cfg(feature = "audit")]
+    prev_slo: Vec<muri_verify::SloKeyRecord>,
 }
 
 /// Exponential gap with the given mean: `-mean · ln(u)`, `u ∈ [ε, 1)`.
 fn exp_gap(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+}
+
+/// Largest power of two ≤ `n` (0 for 0) — elastic resizes stay on
+/// power-of-two GPU counts within the cluster.
+fn prev_power_of_two(n: u32) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        1 << (31 - n.leading_zeros())
+    }
 }
 
 impl EventHandler for EngineCore {
@@ -331,6 +372,12 @@ impl EventHandler for EngineCore {
             SchedulerEvent::MachineFailed(m) => self.on_machine_fail(m, q),
             SchedulerEvent::MachineRecovered(m) => self.on_machine_recover(m, q),
             SchedulerEvent::PlanRequested => self.on_tick(q),
+            SchedulerEvent::SpotWarning(m) => self.on_spot_warning(m, q),
+            SchedulerEvent::SpotEvicted(m) => self.on_spot_evict(m, q),
+            SchedulerEvent::SpotRestored(m) => self.on_spot_restore(m, q),
+            SchedulerEvent::ElasticResize { job, epoch } => {
+                self.on_elastic_resize(job, epoch, q);
+            }
         }
     }
 }
@@ -353,11 +400,46 @@ impl EngineCore {
                 }
             }
         }
+        let mut spot = vec![false; machines];
+        if cfg.faults.spot_machines > 0 {
+            // Same distinct-draw scheme as degradation, on yet another
+            // stream — spot membership never perturbs other schedules.
+            let mut rng = SmallRng::seed_from_u64(cfg.faults.seed ^ 0x5907);
+            let want = (cfg.faults.spot_machines as usize).min(machines);
+            let mut chosen = 0usize;
+            while chosen < want {
+                let m = rng.gen_range(0..machines);
+                if !spot[m] {
+                    spot[m] = true;
+                    chosen += 1;
+                }
+            }
+        }
+        let mut cluster = Cluster::new(cfg.cluster);
+        if cfg.faults.hetero_active() {
+            cluster.set_generations(
+                (0..cfg.cluster.machines)
+                    .map(|m| cfg.faults.generation_of(m))
+                    .collect(),
+            );
+        }
+        let speed: Vec<f64> = (0..machines)
+            .map(|m| {
+                let gen = cfg
+                    .faults
+                    .generation_factor(cfg.faults.generation_of(m as u32));
+                if degraded[m] {
+                    gen * cfg.faults.degraded_slowdown
+                } else {
+                    gen
+                }
+            })
+            .collect();
         EngineCore {
             cfg: *cfg,
             specs: Vec::new(),
             trace_name,
-            cluster: Cluster::new(cfg.cluster),
+            cluster,
             profiler: Profiler::new(cfg.profiler),
             jobs: BTreeMap::new(),
             queue: Vec::new(),
@@ -370,6 +452,12 @@ impl EngineCore {
             fault_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0xFA17),
             machine_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0x3AC1),
             degraded,
+            spot,
+            spot_warned: vec![None; machines],
+            spot_drained: vec![0; machines],
+            spot_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0x5B07),
+            elastic_rng: SmallRng::seed_from_u64(cfg.faults.seed ^ 0xE7A5),
+            speed,
             series: Vec::new(),
             passes: 0,
             nevents: 0,
@@ -382,6 +470,12 @@ impl EngineCore {
             audit: None,
             #[cfg(feature = "audit")]
             prev_recovery: None,
+            #[cfg(feature = "audit")]
+            spot_records: Vec::new(),
+            #[cfg(feature = "audit")]
+            elastic_records: Vec::new(),
+            #[cfg(feature = "audit")]
+            prev_slo: Vec::new(),
         }
     }
 
@@ -395,15 +489,18 @@ impl EngineCore {
             q.schedule(job.submit_time, SchedulerEvent::JobSubmitted(i as u32));
         }
         core.arm_machine_faults(q);
+        core.arm_spot(q);
         core
     }
 
     /// Build an empty live core (no pre-loaded submissions — jobs come
-    /// in through [`EngineCore::submit`]). Machine faults, if the
-    /// config enables them, are armed immediately.
+    /// in through [`EngineCore::submit`]). Machine faults and spot
+    /// eviction cycles, if the config enables them, are armed
+    /// immediately.
     pub fn new_live(cfg: &SimConfig, name: impl Into<String>, q: &mut dyn EventQueue) -> Self {
         let mut core = EngineCore::empty(cfg, name.into(), 0);
         core.arm_machine_faults(q);
+        core.arm_spot(q);
         core
     }
 
@@ -413,6 +510,38 @@ impl EngineCore {
                 let gap = exp_gap(&mut self.machine_rng, mtbf);
                 q.schedule(SimTime::ZERO + gap, SchedulerEvent::MachineFailed(m));
             }
+        }
+    }
+
+    /// Arm the first eviction cycle of every spot machine.
+    fn arm_spot(&mut self, q: &mut dyn EventQueue) {
+        if !self.cfg.faults.spot_active() {
+            return;
+        }
+        for m in 0..self.cfg.cluster.machines {
+            if self.spot[m as usize] {
+                self.arm_spot_cycle(m, q);
+            }
+        }
+    }
+
+    /// Schedule one eviction cycle of spot machine `m`: exactly one RNG
+    /// draw per cycle, so the eviction schedule is identical whether the
+    /// warning window is zero or not (what the drained-vs-lost
+    /// comparison relies on). With a warning, the warning fires at the
+    /// drawn instant and the eviction exactly one window later.
+    fn arm_spot_cycle(&mut self, m: u32, q: &mut dyn EventQueue) {
+        let Some(mtbe) = self.cfg.faults.spot_mtbe else {
+            return;
+        };
+        let gap = exp_gap(&mut self.spot_rng, mtbe);
+        let at = self.now + gap;
+        let warning = self.cfg.faults.spot_warning;
+        if warning.is_zero() {
+            q.schedule(at, SchedulerEvent::SpotEvicted(m));
+        } else {
+            q.schedule(at, SchedulerEvent::SpotWarning(m));
+            q.schedule(at + warning, SchedulerEvent::SpotEvicted(m));
         }
     }
 
@@ -662,6 +791,8 @@ impl EngineCore {
                     finish: None,
                     restarts: 0,
                     faults: 0,
+                    deadline: None,
+                    resize_epoch: 0,
                 },
             );
             return;
@@ -680,11 +811,16 @@ impl EngineCore {
                 finish: None,
                 restarts: 0,
                 faults: 0,
+                deadline: self.cfg.faults.deadline_for(&spec),
+                resize_epoch: 0,
             },
         );
         self.queue.push(spec.id);
         self.dirty = true;
         self.inc.mark(spec.num_gpus);
+        if self.cfg.faults.job_is_elastic(spec.id.0) {
+            self.arm_resize(spec.id, 0, q);
+        }
         // The scheduler "is periodically invoked on events like job
         // arrival" (§3): backfill free GPUs right away; preemption still
         // waits for the tick.
@@ -950,6 +1086,310 @@ impl EngineCore {
         self.fill_pass(q);
     }
 
+    // ------------------------------------------------- hostile scenarios
+
+    /// Advance eviction warning on spot machine `m`: drain every hosted
+    /// group to a checkpoint so the eviction destroys nothing past the
+    /// drain point — but only when the checkpoint cost fits inside the
+    /// warning window (a drain that cannot persist in time saves nothing
+    /// and must not claim to).
+    fn on_spot_warning(&mut self, m: u32, q: &mut dyn EventQueue) {
+        if !self.cfg.faults.spot_active() || self.done() {
+            return;
+        }
+        self.spot_warned[m as usize] = Some(self.now);
+        self.spot_drained[m as usize] = 0;
+        let cost = self.cfg.checkpoint.cost;
+        if cost > self.cfg.faults.spot_warning {
+            return;
+        }
+        let mut drained = 0u64;
+        for gid in 0..self.groups.len() {
+            let hosted = self.groups[gid].as_ref().is_some_and(|g| {
+                g.gpus
+                    .gpus
+                    .iter()
+                    .any(|&gpu| self.cluster.spec().machine_of(gpu) == m)
+            });
+            if !hosted {
+                continue;
+            }
+            // Settle progress, then persist it — the group pauses for
+            // the checkpoint cost, exactly like a periodic checkpoint.
+            self.advance_and_reap(gid, q);
+            let members = match self.groups[gid].as_mut() {
+                Some(group) => {
+                    group.anchor += cost;
+                    group.members.clone()
+                }
+                None => continue,
+            };
+            let now = self.now;
+            for job in members {
+                let Some(j) = self.jobs.get_mut(&job) else {
+                    continue;
+                };
+                j.saved_iters = j.done_iters;
+                let iters_saved = j.saved_iters;
+                self.sink.emit(|| Event::CheckpointTaken {
+                    time: now,
+                    job,
+                    iters_saved,
+                });
+                drained += 1;
+            }
+        }
+        self.spot_drained[m as usize] = drained;
+        if self.dirty {
+            self.fill_pass(q);
+        }
+    }
+
+    /// Spot machine `m` is evicted: every hosted group cascades (device
+    /// state is destroyed, so jobs roll back to their last durable mark
+    /// — the drain point, if a warning fired), the machine leaves the
+    /// placement mask, and capacity returns after the configured
+    /// downtime.
+    fn on_spot_evict(&mut self, m: u32, q: &mut dyn EventQueue) {
+        if !self.cfg.faults.spot_active() {
+            return;
+        }
+        if self.done() {
+            // Drain stale spot events without re-arming, so the run
+            // terminates once the workload does.
+            return;
+        }
+        let drained = std::mem::take(&mut self.spot_drained[m as usize]);
+        let mut wasted = SimDuration::ZERO;
+        for gid in 0..self.groups.len() {
+            let hit = self.groups[gid].as_ref().is_some_and(|g| {
+                g.gpus
+                    .gpus
+                    .iter()
+                    .any(|&gpu| self.cluster.spec().machine_of(gpu) == m)
+            });
+            if !hit {
+                continue;
+            }
+            self.advance_only(gid);
+            let Some(group) = self.groups[gid].take() else {
+                continue;
+            };
+            self.cluster.release(&group.gpus);
+            let now = self.now;
+            for job in group.members {
+                if self.jobs[&job].remaining_iters() == 0 {
+                    // Finished exactly at the eviction instant — the
+                    // completion stands.
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.finish = Some(now);
+                    }
+                    self.sink.emit(|| Event::JobCompleted { time: now, job });
+                    self.monitor.forget_job(job);
+                } else {
+                    let j = &self.jobs[&job];
+                    wasted += j.truth.iteration_time() * j.done_iters.saturating_sub(j.saved_iters);
+                    self.fault_job(job, FaultKind::MachineFailStop, Some(m));
+                }
+            }
+        }
+        let now = self.now;
+        self.sink.emit(|| Event::SpotEvicted {
+            time: now,
+            machine: m,
+            drained,
+            wasted,
+        });
+        #[cfg(feature = "audit")]
+        {
+            let warned_at = self.spot_warned[m as usize];
+            self.spot_records.push(muri_verify::SpotEvictionRecord {
+                machine: m,
+                warned_at,
+                evicted_at: now,
+                warning_us: self.cfg.faults.spot_warning.as_micros(),
+                checkpoint_cost_us: self.cfg.checkpoint.cost.as_micros(),
+                drained,
+                wasted_us: wasted.as_micros(),
+            });
+        }
+        self.spot_warned[m as usize] = None;
+        self.cluster.set_down(m, true);
+        q.schedule(
+            self.now + self.cfg.faults.spot_downtime,
+            SchedulerEvent::SpotRestored(m),
+        );
+        self.dirty = true;
+        self.inc.mark_all();
+        self.fill_pass(q);
+    }
+
+    /// Evicted spot machine `m` returns: capacity rejoins the placement
+    /// mask and the next eviction cycle is armed.
+    fn on_spot_restore(&mut self, m: u32, q: &mut dyn EventQueue) {
+        if !self.cfg.faults.spot_active() {
+            return;
+        }
+        self.cluster.set_down(m, false);
+        if self.done() {
+            return;
+        }
+        self.arm_spot_cycle(m, q);
+        self.dirty = true;
+        self.inc.mark_all();
+        self.fill_pass(q);
+    }
+
+    /// Arm the next resize event of elastic job `job` at `epoch`.
+    fn arm_resize(&mut self, job: JobId, epoch: u64, q: &mut dyn EventQueue) {
+        let Some(interval) = self.cfg.faults.elastic_interval else {
+            return;
+        };
+        let gap = exp_gap(&mut self.elastic_rng, interval);
+        q.schedule(self.now + gap, SchedulerEvent::ElasticResize { job, epoch });
+    }
+
+    /// Elastic job `job` reaches a resize point: double or halve its GPU
+    /// demand (seeded coin, power-of-two within the cluster) and
+    /// re-bucket it live. A queued job simply changes class; a running
+    /// job's group is gracefully stopped — every member keeps attained
+    /// service and durable progress — and requeued for the next pass to
+    /// regroup under the new demand.
+    fn on_elastic_resize(&mut self, job: JobId, epoch: u64, q: &mut dyn EventQueue) {
+        if !self.cfg.faults.elastic_active() {
+            return;
+        }
+        // One coin per resize event, drawn before any early return so
+        // the stream position never depends on scheduler state.
+        let grow = self.elastic_rng.gen_range(0.0..1.0) < 0.5;
+        let Some(state) = self.jobs.get(&job) else {
+            return;
+        };
+        if state.resize_epoch != epoch
+            || state.finish.is_some()
+            || state.remaining_iters() == 0
+            || self.cancelled.contains(&job)
+        {
+            // Stale chain, finished, or cancelled: the chain ends here.
+            return;
+        }
+        let from = state.spec.num_gpus;
+        let total = self.cluster.spec().total_gpus();
+        let cap = prev_power_of_two(total);
+        let base = if from.is_power_of_two() {
+            from
+        } else {
+            prev_power_of_two(from.max(1))
+        };
+        let to = if grow {
+            base.saturating_mul(2).min(cap)
+        } else {
+            (base / 2).max(1)
+        };
+        if to == from {
+            // Pinned at the boundary this time — try again next cycle.
+            if let Some(j) = self.jobs.get_mut(&job) {
+                j.resize_epoch = epoch + 1;
+            }
+            self.arm_resize(job, epoch + 1, q);
+            return;
+        }
+        // The audit's "before" snapshot is taken after progress is
+        // settled (advance_and_reap credits the in-flight slice) but
+        // before the graceful stop — conservation means the stop and
+        // requeue themselves must not move attained service.
+        #[cfg(feature = "audit")]
+        let mut before: Option<(u64, u64)> = None;
+        if let Some(gid) = self
+            .groups
+            .iter()
+            .position(|g| g.as_ref().is_some_and(|g| g.members.contains(&job)))
+        {
+            // Settle progress first; the job may complete exactly at the
+            // resize boundary, in which case the completion stands and
+            // the chain ends.
+            self.advance_and_reap(gid, q);
+            let still_running = self.groups[gid]
+                .as_ref()
+                .is_some_and(|g| g.members.contains(&job));
+            if !still_running {
+                if self.jobs[&job].remaining_iters() > 0 {
+                    self.finish_resize(job, epoch, from, to, q);
+                } else if self.dirty {
+                    self.fill_pass(q);
+                }
+                return;
+            }
+            #[cfg(feature = "audit")]
+            {
+                let j = &self.jobs[&job];
+                before = Some((j.attained.as_micros(), j.saved_iters));
+            }
+            // Graceful stop of the whole group: the survivors cannot
+            // keep the interleave cycle going around the re-bucketed
+            // member, so everyone requeues with progress intact.
+            let Some(group) = self.groups[gid].take() else {
+                return;
+            };
+            self.cluster.release(&group.gpus);
+            let now = self.now;
+            for member in group.members {
+                if let Some(j) = self.jobs.get_mut(&member) {
+                    j.saved_iters = j.done_iters;
+                }
+                self.queue.push(member);
+                self.sink.emit(|| Event::JobPreempted {
+                    time: now,
+                    job: member,
+                });
+            }
+        }
+        #[cfg(feature = "audit")]
+        {
+            let j = &self.jobs[&job];
+            let (attained_before, saved_before) =
+                before.unwrap_or((j.attained.as_micros(), j.saved_iters));
+            self.elastic_records.push(muri_verify::ElasticResizeRecord {
+                job,
+                from_gpus: from,
+                to_gpus: to,
+                attained_before_us: attained_before,
+                attained_after_us: j.attained.as_micros(),
+                saved_before,
+                saved_after: j.saved_iters,
+                total_gpus: total,
+            });
+        }
+        self.finish_resize(job, epoch, from, to, q);
+    }
+
+    /// Apply the new GPU demand, re-arm the chain, and replan.
+    fn finish_resize(
+        &mut self,
+        job: JobId,
+        epoch: u64,
+        from: u32,
+        to: u32,
+        q: &mut dyn EventQueue,
+    ) {
+        if let Some(j) = self.jobs.get_mut(&job) {
+            j.spec.num_gpus = to;
+            j.resize_epoch = epoch + 1;
+        }
+        let now = self.now;
+        self.sink.emit(|| Event::ElasticResized {
+            time: now,
+            job,
+            from_gpus: from,
+            to_gpus: to,
+        });
+        self.dirty = true;
+        self.inc.mark(from);
+        self.inc.mark(to);
+        self.arm_resize(job, epoch + 1, q);
+        self.fill_pass(q);
+    }
+
     fn on_tick(&mut self, q: &mut dyn EventQueue) {
         self.next_tick = None;
         // Settle every group's progress before planning.
@@ -1170,14 +1610,17 @@ impl EngineCore {
         let mut factor = self
             .cfg
             .group_overhead(truths.len(), self.cfg.scheduler.policy.gpu_shares());
-        if gpus
+        // The interleave cycle stalls with its slowest participant: the
+        // worst per-machine speed factor spanned by the lease governs
+        // the whole group. Degradation is the homogeneous special case
+        // (speed = `degraded_slowdown` on degraded machines, 1 else);
+        // GPU generations contribute their generation factor on top.
+        let worst = gpus
             .iter()
-            .any(|&g| self.degraded[self.cluster.spec().machine_of(g) as usize])
-        {
-            // A degraded machine slows every stage of everything placed
-            // on it, and the interleave cycle stalls with its slowest
-            // participant.
-            factor *= self.cfg.faults.degraded_slowdown;
+            .map(|&g| self.speed[self.cluster.spec().machine_of(g) as usize])
+            .fold(1.0_f64, f64::max);
+        if worst > 1.0 {
+            factor *= worst;
         }
         t.scale(factor)
     }
@@ -1682,6 +2125,10 @@ impl EngineCore {
     #[cfg(feature = "audit")]
     fn audit_pass(&mut self) {
         if self.audit.is_none() && !cfg!(debug_assertions) {
+            // Not auditing: drop the scenario records instead of
+            // accumulating them for nobody.
+            self.spot_records.clear();
+            self.elastic_records.clear();
             return;
         }
         let snap = self.tick_snapshot();
@@ -1692,6 +2139,43 @@ impl EngineCore {
             &rec,
         ));
         self.prev_recovery = Some(rec);
+        report.merge(muri_verify::audit_spot(&self.spot_records));
+        self.spot_records.clear();
+        report.merge(muri_verify::audit_elastic(&self.elastic_records));
+        self.elastic_records.clear();
+        if self.cluster.is_hetero() {
+            report.merge(muri_verify::audit_hetero(&muri_verify::HeteroSnapshot {
+                gpus_per_machine: self.cluster.spec().machine.gpus,
+                generations: (0..self.cfg.cluster.machines)
+                    .map(|m| self.cluster.generation_of_machine(m))
+                    .collect(),
+                running: snap.running.clone(),
+            }));
+        }
+        let cur_slo: Vec<muri_verify::SloKeyRecord> = self
+            .queue
+            .iter()
+            .filter_map(|id| {
+                let j = &self.jobs[id];
+                j.deadline?;
+                let p = self
+                    .cfg
+                    .scheduler
+                    .policy
+                    .priority(&j.as_pending(), self.now);
+                Some(muri_verify::SloKeyRecord {
+                    job: *id,
+                    key: p.primary,
+                    state: (
+                        j.attained.as_micros(),
+                        j.remaining_solo().as_micros(),
+                        j.spec.num_gpus,
+                    ),
+                })
+            })
+            .collect();
+        report.merge(muri_verify::audit_slo_escalation(&self.prev_slo, &cur_slo));
+        self.prev_slo = cur_slo;
         match self.audit.as_mut() {
             Some(acc) => acc.merge(report),
             None => debug_assert!(

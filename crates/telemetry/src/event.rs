@@ -287,6 +287,31 @@ pub enum Event {
         /// Wall-clock worth of the discarded iterations.
         wasted: SimDuration,
     },
+    /// A spot/preemptible machine was evicted. `drained` counts the
+    /// hosted jobs checkpointed during the advance-warning window;
+    /// `wasted` is the wall-clock worth of work the eviction still
+    /// destroyed (zero when the drain saved everything).
+    SpotEvicted {
+        /// Eviction time.
+        time: SimTime,
+        /// The evicted machine.
+        machine: u32,
+        /// Jobs drained to a checkpoint inside the warning window.
+        drained: u64,
+        /// Wall-clock worth of work destroyed despite the drain.
+        wasted: SimDuration,
+    },
+    /// An elastic job changed its GPU count at an iteration boundary.
+    ElasticResized {
+        /// Resize time.
+        time: SimTime,
+        /// The resizing job.
+        job: JobId,
+        /// GPU count before the resize.
+        from_gpus: u32,
+        /// GPU count after the resize.
+        to_gpus: u32,
+    },
 }
 
 impl Event {
@@ -304,7 +329,9 @@ impl Event {
             | Event::MachineRecovered { time, .. }
             | Event::MachineBlacklisted { time, .. }
             | Event::CheckpointTaken { time, .. }
-            | Event::WorkLost { time, .. } => *time,
+            | Event::WorkLost { time, .. }
+            | Event::SpotEvicted { time, .. }
+            | Event::ElasticResized { time, .. } => *time,
         }
     }
 
@@ -318,12 +345,14 @@ impl Event {
             | Event::JobFaulted { job, .. }
             | Event::JobCompleted { job, .. }
             | Event::CheckpointTaken { job, .. }
-            | Event::WorkLost { job, .. } => Some(*job),
+            | Event::WorkLost { job, .. }
+            | Event::ElasticResized { job, .. } => Some(*job),
             Event::GroupFormed { .. }
             | Event::PlanningPass { .. }
             | Event::MachineFailed { .. }
             | Event::MachineRecovered { .. }
-            | Event::MachineBlacklisted { .. } => None,
+            | Event::MachineBlacklisted { .. }
+            | Event::SpotEvicted { .. } => None,
         }
     }
 
@@ -342,6 +371,8 @@ impl Event {
             Event::MachineBlacklisted { .. } => "machine_blacklisted",
             Event::CheckpointTaken { .. } => "checkpoint_taken",
             Event::WorkLost { .. } => "work_lost",
+            Event::SpotEvicted { .. } => "spot_evicted",
+            Event::ElasticResized { .. } => "elastic_resized",
         }
     }
 }
@@ -445,6 +476,26 @@ impl Serialize for Event {
                 m.push(("iterations".into(), iterations.to_value()));
                 m.push(("wasted_us".into(), Value::UInt(wasted.as_micros())));
             }
+            Event::SpotEvicted {
+                machine,
+                drained,
+                wasted,
+                ..
+            } => {
+                m.push(("machine".into(), machine.to_value()));
+                m.push(("drained".into(), drained.to_value()));
+                m.push(("wasted_us".into(), Value::UInt(wasted.as_micros())));
+            }
+            Event::ElasticResized {
+                job,
+                from_gpus,
+                to_gpus,
+                ..
+            } => {
+                m.push(("job".into(), job.to_value()));
+                m.push(("from_gpus".into(), from_gpus.to_value()));
+                m.push(("to_gpus".into(), to_gpus.to_value()));
+            }
         }
         Value::Map(m)
     }
@@ -530,6 +581,18 @@ impl Deserialize for Event {
                 job: field(v, "job")?,
                 iterations: field(v, "iterations")?,
                 wasted: SimDuration::from_micros(field::<u64>(v, "wasted_us")?),
+            },
+            "spot_evicted" => Event::SpotEvicted {
+                time,
+                machine: field(v, "machine")?,
+                drained: field(v, "drained")?,
+                wasted: SimDuration::from_micros(field::<u64>(v, "wasted_us")?),
+            },
+            "elastic_resized" => Event::ElasticResized {
+                time,
+                job: field(v, "job")?,
+                from_gpus: field(v, "from_gpus")?,
+                to_gpus: field(v, "to_gpus")?,
             },
             other => return Err(Error::msg(format!("unknown event type {other:?}"))),
         })
@@ -633,6 +696,18 @@ mod tests {
             job: JobId(8),
             iterations: 37,
             wasted: SimDuration::from_secs(11),
+        });
+        roundtrip(&Event::SpotEvicted {
+            time: t,
+            machine: 6,
+            drained: 3,
+            wasted: SimDuration::from_secs(2),
+        });
+        roundtrip(&Event::ElasticResized {
+            time: t,
+            job: JobId(9),
+            from_gpus: 2,
+            to_gpus: 4,
         });
     }
 

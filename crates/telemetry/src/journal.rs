@@ -41,6 +41,10 @@ pub struct JournalCounts {
     pub checkpoints: u64,
     /// `WorkLost` events.
     pub work_lost: u64,
+    /// `SpotEvicted` events.
+    pub spot_evictions: u64,
+    /// `ElasticResized` events.
+    pub elastic_resizes: u64,
 }
 
 /// A bounded in-memory event log.
@@ -124,6 +128,8 @@ impl Journal {
                 Event::MachineBlacklisted { .. } => c.machine_blacklists += 1,
                 Event::CheckpointTaken { .. } => c.checkpoints += 1,
                 Event::WorkLost { .. } => c.work_lost += 1,
+                Event::SpotEvicted { .. } => c.spot_evictions += 1,
+                Event::ElasticResized { .. } => c.elastic_resizes += 1,
             }
         }
         c

@@ -301,6 +301,53 @@ impl Telemetry {
                     wasted.as_secs_f64(),
                 );
             }
+            Event::SpotEvicted {
+                time,
+                machine,
+                drained,
+                wasted,
+            } => {
+                self.metrics.inc_counter(
+                    "muri_spot_evictions_total",
+                    "Spot machine evictions",
+                    &[],
+                    1,
+                );
+                self.metrics.inc_counter(
+                    "muri_spot_drained_jobs_total",
+                    "Jobs drained to a checkpoint inside eviction warnings",
+                    &[],
+                    *drained,
+                );
+                self.metrics.observe(
+                    "muri_spot_wasted_seconds",
+                    "Wall-clock worth of work destroyed per spot eviction",
+                    &[],
+                    wasted.as_secs_f64(),
+                );
+                self.trace.instant(
+                    &format!("machine{machine}_spot_evicted"),
+                    "fault",
+                    *time,
+                    SCHEDULER_PID,
+                    1,
+                );
+            }
+            Event::ElasticResized {
+                from_gpus, to_gpus, ..
+            } => {
+                let dir = if to_gpus > from_gpus {
+                    "grow"
+                } else {
+                    "shrink"
+                };
+                self.metrics.inc_counter(
+                    "muri_elastic_resizes_total",
+                    "Elastic job resizes by direction",
+                    &[("direction", dir)],
+                    1,
+                );
+            }
         }
         self.journal.record(event);
     }

@@ -75,12 +75,15 @@ pub fn audit_journal(events: &[Event]) -> AuditReport {
             Event::JobCompleted { .. } => l.completed += 1,
             // Job-scoped but not lifecycle transitions: they still feed
             // the first-event / time-order / after-completion checks.
-            Event::CheckpointTaken { .. } | Event::WorkLost { .. } => {}
+            Event::CheckpointTaken { .. }
+            | Event::WorkLost { .. }
+            | Event::ElasticResized { .. } => {}
             Event::GroupFormed { .. }
             | Event::PlanningPass { .. }
             | Event::MachineFailed { .. }
             | Event::MachineRecovered { .. }
-            | Event::MachineBlacklisted { .. } => {}
+            | Event::MachineBlacklisted { .. }
+            | Event::SpotEvicted { .. } => {}
         }
     }
 

@@ -36,7 +36,13 @@
 //!   post-replay state are mutually consistent: monotone sequencing,
 //!   no duplicated/orphaned job references, zero jobs lost, and an id
 //!   allocator that cannot reissue a dead job's identity
-//!   ([`audit_recovery_replay`]).
+//!   ([`audit_recovery_replay`]);
+//! * **hostile scenarios** — spot evictions respect their advance
+//!   warning window ([`audit_spot`]), groups never straddle GPU
+//!   generations a single generation could hold ([`audit_hetero`]),
+//!   elastic resizes conserve attained service and durable progress
+//!   ([`audit_elastic`]), and SLO deadline escalation is monotone
+//!   ([`audit_slo_escalation`]).
 //!
 //! Violations come back as a typed [`Violation`] inside an
 //! [`AuditReport`] rather than a panic, so the auditor can run over
@@ -56,6 +62,7 @@ pub mod matching;
 pub mod plan;
 pub mod recovery;
 pub mod replay;
+pub mod scenario;
 pub mod tick;
 pub mod timeline;
 pub mod violation;
@@ -67,6 +74,10 @@ pub use matching::{audit_matching, audit_pruning, audit_sharding};
 pub use plan::{audit_plan, PlanContext, PlannedGroupRef};
 pub use recovery::{audit_recovery, RecoverySnapshot};
 pub use replay::{audit_recovery_replay, ReplayOp, ReplayOpKind, ReplayedState};
+pub use scenario::{
+    audit_elastic, audit_hetero, audit_slo_escalation, audit_spot, ElasticResizeRecord,
+    HeteroSnapshot, SloKeyRecord, SpotEvictionRecord,
+};
 pub use tick::{audit_tick, GroupSnapshot, TickSnapshot};
 pub use timeline::audit_timeline;
 pub use violation::{AuditReport, Violation};

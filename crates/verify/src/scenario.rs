@@ -1,0 +1,425 @@
+//! Auditing the hostile-cluster scenario suite: spot evictions respect
+//! their advance-warning window, heterogeneous placement keeps groups
+//! inside one GPU generation, elastic resizes conserve progress, and
+//! SLO deadline escalation is monotone.
+
+use crate::tick::GroupSnapshot;
+use crate::violation::{AuditReport, Violation};
+use muri_workload::{JobId, SimTime};
+
+/// One spot eviction as the engine executed it.
+#[derive(Debug, Clone, Default)]
+pub struct SpotEvictionRecord {
+    /// The evicted spot machine.
+    pub machine: u32,
+    /// When the advance warning fired (`None` for a no-warning
+    /// eviction).
+    pub warned_at: Option<SimTime>,
+    /// When the eviction landed.
+    pub evicted_at: SimTime,
+    /// The configured warning window, in microseconds.
+    pub warning_us: u64,
+    /// The configured checkpoint cost, in microseconds (a drain must
+    /// fit it inside the warning window).
+    pub checkpoint_cost_us: u64,
+    /// Jobs drained to a checkpoint during the warning window.
+    pub drained: u64,
+    /// Wall-clock worth of work the eviction destroyed, in
+    /// microseconds.
+    pub wasted_us: u64,
+}
+
+/// Audit every spot eviction of a run:
+///
+/// * a warned machine is evicted no earlier than warning-window seconds
+///   after the warning fired — the drain gets the full window;
+/// * an eviction that claims drained jobs must have had a warning whose
+///   window fits the checkpoint cost (otherwise the "drain" could not
+///   have persisted anything and the claim is bogus);
+/// * a no-warning eviction cannot claim drained jobs.
+pub fn audit_spot(records: &[SpotEvictionRecord]) -> AuditReport {
+    let mut report = AuditReport::new();
+    for r in records {
+        report.checks += 1;
+        match r.warned_at {
+            Some(warned) => {
+                let due = warned + muri_workload::SimDuration::from_micros(r.warning_us);
+                if r.evicted_at < due {
+                    report.push(Violation::SpotDrainViolation {
+                        machine: r.machine,
+                        detail: format!(
+                            "evicted at t={} before the warning window ended at t={due}",
+                            r.evicted_at
+                        ),
+                    });
+                }
+                if r.drained > 0 && r.checkpoint_cost_us > r.warning_us {
+                    report.push(Violation::SpotDrainViolation {
+                        machine: r.machine,
+                        detail: format!(
+                            "claims {} drained job(s) but the checkpoint cost {}us \
+                             exceeds the {}us warning window",
+                            r.drained, r.checkpoint_cost_us, r.warning_us
+                        ),
+                    });
+                }
+            }
+            None => {
+                if r.drained > 0 {
+                    report.push(Violation::SpotDrainViolation {
+                        machine: r.machine,
+                        detail: format!("no-warning eviction claims {} drained job(s)", r.drained),
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Generation-relevant placement state after one scheduling pass.
+#[derive(Debug, Clone, Default)]
+pub struct HeteroSnapshot {
+    /// GPUs per machine (`machine = gpu / gpus_per_machine`).
+    pub gpus_per_machine: u32,
+    /// GPU generation per machine (empty = homogeneous).
+    pub generations: Vec<u32>,
+    /// Every running group.
+    pub running: Vec<GroupSnapshot>,
+}
+
+impl HeteroSnapshot {
+    fn generation_of_gpu(&self, gpu: u32) -> u32 {
+        let m = (gpu / self.gpus_per_machine.max(1)) as usize;
+        self.generations.get(m).copied().unwrap_or(0)
+    }
+
+    /// Static capacity of the largest single generation, in GPUs.
+    fn max_generation_capacity(&self) -> u32 {
+        let mut gens: Vec<u32> = self.generations.clone();
+        gens.sort_unstable();
+        gens.dedup();
+        gens.iter()
+            .map(|&g| {
+                self.generations.iter().filter(|&&x| x == g).count() as u32 * self.gpus_per_machine
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Audit generation-aware placement legality: no running group may span
+/// GPU generations unless its demand exceeds every single generation's
+/// static capacity (interleaved stages must stay in lockstep on uniform
+/// hardware whenever uniform hardware could hold the group).
+pub fn audit_hetero(snap: &HeteroSnapshot) -> AuditReport {
+    let mut report = AuditReport::new();
+    if snap.generations.iter().all(|&g| g == 0) {
+        // Homogeneous cluster: nothing to check.
+        report.checks += 1;
+        return report;
+    }
+    let max_cap = snap.max_generation_capacity();
+    for group in &snap.running {
+        report.checks += 1;
+        let mut gens: Vec<u32> = group
+            .gpus
+            .iter()
+            .map(|g| snap.generation_of_gpu(g.0))
+            .collect();
+        gens.sort_unstable();
+        gens.dedup();
+        if gens.len() > 1 && group.gpus.len() as u32 <= max_cap {
+            report.push(Violation::HeteroPlacementIllegal {
+                jobs: group.members.clone(),
+                generations: gens,
+                max_generation_capacity: max_cap,
+            });
+        }
+    }
+    report
+}
+
+/// One elastic resize as the engine executed it.
+#[derive(Debug, Clone, Default)]
+pub struct ElasticResizeRecord {
+    /// The resizing job.
+    pub job: JobId,
+    /// GPU count before the resize.
+    pub from_gpus: u32,
+    /// GPU count after the resize.
+    pub to_gpus: u32,
+    /// Attained service before/after, in microseconds — a resize
+    /// requeues survivors with attained service intact.
+    pub attained_before_us: u64,
+    /// Attained service after the resize.
+    pub attained_after_us: u64,
+    /// Durable checkpointed iterations before the resize.
+    pub saved_before: u64,
+    /// Durable checkpointed iterations after the resize.
+    pub saved_after: u64,
+    /// Total GPUs in the cluster (resizes must stay within it).
+    pub total_gpus: u32,
+}
+
+/// Audit every elastic resize of a run: the new GPU count is a positive
+/// power of two no larger than the cluster, attained service carries
+/// over exactly, and durable progress never shrinks.
+pub fn audit_elastic(records: &[ElasticResizeRecord]) -> AuditReport {
+    let mut report = AuditReport::new();
+    for r in records {
+        report.checks += 1;
+        if r.to_gpus == 0 || !r.to_gpus.is_power_of_two() || r.to_gpus > r.total_gpus {
+            report.push(Violation::ElasticConservationBroken {
+                job: r.job,
+                detail: format!(
+                    "resize {} → {} GPUs is not a positive power of two within \
+                     the {}-GPU cluster",
+                    r.from_gpus, r.to_gpus, r.total_gpus
+                ),
+            });
+        }
+        if r.attained_after_us != r.attained_before_us {
+            report.push(Violation::ElasticConservationBroken {
+                job: r.job,
+                detail: format!(
+                    "attained service changed across the resize: {} → {} us",
+                    r.attained_before_us, r.attained_after_us
+                ),
+            });
+        }
+        if r.saved_after < r.saved_before {
+            report.push(Violation::ElasticConservationBroken {
+                job: r.job,
+                detail: format!(
+                    "durable progress shrank across the resize: {} → {} iters",
+                    r.saved_before, r.saved_after
+                ),
+            });
+        }
+    }
+    report
+}
+
+/// An SLO job's priority key at one scheduling pass, with a fingerprint
+/// of the state it was computed from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloKeyRecord {
+    /// The deadline job.
+    pub job: JobId,
+    /// The policy's primary priority key (smaller runs first).
+    pub key: i64,
+    /// Fingerprint of the scheduling state behind the key (attained µs,
+    /// remaining µs, allocated GPUs). Keys are only comparable across
+    /// passes while the fingerprint is unchanged — attained service
+    /// changes the base key legitimately, and an elastic resize rescales
+    /// both the service-weighted primary and the slack's remaining
+    /// wall-clock term.
+    pub state: (u64, u64, u32),
+}
+
+/// Audit SLO escalation monotonicity between two scheduling passes: a
+/// deadline job whose scheduling state did not change may only hold or
+/// *escalate* (shrink) its priority key as time advances — slack only
+/// burns down.
+pub fn audit_slo_escalation(prev: &[SloKeyRecord], cur: &[SloKeyRecord]) -> AuditReport {
+    let mut report = AuditReport::new();
+    report.checks += 1;
+    for before in prev {
+        let Some(after) = cur.iter().find(|r| r.job == before.job) else {
+            continue;
+        };
+        if after.state == before.state && after.key > before.key {
+            report.push(Violation::SloEscalationNonMonotone {
+                job: before.job,
+                before: before.key,
+                after: after.key,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use muri_cluster::GpuId;
+    use muri_workload::SimDuration;
+
+    fn jobs(ids: &[u32]) -> Vec<JobId> {
+        ids.iter().map(|&i| JobId(i)).collect()
+    }
+
+    fn gpus(ids: &[u32]) -> Vec<GpuId> {
+        ids.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    fn warned_eviction() -> SpotEvictionRecord {
+        SpotEvictionRecord {
+            machine: 2,
+            warned_at: Some(SimTime::from_secs(100)),
+            evicted_at: SimTime::from_secs(160),
+            warning_us: SimDuration::from_secs(60).as_micros(),
+            checkpoint_cost_us: SimDuration::from_secs(30).as_micros(),
+            drained: 2,
+            wasted_us: 0,
+        }
+    }
+
+    #[test]
+    fn respected_warning_windows_are_clean() {
+        assert!(audit_spot(&[warned_eviction()]).is_clean());
+        // No-warning eviction that claims nothing drained is also fine.
+        let bare = SpotEvictionRecord {
+            warned_at: None,
+            drained: 0,
+            ..warned_eviction()
+        };
+        assert!(audit_spot(&[bare]).is_clean());
+    }
+
+    #[test]
+    fn early_eviction_is_flagged() {
+        let mut r = warned_eviction();
+        r.evicted_at = SimTime::from_secs(130); // window ends at 160
+        let report = audit_spot(&[r]);
+        assert_eq!(report.count_kind("SpotDrainViolation"), 1, "{report}");
+    }
+
+    #[test]
+    fn drain_claims_need_a_window_that_fits_the_checkpoint() {
+        let mut r = warned_eviction();
+        r.checkpoint_cost_us = SimDuration::from_secs(90).as_micros(); // > 60s window
+        let report = audit_spot(&[r]);
+        assert_eq!(report.count_kind("SpotDrainViolation"), 1, "{report}");
+        // A no-warning eviction can't have drained anything.
+        let mut bare = warned_eviction();
+        bare.warned_at = None;
+        let report = audit_spot(&[bare]);
+        assert_eq!(report.count_kind("SpotDrainViolation"), 1, "{report}");
+    }
+
+    fn hetero_base() -> HeteroSnapshot {
+        HeteroSnapshot {
+            gpus_per_machine: 8,
+            // Machines 0-3 are generation 0, machines 4-7 generation 1.
+            generations: vec![0, 0, 0, 0, 1, 1, 1, 1],
+            running: vec![GroupSnapshot {
+                members: jobs(&[1, 2]),
+                gpus: gpus(&[0, 1, 8, 9]), // machines 0+1, both gen 0
+            }],
+        }
+    }
+
+    #[test]
+    fn single_generation_groups_are_legal() {
+        assert!(audit_hetero(&hetero_base()).is_clean());
+        // Homogeneous clusters are trivially clean.
+        let mut flat = hetero_base();
+        flat.generations = vec![0; 8];
+        flat.running[0].gpus = gpus(&[0, 32]); // would span gens if hetero
+        assert!(audit_hetero(&flat).is_clean());
+    }
+
+    #[test]
+    fn cross_generation_group_is_flagged() {
+        let mut snap = hetero_base();
+        // Machines 0 (gen 0) and 4 (gen 1): 2 GPUs ≤ 32 capacity → illegal.
+        snap.running[0].gpus = gpus(&[0, 32]);
+        let report = audit_hetero(&snap);
+        assert_eq!(report.count_kind("HeteroPlacementIllegal"), 1, "{report}");
+    }
+
+    #[test]
+    fn oversize_cross_generation_span_is_legal() {
+        let mut snap = hetero_base();
+        // A 64-GPU group exceeds both generations' 32-GPU capacity.
+        snap.running[0].gpus = (0..64).map(GpuId).collect();
+        assert!(audit_hetero(&snap).is_clean());
+    }
+
+    fn resize() -> ElasticResizeRecord {
+        ElasticResizeRecord {
+            job: JobId(5),
+            from_gpus: 2,
+            to_gpus: 4,
+            attained_before_us: 1_000_000,
+            attained_after_us: 1_000_000,
+            saved_before: 10,
+            saved_after: 10,
+            total_gpus: 64,
+        }
+    }
+
+    #[test]
+    fn conserving_resizes_are_clean() {
+        assert!(audit_elastic(&[resize()]).is_clean());
+    }
+
+    #[test]
+    fn lost_service_or_bad_shape_is_flagged() {
+        let mut r = resize();
+        r.attained_after_us = 0; // service vanished
+        assert_eq!(
+            audit_elastic(&[r]).count_kind("ElasticConservationBroken"),
+            1
+        );
+        let mut r = resize();
+        r.to_gpus = 3; // not a power of two
+        assert_eq!(
+            audit_elastic(&[r]).count_kind("ElasticConservationBroken"),
+            1
+        );
+        let mut r = resize();
+        r.to_gpus = 128; // larger than the cluster
+        assert_eq!(
+            audit_elastic(&[r]).count_kind("ElasticConservationBroken"),
+            1
+        );
+        let mut r = resize();
+        r.saved_after = 3; // durable progress shrank
+        assert_eq!(
+            audit_elastic(&[r]).count_kind("ElasticConservationBroken"),
+            1
+        );
+    }
+
+    #[test]
+    fn monotone_escalation_is_clean() {
+        let prev = [SloKeyRecord {
+            job: JobId(1),
+            key: 500,
+            state: (10, 20, 2),
+        }];
+        let cur = [SloKeyRecord {
+            job: JobId(1),
+            key: 400, // slack burned down → key shrank
+            state: (10, 20, 2),
+        }];
+        assert!(audit_slo_escalation(&prev, &cur).is_clean());
+        // A state change makes keys incomparable: no violation either way.
+        let moved = [SloKeyRecord {
+            job: JobId(1),
+            key: 900,
+            state: (15, 15, 2),
+        }];
+        assert!(audit_slo_escalation(&prev, &moved).is_clean());
+    }
+
+    #[test]
+    fn rising_key_with_unchanged_state_is_flagged() {
+        let prev = [SloKeyRecord {
+            job: JobId(1),
+            key: 500,
+            state: (10, 20, 2),
+        }];
+        let cur = [SloKeyRecord {
+            job: JobId(1),
+            key: 600,
+            state: (10, 20, 2),
+        }];
+        let report = audit_slo_escalation(&prev, &cur);
+        assert_eq!(report.count_kind("SloEscalationNonMonotone"), 1, "{report}");
+    }
+}

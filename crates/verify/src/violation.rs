@@ -193,6 +193,46 @@ pub enum Violation {
         /// Value at the later pass.
         after: u64,
     },
+    /// A spot eviction disrespected its advance warning: a warned
+    /// machine was evicted before the full warning window elapsed, or a
+    /// drain destroyed work it had time to checkpoint.
+    SpotDrainViolation {
+        /// The evicted spot machine.
+        machine: u32,
+        /// What went wrong with the drain.
+        detail: String,
+    },
+    /// A running group spans GPU generations even though some single
+    /// generation could have held it — generation-aware placement must
+    /// keep interleaved stages in lockstep on uniform hardware.
+    HeteroPlacementIllegal {
+        /// Members of the offending group.
+        jobs: Vec<JobId>,
+        /// Generations the group's GPUs span.
+        generations: Vec<u32>,
+        /// Largest single-generation static capacity (legal spans need
+        /// a demand above this).
+        max_generation_capacity: u32,
+    },
+    /// An elastic resize broke conservation: attained service or durable
+    /// progress changed across the resize, or the new GPU count is not a
+    /// positive power of two within the cluster.
+    ElasticConservationBroken {
+        /// The resizing job.
+        job: JobId,
+        /// What the resize broke.
+        detail: String,
+    },
+    /// An SLO job's priority key rose between passes while its scheduling
+    /// state was unchanged — deadline escalation must be monotone.
+    SloEscalationNonMonotone {
+        /// The offending job.
+        job: JobId,
+        /// Key at the earlier pass.
+        before: i64,
+        /// Key at the later pass.
+        after: i64,
+    },
 }
 
 impl Violation {
@@ -217,6 +257,10 @@ impl Violation {
             Violation::IncrementalLossBound { .. } => "IncrementalLossBound",
             Violation::ReplayDivergence { .. } => "ReplayDivergence",
             Violation::ProgressRegressed { .. } => "ProgressRegressed",
+            Violation::SpotDrainViolation { .. } => "SpotDrainViolation",
+            Violation::HeteroPlacementIllegal { .. } => "HeteroPlacementIllegal",
+            Violation::ElasticConservationBroken { .. } => "ElasticConservationBroken",
+            Violation::SloEscalationNonMonotone { .. } => "SloEscalationNonMonotone",
         }
     }
 }
@@ -342,6 +386,27 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "ProgressRegressed: {job} {metric} went backwards {before} → {after}"
+            ),
+            Violation::SpotDrainViolation { machine, detail } => {
+                write!(f, "SpotDrainViolation: spot machine {machine} — {detail}")
+            }
+            Violation::HeteroPlacementIllegal {
+                jobs,
+                generations,
+                max_generation_capacity,
+            } => write!(
+                f,
+                "HeteroPlacementIllegal: group {jobs:?} spans GPU generations \
+                 {generations:?} though one generation holds up to \
+                 {max_generation_capacity} GPUs"
+            ),
+            Violation::ElasticConservationBroken { job, detail } => {
+                write!(f, "ElasticConservationBroken: {job} — {detail}")
+            }
+            Violation::SloEscalationNonMonotone { job, before, after } => write!(
+                f,
+                "SloEscalationNonMonotone: {job} priority key rose {before} → {after} \
+                 with unchanged scheduling state"
             ),
         }
     }

@@ -36,6 +36,7 @@ fn pending_strategy() -> impl Strategy<Value = Vec<PendingJob>> {
                 submit_time: SimTime::from_secs(submit),
                 attained: SimDuration::from_secs(submit / 3),
                 remaining: SimDuration::from_secs(remaining),
+                deadline: None,
             })
             .collect()
     })

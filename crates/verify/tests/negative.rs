@@ -212,6 +212,7 @@ fn real_plan_schedule_output_audits_clean() {
             submit_time: SimTime::from_secs(u64::from(i)),
             attained: SimDuration::ZERO,
             remaining: SimDuration::from_secs(100 + u64::from(i) * 7),
+            deadline: None,
         })
         .collect();
 

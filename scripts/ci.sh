@@ -25,26 +25,31 @@
 #      periodic checkpointing) with the journal exported, then
 #      `muri telemetry-check` proves the faulty run's lifecycle ledger
 #      still conserves jobs
-#   8. pruning smoke     two checks on trace 2: at --scale 0.02 every
+#   8. hostile smoke     the hostile-cluster scenario suite: a seeded
+#      spot-eviction + heterogeneous-GPU simulation with the journal
+#      exported and validated by `muri telemetry-check`, then an
+#      audited `muri verify` replay with all four scenarios active
+#      (spot, hetero, elastic, SLO) — zero violations required
+#   9. pruning smoke     two checks on trace 2: at --scale 0.02 every
 #      bucket fits the small-graph shortcut (n <= top_m + 1), so default
 #      sparsification and --prune-top-m 0 must produce byte-identical
 #      reports; at --scale 0.1 buckets are large enough that edges are
 #      really dropped, so the run only has to complete cleanly — the
 #      certificate bounds (but does not zero) the matching-weight
 #      difference, and the report may legitimately differ from dense
-#   9. sharded smoke     two checks on trace 2 at --scale 0.1: with one
+#  10. sharded smoke     two checks on trace 2 at --scale 0.1: with one
 #      giant forced shard and pruning off, the sharded planner builds
 #      the full candidate graph and solves it exactly, so its report
 #      must be byte-identical to the unsharded dense run; then an
 #      audited `muri verify` replay with sharding forced must finish
 #      with zero violations (the sharded plan's stated pair weights and
 #      composed loss certificate both survive independent recomputation)
-#  10. serve smoke       the always-on daemon end to end: boot
+#  11. serve smoke       the always-on daemon end to end: boot
 #      `muri serve` on an ephemeral port, drive it over HTTP with
 #      `muri serve-load` (submit, poll to completion, fetch the
 #      journal, shut down gracefully), validate the fetched journal
 #      with `muri telemetry-check`, and require daemon exit code 0
-#  11. serve crash smoke  durability end to end: boot a daemon with
+#  12. serve crash smoke  durability end to end: boot a daemon with
 #      `--state DIR`, submit load without waiting, SIGKILL it, restart
 #      with `--recover` (the boot-time recovery-replay audit must
 #      report clean), drive the recovered daemon to completion,
@@ -108,6 +113,20 @@ cargo run -q -p muri-cli -- simulate muri-l --trace 1 --scale 0.02 \
     --checkpoint-interval 120 --checkpoint-cost 5 \
     --journal "$tmpdir/fault_journal.jsonl" >/dev/null
 cargo run -q -p muri-cli -- telemetry-check --journal "$tmpdir/fault_journal.jsonl"
+
+echo "==> hostile smoke (spot+hetero journal conserved, 4-scenario audited verify)"
+cargo run -q -p muri-cli -- simulate muri-l --trace 1 --scale 0.02 \
+    --spot-machines 1 --spot-mtbe 900 --spot-warning 60 --spot-downtime 300 \
+    --gpu-generations 2 --generation-gap 0.5 \
+    --checkpoint-cost 5 --fault-seed 7 \
+    --journal "$tmpdir/hostile_journal.jsonl" >/dev/null
+cargo run -q -p muri-cli -- telemetry-check --journal "$tmpdir/hostile_journal.jsonl"
+cargo run -q -p muri-cli -- verify muri-l --trace 1 --scale 0.02 \
+    --spot-machines 1 --spot-mtbe 900 --spot-warning 60 --spot-downtime 300 \
+    --gpu-generations 2 --generation-gap 0.5 \
+    --elastic-fraction 0.25 --elastic-interval 900 \
+    --slo-fraction 0.3 --slo-slack 2 \
+    --checkpoint-cost 5 --fault-seed 7
 
 echo "==> pruning smoke (small-bucket identity at 0.02, pruned run at 0.1)"
 cargo run -q -p muri-cli -- simulate muri-l --trace 2 --scale 0.02 \

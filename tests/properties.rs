@@ -116,6 +116,7 @@ proptest! {
                 submit_time: SimTime::from_secs(next(10_000)),
                 attained: SimDuration::from_secs(next(5_000)),
                 remaining: SimDuration::from_secs(next(50_000) + 1),
+            deadline: None,
             })
             .collect();
         for policy in [PolicyKind::Srsf, PolicyKind::MuriS, PolicyKind::MuriL, PolicyKind::AntMan] {
